@@ -1,0 +1,68 @@
+//===- BenchCommon.h - Shared bench-binary scaffolding ----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every Figure 6 bench binary prints its paper table (series x thread
+/// counts, simulated speedups) and registers one google-benchmark entry per
+/// headline scheme so the harness also reports real compile+simulate cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_BENCH_BENCHCOMMON_H
+#define COMMSET_BENCH_BENCHCOMMON_H
+
+#include "commset/Workloads/BenchHarness.h"
+
+#include <benchmark/benchmark.h>
+
+namespace commset {
+namespace bench {
+
+inline const std::vector<unsigned> PaperThreads = {1, 2, 3, 4, 5, 6, 7, 8};
+inline const std::vector<unsigned> QuickThreads = {2, 4, 6, 8};
+
+/// Registers a benchmark that compiles and simulates one scheme end to end
+/// (reports the simulated speedup as a counter).
+inline void registerSchemeBenchmark(const std::string &Workload,
+                                    const Series &S, unsigned Threads) {
+  std::string BenchName =
+      Workload + "/" + S.Label + "/threads:" + std::to_string(Threads);
+  for (char &C : BenchName)
+    if (C == ' ')
+      C = '_';
+  ::benchmark::RegisterBenchmark(
+      BenchName.c_str(),
+      [Workload, S, Threads](::benchmark::State &State) {
+        double Speedup = 0;
+        for (auto _ : State) {
+          FigureRunner Runner(Workload);
+          Measurement M = Runner.measure(S, Threads);
+          Speedup = M.Speedup;
+          ::benchmark::DoNotOptimize(M.VirtualNs);
+        }
+        State.counters["sim_speedup"] = Speedup;
+      })
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+}
+
+/// Standard main body: print the figure, register headline benchmarks, run
+/// the google-benchmark harness.
+inline int figureMain(int argc, char **argv, const std::string &Workload,
+                      const std::vector<Series> &SeriesList) {
+  printFigure(Workload, SeriesList, PaperThreads);
+  for (const Series &S : SeriesList)
+    registerSchemeBenchmark(Workload, S, 8);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench
+} // namespace commset
+
+#endif // COMMSET_BENCH_BENCHCOMMON_H

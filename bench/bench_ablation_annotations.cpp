@@ -1,0 +1,44 @@
+//===- bench_ablation_annotations.cpp - Annotation ablation ---------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// DESIGN.md ablation mirroring the paper's §2 timeline (Figure 3): the
+// semantics the programmer chooses determine the freedom the compiler has.
+// md5sum with full annotations runs DOALL; dropping one SELF (deterministic
+// digests) forces the pipeline; stripping all annotations leaves the best
+// non-COMMSET schedule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  printf("=== md5sum annotation ablation (paper Figure 3 timeline) ===\n");
+  std::vector<Series> SeriesList = {
+      {"full annotations: DOALL", "", Strategy::Doall, SyncMode::None},
+      {"full annotations: PS-DSWP", "", Strategy::PsDswp, SyncMode::None},
+      {"minus one SELF: DOALL", "noself", Strategy::Doall, SyncMode::None},
+      {"minus one SELF: PS-DSWP", "noself", Strategy::PsDswp,
+       SyncMode::None},
+      {"no annotations: DOALL", "plain", Strategy::Doall, SyncMode::None},
+      {"no annotations: PS-DSWP", "plain", Strategy::PsDswp,
+       SyncMode::None},
+  };
+  printFigure("md5sum", SeriesList, PaperThreads);
+
+  printf("\n(One fewer annotation trades the out-of-order DOALL schedule "
+         "for a deterministic pipeline, exactly the paper's Figure 3 "
+         "story.)\n");
+
+  for (const Series &S : SeriesList)
+    registerSchemeBenchmark("md5sum", S, 8);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

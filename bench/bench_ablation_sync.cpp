@@ -1,0 +1,50 @@
+//===- bench_ablation_sync.cpp - Synchronization-mode ablation ------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// DESIGN.md ablation: the same DOALL schedule under every synchronization
+// mode the engine supports (paper §4.6). Reproduces the paper's
+// observations that spin locks win under high contention (456.hmmer) and
+// that lock-based modes beat TM when transactions conflict persistently
+// (kmeans).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace commset;
+using namespace commset::bench;
+
+namespace {
+
+void runAblation(const char *Workload) {
+  std::vector<Series> SeriesList = {
+      {"DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
+      {"DOALL + TM", "", Strategy::Doall, SyncMode::Tm},
+      {"DOALL + Lib (nosync)", "", Strategy::Doall, SyncMode::None},
+  };
+  printFigure(Workload, SeriesList, QuickThreads);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runAblation("hmmer");
+  runAblation("kmeans");
+  runAblation("eclat");
+
+  for (const char *Name : {"hmmer", "kmeans", "eclat"}) {
+    for (SyncMode Sync : {SyncMode::Mutex, SyncMode::Spin, SyncMode::Tm}) {
+      Series S{std::string("DOALL+") + syncModeName(Sync), "",
+               Strategy::Doall, Sync};
+      registerSchemeBenchmark(Name, S, 8);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

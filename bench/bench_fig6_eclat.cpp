@@ -1,0 +1,26 @@
+//===- bench_fig6_eclat.cpp - Figure 6d -----------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6d, §5.3): ECLAT, DOALL + Mutex best at 7.5x (critical
+// sections are a small fraction of the heavy intersection work); without
+// the COMMSET on the database read the DAG-SCC collapses and DSWP yields
+// little.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Comm-DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
+      {"Comm-PS-DSWP + Mutex", "", Strategy::PsDswp, SyncMode::Mutex},
+      {"Non-COMMSET DSWP", "plain", Strategy::Dswp, SyncMode::Mutex},
+      {"Non-COMMSET PS-DSWP", "plain", Strategy::PsDswp, SyncMode::Mutex},
+  };
+  return figureMain(argc, argv, "eclat", SeriesList);
+}

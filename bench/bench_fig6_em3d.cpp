@@ -1,0 +1,24 @@
+//===- bench_fig6_em3d.cpp - Figure 6e ------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6e, §5.4): em3d, PS-DSWP + Lib best at 5.8-5.9x; DOALL is
+// inapplicable (pointer-chasing outer loop); without RNG commutativity the
+// two-stage DSWP reaches only 1.2x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-PS-DSWP + Lib", "", Strategy::PsDswp, SyncMode::None},
+      {"Comm-PS-DSWP + Mutex", "", Strategy::PsDswp, SyncMode::Mutex},
+      {"Comm-DOALL (inapplicable)", "", Strategy::Doall, SyncMode::None},
+      {"Non-COMMSET DSWP", "plain", Strategy::Dswp, SyncMode::Mutex},
+  };
+  return figureMain(argc, argv, "em3d", SeriesList);
+}

@@ -1,0 +1,25 @@
+//===- bench_fig6_geti.cpp - Figure 6c ------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6c, §5.2): GETI, PS-DSWP + Lib best at 3.6x on 8 threads
+// with deterministic output; DOALL leads at low thread counts but loses to
+// the pipeline as output-lock traffic grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-PS-DSWP + Lib (det.)", "noself", Strategy::PsDswp,
+       SyncMode::None},
+      {"Comm-DOALL + Lib", "", Strategy::Doall, SyncMode::None},
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Non-COMMSET best", "plain", Strategy::PsDswp, SyncMode::Mutex},
+  };
+  return figureMain(argc, argv, "geti", SeriesList);
+}

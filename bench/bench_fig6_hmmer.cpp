@@ -1,0 +1,26 @@
+//===- bench_fig6_hmmer.cpp - Figure 6b -----------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6b, §5.1): 456.hmmer, DOALL + Spin best at 5.82x; spin
+// beats mutex (no sleep/wakeup in the contended RNG sections) beats TM;
+// the three-stage PS-DSWP reaches 5.3x by moving the RNG off the critical
+// path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Comm-DOALL + TM", "", Strategy::Doall, SyncMode::Tm},
+      {"Comm-PS-DSWP + Spin", "", Strategy::PsDswp, SyncMode::Spin},
+      {"Non-COMMSET best", "plain", Strategy::PsDswp, SyncMode::Mutex},
+  };
+  return figureMain(argc, argv, "hmmer", SeriesList);
+}

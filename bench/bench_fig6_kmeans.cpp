@@ -1,0 +1,26 @@
+//===- bench_fig6_kmeans.cpp - Figure 6g ----------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6g, §5.6): kmeans, DOALL promising to ~4x at five threads
+// then degrading on center-lock contention; the three-stage PS-DSWP keeps
+// scaling to 5.2x by running the contended update in a sequential stage;
+// TM trails (2.7x on 8 threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-PS-DSWP + Mutex", "", Strategy::PsDswp, SyncMode::Mutex},
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Comm-DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
+      {"Comm-DOALL + TM", "", Strategy::Doall, SyncMode::Tm},
+      {"Non-COMMSET best", "plain", Strategy::PsDswp, SyncMode::Mutex},
+  };
+  return figureMain(argc, argv, "kmeans", SeriesList);
+}

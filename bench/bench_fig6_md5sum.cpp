@@ -1,0 +1,27 @@
+//===- bench_fig6_md5sum.cpp - Figure 6a ----------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6a, Table 2): md5sum, best scheme DOALL + Lib at 7.6x on 8
+// threads; the deterministic-output variant runs PS-DSWP at 5.8x; without
+// COMMSET the loop does not parallelize (DOALL inapplicable, only a thin
+// pipeline remains).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-DOALL + Lib", "", Strategy::Doall, SyncMode::None},
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Comm-PS-DSWP + Lib (det.)", "noself", Strategy::PsDswp,
+       SyncMode::None},
+      {"Non-COMMSET DOALL", "plain", Strategy::Doall, SyncMode::None},
+      {"Non-COMMSET PS-DSWP", "plain", Strategy::PsDswp, SyncMode::None},
+  };
+  return figureMain(argc, argv, "md5sum", SeriesList);
+}

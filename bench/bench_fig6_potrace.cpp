@@ -1,0 +1,25 @@
+//===- bench_fig6_potrace.cpp - Figure 6f ---------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6f, §5.5): potrace, DOALL 5.5x peaking near 7 threads
+// (output I/O costs bound further scaling); the single-output-file variant
+// keeps writes sequential and is limited to 2.2x under PS-DSWP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-DOALL + Lib", "", Strategy::Doall, SyncMode::None},
+      {"Comm-PS-DSWP + Lib", "", Strategy::PsDswp, SyncMode::None},
+      {"Comm-PS-DSWP single-file", "noself", Strategy::PsDswp,
+       SyncMode::None},
+      {"Non-COMMSET best", "plain", Strategy::PsDswp, SyncMode::None},
+  };
+  return figureMain(argc, argv, "potrace", SeriesList);
+}

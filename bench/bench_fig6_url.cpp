@@ -1,0 +1,24 @@
+//===- bench_fig6_url.cpp - Figure 6h -------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Paper (Figure 6h, §5.7): url switching, DOALL + Spin best at 7.7x (low
+// dequeue contention, matching fully overlapped); the two-stage PS-DSWP
+// reaches 3.7x. COMMSETNOSYNC keeps the logger lock-free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace commset;
+using namespace commset::bench;
+
+int main(int argc, char **argv) {
+  std::vector<Series> SeriesList = {
+      {"Comm-DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
+      {"Comm-DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
+      {"Comm-PS-DSWP + Spin", "", Strategy::PsDswp, SyncMode::Spin},
+      {"Non-COMMSET best", "plain", Strategy::PsDswp, SyncMode::Spin},
+  };
+  return figureMain(argc, argv, "url", SeriesList);
+}

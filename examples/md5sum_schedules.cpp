@@ -1,0 +1,136 @@
+//===- md5sum_schedules.cpp - The paper's running example -----------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Reproduces the §2 walkthrough on the real md5sum workload: the same
+// sequential program, under three annotation choices, yields three
+// schedules with different semantics and performance (paper Figure 3):
+//
+//   1. no annotations        -> in-order execution (no DOALL applies);
+//   2. full COMMSET          -> DOALL, out-of-order digests, fastest;
+//   3. one less SELF         -> PS-DSWP, deterministic output, slightly
+//                               slower.
+//
+// Digests are computed with a real MD5 over an in-memory file system and
+// cross-checked between schedules.
+//
+// Build & run:  ./build/examples/md5sum_schedules
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace commset;
+
+namespace {
+
+struct ScheduleResult {
+  bool Ran = false;
+  double Speedup = 1.0;
+  uint64_t Checksum = 0;
+  bool InOrder = true;
+  std::string Description = "sequential (in-order)";
+};
+
+ScheduleResult runVariant(Workload &W, const std::string &Variant,
+                          Strategy Kind) {
+  ScheduleResult R;
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(W.source(Variant), Diags);
+  if (!C)
+    return R;
+  auto T = C->analyzeLoop(W.entry(), Diags);
+  if (!T)
+    return R;
+
+  PlanOptions Opts;
+  Opts.NumThreads = 8;
+  Opts.Sync = SyncMode::None; // md5sum's libraries are thread safe ("Lib").
+  for (auto &[K, V] : W.costHints())
+    Opts.NativeCostHints[K] = V;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  const SchemeReport *Chosen = nullptr;
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Kind && S.Applicable)
+      Chosen = &S;
+  if (!Chosen)
+    return R;
+
+  NativeRegistry Natives;
+  W.reset();
+  W.registerNatives(Natives);
+
+  RunConfig Seq;
+  Seq.Simulate = true;
+  RunOutcome SeqOut = runScheme(*C, T->F, W.args(128), Natives, Seq);
+
+  W.reset();
+  RunConfig Par;
+  Par.Plan = &*Chosen->Plan;
+  Par.Simulate = true;
+  RunOutcome ParOut = runScheme(*C, T->F, W.args(128), Natives, Par);
+
+  R.Ran = true;
+  R.Speedup = static_cast<double>(SeqOut.VirtualNs) / ParOut.VirtualNs;
+  R.Checksum = W.checksum();
+  R.Description = Chosen->Plan->describe();
+  auto Order = W.orderedOutput();
+  for (size_t I = 0; I < Order.size(); ++I)
+    R.InOrder &= Order[I] == static_cast<int64_t>(I);
+  return R;
+}
+
+} // namespace
+
+int main() {
+  auto W = makeWorkload("md5sum");
+
+  // Baseline: sequential run for the reference digests.
+  {
+    DiagnosticEngine Diags;
+    auto C = Compilation::fromSource(W->source(""), Diags);
+    auto T = C->analyzeLoop(W->entry(), Diags);
+    NativeRegistry Natives;
+    W->registerNatives(Natives);
+    RunConfig Seq;
+    Seq.Simulate = false;
+    runScheme(*C, T->F, W->args(128), Natives, Seq);
+  }
+  uint64_t Reference = W->checksum();
+  printf("sequential reference checksum: %016llx\n",
+         (unsigned long long)Reference);
+
+  struct Row {
+    const char *Title;
+    const char *Variant;
+    Strategy Kind;
+  } Rows[] = {
+      {"no COMMSET annotations, DOALL", "plain", Strategy::Doall},
+      {"full COMMSET, DOALL", "", Strategy::Doall},
+      {"one less SELF, PS-DSWP", "noself", Strategy::PsDswp},
+  };
+
+  printf("\n%-34s %-22s %8s %8s %6s\n", "semantics", "schedule", "speedup",
+         "digests", "order");
+  for (const Row &Entry : Rows) {
+    ScheduleResult R = runVariant(*W, Entry.Variant, Entry.Kind);
+    if (!R.Ran) {
+      printf("%-34s %-22s %8s %8s %6s\n", Entry.Title, "not applicable",
+             "-", "-", "-");
+      continue;
+    }
+    printf("%-34s %-22s %7.2fx %8s %6s\n", Entry.Title,
+           R.Description.c_str(), R.Speedup,
+           R.Checksum == Reference ? "match" : "DIFFER",
+           R.InOrder ? "kept" : "free");
+  }
+
+  printf("\nThe paper's Figure 3: the DOALL schedule is fastest but prints "
+         "digests out of order; dropping one SELF annotation buys "
+         "deterministic output at a small cost.\n");
+  return 0;
+}

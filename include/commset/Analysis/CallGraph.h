@@ -1,0 +1,48 @@
+//===- CallGraph.h - Module call graph ---------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over user functions, with transitive reachability. The paper
+/// uses it twice: checking that no COMMSET member transitively calls
+/// another member of the same set (well-definedness), and detecting cycles
+/// in the COMMSET graph (well-formedness, §3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_CALLGRAPH_H
+#define COMMSET_ANALYSIS_CALLGRAPH_H
+
+#include "commset/IR/IR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace commset {
+
+class CallGraph {
+public:
+  static CallGraph compute(const Module &M);
+
+  /// Direct callees of \p F.
+  const std::set<Function *> &callees(const Function *F) const;
+
+  /// \returns true if \p From can transitively call \p To (irreflexive
+  /// unless there is an actual cycle through From).
+  bool reaches(const Function *From, const Function *To) const;
+
+  /// All functions transitively reachable from \p From (excluding From
+  /// itself unless recursive).
+  std::set<Function *> reachableFrom(const Function *From) const;
+
+private:
+  std::map<const Function *, std::set<Function *>> Edges;
+  static const std::set<Function *> Empty;
+};
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_CALLGRAPH_H

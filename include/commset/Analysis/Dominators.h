@@ -1,0 +1,60 @@
+//===- Dominators.h - Dominator and post-dominator trees --------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator / post-dominator computation (Cooper-Harvey-Kennedy
+/// style dataflow). Post-dominance uses a virtual exit joining all Ret
+/// blocks. Algorithm 1 in the paper uses instruction dominance (Dom(n2,n1))
+/// to distinguish uco from ico on loop-carried commutative edges; control
+/// dependence (Ferrante-Ottenstein-Warren) uses the post-dominator tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_DOMINATORS_H
+#define COMMSET_ANALYSIS_DOMINATORS_H
+
+#include "commset/IR/IR.h"
+
+#include <vector>
+
+namespace commset {
+
+/// Dominator tree over a function's blocks, indexed by block id. Block ids
+/// must be current (Function::numberInstructions()).
+class DomTree {
+public:
+  /// IDom[b] = immediate dominator block id; -1 for the entry and
+  /// unreachable blocks.
+  std::vector<int> IDom;
+
+  /// \returns true if block \p A dominates block \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// \returns true if instruction \p A dominates instruction \p B: its block
+  /// strictly dominates B's block, or both share a block and A comes first.
+  bool dominates(const Instruction *A, const Instruction *B) const;
+};
+
+/// Post-dominator tree with a virtual exit node (id = number of blocks).
+class PostDomTree {
+public:
+  std::vector<int> IPDom;
+  unsigned VirtualExit = 0;
+
+  bool postDominates(unsigned A, unsigned B) const;
+};
+
+DomTree computeDominators(const Function &F);
+PostDomTree computePostDominators(const Function &F);
+
+/// Control-dependence relation computed from the post-dominator tree:
+/// Deps[b] lists the ids of blocks whose terminator controls block b.
+std::vector<std::vector<unsigned>> computeControlDeps(const Function &F,
+                                                      const PostDomTree &PDT);
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,105 @@
+//===- Effects.h - Memory effect summaries & pointer origins ----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up memory-effect summaries for user functions (from declared
+/// native effects, global accesses, and callees) and a flow-insensitive
+/// pointer-origin analysis that classifies ptr values by their allocation
+/// roots. Together they are this repo's stand-in for LLVM's alias and
+/// mod/ref analyses: the PDG builder uses them to decide which call pairs
+/// conflict and whether a conflict persists across loop iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_EFFECTS_H
+#define COMMSET_ANALYSIS_EFFECTS_H
+
+#include "commset/IR/IR.h"
+
+#include <map>
+#include <set>
+
+namespace commset {
+
+/// Effect summary of a function or call site over abstract locations:
+/// named effect classes, module globals, and argument-reachable memory.
+struct EffectSummary {
+  bool World = false;
+  /// Returns a pointer to a fresh object (allocator-like).
+  bool Malloc = false;
+  bool ArgMemRead = false;
+  bool ArgMemWrite = false;
+  std::set<unsigned> ReadClasses;
+  std::set<unsigned> WriteClasses;
+  std::set<unsigned> ReadGlobals;
+  std::set<unsigned> WriteGlobals;
+
+  /// Merges \p Other into this summary (argmem flags transfer only when the
+  /// caller actually passes pointers; the caller handles that).
+  void mergeClasses(const EffectSummary &Other);
+
+  bool touchesMemory() const {
+    return World || ArgMemRead || ArgMemWrite || !ReadClasses.empty() ||
+           !WriteClasses.empty() || !ReadGlobals.empty() ||
+           !WriteGlobals.empty();
+  }
+};
+
+/// Whole-module effect analysis: fixpoint over the call graph.
+class EffectAnalysis {
+public:
+  static EffectAnalysis compute(const Module &M);
+
+  const EffectSummary &summaryFor(const Function *F) const;
+  static EffectSummary summaryFor(const NativeDecl *N);
+
+  /// Effect summary of one instruction (calls and global accesses; empty
+  /// for everything else).
+  EffectSummary instructionEffects(const Instruction *Instr) const;
+
+private:
+  std::map<const Function *, EffectSummary> Summaries;
+  static const EffectSummary EmptySummary;
+};
+
+/// Flow-insensitive pointer-origin analysis for one function.
+///
+/// Every ptr value is classified by the set of allocation roots (results of
+/// malloc-like calls) it may carry, or Unknown when it may come from
+/// parameters or non-allocating calls. Two classes may alias when their
+/// root sets intersect or when either is Unknown (against a non-empty or
+/// Unknown class).
+class PtrOrigins {
+public:
+  struct AliasClass {
+    bool Unknown = false;
+    std::set<const Instruction *> Roots;
+
+    bool empty() const { return !Unknown && Roots.empty(); }
+  };
+
+  static PtrOrigins compute(const Function &F, const EffectAnalysis &EA);
+
+  /// Alias class of a ptr-typed operand (constants yield the empty class).
+  AliasClass classOf(const Operand &Op) const;
+
+  static bool mayAlias(const AliasClass &A, const AliasClass &B);
+
+private:
+  AliasClass classOfLocal(unsigned Local) const;
+
+  // Union-find over locals.
+  unsigned find(unsigned Local) const;
+  void unite(unsigned A, unsigned B);
+
+  mutable std::vector<unsigned> UnionParent;
+  std::vector<char> UnknownFlag;                       // per representative
+  std::vector<std::set<const Instruction *>> RootSets; // per representative
+};
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_EFFECTS_H

@@ -1,0 +1,96 @@
+//===- LoopInfo.h - Natural loop detection -----------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from dominator-identified back edges, loop
+/// nesting, and canonical induction-variable recognition. The parallelizing
+/// transforms target one loop; its induction SCC is replicated into every
+/// DOALL thread / pipeline stage, so the loop must expose:
+///
+///  * a single canonical induction local `i = i + step` (constant step),
+///  * a single exit, from the header, comparing i against a loop-invariant
+///    bound (for DOALL's static iteration partitioning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_LOOPINFO_H
+#define COMMSET_ANALYSIS_LOOPINFO_H
+
+#include "commset/Analysis/Dominators.h"
+#include "commset/IR/IR.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace commset {
+
+/// Canonical induction variable of a loop.
+struct InductionVar {
+  /// Local slot holding the induction value.
+  unsigned Local = ~0u;
+  /// Constant per-iteration step.
+  int64_t Step = 0;
+  /// The unique StoreLocal performing the update.
+  Instruction *Update = nullptr;
+  /// The header compare feeding the exit branch (null when the exit is not
+  /// a simple compare against an invariant bound).
+  Instruction *ExitCompare = nullptr;
+};
+
+struct Loop {
+  BasicBlock *Header = nullptr;
+  std::vector<BasicBlock *> Latches;
+  std::set<unsigned> BlockIds;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  unsigned Depth = 1;
+
+  /// Filled by analyzeInduction(); Local == ~0u when not canonical.
+  InductionVar Induction;
+  /// True when the only loop exit is the header's conditional branch.
+  bool SingleHeaderExit = false;
+
+  bool contains(const BasicBlock *BB) const {
+    return BlockIds.count(BB->Id) != 0;
+  }
+  bool contains(const Instruction *Instr) const {
+    return contains(Instr->Parent);
+  }
+  /// True for edges from a block inside the loop to the header (the edges
+  /// cut when computing intra-iteration reachability).
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+    return To == Header && contains(From);
+  }
+};
+
+class LoopInfo {
+public:
+  /// Detects all natural loops of \p F (block ids must be current).
+  static LoopInfo compute(const Function &F, const DomTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+  const std::vector<Loop *> &topLevel() const { return TopLevel; }
+
+  /// Innermost loop containing \p BB (null if none).
+  Loop *loopFor(const BasicBlock *BB) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+};
+
+/// Recognizes the canonical induction variable and the exit shape of
+/// \p L, filling L.Induction and L.SingleHeaderExit. \returns true when a
+/// canonical induction variable was found.
+bool analyzeInduction(const Function &F, Loop &L);
+
+/// \returns true if local \p Local is stored anywhere inside \p L.
+bool localStoredInLoop(const Loop &L, unsigned Local);
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,94 @@
+//===- PDG.h - Program Dependence Graph --------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program Dependence Graph for one target loop (paper §4.3, Ferrante et
+/// al.). Nodes are the loop's instructions. Edge kinds:
+///
+///  * Register   - def/use of an in-block virtual register;
+///  * LocalFlow  - reaching definition of a mutable local into a load,
+///                 flagged loop-carried when the def reaches the use around
+///                 the loop's back edge;
+///  * Memory     - conflict between two memory accesses (calls via their
+///                 effect summaries and argument-memory alias classes,
+///                 global loads/stores); carried when the conflicting state
+///                 persists across iterations (argmem conflicts rooted at
+///                 allocations inside the loop body do not);
+///  * Control    - Ferrante-Ottenstein-Warren control dependence.
+///
+/// The COMMSET Dependence Analyzer (Algorithm 1) later annotates Memory
+/// edges as uco (unconditionally commutative: ignored by transforms) or ico
+/// (inter-iteration commutative: treated as intra-iteration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_PDG_H
+#define COMMSET_ANALYSIS_PDG_H
+
+#include "commset/Analysis/Effects.h"
+#include "commset/Analysis/LoopInfo.h"
+#include "commset/IR/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace commset {
+
+enum class DepKind { Register, LocalFlow, Memory, Control };
+
+/// Commutativity annotation from Algorithm 1.
+enum class CommAnnotation { None, Uco, Ico };
+
+struct PDGEdge {
+  unsigned Src = 0; // Node indices.
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::Register;
+  bool LoopCarried = false;
+  CommAnnotation Comm = CommAnnotation::None;
+  /// Local slot for LocalFlow edges.
+  unsigned LocalId = ~0u;
+};
+
+class PDG {
+public:
+  Function *F = nullptr;
+  const Loop *L = nullptr;
+  /// Loop instructions in program order; the node index is the position.
+  std::vector<Instruction *> Nodes;
+  std::vector<PDGEdge> Edges;
+  /// Instruction id -> node index (-1 when outside the loop).
+  std::vector<int> NodeIndex;
+
+  /// Builds the PDG for \p L inside \p F.
+  static PDG build(Function &F, const Loop &L, const Module &M,
+                   const EffectAnalysis &EA, const PtrOrigins &PO);
+
+  int indexOf(const Instruction *Instr) const {
+    return NodeIndex[Instr->Id];
+  }
+
+  /// True when the edge still orders execution after commutativity
+  /// relaxation (uco edges are treated as non-existent, paper §4.5).
+  bool edgeActive(const PDGEdge &E) const {
+    return E.Comm != CommAnnotation::Uco;
+  }
+
+  /// True when the edge still carries an inter-iteration constraint after
+  /// relaxation (ico edges demote to intra-iteration).
+  bool edgeCarried(const PDGEdge &E) const {
+    return E.LoopCarried && E.Comm == CommAnnotation::None;
+  }
+
+  /// Active-edge adjacency (successors) as node-index lists.
+  std::vector<std::vector<unsigned>> activeAdjacency() const;
+
+  /// Debug rendering: one line per edge with node descriptions.
+  std::string dump() const;
+};
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_PDG_H

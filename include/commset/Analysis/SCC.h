@@ -1,0 +1,49 @@
+//===- SCC.h - Strongly connected components over the PDG -------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan SCC over the commutativity-relaxed PDG and the DAG-SCC used by
+/// the DSWP family of transforms (paper §4.4/§4.5): uco edges are treated
+/// as non-existent, ico edges as intra-iteration. An SCC with no remaining
+/// internal loop-carried edge can be replicated into a parallel stage
+/// (PS-DSWP) or, if no carried edge remains anywhere, run DOALL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_SCC_H
+#define COMMSET_ANALYSIS_SCC_H
+
+#include "commset/Analysis/PDG.h"
+
+#include <set>
+#include <vector>
+
+namespace commset {
+
+struct SCCResult {
+  /// Node index -> SCC id.
+  std::vector<unsigned> ComponentOf;
+  /// SCC id -> member node indices (program order).
+  std::vector<std::vector<unsigned>> Components;
+  /// DAG edges between SCCs over active edges.
+  std::vector<std::set<unsigned>> DagSuccs;
+  /// SCC ids in topological order (sources first).
+  std::vector<unsigned> TopoOrder;
+  /// SCC has an internal carried (non-relaxed) dependence: it must run
+  /// sequentially, one iteration after another.
+  std::vector<char> HasCarried;
+
+  unsigned numComponents() const {
+    return static_cast<unsigned>(Components.size());
+  }
+};
+
+/// Computes SCCs of \p G over active edges (uco dropped; ico kept as intra).
+SCCResult computeSCCs(const PDG &G);
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_SCC_H

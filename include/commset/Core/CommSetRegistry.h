@@ -1,0 +1,90 @@
+//===- CommSetRegistry.h - COMMSET metadata manager --------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The COMMSET Metadata Manager (paper §4.2): collects declared sets,
+/// predicates and nosync attributes from the program, expands implicit SELF
+/// memberships into per-member singleton self sets, and answers the queries
+/// later passes pose — most importantly, in which sets a given *pair* of
+/// callees commutes:
+///
+///  * Group set: two distinct members commute; a member does not commute
+///    with itself.
+///  * Self set: a member commutes with dynamic instances of itself; two
+///    distinct members of the same self set do not commute through it.
+///
+/// Each set receives a unique rank (declaration order) which the
+/// synchronization engine uses as the global lock-acquisition order
+/// guaranteeing deadlock freedom (paper §4.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CORE_COMMSETREGISTRY_H
+#define COMMSET_CORE_COMMSETREGISTRY_H
+
+#include "commset/IR/IR.h"
+#include "commset/Lang/AST.h"
+#include "commset/Support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class CommSetRegistry {
+public:
+  struct SetInfo {
+    unsigned Id = 0;
+    std::string Name;
+    CommSetKind Kind = CommSetKind::Group;
+    /// Predicate declaration (owned by the Program); null if unpredicated.
+    const PredicateDecl *Pred = nullptr;
+    bool NoSync = false;
+    /// Global lock-acquisition rank.
+    unsigned Rank = 0;
+  };
+
+  /// One membership of a callee: the set and which of the callee's
+  /// parameters bind the predicate arguments.
+  struct Membership {
+    unsigned SetId = 0;
+    std::vector<unsigned> ArgParams;
+  };
+
+  /// Builds the registry from program declarations and module member
+  /// metadata. \p P must outlive the registry (predicate ASTs are shared).
+  static CommSetRegistry build(const Program &P, const Module &M,
+                               DiagnosticEngine &Diags);
+
+  const std::vector<SetInfo> &sets() const { return Sets; }
+  const SetInfo &set(unsigned Id) const { return Sets[Id]; }
+  int findSet(const std::string &Name) const;
+
+  /// Memberships of the callee named \p Callee (function or native).
+  const std::vector<Membership> &membershipsOf(const std::string &Callee)
+      const;
+
+  /// Set ids through which calls to \p F and \p G may commute as a pair
+  /// (F == G uses self semantics, otherwise group semantics).
+  std::vector<unsigned> commutingSets(const std::string &F,
+                                      const std::string &G) const;
+
+  /// All callee names having at least one membership.
+  std::vector<std::string> memberCallees() const;
+
+private:
+  unsigned getOrCreateSet(const std::string &Name, CommSetKind Kind);
+
+  std::vector<SetInfo> Sets;
+  std::map<std::string, unsigned> SetIdByName;
+  std::map<std::string, std::vector<Membership>> Memberships;
+  static const std::vector<Membership> NoMemberships;
+};
+
+} // namespace commset
+
+#endif // COMMSET_CORE_COMMSETREGISTRY_H

@@ -1,0 +1,48 @@
+//===- DepAnalysis.h - CommSetDepAnalysis (Algorithm 1) ----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The COMMSET Dependence Analyzer (paper §4.4, Algorithm 1). For every
+/// memory dependence edge between two call nodes whose callees share a
+/// COMMSET:
+///
+///  * unpredicated set               -> annotate uco;
+///  * predicated set: bind the call actuals to the COMMSETPREDICATE
+///    formals, symbolically interpret the predicate under the
+///    induction-variable facts (i1 != i2 for loop-carried edges), and if
+///    provably true annotate:
+///      - loop-carried edge, destination dominates source -> uco,
+///      - loop-carried edge otherwise                      -> ico,
+///      - intra-iteration edge                             -> uco.
+///
+/// uco edges are ignored by the transforms; ico edges demote to
+/// intra-iteration (paper §4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CORE_DEPANALYSIS_H
+#define COMMSET_CORE_DEPANALYSIS_H
+
+#include "commset/Analysis/Dominators.h"
+#include "commset/Analysis/PDG.h"
+#include "commset/Core/CommSetRegistry.h"
+
+namespace commset {
+
+struct DepAnalysisStats {
+  unsigned Examined = 0;
+  unsigned UcoEdges = 0;
+  unsigned IcoEdges = 0;
+};
+
+/// Annotates the Memory edges of \p G in place. \p DT must be the dominator
+/// tree of G's function.
+DepAnalysisStats annotateCommutativity(PDG &G, const DomTree &DT,
+                                       const CommSetRegistry &Registry);
+
+} // namespace commset
+
+#endif // COMMSET_CORE_DEPANALYSIS_H

@@ -1,0 +1,95 @@
+//===- PredicateInterp.h - Symbolic predicate interpretation ----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic interpreter for COMMSETPREDICATE expressions (paper §4.4,
+/// SymInterpret in Algorithm 1). The dependence analyzer binds the
+/// predicate's formal parameters to symbolic values of the actual arguments
+/// in two execution contexts and asks whether the predicate is *provably*
+/// true given the induction-variable facts:
+///
+///  * across two different iterations: IndVar@1 != IndVar@2;
+///  * within one iteration: IndVar@1 == IndVar@2.
+///
+/// Values are affine offsets of symbolic variables, exact constants, or
+/// opaque terms; evaluation is three-valued (True / False / Unknown).
+/// Only a True result relaxes a dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CORE_PREDICATEINTERP_H
+#define COMMSET_CORE_PREDICATEINTERP_H
+
+#include "commset/Lang/AST.h"
+
+#include <map>
+#include <string>
+
+namespace commset {
+
+enum class TriBool { False, True, Unknown };
+
+/// A symbolic scalar value.
+struct SymValue {
+  enum class Kind {
+    /// Var(VarId) + Offset. VarId identifies a symbolic variable *instance*
+    /// (e.g. "induction local in context 1").
+    Affine,
+    ConstInt,
+    ConstFloat,
+    /// A value about which nothing is known.
+    Opaque,
+  };
+  Kind K = Kind::Opaque;
+  unsigned VarId = 0;
+  int64_t Offset = 0; // Affine offset or integer constant value.
+  double FloatVal = 0.0;
+
+  static SymValue affine(unsigned VarId, int64_t Offset = 0) {
+    SymValue V;
+    V.K = Kind::Affine;
+    V.VarId = VarId;
+    V.Offset = Offset;
+    return V;
+  }
+  static SymValue constInt(int64_t Value) {
+    SymValue V;
+    V.K = Kind::ConstInt;
+    V.Offset = Value;
+    return V;
+  }
+  static SymValue constFloat(double Value) {
+    SymValue V;
+    V.K = Kind::ConstFloat;
+    V.FloatVal = Value;
+    return V;
+  }
+  static SymValue opaque() { return SymValue(); }
+};
+
+/// Facts about symbolic variables available during evaluation.
+struct SymFacts {
+  /// Pairs of variable ids known to hold different values (the Algorithm 1
+  /// assertion "i1 != i2" for induction variables on separate iterations).
+  std::vector<std::pair<unsigned, unsigned>> Distinct;
+
+  bool knownDistinct(unsigned A, unsigned B) const {
+    for (auto [X, Y] : Distinct)
+      if ((X == A && Y == B) || (X == B && Y == A))
+        return true;
+    return false;
+  }
+};
+
+/// Evaluates \p Pred under \p Env (formal name -> symbolic value) and
+/// \p Facts with three-valued logic.
+TriBool evalPredicate(const Expr *Pred,
+                      const std::map<std::string, SymValue> &Env,
+                      const SymFacts &Facts);
+
+} // namespace commset
+
+#endif // COMMSET_CORE_PREDICATEINTERP_H

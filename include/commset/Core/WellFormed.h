@@ -1,0 +1,43 @@
+//===- WellFormed.h - COMMSET well-formedness checks -------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module COMMSET well-formedness (paper §3.1):
+///
+///  * Well-defined members: no transitive call from one member of a set to
+///    another member of the same set (removes caller/callee commutativity
+///    ambiguity and simplifies deadlock-freedom reasoning).
+///  * Well-formed set collection: the COMMSET graph (edge S1 -> S2 when a
+///    member of S1 transitively calls a member of S2) is acyclic.
+///
+/// The structured-control-flow member condition is enforced earlier by
+/// Sema. With these checks passing, rank-ordered lock acquisition in the
+/// synchronization engine guarantees deadlock freedom (paper §4.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CORE_WELLFORMED_H
+#define COMMSET_CORE_WELLFORMED_H
+
+#include "commset/Analysis/CallGraph.h"
+#include "commset/Core/CommSetRegistry.h"
+#include "commset/Support/Diagnostics.h"
+
+namespace commset {
+
+/// Runs both checks; reports problems to \p Diags. \returns true if the
+/// module's COMMSETs are well formed.
+bool checkWellFormed(const Module &M, const CommSetRegistry &Registry,
+                     const CallGraph &CG, DiagnosticEngine &Diags);
+
+/// Builds the COMMSET graph: adjacency over set ids.
+std::vector<std::set<unsigned>>
+buildCommSetGraph(const Module &M, const CommSetRegistry &Registry,
+                  const CallGraph &CG);
+
+} // namespace commset
+
+#endif // COMMSET_CORE_WELLFORMED_H

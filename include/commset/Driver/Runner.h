@@ -1,0 +1,74 @@
+//===- Runner.h - Scheme selection and program execution --------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bench- and tool-facing driver: builds every applicable parallelization
+/// scheme for a target loop (the paper's compiler emits one of each of
+/// DOALL / DSWP / PS-DSWP with a performance estimate), runs a chosen
+/// scheme on the threaded platform (correctness) or the multicore
+/// simulator (performance), and reports virtual/wall time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_DRIVER_RUNNER_H
+#define COMMSET_DRIVER_RUNNER_H
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Exec/NativeRegistry.h"
+#include "commset/Sim/SimPlatform.h"
+#include "commset/Transform/Planner.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// One transform's outcome on a loop.
+struct SchemeReport {
+  Strategy Kind = Strategy::Sequential;
+  bool Applicable = false;
+  std::string WhyNot;
+  std::optional<ParallelPlan> Plan;
+};
+
+/// Runs DOALL, DSWP and PS-DSWP on the analyzed loop; always also returns
+/// the (trivially applicable) sequential scheme first.
+std::vector<SchemeReport> buildAllSchemes(Compilation &C,
+                                          Compilation::LoopTarget &T,
+                                          const PlanOptions &Opts);
+
+/// Picks the applicable scheme with the best estimated speedup.
+const SchemeReport *bestScheme(const std::vector<SchemeReport> &Schemes);
+
+struct RunConfig {
+  /// Null plan = sequential execution.
+  const ParallelPlan *Plan = nullptr;
+  /// True: run under the multicore simulator and report virtual time.
+  /// False: run on real threads and report wall time.
+  bool Simulate = true;
+  SimParams Sim;
+};
+
+struct RunOutcome {
+  RtValue Result;
+  uint64_t VirtualNs = 0;
+  uint64_t WallNs = 0;
+  uint64_t Iterations = 0;
+  uint64_t TmAborts = 0;
+  uint64_t LockContentions = 0;
+};
+
+/// Executes \p F (the analyzed loop's function) with \p Args over a fresh
+/// global image.
+RunOutcome runScheme(Compilation &C, const Function *F,
+                     const std::vector<RtValue> &Args,
+                     const NativeRegistry &Natives, const RunConfig &Config);
+
+} // namespace commset
+
+#endif // COMMSET_DRIVER_RUNNER_H

@@ -1,0 +1,92 @@
+//===- ExecPlatform.h - Platform abstraction for parallel runs --*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel executors (DOALL and pipeline workers) are written once
+/// against this interface and driven by two platforms:
+///
+///  * ThreadedPlatform (Exec) — real std::thread workers, lock-free SPSC
+///    queues, real locks/STM; charge() is a no-op. Used for functional
+///    correctness on real hardware.
+///  * SimPlatform (Sim) — a conservative discrete-event multicore
+///    simulator: every thread carries a virtual clock; queue, lock and TM
+///    interactions are ordered by virtual time. Used to regenerate the
+///    paper's speedup figures on hosts without 8 cores.
+///
+/// Exactly one queue exists per ordered thread pair; both endpoints
+/// process their pair's traffic in the same deterministic order, so value
+/// identity is positional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_EXECPLATFORM_H
+#define COMMSET_EXEC_EXECPLATFORM_H
+
+#include "commset/Exec/RtValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class ExecPlatform {
+public:
+  virtual ~ExecPlatform() = default;
+
+  /// Sends a value from thread \p From to thread \p To (FIFO per pair).
+  virtual void send(unsigned From, unsigned To, RtValue Value) = 0;
+
+  /// Receives the next value on the (From, To) channel; blocks until
+  /// available.
+  virtual RtValue recv(unsigned From, unsigned To) = 0;
+
+  /// Charges \p Ns of virtual compute time to \p Thread (no-op on the
+  /// threaded platform).
+  virtual void charge(unsigned Thread, uint64_t Ns) = 0;
+
+  /// COMMSET member entry/exit: acquires/releases the ranked lock set
+  /// (already sorted ascending).
+  virtual void lockEnter(unsigned Thread,
+                         const std::vector<unsigned> &Ranks) = 0;
+  virtual void lockExit(unsigned Thread,
+                        const std::vector<unsigned> &Ranks) = 0;
+
+  /// Optimistic member execution (TM mode): called instead of
+  /// lockEnter/lockExit. txBegin returns the attempt number; txCommit
+  /// returns false when the attempt must retry. The simulated platform
+  /// models conflicts internally; the threaded platform performs real STM
+  /// through the interpreter's transactional global accesses.
+  virtual void txBegin(unsigned Thread) = 0;
+  virtual bool txCommit(unsigned Thread,
+                        const std::vector<unsigned> &Ranks,
+                        uint64_t MemberCostNs) = 0;
+
+  /// Serialized native resource (thread-safe library internals, e.g. the
+  /// file system or the console). Calls touching the same resource
+  /// serialize against each other.
+  virtual void resourceEnter(unsigned Thread, const std::string &Name) = 0;
+  virtual void resourceExit(unsigned Thread, const std::string &Name) = 0;
+
+  /// Marks a worker finished (lets the simulator exclude it from the
+  /// minimum-time gate).
+  virtual void threadDone(unsigned Thread) = 0;
+
+  /// Parallel-region brackets: workers fork from / join into
+  /// \p MasterThread. The simulator aligns the workers' virtual clocks with
+  /// the master at fork and advances the master to the slowest worker at
+  /// join.
+  virtual void regionBegin(unsigned MasterThread) {}
+  virtual void regionEnd(unsigned MasterThread) {}
+
+  /// Elapsed virtual nanoseconds (simulator) — the maximum over thread
+  /// clocks; the threaded platform returns 0 (callers measure wall time).
+  virtual uint64_t elapsedNs() const = 0;
+};
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_EXECPLATFORM_H

@@ -1,0 +1,105 @@
+//===- Interpreter.h - IR interpreter ----------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-walking interpreter for the IR. One instance runs per worker
+/// thread; the module's global slots are shared across instances. The
+/// interpreter implements the synchronization the paper's engine inserts:
+/// calls to COMMSET member functions acquire the member's rank-ordered
+/// lock set (pessimistic modes) or run as transactions over interpreted
+/// global state (TM mode), and everything charges virtual time through the
+/// platform when one is attached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_INTERPRETER_H
+#define COMMSET_EXEC_INTERPRETER_H
+
+#include "commset/Exec/ExecPlatform.h"
+#include "commset/Exec/NativeRegistry.h"
+#include "commset/Exec/RtValue.h"
+#include "commset/IR/IR.h"
+#include "commset/Runtime/Stm.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Execution frame of one function activation.
+struct Frame {
+  std::vector<RtValue> Locals;
+  std::vector<RtValue> Regs; // Indexed by instruction id.
+};
+
+/// Per-thread synchronization context shared by the interpreters of one
+/// parallel region.
+struct SyncContext {
+  SyncMode Mode = SyncMode::None;
+  /// Member name -> lock ranks / TM eligibility (from the plan). Null when
+  /// running sequentially.
+  const std::map<std::string, MemberSyncInfo> *Members = nullptr;
+  CommSetLockManager *Locks = nullptr;
+  StmSpace *StmState = nullptr;
+};
+
+class Interpreter {
+public:
+  Interpreter(const Module &M, const NativeRegistry &Natives,
+              RtValue *Globals, SyncContext Sync = {},
+              ExecPlatform *Platform = nullptr, unsigned ThreadId = 0)
+      : M(M), Natives(Natives), Globals(Globals), Sync(Sync),
+        Platform(Platform), ThreadId(ThreadId) {}
+
+  /// Calls \p F with \p Args; runs to completion.
+  RtValue call(const Function *F, const std::vector<RtValue> &Args);
+
+  /// Builds a frame for \p F with arguments bound (used by loop executors
+  /// that drive control themselves).
+  Frame makeFrame(const Function *F, const std::vector<RtValue> &Args) const;
+
+  /// Evaluates an operand against \p Fr.
+  RtValue evalOperand(const Frame &Fr, const Operand &Op) const;
+
+  /// Executes one non-terminator instruction (full effects: member
+  /// synchronization around calls, platform charging). Loop executors call
+  /// this for instructions they own.
+  void execInstr(Frame &Fr, const Instruction *Instr);
+
+  /// Fixed virtual cost (ns) of a non-call instruction.
+  static uint64_t opCost(const Instruction *Instr);
+
+  unsigned threadId() const { return ThreadId; }
+  ExecPlatform *platform() const { return Platform; }
+  const NativeRegistry &natives() const { return Natives; }
+
+private:
+  RtValue execBody(const Function *F, Frame &Fr);
+  RtValue execCall(Frame &Fr, const Instruction *Instr);
+  RtValue execCallNative(Frame &Fr, const Instruction *Instr);
+  RtValue invokeMember(const Instruction *Instr,
+                       const std::vector<RtValue> &Args,
+                       const MemberSyncInfo &Info);
+  RtValue invokeDirect(const Instruction *Instr,
+                       const std::vector<RtValue> &Args);
+
+  const Module &M;
+  const NativeRegistry &Natives;
+  RtValue *Globals;
+  SyncContext Sync;
+  ExecPlatform *Platform;
+  unsigned ThreadId;
+
+  /// Active transaction (TM mode member execution); global accesses are
+  /// redirected through it.
+  Stm *CurrentTx = nullptr;
+};
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_INTERPRETER_H

@@ -1,0 +1,57 @@
+//===- LoopExecutors.h - DOALL and pipeline execution -----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a function whose target loop runs under a ParallelPlan:
+///
+///  * DOALL — workers run whole iterations round-robin with a privatized
+///    induction variable (start offset + step scaled by the thread count).
+///  * DSWP / PS-DSWP — every stage thread traces the loop's control flow;
+///    owned instructions execute in their stage, cross-stage values flow
+///    through per-thread-pair FIFOs, control (terminators, induction SCC,
+///    header closure) is replicated, and per-iteration tokens between
+///    adjacent stages order cross-stage memory effects. A PS-DSWP parallel
+///    stage is replicated; replicas fully trace only their assigned
+///    iterations and fast-forward the rest.
+///
+/// The same worker code runs on the real-thread platform (correctness) and
+/// under the discrete-event simulator (performance), selected by the
+/// ExecPlatform instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_LOOPEXECUTORS_H
+#define COMMSET_EXEC_LOOPEXECUTORS_H
+
+#include "commset/Exec/ExecPlatform.h"
+#include "commset/Exec/Interpreter.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <cstdint>
+
+namespace commset {
+
+struct LoopRunStats {
+  uint64_t Iterations = 0;
+};
+
+/// Runs \p F (the plan's function) with \p Args: sequential interpretation
+/// outside the target loop, plan-directed execution inside it. \p Globals
+/// must hold Module.Globals.size() slots. For Strategy::Sequential the
+/// whole function is interpreted on thread 0 of \p Platform.
+RtValue runFunctionWithPlan(const Module &M, const NativeRegistry &Natives,
+                            RtValue *Globals, const ParallelPlan &Plan,
+                            const Function *F,
+                            const std::vector<RtValue> &Args,
+                            ExecPlatform &Platform,
+                            LoopRunStats *Stats = nullptr);
+
+/// Initializes a fresh global image from the module's initializers.
+std::vector<RtValue> makeGlobalImage(const Module &M);
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_LOOPEXECUTORS_H

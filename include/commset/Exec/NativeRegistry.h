@@ -1,0 +1,101 @@
+//===- NativeRegistry.h - Host-registered native kernels ---------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host applications implement a program's extern functions as native C++
+/// kernels and register them here. Each kernel optionally declares a
+/// virtual-time cost model (nanoseconds as a function of its arguments),
+/// which the discrete-event multicore simulator charges instead of wall
+/// time; see src/sim. Kernels invoked from parallel schedules must be
+/// thread safe for exactly the concurrency the program's COMMSET
+/// annotations permit — the synchronization engine inserts member-level
+/// locking, everything else runs concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_NATIVEREGISTRY_H
+#define COMMSET_EXEC_NATIVEREGISTRY_H
+
+#include "commset/Exec/RtValue.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Native kernel: receives evaluated arguments, returns the result (zeroed
+/// for void kernels).
+using NativeFn = std::function<RtValue(const RtValue *Args, unsigned N)>;
+
+/// Virtual-time cost (ns) of one invocation, given the same arguments. May
+/// be called before or after the kernel itself; must be pure.
+using NativeCostFn = std::function<uint64_t(const RtValue *Args, unsigned N)>;
+
+class NativeRegistry {
+public:
+  void add(const std::string &Name, NativeFn Fn, uint64_t FixedCostNs = 100,
+           std::string SerialResource = {}) {
+    Impls[Name] = {std::move(Fn),
+                   [FixedCostNs](const RtValue *, unsigned) {
+                     return FixedCostNs;
+                   },
+                   std::move(SerialResource)};
+  }
+
+  void add(const std::string &Name, NativeFn Fn, NativeCostFn Cost,
+           std::string SerialResource = {}) {
+    Impls[Name] = {std::move(Fn), std::move(Cost),
+                   std::move(SerialResource)};
+  }
+
+  /// Name of the serialized hardware/library resource this kernel uses
+  /// (e.g. "fs", "console"); empty when fully concurrent. Calls touching
+  /// the same resource serialize, modelling the internal locking of the
+  /// paper's thread-safe libraries ("Lib" mode).
+  const std::string &serialResourceOf(const std::string &Name) const {
+    auto It = Impls.find(Name);
+    return It->second.SerialResource;
+  }
+
+  bool has(const std::string &Name) const { return Impls.count(Name) != 0; }
+
+  RtValue invoke(const std::string &Name, const RtValue *Args,
+                 unsigned N) const {
+    auto It = Impls.find(Name);
+    return It->second.Fn(Args, N);
+  }
+
+  uint64_t costOf(const std::string &Name, const RtValue *Args,
+                  unsigned N) const {
+    auto It = Impls.find(Name);
+    return It->second.Cost(Args, N);
+  }
+
+  /// Names with no registered implementation among \p Required.
+  std::vector<std::string>
+  missing(const std::vector<std::string> &Required) const {
+    std::vector<std::string> Result;
+    for (const std::string &Name : Required)
+      if (!has(Name))
+        Result.push_back(Name);
+    return Result;
+  }
+
+private:
+  struct Impl {
+    NativeFn Fn;
+    NativeCostFn Cost;
+    std::string SerialResource;
+  };
+  std::map<std::string, Impl> Impls;
+};
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_NATIVEREGISTRY_H

@@ -1,0 +1,49 @@
+//===- RtValue.h - Runtime scalar values --------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime representation of IR scalars. The IR is statically typed, so an
+/// untagged union suffices; interpreters index frames by local slot and
+/// instruction id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_RTVALUE_H
+#define COMMSET_EXEC_RTVALUE_H
+
+#include <cstdint>
+
+namespace commset {
+
+struct RtValue {
+  union {
+    int64_t I;
+    double D;
+    void *P;
+    uint64_t Bits;
+  };
+
+  RtValue() : I(0) {}
+  static RtValue ofInt(int64_t V) {
+    RtValue R;
+    R.I = V;
+    return R;
+  }
+  static RtValue ofDouble(double V) {
+    RtValue R;
+    R.D = V;
+    return R;
+  }
+  static RtValue ofPtr(void *V) {
+    RtValue R;
+    R.P = V;
+    return R;
+  }
+};
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_RTVALUE_H

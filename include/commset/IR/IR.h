@@ -1,0 +1,329 @@
+//===- IR.h - COMMSET compiler intermediate representation ------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler IR the COMMSET passes run over. It is a small, typed,
+/// non-SSA register machine:
+///
+///  * Instruction results are virtual registers usable only later in the
+///    same basic block; values that cross blocks (and iterations) live in
+///    named mutable *locals* accessed via LoadLocal/StoreLocal. This makes
+///    loop-carried scalar dependences explicit def/use facts on locals.
+///  * Module-level scalar state lives in globals (LoadGlobal/StoreGlobal).
+///  * Heavy computation happens in native kernels (CallNative) registered by
+///    the host application; each native declaration carries a MemoryEffects
+///    summary standing in for what LLVM knows about library calls.
+///  * After lowering, every COMMSET member is a function (paper §4.2); a
+///    function's MemberInstances record which sets it belongs to and which
+///    of its parameters bind the set's predicate arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_IR_IR_H
+#define COMMSET_IR_IR_H
+
+#include "commset/Support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class BasicBlock;
+class Function;
+class Module;
+struct NativeDecl;
+
+/// IR value types. Str literals lower to Ptr constants into the module
+/// string table.
+enum class IRType : uint8_t { Void, I64, F64, Ptr };
+
+const char *irTypeName(IRType Type);
+
+enum class Opcode : uint8_t {
+  // Binary arithmetic; the instruction Type selects I64 vs F64 semantics.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  // Comparisons produce I64 0/1; operand type inferred from operands.
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Unary.
+  Neg,
+  Not,
+  IntToFp,
+  FpToInt,
+  // Storage.
+  LoadLocal,
+  StoreLocal,
+  LoadGlobal,
+  StoreGlobal,
+  // Calls.
+  Call,
+  CallNative,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+};
+
+const char *opcodeName(Opcode Op);
+bool isTerminator(Opcode Op);
+bool isCall(Opcode Op);
+
+class Instruction;
+
+/// An instruction operand: a register (result of an earlier instruction in
+/// the same block) or an immediate constant.
+struct Operand {
+  enum class Kind : uint8_t {
+    None,
+    Instr,
+    ConstInt,
+    ConstFloat,
+    ConstStr,
+    ConstNull
+  };
+  Kind K = Kind::None;
+  Instruction *Def = nullptr;
+  int64_t IntVal = 0;
+  double FloatVal = 0.0;
+  unsigned StrId = 0;
+
+  static Operand instr(Instruction *Def) {
+    Operand Op;
+    Op.K = Kind::Instr;
+    Op.Def = Def;
+    return Op;
+  }
+  static Operand constInt(int64_t Value) {
+    Operand Op;
+    Op.K = Kind::ConstInt;
+    Op.IntVal = Value;
+    return Op;
+  }
+  static Operand constFloat(double Value) {
+    Operand Op;
+    Op.K = Kind::ConstFloat;
+    Op.FloatVal = Value;
+    return Op;
+  }
+  static Operand constStr(unsigned StrId) {
+    Operand Op;
+    Op.K = Kind::ConstStr;
+    Op.StrId = StrId;
+    return Op;
+  }
+  static Operand constNull() {
+    Operand Op;
+    Op.K = Kind::ConstNull;
+    return Op;
+  }
+
+  bool isInstr() const { return K == Kind::Instr; }
+  bool isConst() const { return K != Kind::Instr && K != Kind::None; }
+};
+
+/// One IR instruction. A single concrete class discriminated by opcode; the
+/// per-opcode payload fields (SlotId, Callee, Native, successors) are only
+/// meaningful for the corresponding opcodes.
+class Instruction {
+public:
+  Instruction(Opcode Op, IRType Type) : Op(Op), Type(Type) {}
+
+  Opcode op() const { return Op; }
+  IRType type() const { return Type; }
+
+  /// Dense per-function id assigned by Function::numberInstructions(); used
+  /// as the PDG node index.
+  unsigned Id = ~0u;
+
+  BasicBlock *Parent = nullptr;
+  std::vector<Operand> Operands;
+  SourceLoc Loc;
+
+  /// LoadLocal/StoreLocal: local index. LoadGlobal/StoreGlobal: global index.
+  unsigned SlotId = ~0u;
+  /// Call: resolved callee.
+  Function *Callee = nullptr;
+  /// CallNative: resolved native declaration.
+  NativeDecl *Native = nullptr;
+  /// Br: Succ0. CondBr: Succ0 = true edge, Succ1 = false edge.
+  BasicBlock *Succ0 = nullptr;
+  BasicBlock *Succ1 = nullptr;
+
+  bool isTerminator() const { return commset::isTerminator(Op); }
+  bool isCall() const { return commset::isCall(Op); }
+
+  /// \returns true if this instruction produces a register value.
+  bool producesValue() const { return Type != IRType::Void; }
+
+private:
+  Opcode Op;
+  IRType Type;
+};
+
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  Function *Parent;
+  std::string Name;
+  unsigned Id = ~0u;
+  std::vector<std::unique_ptr<Instruction>> Instrs;
+
+  Instruction *terminator() const {
+    if (Instrs.empty() || !Instrs.back()->isTerminator())
+      return nullptr;
+    return Instrs.back().get();
+  }
+
+  /// Successors derived from the terminator (empty for Ret or unterminated).
+  std::vector<BasicBlock *> successors() const;
+
+  Instruction *append(std::unique_ptr<Instruction> Instr) {
+    Instr->Parent = this;
+    Instrs.push_back(std::move(Instr));
+    return Instrs.back().get();
+  }
+};
+
+struct LocalVar {
+  std::string Name;
+  IRType Type;
+};
+
+/// COMMSET membership of a function (paper: after extraction all members are
+/// functions). ArgParams gives, for a predicated set, the parameter indices
+/// of this function that bind the COMMSETPREDICATE parameters in order.
+struct MemberInstance {
+  std::string SetName;
+  std::vector<unsigned> ArgParams;
+  SourceLoc Loc;
+};
+
+class Function {
+public:
+  Function(std::string Name, IRType ReturnType)
+      : Name(std::move(Name)), ReturnType(ReturnType) {}
+
+  std::string Name;
+  IRType ReturnType;
+  /// Parameters are the first NumParams locals.
+  unsigned NumParams = 0;
+  std::vector<LocalVar> Locals;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<MemberInstance> Members;
+  /// True for functions synthesized by commutative-region extraction.
+  bool IsRegion = false;
+  SourceLoc Loc;
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  BasicBlock *makeBlock(std::string BlockName);
+
+  unsigned addLocal(std::string LocalName, IRType Type) {
+    Locals.push_back({std::move(LocalName), Type});
+    return static_cast<unsigned>(Locals.size() - 1);
+  }
+
+  /// Cached instruction count from the last numberInstructions() run
+  /// (frames are sized from it; executors must not renumber concurrently).
+  unsigned NumInstrs = 0;
+
+  /// Assigns dense ids to blocks and instructions; returns the instruction
+  /// count. Must be re-run after structural changes before analyses.
+  unsigned numberInstructions();
+
+  /// All instructions in block order. Valid after numberInstructions().
+  std::vector<Instruction *> instructions() const;
+
+  /// Predecessor lists indexed by block id. Valid after
+  /// numberInstructions().
+  std::vector<std::vector<BasicBlock *>> predecessors() const;
+};
+
+/// Memory-effect summary for a native kernel: our stand-in for what LLVM
+/// knows about library calls. Named classes are interned in the module
+/// (e.g. "fs", "console", "rng"); the workload author declares them with
+/// `#pragma commset effects(fn, ...)`.
+struct MemoryEffects {
+  bool Pure = false;
+  /// Returns a fresh, non-aliased memory object (allocator-like).
+  bool Malloc = false;
+  /// May read/write memory reachable from its ptr arguments.
+  bool ArgMemRead = false;
+  bool ArgMemWrite = false;
+  std::set<unsigned> ReadClasses;
+  std::set<unsigned> WriteClasses;
+  /// Set when no effects were declared: conservatively reads and writes the
+  /// whole world (every class and all argument memory).
+  bool World = true;
+
+  bool readsAnything() const {
+    return World || ArgMemRead || !ReadClasses.empty();
+  }
+  bool writesAnything() const {
+    return World || ArgMemWrite || !WriteClasses.empty();
+  }
+};
+
+struct NativeDecl {
+  std::string Name;
+  IRType ReturnType;
+  std::vector<IRType> ParamTypes;
+  MemoryEffects Effects;
+  /// Interface commutativity on library calls (e.g. the paper's GETI
+  /// SetBit/GetBit predicated on the key).
+  std::vector<MemberInstance> Members;
+  SourceLoc Loc;
+};
+
+struct GlobalVar {
+  std::string Name;
+  IRType Type;
+  int64_t IntInit = 0;
+  double FloatInit = 0.0;
+};
+
+class Module {
+public:
+  std::vector<GlobalVar> Globals;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<NativeDecl>> Natives;
+  std::vector<std::string> StringTable;
+  /// Names of declared memory-effect classes, indexed by class id.
+  std::vector<std::string> EffectClasses;
+
+  Function *findFunction(const std::string &Name) const;
+  NativeDecl *findNative(const std::string &Name) const;
+  int findGlobal(const std::string &Name) const;
+
+  unsigned internString(const std::string &Text);
+  unsigned internEffectClass(const std::string &Name);
+
+  Function *makeFunction(std::string Name, IRType ReturnType);
+  NativeDecl *makeNative(std::string Name, IRType ReturnType,
+                         std::vector<IRType> ParamTypes);
+};
+
+} // namespace commset
+
+#endif // COMMSET_IR_IR_H

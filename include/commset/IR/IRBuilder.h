@@ -1,0 +1,72 @@
+//===- IRBuilder.h - Convenience IR construction -----------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder that appends instructions to a current insertion block. Used by
+/// AST lowering and by tests that construct IR directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_IR_IRBUILDER_H
+#define COMMSET_IR_IRBUILDER_H
+
+#include "commset/IR/IR.h"
+
+namespace commset {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertBlock(BasicBlock *BB) { Block = BB; }
+  BasicBlock *insertBlock() const { return Block; }
+  Module &module() const { return M; }
+
+  /// \returns true if the current block already ends in a terminator (the
+  /// lowering of `return` inside an if, for example).
+  bool blockTerminated() const {
+    return Block && Block->terminator() != nullptr;
+  }
+
+  Instruction *createBinary(Opcode Op, IRType Type, Operand LHS, Operand RHS,
+                            SourceLoc Loc = {});
+  Instruction *createCompare(Opcode Op, Operand LHS, Operand RHS,
+                             SourceLoc Loc = {});
+  Instruction *createNeg(IRType Type, Operand Value, SourceLoc Loc = {});
+  Instruction *createNot(Operand Value, SourceLoc Loc = {});
+  Instruction *createIntToFp(Operand Value, SourceLoc Loc = {});
+  Instruction *createFpToInt(Operand Value, SourceLoc Loc = {});
+
+  Instruction *createLoadLocal(unsigned LocalId, IRType Type,
+                               SourceLoc Loc = {});
+  Instruction *createStoreLocal(unsigned LocalId, Operand Value,
+                                SourceLoc Loc = {});
+  Instruction *createLoadGlobal(unsigned GlobalId, IRType Type,
+                                SourceLoc Loc = {});
+  Instruction *createStoreGlobal(unsigned GlobalId, Operand Value,
+                                 SourceLoc Loc = {});
+
+  Instruction *createCall(Function *Callee, std::vector<Operand> Args,
+                          SourceLoc Loc = {});
+  Instruction *createCallNative(NativeDecl *Native, std::vector<Operand> Args,
+                                SourceLoc Loc = {});
+
+  Instruction *createBr(BasicBlock *Target, SourceLoc Loc = {});
+  Instruction *createCondBr(Operand Cond, BasicBlock *TrueBB,
+                            BasicBlock *FalseBB, SourceLoc Loc = {});
+  Instruction *createRet(Operand Value, SourceLoc Loc = {});
+  Instruction *createRetVoid(SourceLoc Loc = {});
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> Instr, SourceLoc Loc);
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace commset
+
+#endif // COMMSET_IR_IRBUILDER_H

@@ -1,0 +1,33 @@
+//===- Printer.h - Textual IR dump -------------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the IR as text for tests, debugging, and the PDG feedback loop
+/// the paper describes (showing inhibiting dependences to the programmer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_IR_PRINTER_H
+#define COMMSET_IR_PRINTER_H
+
+#include "commset/IR/IR.h"
+
+#include <string>
+
+namespace commset {
+
+/// Renders one instruction, e.g. "%5 = add i64 %3, 4".
+std::string printInstruction(const Instruction &Instr);
+
+/// Renders a function with block labels and member metadata.
+std::string printFunction(const Function &F);
+
+/// Renders the whole module.
+std::string printModule(const Module &M);
+
+} // namespace commset
+
+#endif // COMMSET_IR_PRINTER_H

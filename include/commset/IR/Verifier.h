@@ -1,0 +1,31 @@
+//===- Verifier.h - IR well-formedness checks --------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier run after lowering and after transforms: every block
+/// ends in exactly one terminator, register operands are defined earlier in
+/// the same block, slot/callee references are in range, and branch targets
+/// belong to the same function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_IR_VERIFIER_H
+#define COMMSET_IR_VERIFIER_H
+
+#include "commset/IR/IR.h"
+#include "commset/Support/Diagnostics.h"
+
+namespace commset {
+
+/// Verifies \p F; reports problems to \p Diags. \returns true if clean.
+bool verifyFunction(const Function &F, DiagnosticEngine &Diags);
+
+/// Verifies every function in \p M. \returns true if clean.
+bool verifyModule(const Module &M, DiagnosticEngine &Diags);
+
+} // namespace commset
+
+#endif // COMMSET_IR_VERIFIER_H

@@ -1,0 +1,402 @@
+//===- AST.h - CSet-C abstract syntax tree -----------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for CSet-C, the annotated C subset the COMMSET frontend consumes.
+/// The tree is deliberately simple: scalar types (int/double), opaque
+/// pointers produced by native kernels, expressions, structured statements,
+/// and COMMSET attributes attached to blocks, functions, and call statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_AST_H
+#define COMMSET_LANG_AST_H
+
+#include "commset/Lang/CommSetAttrs.h"
+#include "commset/Support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Scalar value categories of CSet-C. `Ptr` is an opaque handle produced and
+/// consumed by native kernels (file handles, matrices, bitmaps...). `Str`
+/// only occurs as the type of string literals passed to calls.
+enum class TypeKind { Void, Int, Double, Ptr, Str };
+
+const char *typeKindName(TypeKind Kind);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StrLit,
+  VarRef,
+  Unary,
+  Binary,
+  Call,
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LAnd,
+  LOr,
+};
+
+enum class UnaryOp { Neg, LNot };
+
+const char *binaryOpName(BinaryOp Op);
+
+class Expr {
+public:
+  virtual ~Expr();
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Filled in by Sema during type checking.
+  TypeKind Type = TypeKind::Void;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(long long Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  long long Value;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(double Value, SourceLoc Loc)
+      : Expr(ExprKind::FloatLit, Loc), Value(Value) {}
+  double Value;
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLit;
+  }
+};
+
+class StrLitExpr : public Expr {
+public:
+  StrLitExpr(std::string Value, SourceLoc Loc)
+      : Expr(ExprKind::StrLit, Loc), Value(std::move(Value)) {}
+  std::string Value;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::StrLit; }
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  /// Set by Sema: true when the reference resolves to a module global.
+  bool IsGlobal = false;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+  UnaryOp Op;
+  ExprPtr Sub;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  /// Set by Sema: true when the callee is a native (extern) kernel.
+  bool IsNative = false;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Block,
+  Decl,
+  Assign,
+  ExprStmt,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt();
+
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Compound statement. Carries the COMMSET block attributes: instance
+/// membership (making this block a commutative region, paper §3.1
+/// "Commutative Blocks") and/or a COMMSETNAMEDBLOCK name exported by the
+/// enclosing function.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+  std::vector<StmtPtr> Body;
+
+  /// COMMSET instance declaration attached to this block.
+  std::vector<MemberSpec> Members;
+  /// Non-empty when this is a COMMSETNAMEDBLOCK.
+  std::string NamedBlock;
+
+  bool isCommutative() const { return !Members.empty(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(TypeKind Type, std::string Name, ExprPtr Init, SourceLoc Loc)
+      : Stmt(StmtKind::Decl, Loc), Type(Type), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  TypeKind Type;
+  std::string Name;
+  ExprPtr Init; // May be null.
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+};
+
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  std::string Name;
+  ExprPtr Value;
+  /// Set by Sema: the assigned variable resolves to a module global.
+  bool IsGlobal = false;
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+};
+
+/// Expression statement (almost always a call). Carries COMMSETNAMEDARGADD
+/// enables for the callee's optional named blocks.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  std::vector<EnableSpec> Enables;
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ExprStmt;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; // Decl or Assign; may be null.
+  ExprPtr Cond; // May be null (infinite loop).
+  StmtPtr Step; // Assign; may be null.
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; // May be null.
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeKind Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// A function definition or extern (native kernel) declaration.
+struct FunctionDecl {
+  TypeKind ReturnType = TypeKind::Void;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body; // Null for extern declarations.
+  bool IsExtern = false;
+  SourceLoc Loc;
+
+  /// COMMSET instance declaration at the interface (paper: "Interface
+  /// Commutativity"); predicate arguments name parameters.
+  std::vector<MemberSpec> Members;
+  /// COMMSETNAMEDARG exports: names of optional blocks in the body that
+  /// clients may enable at call sites.
+  std::vector<std::string> NamedArgs;
+};
+
+struct GlobalVarDecl {
+  TypeKind Type;
+  std::string Name;
+  ExprPtr Init; // Constant expression; may be null (zero-initialized).
+  SourceLoc Loc;
+};
+
+/// COMMSETDECL: declares a named set at global scope with an explicit kind.
+struct SetDecl {
+  std::string Name;
+  CommSetKind Kind = CommSetKind::Group;
+  SourceLoc Loc;
+};
+
+/// COMMSETPREDICATE: a pure C expression over two parameter lists deciding
+/// whether two members commute (paper §3.2).
+struct PredicateDecl {
+  std::string SetName;
+  std::vector<ParamDecl> Params1;
+  std::vector<ParamDecl> Params2;
+  ExprPtr Predicate;
+  SourceLoc Loc;
+};
+
+/// COMMSETNOSYNC: members of the set are already thread safe; the compiler
+/// must not insert synchronization.
+struct NoSyncDecl {
+  std::string SetName;
+  SourceLoc Loc;
+};
+
+/// Memory-effect declaration for a native kernel. This is the repo's
+/// stand-in for the knowledge LLVM has about library calls: without it a
+/// native call conservatively reads and writes the world. Items:
+/// pure / malloc / argmem / reads(class...) / writes(class...).
+struct EffectDecl {
+  std::string FunctionName;
+  bool Pure = false;
+  bool Malloc = false;
+  bool ArgMem = false;
+  std::vector<std::string> Reads;
+  std::vector<std::string> Writes;
+  SourceLoc Loc;
+};
+
+/// A parsed CSet-C translation unit.
+struct Program {
+  std::vector<GlobalVarDecl> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  std::vector<SetDecl> SetDecls;
+  std::vector<PredicateDecl> Predicates;
+  std::vector<NoSyncDecl> NoSyncs;
+  std::vector<EffectDecl> Effects;
+
+  FunctionDecl *findFunction(const std::string &Name) const;
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_AST_H

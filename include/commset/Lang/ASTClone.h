@@ -1,0 +1,29 @@
+//===- ASTClone.h - Deep cloning of CSet-C ASTs ------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clone utilities for expressions and statements, used by the
+/// named-block specializer (call-path cloning, paper §4.2) and by the
+/// COMMSET registry to take ownership of predicate expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_ASTCLONE_H
+#define COMMSET_LANG_ASTCLONE_H
+
+#include "commset/Lang/AST.h"
+
+namespace commset {
+
+ExprPtr cloneExpr(const Expr *E);
+StmtPtr cloneStmt(const Stmt *S);
+
+/// Clones a full function declaration (body, attributes, params).
+std::unique_ptr<FunctionDecl> cloneFunction(const FunctionDecl &F);
+
+} // namespace commset
+
+#endif // COMMSET_LANG_ASTCLONE_H

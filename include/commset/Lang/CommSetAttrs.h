@@ -1,0 +1,59 @@
+//===- CommSetAttrs.h - Parsed COMMSET directive payloads -------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-data representations of the COMMSET directives (paper §3.2,
+/// Figure 4) as attached to AST nodes by the parser:
+///
+///   COMMSETDECL          -> SetDecl
+///   COMMSETPREDICATE     -> PredicateDecl (expression kept as AST)
+///   COMMSETNOSYNC        -> NoSyncDecl
+///   COMMSET (instance)   -> MemberSpec list on a function or block
+///   COMMSETNAMEDBLOCK    -> NamedBlock string on a block
+///   COMMSETNAMEDARG      -> exported names on a function interface
+///   COMMSETNAMEDARGADD   -> EnableSpec list on a call statement
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_COMMSETATTRS_H
+#define COMMSET_LANG_COMMSETATTRS_H
+
+#include "commset/Support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Name of the implicit Self COMMSET keyword.
+inline constexpr const char *SelfSetKeyword = "SELF";
+
+/// Kind of a declared COMMSET (paper §3.1). In a Group set distinct members
+/// commute pairwise but a member does not commute with itself; in a Self set
+/// every member commutes with dynamic instances of itself.
+enum class CommSetKind { Group, Self };
+
+/// One membership entry in a COMMSET instance declaration:
+/// `SETNAME` or `SETNAME(arg0, arg1, ...)` where the arguments name variables
+/// (function parameters at interfaces, live client variables at blocks) bound
+/// to the set's COMMSETPREDICATE parameters.
+struct MemberSpec {
+  std::string SetName;
+  std::vector<std::string> Args;
+  SourceLoc Loc;
+};
+
+/// COMMSETNAMEDARGADD at a call site: enable the callee's named optional
+/// block \p BlockName and add it to each listed set.
+struct EnableSpec {
+  std::string BlockName;
+  std::vector<MemberSpec> Sets;
+  SourceLoc Loc;
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_COMMSETATTRS_H

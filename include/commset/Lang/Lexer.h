@@ -1,0 +1,62 @@
+//===- Lexer.h - CSet-C lexer ------------------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for CSet-C. `#pragma commset` lines are bracketed by
+/// PragmaCommset/PragmaEnd tokens so the parser can treat directive bodies
+/// with the ordinary expression machinery (the COMMSETPREDICATE argument is a
+/// full C expression).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_LEXER_H
+#define COMMSET_LANG_LEXER_H
+
+#include "commset/Lang/Token.h"
+#include "commset/Support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token makeToken(TokKind Kind, SourceLoc Loc, std::string Text = {});
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+  Token lexString(SourceLoc Loc);
+  /// Consumes "#pragma commset" after the '#'; reports an error for any other
+  /// preprocessor directive.
+  Token lexPragma(SourceLoc Loc);
+
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  bool atEnd() const { return Pos >= Source.size(); }
+  void skipTrivia();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  /// True while lexing the body of a #pragma line; a newline then produces
+  /// PragmaEnd instead of being skipped as trivia.
+  bool InPragma = false;
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_LEXER_H

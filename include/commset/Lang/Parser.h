@@ -1,0 +1,117 @@
+//===- Parser.h - CSet-C recursive descent parser ----------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for CSet-C plus the COMMSET pragma directives
+/// (paper §3.2, Figure 4). Pragma payloads parse with the normal expression
+/// machinery, so COMMSETPREDICATE expressions are full C expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_PARSER_H
+#define COMMSET_LANG_PARSER_H
+
+#include "commset/Lang/AST.h"
+#include "commset/Lang/Lexer.h"
+#include "commset/Support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+
+namespace commset {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a full translation unit. Returns a program even on error (for
+  /// best-effort diagnostics); callers must check Diags.hasErrors().
+  std::unique_ptr<Program> parseProgram();
+
+  /// Parses source text end-to-end (lex + parse). Convenience for tests and
+  /// tools.
+  static std::unique_ptr<Program> parse(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+private:
+  // Pragma attributes seen but not yet attached to a declaration/statement.
+  struct PendingAttrs {
+    std::vector<MemberSpec> Members;
+    std::vector<std::string> NamedArgs;
+    std::string NamedBlock;
+    std::vector<EnableSpec> Enables;
+    SourceLoc Loc;
+
+    bool anyDeclAttrs() const {
+      return !Members.empty() || !NamedArgs.empty() || !NamedBlock.empty() ||
+             !Enables.empty();
+    }
+    void clear() {
+      Members.clear();
+      NamedArgs.clear();
+      NamedBlock.clear();
+      Enables.clear();
+    }
+  };
+
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(); }
+  Token consume();
+  bool check(TokKind Kind) const { return current().is(Kind); }
+  bool accept(TokKind Kind);
+  bool expect(TokKind Kind, const char *Context);
+  void synchronizeTopLevel();
+  void synchronizeStmt();
+
+  // Top-level parsing.
+  void parseTopLevel(Program &P);
+  void parsePragma(Program &P);
+  void parseFunctionOrGlobal(Program &P, bool IsExtern);
+  std::vector<ParamDecl> parseParamList();
+  std::optional<TypeKind> parseType();
+
+  // Pragma payloads.
+  void parseSetDecl(Program &P);
+  void parsePredicateDecl(Program &P);
+  void parseNoSyncDecl(Program &P);
+  void parseEffectsDecl(Program &P);
+  void parseMemberPragma();
+  void parseNamedArgPragma();
+  void parseNamedBlockPragma();
+  void parseEnablePragma();
+  MemberSpec parseMemberSpec();
+  bool finishPragmaLine();
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseDeclStmt(TypeKind Type);
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  /// Parses `x = e`, `x += e`, `x -= e`, `x++`, `x--` without the trailing
+  /// semicolon (shared by statements and for-steps); null if not an
+  /// assignment.
+  StmtPtr parseSimpleAssign();
+  StmtPtr parseExprOrAssignStmt();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  DiagnosticEngine &Diags;
+  PendingAttrs Pending;
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_PARSER_H

@@ -1,0 +1,99 @@
+//===- Sema.h - CSet-C semantic analysis -------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for CSet-C + COMMSET (paper §4.1 "Frontend"):
+///
+///  * name resolution and type checking for the C subset;
+///  * COMMSET set-reference and predicate checking: declared sets, matching
+///    parameter lists, argument binding/type agreement, predicate purity;
+///  * well-definedness of commutative blocks (paper §3.1): no non-local
+///    control flow escapes a commutative block (return, or break/continue
+///    whose parent loop is outside the block);
+///  * named-block exports: COMMSETNAMEDBLOCK names must be exported through
+///    COMMSETNAMEDARG, and COMMSETNAMEDARGADD enables must reference them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_SEMA_H
+#define COMMSET_LANG_SEMA_H
+
+#include "commset/Lang/AST.h"
+#include "commset/Support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class Sema {
+public:
+  Sema(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  /// Runs all checks. \returns true when no errors were reported.
+  bool run();
+
+private:
+  struct VarInfo {
+    TypeKind Type;
+    bool IsGlobal;
+  };
+
+  // Declaration collection.
+  void collectGlobals();
+  void checkSetDecls();
+  void checkPredicates();
+  void checkNoSyncs();
+
+  // Function checking.
+  void checkFunction(FunctionDecl &F);
+  void checkStmt(Stmt *S);
+  void checkBlock(BlockStmt *B);
+  TypeKind checkExpr(Expr *E);
+  TypeKind checkCall(CallExpr *Call);
+
+  // COMMSET specifics.
+  void checkMemberSpecs(std::vector<MemberSpec> &Members, bool AtInterface,
+                        const FunctionDecl *F);
+  void checkEnables(ExprStmt *S);
+  /// Purity inspection of a COMMSETPREDICATE expression (paper §4.2 "tested
+  /// for purity by inspection of its body"): no calls, no global reads.
+  void checkPredicatePurity(const Expr *E, SourceLoc Loc);
+
+  // Scope management.
+  void pushScope();
+  void popScope();
+  bool declare(const std::string &Name, TypeKind Type, SourceLoc Loc);
+  const VarInfo *lookup(const std::string &Name) const;
+
+  /// Reports an error unless \p From converts implicitly to \p To.
+  void requireConvertible(TypeKind From, TypeKind To, SourceLoc Loc,
+                          const char *Context);
+
+  Program &P;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, VarInfo> GlobalVars;
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  std::map<std::string, const SetDecl *> Sets;
+  std::map<std::string, const PredicateDecl *> SetPredicates;
+
+  FunctionDecl *CurrentFunction = nullptr;
+  /// Named blocks found while checking the current function body, matched
+  /// against the function's COMMSETNAMEDARG exports.
+  std::set<std::string> FoundNamedBlocks;
+  /// Loop nesting depth inside the innermost commutative/named block (or
+  /// function if none). break/continue need depth > 0; return needs no
+  /// enclosing commutative block.
+  int LoopDepth = 0;
+  int CommBlockDepth = 0;
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_SEMA_H

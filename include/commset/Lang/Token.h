@@ -1,0 +1,94 @@
+//===- Token.h - CSet-C token definitions ------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the CSet-C lexer. CSet-C is the C subset used to
+/// write the paper's annotated sequential programs; COMMSET directives appear
+/// as `#pragma commset ...` lines and lex into ordinary tokens bracketed by
+/// PragmaCommset / PragmaEnd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LANG_TOKEN_H
+#define COMMSET_LANG_TOKEN_H
+
+#include "commset/Support/SourceLoc.h"
+
+#include <string>
+
+namespace commset {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwBreak,
+  KwContinue,
+  KwExtern,
+
+  // Pragma brackets. PragmaCommset covers the "#pragma commset" prefix; the
+  // directive body lexes as normal tokens until PragmaEnd (end of line).
+  PragmaCommset,
+  PragmaEnd,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Colon,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Not,
+  PlusPlus,
+  MinusMinus,
+  PlusAssign,
+  MinusAssign,
+};
+
+/// Human readable name of a token kind for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token. Text holds the identifier spelling or literal body.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  long long IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace commset
+
+#endif // COMMSET_LANG_TOKEN_H

@@ -1,0 +1,40 @@
+//===- Lower.h - AST to IR lowering ------------------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Sema-checked (and specialized) CSet-C program to the IR.
+///
+/// Commutative compound statements are extracted into synthesized region
+/// functions here (the paper's Metadata Manager does this on the CFG; doing
+/// it during lowering yields the same post-condition: every COMMSET member
+/// is a function whose parameters carry the predicate arguments). A region
+/// may have at most one live-out scalar, which becomes its return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LOWER_LOWER_H
+#define COMMSET_LOWER_LOWER_H
+
+#include "commset/IR/IR.h"
+#include "commset/Lang/AST.h"
+#include "commset/Support/Diagnostics.h"
+
+#include <memory>
+
+namespace commset {
+
+/// Lowers \p P to a fresh module. Requires Sema to have run successfully
+/// (expression types filled in) and specializeNamedBlocks() to have
+/// rewritten enabled calls. Returns null after reporting errors.
+std::unique_ptr<Module> lowerProgram(const Program &P,
+                                     DiagnosticEngine &Diags);
+
+/// Maps a frontend scalar type to its IR type.
+IRType irTypeOf(TypeKind Kind);
+
+} // namespace commset
+
+#endif // COMMSET_LOWER_LOWER_H

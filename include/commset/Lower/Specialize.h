@@ -1,0 +1,35 @@
+//===- Specialize.h - Named-block enable specialization ---------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements COMMSETNAMEDARGADD (paper §4.2): like the paper's prototype,
+/// a call site that enables an optionally-commuting named block is
+/// *inlined*, cloning the call path from the enabling call to the
+/// COMMSETNAMEDBLOCK declaration. The named block becomes a commutative
+/// block directly in the client, bound to the client's predicate
+/// arguments, so the client loop's PDG sees the callee's operations (and
+/// the now-commutative block) directly. Callee locals are renamed with a
+/// unique $inlN suffix; functions exporting named blocks must not contain
+/// return statements (checked here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_LOWER_SPECIALIZE_H
+#define COMMSET_LOWER_SPECIALIZE_H
+
+#include "commset/Lang/AST.h"
+#include "commset/Support/Diagnostics.h"
+
+namespace commset {
+
+/// Rewrites every enabled call in \p P, appending specialized function
+/// clones. Must run after Sema and before lowering. \returns false if any
+/// error was reported.
+bool specializeNamedBlocks(Program &P, DiagnosticEngine &Diags);
+
+} // namespace commset
+
+#endif // COMMSET_LOWER_SPECIALIZE_H

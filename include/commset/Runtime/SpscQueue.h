@@ -1,0 +1,104 @@
+//===- SpscQueue.h - Lock-free single-producer single-consumer -*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded lock-free SPSC ring buffer. The DSWP family communicates
+/// cross-stage values and iteration tokens through these queues (paper
+/// §4.5: "dependences between stages are communicated via lock-free queues
+/// in software"); their acquire/release pairs also provide the memory
+/// ordering that makes forwarded stores visible downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_SPSCQUEUE_H
+#define COMMSET_RUNTIME_SPSCQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace commset {
+
+template <typename T> class SpscQueue {
+public:
+  /// \p CapacityPow2 must be a power of two.
+  explicit SpscQueue(size_t CapacityPow2 = 1024)
+      : Buffer(CapacityPow2), Mask(CapacityPow2 - 1) {
+    assert((CapacityPow2 & Mask) == 0 && "capacity must be a power of two");
+  }
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Non-blocking push. \returns false when full.
+  bool tryPush(const T &Value) {
+    size_t Tail = TailPos.load(std::memory_order_relaxed);
+    size_t Head = HeadPos.load(std::memory_order_acquire);
+    if (Tail - Head > Mask)
+      return false;
+    Buffer[Tail & Mask] = Value;
+    TailPos.store(Tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop. \returns false when empty.
+  bool tryPop(T &Value) {
+    size_t Head = HeadPos.load(std::memory_order_relaxed);
+    size_t Tail = TailPos.load(std::memory_order_acquire);
+    if (Head == Tail)
+      return false;
+    Value = Buffer[Head & Mask];
+    HeadPos.store(Head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push (spins, yielding periodically).
+  void push(const T &Value) {
+    unsigned Spins = 0;
+    while (!tryPush(Value))
+      backoff(Spins);
+  }
+
+  /// Blocking pop.
+  T pop() {
+    T Value;
+    unsigned Spins = 0;
+    while (!tryPop(Value))
+      backoff(Spins);
+    return Value;
+  }
+
+  bool empty() const {
+    return HeadPos.load(std::memory_order_acquire) ==
+           TailPos.load(std::memory_order_acquire);
+  }
+
+  size_t size() const {
+    return TailPos.load(std::memory_order_acquire) -
+           HeadPos.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  static void backoff(unsigned &Spins) {
+    if (++Spins < 64)
+      return;
+    std::this_thread::yield();
+    Spins = 0;
+  }
+
+  std::vector<T> Buffer;
+  const size_t Mask;
+  alignas(64) std::atomic<size_t> HeadPos{0};
+  alignas(64) std::atomic<size_t> TailPos{0};
+};
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_SPSCQUEUE_H

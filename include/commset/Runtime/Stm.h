@@ -1,0 +1,85 @@
+//===- Stm.h - TL2-style software transactional memory ----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Word-based software transactional memory in the TL2 style: a global
+/// version clock, a striped table of versioned write-locks, lazy write
+/// buffering, and commit-time validation. This is the repo's stand-in for
+/// the Intel STM runtime the paper uses for the optimistic synchronization
+/// mode (§4.6). COMMSET members containing I/O-effect natives are
+/// TM-ineligible, matching the paper's observation that transactions do
+/// not apply to ECLAT/geti-style members.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_STM_H
+#define COMMSET_RUNTIME_STM_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace commset {
+
+/// Shared STM state: clock + lock table. One instance per parallel region.
+class StmSpace {
+public:
+  static constexpr unsigned NumStripes = 1024;
+
+  std::atomic<uint64_t> &stripeFor(const void *Addr) {
+    auto Key = reinterpret_cast<uintptr_t>(Addr);
+    return Stripes[(Key >> 3) % NumStripes];
+  }
+
+  /// Global version clock.
+  std::atomic<uint64_t> Clock{2};
+
+  /// Versioned write-locks: even = version, odd = locked.
+  std::atomic<uint64_t> Stripes[NumStripes] = {};
+};
+
+/// One transaction (per attempt). Usage:
+///   Stm Tx(Space);
+///   do { Tx.begin(); v = Tx.read(&X); Tx.write(&Y, v + 1); }
+///   while (!Tx.commit());
+class Stm {
+public:
+  explicit Stm(StmSpace &Space) : Space(Space) {}
+
+  void begin();
+
+  /// Transactional read of a 64-bit word. Sets the abort flag on conflict;
+  /// callers must check aborted() (reads after an abort return 0).
+  uint64_t read(const uint64_t *Addr);
+
+  /// Transactional (buffered) write.
+  void write(uint64_t *Addr, uint64_t Value);
+
+  /// True when the current attempt has already observed a conflict; the
+  /// caller should abandon the attempt and retry via begin().
+  bool aborted() const { return Aborted; }
+
+  /// Validates and publishes the write set. \returns false when the
+  /// transaction must retry.
+  bool commit();
+
+  unsigned attempts() const { return Attempts; }
+
+private:
+  bool lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked);
+
+  StmSpace &Space;
+  uint64_t ReadVersion = 0;
+  bool Aborted = false;
+  unsigned Attempts = 0;
+  std::map<const uint64_t *, uint64_t> ReadSet; // addr -> observed version.
+  std::map<uint64_t *, uint64_t> WriteSet;      // addr -> buffered value.
+};
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_STM_H

@@ -1,0 +1,38 @@
+//===- ThreadPool.h - Simple fork-join worker pool ---------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fork-join helper: runs N tasks on N threads and joins. The
+/// parallel executors spawn one worker per DOALL thread / pipeline stage,
+/// matching the paper's static thread assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_THREADPOOL_H
+#define COMMSET_RUNTIME_THREADPOOL_H
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace commset {
+
+/// Runs Tasks[i] on its own thread; returns after all complete.
+inline void runParallel(const std::vector<std::function<void()>> &Tasks) {
+  if (Tasks.empty())
+    return;
+  std::vector<std::thread> Threads;
+  Threads.reserve(Tasks.size() - 1);
+  for (size_t I = 1; I < Tasks.size(); ++I)
+    Threads.emplace_back(Tasks[I]);
+  Tasks[0]();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_THREADPOOL_H

@@ -1,0 +1,153 @@
+//===- SimPlatform.h - Discrete-event multicore simulator -------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The performance substrate substituting for the paper's 8-core Xeon
+/// (this host has a single core, so wall-clock speedups are unobtainable).
+/// Worker threads execute functionally as usual but carry *virtual clocks*:
+///
+///  * every interpreted operation and native kernel charges its declared
+///    virtual cost;
+///  * queue sends stamp values with sender-time + communication latency;
+///    receives advance the receiver past the stamp (pipeline stalls and
+///    backpressure emerge naturally);
+///  * COMMSET locks serialize in virtual time, with distinct hand-off
+///    penalties for mutexes (sleep/wakeup) and spin locks - reproducing the
+///    paper's spin-beats-mutex-under-contention observation;
+///  * TM members detect conflicts via per-rank commit timestamps and pay
+///    their wasted work again on abort;
+///  * serialized native resources (file system, console) model the internal
+///    locking of thread-safe libraries ("Lib" mode).
+///
+/// Speedup = sequential virtual time / max worker virtual time. Absolute
+/// numbers are model outputs; the *shape* of the paper's figures (who wins,
+/// where curves bend) comes from the same mechanisms the paper measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SIM_SIMPLATFORM_H
+#define COMMSET_SIM_SIMPLATFORM_H
+
+#include "commset/Exec/ExecPlatform.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Calibration constants (nanoseconds) for the simulated multicore.
+struct SimParams {
+  uint64_t CommLatency = 120;   // Inter-core queue latency.
+  uint64_t SendOverhead = 35;   // Producer-side queue cost.
+  uint64_t RecvOverhead = 35;   // Consumer-side queue cost.
+  uint64_t LockAcquire = 20;    // Uncontended acquire.
+  uint64_t LockRelease = 12;
+  uint64_t MutexHandoff = 1800; // Contended mutex sleep/wakeup penalty.
+  uint64_t SpinHandoff = 120;   // Contended spin-lock hand-off.
+  uint64_t TmBegin = 50;
+  uint64_t TmCommit = 90;
+  unsigned TmMaxRetries = 16;
+  uint64_t ResourceHandoff = 250; // Thread-safe library internal lock.
+  /// Entries per inter-stage queue (the paper's software queues hold
+  /// thousands of entries). Backpressure matters for the model: a cheap
+  /// upstream stage may only run this far ahead, keeping its virtual clock
+  /// coupled to the pipeline's real rate — but the window must comfortably
+  /// exceed the items one iteration produces, or stages lock-step.
+  unsigned QueueCapacity = 1024;
+};
+
+class SimPlatform : public ExecPlatform {
+public:
+  SimPlatform(unsigned NumThreads, SyncMode Mode, SimParams Params = {});
+
+  void send(unsigned From, unsigned To, RtValue Value) override;
+  RtValue recv(unsigned From, unsigned To) override;
+  void charge(unsigned Thread, uint64_t Ns) override;
+  void lockEnter(unsigned Thread,
+                 const std::vector<unsigned> &Ranks) override;
+  void lockExit(unsigned Thread,
+                const std::vector<unsigned> &Ranks) override;
+  void txBegin(unsigned Thread) override;
+  bool txCommit(unsigned Thread, const std::vector<unsigned> &Ranks,
+                uint64_t MemberCostNs) override;
+  void resourceEnter(unsigned Thread, const std::string &Name) override;
+  void resourceExit(unsigned Thread, const std::string &Name) override;
+  void threadDone(unsigned Thread) override;
+  void regionBegin(unsigned MasterThread) override;
+  void regionEnd(unsigned MasterThread) override;
+  uint64_t elapsedNs() const override;
+
+  uint64_t threadTimeNs(unsigned Thread) const {
+    return VTime[Thread].load(std::memory_order_relaxed);
+  }
+  uint64_t tmAborts() const { return TmAbortCount.load(); }
+  uint64_t lockContentions() const { return ContentionCount.load(); }
+
+private:
+  struct LockState {
+    bool Held = false;
+    uint64_t FreeAt = 0;
+    uint64_t LastCommit = 0; // For TM conflict windows.
+    /// Largest request time processed so far: a smaller new request means
+    /// an event from this thread's virtual future was already processed
+    /// (possible when blocked threads are excluded from the gate); such
+    /// requests are granted at their own time without contention charges.
+    uint64_t LastRequest = 0;
+    /// Pending requests ordered by (request virtual time, thread): grants
+    /// follow virtual-time order, not host scheduling order.
+    std::set<std::pair<uint64_t, unsigned>> Waiters;
+  };
+
+  /// Thread scheduling states for the conservative virtual-time gate.
+  enum class TState : uint8_t { Inactive, Running, Blocked, Done };
+
+  /// Blocks (under \p Guard) until \p Thread holds the minimal virtual
+  /// clock among Running threads (ties broken by id): contention decisions
+  /// (locks, TM commits, resources) must be processed in virtual-time
+  /// order, or the single-core host's real schedule would leak into the
+  /// model.
+  void gate(unsigned Thread, std::unique_lock<std::mutex> &Guard);
+
+  void acquireLockLike(unsigned Thread, LockState &L, uint64_t Handoff,
+                       std::unique_lock<std::mutex> &Guard);
+
+  unsigned NumThreads;
+  SyncMode Mode;
+  SimParams Params;
+
+  std::vector<std::atomic<uint64_t>> VTime;
+  std::atomic<uint64_t> TmAbortCount{0};
+  std::atomic<uint64_t> ContentionCount{0};
+
+  std::mutex M;
+  std::condition_variable CV;
+  /// Per ordered pair (From * NumThreads + To).
+  struct Channel {
+    std::deque<std::pair<uint64_t, RtValue>> Items; // (ready time, value).
+    uint64_t Pushed = 0;
+    uint64_t Popped = 0;
+    /// Virtual pop times, indexed from PopBase, for backpressure waits.
+    std::deque<uint64_t> PopTimes;
+    uint64_t PopBase = 0;
+  };
+  std::vector<Channel> Chans;
+  std::map<unsigned, LockState> Locks;
+  std::map<std::string, LockState> Resources;
+  std::vector<uint64_t> TxStart;
+  std::vector<unsigned> TxRetries;
+  std::vector<TState> State;
+};
+
+} // namespace commset
+
+#endif // COMMSET_SIM_SIMPLATFORM_H

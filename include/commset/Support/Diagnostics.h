@@ -1,0 +1,69 @@
+//===- Diagnostics.h - Error reporting for the COMMSET compiler -*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The frontend and the COMMSET passes report
+/// errors and warnings here instead of aborting, so tools and tests can
+/// inspect all problems found in one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SUPPORT_DIAGNOSTICS_H
+#define COMMSET_SUPPORT_DIAGNOSTICS_H
+
+#include "commset/Support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem: severity, location, and rendered message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by a compilation.
+///
+/// The engine never terminates the program; callers check hasErrors() at
+/// phase boundaries and stop compiling when it returns true.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Concatenates all diagnostics, one per line. Useful in tests and tool
+  /// error output.
+  std::string str() const;
+
+  /// \returns true if any diagnostic message contains \p Needle. Intended
+  /// for tests asserting that a specific error fired.
+  bool contains(const std::string &Needle) const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace commset
+
+#endif // COMMSET_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,40 @@
+//===- SourceLoc.h - Source locations for diagnostics -----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations used by the CSet-C frontend and
+/// the diagnostic engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SUPPORT_SOURCELOC_H
+#define COMMSET_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace commset {
+
+/// A position in a CSet-C source buffer. Lines and columns are 1-based; the
+/// invalid location is (0, 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const = default;
+
+  /// Renders the location as "line:col" ("<unknown>" when invalid).
+  std::string str() const;
+};
+
+} // namespace commset
+
+#endif // COMMSET_SUPPORT_SOURCELOC_H

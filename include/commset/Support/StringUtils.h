@@ -1,0 +1,36 @@
+//===- StringUtils.h - Small string helpers ----------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the frontend, printers and the bench harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SUPPORT_STRINGUTILS_H
+#define COMMSET_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commset {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// \returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace commset
+
+#endif // COMMSET_SUPPORT_STRINGUTILS_H

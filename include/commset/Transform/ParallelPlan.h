@@ -1,0 +1,111 @@
+//===- ParallelPlan.h - Output of the parallelizing transforms --*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ParallelPlan is the partition the DOALL / DSWP / PS-DSWP transforms
+/// produce over the annotated PDG (paper §4.5), consumed by the threaded
+/// executor and the multicore simulator:
+///
+///  * DOALL: every thread runs whole iterations round-robin; the canonical
+///    induction variable is privatized (start offset + scaled step).
+///  * DSWP / PS-DSWP: PDG nodes are partitioned into pipeline stages;
+///    control (terminators, the induction SCC, the header-condition
+///    closure) is replicated into every stage; cross-stage values flow
+///    through SPSC queues; a PS-DSWP parallel stage is replicated with
+///    round-robin iteration assignment.
+///
+/// The plan also carries the synchronization engine's decisions: the
+/// rank-ordered lock set per COMMSET member and the lock mode (paper §4.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TRANSFORM_PARALLELPLAN_H
+#define COMMSET_TRANSFORM_PARALLELPLAN_H
+
+#include "commset/Analysis/PDG.h"
+#include "commset/Analysis/SCC.h"
+#include "commset/Runtime/Locks.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+enum class Strategy { Sequential, Doall, Dswp, PsDswp };
+
+const char *strategyName(Strategy S);
+
+/// Synchronization mode for COMMSET members (paper §4.6). Lib means the
+/// members are already thread safe (COMMSETNOSYNC or thread-safe library)
+/// so the compiler inserts nothing for them.
+enum class SyncMode { Mutex, Spin, Tm, None };
+
+const char *syncModeName(SyncMode M);
+
+/// Per-member synchronization decision.
+struct MemberSyncInfo {
+  /// Ascending COMMSET ranks whose locks guard calls to this member.
+  std::vector<unsigned> LockRanks;
+  /// Member may run as a transaction in TM mode (only touches interpreted
+  /// global state).
+  bool TmEligible = false;
+};
+
+struct StagePlan {
+  bool Parallel = false;
+  /// Replication factor (1 for sequential stages).
+  unsigned Replicas = 1;
+  /// PDG node indices owned by this stage (excluding replicated nodes).
+  std::set<unsigned> OwnedNodes;
+  /// Static cost estimate (ns per iteration) for balancing/estimation.
+  double CostEstimate = 0.0;
+};
+
+struct ParallelPlan {
+  Strategy Kind = Strategy::Sequential;
+  Function *F = nullptr;
+  const Loop *L = nullptr;
+  unsigned NumThreads = 1;
+
+  // DOALL specifics.
+  unsigned InductionLocal = ~0u;
+  int64_t InductionStep = 0;
+
+  // Pipeline specifics.
+  std::vector<StagePlan> Stages;
+  /// Node indices executed by every stage thread.
+  std::set<unsigned> ReplicatedNodes;
+  /// True when the loop-continuation condition is computed by replicated
+  /// instructions (canonical loops); otherwise the owning stage broadcasts
+  /// it every iteration.
+  bool ReplicatedControl = false;
+  /// Per PDG node: bitmask of stages owning a memory-dependent successor.
+  /// The owner sends a synchronization token at the node's trace position;
+  /// the consuming stage pops it there, ordering cross-stage memory effects
+  /// through the queue's release/acquire pair.
+  std::vector<uint64_t> MemTokenStages;
+  /// Per PDG node (StoreLocal): stages owning loads actually reached by the
+  /// store (from the PDG's reaching-definition edges). Receivers shadow the
+  /// store into their local copy at the store's trace position.
+  std::vector<uint64_t> StoreReceiverStages;
+
+  // Synchronization.
+  SyncMode Sync = SyncMode::Mutex;
+  std::map<std::string, MemberSyncInfo> MemberSync;
+
+  /// Estimated speedup over sequential execution (used by the driver to
+  /// pick a scheme; the simulator provides the real numbers).
+  double EstimatedSpeedup = 1.0;
+
+  /// Human-readable schedule summary (e.g. "PS-DSWP [S, DOALL(6), S]").
+  std::string describe() const;
+};
+
+} // namespace commset
+
+#endif // COMMSET_TRANSFORM_PARALLELPLAN_H

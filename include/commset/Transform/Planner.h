@@ -1,0 +1,87 @@
+//===- Planner.h - DOALL / DSWP / PS-DSWP transforms --------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallelizing transforms (paper §4.5) over the commutativity-relaxed
+/// PDG, plus the synchronization engine (§4.6). Each transform either
+/// produces a ParallelPlan or explains why it does not apply:
+///
+///  * DOALL requires a canonical, replicable induction/exit and no
+///    remaining loop-carried dependence outside the induction;
+///  * DSWP partitions the DAG-SCC into balanced sequential stages;
+///  * PS-DSWP additionally replicates the heaviest carried-free stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TRANSFORM_PLANNER_H
+#define COMMSET_TRANSFORM_PLANNER_H
+
+#include "commset/Analysis/Effects.h"
+#include "commset/Analysis/SCC.h"
+#include "commset/Core/CommSetRegistry.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace commset {
+
+struct PlanOptions {
+  unsigned NumThreads = 8;
+  SyncMode Sync = SyncMode::Mutex;
+  /// Maximum pipeline depth (the paper's schedules use 2-3 stages).
+  unsigned MaxStages = 3;
+  /// Per-native-call cost hints (ns) used for stage balancing and speedup
+  /// estimation; unlisted natives default to DefaultNativeCost.
+  std::map<std::string, double> NativeCostHints;
+  double DefaultNativeCost = 500.0;
+};
+
+/// Static cost model shared by the planner and the performance estimator.
+class CostEstimator {
+public:
+  CostEstimator(const Module &M, const PlanOptions &Opts);
+
+  /// Estimated cost (ns) of one execution of \p Instr, calls included
+  /// (callee bodies estimated with a nesting factor for their loops).
+  double nodeCost(const Instruction *Instr) const;
+
+private:
+  double functionCost(const Function *F, unsigned Depth) const;
+
+  const PlanOptions &Opts;
+  std::map<const Function *, double> FunctionCosts;
+};
+
+/// Nodes executed by every pipeline stage / DOALL thread (terminators, the
+/// canonical induction SCC, and the header-condition closure when
+/// replicable). Sets Plan.ReplicatedControl accordingly.
+void computeReplicatedNodes(const PDG &G, ParallelPlan &Plan);
+
+/// Synchronization engine: fills Plan.MemberSync with rank-ordered lock
+/// sets and TM eligibility for every COMMSET member (paper §4.6).
+void attachSynchronization(ParallelPlan &Plan, const Module &M,
+                           const CommSetRegistry &Registry,
+                           const EffectAnalysis &EA);
+
+/// DOALL transform. On failure returns nullopt and stores the inhibiting
+/// reason in \p WhyNot (when non-null).
+std::optional<ParallelPlan>
+buildDoallPlan(const PDG &G, const SCCResult &Sccs, const Module &M,
+               const CommSetRegistry &Registry, const EffectAnalysis &EA,
+               const PlanOptions &Opts, std::string *WhyNot = nullptr);
+
+/// DSWP (AllowParallelStage = false) or PS-DSWP (true).
+std::optional<ParallelPlan>
+buildPipelinePlan(const PDG &G, const SCCResult &Sccs, const Module &M,
+                  const CommSetRegistry &Registry, const EffectAnalysis &EA,
+                  const PlanOptions &Opts, bool AllowParallelStage,
+                  std::string *WhyNot = nullptr);
+
+} // namespace commset
+
+#endif // COMMSET_TRANSFORM_PLANNER_H

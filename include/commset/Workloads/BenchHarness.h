@@ -1,0 +1,95 @@
+//===- BenchHarness.h - Shared evaluation harness ----------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Harness behind the bench/ binaries: compiles a workload variant once,
+/// builds the requested scheme, executes it under the multicore simulator,
+/// and reports speedup over the simulated sequential baseline. One bench
+/// binary per paper table/figure calls into this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_WORKLOADS_BENCHHARNESS_H
+#define COMMSET_WORKLOADS_BENCHHARNESS_H
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Workloads/Workload.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace commset {
+namespace bench {
+
+/// One plotted series of a Figure 6 graph.
+struct Series {
+  std::string Label;   // e.g. "Comm-DOALL + Lib".
+  std::string Variant; // "", "noself", "plain".
+  Strategy Kind = Strategy::Doall;
+  SyncMode Sync = SyncMode::None;
+};
+
+struct Measurement {
+  bool Applicable = false;
+  std::string WhyNot;
+  double Speedup = 0.0;
+  uint64_t VirtualNs = 0;
+  uint64_t SeqVirtualNs = 0;
+  std::string Schedule;
+};
+
+/// Compiles and simulates one workload across variants/schemes, caching
+/// compilations and sequential baselines.
+class FigureRunner {
+public:
+  explicit FigureRunner(const std::string &WorkloadName, int Scale = 0);
+
+  /// Simulated speedup of \p S at \p Threads over the sequential baseline
+  /// of the same variant.
+  Measurement measure(const Series &S, unsigned Threads);
+
+  /// Best applicable scheme at \p Threads for a variant (used for the
+  /// "best non-COMMSET parallelization" baseline and Table 2).
+  Measurement measureBest(const std::string &Variant, SyncMode Sync,
+                          unsigned Threads, std::string *SchemeName = nullptr);
+
+  /// Number of COMMSET annotation lines in the default-variant source
+  /// (effects() lines excluded: they stand in for library knowledge).
+  unsigned annotationCount() const;
+  /// Source lines of the default variant.
+  unsigned sourceLines() const;
+
+  const std::string &name() const { return Name; }
+
+private:
+  struct VariantState {
+    std::unique_ptr<Compilation> C;
+    std::unique_ptr<Compilation::LoopTarget> T;
+    uint64_t SeqVirtualNs = 0;
+  };
+  VariantState *variant(const std::string &Variant);
+  uint64_t seqBaseline(VariantState &V);
+
+  std::string Name;
+  int Scale;
+  std::unique_ptr<Workload> W;
+  std::map<std::string, std::unique_ptr<VariantState>> Variants;
+};
+
+/// Prints a Figure-6-style table (rows = series, columns = thread counts)
+/// to stdout and returns the best speedup observed at the maximum thread
+/// count.
+double printFigure(const std::string &WorkloadName,
+                   const std::vector<Series> &SeriesList,
+                   const std::vector<unsigned> &Threads, int Scale = 0);
+
+} // namespace bench
+} // namespace commset
+
+#endif // COMMSET_WORKLOADS_BENCHHARNESS_H

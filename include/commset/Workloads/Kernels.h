@@ -1,0 +1,103 @@
+//===- Kernels.h - Shared native kernel building blocks ---------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Substrate kernels shared by the evaluation workloads:
+///
+///  * Md5 — a from-scratch RFC 1321 implementation (md5sum's payload);
+///  * Lcg — the deterministic RNG behind every synthetic input generator;
+///  * VirtualFs — an in-memory file system with per-handle positions,
+///    standing in for the paper's on-disk inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_WORKLOADS_KERNELS_H
+#define COMMSET_WORKLOADS_KERNELS_H
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+/// RFC 1321 MD5. Usage: init(), update() over chunks, final128().
+class Md5 {
+public:
+  Md5() { reset(); }
+  void reset();
+  void update(const uint8_t *Data, size_t Len);
+  /// Finalizes and returns the 128-bit digest as 16 bytes.
+  std::vector<uint8_t> final128();
+  /// Convenience: first 8 digest bytes as a little-endian integer.
+  uint64_t final64();
+
+  static std::string hex(const std::vector<uint8_t> &Digest);
+
+private:
+  void processBlock(const uint8_t Block[64]);
+
+  uint32_t State[4];
+  uint64_t BitCount = 0;
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+};
+
+/// Deterministic linear congruential generator (numerical recipes flavor).
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed = 0x123456789abcdefULL) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 17;
+  }
+  /// Uniform in [0, Bound).
+  uint64_t next(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+  double nextDouble() {
+    return static_cast<double>(next() & 0xFFFFFFFF) / 4294967296.0;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// In-memory file system: file id -> deterministic pseudo-random content.
+/// Handles carry independent positions; the structure itself is guarded so
+/// kernels are thread safe under any schedule COMMSET permits.
+class VirtualFs {
+public:
+  /// Creates \p NumFiles files; file i has FileSize(i) bytes generated
+  /// from a per-file LCG stream.
+  VirtualFs(unsigned NumFiles, size_t BaseSize, size_t SizeJitter);
+
+  struct Handle {
+    unsigned FileId = 0;
+    size_t Position = 0;
+  };
+
+  Handle *open(unsigned FileId);
+  /// Reads up to \p Len bytes into \p Out; returns the count (0 at EOF).
+  size_t read(Handle *H, uint8_t *Out, size_t Len);
+  void close(Handle *H);
+
+  size_t fileSize(unsigned FileId) const;
+  const std::vector<uint8_t> &contents(unsigned FileId) const;
+  unsigned numFiles() const { return static_cast<unsigned>(Files.size()); }
+  unsigned openCount() const { return Opens; }
+
+private:
+  std::vector<std::vector<uint8_t>> Files;
+  std::mutex M;
+  std::vector<std::unique_ptr<Handle>> Handles;
+  unsigned Opens = 0;
+};
+
+} // namespace commset
+
+#endif // COMMSET_WORKLOADS_KERNELS_H

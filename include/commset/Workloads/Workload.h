@@ -1,0 +1,82 @@
+//===- Workload.h - Evaluation program framework -----------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates COMMSET on eight sequential programs (Table 2).
+/// Each is reproduced as a Workload: an annotated CSet-C source, native
+/// kernels over deterministic synthetic inputs (the paper's datasets are
+/// not redistributable), per-kernel virtual-cost models for the multicore
+/// simulator, and an order-insensitive checksum plus an ordered output log
+/// so both out-of-order (DOALL) and deterministic (pipeline) schedules can
+/// be verified against sequential execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_WORKLOADS_WORKLOAD_H
+#define COMMSET_WORKLOADS_WORKLOAD_H
+
+#include "commset/Exec/NativeRegistry.h"
+#include "commset/Exec/RtValue.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Annotated CSet-C program. \p Variant selects alternative annotation
+  /// sets: "" (full annotations), "noself" (deterministic-output variant,
+  /// paper §2), "plain" (annotations stripped: the non-COMMSET baseline).
+  virtual std::string source(const std::string &Variant = {}) const = 0;
+
+  /// Entry function containing the target loop.
+  virtual const char *entry() const { return "main_loop"; }
+
+  /// Entry arguments for a problem of size \p Scale (iteration count).
+  virtual std::vector<RtValue> args(int Scale) const {
+    return {RtValue::ofInt(Scale)};
+  }
+
+  /// Default iteration count used by benches.
+  virtual int defaultScale() const { return 200; }
+
+  /// Registers this instance's kernels (bound to its private state).
+  virtual void registerNatives(NativeRegistry &Natives) = 0;
+
+  /// Per-native virtual-cost hints for the planner's balance decisions
+  /// (mirrors what run-time profiling gives the paper's compiler).
+  virtual std::map<std::string, double> costHints() const = 0;
+
+  /// Order-insensitive digest of all observable output (for comparing
+  /// parallel against sequential runs).
+  virtual uint64_t checksum() const = 0;
+
+  /// Observable output in emission order (for determinism checks).
+  virtual std::vector<int64_t> orderedOutput() const { return {}; }
+
+  /// Clears all run state (outputs and synthetic-input cursors).
+  virtual void reset() = 0;
+};
+
+/// Factory over the eight evaluation programs: md5sum, hmmer, geti, eclat,
+/// em3d, potrace, kmeans, url.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name);
+std::vector<std::string> workloadNames();
+
+/// Strips every COMMSET directive except effects() from a source, producing
+/// the non-COMMSET baseline the paper compares against.
+std::string stripCommsetAnnotations(const std::string &Source);
+
+} // namespace commset
+
+#endif // COMMSET_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,48 @@
+//===- CallGraph.cpp ------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/CallGraph.h"
+
+using namespace commset;
+
+const std::set<Function *> CallGraph::Empty;
+
+CallGraph CallGraph::compute(const Module &M) {
+  CallGraph CG;
+  for (const auto &F : M.Functions) {
+    auto &Callees = CG.Edges[F.get()];
+    for (const auto &BB : F->Blocks)
+      for (const auto &Instr : BB->Instrs)
+        if (Instr->op() == Opcode::Call)
+          Callees.insert(Instr->Callee);
+  }
+  return CG;
+}
+
+const std::set<Function *> &CallGraph::callees(const Function *F) const {
+  auto It = Edges.find(F);
+  return It == Edges.end() ? Empty : It->second;
+}
+
+std::set<Function *> CallGraph::reachableFrom(const Function *From) const {
+  std::set<Function *> Reached;
+  std::vector<Function *> Worklist(callees(From).begin(),
+                                   callees(From).end());
+  while (!Worklist.empty()) {
+    Function *F = Worklist.back();
+    Worklist.pop_back();
+    if (!Reached.insert(F).second)
+      continue;
+    for (Function *Callee : callees(F))
+      Worklist.push_back(Callee);
+  }
+  return Reached;
+}
+
+bool CallGraph::reaches(const Function *From, const Function *To) const {
+  auto Reached = reachableFrom(From);
+  return Reached.count(const_cast<Function *>(To)) != 0;
+}

@@ -1,0 +1,182 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace commset;
+
+bool DomTree::dominates(unsigned A, unsigned B) const {
+  // Walk up the dominator tree from B.
+  int Cur = static_cast<int>(B);
+  while (Cur != -1) {
+    if (static_cast<unsigned>(Cur) == A)
+      return true;
+    if (Cur == IDom[Cur])
+      return false; // Entry (self-idom convention not used, but be safe).
+    Cur = IDom[Cur];
+  }
+  return false;
+}
+
+bool DomTree::dominates(const Instruction *A, const Instruction *B) const {
+  unsigned BlockA = A->Parent->Id;
+  unsigned BlockB = B->Parent->Id;
+  if (BlockA == BlockB)
+    return A->Id <= B->Id;
+  return dominates(BlockA, BlockB);
+}
+
+bool PostDomTree::postDominates(unsigned A, unsigned B) const {
+  int Cur = static_cast<int>(B);
+  while (Cur != -1) {
+    if (static_cast<unsigned>(Cur) == A)
+      return true;
+    Cur = IPDom[Cur];
+  }
+  return false;
+}
+
+namespace {
+
+/// Generic iterative idom computation over an arbitrary graph given in
+/// predecessor form, with nodes pre-sorted in reverse order of a DFS from
+/// the root (reverse post-order).
+std::vector<int> computeIDoms(unsigned NumNodes, unsigned Root,
+                              const std::vector<std::vector<unsigned>> &Preds,
+                              const std::vector<unsigned> &RPO) {
+  std::vector<int> IDom(NumNodes, -1);
+  std::vector<int> RPONumber(NumNodes, -1);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = static_cast<int>(I);
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[Root] = static_cast<int>(Root);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : RPO) {
+      if (Node == Root)
+        continue;
+      int NewIDom = -1;
+      for (unsigned Pred : Preds[Node]) {
+        if (IDom[Pred] == -1)
+          continue;
+        NewIDom = NewIDom == -1
+                      ? static_cast<int>(Pred)
+                      : intersect(NewIDom, static_cast<int>(Pred));
+      }
+      if (NewIDom != -1 && IDom[Node] != NewIDom) {
+        IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[Root] = -1; // Root has no immediate dominator.
+  return IDom;
+}
+
+std::vector<unsigned>
+reversePostOrder(unsigned NumNodes, unsigned Root,
+                 const std::vector<std::vector<unsigned>> &Succs) {
+  std::vector<unsigned> PostOrder;
+  std::vector<char> Visited(NumNodes, 0);
+  // Iterative DFS with an explicit stack of (node, next-successor-index).
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Stack.push_back({Root, 0});
+  Visited[Root] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, Next] = Stack.back();
+    if (Next < Succs[Node].size()) {
+      unsigned Succ = Succs[Node][Next++];
+      if (!Visited[Succ]) {
+        Visited[Succ] = 1;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+} // namespace
+
+DomTree commset::computeDominators(const Function &F) {
+  unsigned N = static_cast<unsigned>(F.Blocks.size());
+  std::vector<std::vector<unsigned>> Succs(N), Preds(N);
+  for (const auto &BB : F.Blocks)
+    for (BasicBlock *Succ : BB->successors()) {
+      Succs[BB->Id].push_back(Succ->Id);
+      Preds[Succ->Id].push_back(BB->Id);
+    }
+  std::vector<unsigned> RPO = reversePostOrder(N, F.entry()->Id, Succs);
+  DomTree DT;
+  DT.IDom = computeIDoms(N, F.entry()->Id, Preds, RPO);
+  return DT;
+}
+
+PostDomTree commset::computePostDominators(const Function &F) {
+  unsigned N = static_cast<unsigned>(F.Blocks.size());
+  unsigned Exit = N; // Virtual exit.
+  std::vector<std::vector<unsigned>> Succs(N + 1), Preds(N + 1);
+  for (const auto &BB : F.Blocks) {
+    auto BlockSuccs = BB->successors();
+    if (BlockSuccs.empty()) {
+      // Ret block (or unterminated, which the verifier rejects): edge to
+      // the virtual exit.
+      Succs[BB->Id].push_back(Exit);
+      Preds[Exit].push_back(BB->Id);
+      continue;
+    }
+    for (BasicBlock *Succ : BlockSuccs) {
+      Succs[BB->Id].push_back(Succ->Id);
+      Preds[Succ->Id].push_back(BB->Id);
+    }
+  }
+  // Reverse graph rooted at the virtual exit.
+  std::vector<unsigned> RPO = reversePostOrder(N + 1, Exit, Preds);
+  PostDomTree PDT;
+  PDT.VirtualExit = Exit;
+  PDT.IPDom = computeIDoms(N + 1, Exit, Succs, RPO);
+  return PDT;
+}
+
+std::vector<std::vector<unsigned>>
+commset::computeControlDeps(const Function &F, const PostDomTree &PDT) {
+  unsigned N = static_cast<unsigned>(F.Blocks.size());
+  std::vector<std::vector<unsigned>> Deps(N);
+  // Ferrante-Ottenstein-Warren: for each CFG edge (B -> S) where S does not
+  // post-dominate B, every block on the post-dominator tree path from S up
+  // to (exclusive) ipdom(B) is control dependent on B.
+  for (const auto &BB : F.Blocks) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (PDT.postDominates(Succ->Id, BB->Id))
+        continue;
+      int Stop = PDT.IPDom[BB->Id];
+      int Cur = static_cast<int>(Succ->Id);
+      while (Cur != -1 && Cur != Stop) {
+        if (static_cast<unsigned>(Cur) < N)
+          Deps[Cur].push_back(BB->Id);
+        Cur = PDT.IPDom[Cur];
+      }
+    }
+  }
+  return Deps;
+}

@@ -1,0 +1,320 @@
+//===- Effects.cpp --------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/Effects.h"
+
+#include <cassert>
+
+using namespace commset;
+
+const EffectSummary EffectAnalysis::EmptySummary;
+
+void EffectSummary::mergeClasses(const EffectSummary &Other) {
+  World |= Other.World;
+  ReadClasses.insert(Other.ReadClasses.begin(), Other.ReadClasses.end());
+  WriteClasses.insert(Other.WriteClasses.begin(), Other.WriteClasses.end());
+  ReadGlobals.insert(Other.ReadGlobals.begin(), Other.ReadGlobals.end());
+  WriteGlobals.insert(Other.WriteGlobals.begin(), Other.WriteGlobals.end());
+}
+
+EffectSummary EffectAnalysis::summaryFor(const NativeDecl *N) {
+  EffectSummary S;
+  const MemoryEffects &E = N->Effects;
+  if (E.World) {
+    S.World = true;
+    S.ArgMemRead = S.ArgMemWrite = true;
+    return S;
+  }
+  S.Malloc = E.Malloc;
+  S.ArgMemRead = E.ArgMemRead;
+  S.ArgMemWrite = E.ArgMemWrite;
+  S.ReadClasses = E.ReadClasses;
+  S.WriteClasses = E.WriteClasses;
+  return S;
+}
+
+namespace {
+/// Checks that a value is provably a fresh allocation: directly a
+/// malloc-like call, null, or a load of a local whose every store is one
+/// (flow-insensitive; cycles between locals resolve to fresh).
+class FreshnessChecker {
+public:
+  FreshnessChecker(const Function &F,
+                   const std::map<const Function *, EffectSummary> &Summaries)
+      : F(F), Summaries(Summaries) {}
+
+  bool freshOperand(const Operand &Op) {
+    if (Op.K == Operand::Kind::ConstNull)
+      return true; // Null (incl. unreachable default returns) is harmless.
+    if (!Op.isInstr())
+      return false;
+    const Instruction *Def = Op.Def;
+    switch (Def->op()) {
+    case Opcode::CallNative:
+      return Def->Native->Effects.Malloc && !Def->Native->Effects.World;
+    case Opcode::Call: {
+      auto It = Summaries.find(Def->Callee);
+      return It != Summaries.end() && It->second.Malloc;
+    }
+    case Opcode::LoadLocal:
+      return freshLocal(Def->SlotId);
+    default:
+      return false;
+    }
+  }
+
+private:
+  bool freshLocal(unsigned Local) {
+    if (Local < F.NumParams)
+      return false; // Caller-provided.
+    if (Visited.count(Local))
+      return true; // Cycle: optimistic, resolved by the other stores.
+    Visited.insert(Local);
+    bool AnyStore = false;
+    for (const auto &BB : F.Blocks) {
+      for (const auto &Instr : BB->Instrs) {
+        if (Instr->op() != Opcode::StoreLocal || Instr->SlotId != Local)
+          continue;
+        AnyStore = true;
+        if (!freshOperand(Instr->Operands[0]))
+          return false;
+      }
+    }
+    return AnyStore;
+  }
+
+  const Function &F;
+  const std::map<const Function *, EffectSummary> &Summaries;
+  std::set<unsigned> Visited;
+};
+} // namespace
+
+/// \returns true when every value returned traces to a malloc-like call,
+/// making the function itself allocator-like.
+static bool returnsFreshPointer(const Function &F,
+                                const std::map<const Function *,
+                                               EffectSummary> &Summaries) {
+  if (F.ReturnType != IRType::Ptr)
+    return false;
+  bool AnyRet = false;
+  for (const auto &BB : F.Blocks) {
+    for (const auto &Instr : BB->Instrs) {
+      if (Instr->op() != Opcode::Ret || Instr->Operands.empty())
+        continue;
+      AnyRet = true;
+      FreshnessChecker Checker(F, Summaries);
+      if (!Checker.freshOperand(Instr->Operands[0]))
+        return false;
+    }
+  }
+  return AnyRet;
+}
+
+EffectAnalysis EffectAnalysis::compute(const Module &M) {
+  EffectAnalysis EA;
+  for (const auto &F : M.Functions)
+    EA.Summaries[F.get()] = EffectSummary();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &F : M.Functions) {
+      EffectSummary S = EA.Summaries[F.get()];
+      for (const auto &BB : F->Blocks) {
+        for (const auto &Instr : BB->Instrs) {
+          switch (Instr->op()) {
+          case Opcode::LoadGlobal:
+            S.ReadGlobals.insert(Instr->SlotId);
+            break;
+          case Opcode::StoreGlobal:
+            S.WriteGlobals.insert(Instr->SlotId);
+            break;
+          case Opcode::CallNative: {
+            EffectSummary N = summaryFor(Instr->Native);
+            S.mergeClasses(N);
+            S.ArgMemRead |= N.ArgMemRead;
+            S.ArgMemWrite |= N.ArgMemWrite;
+            break;
+          }
+          case Opcode::Call: {
+            const EffectSummary &Callee = EA.Summaries[Instr->Callee];
+            S.mergeClasses(Callee);
+            S.ArgMemRead |= Callee.ArgMemRead;
+            S.ArgMemWrite |= Callee.ArgMemWrite;
+            break;
+          }
+          default:
+            break;
+          }
+        }
+      }
+      S.Malloc = returnsFreshPointer(*F, EA.Summaries);
+
+      EffectSummary &Old = EA.Summaries[F.get()];
+      if (Old.World != S.World || Old.Malloc != S.Malloc ||
+          Old.ArgMemRead != S.ArgMemRead ||
+          Old.ArgMemWrite != S.ArgMemWrite ||
+          Old.ReadClasses != S.ReadClasses ||
+          Old.WriteClasses != S.WriteClasses ||
+          Old.ReadGlobals != S.ReadGlobals ||
+          Old.WriteGlobals != S.WriteGlobals) {
+        Old = S;
+        Changed = true;
+      }
+    }
+  }
+  return EA;
+}
+
+const EffectSummary &EffectAnalysis::summaryFor(const Function *F) const {
+  auto It = Summaries.find(F);
+  return It == Summaries.end() ? EmptySummary : It->second;
+}
+
+EffectSummary
+EffectAnalysis::instructionEffects(const Instruction *Instr) const {
+  EffectSummary S;
+  switch (Instr->op()) {
+  case Opcode::LoadGlobal:
+    S.ReadGlobals.insert(Instr->SlotId);
+    return S;
+  case Opcode::StoreGlobal:
+    S.WriteGlobals.insert(Instr->SlotId);
+    return S;
+  case Opcode::CallNative:
+    return summaryFor(Instr->Native);
+  case Opcode::Call:
+    return summaryFor(Instr->Callee);
+  default:
+    return S;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PtrOrigins
+//===----------------------------------------------------------------------===//
+
+unsigned PtrOrigins::find(unsigned Local) const {
+  while (UnionParent[Local] != Local) {
+    UnionParent[Local] = UnionParent[UnionParent[Local]];
+    Local = UnionParent[Local];
+  }
+  return Local;
+}
+
+void PtrOrigins::unite(unsigned A, unsigned B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  UnionParent[B] = A;
+  UnknownFlag[A] |= UnknownFlag[B];
+  RootSets[A].insert(RootSets[B].begin(), RootSets[B].end());
+}
+
+/// \returns true when a call instruction returns a fresh object.
+static bool isMallocCall(const Instruction *Instr, const EffectAnalysis &EA) {
+  if (Instr->op() == Opcode::CallNative)
+    return Instr->Native->Effects.Malloc && !Instr->Native->Effects.World;
+  if (Instr->op() == Opcode::Call)
+    return EA.summaryFor(Instr->Callee).Malloc;
+  return false;
+}
+
+PtrOrigins PtrOrigins::compute(const Function &F, const EffectAnalysis &EA) {
+  PtrOrigins PO;
+  unsigned N = static_cast<unsigned>(F.Locals.size());
+  PO.UnionParent.resize(N);
+  for (unsigned I = 0; I < N; ++I)
+    PO.UnionParent[I] = I;
+  PO.UnknownFlag.assign(N, 0);
+  PO.RootSets.assign(N, {});
+
+  // Ptr parameters come from the caller: unknown.
+  for (unsigned I = 0; I < F.NumParams; ++I)
+    if (F.Locals[I].Type == IRType::Ptr)
+      PO.UnknownFlag[I] = 1;
+
+  for (const auto &BB : F.Blocks) {
+    for (const auto &Instr : BB->Instrs) {
+      if (Instr->op() != Opcode::StoreLocal)
+        continue;
+      if (F.Locals[Instr->SlotId].Type != IRType::Ptr)
+        continue;
+      unsigned Dest = Instr->SlotId;
+      const Operand &Value = Instr->Operands[0];
+      if (!Value.isInstr())
+        continue; // null / string constants carry no aliasable memory.
+      const Instruction *Def = Value.Def;
+      switch (Def->op()) {
+      case Opcode::LoadLocal:
+        PO.unite(Dest, Def->SlotId);
+        break;
+      case Opcode::Call:
+      case Opcode::CallNative:
+        if (isMallocCall(Def, EA))
+          PO.RootSets[PO.find(Dest)].insert(Def);
+        else
+          PO.UnknownFlag[PO.find(Dest)] = 1;
+        break;
+      case Opcode::LoadGlobal:
+        PO.UnknownFlag[PO.find(Dest)] = 1;
+        break;
+      default:
+        PO.UnknownFlag[PO.find(Dest)] = 1;
+        break;
+      }
+    }
+  }
+  return PO;
+}
+
+PtrOrigins::AliasClass PtrOrigins::classOfLocal(unsigned Local) const {
+  unsigned Rep = find(Local);
+  AliasClass C;
+  C.Unknown = UnknownFlag[Rep] != 0;
+  C.Roots = RootSets[Rep];
+  return C;
+}
+
+PtrOrigins::AliasClass PtrOrigins::classOf(const Operand &Op) const {
+  AliasClass C;
+  if (!Op.isInstr())
+    return C; // Constants: empty (benign) class.
+  const Instruction *Def = Op.Def;
+  switch (Def->op()) {
+  case Opcode::LoadLocal:
+    return classOfLocal(Def->SlotId);
+  case Opcode::Call:
+  case Opcode::CallNative:
+    // Direct use of a call result as an argument.
+    if (Def->op() == Opcode::CallNative
+            ? (Def->Native->Effects.Malloc && !Def->Native->Effects.World)
+            : false) {
+      C.Roots.insert(Def);
+      return C;
+    }
+    C.Unknown = true;
+    return C;
+  case Opcode::LoadGlobal:
+    C.Unknown = true;
+    return C;
+  default:
+    C.Unknown = true;
+    return C;
+  }
+}
+
+bool PtrOrigins::mayAlias(const AliasClass &A, const AliasClass &B) {
+  if (A.empty() || B.empty())
+    return false;
+  if (A.Unknown || B.Unknown)
+    return true;
+  for (const Instruction *Root : A.Roots)
+    if (B.Roots.count(Root))
+      return true;
+  return false;
+}

@@ -1,0 +1,186 @@
+//===- LoopInfo.cpp -------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace commset;
+
+LoopInfo LoopInfo::compute(const Function &F, const DomTree &DT) {
+  LoopInfo LI;
+  auto Preds = F.predecessors();
+
+  // Find back edges (B -> H where H dominates B) and group them by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> HeaderLatches;
+  for (const auto &BB : F.Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ->Id, BB->Id))
+        HeaderLatches[Succ].push_back(BB.get());
+
+  for (auto &[Header, Latches] : HeaderLatches) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->BlockIds.insert(Header->Id);
+    // Natural loop body: blocks that reach a latch without passing the
+    // header (reverse reachability from latches).
+    std::vector<BasicBlock *> Worklist(Latches.begin(), Latches.end());
+    while (!Worklist.empty()) {
+      BasicBlock *BB = Worklist.back();
+      Worklist.pop_back();
+      if (!L->BlockIds.insert(BB->Id).second)
+        continue;
+      for (BasicBlock *Pred : Preds[BB->Id])
+        if (!L->BlockIds.count(Pred->Id))
+          Worklist.push_back(Pred);
+    }
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: parent = smallest strictly-containing loop.
+  for (auto &L : LI.Loops) {
+    Loop *Best = nullptr;
+    for (auto &Other : LI.Loops) {
+      if (Other.get() == L.get())
+        continue;
+      if (!Other->BlockIds.count(L->Header->Id))
+        continue;
+      bool Contains = std::includes(Other->BlockIds.begin(),
+                                    Other->BlockIds.end(),
+                                    L->BlockIds.begin(), L->BlockIds.end());
+      if (!Contains)
+        continue;
+      if (!Best || Other->BlockIds.size() < Best->BlockIds.size())
+        Best = Other.get();
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L.get());
+    else
+      LI.TopLevel.push_back(L.get());
+  }
+  for (auto &L : LI.Loops) {
+    unsigned Depth = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++Depth;
+    L->Depth = Depth;
+  }
+  return LI;
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  Loop *Best = nullptr;
+  for (const auto &L : Loops) {
+    if (!L->BlockIds.count(BB->Id))
+      continue;
+    if (!Best || L->BlockIds.size() < Best->BlockIds.size())
+      Best = L.get();
+  }
+  return Best;
+}
+
+bool commset::localStoredInLoop(const Loop &L, unsigned Local) {
+  for (unsigned BlockId : L.BlockIds) {
+    // Block ids are dense and equal to position (numberInstructions()).
+    const BasicBlock *BB = L.Header->Parent->Blocks[BlockId].get();
+    for (const auto &Instr : BB->Instrs)
+      if (Instr->op() == Opcode::StoreLocal && Instr->SlotId == Local)
+        return true;
+  }
+  return false;
+}
+
+/// \returns the operand's defining instruction if it is a register, else
+/// null.
+static Instruction *defOf(const Operand &Op) {
+  return Op.isInstr() ? Op.Def : nullptr;
+}
+
+bool commset::analyzeInduction(const Function &F, Loop &L) {
+  // Exit shape: the only edges leaving the loop originate at the header.
+  L.SingleHeaderExit = true;
+  for (unsigned BlockId : L.BlockIds) {
+    const BasicBlock *BB = F.Blocks[BlockId].get();
+    for (BasicBlock *Succ : BB->successors())
+      if (!L.BlockIds.count(Succ->Id) && BB != L.Header)
+        L.SingleHeaderExit = false;
+  }
+
+  // Find locals with exactly one StoreLocal inside the loop whose value is
+  // `load(local) +/- const`.
+  std::map<unsigned, std::vector<Instruction *>> StoresByLocal;
+  for (unsigned BlockId : L.BlockIds) {
+    const BasicBlock *BB = F.Blocks[BlockId].get();
+    for (const auto &Instr : BB->Instrs)
+      if (Instr->op() == Opcode::StoreLocal)
+        StoresByLocal[Instr->SlotId].push_back(Instr.get());
+  }
+
+  for (auto &[Local, Stores] : StoresByLocal) {
+    if (Stores.size() != 1)
+      continue;
+    Instruction *Store = Stores.front();
+    Instruction *Value = defOf(Store->Operands[0]);
+    if (!Value || Value->type() != IRType::I64)
+      continue;
+    if (Value->op() != Opcode::Add && Value->op() != Opcode::Sub)
+      continue;
+
+    Instruction *Load = nullptr;
+    int64_t Step = 0;
+    Instruction *LHS = defOf(Value->Operands[0]);
+    Instruction *RHS = defOf(Value->Operands[1]);
+    if (LHS && LHS->op() == Opcode::LoadLocal && LHS->SlotId == Local &&
+        Value->Operands[1].K == Operand::Kind::ConstInt) {
+      Load = LHS;
+      Step = Value->Operands[1].IntVal;
+      if (Value->op() == Opcode::Sub)
+        Step = -Step;
+    } else if (Value->op() == Opcode::Add && RHS &&
+               RHS->op() == Opcode::LoadLocal && RHS->SlotId == Local &&
+               Value->Operands[0].K == Operand::Kind::ConstInt) {
+      Load = RHS;
+      Step = Value->Operands[0].IntVal;
+    }
+    if (!Load || Step == 0)
+      continue;
+
+    // The update must run exactly once per iteration: its block must be a
+    // latch or dominate every latch. We use the simple structural check
+    // that the store's block is one of the latches or the header.
+    bool OnEveryIteration = Store->Parent == L.Header;
+    for (BasicBlock *Latch : L.Latches)
+      OnEveryIteration |= Store->Parent == Latch;
+    if (!OnEveryIteration)
+      continue;
+
+    L.Induction.Local = Local;
+    L.Induction.Step = Step;
+    L.Induction.Update = Store;
+
+    // Exit compare in the header: condbr whose condition is a compare with
+    // one side loading the induction local.
+    Instruction *Term = L.Header->terminator();
+    if (Term && Term->op() == Opcode::CondBr) {
+      Instruction *Cond = defOf(Term->Operands[0]);
+      if (Cond && (Cond->op() == Opcode::Lt || Cond->op() == Opcode::Le ||
+                   Cond->op() == Opcode::Gt || Cond->op() == Opcode::Ge ||
+                   Cond->op() == Opcode::Ne || Cond->op() == Opcode::Eq)) {
+        for (const Operand &Op : Cond->Operands) {
+          Instruction *Side = defOf(Op);
+          if (Side && Side->op() == Opcode::LoadLocal &&
+              Side->SlotId == Local)
+            L.Induction.ExitCompare = Cond;
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}

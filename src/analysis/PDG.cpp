@@ -1,0 +1,404 @@
+//===- PDG.cpp ------------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/PDG.h"
+
+#include "commset/Analysis/Dominators.h"
+#include "commset/IR/Printer.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace commset;
+
+namespace {
+
+using DefSet = std::set<Instruction *>;
+using LocalDefs = std::map<unsigned, DefSet>;
+
+/// Reaching definitions of locals at block granularity over an arbitrary
+/// edge set.
+class ReachingDefs {
+public:
+  /// \p Preds lists predecessor block ids per block; \p Seed, when
+  /// non-null, injects extra definitions into \p SeedBlock's IN set (used
+  /// for the around-the-back-edge dataflow). With \p GenDefs false the
+  /// dataflow only *kills* at definitions without generating them: exactly
+  /// what the carried analysis needs, where only previous-iteration defs
+  /// may flow and any redefinition cuts them off.
+  void compute(const Function &F,
+               const std::vector<std::vector<unsigned>> &Preds,
+               const std::vector<char> &InGraph, int SeedBlock = -1,
+               const LocalDefs *Seed = nullptr, bool GenDefs = true) {
+    unsigned N = static_cast<unsigned>(F.Blocks.size());
+    In.assign(N, {});
+    Out.assign(N, {});
+
+    // Per-block gen (last def per local) and kill (any def).
+    std::vector<std::map<unsigned, Instruction *>> Gen(N);
+    for (const auto &BB : F.Blocks)
+      for (const auto &Instr : BB->Instrs)
+        if (Instr->op() == Opcode::StoreLocal)
+          Gen[BB->Id][Instr->SlotId] = Instr.get();
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &BB : F.Blocks) {
+        unsigned Id = BB->Id;
+        if (!InGraph[Id])
+          continue;
+        LocalDefs NewIn;
+        if (SeedBlock == static_cast<int>(Id) && Seed)
+          NewIn = *Seed;
+        for (unsigned Pred : Preds[Id]) {
+          if (!InGraph[Pred])
+            continue;
+          for (const auto &[Local, Defs] : Out[Pred])
+            NewIn[Local].insert(Defs.begin(), Defs.end());
+        }
+        LocalDefs NewOut = NewIn;
+        for (const auto &[Local, Def] : Gen[Id]) {
+          if (GenDefs)
+            NewOut[Local] = {Def};
+          else
+            NewOut.erase(Local);
+        }
+        if (NewIn != In[Id] || NewOut != Out[Id]) {
+          In[Id] = std::move(NewIn);
+          Out[Id] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  /// Definitions of \p Local reaching instruction \p Use: the nearest
+  /// preceding def in its block, else the block IN set.
+  DefSet reachingAt(const Instruction *Use, unsigned Local) const {
+    const BasicBlock *BB = Use->Parent;
+    Instruction *Nearest = nullptr;
+    for (const auto &Instr : BB->Instrs) {
+      if (Instr.get() == Use)
+        break;
+      if (Instr->op() == Opcode::StoreLocal && Instr->SlotId == Local)
+        Nearest = Instr.get();
+    }
+    if (Nearest)
+      return {Nearest};
+    auto It = In[BB->Id].find(Local);
+    return It == In[BB->Id].end() ? DefSet() : It->second;
+  }
+
+  /// Carried variant: a preceding same-block definition kills all
+  /// around-the-back-edge defs instead of becoming the reaching def.
+  DefSet reachingAtCarried(const Instruction *Use, unsigned Local) const {
+    const BasicBlock *BB = Use->Parent;
+    for (const auto &Instr : BB->Instrs) {
+      if (Instr.get() == Use)
+        break;
+      if (Instr->op() == Opcode::StoreLocal && Instr->SlotId == Local)
+        return {};
+    }
+    auto It = In[BB->Id].find(Local);
+    return It == In[BB->Id].end() ? DefSet() : It->second;
+  }
+
+  std::vector<LocalDefs> In, Out;
+};
+
+/// Memory access description of one PDG node.
+struct MemAccess {
+  bool Participates = false;
+  EffectSummary S;
+  std::vector<PtrOrigins::AliasClass> ReadPtrs;
+  std::vector<PtrOrigins::AliasClass> WritePtrs;
+};
+
+struct ConflictResult {
+  bool Conflict = false;
+  bool Carried = false;
+};
+
+} // namespace
+
+static MemAccess buildAccess(const Instruction *Instr,
+                             const EffectAnalysis &EA, const PtrOrigins &PO) {
+  MemAccess A;
+  A.S = EA.instructionEffects(Instr);
+  if (!A.S.touchesMemory())
+    return A;
+  A.Participates = true;
+  if (Instr->isCall() && (A.S.ArgMemRead || A.S.ArgMemWrite || A.S.World)) {
+    for (const Operand &Op : Instr->Operands) {
+      // Only pointer-typed operands carry memory.
+      bool IsPtr = false;
+      if (Op.isInstr())
+        IsPtr = Op.Def->type() == IRType::Ptr;
+      else
+        IsPtr = Op.K == Operand::Kind::ConstStr ||
+                Op.K == Operand::Kind::ConstNull;
+      if (!IsPtr)
+        continue;
+      auto Class = PO.classOf(Op);
+      if (A.S.ArgMemRead || A.S.World)
+        A.ReadPtrs.push_back(Class);
+      if (A.S.ArgMemWrite || A.S.World)
+        A.WritePtrs.push_back(Class);
+    }
+  }
+  return A;
+}
+
+/// True when an argmem alias between \p A and \p B can persist across loop
+/// iterations: any shared basis other than an allocation inside the loop.
+static bool argMemCarried(const PtrOrigins::AliasClass &A,
+                          const PtrOrigins::AliasClass &B, const Loop &L) {
+  if (A.Unknown || B.Unknown)
+    return true;
+  for (const Instruction *Root : A.Roots)
+    if (B.Roots.count(Root) && !L.contains(Root))
+      return true;
+  return false;
+}
+
+static void mergeConflict(ConflictResult &R, bool Carried) {
+  R.Conflict = true;
+  R.Carried |= Carried;
+}
+
+static ConflictResult conflict(const MemAccess &A, const MemAccess &B,
+                               const Loop &L) {
+  ConflictResult R;
+  if (!A.Participates || !B.Participates)
+    return R;
+  if (A.S.World || B.S.World) {
+    // World conflicts with anything that touches memory.
+    mergeConflict(R, true);
+    return R;
+  }
+
+  auto intersects = [](const std::set<unsigned> &X,
+                       const std::set<unsigned> &Y) {
+    for (unsigned V : X)
+      if (Y.count(V))
+        return true;
+    return false;
+  };
+
+  // Named classes and globals: write-read, read-write, write-write.
+  bool ClassConflict =
+      intersects(A.S.WriteClasses, B.S.ReadClasses) ||
+      intersects(A.S.WriteClasses, B.S.WriteClasses) ||
+      intersects(A.S.ReadClasses, B.S.WriteClasses) ||
+      intersects(A.S.WriteGlobals, B.S.ReadGlobals) ||
+      intersects(A.S.WriteGlobals, B.S.WriteGlobals) ||
+      intersects(A.S.ReadGlobals, B.S.WriteGlobals);
+  if (ClassConflict)
+    mergeConflict(R, true);
+
+  // Argument memory.
+  auto checkPtrs = [&](const std::vector<PtrOrigins::AliasClass> &Xs,
+                       const std::vector<PtrOrigins::AliasClass> &Ys) {
+    for (const auto &X : Xs)
+      for (const auto &Y : Ys)
+        if (PtrOrigins::mayAlias(X, Y))
+          mergeConflict(R, argMemCarried(X, Y, L));
+  };
+  checkPtrs(A.WritePtrs, B.ReadPtrs);
+  checkPtrs(A.WritePtrs, B.WritePtrs);
+  checkPtrs(A.ReadPtrs, B.WritePtrs);
+  return R;
+}
+
+PDG PDG::build(Function &F, const Loop &L, const Module &M,
+               const EffectAnalysis &EA, const PtrOrigins &PO) {
+  PDG G;
+  G.F = &F;
+  G.L = &L;
+
+  unsigned NumInstrs = F.numberInstructions();
+  G.NodeIndex.assign(NumInstrs, -1);
+  for (const auto &BB : F.Blocks) {
+    if (!L.BlockIds.count(BB->Id))
+      continue;
+    for (const auto &Instr : BB->Instrs) {
+      G.NodeIndex[Instr->Id] = static_cast<int>(G.Nodes.size());
+      G.Nodes.push_back(Instr.get());
+    }
+  }
+
+  auto addEdge = [&](const Instruction *Src, const Instruction *Dst,
+                     DepKind Kind, bool Carried, unsigned LocalId = ~0u) {
+    int SrcIdx = G.NodeIndex[Src->Id];
+    int DstIdx = G.NodeIndex[Dst->Id];
+    if (SrcIdx < 0 || DstIdx < 0)
+      return;
+    PDGEdge E;
+    E.Src = static_cast<unsigned>(SrcIdx);
+    E.Dst = static_cast<unsigned>(DstIdx);
+    E.Kind = Kind;
+    E.LoopCarried = Carried;
+    E.LocalId = LocalId;
+    G.Edges.push_back(E);
+  };
+
+  // --- Register def/use edges (same block, never carried).
+  for (Instruction *Instr : G.Nodes)
+    for (const Operand &Op : Instr->Operands)
+      if (Op.isInstr())
+        addEdge(Op.Def, Instr, DepKind::Register, false);
+
+  // --- Local flow edges via reaching definitions.
+  auto PredBlocks = F.predecessors();
+  unsigned NumBlocks = static_cast<unsigned>(F.Blocks.size());
+  std::vector<std::vector<unsigned>> PredIds(NumBlocks);
+  std::vector<std::vector<unsigned>> PredIdsCut(NumBlocks);
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    for (BasicBlock *Pred : PredBlocks[B]) {
+      PredIds[B].push_back(Pred->Id);
+      if (!L.isBackEdge(Pred, F.Blocks[B].get()))
+        PredIdsCut[B].push_back(Pred->Id);
+    }
+  }
+  std::vector<char> AllBlocks(NumBlocks, 1);
+  std::vector<char> LoopBlocks(NumBlocks, 0);
+  for (unsigned Id : L.BlockIds)
+    LoopBlocks[Id] = 1;
+
+  ReachingDefs Full;
+  Full.compute(F, PredIds, AllBlocks);
+  ReachingDefs Intra;
+  Intra.compute(F, PredIdsCut, AllBlocks);
+
+  // Around-the-back-edge dataflow: seed the header with the defs live at
+  // the latches, propagate only within the loop with back edges cut.
+  LocalDefs HeaderSeed;
+  for (BasicBlock *Latch : L.Latches)
+    for (const auto &[Local, Defs] : Full.Out[Latch->Id])
+      HeaderSeed[Local].insert(Defs.begin(), Defs.end());
+  ReachingDefs Carried;
+  Carried.compute(F, PredIdsCut, LoopBlocks,
+                  static_cast<int>(L.Header->Id), &HeaderSeed,
+                  /*GenDefs=*/false);
+
+  for (Instruction *Use : G.Nodes) {
+    if (Use->op() != Opcode::LoadLocal)
+      continue;
+    unsigned Local = Use->SlotId;
+    for (Instruction *Def : Intra.reachingAt(Use, Local))
+      addEdge(Def, Use, DepKind::LocalFlow, false, Local);
+    for (Instruction *Def : Carried.reachingAtCarried(Use, Local))
+      addEdge(Def, Use, DepKind::LocalFlow, true, Local);
+  }
+
+  // --- Memory dependence edges.
+  std::vector<MemAccess> Accesses(G.Nodes.size());
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    Accesses[I] = buildAccess(G.Nodes[I], EA, PO);
+
+  // Intra-iteration block reachability (back edges cut), loop blocks only.
+  std::vector<std::vector<char>> BlockReach(
+      NumBlocks, std::vector<char>(NumBlocks, 0));
+  for (unsigned Start : L.BlockIds) {
+    std::vector<unsigned> Worklist = {Start};
+    while (!Worklist.empty()) {
+      unsigned B = Worklist.back();
+      Worklist.pop_back();
+      for (BasicBlock *Succ : F.Blocks[B]->successors()) {
+        if (!LoopBlocks[Succ->Id])
+          continue;
+        if (L.isBackEdge(F.Blocks[B].get(), Succ))
+          continue;
+        if (BlockReach[Start][Succ->Id])
+          continue;
+        BlockReach[Start][Succ->Id] = 1;
+        Worklist.push_back(Succ->Id);
+      }
+    }
+  }
+  auto reachesIntra = [&](const Instruction *A, const Instruction *B) {
+    if (A->Parent == B->Parent)
+      return A->Id < B->Id;
+    return BlockReach[A->Parent->Id][B->Parent->Id] != 0;
+  };
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!Accesses[I].Participates)
+      continue;
+    // Carried self dependence (e.g. a call updating a shared RNG seed).
+    ConflictResult Self = conflict(Accesses[I], Accesses[I], L);
+    if (Self.Conflict && Self.Carried)
+      addEdge(G.Nodes[I], G.Nodes[I], DepKind::Memory, true);
+
+    for (size_t J = I + 1; J < G.Nodes.size(); ++J) {
+      if (!Accesses[J].Participates)
+        continue;
+      ConflictResult C = conflict(Accesses[I], Accesses[J], L);
+      if (!C.Conflict)
+        continue;
+      Instruction *A = G.Nodes[I];
+      Instruction *B = G.Nodes[J];
+      if (reachesIntra(A, B))
+        addEdge(A, B, DepKind::Memory, false);
+      else if (reachesIntra(B, A))
+        addEdge(B, A, DepKind::Memory, false);
+      if (C.Carried) {
+        addEdge(A, B, DepKind::Memory, true);
+        addEdge(B, A, DepKind::Memory, true);
+      }
+    }
+  }
+
+  // --- Control dependence edges.
+  PostDomTree PDT = computePostDominators(F);
+  auto CD = computeControlDeps(F, PDT);
+  for (const auto &BB : F.Blocks) {
+    if (!LoopBlocks[BB->Id])
+      continue;
+    for (unsigned CtrlBlock : CD[BB->Id]) {
+      if (!LoopBlocks[CtrlBlock])
+        continue;
+      Instruction *Branch = F.Blocks[CtrlBlock]->terminator();
+      assert(Branch && "control dependence on unterminated block");
+      for (const auto &Instr : BB->Instrs)
+        addEdge(Branch, Instr.get(), DepKind::Control, false);
+    }
+  }
+
+  return G;
+}
+
+std::vector<std::vector<unsigned>> PDG::activeAdjacency() const {
+  std::vector<std::vector<unsigned>> Adj(Nodes.size());
+  for (const PDGEdge &E : Edges)
+    if (edgeActive(E))
+      Adj[E.Src].push_back(E.Dst);
+  return Adj;
+}
+
+std::string PDG::dump() const {
+  std::string Out = formatString("PDG for loop at block '%s' (%zu nodes, "
+                                 "%zu edges)\n",
+                                 L->Header->Name.c_str(), Nodes.size(),
+                                 Edges.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Out += formatString("  n%zu: %s\n", I,
+                        printInstruction(*Nodes[I]).c_str());
+  for (const PDGEdge &E : Edges) {
+    const char *Kind = E.Kind == DepKind::Register    ? "reg"
+                       : E.Kind == DepKind::LocalFlow ? "loc"
+                       : E.Kind == DepKind::Memory    ? "mem"
+                                                      : "ctl";
+    const char *Comm = E.Comm == CommAnnotation::Uco   ? " uco"
+                       : E.Comm == CommAnnotation::Ico ? " ico"
+                                                       : "";
+    Out += formatString("  n%u -> n%u [%s%s%s]\n", E.Src, E.Dst, Kind,
+                        E.LoopCarried ? " carried" : "", Comm);
+  }
+  return Out;
+}

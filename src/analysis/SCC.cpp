@@ -1,0 +1,116 @@
+//===- SCC.cpp ------------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/SCC.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace commset;
+
+namespace {
+
+/// Iterative Tarjan SCC.
+class TarjanSCC {
+public:
+  TarjanSCC(unsigned N, const std::vector<std::vector<unsigned>> &Adj)
+      : Component(N, ~0u), Adj(Adj), Index(N, ~0u), LowLink(N, 0),
+        OnStack(N, 0) {}
+
+  void run() {
+    for (unsigned V = 0; V < Index.size(); ++V)
+      if (Index[V] == ~0u)
+        strongConnect(V);
+  }
+
+  std::vector<unsigned> Component;
+  unsigned NumComponents = 0;
+
+private:
+  void strongConnect(unsigned Root) {
+    // Iterative DFS: frame = (node, next adjacency position).
+    std::vector<std::pair<unsigned, size_t>> Frames;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      auto &[V, Next] = Frames.back();
+      if (Next == 0) {
+        Index[V] = LowLink[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = 1;
+      }
+      bool Descended = false;
+      while (Next < Adj[V].size()) {
+        unsigned W = Adj[V][Next++];
+        if (Index[W] == ~0u) {
+          Frames.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[V] == Index[V]) {
+        while (true) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          Component[W] = NumComponents;
+          if (W == V)
+            break;
+        }
+        ++NumComponents;
+      }
+      unsigned Finished = V;
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        unsigned Parent = Frames.back().first;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[Finished]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<unsigned>> &Adj;
+  std::vector<unsigned> Index, LowLink;
+  std::vector<char> OnStack;
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+};
+
+} // namespace
+
+SCCResult commset::computeSCCs(const PDG &G) {
+  unsigned N = static_cast<unsigned>(G.Nodes.size());
+  auto Adj = G.activeAdjacency();
+  TarjanSCC Tarjan(N, Adj);
+  Tarjan.run();
+
+  SCCResult R;
+  R.ComponentOf = Tarjan.Component;
+  R.Components.resize(Tarjan.NumComponents);
+  for (unsigned V = 0; V < N; ++V)
+    R.Components[Tarjan.Component[V]].push_back(V);
+
+  R.DagSuccs.resize(Tarjan.NumComponents);
+  R.HasCarried.assign(Tarjan.NumComponents, 0);
+  for (const PDGEdge &E : G.Edges) {
+    if (!G.edgeActive(E))
+      continue;
+    unsigned SrcC = R.ComponentOf[E.Src];
+    unsigned DstC = R.ComponentOf[E.Dst];
+    if (SrcC != DstC)
+      R.DagSuccs[SrcC].insert(DstC);
+    else if (G.edgeCarried(E))
+      R.HasCarried[SrcC] = 1;
+  }
+
+  // Tarjan numbers components in reverse topological order of the DAG.
+  R.TopoOrder.resize(Tarjan.NumComponents);
+  for (unsigned C = 0; C < Tarjan.NumComponents; ++C)
+    R.TopoOrder[C] = Tarjan.NumComponents - 1 - C;
+  return R;
+}

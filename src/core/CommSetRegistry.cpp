@@ -1,0 +1,118 @@
+//===- CommSetRegistry.cpp ------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Core/CommSetRegistry.h"
+
+#include "commset/Support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace commset;
+
+const std::vector<CommSetRegistry::Membership>
+    CommSetRegistry::NoMemberships;
+
+unsigned CommSetRegistry::getOrCreateSet(const std::string &Name,
+                                         CommSetKind Kind) {
+  auto It = SetIdByName.find(Name);
+  if (It != SetIdByName.end())
+    return It->second;
+  SetInfo Info;
+  Info.Id = static_cast<unsigned>(Sets.size());
+  Info.Name = Name;
+  Info.Kind = Kind;
+  Info.Rank = Info.Id;
+  Sets.push_back(std::move(Info));
+  SetIdByName[Name] = Sets.back().Id;
+  return Sets.back().Id;
+}
+
+CommSetRegistry CommSetRegistry::build(const Program &P, const Module &M,
+                                       DiagnosticEngine &Diags) {
+  CommSetRegistry R;
+
+  // Declared sets first: their declaration order defines the lock ranks.
+  for (const SetDecl &D : P.SetDecls)
+    R.getOrCreateSet(D.Name, D.Kind);
+  for (const PredicateDecl &D : P.Predicates) {
+    int Id = R.findSet(D.SetName);
+    if (Id >= 0)
+      R.Sets[Id].Pred = &D;
+  }
+  for (const NoSyncDecl &D : P.NoSyncs) {
+    int Id = R.findSet(D.SetName);
+    if (Id >= 0)
+      R.Sets[Id].NoSync = true;
+  }
+
+  // Memberships from module metadata; implicit SELF expands to a singleton
+  // self set unique to the member.
+  auto addMemberships = [&](const std::string &Callee,
+                            const std::vector<MemberInstance> &Members) {
+    for (const MemberInstance &MI : Members) {
+      Membership Entry;
+      if (MI.SetName == SelfSetKeyword) {
+        Entry.SetId = R.getOrCreateSet("SELF$" + Callee, CommSetKind::Self);
+      } else {
+        int Id = R.findSet(MI.SetName);
+        if (Id < 0) {
+          Diags.error(MI.Loc, formatString("membership in undeclared "
+                                           "COMMSET '%s'",
+                                           MI.SetName.c_str()));
+          continue;
+        }
+        Entry.SetId = static_cast<unsigned>(Id);
+      }
+      Entry.ArgParams = MI.ArgParams;
+      R.Memberships[Callee].push_back(std::move(Entry));
+    }
+  };
+
+  for (const auto &F : M.Functions)
+    addMemberships(F->Name, F->Members);
+  for (const auto &N : M.Natives)
+    addMemberships(N->Name, N->Members);
+
+  return R;
+}
+
+int CommSetRegistry::findSet(const std::string &Name) const {
+  auto It = SetIdByName.find(Name);
+  return It == SetIdByName.end() ? -1 : static_cast<int>(It->second);
+}
+
+const std::vector<CommSetRegistry::Membership> &
+CommSetRegistry::membershipsOf(const std::string &Callee) const {
+  auto It = Memberships.find(Callee);
+  return It == Memberships.end() ? NoMemberships : It->second;
+}
+
+std::vector<unsigned>
+CommSetRegistry::commutingSets(const std::string &F,
+                               const std::string &G) const {
+  std::vector<unsigned> Result;
+  bool SameCallee = F == G;
+  for (const Membership &MF : membershipsOf(F)) {
+    for (const Membership &MG : membershipsOf(G)) {
+      if (MF.SetId != MG.SetId)
+        continue;
+      const SetInfo &S = Sets[MF.SetId];
+      bool Commutes = SameCallee ? S.Kind == CommSetKind::Self
+                                 : S.Kind == CommSetKind::Group;
+      if (Commutes &&
+          std::find(Result.begin(), Result.end(), S.Id) == Result.end())
+        Result.push_back(S.Id);
+    }
+  }
+  return Result;
+}
+
+std::vector<std::string> CommSetRegistry::memberCallees() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Members] : Memberships)
+    Names.push_back(Name);
+  return Names;
+}

@@ -1,0 +1,269 @@
+//===- DepAnalysis.cpp ----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Core/DepAnalysis.h"
+
+#include "commset/Core/PredicateInterp.h"
+
+#include <cassert>
+
+using namespace commset;
+
+namespace {
+
+/// Symbolic variable ids: the induction variable in each execution context,
+/// then opaque locals (one id per (local, context) pair, offset past the
+/// induction ids).
+constexpr unsigned IndVarCtx1 = 1;
+constexpr unsigned IndVarCtx2 = 2;
+constexpr unsigned LocalVarBase = 16;
+
+unsigned localVarId(unsigned Local, unsigned Ctx) {
+  return LocalVarBase + Local * 2 + (Ctx - 1);
+}
+
+/// Resolves, for LoadLocal nodes, the unique intra-iteration reaching
+/// definition (null when several defs or any loop-carried def reaches the
+/// load): lets the symbolic binder trace copy chains like the hidden
+/// parameters introduced by named-block inlining back to the induction
+/// variable.
+class CopyChains {
+public:
+  explicit CopyChains(const PDG &G) {
+    std::map<unsigned, const Instruction *> IntraDef;
+    std::set<unsigned> Spoiled;
+    for (const PDGEdge &E : G.Edges) {
+      if (E.Kind != DepKind::LocalFlow)
+        continue;
+      if (E.LoopCarried) {
+        Spoiled.insert(E.Dst);
+        continue;
+      }
+      auto [It, Inserted] = IntraDef.try_emplace(E.Dst, G.Nodes[E.Src]);
+      if (!Inserted)
+        Spoiled.insert(E.Dst); // Multiple reaching defs.
+    }
+    for (auto &[Node, Def] : IntraDef)
+      if (!Spoiled.count(Node))
+        UniqueDef[G.Nodes[Node]] = Def;
+  }
+
+  /// The single StoreLocal reaching \p Load intra-iteration, or null.
+  const Instruction *defOf(const Instruction *Load) const {
+    auto It = UniqueDef.find(Load);
+    return It == UniqueDef.end() ? nullptr : It->second;
+  }
+
+private:
+  std::map<const Instruction *, const Instruction *> UniqueDef;
+};
+
+/// Symbolic value of a call actual in execution context \p Ctx (1 = source
+/// member, 2 = destination member). Traces affine chains and single-def
+/// local copies rooted at the induction variable.
+SymValue symbolicArg(const Operand &Op, unsigned Ctx, int InductionLocal,
+                     const CopyChains &Chains, unsigned Depth = 0) {
+  if (Depth > 16)
+    return SymValue::opaque();
+  switch (Op.K) {
+  case Operand::Kind::ConstInt:
+    return SymValue::constInt(Op.IntVal);
+  case Operand::Kind::ConstFloat:
+    return SymValue::constFloat(Op.FloatVal);
+  case Operand::Kind::Instr:
+    break;
+  default:
+    return SymValue::opaque();
+  }
+
+  const Instruction *Def = Op.Def;
+  switch (Def->op()) {
+  case Opcode::LoadLocal: {
+    if (InductionLocal >= 0 &&
+        Def->SlotId == static_cast<unsigned>(InductionLocal))
+      return SymValue::affine(Ctx == 1 ? IndVarCtx1 : IndVarCtx2);
+    // Chase the unique intra-iteration reaching definition (copy chains
+    // from named-block inlining, `x = i + 1` style rebindings, ...).
+    if (const Instruction *Store = Chains.defOf(Def)) {
+      SymValue V = symbolicArg(Store->Operands[0], Ctx, InductionLocal,
+                               Chains, Depth + 1);
+      if (V.K != SymValue::Kind::Opaque)
+        return V;
+    }
+    // Otherwise: same symbolic variable within one context. The analyzer
+    // only proves *equality within one context* through identical VarIds,
+    // which is sound for read-only bindings at a single call site.
+    return SymValue::affine(localVarId(Def->SlotId, Ctx));
+  }
+  case Opcode::Add: {
+    SymValue L =
+        symbolicArg(Def->Operands[0], Ctx, InductionLocal, Chains, Depth + 1);
+    SymValue R =
+        symbolicArg(Def->Operands[1], Ctx, InductionLocal, Chains, Depth + 1);
+    if (L.K == SymValue::Kind::Affine && R.K == SymValue::Kind::ConstInt)
+      return SymValue::affine(L.VarId, L.Offset + R.Offset);
+    if (L.K == SymValue::Kind::ConstInt && R.K == SymValue::Kind::Affine)
+      return SymValue::affine(R.VarId, R.Offset + L.Offset);
+    if (L.K == SymValue::Kind::ConstInt && R.K == SymValue::Kind::ConstInt)
+      return SymValue::constInt(L.Offset + R.Offset);
+    return SymValue::opaque();
+  }
+  case Opcode::Sub: {
+    SymValue L =
+        symbolicArg(Def->Operands[0], Ctx, InductionLocal, Chains, Depth + 1);
+    SymValue R =
+        symbolicArg(Def->Operands[1], Ctx, InductionLocal, Chains, Depth + 1);
+    if (L.K == SymValue::Kind::Affine && R.K == SymValue::Kind::ConstInt)
+      return SymValue::affine(L.VarId, L.Offset - R.Offset);
+    if (L.K == SymValue::Kind::ConstInt && R.K == SymValue::Kind::ConstInt)
+      return SymValue::constInt(L.Offset - R.Offset);
+    return SymValue::opaque();
+  }
+  default:
+    return SymValue::opaque();
+  }
+}
+
+const std::string &calleeNameOf(const Instruction *Call) {
+  assert(Call->isCall() && "not a call");
+  static const std::string Empty;
+  if (Call->op() == Opcode::Call)
+    return Call->Callee->Name;
+  return Call->Native->Name;
+}
+
+/// Finds the membership of \p Callee in \p SetId (first one).
+const CommSetRegistry::Membership *
+membershipIn(const CommSetRegistry &Registry, const std::string &Callee,
+             unsigned SetId) {
+  for (const auto &M : Registry.membershipsOf(Callee))
+    if (M.SetId == SetId)
+      return &M;
+  return nullptr;
+}
+
+} // namespace
+
+DepAnalysisStats
+commset::annotateCommutativity(PDG &G, const DomTree &DT,
+                               const CommSetRegistry &Registry) {
+  DepAnalysisStats Stats;
+  int InductionLocal = G.L->Induction.Local == ~0u
+                           ? -1
+                           : static_cast<int>(G.L->Induction.Local);
+  CopyChains Chains(G);
+
+  for (PDGEdge &E : G.Edges) {
+    if (E.Kind != DepKind::Memory)
+      continue;
+    Instruction *N1 = G.Nodes[E.Src];
+    Instruction *N2 = G.Nodes[E.Dst];
+    // Algorithm 1, line 3: only call-call edges are candidates.
+    if (!N1->isCall() || !N2->isCall())
+      continue;
+    ++Stats.Examined;
+
+    const std::string &F = calleeNameOf(N1);
+    const std::string &Gn = calleeNameOf(N2);
+    bool AnyUco = false, AnyIco = false;
+
+    for (unsigned SetId : Registry.commutingSets(F, Gn)) {
+      const CommSetRegistry::SetInfo &S = Registry.set(SetId);
+      if (!S.Pred) {
+        AnyUco = true; // Lines 9-11.
+        break;
+      }
+
+      const auto *MF = membershipIn(Registry, F, SetId);
+      const auto *MG = membershipIn(Registry, Gn, SetId);
+      assert(MF && MG && "commutingSets implies membership");
+      if (MF->ArgParams.size() != S.Pred->Params1.size() ||
+          MG->ArgParams.size() != S.Pred->Params2.size())
+        continue; // Malformed binding; leave the dependence in place.
+
+      // Bind actuals (lines 13-20).
+      std::map<std::string, SymValue> Env;
+      bool BindOk = true;
+      for (size_t I = 0; I < MF->ArgParams.size() && BindOk; ++I) {
+        unsigned Param = MF->ArgParams[I];
+        if (Param >= N1->Operands.size()) {
+          BindOk = false;
+          break;
+        }
+        Env[S.Pred->Params1[I].Name] =
+            symbolicArg(N1->Operands[Param], 1, InductionLocal, Chains);
+      }
+      for (size_t I = 0; I < MG->ArgParams.size() && BindOk; ++I) {
+        unsigned Param = MG->ArgParams[I];
+        if (Param >= N2->Operands.size()) {
+          BindOk = false;
+          break;
+        }
+        // Intra-iteration edges evaluate both members in the same context
+        // (the induction variable has one value); loop-carried edges give
+        // the destination a second context with the distinctness fact.
+        unsigned Ctx = E.LoopCarried ? 2 : 1;
+        Env[S.Pred->Params2[I].Name] =
+            symbolicArg(N2->Operands[Param], Ctx, InductionLocal, Chains);
+      }
+      if (!BindOk)
+        continue;
+
+      SymFacts Facts;
+      if (E.LoopCarried)
+        Facts.Distinct.push_back({IndVarCtx1, IndVarCtx2}); // Line 22-23.
+
+      TriBool R = evalPredicate(S.Pred->Predicate.get(), Env, Facts);
+      if (R != TriBool::True)
+        continue;
+      if (E.LoopCarried) {
+        if (DT.dominates(N2, N1)) // Lines 25-27.
+          AnyUco = true;
+        else // Lines 28-30.
+          AnyIco = true;
+      } else { // Lines 32-36.
+        AnyUco = true;
+      }
+      if (AnyUco)
+        break;
+    }
+
+    if (AnyUco) {
+      E.Comm = CommAnnotation::Uco;
+      ++Stats.UcoEdges;
+    } else if (AnyIco) {
+      E.Comm = CommAnnotation::Ico;
+      ++Stats.IcoEdges;
+    }
+  }
+
+  // Symmetric upgrade: a loop-carried conflict appears as a pair of
+  // opposite edges (either order of iterations). When both directions are
+  // proven commutative, no cross-iteration ordering constraint remains in
+  // either direction, so both relax to uco. (Algorithm 1's dominance test
+  // handles the common cases; this covers conditional members whose blocks
+  // do not dominate each other, where the paper's rule leaves a spurious
+  // ico 2-cycle.)
+  for (PDGEdge &E : G.Edges) {
+    if (E.Kind != DepKind::Memory || !E.LoopCarried ||
+        E.Comm != CommAnnotation::Ico)
+      continue;
+    for (PDGEdge &Rev : G.Edges) {
+      if (Rev.Kind != DepKind::Memory || !Rev.LoopCarried)
+        continue;
+      if (Rev.Src != E.Dst || Rev.Dst != E.Src)
+        continue;
+      if (Rev.Comm == CommAnnotation::None)
+        continue;
+      E.Comm = CommAnnotation::Uco;
+      if (Rev.Comm == CommAnnotation::Ico)
+        Rev.Comm = CommAnnotation::Uco;
+      ++Stats.UcoEdges;
+      break;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,269 @@
+//===- PredicateInterp.cpp ------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Core/PredicateInterp.h"
+
+#include "commset/Support/Casting.h"
+
+using namespace commset;
+
+namespace {
+
+TriBool triNot(TriBool V) {
+  switch (V) {
+  case TriBool::True:
+    return TriBool::False;
+  case TriBool::False:
+    return TriBool::True;
+  case TriBool::Unknown:
+    return TriBool::Unknown;
+  }
+  return TriBool::Unknown;
+}
+
+TriBool triAnd(TriBool A, TriBool B) {
+  if (A == TriBool::False || B == TriBool::False)
+    return TriBool::False;
+  if (A == TriBool::True && B == TriBool::True)
+    return TriBool::True;
+  return TriBool::Unknown;
+}
+
+TriBool triOr(TriBool A, TriBool B) {
+  if (A == TriBool::True || B == TriBool::True)
+    return TriBool::True;
+  if (A == TriBool::False && B == TriBool::False)
+    return TriBool::False;
+  return TriBool::Unknown;
+}
+
+TriBool fromBool(bool V) { return V ? TriBool::True : TriBool::False; }
+
+/// Symbolic evaluation of a (sub)expression to a value.
+SymValue evalValue(const Expr *E, const std::map<std::string, SymValue> &Env,
+                   const SymFacts &Facts);
+
+/// Comparison of two symbolic values under the known facts.
+TriBool compare(BinaryOp Op, const SymValue &L, const SymValue &R,
+                const SymFacts &Facts) {
+  using K = SymValue::Kind;
+
+  // Exact constants: decide numerically.
+  if (L.K == K::ConstInt && R.K == K::ConstInt) {
+    int64_t A = L.Offset, B = R.Offset;
+    switch (Op) {
+    case BinaryOp::Eq:
+      return fromBool(A == B);
+    case BinaryOp::Ne:
+      return fromBool(A != B);
+    case BinaryOp::Lt:
+      return fromBool(A < B);
+    case BinaryOp::Le:
+      return fromBool(A <= B);
+    case BinaryOp::Gt:
+      return fromBool(A > B);
+    case BinaryOp::Ge:
+      return fromBool(A >= B);
+    default:
+      return TriBool::Unknown;
+    }
+  }
+  if (L.K == K::ConstFloat && R.K == K::ConstFloat) {
+    double A = L.FloatVal, B = R.FloatVal;
+    switch (Op) {
+    case BinaryOp::Eq:
+      return fromBool(A == B);
+    case BinaryOp::Ne:
+      return fromBool(A != B);
+    case BinaryOp::Lt:
+      return fromBool(A < B);
+    case BinaryOp::Le:
+      return fromBool(A <= B);
+    case BinaryOp::Gt:
+      return fromBool(A > B);
+    case BinaryOp::Ge:
+      return fromBool(A >= B);
+    default:
+      return TriBool::Unknown;
+    }
+  }
+
+  if (L.K != K::Affine || R.K != K::Affine)
+    return TriBool::Unknown;
+
+  if (L.VarId == R.VarId) {
+    // v + c1 <op> v + c2 decides exactly on the offsets.
+    int64_t A = L.Offset, B = R.Offset;
+    switch (Op) {
+    case BinaryOp::Eq:
+      return fromBool(A == B);
+    case BinaryOp::Ne:
+      return fromBool(A != B);
+    case BinaryOp::Lt:
+      return fromBool(A < B);
+    case BinaryOp::Le:
+      return fromBool(A <= B);
+    case BinaryOp::Gt:
+      return fromBool(A > B);
+    case BinaryOp::Ge:
+      return fromBool(A >= B);
+    default:
+      return TriBool::Unknown;
+    }
+  }
+
+  if (Facts.knownDistinct(L.VarId, R.VarId)) {
+    // v1 != v2 implies v1 + c != v2 + c (equal offsets only).
+    if (L.Offset == R.Offset) {
+      if (Op == BinaryOp::Ne)
+        return TriBool::True;
+      if (Op == BinaryOp::Eq)
+        return TriBool::False;
+    }
+  }
+  return TriBool::Unknown;
+}
+
+/// Evaluation of an expression as a boolean.
+TriBool evalBool(const Expr *E, const std::map<std::string, SymValue> &Env,
+                 const SymFacts &Facts) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return fromBool(cast<IntLitExpr>(E)->Value != 0);
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->Op == UnaryOp::LNot)
+      return triNot(evalBool(U->Sub.get(), Env, Facts));
+    return TriBool::Unknown;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    switch (B->Op) {
+    case BinaryOp::LAnd:
+      return triAnd(evalBool(B->LHS.get(), Env, Facts),
+                    evalBool(B->RHS.get(), Env, Facts));
+    case BinaryOp::LOr:
+      return triOr(evalBool(B->LHS.get(), Env, Facts),
+                   evalBool(B->RHS.get(), Env, Facts));
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return compare(B->Op, evalValue(B->LHS.get(), Env, Facts),
+                     evalValue(B->RHS.get(), Env, Facts), Facts);
+    default: {
+      // Arithmetic used in boolean position: nonzero test on the value.
+      SymValue V = evalValue(E, Env, Facts);
+      if (V.K == SymValue::Kind::ConstInt)
+        return fromBool(V.Offset != 0);
+      return TriBool::Unknown;
+    }
+    }
+  }
+  case ExprKind::VarRef: {
+    SymValue V = evalValue(E, Env, Facts);
+    if (V.K == SymValue::Kind::ConstInt)
+      return fromBool(V.Offset != 0);
+    return TriBool::Unknown;
+  }
+  default:
+    return TriBool::Unknown;
+  }
+}
+
+SymValue evalValue(const Expr *E, const std::map<std::string, SymValue> &Env,
+                   const SymFacts &Facts) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return SymValue::constInt(cast<IntLitExpr>(E)->Value);
+  case ExprKind::FloatLit:
+    return SymValue::constFloat(cast<FloatLitExpr>(E)->Value);
+  case ExprKind::VarRef: {
+    auto It = Env.find(cast<VarRefExpr>(E)->Name);
+    return It == Env.end() ? SymValue::opaque() : It->second;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    SymValue Sub = evalValue(U->Sub.get(), Env, Facts);
+    if (U->Op == UnaryOp::Neg && Sub.K == SymValue::Kind::ConstInt)
+      return SymValue::constInt(-Sub.Offset);
+    if (U->Op == UnaryOp::Neg && Sub.K == SymValue::Kind::ConstFloat)
+      return SymValue::constFloat(-Sub.FloatVal);
+    if (U->Op == UnaryOp::LNot) {
+      TriBool B = evalBool(U->Sub.get(), Env, Facts);
+      if (B != TriBool::Unknown)
+        return SymValue::constInt(B == TriBool::False ? 1 : 0);
+    }
+    return SymValue::opaque();
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    // Comparisons / logic in value position: fold a decided TriBool.
+    switch (B->Op) {
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr: {
+      TriBool R = evalBool(E, Env, Facts);
+      if (R != TriBool::Unknown)
+        return SymValue::constInt(R == TriBool::True ? 1 : 0);
+      return SymValue::opaque();
+    }
+    default:
+      break;
+    }
+    SymValue L = evalValue(B->LHS.get(), Env, Facts);
+    SymValue R = evalValue(B->RHS.get(), Env, Facts);
+    using K = SymValue::Kind;
+    if (L.K == K::ConstInt && R.K == K::ConstInt) {
+      switch (B->Op) {
+      case BinaryOp::Add:
+        return SymValue::constInt(L.Offset + R.Offset);
+      case BinaryOp::Sub:
+        return SymValue::constInt(L.Offset - R.Offset);
+      case BinaryOp::Mul:
+        return SymValue::constInt(L.Offset * R.Offset);
+      case BinaryOp::Div:
+        return R.Offset ? SymValue::constInt(L.Offset / R.Offset)
+                        : SymValue::opaque();
+      case BinaryOp::Rem:
+        return R.Offset ? SymValue::constInt(L.Offset % R.Offset)
+                        : SymValue::opaque();
+      default:
+        return SymValue::opaque();
+      }
+    }
+    // Affine +/- constant stays affine.
+    if (B->Op == BinaryOp::Add) {
+      if (L.K == K::Affine && R.K == K::ConstInt)
+        return SymValue::affine(L.VarId, L.Offset + R.Offset);
+      if (L.K == K::ConstInt && R.K == K::Affine)
+        return SymValue::affine(R.VarId, R.Offset + L.Offset);
+    }
+    if (B->Op == BinaryOp::Sub && L.K == K::Affine && R.K == K::ConstInt)
+      return SymValue::affine(L.VarId, L.Offset - R.Offset);
+    return SymValue::opaque();
+  }
+  default:
+    return SymValue::opaque();
+  }
+}
+
+} // namespace
+
+TriBool commset::evalPredicate(const Expr *Pred,
+                               const std::map<std::string, SymValue> &Env,
+                               const SymFacts &Facts) {
+  if (!Pred)
+    return TriBool::Unknown;
+  return evalBool(Pred, Env, Facts);
+}

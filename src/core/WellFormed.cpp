@@ -1,0 +1,130 @@
+//===- WellFormed.cpp -----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Core/WellFormed.h"
+
+#include "commset/Support/StringUtils.h"
+
+#include <map>
+
+using namespace commset;
+
+namespace {
+
+/// Resolves a callee name to the user function if it has one (natives have
+/// no outgoing calls, so reachability questions about them are trivial).
+Function *functionOf(const Module &M, const std::string &Name) {
+  return M.findFunction(Name);
+}
+
+/// Callee names (functions and natives) transitively reachable from a
+/// member, including direct native calls of reachable functions.
+std::set<std::string> reachableCallees(const Module &M, const CallGraph &CG,
+                                       const std::string &From) {
+  std::set<std::string> Result;
+  Function *F = functionOf(M, From);
+  if (!F)
+    return Result; // Native members call nothing.
+  std::set<Function *> Fns = CG.reachableFrom(F);
+  Fns.insert(F); // Include the member itself for native-call scanning,
+                 // but do not count it as "reaching itself".
+  for (Function *Reached : Fns) {
+    if (Reached != F)
+      Result.insert(Reached->Name);
+    for (const auto &BB : Reached->Blocks)
+      for (const auto &Instr : BB->Instrs)
+        if (Instr->op() == Opcode::CallNative)
+          Result.insert(Instr->Native->Name);
+  }
+  return Result;
+}
+
+} // namespace
+
+std::vector<std::set<unsigned>>
+commset::buildCommSetGraph(const Module &M, const CommSetRegistry &Registry,
+                           const CallGraph &CG) {
+  std::vector<std::set<unsigned>> Graph(Registry.sets().size());
+  for (const std::string &Caller : Registry.memberCallees()) {
+    std::set<std::string> Reached = reachableCallees(M, CG, Caller);
+    for (const auto &CallerMembership : Registry.membershipsOf(Caller)) {
+      for (const std::string &Callee : Reached) {
+        for (const auto &CalleeMembership : Registry.membershipsOf(Callee)) {
+          Graph[CallerMembership.SetId].insert(CalleeMembership.SetId);
+        }
+      }
+    }
+  }
+  return Graph;
+}
+
+bool commset::checkWellFormed(const Module &M,
+                              const CommSetRegistry &Registry,
+                              const CallGraph &CG, DiagnosticEngine &Diags) {
+  bool Ok = true;
+
+  // Condition (b) of well-defined members: no transitive call between
+  // members of the same COMMSET.
+  std::map<unsigned, std::vector<std::string>> MembersBySet;
+  for (const std::string &Callee : Registry.memberCallees())
+    for (const auto &Membership : Registry.membershipsOf(Callee))
+      MembersBySet[Membership.SetId].push_back(Callee);
+
+  for (const std::string &Caller : Registry.memberCallees()) {
+    std::set<std::string> Reached = reachableCallees(M, CG, Caller);
+    for (const auto &CallerMembership : Registry.membershipsOf(Caller)) {
+      for (const std::string &Other :
+           MembersBySet[CallerMembership.SetId]) {
+        if (Reached.count(Other)) {
+          Diags.error(SourceLoc(),
+                      formatString("COMMSET '%s' is ill-defined: member "
+                                   "'%s' transitively calls member '%s'",
+                                   Registry.set(CallerMembership.SetId)
+                                       .Name.c_str(),
+                                   Caller.c_str(), Other.c_str()));
+          Ok = false;
+        }
+      }
+    }
+  }
+
+  // Well-formedness: the COMMSET graph must be acyclic.
+  auto Graph = buildCommSetGraph(M, Registry, CG);
+  unsigned N = static_cast<unsigned>(Graph.size());
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<char> Color(N, 0);
+  std::vector<unsigned> Stack;
+  for (unsigned Start = 0; Start < N && Ok; ++Start) {
+    if (Color[Start])
+      continue;
+    // Iterative DFS cycle detection.
+    std::vector<std::pair<unsigned, std::set<unsigned>::iterator>> Frames;
+    Frames.push_back({Start, Graph[Start].begin()});
+    Color[Start] = 1;
+    while (!Frames.empty() && Ok) {
+      auto &[Node, It] = Frames.back();
+      if (It == Graph[Node].end()) {
+        Color[Node] = 2;
+        Frames.pop_back();
+        continue;
+      }
+      unsigned Next = *It++;
+      if (Color[Next] == 1) {
+        Diags.error(SourceLoc(),
+                    formatString("COMMSET graph has a cycle through '%s' "
+                                 "and '%s'; the set collection is not "
+                                 "well-formed",
+                                 Registry.set(Node).Name.c_str(),
+                                 Registry.set(Next).Name.c_str()));
+        Ok = false;
+      } else if (Color[Next] == 0) {
+        Color[Next] = 1;
+        Frames.push_back({Next, Graph[Next].begin()});
+      }
+    }
+  }
+  return Ok;
+}

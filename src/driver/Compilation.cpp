@@ -1,0 +1,83 @@
+//===- Compilation.cpp ----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Compilation.h"
+
+#include "commset/Core/WellFormed.h"
+#include "commset/IR/Verifier.h"
+#include "commset/Lang/Parser.h"
+#include "commset/Lang/Sema.h"
+#include "commset/Lower/Lower.h"
+#include "commset/Lower/Specialize.h"
+#include "commset/Support/StringUtils.h"
+
+using namespace commset;
+
+std::unique_ptr<Compilation>
+Compilation::fromSource(const std::string &Source, DiagnosticEngine &Diags) {
+  auto C = std::unique_ptr<Compilation>(new Compilation());
+  C->Prog = Parser::parse(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+
+  {
+    Sema S(*C->Prog, Diags);
+    if (!S.run())
+      return nullptr;
+  }
+  if (!specializeNamedBlocks(*C->Prog, Diags))
+    return nullptr;
+  {
+    // Re-run Sema: inlined named-block expansions introduce new
+    // declarations whose types must be resolved before lowering.
+    Sema S(*C->Prog, Diags);
+    if (!S.run())
+      return nullptr;
+  }
+
+  C->Mod = lowerProgram(*C->Prog, Diags);
+  if (!C->Mod)
+    return nullptr;
+  if (!verifyModule(*C->Mod, Diags))
+    return nullptr;
+
+  C->Registry = CommSetRegistry::build(*C->Prog, *C->Mod, Diags);
+  C->CG = CallGraph::compute(*C->Mod);
+  if (!checkWellFormed(*C->Mod, C->Registry, C->CG, Diags))
+    return nullptr;
+  C->Effects = EffectAnalysis::compute(*C->Mod);
+  return C;
+}
+
+std::unique_ptr<Compilation::LoopTarget>
+Compilation::analyzeLoop(const std::string &FuncName,
+                         DiagnosticEngine &Diags) {
+  Function *F = Mod->findFunction(FuncName);
+  if (!F) {
+    Diags.error(SourceLoc(), formatString("no function named '%s'",
+                                          FuncName.c_str()));
+    return nullptr;
+  }
+  auto T = std::make_unique<LoopTarget>();
+  T->F = F;
+  F->numberInstructions();
+  T->DT = computeDominators(*F);
+  T->LI = LoopInfo::compute(*F, T->DT);
+  if (T->LI.topLevel().empty()) {
+    Diags.error(F->Loc, formatString("function '%s' has no loop to "
+                                     "parallelize",
+                                     FuncName.c_str()));
+    return nullptr;
+  }
+  T->L = T->LI.topLevel().front();
+  analyzeInduction(*F, *T->L);
+
+  T->PO = PtrOrigins::compute(*F, Effects);
+  T->G = PDG::build(*F, *T->L, *Mod, Effects, T->PO);
+  T->Stats = annotateCommutativity(T->G, T->DT, Registry);
+  T->Sccs = computeSCCs(T->G);
+  return T;
+}

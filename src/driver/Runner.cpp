@@ -1,0 +1,105 @@
+//===- Runner.cpp ---------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Runner.h"
+
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <chrono>
+
+using namespace commset;
+
+std::vector<SchemeReport>
+commset::buildAllSchemes(Compilation &C, Compilation::LoopTarget &T,
+                         const PlanOptions &Opts) {
+  std::vector<SchemeReport> Schemes;
+
+  SchemeReport Seq;
+  Seq.Kind = Strategy::Sequential;
+  Seq.Applicable = true;
+  ParallelPlan SeqPlan;
+  SeqPlan.Kind = Strategy::Sequential;
+  SeqPlan.F = T.F;
+  SeqPlan.L = T.L;
+  Seq.Plan = std::move(SeqPlan);
+  Schemes.push_back(std::move(Seq));
+
+  auto addScheme = [&](Strategy Kind,
+                       std::optional<ParallelPlan> Plan,
+                       std::string WhyNot) {
+    SchemeReport R;
+    R.Kind = Kind;
+    R.Applicable = Plan.has_value();
+    R.WhyNot = std::move(WhyNot);
+    R.Plan = std::move(Plan);
+    Schemes.push_back(std::move(R));
+  };
+
+  std::string WhyNot;
+  auto Doall = buildDoallPlan(T.G, T.Sccs, C.module(), C.registry(),
+                              C.effects(), Opts, &WhyNot);
+  addScheme(Strategy::Doall, std::move(Doall), WhyNot);
+
+  WhyNot.clear();
+  auto Dswp = buildPipelinePlan(T.G, T.Sccs, C.module(), C.registry(),
+                                C.effects(), Opts,
+                                /*AllowParallelStage=*/false, &WhyNot);
+  addScheme(Strategy::Dswp, std::move(Dswp), WhyNot);
+
+  WhyNot.clear();
+  auto PsDswp = buildPipelinePlan(T.G, T.Sccs, C.module(), C.registry(),
+                                  C.effects(), Opts,
+                                  /*AllowParallelStage=*/true, &WhyNot);
+  addScheme(Strategy::PsDswp, std::move(PsDswp), WhyNot);
+  return Schemes;
+}
+
+const SchemeReport *
+commset::bestScheme(const std::vector<SchemeReport> &Schemes) {
+  const SchemeReport *Best = nullptr;
+  for (const SchemeReport &R : Schemes) {
+    if (!R.Applicable || !R.Plan)
+      continue;
+    if (!Best || R.Plan->EstimatedSpeedup > Best->Plan->EstimatedSpeedup)
+      Best = &R;
+  }
+  return Best;
+}
+
+RunOutcome commset::runScheme(Compilation &C, const Function *F,
+                              const std::vector<RtValue> &Args,
+                              const NativeRegistry &Natives,
+                              const RunConfig &Config) {
+  const Module &M = C.module();
+  std::vector<RtValue> Globals = makeGlobalImage(M);
+
+  ParallelPlan SeqPlan;
+  SeqPlan.Kind = Strategy::Sequential;
+  const ParallelPlan &Plan = Config.Plan ? *Config.Plan : SeqPlan;
+  unsigned Threads = std::max(1u, Plan.NumThreads);
+
+  RunOutcome Out;
+  LoopRunStats Stats;
+  auto Start = std::chrono::steady_clock::now();
+  if (Config.Simulate) {
+    SimPlatform Platform(Threads, Plan.Sync, Config.Sim);
+    Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
+                                     Args, Platform, &Stats);
+    Out.VirtualNs = Platform.elapsedNs();
+    Out.TmAborts = Platform.tmAborts();
+    Out.LockContentions = Platform.lockContentions();
+  } else {
+    ThreadedPlatform Platform(Threads);
+    Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
+                                     Args, Platform, &Stats);
+  }
+  auto End = std::chrono::steady_clock::now();
+  Out.WallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+  Out.Iterations = Stats.Iterations;
+  return Out;
+}

@@ -1,0 +1,390 @@
+//===- Interpreter.cpp ----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Exec/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace commset;
+
+uint64_t Interpreter::opCost(const Instruction *Instr) {
+  switch (Instr->op()) {
+  case Opcode::LoadGlobal:
+  case Opcode::StoreGlobal:
+    return 3;
+  case Opcode::Call:
+    return 10; // Call overhead; the body charges itself.
+  case Opcode::Div:
+  case Opcode::Rem:
+    return 8;
+  default:
+    return 1;
+  }
+}
+
+Frame Interpreter::makeFrame(const Function *F,
+                             const std::vector<RtValue> &Args) const {
+  assert(Args.size() == F->NumParams && "argument count mismatch");
+  Frame Fr;
+  Fr.Locals.resize(F->Locals.size());
+  for (unsigned I = 0; I < F->NumParams; ++I)
+    Fr.Locals[I] = Args[I];
+  Fr.Regs.resize(F->NumInstrs);
+  return Fr;
+}
+
+RtValue Interpreter::evalOperand(const Frame &Fr, const Operand &Op) const {
+  switch (Op.K) {
+  case Operand::Kind::Instr:
+    return Fr.Regs[Op.Def->Id];
+  case Operand::Kind::ConstInt:
+    return RtValue::ofInt(Op.IntVal);
+  case Operand::Kind::ConstFloat:
+    return RtValue::ofDouble(Op.FloatVal);
+  case Operand::Kind::ConstStr:
+    return RtValue::ofPtr(
+        const_cast<char *>(M.StringTable[Op.StrId].c_str()));
+  case Operand::Kind::ConstNull:
+    return RtValue::ofPtr(nullptr);
+  case Operand::Kind::None:
+    break;
+  }
+  assert(false && "invalid operand");
+  return RtValue();
+}
+
+RtValue Interpreter::call(const Function *F,
+                          const std::vector<RtValue> &Args) {
+  Frame Fr = makeFrame(F, Args);
+  return execBody(F, Fr);
+}
+
+RtValue Interpreter::execBody(const Function *F, Frame &Fr) {
+  const BasicBlock *BB = F->entry();
+  size_t Idx = 0;
+  while (true) {
+    const Instruction *Instr = BB->Instrs[Idx].get();
+    switch (Instr->op()) {
+    case Opcode::Br:
+      if (Platform)
+        Platform->charge(ThreadId, opCost(Instr));
+      BB = Instr->Succ0;
+      Idx = 0;
+      continue;
+    case Opcode::CondBr: {
+      if (Platform)
+        Platform->charge(ThreadId, opCost(Instr));
+      bool Taken = evalOperand(Fr, Instr->Operands[0]).I != 0;
+      BB = Taken ? Instr->Succ0 : Instr->Succ1;
+      Idx = 0;
+      continue;
+    }
+    case Opcode::Ret:
+      if (Platform)
+        Platform->charge(ThreadId, opCost(Instr));
+      if (!Instr->Operands.empty())
+        return evalOperand(Fr, Instr->Operands[0]);
+      return RtValue();
+    default:
+      execInstr(Fr, Instr);
+      ++Idx;
+      // A TM abort unwinds to the member-call retry loop.
+      if (CurrentTx && CurrentTx->aborted())
+        return RtValue();
+      continue;
+    }
+  }
+}
+
+void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
+  RtValue &Dest = Fr.Regs[Instr->Id];
+  switch (Instr->op()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem: {
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    RtValue L = evalOperand(Fr, Instr->Operands[0]);
+    RtValue R = evalOperand(Fr, Instr->Operands[1]);
+    if (Instr->type() == IRType::F64) {
+      switch (Instr->op()) {
+      case Opcode::Add:
+        Dest.D = L.D + R.D;
+        break;
+      case Opcode::Sub:
+        Dest.D = L.D - R.D;
+        break;
+      case Opcode::Mul:
+        Dest.D = L.D * R.D;
+        break;
+      case Opcode::Div:
+        Dest.D = R.D != 0.0 ? L.D / R.D : 0.0;
+        break;
+      default:
+        Dest.D = R.D != 0.0 ? std::fmod(L.D, R.D) : 0.0;
+        break;
+      }
+    } else {
+      switch (Instr->op()) {
+      case Opcode::Add:
+        Dest.I = L.I + R.I;
+        break;
+      case Opcode::Sub:
+        Dest.I = L.I - R.I;
+        break;
+      case Opcode::Mul:
+        Dest.I = L.I * R.I;
+        break;
+      case Opcode::Div:
+        Dest.I = R.I != 0 ? L.I / R.I : 0;
+        break;
+      default:
+        Dest.I = R.I != 0 ? L.I % R.I : 0;
+        break;
+      }
+    }
+    return;
+  }
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge: {
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    RtValue L = evalOperand(Fr, Instr->Operands[0]);
+    RtValue R = evalOperand(Fr, Instr->Operands[1]);
+    // Operand type: both sides were promoted identically during lowering;
+    // use the defining instruction's type when available.
+    bool IsFloat = false;
+    bool IsPtr = false;
+    if (Instr->Operands[0].isInstr()) {
+      IsFloat = Instr->Operands[0].Def->type() == IRType::F64;
+      IsPtr = Instr->Operands[0].Def->type() == IRType::Ptr;
+    } else {
+      IsFloat = Instr->Operands[0].K == Operand::Kind::ConstFloat;
+      IsPtr = Instr->Operands[0].K == Operand::Kind::ConstNull ||
+              Instr->Operands[0].K == Operand::Kind::ConstStr;
+    }
+    bool Result;
+    if (IsFloat) {
+      switch (Instr->op()) {
+      case Opcode::Eq:
+        Result = L.D == R.D;
+        break;
+      case Opcode::Ne:
+        Result = L.D != R.D;
+        break;
+      case Opcode::Lt:
+        Result = L.D < R.D;
+        break;
+      case Opcode::Le:
+        Result = L.D <= R.D;
+        break;
+      case Opcode::Gt:
+        Result = L.D > R.D;
+        break;
+      default:
+        Result = L.D >= R.D;
+        break;
+      }
+    } else if (IsPtr) {
+      Result = Instr->op() == Opcode::Eq ? L.P == R.P : L.P != R.P;
+    } else {
+      switch (Instr->op()) {
+      case Opcode::Eq:
+        Result = L.I == R.I;
+        break;
+      case Opcode::Ne:
+        Result = L.I != R.I;
+        break;
+      case Opcode::Lt:
+        Result = L.I < R.I;
+        break;
+      case Opcode::Le:
+        Result = L.I <= R.I;
+        break;
+      case Opcode::Gt:
+        Result = L.I > R.I;
+        break;
+      default:
+        Result = L.I >= R.I;
+        break;
+      }
+    }
+    Dest.I = Result ? 1 : 0;
+    return;
+  }
+  case Opcode::Neg: {
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    RtValue V = evalOperand(Fr, Instr->Operands[0]);
+    if (Instr->type() == IRType::F64)
+      Dest.D = -V.D;
+    else
+      Dest.I = -V.I;
+    return;
+  }
+  case Opcode::Not: {
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    Dest.I = evalOperand(Fr, Instr->Operands[0]).I == 0 ? 1 : 0;
+    return;
+  }
+  case Opcode::IntToFp:
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    Dest.D = static_cast<double>(evalOperand(Fr, Instr->Operands[0]).I);
+    return;
+  case Opcode::FpToInt:
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    Dest.I = static_cast<int64_t>(evalOperand(Fr, Instr->Operands[0]).D);
+    return;
+  case Opcode::LoadLocal:
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    Dest = Fr.Locals[Instr->SlotId];
+    return;
+  case Opcode::StoreLocal:
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    Fr.Locals[Instr->SlotId] = evalOperand(Fr, Instr->Operands[0]);
+    return;
+  case Opcode::LoadGlobal:
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    if (CurrentTx) {
+      Dest.Bits = CurrentTx->read(&Globals[Instr->SlotId].Bits);
+      return;
+    }
+    Dest = Globals[Instr->SlotId];
+    return;
+  case Opcode::StoreGlobal: {
+    if (Platform)
+      Platform->charge(ThreadId, opCost(Instr));
+    RtValue V = evalOperand(Fr, Instr->Operands[0]);
+    if (CurrentTx) {
+      CurrentTx->write(&Globals[Instr->SlotId].Bits, V.Bits);
+      return;
+    }
+    Globals[Instr->SlotId] = V;
+    return;
+  }
+  case Opcode::Call:
+    Dest = execCall(Fr, Instr);
+    return;
+  case Opcode::CallNative:
+    Dest = execCallNative(Fr, Instr);
+    return;
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    assert(false && "terminators are handled by the driving loop");
+    return;
+  }
+}
+
+RtValue Interpreter::invokeDirect(const Instruction *Instr,
+                                  const std::vector<RtValue> &Args) {
+  if (Instr->op() == Opcode::Call) {
+    Frame Callee = makeFrame(Instr->Callee, Args);
+    return execBody(Instr->Callee, Callee);
+  }
+  const NativeDecl *N = Instr->Native;
+  const std::string Resource =
+      Platform ? Natives.serialResourceOf(N->Name) : std::string();
+  if (Platform && !Resource.empty())
+    Platform->resourceEnter(ThreadId, Resource);
+  if (Platform)
+    Platform->charge(ThreadId, Natives.costOf(N->Name, Args.data(),
+                                              static_cast<unsigned>(
+                                                  Args.size())));
+  RtValue Result = Natives.invoke(N->Name, Args.data(),
+                                  static_cast<unsigned>(Args.size()));
+  if (Platform && !Resource.empty())
+    Platform->resourceExit(ThreadId, Resource);
+  return Result;
+}
+
+RtValue Interpreter::invokeMember(const Instruction *Instr,
+                                  const std::vector<RtValue> &Args,
+                                  const MemberSyncInfo &Info) {
+  // TM mode: optimistic execution for eligible members; everything else
+  // falls back to the pessimistic ranked locks (paper §4.6).
+  if (Sync.Mode == SyncMode::Tm && Info.TmEligible &&
+      Instr->op() == Opcode::Call && Sync.StmState) {
+    uint64_t Before = Platform ? Platform->elapsedNs() : 0;
+    Stm Tx(*Sync.StmState);
+    RtValue Result;
+    while (true) {
+      if (Platform)
+        Platform->txBegin(ThreadId);
+      Tx.begin();
+      CurrentTx = &Tx;
+      Frame Callee = makeFrame(Instr->Callee, Args);
+      Result = execBody(Instr->Callee, Callee);
+      CurrentTx = nullptr;
+      bool Committed = !Tx.aborted() && Tx.commit();
+      uint64_t MemberCost =
+          Platform ? Platform->elapsedNs() - Before : 0;
+      if (Platform && !Platform->txCommit(ThreadId, Info.LockRanks,
+                                          MemberCost))
+        Committed = false;
+      if (Committed)
+        return Result;
+    }
+  }
+
+  if (Info.LockRanks.empty() || Sync.Mode == SyncMode::None ||
+      !Sync.Locks) {
+    // Lib mode / nosync: the member is already thread safe.
+    return invokeDirect(Instr, Args);
+  }
+
+  if (Platform)
+    Platform->lockEnter(ThreadId, Info.LockRanks);
+  Sync.Locks->acquire(Info.LockRanks);
+  RtValue Result = invokeDirect(Instr, Args);
+  Sync.Locks->release(Info.LockRanks);
+  if (Platform)
+    Platform->lockExit(ThreadId, Info.LockRanks);
+  return Result;
+}
+
+RtValue Interpreter::execCall(Frame &Fr, const Instruction *Instr) {
+  if (Platform)
+    Platform->charge(ThreadId, opCost(Instr));
+  std::vector<RtValue> Args;
+  Args.reserve(Instr->Operands.size());
+  for (const Operand &Op : Instr->Operands)
+    Args.push_back(evalOperand(Fr, Op));
+
+  if (Sync.Members) {
+    auto It = Sync.Members->find(Instr->Callee->Name);
+    if (It != Sync.Members->end())
+      return invokeMember(Instr, Args, It->second);
+  }
+  return invokeDirect(Instr, Args);
+}
+
+RtValue Interpreter::execCallNative(Frame &Fr, const Instruction *Instr) {
+  std::vector<RtValue> Args;
+  Args.reserve(Instr->Operands.size());
+  for (const Operand &Op : Instr->Operands)
+    Args.push_back(evalOperand(Fr, Op));
+
+  if (Sync.Members) {
+    auto It = Sync.Members->find(Instr->Native->Name);
+    if (It != Sync.Members->end())
+      return invokeMember(Instr, Args, It->second);
+  }
+  return invokeDirect(Instr, Args);
+}

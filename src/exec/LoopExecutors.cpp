@@ -1,0 +1,669 @@
+//===- LoopExecutors.cpp --------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Exec/LoopExecutors.h"
+
+#include "commset/Runtime/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace commset;
+
+std::vector<RtValue> commset::makeGlobalImage(const Module &M) {
+  std::vector<RtValue> Globals(M.Globals.size());
+  for (size_t I = 0; I < M.Globals.size(); ++I) {
+    if (M.Globals[I].Type == IRType::F64)
+      Globals[I] = RtValue::ofDouble(M.Globals[I].FloatInit);
+    else if (M.Globals[I].Type == IRType::Ptr)
+      Globals[I] = RtValue::ofPtr(nullptr);
+    else
+      Globals[I] = RtValue::ofInt(M.Globals[I].IntInit);
+  }
+  return Globals;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+/// Virtual-time cost of one queue operation (charged by the simulator's
+/// send/recv themselves; this is only the iteration token payload).
+const RtValue TokenValue = RtValue::ofInt(0x70CEA);
+
+struct ParallelRegion {
+  const Module &M;
+  const NativeRegistry &Natives;
+  RtValue *Globals;
+  const ParallelPlan &Plan;
+  ExecPlatform &Platform;
+  CommSetLockManager Locks;
+  StmSpace StmState;
+
+  ParallelRegion(const Module &M, const NativeRegistry &Natives,
+                 RtValue *Globals, const ParallelPlan &Plan,
+                 ExecPlatform &Platform)
+      : M(M), Natives(Natives), Globals(Globals), Plan(Plan),
+        Platform(Platform),
+        Locks(lockCount(Plan), realLockMode(Plan)) {}
+
+  SyncContext syncFor() {
+    SyncContext Sync;
+    Sync.Mode = Plan.Sync;
+    Sync.Members = &Plan.MemberSync;
+    Sync.Locks = &Locks;
+    Sync.StmState = &StmState;
+    return Sync;
+  }
+
+  static unsigned lockCount(const ParallelPlan &Plan) {
+    unsigned Max = 0;
+    for (const auto &[Name, Info] : Plan.MemberSync)
+      for (unsigned Rank : Info.LockRanks)
+        Max = std::max(Max, Rank + 1);
+    return Max;
+  }
+
+  static LockMode realLockMode(const ParallelPlan &Plan) {
+    switch (Plan.Sync) {
+    case SyncMode::Mutex:
+      return LockMode::Mutex;
+    case SyncMode::Spin:
+      return LockMode::Spin;
+    case SyncMode::Tm:
+      // Ineligible members fall back to mutexes in TM mode.
+      return LockMode::Mutex;
+    case SyncMode::None:
+      return LockMode::None;
+    }
+    return LockMode::Mutex;
+  }
+};
+
+/// \returns the unique loop-exit successor of the header (DOALL loops).
+const BasicBlock *headerExitBlock(const Loop &L) {
+  for (BasicBlock *Succ : L.Header->successors())
+    if (!L.BlockIds.count(Succ->Id))
+      return Succ;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// DOALL
+//===----------------------------------------------------------------------===//
+
+class DoallWorker {
+public:
+  DoallWorker(ParallelRegion &Region, const Frame &EntryFrame,
+              unsigned ThreadId)
+      : Region(Region), Plan(Region.Plan), L(*Plan.L),
+        Interp(Region.M, Region.Natives, Region.Globals, Region.syncFor(),
+               &Region.Platform, ThreadId),
+        Fr(EntryFrame), ThreadId(ThreadId) {}
+
+  uint64_t run() {
+    int64_t Start = Fr.Locals[Plan.InductionLocal].I;
+    Fr.Locals[Plan.InductionLocal].I =
+        Start + static_cast<int64_t>(ThreadId) * Plan.InductionStep;
+
+    uint64_t Iterations = 0;
+    const BasicBlock *BB = L.Header;
+    size_t Idx = 0;
+    while (true) {
+      const Instruction *Instr = BB->Instrs[Idx].get();
+      switch (Instr->op()) {
+      case Opcode::Br:
+        Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
+        BB = Instr->Succ0;
+        Idx = 0;
+        if (BB == L.Header)
+          ++Iterations;
+        continue;
+      case Opcode::CondBr: {
+        Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
+        bool Taken = Interp.evalOperand(Fr, Instr->Operands[0]).I != 0;
+        const BasicBlock *Next = Taken ? Instr->Succ0 : Instr->Succ1;
+        if (!L.BlockIds.count(Next->Id)) {
+          Region.Platform.threadDone(ThreadId);
+          return Iterations;
+        }
+        if (Next == L.Header)
+          ++Iterations;
+        BB = Next;
+        Idx = 0;
+        continue;
+      }
+      case Opcode::Ret:
+        assert(false && "DOALL loop cannot contain a return");
+        return Iterations;
+      default:
+        Interp.execInstr(Fr, Instr);
+        // Privatized induction: the update store jumps by NumThreads
+        // steps (this thread's next assigned iteration).
+        if (Instr == L.Induction.Update)
+          Fr.Locals[Plan.InductionLocal].I +=
+              static_cast<int64_t>(Plan.NumThreads - 1) * Plan.InductionStep;
+        ++Idx;
+        continue;
+      }
+    }
+  }
+
+private:
+  ParallelRegion &Region;
+  const ParallelPlan &Plan;
+  const Loop &L;
+  Interpreter Interp;
+  Frame Fr;
+  unsigned ThreadId;
+};
+
+const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
+                           LoopRunStats *Stats) {
+  const ParallelPlan &Plan = Region.Plan;
+  unsigned T = Plan.NumThreads;
+  int64_t Start = MainFrame.Locals[Plan.InductionLocal].I;
+
+  std::vector<uint64_t> Iterations(T, 0);
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned Tid = 0; Tid < T; ++Tid)
+    Tasks.push_back([&Region, &MainFrame, &Iterations, Tid] {
+      DoallWorker Worker(Region, MainFrame, Tid);
+      Iterations[Tid] = Worker.run();
+    });
+  Region.Platform.regionBegin(0);
+  runParallel(Tasks);
+  Region.Platform.regionEnd(0);
+
+  uint64_t Total = 0;
+  for (uint64_t N : Iterations)
+    Total += N;
+  // Sequential semantics: the induction variable's final value.
+  MainFrame.Locals[Plan.InductionLocal].I =
+      Start + static_cast<int64_t>(Total) * Plan.InductionStep;
+  if (Stats)
+    Stats->Iterations = Total;
+  return headerExitBlock(*Plan.L);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline (DSWP / PS-DSWP)
+//===----------------------------------------------------------------------===//
+
+/// Static routing tables shared by all pipeline workers.
+struct PipelineTables {
+  static constexpr int Replicated = -1;
+  static constexpr int Outside = -2;
+
+  unsigned NumStages = 0;
+  unsigned NumThreads = 0;
+  std::vector<unsigned> StageFirstThread; // Stage -> first thread id.
+  std::vector<unsigned> StageReplicas;
+  std::vector<unsigned> ThreadStage; // Thread -> stage.
+  std::vector<unsigned> ThreadReplica;
+  unsigned MergeThread = 0;
+  bool HasSequentialStage = false;
+
+  // Indexed by instruction id within the loop function.
+  std::vector<int> Owner; // Stage, Replicated, or Outside.
+  std::vector<uint64_t> ConsumerStages;    // Bitmask of consuming stages.
+  std::vector<char> ReplConsumerInHeader;  // Consumed by a replicated
+                                           // instruction in the header.
+  std::vector<char> ReplConsumerElsewhere; // ... elsewhere in the loop.
+  std::vector<uint64_t> StoreReceivers;    // StoreLocal: referencing stages.
+  std::vector<uint64_t> MemTokenStages;    // Memory-dependent stages.
+
+  /// Sub-loop skipping: a stage that owns and consumes nothing inside a
+  /// sub-loop jumps from its header straight to its unique exit instead of
+  /// tracing it (otherwise the inner branch-condition traffic would couple
+  /// its clock to the owning stage once per *inner* iteration).
+  struct SubloopInfo {
+    unsigned ExitBlock = 0;
+    uint64_t SkipStageMask = 0;
+  };
+  std::map<unsigned, SubloopInfo> Subloops; // Keyed by header block id.
+  /// Instruction id -> header block id of its (outermost strict) sub-loop,
+  /// or -1 when directly in the target loop.
+  std::vector<int> SubloopOfInstr;
+
+  unsigned threadOf(unsigned Stage, uint64_t Iter) const {
+    if (StageReplicas[Stage] <= 1)
+      return StageFirstThread[Stage];
+    return StageFirstThread[Stage] +
+           static_cast<unsigned>(Iter % StageReplicas[Stage]);
+  }
+
+  bool stageParallel(unsigned Stage) const {
+    return StageReplicas[Stage] > 1;
+  }
+};
+
+PipelineTables buildTables(const ParallelPlan &Plan) {
+  PipelineTables T;
+  const Function &F = *Plan.F;
+  const Loop &L = *Plan.L;
+
+  T.NumStages = static_cast<unsigned>(Plan.Stages.size());
+  unsigned NextThread = 0;
+  int FirstSeqStage = -1;
+  for (unsigned S = 0; S < T.NumStages; ++S) {
+    T.StageFirstThread.push_back(NextThread);
+    T.StageReplicas.push_back(Plan.Stages[S].Replicas);
+    for (unsigned R = 0; R < Plan.Stages[S].Replicas; ++R) {
+      T.ThreadStage.push_back(S);
+      T.ThreadReplica.push_back(R);
+      ++NextThread;
+    }
+    if (!Plan.Stages[S].Parallel && FirstSeqStage < 0)
+      FirstSeqStage = static_cast<int>(S);
+  }
+  T.NumThreads = NextThread;
+  T.HasSequentialStage = FirstSeqStage >= 0;
+  T.MergeThread = FirstSeqStage >= 0
+                      ? T.StageFirstThread[FirstSeqStage]
+                      : 0;
+
+  unsigned NumInstrs = F.NumInstrs;
+  T.Owner.assign(NumInstrs, PipelineTables::Outside);
+  T.ConsumerStages.assign(NumInstrs, 0);
+  T.ReplConsumerInHeader.assign(NumInstrs, 0);
+  T.ReplConsumerElsewhere.assign(NumInstrs, 0);
+  T.StoreReceivers.assign(NumInstrs, 0);
+  T.MemTokenStages.assign(NumInstrs, 0);
+
+  // Node index -> instruction mapping comes from the plan's PDG indices:
+  // rebuild the loop's instruction list in program order (same order the
+  // PDG used).
+  std::vector<const Instruction *> LoopInstrs;
+  for (const auto &BB : F.Blocks) {
+    if (!L.BlockIds.count(BB->Id))
+      continue;
+    for (const auto &Instr : BB->Instrs)
+      LoopInstrs.push_back(Instr.get());
+  }
+
+  for (unsigned Node = 0; Node < LoopInstrs.size(); ++Node) {
+    const Instruction *Instr = LoopInstrs[Node];
+    if (Node < Plan.MemTokenStages.size())
+      T.MemTokenStages[Instr->Id] = Plan.MemTokenStages[Node];
+    if (Node < Plan.StoreReceiverStages.size())
+      T.StoreReceivers[Instr->Id] = Plan.StoreReceiverStages[Node];
+    if (Plan.ReplicatedNodes.count(Node)) {
+      T.Owner[Instr->Id] = PipelineTables::Replicated;
+      continue;
+    }
+    for (unsigned S = 0; S < T.NumStages; ++S)
+      if (Plan.Stages[S].OwnedNodes.count(Node))
+        T.Owner[Instr->Id] = static_cast<int>(S);
+  }
+
+  // Consumers: register operands.
+  for (const Instruction *Instr : LoopInstrs) {
+    int ConsumerOwner = T.Owner[Instr->Id];
+    bool InHeader = Instr->Parent == L.Header;
+    for (const Operand &Op : Instr->Operands) {
+      if (!Op.isInstr())
+        continue;
+      unsigned DefId = Op.Def->Id;
+      if (DefId >= NumInstrs || T.Owner[DefId] == PipelineTables::Outside)
+        continue;
+      if (ConsumerOwner == PipelineTables::Replicated) {
+        if (InHeader)
+          T.ReplConsumerInHeader[DefId] = 1;
+        else
+          T.ReplConsumerElsewhere[DefId] = 1;
+      } else if (ConsumerOwner >= 0) {
+        T.ConsumerStages[DefId] |= uint64_t(1) << ConsumerOwner;
+      }
+    }
+  }
+
+  // Store receivers came from the plan (PDG reaching-definition edges).
+
+  // Sub-loop skip analysis.
+  T.SubloopOfInstr.assign(NumInstrs, -1);
+  {
+    DomTree DT = computeDominators(F);
+    LoopInfo LI = LoopInfo::compute(F, DT);
+    for (const auto &Sub : LI.loops()) {
+      // Direct children of the target loop only (the LoopInfo here is a
+      // fresh computation, so compare loops by header block).
+      if (!Sub->Parent || Sub->Parent->Header->Id != L.Header->Id)
+        continue;
+      PipelineTables::SubloopInfo Info;
+      // Unique exit block required for skipping.
+      std::set<unsigned> Exits;
+      for (unsigned BlockId : Sub->BlockIds)
+        for (BasicBlock *Succ : F.Blocks[BlockId]->successors())
+          if (!Sub->BlockIds.count(Succ->Id))
+            Exits.insert(Succ->Id);
+      bool Skippable = Exits.size() == 1;
+      if (Skippable)
+        Info.ExitBlock = *Exits.begin();
+
+      uint64_t NeedMask = 0; // Stages that own or consume inside.
+      for (unsigned BlockId : Sub->BlockIds) {
+        for (const auto &Instr : F.Blocks[BlockId]->Instrs) {
+          unsigned Id = Instr->Id;
+          T.SubloopOfInstr[Id] = static_cast<int>(Sub->Header->Id);
+          if (T.Owner[Id] >= 0)
+            NeedMask |= uint64_t(1) << T.Owner[Id];
+          NeedMask |= T.ConsumerStages[Id] | T.MemTokenStages[Id];
+          if (Instr->op() == Opcode::StoreLocal)
+            NeedMask |= T.StoreReceivers[Id];
+          if (T.ReplConsumerInHeader[Id])
+            NeedMask = ~uint64_t(0); // Everyone traces it.
+        }
+      }
+      if (Skippable) {
+        Info.SkipStageMask = ~NeedMask;
+        T.Subloops[Sub->Header->Id] = Info;
+      }
+    }
+  }
+
+  if (getenv("COMMSET_DEBUG_TABLES")) {
+    for (const Instruction *Instr : LoopInstrs) {
+      unsigned Id = Instr->Id;
+      uint64_t Mask = T.ConsumerStages[Id] | T.MemTokenStages[Id];
+      if (Instr->op() == Opcode::StoreLocal)
+        Mask |= T.StoreReceivers[Id];
+      bool Cross = false;
+      for (unsigned S = 0; S < T.NumStages; ++S)
+        if ((Mask >> S) & 1 && static_cast<int>(S) != T.Owner[Id])
+          Cross = true;
+      if (Cross || T.ReplConsumerElsewhere[Id] ||
+          T.ReplConsumerInHeader[Id])
+        fprintf(stderr,
+                "node i%u owner=%d consumers=%llx store=%llx tok=%llx "
+                "replH=%d replE=%d sub=%d\n",
+                Id, T.Owner[Id],
+                (unsigned long long)T.ConsumerStages[Id],
+                (unsigned long long)T.StoreReceivers[Id],
+                (unsigned long long)T.MemTokenStages[Id],
+                (int)T.ReplConsumerInHeader[Id],
+                (int)T.ReplConsumerElsewhere[Id], T.SubloopOfInstr[Id]);
+    }
+  }
+  return T;
+}
+
+class PipelineWorker {
+public:
+  PipelineWorker(ParallelRegion &Region, const PipelineTables &T,
+                 const Frame &EntryFrame, unsigned ThreadId)
+      : Region(Region), Plan(Region.Plan), L(*Plan.L), T(T),
+        Interp(Region.M, Region.Natives, Region.Globals, Region.syncFor(),
+               &Region.Platform, ThreadId),
+        Fr(EntryFrame), ThreadId(ThreadId),
+        MyStage(T.ThreadStage[ThreadId]),
+        MyReplica(T.ThreadReplica[ThreadId]),
+        MyReplicas(T.StageReplicas[MyStage]) {}
+
+  /// Runs the whole loop; returns the block where control left it.
+  const BasicBlock *run() {
+    const Function &F = *Plan.F;
+    const BasicBlock *BB = L.Header;
+    while (true) {
+      // Sub-loops this stage neither owns nor consumes from are skipped
+      // wholesale (no tracing, no pops).
+      auto SkipIt = T.Subloops.find(BB->Id);
+      if (SkipIt != T.Subloops.end() &&
+          (SkipIt->second.SkipStageMask >> MyStage) & 1) {
+        BB = F.Blocks[SkipIt->second.ExitBlock].get();
+        continue;
+      }
+
+      bool InHeader = BB == L.Header;
+      processBlockBody(BB, InHeader);
+
+      const Instruction *Term = BB->terminator();
+      const BasicBlock *Next;
+      Region.Platform.charge(ThreadId, Interpreter::opCost(Term));
+      if (Term->op() == Opcode::Br) {
+        Next = Term->Succ0;
+      } else {
+        assert(Term->op() == Opcode::CondBr &&
+               "loops with return exits are rejected by the planner");
+        bool Taken = Interp.evalOperand(Fr, Term->Operands[0]).I != 0;
+        Next = Taken ? Term->Succ0 : Term->Succ1;
+      }
+
+      if (!L.BlockIds.count(Next->Id)) {
+        finishAtExit();
+        Iterations = IterIdx;
+        return Next;
+      }
+
+      if (InHeader && isParallelStage() && !assigned(IterIdx)) {
+        // Fast-forward a non-assigned iteration.
+        if (Plan.ReplicatedControl && Plan.InductionLocal != ~0u)
+          Fr.Locals[Plan.InductionLocal].I += Plan.InductionStep;
+        ++IterIdx;
+        BB = L.Header;
+        continue;
+      }
+
+      if (Next == L.Header)
+        ++IterIdx; // Completed iteration IterIdx.
+      BB = Next;
+    }
+  }
+
+  uint64_t iterations() const { return Iterations; }
+  Frame &frame() { return Fr; }
+
+private:
+  bool isParallelStage() const { return MyReplicas > 1; }
+  bool assigned(uint64_t Iter) const {
+    return !isParallelStage() || Iter % MyReplicas == MyReplica;
+  }
+
+  void finishAtExit() { Region.Platform.threadDone(ThreadId); }
+
+  void processBlockBody(const BasicBlock *BB, bool InHeader) {
+    for (const auto &InstrPtr : BB->Instrs) {
+      const Instruction *Instr = InstrPtr.get();
+      if (Instr->isTerminator())
+        break;
+      processInstr(Instr, InHeader);
+    }
+  }
+
+  void sendTo(unsigned Thread, RtValue Value) {
+    if (Thread != ThreadId)
+      Region.Platform.send(ThreadId, Thread, Value);
+  }
+
+  /// Send targets for a value I produced (owned node) at IterIdx.
+  void broadcast(const Instruction *Instr, RtValue Value, bool InHeader) {
+    unsigned Id = Instr->Id;
+    std::vector<char> Sent(T.NumThreads, 0);
+    auto markAndSend = [&](unsigned Thread) {
+      if (Thread != ThreadId && !Sent[Thread]) {
+        Sent[Thread] = 1;
+        Region.Platform.send(ThreadId, Thread, Value);
+      }
+    };
+
+    uint64_t Mask = T.ConsumerStages[Id] | T.MemTokenStages[Id];
+    if (Instr->op() == Opcode::StoreLocal)
+      Mask |= T.StoreReceivers[Id];
+    for (unsigned S = 0; S < T.NumStages; ++S)
+      if (Mask & (uint64_t(1) << S))
+        markAndSend(T.threadOf(S, IterIdx));
+
+    if (T.ReplConsumerInHeader[Id]) {
+      for (unsigned Thread = 0; Thread < T.NumThreads; ++Thread)
+        markAndSend(Thread);
+    } else if (T.ReplConsumerElsewhere[Id]) {
+      // Replicated consumers (inner terminators) run in every *tracing*
+      // stage; stages skipping this node's sub-loop never see it.
+      int Sub = T.SubloopOfInstr[Id];
+      uint64_t SkipMask =
+          Sub >= 0 ? T.Subloops.count(Sub)
+                         ? T.Subloops.at(static_cast<unsigned>(Sub))
+                               .SkipStageMask
+                         : 0
+                   : 0;
+      for (unsigned S = 0; S < T.NumStages; ++S)
+        if (!((SkipMask >> S) & 1))
+          markAndSend(T.threadOf(S, IterIdx));
+    }
+  }
+
+  /// Do I consume this foreign node here?
+  bool needs(const Instruction *Instr, bool InHeader) const {
+    unsigned Id = Instr->Id;
+    if (T.ReplConsumerInHeader[Id] || T.ReplConsumerElsewhere[Id])
+      return true;
+    uint64_t Mask = T.ConsumerStages[Id] | T.MemTokenStages[Id];
+    if (Instr->op() == Opcode::StoreLocal)
+      Mask |= T.StoreReceivers[Id];
+    return (Mask & (uint64_t(1) << MyStage)) != 0;
+  }
+
+  void processInstr(const Instruction *Instr, bool InHeader) {
+    int Owner = T.Owner[Instr->Id];
+    if (Owner == PipelineTables::Replicated) {
+      Interp.execInstr(Fr, Instr);
+      return;
+    }
+    assert(Owner >= 0 && "loop instruction without an owner");
+
+    if (static_cast<unsigned>(Owner) == MyStage) {
+      Interp.execInstr(Fr, Instr);
+      RtValue Value = TokenValue;
+      if (Instr->op() == Opcode::StoreLocal)
+        Value = Fr.Locals[Instr->SlotId];
+      else if (Instr->producesValue())
+        Value = Fr.Regs[Instr->Id];
+      broadcast(Instr, Value, InHeader);
+      return;
+    }
+
+    // Foreign node: pop it if I consume it.
+    if (!needs(Instr, InHeader))
+      return;
+    unsigned OwnerThread = T.threadOf(static_cast<unsigned>(Owner), IterIdx);
+    RtValue Value = Region.Platform.recv(OwnerThread, ThreadId);
+    if (Instr->op() == Opcode::StoreLocal)
+      Fr.Locals[Instr->SlotId] = Value;
+    else if (Instr->producesValue())
+      Fr.Regs[Instr->Id] = Value;
+    // Pure memory tokens are dropped after the ordering they provide.
+  }
+
+  ParallelRegion &Region;
+  const ParallelPlan &Plan;
+  const Loop &L;
+  const PipelineTables &T;
+  Interpreter Interp;
+  Frame Fr;
+  unsigned ThreadId;
+  unsigned MyStage;
+  unsigned MyReplica;
+  unsigned MyReplicas;
+  uint64_t IterIdx = 0;
+  uint64_t Iterations = 0;
+};
+
+const BasicBlock *runPipeline(ParallelRegion &Region, Frame &MainFrame,
+                              LoopRunStats *Stats) {
+  PipelineTables T = buildTables(Region.Plan);
+
+  std::vector<std::unique_ptr<PipelineWorker>> Workers(T.NumThreads);
+  for (unsigned Tid = 0; Tid < T.NumThreads; ++Tid)
+    Workers[Tid] =
+        std::make_unique<PipelineWorker>(Region, T, MainFrame, Tid);
+
+  std::vector<const BasicBlock *> ExitBlocks(T.NumThreads, nullptr);
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned Tid = 0; Tid < T.NumThreads; ++Tid)
+    Tasks.push_back(
+        [&Workers, &ExitBlocks, Tid] { ExitBlocks[Tid] = Workers[Tid]->run(); });
+  Region.Platform.regionBegin(0);
+  runParallel(Tasks);
+  Region.Platform.regionEnd(0);
+
+  // All threads observed the same control flow.
+  for (unsigned Tid = 1; Tid < T.NumThreads; ++Tid)
+    assert(ExitBlocks[Tid] == ExitBlocks[0] && "divergent pipeline traces");
+
+  // The planner rejects pipelines with live-out locals, and the induction
+  // variable is replicated (fast-forwarded on skipped iterations), so
+  // every worker's frame agrees on everything the code after the loop may
+  // read.
+  MainFrame.Locals = Workers[0]->frame().Locals;
+  if (Stats)
+    Stats->Iterations = Workers[0]->iterations();
+  return ExitBlocks[0];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+RtValue commset::runFunctionWithPlan(const Module &M,
+                                     const NativeRegistry &Natives,
+                                     RtValue *Globals,
+                                     const ParallelPlan &Plan,
+                                     const Function *F,
+                                     const std::vector<RtValue> &Args,
+                                     ExecPlatform &Platform,
+                                     LoopRunStats *Stats) {
+  ParallelRegion Region(M, Natives, Globals, Plan, Platform);
+  Interpreter Main(M, Natives, Globals,
+                   Plan.Kind == Strategy::Sequential ? SyncContext()
+                                                     : Region.syncFor(),
+                   &Platform, /*ThreadId=*/0);
+
+  Frame Fr = Main.makeFrame(F, Args);
+  const BasicBlock *BB = F->entry();
+  size_t Idx = 0;
+  while (true) {
+    if (Plan.Kind != Strategy::Sequential && Plan.F == F &&
+        BB == Plan.L->Header && Idx == 0) {
+      const BasicBlock *ExitBlock =
+          Plan.Kind == Strategy::Doall ? runDoall(Region, Fr, Stats)
+                                       : runPipeline(Region, Fr, Stats);
+      assert(ExitBlock && "parallel loop must have an exit");
+      BB = ExitBlock;
+      Idx = 0;
+      continue;
+    }
+
+    const Instruction *Instr = BB->Instrs[Idx].get();
+    switch (Instr->op()) {
+    case Opcode::Br:
+      Platform.charge(0, Interpreter::opCost(Instr));
+      BB = Instr->Succ0;
+      Idx = 0;
+      continue;
+    case Opcode::CondBr: {
+      Platform.charge(0, Interpreter::opCost(Instr));
+      bool Taken = Main.evalOperand(Fr, Instr->Operands[0]).I != 0;
+      BB = Taken ? Instr->Succ0 : Instr->Succ1;
+      Idx = 0;
+      continue;
+    }
+    case Opcode::Ret:
+      Platform.charge(0, Interpreter::opCost(Instr));
+      Platform.threadDone(0);
+      if (!Instr->Operands.empty())
+        return Main.evalOperand(Fr, Instr->Operands[0]);
+      return RtValue();
+    default:
+      Main.execInstr(Fr, Instr);
+      ++Idx;
+      continue;
+    }
+  }
+}

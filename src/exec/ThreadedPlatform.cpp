@@ -1,0 +1,47 @@
+//===- ThreadedPlatform.cpp -----------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <cassert>
+
+using namespace commset;
+
+ThreadedPlatform::ThreadedPlatform(unsigned NumThreads)
+    : NumThreads(NumThreads) {
+  Queues.resize(static_cast<size_t>(NumThreads) * NumThreads);
+  for (auto &Q : Queues)
+    Q = std::make_unique<SpscQueue<RtValue>>(4096);
+}
+
+void ThreadedPlatform::send(unsigned From, unsigned To, RtValue Value) {
+  assert(From < NumThreads && To < NumThreads && "thread id out of range");
+  Queues[static_cast<size_t>(From) * NumThreads + To]->push(Value);
+}
+
+RtValue ThreadedPlatform::recv(unsigned From, unsigned To) {
+  assert(From < NumThreads && To < NumThreads && "thread id out of range");
+  return Queues[static_cast<size_t>(From) * NumThreads + To]->pop();
+}
+
+void ThreadedPlatform::resourceEnter(unsigned Thread,
+                                     const std::string &Name) {
+  std::mutex *Resource;
+  {
+    std::lock_guard<std::mutex> Guard(ResourceMapLock);
+    auto &Slot = Resources[Name];
+    if (!Slot)
+      Slot = std::make_unique<std::mutex>();
+    Resource = Slot.get();
+  }
+  Resource->lock();
+}
+
+void ThreadedPlatform::resourceExit(unsigned Thread,
+                                    const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(ResourceMapLock);
+  Resources[Name]->unlock();
+}

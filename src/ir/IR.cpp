@@ -1,0 +1,185 @@
+//===- IR.cpp -------------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/IR/IR.h"
+
+using namespace commset;
+
+const char *commset::irTypeName(IRType Type) {
+  switch (Type) {
+  case IRType::Void:
+    return "void";
+  case IRType::I64:
+    return "i64";
+  case IRType::F64:
+    return "f64";
+  case IRType::Ptr:
+    return "ptr";
+  }
+  return "?";
+}
+
+const char *commset::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Eq:
+    return "eq";
+  case Opcode::Ne:
+    return "ne";
+  case Opcode::Lt:
+    return "lt";
+  case Opcode::Le:
+    return "le";
+  case Opcode::Gt:
+    return "gt";
+  case Opcode::Ge:
+    return "ge";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::IntToFp:
+    return "inttofp";
+  case Opcode::FpToInt:
+    return "fptoint";
+  case Opcode::LoadLocal:
+    return "ldloc";
+  case Opcode::StoreLocal:
+    return "stloc";
+  case Opcode::LoadGlobal:
+    return "ldglob";
+  case Opcode::StoreGlobal:
+    return "stglob";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallNative:
+    return "callnative";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+bool commset::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool commset::isCall(Opcode Op) {
+  return Op == Opcode::Call || Op == Opcode::CallNative;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *Term = terminator();
+  if (!Term)
+    return {};
+  switch (Term->op()) {
+  case Opcode::Br:
+    return {Term->Succ0};
+  case Opcode::CondBr:
+    return {Term->Succ0, Term->Succ1};
+  default:
+    return {};
+  }
+}
+
+BasicBlock *Function::makeBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+unsigned Function::numberInstructions() {
+  unsigned NextInstr = 0;
+  unsigned NextBlock = 0;
+  for (auto &BB : Blocks) {
+    BB->Id = NextBlock++;
+    for (auto &Instr : BB->Instrs)
+      Instr->Id = NextInstr++;
+  }
+  NumInstrs = NextInstr;
+  return NextInstr;
+}
+
+std::vector<Instruction *> Function::instructions() const {
+  std::vector<Instruction *> Result;
+  for (const auto &BB : Blocks)
+    for (const auto &Instr : BB->Instrs)
+      Result.push_back(Instr.get());
+  return Result;
+}
+
+std::vector<std::vector<BasicBlock *>> Function::predecessors() const {
+  std::vector<std::vector<BasicBlock *>> Preds(Blocks.size());
+  for (const auto &BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ->Id].push_back(BB.get());
+  return Preds;
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+NativeDecl *Module::findNative(const std::string &Name) const {
+  for (const auto &N : Natives)
+    if (N->Name == Name)
+      return N.get();
+  return nullptr;
+}
+
+int Module::findGlobal(const std::string &Name) const {
+  for (size_t I = 0; I < Globals.size(); ++I)
+    if (Globals[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+unsigned Module::internString(const std::string &Text) {
+  for (size_t I = 0; I < StringTable.size(); ++I)
+    if (StringTable[I] == Text)
+      return static_cast<unsigned>(I);
+  StringTable.push_back(Text);
+  return static_cast<unsigned>(StringTable.size() - 1);
+}
+
+unsigned Module::internEffectClass(const std::string &Name) {
+  for (size_t I = 0; I < EffectClasses.size(); ++I)
+    if (EffectClasses[I] == Name)
+      return static_cast<unsigned>(I);
+  EffectClasses.push_back(Name);
+  return static_cast<unsigned>(EffectClasses.size() - 1);
+}
+
+Function *Module::makeFunction(std::string Name, IRType ReturnType) {
+  Functions.push_back(
+      std::make_unique<Function>(std::move(Name), ReturnType));
+  return Functions.back().get();
+}
+
+NativeDecl *Module::makeNative(std::string Name, IRType ReturnType,
+                               std::vector<IRType> ParamTypes) {
+  auto N = std::make_unique<NativeDecl>();
+  N->Name = std::move(Name);
+  N->ReturnType = ReturnType;
+  N->ParamTypes = std::move(ParamTypes);
+  Natives.push_back(std::move(N));
+  return Natives.back().get();
+}

@@ -1,0 +1,135 @@
+//===- IRBuilder.cpp ------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/IR/IRBuilder.h"
+
+#include <cassert>
+
+using namespace commset;
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> Instr,
+                               SourceLoc Loc) {
+  assert(Block && "no insertion block set");
+  assert(!blockTerminated() && "inserting after a terminator");
+  Instr->Loc = Loc;
+  return Block->append(std::move(Instr));
+}
+
+Instruction *IRBuilder::createBinary(Opcode Op, IRType Type, Operand LHS,
+                                     Operand RHS, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Op, Type);
+  Instr->Operands = {LHS, RHS};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createCompare(Opcode Op, Operand LHS, Operand RHS,
+                                      SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Op, IRType::I64);
+  Instr->Operands = {LHS, RHS};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createNeg(IRType Type, Operand Value, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::Neg, Type);
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createNot(Operand Value, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::Not, IRType::I64);
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createIntToFp(Operand Value, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::IntToFp, IRType::F64);
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createFpToInt(Operand Value, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::FpToInt, IRType::I64);
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createLoadLocal(unsigned LocalId, IRType Type,
+                                        SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::LoadLocal, Type);
+  Instr->SlotId = LocalId;
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createStoreLocal(unsigned LocalId, Operand Value,
+                                         SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::StoreLocal, IRType::Void);
+  Instr->SlotId = LocalId;
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createLoadGlobal(unsigned GlobalId, IRType Type,
+                                         SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::LoadGlobal, Type);
+  Instr->SlotId = GlobalId;
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createStoreGlobal(unsigned GlobalId, Operand Value,
+                                          SourceLoc Loc) {
+  auto Instr =
+      std::make_unique<Instruction>(Opcode::StoreGlobal, IRType::Void);
+  Instr->SlotId = GlobalId;
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createCall(Function *Callee,
+                                   std::vector<Operand> Args, SourceLoc Loc) {
+  assert(Callee && "call requires a callee");
+  auto Instr = std::make_unique<Instruction>(Opcode::Call,
+                                             Callee->ReturnType);
+  Instr->Callee = Callee;
+  Instr->Operands = std::move(Args);
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createCallNative(NativeDecl *Native,
+                                         std::vector<Operand> Args,
+                                         SourceLoc Loc) {
+  assert(Native && "native call requires a declaration");
+  auto Instr =
+      std::make_unique<Instruction>(Opcode::CallNative, Native->ReturnType);
+  Instr->Native = Native;
+  Instr->Operands = std::move(Args);
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createBr(BasicBlock *Target, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::Br, IRType::Void);
+  Instr->Succ0 = Target;
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createCondBr(Operand Cond, BasicBlock *TrueBB,
+                                     BasicBlock *FalseBB, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::CondBr, IRType::Void);
+  Instr->Operands = {Cond};
+  Instr->Succ0 = TrueBB;
+  Instr->Succ1 = FalseBB;
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createRet(Operand Value, SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::Ret, IRType::Void);
+  Instr->Operands = {Value};
+  return insert(std::move(Instr), Loc);
+}
+
+Instruction *IRBuilder::createRetVoid(SourceLoc Loc) {
+  auto Instr = std::make_unique<Instruction>(Opcode::Ret, IRType::Void);
+  return insert(std::move(Instr), Loc);
+}

@@ -1,0 +1,119 @@
+//===- Printer.cpp --------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/IR/Printer.h"
+
+#include "commset/Support/StringUtils.h"
+
+using namespace commset;
+
+static std::string printOperand(const Operand &Op) {
+  switch (Op.K) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Instr:
+    return formatString("%%%u", Op.Def->Id);
+  case Operand::Kind::ConstInt:
+    return formatString("%lld", static_cast<long long>(Op.IntVal));
+  case Operand::Kind::ConstFloat:
+    return formatString("%g", Op.FloatVal);
+  case Operand::Kind::ConstStr:
+    return formatString("str.%u", Op.StrId);
+  case Operand::Kind::ConstNull:
+    return "null";
+  }
+  return "?";
+}
+
+std::string commset::printInstruction(const Instruction &Instr) {
+  std::string Out;
+  if (Instr.producesValue())
+    Out += formatString("%%%u = ", Instr.Id);
+  Out += opcodeName(Instr.op());
+  Out += ' ';
+  Out += irTypeName(Instr.type());
+
+  switch (Instr.op()) {
+  case Opcode::LoadLocal:
+  case Opcode::StoreLocal:
+    Out += formatString(" $%s",
+                        Instr.Parent->Parent->Locals[Instr.SlotId].Name
+                            .c_str());
+    break;
+  case Opcode::LoadGlobal:
+  case Opcode::StoreGlobal:
+    Out += formatString(" @%u", Instr.SlotId);
+    break;
+  case Opcode::Call:
+    Out += formatString(" %s", Instr.Callee->Name.c_str());
+    break;
+  case Opcode::CallNative:
+    Out += formatString(" !%s", Instr.Native->Name.c_str());
+    break;
+  case Opcode::Br:
+    Out += formatString(" %s", Instr.Succ0->Name.c_str());
+    break;
+  case Opcode::CondBr:
+    Out += formatString(" ? %s : %s", Instr.Succ0->Name.c_str(),
+                        Instr.Succ1->Name.c_str());
+    break;
+  default:
+    break;
+  }
+
+  bool First = true;
+  for (const Operand &Op : Instr.Operands) {
+    Out += First ? " " : ", ";
+    First = false;
+    Out += printOperand(Op);
+  }
+  return Out;
+}
+
+std::string commset::printFunction(const Function &F) {
+  std::string Out = formatString("func %s %s(", irTypeName(F.ReturnType),
+                                 F.Name.c_str());
+  for (unsigned I = 0; I < F.NumParams; ++I) {
+    if (I)
+      Out += ", ";
+    Out += formatString("%s $%s", irTypeName(F.Locals[I].Type),
+                        F.Locals[I].Name.c_str());
+  }
+  Out += ")";
+  for (const MemberInstance &MI : F.Members) {
+    Out += formatString(" commset(%s", MI.SetName.c_str());
+    for (unsigned Param : MI.ArgParams)
+      Out += formatString(", $%s", F.Locals[Param].Name.c_str());
+    Out += ")";
+  }
+  Out += " {\n";
+  for (const auto &BB : F.Blocks) {
+    Out += formatString("%s:\n", BB->Name.c_str());
+    for (const auto &Instr : BB->Instrs) {
+      Out += "  ";
+      Out += printInstruction(*Instr);
+      Out += '\n';
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string commset::printModule(const Module &M) {
+  std::string Out;
+  for (size_t I = 0; I < M.Globals.size(); ++I)
+    Out += formatString("global %s @%zu ; %s\n",
+                        irTypeName(M.Globals[I].Type), I,
+                        M.Globals[I].Name.c_str());
+  for (const auto &N : M.Natives)
+    Out += formatString("native %s !%s/%zu\n", irTypeName(N->ReturnType),
+                        N->Name.c_str(), N->ParamTypes.size());
+  for (const auto &F : M.Functions) {
+    Out += printFunction(*F);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,145 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/IR/Verifier.h"
+
+#include "commset/Support/StringUtils.h"
+
+#include <set>
+
+using namespace commset;
+
+namespace {
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, DiagnosticEngine &Diags)
+      : F(F), Diags(Diags) {}
+
+  bool run() {
+    if (F.Blocks.empty()) {
+      error("function has no blocks");
+      return Ok;
+    }
+    if (F.NumParams > F.Locals.size())
+      error("parameter count exceeds local count");
+    std::set<const BasicBlock *> Owned;
+    for (const auto &BB : F.Blocks)
+      Owned.insert(BB.get());
+    for (const auto &BB : F.Blocks)
+      verifyBlock(*BB, Owned);
+    for (const MemberInstance &MI : F.Members)
+      for (unsigned Param : MI.ArgParams)
+        if (Param >= F.NumParams)
+          error(formatString("member of '%s' binds out-of-range parameter %u",
+                             MI.SetName.c_str(), Param));
+    return Ok;
+  }
+
+private:
+  void error(std::string Message) {
+    Diags.error(F.Loc, "verifier: " + F.Name + ": " + std::move(Message));
+    Ok = false;
+  }
+
+  void verifyBlock(const BasicBlock &BB,
+                   const std::set<const BasicBlock *> &Owned) {
+    if (BB.Instrs.empty() || !BB.Instrs.back()->isTerminator()) {
+      error(formatString("block '%s' does not end in a terminator",
+                         BB.Name.c_str()));
+      return;
+    }
+    std::set<const Instruction *> Defined;
+    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+      const Instruction &Instr = *BB.Instrs[I];
+      if (Instr.isTerminator() && I + 1 != BB.Instrs.size())
+        error(formatString("terminator in the middle of block '%s'",
+                           BB.Name.c_str()));
+      verifyInstr(Instr, Defined, Owned);
+      Defined.insert(&Instr);
+    }
+  }
+
+  void verifyInstr(const Instruction &Instr,
+                   const std::set<const Instruction *> &Defined,
+                   const std::set<const BasicBlock *> &Owned) {
+    for (const Operand &Op : Instr.Operands) {
+      if (Op.K == Operand::Kind::None)
+        error("operand of kind None");
+      if (Op.isInstr()) {
+        if (!Op.Def)
+          error("register operand with null definition");
+        else if (!Defined.count(Op.Def))
+          error(formatString("instruction %u uses a register not defined "
+                             "earlier in its block",
+                             Instr.Id));
+        else if (!Op.Def->producesValue())
+          error("register operand refers to a void instruction");
+      }
+    }
+
+    switch (Instr.op()) {
+    case Opcode::LoadLocal:
+    case Opcode::StoreLocal:
+      if (Instr.SlotId >= F.Locals.size())
+        error(formatString("local slot %u out of range", Instr.SlotId));
+      if (Instr.op() == Opcode::StoreLocal && Instr.Operands.size() != 1)
+        error("stloc requires exactly one operand");
+      break;
+    case Opcode::Call:
+      if (!Instr.Callee)
+        error("call with null callee");
+      else if (Instr.Operands.size() != Instr.Callee->NumParams)
+        error(formatString("call to '%s' passes %zu args, expected %u",
+                           Instr.Callee->Name.c_str(), Instr.Operands.size(),
+                           Instr.Callee->NumParams));
+      break;
+    case Opcode::CallNative:
+      if (!Instr.Native)
+        error("native call with null declaration");
+      else if (Instr.Operands.size() != Instr.Native->ParamTypes.size())
+        error(formatString("native call to '%s' passes %zu args, expected "
+                           "%zu",
+                           Instr.Native->Name.c_str(), Instr.Operands.size(),
+                           Instr.Native->ParamTypes.size()));
+      break;
+    case Opcode::Br:
+      if (!Instr.Succ0 || !Owned.count(Instr.Succ0))
+        error("br target not owned by this function");
+      break;
+    case Opcode::CondBr:
+      if (!Instr.Succ0 || !Owned.count(Instr.Succ0) || !Instr.Succ1 ||
+          !Owned.count(Instr.Succ1))
+        error("condbr target not owned by this function");
+      if (Instr.Operands.size() != 1)
+        error("condbr requires exactly one condition operand");
+      break;
+    case Opcode::Ret:
+      if (F.ReturnType == IRType::Void && !Instr.Operands.empty())
+        error("void function returns a value");
+      if (F.ReturnType != IRType::Void && Instr.Operands.size() != 1)
+        error("non-void function must return exactly one value");
+      break;
+    default:
+      break;
+    }
+  }
+
+  const Function &F;
+  DiagnosticEngine &Diags;
+  bool Ok = true;
+};
+} // namespace
+
+bool commset::verifyFunction(const Function &F, DiagnosticEngine &Diags) {
+  return FunctionVerifier(F, Diags).run();
+}
+
+bool commset::verifyModule(const Module &M, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const auto &F : M.Functions)
+    Ok &= verifyFunction(*F, Diags);
+  return Ok;
+}

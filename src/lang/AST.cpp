@@ -1,0 +1,67 @@
+//===- AST.cpp ------------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/AST.h"
+
+using namespace commset;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const char *commset::typeKindName(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Ptr:
+    return "ptr";
+  case TypeKind::Str:
+    return "str";
+  }
+  return "unknown";
+}
+
+const char *commset::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+FunctionDecl *Program::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}

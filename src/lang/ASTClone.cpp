@@ -1,0 +1,149 @@
+//===- ASTClone.cpp -------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/ASTClone.h"
+
+#include "commset/Support/Casting.h"
+
+#include <cassert>
+
+using namespace commset;
+
+ExprPtr commset::cloneExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  ExprPtr Clone;
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    const auto *Lit = cast<IntLitExpr>(E);
+    Clone = std::make_unique<IntLitExpr>(Lit->Value, Lit->loc());
+    break;
+  }
+  case ExprKind::FloatLit: {
+    const auto *Lit = cast<FloatLitExpr>(E);
+    Clone = std::make_unique<FloatLitExpr>(Lit->Value, Lit->loc());
+    break;
+  }
+  case ExprKind::StrLit: {
+    const auto *Lit = cast<StrLitExpr>(E);
+    Clone = std::make_unique<StrLitExpr>(Lit->Value, Lit->loc());
+    break;
+  }
+  case ExprKind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    auto NewRef = std::make_unique<VarRefExpr>(Ref->Name, Ref->loc());
+    NewRef->IsGlobal = Ref->IsGlobal;
+    Clone = std::move(NewRef);
+    break;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Clone = std::make_unique<UnaryExpr>(U->Op, cloneExpr(U->Sub.get()),
+                                        U->loc());
+    break;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Clone = std::make_unique<BinaryExpr>(B->Op, cloneExpr(B->LHS.get()),
+                                         cloneExpr(B->RHS.get()), B->loc());
+    break;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(C->Args.size());
+    for (const ExprPtr &Arg : C->Args)
+      Args.push_back(cloneExpr(Arg.get()));
+    auto NewCall =
+        std::make_unique<CallExpr>(C->Callee, std::move(Args), C->loc());
+    NewCall->IsNative = C->IsNative;
+    Clone = std::move(NewCall);
+    break;
+  }
+  }
+  assert(Clone && "unhandled expression kind");
+  Clone->Type = E->Type;
+  return Clone;
+}
+
+StmtPtr commset::cloneStmt(const Stmt *S) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    const auto *B = cast<BlockStmt>(S);
+    std::vector<StmtPtr> Body;
+    Body.reserve(B->Body.size());
+    for (const StmtPtr &Sub : B->Body)
+      Body.push_back(cloneStmt(Sub.get()));
+    auto Clone = std::make_unique<BlockStmt>(std::move(Body), B->loc());
+    Clone->Members = B->Members;
+    Clone->NamedBlock = B->NamedBlock;
+    return Clone;
+  }
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    return std::make_unique<DeclStmt>(D->Type, D->Name,
+                                      cloneExpr(D->Init.get()), D->loc());
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    auto Clone = std::make_unique<AssignStmt>(
+        A->Name, cloneExpr(A->Value.get()), A->loc());
+    Clone->IsGlobal = A->IsGlobal;
+    return Clone;
+  }
+  case StmtKind::ExprStmt: {
+    const auto *E = cast<ExprStmt>(S);
+    auto Clone = std::make_unique<ExprStmt>(cloneExpr(E->E.get()), E->loc());
+    Clone->Enables = E->Enables;
+    return Clone;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return std::make_unique<IfStmt>(cloneExpr(I->Cond.get()),
+                                    cloneStmt(I->Then.get()),
+                                    cloneStmt(I->Else.get()), I->loc());
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return std::make_unique<WhileStmt>(cloneExpr(W->Cond.get()),
+                                       cloneStmt(W->Body.get()), W->loc());
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return std::make_unique<ForStmt>(
+        cloneStmt(F->Init.get()), cloneExpr(F->Cond.get()),
+        cloneStmt(F->Step.get()), cloneStmt(F->Body.get()), F->loc());
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    return std::make_unique<ReturnStmt>(cloneExpr(R->Value.get()), R->loc());
+  }
+  case StmtKind::Break:
+    return std::make_unique<BreakStmt>(S->loc());
+  case StmtKind::Continue:
+    return std::make_unique<ContinueStmt>(S->loc());
+  }
+  assert(false && "unhandled statement kind");
+  return nullptr;
+}
+
+std::unique_ptr<FunctionDecl> commset::cloneFunction(const FunctionDecl &F) {
+  auto Clone = std::make_unique<FunctionDecl>();
+  Clone->ReturnType = F.ReturnType;
+  Clone->Name = F.Name;
+  Clone->Params = F.Params;
+  Clone->IsExtern = F.IsExtern;
+  Clone->Loc = F.Loc;
+  Clone->Members = F.Members;
+  Clone->NamedArgs = F.NamedArgs;
+  if (F.Body) {
+    StmtPtr Body = cloneStmt(F.Body.get());
+    Clone->Body.reset(cast<BlockStmt>(Body.release()));
+  }
+  return Clone;
+}

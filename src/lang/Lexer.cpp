@@ -1,0 +1,400 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/Lexer.h"
+
+#include "commset/Support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace commset;
+
+const char *commset::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::StringLiteral:
+    return "string literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwExtern:
+    return "'extern'";
+  case TokKind::PragmaCommset:
+    return "'#pragma commset'";
+  case TokKind::PragmaEnd:
+    return "end of pragma";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Not:
+    return "'!'";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '\n' && InPragma)
+      return; // PragmaEnd is produced by next().
+    if (isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, SourceLoc Loc, std::string Text) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // Not an exponent; leave 'e' for identifier lexing.
+    }
+  }
+  std::string Text = Source.substr(Start - 1, Pos - Start + 1);
+  Token Tok = makeToken(IsFloat ? TokKind::FloatLiteral : TokKind::IntLiteral,
+                        Loc, Text);
+  if (IsFloat)
+    Tok.FloatValue = strtod(Text.c_str(), nullptr);
+  else
+    Tok.IntValue = strtoll(Text.c_str(), nullptr, 10);
+  return Tok;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  size_t Start = Pos - 1;
+  while (isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"int", TokKind::KwInt},         {"double", TokKind::KwDouble},
+      {"void", TokKind::KwVoid},       {"return", TokKind::KwReturn},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+      {"extern", TokKind::KwExtern},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc, Text);
+  return makeToken(TokKind::Identifier, Loc, Text);
+}
+
+Token Lexer::lexString(SourceLoc Loc) {
+  std::string Value;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && !atEnd()) {
+      char Esc = advance();
+      switch (Esc) {
+      case 'n':
+        Value += '\n';
+        break;
+      case 't':
+        Value += '\t';
+        break;
+      case '\\':
+        Value += '\\';
+        break;
+      case '"':
+        Value += '"';
+        break;
+      case '0':
+        Value += '\0';
+        break;
+      default:
+        Diags.error(loc(), formatString("unknown escape sequence '\\%c'", Esc));
+        break;
+      }
+      continue;
+    }
+    if (C == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      return makeToken(TokKind::StringLiteral, Loc, Value);
+    }
+    Value += C;
+  }
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated string literal");
+    return makeToken(TokKind::StringLiteral, Loc, Value);
+  }
+  advance(); // Closing quote.
+  return makeToken(TokKind::StringLiteral, Loc, Value);
+}
+
+Token Lexer::lexPragma(SourceLoc Loc) {
+  // '#' already consumed. Expect "pragma" then "commset".
+  skipTrivia();
+  size_t Start = Pos;
+  while (isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Word = Source.substr(Start, Pos - Start);
+  if (Word != "pragma") {
+    Diags.error(Loc, "only '#pragma commset' directives are supported");
+    // Skip the rest of the line.
+    while (!atEnd() && peek() != '\n')
+      advance();
+    return next();
+  }
+  skipTrivia();
+  Start = Pos;
+  while (isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  Word = Source.substr(Start, Pos - Start);
+  if (Word != "commset") {
+    // Unknown pragmas are ignored (standard compilers must be able to
+    // compile annotated programs unchanged; symmetrically we skip theirs).
+    while (!atEnd() && peek() != '\n')
+      advance();
+    return next();
+  }
+  InPragma = true;
+  return makeToken(TokKind::PragmaCommset, Loc, "#pragma commset");
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = loc();
+  if (atEnd()) {
+    if (InPragma) {
+      InPragma = false;
+      return makeToken(TokKind::PragmaEnd, Loc);
+    }
+    return makeToken(TokKind::Eof, Loc);
+  }
+
+  char C = advance();
+  if (C == '\n') {
+    assert(InPragma && "newline is trivia outside pragma lines");
+    InPragma = false;
+    return makeToken(TokKind::PragmaEnd, Loc);
+  }
+
+  if (isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  switch (C) {
+  case '#':
+    if (InPragma)
+      break;
+    return lexPragma(Loc);
+  case '"':
+    return lexString(Loc);
+  case '(':
+    return makeToken(TokKind::LParen, Loc);
+  case ')':
+    return makeToken(TokKind::RParen, Loc);
+  case '{':
+    return makeToken(TokKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokKind::RBrace, Loc);
+  case ',':
+    return makeToken(TokKind::Comma, Loc);
+  case ';':
+    return makeToken(TokKind::Semi, Loc);
+  case ':':
+    return makeToken(TokKind::Colon, Loc);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokKind::PlusAssign, Loc);
+    return makeToken(TokKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokKind::MinusAssign, Loc);
+    return makeToken(TokKind::Minus, Loc);
+  case '*':
+    return makeToken(TokKind::Star, Loc);
+  case '/':
+    return makeToken(TokKind::Slash, Loc);
+  case '%':
+    return makeToken(TokKind::Percent, Loc);
+  case '!':
+    return makeToken(match('=') ? TokKind::NotEq : TokKind::Not, Loc);
+  case '<':
+    return makeToken(match('=') ? TokKind::LessEq : TokKind::Less, Loc);
+  case '>':
+    return makeToken(match('=') ? TokKind::GreaterEq : TokKind::Greater, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AmpAmp, Loc);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokKind::PipePipe, Loc);
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, formatString("unexpected character '%c'", C));
+  return next();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = next();
+    bool IsEof = Tok.is(TokKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (IsEof)
+      return Tokens;
+  }
+}

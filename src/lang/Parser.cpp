@@ -1,0 +1,800 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/Parser.h"
+
+#include "commset/Support/Casting.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cassert>
+
+using namespace commset;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+std::unique_ptr<Program> Parser::parse(const std::string &Source,
+                                       DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseProgram();
+}
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Index + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof.
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token Tok = Tokens[Index];
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return Tok;
+}
+
+bool Parser::accept(TokKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc,
+              formatString("expected %s %s, found %s", tokKindName(Kind),
+                           Context, tokKindName(current().Kind)));
+  return false;
+}
+
+void Parser::synchronizeTopLevel() {
+  while (!check(TokKind::Eof)) {
+    if (accept(TokKind::Semi))
+      return;
+    if (check(TokKind::RBrace)) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+void Parser::synchronizeStmt() {
+  while (!check(TokKind::Eof) && !check(TokKind::RBrace)) {
+    if (accept(TokKind::Semi))
+      return;
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto P = std::make_unique<Program>();
+  while (!check(TokKind::Eof))
+    parseTopLevel(*P);
+  if (Pending.anyDeclAttrs())
+    Diags.error(Pending.Loc, "dangling COMMSET pragma not attached to any "
+                             "declaration or statement");
+  return P;
+}
+
+std::optional<TypeKind> Parser::parseType() {
+  if (accept(TokKind::KwInt))
+    return TypeKind::Int;
+  if (accept(TokKind::KwDouble))
+    return TypeKind::Double;
+  if (accept(TokKind::KwVoid))
+    return TypeKind::Void;
+  if (check(TokKind::Identifier) && current().Text == "ptr") {
+    consume();
+    return TypeKind::Ptr;
+  }
+  return std::nullopt;
+}
+
+void Parser::parseTopLevel(Program &P) {
+  if (check(TokKind::PragmaCommset)) {
+    parsePragma(P);
+    return;
+  }
+  bool IsExtern = accept(TokKind::KwExtern);
+  if (!parseType()) {
+    Diags.error(current().Loc,
+                formatString("expected declaration at top level, found %s",
+                             tokKindName(current().Kind)));
+    synchronizeTopLevel();
+    return;
+  }
+  --Index; // Re-read the type inside parseFunctionOrGlobal.
+  parseFunctionOrGlobal(P, IsExtern);
+}
+
+void Parser::parseFunctionOrGlobal(Program &P, bool IsExtern) {
+  SourceLoc Loc = current().Loc;
+  TypeKind Type = *parseType();
+  if (!check(TokKind::Identifier)) {
+    Diags.error(current().Loc, "expected identifier in declaration");
+    synchronizeTopLevel();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  if (check(TokKind::LParen)) {
+    // Function.
+    consume();
+    auto F = std::make_unique<FunctionDecl>();
+    F->ReturnType = Type;
+    F->Name = std::move(Name);
+    F->Params = parseParamList();
+    F->IsExtern = IsExtern;
+    F->Loc = Loc;
+    F->Members = std::move(Pending.Members);
+    F->NamedArgs = std::move(Pending.NamedArgs);
+    if (!Pending.NamedBlock.empty())
+      Diags.error(Pending.Loc, "namedblock pragma cannot apply to a function "
+                               "interface; use namedarg");
+    if (!Pending.Enables.empty())
+      Diags.error(Pending.Loc,
+                  "enable pragma must precede a call statement");
+    Pending.clear();
+
+    if (accept(TokKind::Semi)) {
+      F->IsExtern = true;
+      P.Functions.push_back(std::move(F));
+      return;
+    }
+    if (IsExtern)
+      Diags.error(Loc, "extern function cannot have a body");
+    StmtPtr Body = parseBlock();
+    if (Body)
+      F->Body.reset(cast<BlockStmt>(Body.release()));
+    P.Functions.push_back(std::move(F));
+    return;
+  }
+
+  // Global variable.
+  if (Pending.anyDeclAttrs()) {
+    Diags.error(Pending.Loc, "COMMSET pragmas apply to code, not data; "
+                             "cannot annotate a global variable");
+    Pending.clear();
+  }
+  if (Type == TypeKind::Void) {
+    Diags.error(Loc, "global variable cannot have void type");
+    synchronizeTopLevel();
+    return;
+  }
+  GlobalVarDecl G;
+  G.Type = Type;
+  G.Name = std::move(Name);
+  G.Loc = Loc;
+  if (accept(TokKind::Assign))
+    G.Init = parseExpr();
+  expect(TokKind::Semi, "after global variable declaration");
+  P.Globals.push_back(std::move(G));
+}
+
+std::vector<ParamDecl> Parser::parseParamList() {
+  std::vector<ParamDecl> Params;
+  if (accept(TokKind::RParen))
+    return Params;
+  if (check(TokKind::KwVoid) && peek(1).is(TokKind::RParen)) {
+    consume();
+    consume();
+    return Params;
+  }
+  while (true) {
+    SourceLoc Loc = current().Loc;
+    auto Type = parseType();
+    if (!Type) {
+      Diags.error(Loc, "expected parameter type");
+      break;
+    }
+    std::string Name;
+    if (check(TokKind::Identifier))
+      Name = consume().Text;
+    else
+      Diags.error(current().Loc, "expected parameter name");
+    Params.push_back({*Type, std::move(Name), Loc});
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RParen, "after parameter list");
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Pragmas
+//===----------------------------------------------------------------------===//
+
+bool Parser::finishPragmaLine() {
+  if (accept(TokKind::PragmaEnd))
+    return true;
+  Diags.error(current().Loc, "unexpected tokens at end of COMMSET pragma");
+  while (!check(TokKind::PragmaEnd) && !check(TokKind::Eof))
+    consume();
+  accept(TokKind::PragmaEnd);
+  return false;
+}
+
+void Parser::parsePragma(Program &P) {
+  SourceLoc Loc = consume().Loc; // PragmaCommset.
+  Pending.Loc = Loc;
+  if (!check(TokKind::Identifier)) {
+    Diags.error(current().Loc, "expected COMMSET directive name");
+    finishPragmaLine();
+    return;
+  }
+  std::string Directive = consume().Text;
+  if (Directive == "decl") {
+    parseSetDecl(P);
+  } else if (Directive == "predicate") {
+    parsePredicateDecl(P);
+  } else if (Directive == "nosync") {
+    parseNoSyncDecl(P);
+  } else if (Directive == "effects") {
+    parseEffectsDecl(P);
+  } else if (Directive == "member") {
+    parseMemberPragma();
+  } else if (Directive == "namedarg") {
+    parseNamedArgPragma();
+  } else if (Directive == "namedblock") {
+    parseNamedBlockPragma();
+  } else if (Directive == "enable") {
+    parseEnablePragma();
+  } else {
+    Diags.error(Loc, formatString("unknown COMMSET directive '%s'",
+                                  Directive.c_str()));
+  }
+  finishPragmaLine();
+}
+
+void Parser::parseSetDecl(Program &P) {
+  SetDecl D;
+  D.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'decl'"))
+    return;
+  if (check(TokKind::Identifier))
+    D.Name = consume().Text;
+  else
+    Diags.error(current().Loc, "expected COMMSET name");
+  if (accept(TokKind::Comma)) {
+    std::string Kind = check(TokKind::Identifier) ? consume().Text : "";
+    if (Kind == "self")
+      D.Kind = CommSetKind::Self;
+    else if (Kind == "group")
+      D.Kind = CommSetKind::Group;
+    else
+      Diags.error(current().Loc, "COMMSET kind must be 'self' or 'group'");
+  }
+  expect(TokKind::RParen, "after COMMSET declaration");
+  P.SetDecls.push_back(std::move(D));
+}
+
+void Parser::parsePredicateDecl(Program &P) {
+  PredicateDecl D;
+  D.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'predicate'"))
+    return;
+  if (check(TokKind::Identifier))
+    D.SetName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected COMMSET name in predicate");
+  expect(TokKind::Comma, "after COMMSET name");
+  expect(TokKind::LParen, "before first predicate parameter list");
+  D.Params1 = parseParamList();
+  expect(TokKind::Comma, "between predicate parameter lists");
+  expect(TokKind::LParen, "before second predicate parameter list");
+  D.Params2 = parseParamList();
+  expect(TokKind::Comma, "before predicate expression");
+  D.Predicate = parseExpr();
+  expect(TokKind::RParen, "after predicate expression");
+  P.Predicates.push_back(std::move(D));
+}
+
+void Parser::parseNoSyncDecl(Program &P) {
+  NoSyncDecl D;
+  D.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'nosync'"))
+    return;
+  if (check(TokKind::Identifier))
+    D.SetName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected COMMSET name");
+  expect(TokKind::RParen, "after nosync declaration");
+  P.NoSyncs.push_back(std::move(D));
+}
+
+void Parser::parseEffectsDecl(Program &P) {
+  EffectDecl D;
+  D.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'effects'"))
+    return;
+  if (check(TokKind::Identifier))
+    D.FunctionName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected function name in effects");
+  while (accept(TokKind::Comma)) {
+    if (!check(TokKind::Identifier)) {
+      Diags.error(current().Loc, "expected effect item");
+      break;
+    }
+    std::string Item = consume().Text;
+    if (Item == "pure") {
+      D.Pure = true;
+    } else if (Item == "malloc") {
+      D.Malloc = true;
+    } else if (Item == "argmem") {
+      D.ArgMem = true;
+    } else if (Item == "reads" || Item == "writes") {
+      auto &List = Item == "reads" ? D.Reads : D.Writes;
+      expect(TokKind::LParen, "after effect class list keyword");
+      while (true) {
+        if (check(TokKind::Identifier))
+          List.push_back(consume().Text);
+        else
+          Diags.error(current().Loc, "expected effect class name");
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::RParen, "after effect class list");
+    } else {
+      Diags.error(current().Loc,
+                  formatString("unknown effect item '%s'", Item.c_str()));
+    }
+  }
+  expect(TokKind::RParen, "after effects declaration");
+  P.Effects.push_back(std::move(D));
+}
+
+MemberSpec Parser::parseMemberSpec() {
+  MemberSpec Spec;
+  Spec.Loc = current().Loc;
+  if (check(TokKind::Identifier))
+    Spec.SetName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected COMMSET name in member list");
+  if (accept(TokKind::LParen)) {
+    if (!check(TokKind::RParen)) {
+      while (true) {
+        if (check(TokKind::Identifier))
+          Spec.Args.push_back(consume().Text);
+        else
+          Diags.error(current().Loc,
+                      "expected variable name as COMMSET predicate argument");
+        if (!accept(TokKind::Comma))
+          break;
+      }
+    }
+    expect(TokKind::RParen, "after COMMSET predicate arguments");
+  }
+  return Spec;
+}
+
+void Parser::parseMemberPragma() {
+  if (!expect(TokKind::LParen, "after 'member'"))
+    return;
+  while (true) {
+    Pending.Members.push_back(parseMemberSpec());
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RParen, "after member list");
+}
+
+void Parser::parseNamedArgPragma() {
+  if (!expect(TokKind::LParen, "after 'namedarg'"))
+    return;
+  while (true) {
+    if (check(TokKind::Identifier))
+      Pending.NamedArgs.push_back(consume().Text);
+    else
+      Diags.error(current().Loc, "expected named block argument name");
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RParen, "after namedarg list");
+}
+
+void Parser::parseNamedBlockPragma() {
+  if (!expect(TokKind::LParen, "after 'namedblock'"))
+    return;
+  if (check(TokKind::Identifier))
+    Pending.NamedBlock = consume().Text;
+  else
+    Diags.error(current().Loc, "expected named block name");
+  expect(TokKind::RParen, "after namedblock name");
+}
+
+void Parser::parseEnablePragma() {
+  EnableSpec Spec;
+  Spec.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'enable'"))
+    return;
+  if (check(TokKind::Identifier))
+    Spec.BlockName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected named block to enable");
+  expect(TokKind::Colon, "after enabled block name");
+  while (true) {
+    Spec.Sets.push_back(parseMemberSpec());
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RParen, "after enable specification");
+  Pending.Enables.push_back(std::move(Spec));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  if (!expect(TokKind::LBrace, "to open block"))
+    return nullptr;
+  auto Block = std::make_unique<BlockStmt>(std::vector<StmtPtr>(), Loc);
+  Block->Members = std::move(Pending.Members);
+  Block->NamedBlock = std::move(Pending.NamedBlock);
+  Pending.Members.clear();
+  Pending.NamedBlock.clear();
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (S)
+      Block->Body.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace, "to close block");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  while (check(TokKind::PragmaCommset)) {
+    // Statement-level pragmas: member/namedblock before a block, enable
+    // before a call statement.
+    SourceLoc Loc = consume().Loc;
+    Pending.Loc = Loc;
+    std::string Directive =
+        check(TokKind::Identifier) ? consume().Text : std::string();
+    if (Directive == "member")
+      parseMemberPragma();
+    else if (Directive == "namedblock")
+      parseNamedBlockPragma();
+    else if (Directive == "enable")
+      parseEnablePragma();
+    else
+      Diags.error(Loc, formatString(
+                           "COMMSET directive '%s' is not valid inside a "
+                           "function body",
+                           Directive.c_str()));
+    finishPragmaLine();
+  }
+
+  if (check(TokKind::LBrace))
+    return parseBlock();
+
+  // Any pending block-only attributes must precede a block.
+  if (!Pending.Members.empty() || !Pending.NamedBlock.empty()) {
+    Diags.error(Pending.Loc,
+                "COMMSET member/namedblock pragma must precede a compound "
+                "statement '{...}'");
+    Pending.Members.clear();
+    Pending.NamedBlock.clear();
+  }
+
+  if (auto Type = parseType())
+    return parseDeclStmt(*Type);
+  if (check(TokKind::KwIf))
+    return parseIf();
+  if (check(TokKind::KwWhile))
+    return parseWhile();
+  if (check(TokKind::KwFor))
+    return parseFor();
+  if (check(TokKind::KwReturn))
+    return parseReturn();
+  if (check(TokKind::KwBreak)) {
+    SourceLoc Loc = consume().Loc;
+    expect(TokKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  if (check(TokKind::KwContinue)) {
+    SourceLoc Loc = consume().Loc;
+    expect(TokKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  return parseExprOrAssignStmt();
+}
+
+StmtPtr Parser::parseDeclStmt(TypeKind Type) {
+  SourceLoc Loc = current().Loc;
+  if (Type == TypeKind::Void) {
+    Diags.error(Loc, "variable cannot have void type");
+    synchronizeStmt();
+    return nullptr;
+  }
+  if (!check(TokKind::Identifier)) {
+    Diags.error(current().Loc, "expected variable name");
+    synchronizeStmt();
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  ExprPtr Init;
+  if (accept(TokKind::Assign))
+    Init = parseExpr();
+  expect(TokKind::Semi, "after variable declaration");
+  return std::make_unique<DeclStmt>(Type, std::move(Name), std::move(Init),
+                                    Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::RParen, "after if condition");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::RParen, "after while condition");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokKind::LParen, "after 'for'");
+
+  StmtPtr Init;
+  if (!accept(TokKind::Semi)) {
+    if (auto Type = parseType()) {
+      Init = parseDeclStmt(*Type); // Consumes ';'.
+    } else {
+      Init = parseSimpleAssign();
+      if (!Init)
+        Diags.error(current().Loc, "expected assignment in for initializer");
+      expect(TokKind::Semi, "after for initializer");
+    }
+  }
+
+  ExprPtr Cond;
+  if (!check(TokKind::Semi))
+    Cond = parseExpr();
+  expect(TokKind::Semi, "after for condition");
+
+  StmtPtr Step;
+  if (!check(TokKind::RParen)) {
+    Step = parseSimpleAssign();
+    if (!Step)
+      Diags.error(current().Loc, "expected assignment in for step");
+  }
+  expect(TokKind::RParen, "after for clauses");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc;
+  ExprPtr Value;
+  if (!check(TokKind::Semi))
+    Value = parseExpr();
+  expect(TokKind::Semi, "after return statement");
+  return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+}
+
+StmtPtr Parser::parseSimpleAssign() {
+  if (!check(TokKind::Identifier))
+    return nullptr;
+  TokKind Next = peek(1).Kind;
+  if (Next != TokKind::Assign && Next != TokKind::PlusAssign &&
+      Next != TokKind::MinusAssign && Next != TokKind::PlusPlus &&
+      Next != TokKind::MinusMinus)
+    return nullptr;
+
+  SourceLoc Loc = current().Loc;
+  std::string Name = consume().Text;
+  TokKind Op = consume().Kind;
+
+  auto makeVar = [&]() { return std::make_unique<VarRefExpr>(Name, Loc); };
+  ExprPtr Value;
+  switch (Op) {
+  case TokKind::Assign:
+    Value = parseExpr();
+    break;
+  case TokKind::PlusAssign:
+    Value = std::make_unique<BinaryExpr>(BinaryOp::Add, makeVar(), parseExpr(),
+                                         Loc);
+    break;
+  case TokKind::MinusAssign:
+    Value = std::make_unique<BinaryExpr>(BinaryOp::Sub, makeVar(), parseExpr(),
+                                         Loc);
+    break;
+  case TokKind::PlusPlus:
+    Value = std::make_unique<BinaryExpr>(
+        BinaryOp::Add, makeVar(), std::make_unique<IntLitExpr>(1, Loc), Loc);
+    break;
+  case TokKind::MinusMinus:
+    Value = std::make_unique<BinaryExpr>(
+        BinaryOp::Sub, makeVar(), std::make_unique<IntLitExpr>(1, Loc), Loc);
+    break;
+  default:
+    assert(false && "not an assignment operator");
+  }
+  return std::make_unique<AssignStmt>(std::move(Name), std::move(Value), Loc);
+}
+
+StmtPtr Parser::parseExprOrAssignStmt() {
+  SourceLoc Loc = current().Loc;
+  if (StmtPtr Assign = parseSimpleAssign()) {
+    if (!Pending.Enables.empty()) {
+      Diags.error(Pending.Loc, "enable pragma must precede a call statement");
+      Pending.Enables.clear();
+    }
+    expect(TokKind::Semi, "after assignment");
+    return Assign;
+  }
+
+  ExprPtr E = parseExpr();
+  if (!E) {
+    synchronizeStmt();
+    return nullptr;
+  }
+  expect(TokKind::Semi, "after expression statement");
+  auto S = std::make_unique<ExprStmt>(std::move(E), Loc);
+  S->Enables = std::move(Pending.Enables);
+  Pending.Enables.clear();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static std::optional<BinOpInfo> binOpFor(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::PipePipe:
+    return BinOpInfo{BinaryOp::LOr, 1};
+  case TokKind::AmpAmp:
+    return BinOpInfo{BinaryOp::LAnd, 2};
+  case TokKind::EqEq:
+    return BinOpInfo{BinaryOp::Eq, 3};
+  case TokKind::NotEq:
+    return BinOpInfo{BinaryOp::Ne, 3};
+  case TokKind::Less:
+    return BinOpInfo{BinaryOp::Lt, 4};
+  case TokKind::LessEq:
+    return BinOpInfo{BinaryOp::Le, 4};
+  case TokKind::Greater:
+    return BinOpInfo{BinaryOp::Gt, 4};
+  case TokKind::GreaterEq:
+    return BinOpInfo{BinaryOp::Ge, 4};
+  case TokKind::Plus:
+    return BinOpInfo{BinaryOp::Add, 5};
+  case TokKind::Minus:
+    return BinOpInfo{BinaryOp::Sub, 5};
+  case TokKind::Star:
+    return BinOpInfo{BinaryOp::Mul, 6};
+  case TokKind::Slash:
+    return BinOpInfo{BinaryOp::Div, 6};
+  case TokKind::Percent:
+    return BinOpInfo{BinaryOp::Rem, 6};
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  return parseBinaryRHS(1, std::move(LHS));
+}
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (true) {
+    auto Info = binOpFor(current().Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return LHS;
+    auto NextInfo = binOpFor(current().Kind);
+    if (NextInfo && NextInfo->Prec > Info->Prec)
+      RHS = parseBinaryRHS(Info->Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(Info->Op, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokKind::Minus)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Sub), Loc);
+  }
+  if (check(TokKind::Not)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::LNot, std::move(Sub), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  if (check(TokKind::IntLiteral)) {
+    Token Tok = consume();
+    return std::make_unique<IntLitExpr>(Tok.IntValue, Loc);
+  }
+  if (check(TokKind::FloatLiteral)) {
+    Token Tok = consume();
+    return std::make_unique<FloatLitExpr>(Tok.FloatValue, Loc);
+  }
+  if (check(TokKind::StringLiteral)) {
+    Token Tok = consume();
+    return std::make_unique<StrLitExpr>(std::move(Tok.Text), Loc);
+  }
+  if (accept(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  if (check(TokKind::Identifier)) {
+    std::string Name = consume().Text;
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        while (true) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            break;
+          Args.push_back(std::move(Arg));
+          if (!accept(TokKind::Comma))
+            break;
+        }
+      }
+      expect(TokKind::RParen, "after call arguments");
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  Diags.error(Loc, formatString("expected expression, found %s",
+                                tokKindName(current().Kind)));
+  consume();
+  return nullptr;
+}

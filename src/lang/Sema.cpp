@@ -1,0 +1,605 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/Sema.h"
+
+#include "commset/Support/Casting.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cassert>
+
+using namespace commset;
+
+bool Sema::run() {
+  collectGlobals();
+  checkSetDecls();
+  checkPredicates();
+  checkNoSyncs();
+  for (auto &F : P.Functions)
+    checkFunction(*F);
+  return !Diags.hasErrors();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void Sema::collectGlobals() {
+  for (GlobalVarDecl &G : P.Globals) {
+    if (GlobalVars.count(G.Name)) {
+      Diags.error(G.Loc,
+                  formatString("redefinition of global '%s'", G.Name.c_str()));
+      continue;
+    }
+    if (G.Init) {
+      TypeKind InitType = checkExpr(G.Init.get());
+      requireConvertible(InitType, G.Type, G.Loc, "global initializer");
+    }
+    GlobalVars[G.Name] = {G.Type, /*IsGlobal=*/true};
+  }
+
+  std::map<std::string, SourceLoc> SeenFunctions;
+  for (auto &F : P.Functions) {
+    auto [It, Inserted] = SeenFunctions.try_emplace(F->Name, F->Loc);
+    if (!Inserted)
+      Diags.error(F->Loc, formatString("redefinition of function '%s'",
+                                       F->Name.c_str()));
+  }
+}
+
+void Sema::checkSetDecls() {
+  for (const SetDecl &D : P.SetDecls) {
+    auto [It, Inserted] = Sets.try_emplace(D.Name, &D);
+    if (!Inserted)
+      Diags.error(D.Loc, formatString("redeclaration of COMMSET '%s'",
+                                      D.Name.c_str()));
+    if (D.Name == SelfSetKeyword)
+      Diags.error(D.Loc, "'SELF' is reserved for implicit self sets");
+  }
+}
+
+void Sema::checkPredicates() {
+  for (PredicateDecl &D : P.Predicates) {
+    if (!Sets.count(D.SetName)) {
+      Diags.error(D.Loc, formatString("COMMSETPREDICATE references undeclared "
+                                      "COMMSET '%s'",
+                                      D.SetName.c_str()));
+      continue;
+    }
+    auto [It, Inserted] = SetPredicates.try_emplace(D.SetName, &D);
+    if (!Inserted) {
+      Diags.error(D.Loc, formatString("COMMSET '%s' already has a predicate",
+                                      D.SetName.c_str()));
+      continue;
+    }
+    if (D.Params1.size() != D.Params2.size()) {
+      Diags.error(D.Loc, "COMMSETPREDICATE parameter lists must have the "
+                         "same length");
+      continue;
+    }
+    for (size_t I = 0; I < D.Params1.size(); ++I) {
+      if (D.Params1[I].Type != D.Params2[I].Type)
+        Diags.error(D.Loc,
+                    formatString("type mismatch between predicate parameters "
+                                 "'%s' and '%s'",
+                                 D.Params1[I].Name.c_str(),
+                                 D.Params2[I].Name.c_str()));
+    }
+
+    // Type check the predicate expression in a scope holding both parameter
+    // lists; the result must convert to int (a C boolean).
+    pushScope();
+    for (const ParamDecl &Param : D.Params1)
+      declare(Param.Name, Param.Type, Param.Loc);
+    for (const ParamDecl &Param : D.Params2)
+      declare(Param.Name, Param.Type, Param.Loc);
+    if (D.Predicate) {
+      TypeKind Type = checkExpr(D.Predicate.get());
+      requireConvertible(Type, TypeKind::Int, D.Loc, "predicate expression");
+      checkPredicatePurity(D.Predicate.get(), D.Loc);
+    } else {
+      Diags.error(D.Loc, "missing predicate expression");
+    }
+    popScope();
+  }
+}
+
+void Sema::checkNoSyncs() {
+  for (const NoSyncDecl &D : P.NoSyncs)
+    if (!Sets.count(D.SetName))
+      Diags.error(D.Loc, formatString("COMMSETNOSYNC references undeclared "
+                                      "COMMSET '%s'",
+                                      D.SetName.c_str()));
+
+  for (const EffectDecl &D : P.Effects) {
+    FunctionDecl *F = P.findFunction(D.FunctionName);
+    if (!F) {
+      Diags.error(D.Loc, formatString("effects declaration for unknown "
+                                      "function '%s'",
+                                      D.FunctionName.c_str()));
+      continue;
+    }
+    if (!F->IsExtern)
+      Diags.error(D.Loc, formatString("effects can only be declared for "
+                                      "extern (native) functions; '%s' has a "
+                                      "body",
+                                      D.FunctionName.c_str()));
+  }
+}
+
+void Sema::checkPredicatePurity(const Expr *E, SourceLoc Loc) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::StrLit:
+    return;
+  case ExprKind::VarRef: {
+    // Predicate parameters are declared in the innermost scope while this
+    // check runs; a reference that only resolves to a module global makes
+    // the predicate impure.
+    const auto *Var = cast<VarRefExpr>(E);
+    bool IsParam = false;
+    for (const auto &Scope : Scopes)
+      IsParam |= Scope.count(Var->Name) != 0;
+    if (!IsParam && GlobalVars.count(Var->Name))
+      Diags.error(Loc, formatString("COMMSETPREDICATE must be pure: cannot "
+                                    "read global '%s'",
+                                    Var->Name.c_str()));
+    return;
+  }
+  case ExprKind::Unary:
+    checkPredicatePurity(cast<UnaryExpr>(E)->Sub.get(), Loc);
+    return;
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    checkPredicatePurity(Bin->LHS.get(), Loc);
+    checkPredicatePurity(Bin->RHS.get(), Loc);
+    return;
+  }
+  case ExprKind::Call:
+    Diags.error(Loc, "COMMSETPREDICATE must be pure: calls are not allowed");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() {
+  assert(!Scopes.empty() && "scope underflow");
+  Scopes.pop_back();
+}
+
+bool Sema::declare(const std::string &Name, TypeKind Type, SourceLoc Loc) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().try_emplace(Name, VarInfo{Type, false});
+  if (!Inserted) {
+    Diags.error(Loc, formatString("redefinition of '%s'", Name.c_str()));
+    return false;
+  }
+  return true;
+}
+
+const Sema::VarInfo *Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  auto Found = GlobalVars.find(Name);
+  if (Found != GlobalVars.end())
+    return &Found->second;
+  return nullptr;
+}
+
+void Sema::requireConvertible(TypeKind From, TypeKind To, SourceLoc Loc,
+                              const char *Context) {
+  if (From == To)
+    return;
+  // Numeric types interconvert (C semantics); everything else is strict.
+  bool FromNum = From == TypeKind::Int || From == TypeKind::Double;
+  bool ToNum = To == TypeKind::Int || To == TypeKind::Double;
+  if (FromNum && ToNum)
+    return;
+  Diags.error(Loc, formatString("cannot convert %s to %s in %s",
+                                typeKindName(From), typeKindName(To),
+                                Context));
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and statements
+//===----------------------------------------------------------------------===//
+
+void Sema::checkFunction(FunctionDecl &F) {
+  CurrentFunction = &F;
+  checkMemberSpecs(F.Members, /*AtInterface=*/true, &F);
+
+  if (!F.Body) {
+    if (!F.NamedArgs.empty())
+      Diags.error(F.Loc, "extern function cannot export named blocks");
+    CurrentFunction = nullptr;
+    return;
+  }
+
+  pushScope();
+  for (const ParamDecl &Param : F.Params) {
+    if (Param.Type == TypeKind::Void)
+      Diags.error(Param.Loc, "parameter cannot have void type");
+    declare(Param.Name, Param.Type, Param.Loc);
+  }
+  LoopDepth = 0;
+  CommBlockDepth = 0;
+  checkBlock(F.Body.get());
+  popScope();
+
+  // Every exported named arg must correspond to a named block in the body.
+  for (const std::string &Exported : F.NamedArgs) {
+    if (!FoundNamedBlocks.count(Exported))
+      Diags.error(F.Loc, formatString("COMMSETNAMEDARG '%s' does not match "
+                                      "any named block in '%s'",
+                                      Exported.c_str(), F.Name.c_str()));
+  }
+  FoundNamedBlocks.clear();
+  CurrentFunction = nullptr;
+}
+
+void Sema::checkBlock(BlockStmt *B) {
+  bool IsCommRegion = B->isCommutative() || !B->NamedBlock.empty();
+
+  if (!B->NamedBlock.empty()) {
+    FoundNamedBlocks.insert(B->NamedBlock);
+    bool Exported = false;
+    for (const std::string &Name : CurrentFunction->NamedArgs)
+      Exported |= (Name == B->NamedBlock);
+    if (!Exported)
+      Diags.error(B->loc(),
+                  formatString("named block '%s' is not exported via "
+                               "COMMSETNAMEDARG on '%s'",
+                               B->NamedBlock.c_str(),
+                               CurrentFunction->Name.c_str()));
+  }
+  checkMemberSpecs(B->Members, /*AtInterface=*/false, CurrentFunction);
+
+  int SavedLoopDepth = LoopDepth;
+  if (IsCommRegion) {
+    ++CommBlockDepth;
+    LoopDepth = 0; // break/continue may not escape the region.
+  }
+  pushScope();
+  for (StmtPtr &S : B->Body)
+    checkStmt(S.get());
+  popScope();
+  if (IsCommRegion) {
+    --CommBlockDepth;
+    LoopDepth = SavedLoopDepth;
+  }
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    checkBlock(cast<BlockStmt>(S));
+    return;
+  case StmtKind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (D->Init) {
+      TypeKind InitType = checkExpr(D->Init.get());
+      requireConvertible(InitType, D->Type, D->loc(), "initialization");
+    }
+    declare(D->Name, D->Type, D->loc());
+    return;
+  }
+  case StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    const VarInfo *Var = lookup(A->Name);
+    if (!Var) {
+      Diags.error(A->loc(), formatString("assignment to undeclared variable "
+                                         "'%s'",
+                                         A->Name.c_str()));
+      checkExpr(A->Value.get());
+      return;
+    }
+    A->IsGlobal = Var->IsGlobal;
+    TypeKind ValueType = checkExpr(A->Value.get());
+    requireConvertible(ValueType, Var->Type, A->loc(), "assignment");
+    return;
+  }
+  case StmtKind::ExprStmt: {
+    auto *E = cast<ExprStmt>(S);
+    checkExpr(E->E.get());
+    checkEnables(E);
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    TypeKind CondType = checkExpr(I->Cond.get());
+    requireConvertible(CondType, TypeKind::Int, I->loc(), "if condition");
+    checkStmt(I->Then.get());
+    checkStmt(I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    TypeKind CondType = checkExpr(W->Cond.get());
+    requireConvertible(CondType, TypeKind::Int, W->loc(), "while condition");
+    ++LoopDepth;
+    checkStmt(W->Body.get());
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope(); // The for-init declaration scopes over the loop.
+    checkStmt(F->Init.get());
+    if (F->Cond) {
+      TypeKind CondType = checkExpr(F->Cond.get());
+      requireConvertible(CondType, TypeKind::Int, F->loc(), "for condition");
+    }
+    checkStmt(F->Step.get());
+    ++LoopDepth;
+    checkStmt(F->Body.get());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (CommBlockDepth > 0) {
+      Diags.error(R->loc(), "return cannot appear inside a commutative "
+                            "block (non-local control flow; paper section "
+                            "3.1)");
+    }
+    TypeKind Expected = CurrentFunction->ReturnType;
+    if (R->Value) {
+      TypeKind Actual = checkExpr(R->Value.get());
+      if (Expected == TypeKind::Void)
+        Diags.error(R->loc(), "void function cannot return a value");
+      else
+        requireConvertible(Actual, Expected, R->loc(), "return");
+    } else if (Expected != TypeKind::Void) {
+      Diags.error(R->loc(), "non-void function must return a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    if (LoopDepth == 0) {
+      if (CommBlockDepth > 0)
+        Diags.error(S->loc(),
+                    "break/continue cannot escape a commutative block; its "
+                    "parent loop must be inside the block (paper section "
+                    "3.1)");
+      else
+        Diags.error(S->loc(), "break/continue outside of a loop");
+    }
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TypeKind Sema::checkExpr(Expr *E) {
+  if (!E)
+    return TypeKind::Void;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return E->Type = TypeKind::Int;
+  case ExprKind::FloatLit:
+    return E->Type = TypeKind::Double;
+  case ExprKind::StrLit:
+    return E->Type = TypeKind::Str;
+  case ExprKind::VarRef: {
+    auto *Var = cast<VarRefExpr>(E);
+    const VarInfo *Info = lookup(Var->Name);
+    if (!Info) {
+      Diags.error(Var->loc(), formatString("use of undeclared variable '%s'",
+                                           Var->Name.c_str()));
+      return E->Type = TypeKind::Int;
+    }
+    Var->IsGlobal = Info->IsGlobal;
+    return E->Type = Info->Type;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    TypeKind SubType = checkExpr(U->Sub.get());
+    if (U->Op == UnaryOp::LNot) {
+      requireConvertible(SubType, TypeKind::Int, U->loc(), "logical not");
+      return E->Type = TypeKind::Int;
+    }
+    if (SubType != TypeKind::Int && SubType != TypeKind::Double)
+      Diags.error(U->loc(), "negation requires a numeric operand");
+    return E->Type = SubType;
+  }
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    TypeKind L = checkExpr(B->LHS.get());
+    TypeKind R = checkExpr(B->RHS.get());
+    switch (B->Op) {
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      requireConvertible(L, TypeKind::Int, B->loc(), "logical operand");
+      requireConvertible(R, TypeKind::Int, B->loc(), "logical operand");
+      return E->Type = TypeKind::Int;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      bool Numeric = (L == TypeKind::Int || L == TypeKind::Double) &&
+                     (R == TypeKind::Int || R == TypeKind::Double);
+      bool PtrCompare = L == TypeKind::Ptr && R == TypeKind::Ptr &&
+                        (B->Op == BinaryOp::Eq || B->Op == BinaryOp::Ne);
+      if (!Numeric && !PtrCompare)
+        Diags.error(B->loc(), "invalid operand types for comparison");
+      return E->Type = TypeKind::Int;
+    }
+    case BinaryOp::Rem:
+      requireConvertible(L, TypeKind::Int, B->loc(), "remainder operand");
+      requireConvertible(R, TypeKind::Int, B->loc(), "remainder operand");
+      return E->Type = TypeKind::Int;
+    default: {
+      bool LNum = L == TypeKind::Int || L == TypeKind::Double;
+      bool RNum = R == TypeKind::Int || R == TypeKind::Double;
+      if (!LNum || !RNum) {
+        Diags.error(B->loc(), "arithmetic requires numeric operands");
+        return E->Type = TypeKind::Int;
+      }
+      return E->Type = (L == TypeKind::Double || R == TypeKind::Double)
+                           ? TypeKind::Double
+                           : TypeKind::Int;
+    }
+    }
+  }
+  case ExprKind::Call:
+    return checkCall(cast<CallExpr>(E));
+  }
+  return TypeKind::Void;
+}
+
+TypeKind Sema::checkCall(CallExpr *Call) {
+  FunctionDecl *Callee = P.findFunction(Call->Callee);
+  if (!Callee) {
+    Diags.error(Call->loc(), formatString("call to undeclared function '%s'",
+                                          Call->Callee.c_str()));
+    for (ExprPtr &Arg : Call->Args)
+      checkExpr(Arg.get());
+    return Call->Type = TypeKind::Int;
+  }
+  Call->IsNative = Callee->IsExtern;
+  if (Call->Args.size() != Callee->Params.size())
+    Diags.error(Call->loc(),
+                formatString("'%s' expects %zu arguments, got %zu",
+                             Call->Callee.c_str(), Callee->Params.size(),
+                             Call->Args.size()));
+  size_t N = std::min(Call->Args.size(), Callee->Params.size());
+  for (size_t I = 0; I < N; ++I) {
+    TypeKind ArgType = checkExpr(Call->Args[I].get());
+    // String literals may be passed to native kernels as ptr arguments.
+    if (ArgType == TypeKind::Str && Callee->Params[I].Type == TypeKind::Ptr &&
+        Callee->IsExtern)
+      continue;
+    requireConvertible(ArgType, Callee->Params[I].Type,
+                       Call->Args[I]->loc(), "call argument");
+  }
+  for (size_t I = N; I < Call->Args.size(); ++I)
+    checkExpr(Call->Args[I].get());
+  return Call->Type = Callee->ReturnType;
+}
+
+//===----------------------------------------------------------------------===//
+// COMMSET member specs and enables
+//===----------------------------------------------------------------------===//
+
+void Sema::checkMemberSpecs(std::vector<MemberSpec> &Members, bool AtInterface,
+                            const FunctionDecl *F) {
+  for (MemberSpec &Spec : Members) {
+    if (Spec.SetName == SelfSetKeyword) {
+      if (!Spec.Args.empty())
+        Diags.error(Spec.Loc, "implicit SELF set cannot take predicate "
+                              "arguments; declare a predicated self set with "
+                              "'#pragma commset decl(NAME, self)'");
+      continue;
+    }
+    if (!Sets.count(Spec.SetName)) {
+      Diags.error(Spec.Loc, formatString("reference to undeclared COMMSET "
+                                         "'%s'",
+                                         Spec.SetName.c_str()));
+      continue;
+    }
+    auto PredIt = SetPredicates.find(Spec.SetName);
+    const PredicateDecl *Pred =
+        PredIt == SetPredicates.end() ? nullptr : PredIt->second;
+    if (!Pred) {
+      if (!Spec.Args.empty())
+        Diags.error(Spec.Loc,
+                    formatString("COMMSET '%s' has no predicate but member "
+                                 "supplies arguments",
+                                 Spec.SetName.c_str()));
+      continue;
+    }
+    if (Spec.Args.size() != Pred->Params1.size()) {
+      Diags.error(Spec.Loc,
+                  formatString("COMMSET '%s' predicate expects %zu arguments, "
+                               "member supplies %zu",
+                               Spec.SetName.c_str(), Pred->Params1.size(),
+                               Spec.Args.size()));
+      continue;
+    }
+    // Bind each actual to the predicate formal and check the types agree.
+    for (size_t I = 0; I < Spec.Args.size(); ++I) {
+      const std::string &ArgName = Spec.Args[I];
+      TypeKind ArgType = TypeKind::Void;
+      bool Found = false;
+      if (AtInterface) {
+        for (const ParamDecl &Param : F->Params) {
+          if (Param.Name == ArgName) {
+            ArgType = Param.Type;
+            Found = true;
+            break;
+          }
+        }
+        if (!Found) {
+          Diags.error(Spec.Loc,
+                      formatString("interface COMMSET argument '%s' must "
+                                   "name a parameter of '%s'",
+                                   ArgName.c_str(), F->Name.c_str()));
+          continue;
+        }
+      } else {
+        const VarInfo *Var = lookup(ArgName);
+        if (!Var) {
+          Diags.error(Spec.Loc,
+                      formatString("COMMSET block argument '%s' is not a "
+                                   "variable live at the block entry",
+                                   ArgName.c_str()));
+          continue;
+        }
+        ArgType = Var->Type;
+      }
+      if (ArgType != Pred->Params1[I].Type)
+        Diags.error(Spec.Loc,
+                    formatString("COMMSET argument '%s' has type %s but "
+                                 "predicate parameter '%s' has type %s",
+                                 ArgName.c_str(), typeKindName(ArgType),
+                                 Pred->Params1[I].Name.c_str(),
+                                 typeKindName(Pred->Params1[I].Type)));
+    }
+  }
+}
+
+void Sema::checkEnables(ExprStmt *S) {
+  if (S->Enables.empty())
+    return;
+  auto *Call = dyn_cast<CallExpr>(S->E.get());
+  if (!Call) {
+    Diags.error(S->loc(), "enable pragma must precede a call statement");
+    return;
+  }
+  FunctionDecl *Callee = P.findFunction(Call->Callee);
+  if (!Callee)
+    return; // Already diagnosed by checkCall.
+  for (EnableSpec &Spec : S->Enables) {
+    bool Exported = false;
+    for (const std::string &Name : Callee->NamedArgs)
+      Exported |= (Name == Spec.BlockName);
+    if (!Exported) {
+      Diags.error(Spec.Loc,
+                  formatString("'%s' does not export a named block '%s'",
+                               Call->Callee.c_str(), Spec.BlockName.c_str()));
+      continue;
+    }
+    // The set list binds client variables, checked like block member specs.
+    checkMemberSpecs(Spec.Sets, /*AtInterface=*/false, CurrentFunction);
+  }
+}

@@ -1,0 +1,983 @@
+//===- Lower.cpp ----------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lower/Lower.h"
+
+#include "commset/IR/IRBuilder.h"
+#include "commset/Support/Casting.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace commset;
+
+IRType commset::irTypeOf(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Void:
+    return IRType::Void;
+  case TypeKind::Int:
+    return IRType::I64;
+  case TypeKind::Double:
+    return IRType::F64;
+  case TypeKind::Ptr:
+  case TypeKind::Str:
+    return IRType::Ptr;
+  }
+  return IRType::Void;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Outer-variable use collection for region extraction
+//===----------------------------------------------------------------------===//
+
+/// Collects, for a commutative block, which *outer* variables (visible in
+/// the enclosing function scope) are referenced and which are assigned.
+/// Names declared inside the block shadow outer ones from the declaration
+/// point on.
+class OuterVarCollector {
+public:
+  OuterVarCollector(const std::set<std::string> &OuterNames)
+      : OuterNames(OuterNames) {}
+
+  /// Ordered first-use list of outer names referenced (reads and member
+  /// args); assignment targets are recorded in Written.
+  std::vector<std::string> Used;
+  std::set<std::string> Written;
+
+  void collectBlockContents(const BlockStmt *B) {
+    pushScope();
+    for (const StmtPtr &S : B->Body)
+      visitStmt(S.get());
+    popScope();
+  }
+
+  void noteUse(const std::string &Name) {
+    if (isShadowed(Name) || !OuterNames.count(Name))
+      return;
+    if (!UsedSet.count(Name)) {
+      UsedSet.insert(Name);
+      Used.push_back(Name);
+    }
+  }
+
+private:
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  bool isShadowed(const std::string &Name) const {
+    for (const auto &Scope : Scopes)
+      if (Scope.count(Name))
+        return true;
+    return false;
+  }
+
+  void noteWrite(const std::string &Name) {
+    if (isShadowed(Name) || !OuterNames.count(Name))
+      return;
+    Written.insert(Name);
+  }
+
+  void visitExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::VarRef:
+      noteUse(cast<VarRefExpr>(E)->Name);
+      return;
+    case ExprKind::Unary:
+      visitExpr(cast<UnaryExpr>(E)->Sub.get());
+      return;
+    case ExprKind::Binary:
+      visitExpr(cast<BinaryExpr>(E)->LHS.get());
+      visitExpr(cast<BinaryExpr>(E)->RHS.get());
+      return;
+    case ExprKind::Call:
+      for (const ExprPtr &Arg : cast<CallExpr>(E)->Args)
+        visitExpr(Arg.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void visitStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      const auto *B = cast<BlockStmt>(S);
+      for (const MemberSpec &Member : B->Members)
+        for (const std::string &Arg : Member.Args)
+          noteUse(Arg);
+      pushScope();
+      for (const StmtPtr &Sub : B->Body)
+        visitStmt(Sub.get());
+      popScope();
+      return;
+    }
+    case StmtKind::Decl: {
+      const auto *D = cast<DeclStmt>(S);
+      visitExpr(D->Init.get());
+      Scopes.back().insert(D->Name);
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      visitExpr(A->Value.get());
+      if (!A->IsGlobal)
+        noteWrite(A->Name);
+      return;
+    }
+    case StmtKind::ExprStmt:
+      visitExpr(cast<ExprStmt>(S)->E.get());
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      visitExpr(I->Cond.get());
+      visitStmt(I->Then.get());
+      visitStmt(I->Else.get());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      visitExpr(W->Cond.get());
+      visitStmt(W->Body.get());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      pushScope();
+      visitStmt(F->Init.get());
+      visitExpr(F->Cond.get());
+      visitStmt(F->Step.get());
+      visitStmt(F->Body.get());
+      popScope();
+      return;
+    }
+    case StmtKind::Return:
+      visitExpr(cast<ReturnStmt>(S)->Value.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+  const std::set<std::string> &OuterNames;
+  std::vector<std::set<std::string>> Scopes;
+  std::set<std::string> UsedSet;
+};
+
+//===----------------------------------------------------------------------===//
+// Program lowering
+//===----------------------------------------------------------------------===//
+
+class ProgramLowerer {
+public:
+  ProgramLowerer(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags), M(std::make_unique<Module>()) {}
+
+  std::unique_ptr<Module> run();
+
+  Module &module() { return *M; }
+  DiagnosticEngine &diags() { return Diags; }
+  const Program &program() const { return P; }
+
+  Function *functionFor(const std::string &Name) const {
+    auto It = FnMap.find(Name);
+    return It == FnMap.end() ? nullptr : It->second;
+  }
+  NativeDecl *nativeFor(const std::string &Name) const {
+    auto It = NativeMap.find(Name);
+    return It == NativeMap.end() ? nullptr : It->second;
+  }
+  const FunctionDecl *declFor(const std::string &Name) const {
+    return P.findFunction(Name);
+  }
+
+private:
+  void lowerGlobals();
+  void lowerNatives();
+  void makeShells();
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Module> M;
+  std::map<std::string, Function *> FnMap;
+  std::map<std::string, NativeDecl *> NativeMap;
+};
+
+/// Lowers one function body. Also used recursively for extracted region
+/// functions.
+class FunctionLowerer {
+public:
+  FunctionLowerer(ProgramLowerer &PL, Function *F)
+      : PL(PL), F(F), B(PL.module()) {}
+
+  /// Lowers a user function declaration.
+  void lowerFunctionBody(const FunctionDecl &FD);
+
+  /// Lowers a commutative block's contents as the body of region function
+  /// \p F. \p ParamNames maps region parameters to outer names;
+  /// \p ParamTypes their frontend types; \p LiveOut names the single
+  /// live-out variable ("" if none) of frontend type \p LiveOutType.
+  void lowerRegionBody(const BlockStmt &Block,
+                       const std::vector<std::string> &ParamNames,
+                       const std::vector<TypeKind> &ParamTypes,
+                       const std::string &LiveOut, TypeKind LiveOutType);
+
+private:
+  struct LocalInfo {
+    unsigned Slot;
+    TypeKind Type;
+  };
+
+  // Scope handling.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  unsigned declareLocal(const std::string &Name, TypeKind Type) {
+    unsigned Slot = F->addLocal(Name, irTypeOf(Type));
+    Scopes.back()[Name] = {Slot, Type};
+    return Slot;
+  }
+  const LocalInfo *lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+  /// Set of all currently visible local names (for region extraction).
+  std::set<std::string> visibleNames() const {
+    std::set<std::string> Names;
+    for (const auto &Scope : Scopes)
+      for (const auto &[Name, Info] : Scope)
+        Names.insert(Name);
+    return Names;
+  }
+
+  // Statement lowering.
+  void lowerStmt(const Stmt *S);
+  void lowerBlock(const BlockStmt *Block);
+  void lowerBlockContents(const BlockStmt *Block);
+  void lowerIf(const IfStmt *S);
+  void lowerWhile(const WhileStmt *S);
+  void lowerFor(const ForStmt *S);
+  void lowerReturn(const ReturnStmt *S);
+  void lowerAssign(const AssignStmt *S);
+  void extractRegion(const BlockStmt *Block);
+
+  // Expression lowering.
+  Operand lowerExpr(const Expr *E);
+  Operand lowerShortCircuit(const BinaryExpr *E);
+  Operand lowerCall(const CallExpr *E);
+  Operand convert(Operand Value, TypeKind From, TypeKind To, SourceLoc Loc);
+
+  void finishWithDefaultReturn(SourceLoc Loc);
+  BasicBlock *newBlock(const char *Hint) {
+    return F->makeBlock(formatString("%s.%u", Hint, NextBlockId++));
+  }
+
+  ProgramLowerer &PL;
+  Function *F;
+  IRBuilder B;
+  std::vector<std::map<std::string, LocalInfo>> Scopes;
+  /// (continue target, break target) stack.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> LoopTargets;
+  unsigned NextBlockId = 0;
+  unsigned NextRegionId = 0;
+  unsigned NextTempId = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// ProgramLowerer
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> ProgramLowerer::run() {
+  lowerGlobals();
+  lowerNatives();
+  makeShells();
+  for (const auto &FD : P.Functions) {
+    if (FD->IsExtern)
+      continue;
+    FunctionLowerer FL(*this, FnMap.at(FD->Name));
+    FL.lowerFunctionBody(*FD);
+  }
+  if (Diags.hasErrors())
+    return nullptr;
+  for (auto &F : M->Functions)
+    F->numberInstructions();
+  return std::move(M);
+}
+
+void ProgramLowerer::lowerGlobals() {
+  for (const GlobalVarDecl &G : P.Globals) {
+    GlobalVar Var;
+    Var.Name = G.Name;
+    Var.Type = irTypeOf(G.Type);
+    if (G.Init) {
+      const Expr *Init = G.Init.get();
+      bool Negate = false;
+      if (const auto *U = dyn_cast<UnaryExpr>(Init)) {
+        if (U->Op == UnaryOp::Neg) {
+          Negate = true;
+          Init = U->Sub.get();
+        }
+      }
+      if (const auto *Lit = dyn_cast<IntLitExpr>(Init)) {
+        Var.IntInit = Negate ? -Lit->Value : Lit->Value;
+        Var.FloatInit = static_cast<double>(Var.IntInit);
+      } else if (const auto *Lit = dyn_cast<FloatLitExpr>(Init)) {
+        Var.FloatInit = Negate ? -Lit->Value : Lit->Value;
+        Var.IntInit = static_cast<int64_t>(Var.FloatInit);
+      } else {
+        Diags.error(G.Loc, formatString("global '%s' initializer must be a "
+                                        "constant literal",
+                                        G.Name.c_str()));
+      }
+    }
+    M->Globals.push_back(std::move(Var));
+  }
+}
+
+void ProgramLowerer::lowerNatives() {
+  std::map<std::string, const EffectDecl *> Effects;
+  for (const EffectDecl &D : P.Effects)
+    Effects[D.FunctionName] = &D;
+
+  for (const auto &FD : P.Functions) {
+    if (!FD->IsExtern)
+      continue;
+    std::vector<IRType> ParamTypes;
+    for (const ParamDecl &Param : FD->Params)
+      ParamTypes.push_back(irTypeOf(Param.Type));
+    NativeDecl *N = M->makeNative(FD->Name, irTypeOf(FD->ReturnType),
+                                  std::move(ParamTypes));
+    N->Loc = FD->Loc;
+    for (const MemberSpec &Spec : FD->Members) {
+      MemberInstance MI;
+      MI.SetName = Spec.SetName;
+      MI.Loc = Spec.Loc;
+      for (const std::string &ArgName : Spec.Args) {
+        for (unsigned I = 0; I < FD->Params.size(); ++I)
+          if (FD->Params[I].Name == ArgName)
+            MI.ArgParams.push_back(I);
+      }
+      if (MI.ArgParams.size() != Spec.Args.size())
+        Diags.error(Spec.Loc, "interface COMMSET argument does not name a "
+                              "parameter");
+      N->Members.push_back(std::move(MI));
+    }
+    auto It = Effects.find(FD->Name);
+    if (It != Effects.end()) {
+      const EffectDecl &D = *It->second;
+      N->Effects.World = false;
+      N->Effects.Pure = D.Pure;
+      N->Effects.Malloc = D.Malloc;
+      N->Effects.ArgMemRead = D.ArgMem;
+      N->Effects.ArgMemWrite = D.ArgMem;
+      for (const std::string &Class : D.Reads)
+        N->Effects.ReadClasses.insert(M->internEffectClass(Class));
+      for (const std::string &Class : D.Writes)
+        N->Effects.WriteClasses.insert(M->internEffectClass(Class));
+    }
+    NativeMap[FD->Name] = N;
+  }
+}
+
+void ProgramLowerer::makeShells() {
+  for (const auto &FD : P.Functions) {
+    if (FD->IsExtern)
+      continue;
+    Function *F = M->makeFunction(FD->Name, irTypeOf(FD->ReturnType));
+    F->Loc = FD->Loc;
+    F->NumParams = static_cast<unsigned>(FD->Params.size());
+    for (const ParamDecl &Param : FD->Params)
+      F->addLocal(Param.Name, irTypeOf(Param.Type));
+    // Interface COMMSET membership: bind predicate arguments to parameters.
+    for (const MemberSpec &Spec : FD->Members) {
+      MemberInstance MI;
+      MI.SetName = Spec.SetName;
+      MI.Loc = Spec.Loc;
+      for (const std::string &ArgName : Spec.Args) {
+        for (unsigned I = 0; I < FD->Params.size(); ++I)
+          if (FD->Params[I].Name == ArgName)
+            MI.ArgParams.push_back(I);
+      }
+      if (MI.ArgParams.size() != Spec.Args.size())
+        Diags.error(Spec.Loc, "interface COMMSET argument does not name a "
+                              "parameter");
+      F->Members.push_back(std::move(MI));
+    }
+    FnMap[FD->Name] = F;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionLowerer
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::lowerFunctionBody(const FunctionDecl &FD) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  B.setInsertBlock(Entry);
+  pushScope();
+  for (unsigned I = 0; I < FD.Params.size(); ++I)
+    Scopes.back()[FD.Params[I].Name] = {I, FD.Params[I].Type};
+  lowerBlockContents(FD.Body.get());
+  popScope();
+  finishWithDefaultReturn(FD.Loc);
+}
+
+void FunctionLowerer::lowerRegionBody(
+    const BlockStmt &Block, const std::vector<std::string> &ParamNames,
+    const std::vector<TypeKind> &ParamTypes, const std::string &LiveOut,
+    TypeKind LiveOutType) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  B.setInsertBlock(Entry);
+  pushScope();
+  for (unsigned I = 0; I < ParamNames.size(); ++I)
+    Scopes.back()[ParamNames[I]] = {I, ParamTypes[I]};
+  // A write-only live-out becomes a zero-initialized region local.
+  if (!LiveOut.empty() && !lookupLocal(LiveOut)) {
+    unsigned Slot = declareLocal(LiveOut, LiveOutType);
+    B.createStoreLocal(Slot, irTypeOf(LiveOutType) == IRType::F64
+                                 ? Operand::constFloat(0.0)
+                                 : (irTypeOf(LiveOutType) == IRType::Ptr
+                                        ? Operand::constNull()
+                                        : Operand::constInt(0)),
+                       Block.loc());
+  }
+  lowerBlockContents(&Block);
+  if (!B.blockTerminated()) {
+    if (LiveOut.empty()) {
+      B.createRetVoid(Block.loc());
+    } else {
+      const LocalInfo *Info = lookupLocal(LiveOut);
+      assert(Info && "live-out local vanished");
+      Instruction *Value =
+          B.createLoadLocal(Info->Slot, irTypeOf(Info->Type), Block.loc());
+      B.createRet(Operand::instr(Value), Block.loc());
+    }
+  }
+  popScope();
+}
+
+void FunctionLowerer::finishWithDefaultReturn(SourceLoc Loc) {
+  if (B.blockTerminated())
+    return;
+  switch (F->ReturnType) {
+  case IRType::Void:
+    B.createRetVoid(Loc);
+    return;
+  case IRType::I64:
+    B.createRet(Operand::constInt(0), Loc);
+    return;
+  case IRType::F64:
+    B.createRet(Operand::constFloat(0.0), Loc);
+    return;
+  case IRType::Ptr:
+    B.createRet(Operand::constNull(), Loc);
+    return;
+  }
+}
+
+void FunctionLowerer::lowerBlockContents(const BlockStmt *Block) {
+  for (const StmtPtr &S : Block->Body)
+    lowerStmt(S.get());
+}
+
+void FunctionLowerer::lowerStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    lowerBlock(cast<BlockStmt>(S));
+    return;
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    Operand Init;
+    if (D->Init) {
+      Init = lowerExpr(D->Init.get());
+      Init = convert(Init, D->Init->Type, D->Type, D->loc());
+    } else {
+      Init = irTypeOf(D->Type) == IRType::F64 ? Operand::constFloat(0.0)
+             : irTypeOf(D->Type) == IRType::Ptr
+                 ? Operand::constNull()
+                 : Operand::constInt(0);
+    }
+    unsigned Slot = declareLocal(D->Name, D->Type);
+    B.createStoreLocal(Slot, Init, D->loc());
+    return;
+  }
+  case StmtKind::Assign:
+    lowerAssign(cast<AssignStmt>(S));
+    return;
+  case StmtKind::ExprStmt:
+    lowerExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  case StmtKind::If:
+    lowerIf(cast<IfStmt>(S));
+    return;
+  case StmtKind::While:
+    lowerWhile(cast<WhileStmt>(S));
+    return;
+  case StmtKind::For:
+    lowerFor(cast<ForStmt>(S));
+    return;
+  case StmtKind::Return:
+    lowerReturn(cast<ReturnStmt>(S));
+    return;
+  case StmtKind::Break: {
+    assert(!LoopTargets.empty() && "break outside loop survived Sema");
+    B.createBr(LoopTargets.back().second, S->loc());
+    B.setInsertBlock(newBlock("dead"));
+    return;
+  }
+  case StmtKind::Continue: {
+    assert(!LoopTargets.empty() && "continue outside loop survived Sema");
+    B.createBr(LoopTargets.back().first, S->loc());
+    B.setInsertBlock(newBlock("dead"));
+    return;
+  }
+  }
+}
+
+void FunctionLowerer::lowerBlock(const BlockStmt *Block) {
+  if (Block->isCommutative()) {
+    extractRegion(Block);
+    return;
+  }
+  pushScope();
+  lowerBlockContents(Block);
+  popScope();
+}
+
+void FunctionLowerer::lowerAssign(const AssignStmt *S) {
+  Operand Value = lowerExpr(S->Value.get());
+  if (S->IsGlobal) {
+    Module &M = PL.module();
+    int GlobalId = M.findGlobal(S->Name);
+    assert(GlobalId >= 0 && "global vanished after Sema");
+    TypeKind GlobalType =
+        M.Globals[GlobalId].Type == IRType::F64   ? TypeKind::Double
+        : M.Globals[GlobalId].Type == IRType::Ptr ? TypeKind::Ptr
+                                                  : TypeKind::Int;
+    Value = convert(Value, S->Value->Type, GlobalType, S->loc());
+    B.createStoreGlobal(static_cast<unsigned>(GlobalId), Value, S->loc());
+    return;
+  }
+  const LocalInfo *Info = lookupLocal(S->Name);
+  assert(Info && "local vanished after Sema");
+  Value = convert(Value, S->Value->Type, Info->Type, S->loc());
+  B.createStoreLocal(Info->Slot, Value, S->loc());
+}
+
+void FunctionLowerer::lowerIf(const IfStmt *S) {
+  Operand Cond = lowerExpr(S->Cond.get());
+  BasicBlock *ThenBB = newBlock("if.then");
+  BasicBlock *JoinBB = newBlock("if.join");
+  BasicBlock *ElseBB = S->Else ? newBlock("if.else") : JoinBB;
+  B.createCondBr(Cond, ThenBB, ElseBB, S->loc());
+
+  B.setInsertBlock(ThenBB);
+  pushScope();
+  lowerStmt(S->Then.get());
+  popScope();
+  if (!B.blockTerminated())
+    B.createBr(JoinBB, S->loc());
+
+  if (S->Else) {
+    B.setInsertBlock(ElseBB);
+    pushScope();
+    lowerStmt(S->Else.get());
+    popScope();
+    if (!B.blockTerminated())
+      B.createBr(JoinBB, S->loc());
+  }
+  B.setInsertBlock(JoinBB);
+}
+
+void FunctionLowerer::lowerWhile(const WhileStmt *S) {
+  BasicBlock *HeaderBB = newBlock("while.head");
+  BasicBlock *BodyBB = newBlock("while.body");
+  BasicBlock *ExitBB = newBlock("while.exit");
+  B.createBr(HeaderBB, S->loc());
+
+  B.setInsertBlock(HeaderBB);
+  Operand Cond = lowerExpr(S->Cond.get());
+  B.createCondBr(Cond, BodyBB, ExitBB, S->loc());
+
+  B.setInsertBlock(BodyBB);
+  LoopTargets.push_back({HeaderBB, ExitBB});
+  pushScope();
+  lowerStmt(S->Body.get());
+  popScope();
+  LoopTargets.pop_back();
+  if (!B.blockTerminated())
+    B.createBr(HeaderBB, S->loc());
+
+  B.setInsertBlock(ExitBB);
+}
+
+void FunctionLowerer::lowerFor(const ForStmt *S) {
+  pushScope(); // for-init declaration scope.
+  lowerStmt(S->Init.get());
+
+  BasicBlock *HeaderBB = newBlock("for.head");
+  BasicBlock *BodyBB = newBlock("for.body");
+  BasicBlock *StepBB = newBlock("for.step");
+  BasicBlock *ExitBB = newBlock("for.exit");
+  B.createBr(HeaderBB, S->loc());
+
+  B.setInsertBlock(HeaderBB);
+  if (S->Cond) {
+    Operand Cond = lowerExpr(S->Cond.get());
+    B.createCondBr(Cond, BodyBB, ExitBB, S->loc());
+  } else {
+    B.createBr(BodyBB, S->loc());
+  }
+
+  B.setInsertBlock(BodyBB);
+  LoopTargets.push_back({StepBB, ExitBB});
+  pushScope();
+  lowerStmt(S->Body.get());
+  popScope();
+  LoopTargets.pop_back();
+  if (!B.blockTerminated())
+    B.createBr(StepBB, S->loc());
+
+  B.setInsertBlock(StepBB);
+  lowerStmt(S->Step.get());
+  B.createBr(HeaderBB, S->loc());
+
+  B.setInsertBlock(ExitBB);
+  popScope();
+}
+
+void FunctionLowerer::lowerReturn(const ReturnStmt *S) {
+  if (S->Value) {
+    Operand Value = lowerExpr(S->Value.get());
+    TypeKind RetType = F->ReturnType == IRType::F64   ? TypeKind::Double
+                       : F->ReturnType == IRType::Ptr ? TypeKind::Ptr
+                                                      : TypeKind::Int;
+    Value = convert(Value, S->Value->Type, RetType, S->loc());
+    B.createRet(Value, S->loc());
+  } else {
+    B.createRetVoid(S->loc());
+  }
+  B.setInsertBlock(newBlock("dead"));
+}
+
+//===----------------------------------------------------------------------===//
+// Region extraction
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::extractRegion(const BlockStmt *Block) {
+  DiagnosticEngine &Diags = PL.diags();
+
+  std::set<std::string> Outer = visibleNames();
+  OuterVarCollector Collector(Outer);
+  // Member arguments must become region parameters even when unused inside.
+  for (const MemberSpec &Member : Block->Members)
+    for (const std::string &Arg : Member.Args)
+      Collector.noteUse(Arg);
+  Collector.collectBlockContents(Block);
+
+  // At most one live-out scalar (becomes the region's return value).
+  if (Collector.Written.size() > 1) {
+    std::string Names;
+    for (const std::string &Name : Collector.Written)
+      Names += " " + Name;
+    Diags.error(Block->loc(),
+                formatString("commutative block assigns %zu enclosing "
+                             "variables (%s); at most one live-out value is "
+                             "supported",
+                             Collector.Written.size(), Names.c_str()));
+    return;
+  }
+  std::string LiveOut =
+      Collector.Written.empty() ? std::string() : *Collector.Written.begin();
+
+  // Parameters: every outer variable read inside, in first-use order.
+  std::vector<std::string> ParamNames = Collector.Used;
+  std::vector<TypeKind> ParamTypes;
+  for (const std::string &Name : ParamNames) {
+    const LocalInfo *Info = lookupLocal(Name);
+    assert(Info && "outer variable not in scope");
+    ParamTypes.push_back(Info->Type);
+  }
+
+  TypeKind LiveOutType = TypeKind::Void;
+  if (!LiveOut.empty()) {
+    const LocalInfo *Info = lookupLocal(LiveOut);
+    assert(Info && "live-out not in scope");
+    LiveOutType = Info->Type;
+  }
+
+  // Create the region function.
+  Module &M = PL.module();
+  Function *Region = M.makeFunction(
+      formatString("%s.__cs.region.%u", F->Name.c_str(), NextRegionId++),
+      irTypeOf(LiveOutType));
+  Region->Loc = Block->loc();
+  Region->IsRegion = true;
+  Region->NumParams = static_cast<unsigned>(ParamNames.size());
+  for (unsigned I = 0; I < ParamNames.size(); ++I)
+    Region->addLocal(ParamNames[I], irTypeOf(ParamTypes[I]));
+
+  // Membership metadata: bind member arguments to region parameters.
+  for (const MemberSpec &Member : Block->Members) {
+    MemberInstance MI;
+    MI.SetName = Member.SetName;
+    MI.Loc = Member.Loc;
+    for (const std::string &Arg : Member.Args) {
+      bool Found = false;
+      for (unsigned I = 0; I < ParamNames.size(); ++I) {
+        if (ParamNames[I] == Arg) {
+          MI.ArgParams.push_back(I);
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        Diags.error(Member.Loc,
+                    formatString("COMMSET argument '%s' must be a local "
+                                 "variable of the enclosing function",
+                                 Arg.c_str()));
+    }
+    Region->Members.push_back(std::move(MI));
+  }
+
+  // Lower the block body into the region function.
+  FunctionLowerer RegionLowerer(PL, Region);
+  RegionLowerer.lowerRegionBody(*Block, ParamNames, ParamTypes, LiveOut,
+                                LiveOutType);
+
+  // Call the region at the extraction site.
+  std::vector<Operand> Args;
+  for (unsigned I = 0; I < ParamNames.size(); ++I) {
+    const LocalInfo *Info = lookupLocal(ParamNames[I]);
+    Instruction *Load =
+        B.createLoadLocal(Info->Slot, irTypeOf(Info->Type), Block->loc());
+    Args.push_back(Operand::instr(Load));
+  }
+  Instruction *Call = B.createCall(Region, std::move(Args), Block->loc());
+  if (!LiveOut.empty()) {
+    const LocalInfo *Info = lookupLocal(LiveOut);
+    B.createStoreLocal(Info->Slot, Operand::instr(Call), Block->loc());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Operand FunctionLowerer::convert(Operand Value, TypeKind From, TypeKind To,
+                                 SourceLoc Loc) {
+  IRType FromIR = irTypeOf(From);
+  IRType ToIR = irTypeOf(To);
+  if (FromIR == ToIR)
+    return Value;
+  if (FromIR == IRType::I64 && ToIR == IRType::F64) {
+    if (Value.K == Operand::Kind::ConstInt)
+      return Operand::constFloat(static_cast<double>(Value.IntVal));
+    return Operand::instr(B.createIntToFp(Value, Loc));
+  }
+  if (FromIR == IRType::F64 && ToIR == IRType::I64) {
+    if (Value.K == Operand::Kind::ConstFloat)
+      return Operand::constInt(static_cast<int64_t>(Value.FloatVal));
+    return Operand::instr(B.createFpToInt(Value, Loc));
+  }
+  assert(false && "invalid conversion survived Sema");
+  return Value;
+}
+
+Operand FunctionLowerer::lowerExpr(const Expr *E) {
+  if (!E)
+    return Operand::constInt(0);
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Operand::constInt(cast<IntLitExpr>(E)->Value);
+  case ExprKind::FloatLit:
+    return Operand::constFloat(cast<FloatLitExpr>(E)->Value);
+  case ExprKind::StrLit:
+    return Operand::constStr(
+        PL.module().internString(cast<StrLitExpr>(E)->Value));
+  case ExprKind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    if (Ref->IsGlobal) {
+      int GlobalId = PL.module().findGlobal(Ref->Name);
+      assert(GlobalId >= 0 && "global vanished after Sema");
+      return Operand::instr(
+          B.createLoadGlobal(static_cast<unsigned>(GlobalId),
+                             PL.module().Globals[GlobalId].Type, E->loc()));
+    }
+    const LocalInfo *Info = lookupLocal(Ref->Name);
+    assert(Info && "local vanished after Sema");
+    return Operand::instr(
+        B.createLoadLocal(Info->Slot, irTypeOf(Info->Type), E->loc()));
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Operand Sub = lowerExpr(U->Sub.get());
+    if (U->Op == UnaryOp::LNot) {
+      Sub = convert(Sub, U->Sub->Type, TypeKind::Int, E->loc());
+      return Operand::instr(B.createNot(Sub, E->loc()));
+    }
+    return Operand::instr(
+        B.createNeg(irTypeOf(U->Sub->Type), Sub, E->loc()));
+  }
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    if (Bin->Op == BinaryOp::LAnd || Bin->Op == BinaryOp::LOr)
+      return lowerShortCircuit(Bin);
+
+    // Promote operands to a common numeric type.
+    TypeKind LType = Bin->LHS->Type;
+    TypeKind RType = Bin->RHS->Type;
+    TypeKind Common =
+        (LType == TypeKind::Double || RType == TypeKind::Double)
+            ? TypeKind::Double
+            : (LType == TypeKind::Ptr ? TypeKind::Ptr : TypeKind::Int);
+    Operand LHS = lowerExpr(Bin->LHS.get());
+    Operand RHS = lowerExpr(Bin->RHS.get());
+    if (Common != TypeKind::Ptr) {
+      LHS = convert(LHS, LType, Common, E->loc());
+      RHS = convert(RHS, RType, Common, E->loc());
+    }
+
+    Opcode Op;
+    bool IsCompare = false;
+    switch (Bin->Op) {
+    case BinaryOp::Add:
+      Op = Opcode::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = Opcode::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = Opcode::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = Opcode::Div;
+      break;
+    case BinaryOp::Rem:
+      Op = Opcode::Rem;
+      break;
+    case BinaryOp::Eq:
+      Op = Opcode::Eq;
+      IsCompare = true;
+      break;
+    case BinaryOp::Ne:
+      Op = Opcode::Ne;
+      IsCompare = true;
+      break;
+    case BinaryOp::Lt:
+      Op = Opcode::Lt;
+      IsCompare = true;
+      break;
+    case BinaryOp::Le:
+      Op = Opcode::Le;
+      IsCompare = true;
+      break;
+    case BinaryOp::Gt:
+      Op = Opcode::Gt;
+      IsCompare = true;
+      break;
+    case BinaryOp::Ge:
+      Op = Opcode::Ge;
+      IsCompare = true;
+      break;
+    default:
+      assert(false && "logical op handled above");
+      return Operand::constInt(0);
+    }
+    if (IsCompare)
+      return Operand::instr(B.createCompare(Op, LHS, RHS, E->loc()));
+    return Operand::instr(
+        B.createBinary(Op, irTypeOf(Common), LHS, RHS, E->loc()));
+  }
+  case ExprKind::Call:
+    return lowerCall(cast<CallExpr>(E));
+  }
+  return Operand::constInt(0);
+}
+
+Operand FunctionLowerer::lowerShortCircuit(const BinaryExpr *E) {
+  bool IsAnd = E->Op == BinaryOp::LAnd;
+  unsigned Temp = F->addLocal(formatString("$sc%u", NextTempId++),
+                              IRType::I64);
+
+  Operand LHS = lowerExpr(E->LHS.get());
+  LHS = convert(LHS, E->LHS->Type, TypeKind::Int, E->loc());
+  BasicBlock *RhsBB = newBlock("sc.rhs");
+  BasicBlock *ShortBB = newBlock("sc.short");
+  BasicBlock *JoinBB = newBlock("sc.join");
+  Instruction *LNonZero =
+      B.createCompare(Opcode::Ne, LHS, Operand::constInt(0), E->loc());
+  if (IsAnd)
+    B.createCondBr(Operand::instr(LNonZero), RhsBB, ShortBB, E->loc());
+  else
+    B.createCondBr(Operand::instr(LNonZero), ShortBB, RhsBB, E->loc());
+
+  B.setInsertBlock(RhsBB);
+  Operand RHS = lowerExpr(E->RHS.get());
+  RHS = convert(RHS, E->RHS->Type, TypeKind::Int, E->loc());
+  Instruction *RNonZero =
+      B.createCompare(Opcode::Ne, RHS, Operand::constInt(0), E->loc());
+  B.createStoreLocal(Temp, Operand::instr(RNonZero), E->loc());
+  B.createBr(JoinBB, E->loc());
+
+  B.setInsertBlock(ShortBB);
+  B.createStoreLocal(Temp, Operand::constInt(IsAnd ? 0 : 1), E->loc());
+  B.createBr(JoinBB, E->loc());
+
+  B.setInsertBlock(JoinBB);
+  return Operand::instr(B.createLoadLocal(Temp, IRType::I64, E->loc()));
+}
+
+Operand FunctionLowerer::lowerCall(const CallExpr *E) {
+  const FunctionDecl *CalleeDecl = PL.declFor(E->Callee);
+  assert(CalleeDecl && "callee vanished after Sema");
+
+  std::vector<Operand> Args;
+  size_t N = std::min(E->Args.size(), CalleeDecl->Params.size());
+  for (size_t I = 0; I < N; ++I) {
+    Operand Arg = lowerExpr(E->Args[I].get());
+    TypeKind From = E->Args[I]->Type;
+    TypeKind To = CalleeDecl->Params[I].Type;
+    if (From == TypeKind::Str && To == TypeKind::Ptr) {
+      Args.push_back(Arg); // String literal passed as ptr.
+      continue;
+    }
+    Args.push_back(convert(Arg, From, To, E->loc()));
+  }
+
+  Instruction *Call;
+  if (CalleeDecl->IsExtern) {
+    NativeDecl *Native = PL.nativeFor(E->Callee);
+    assert(Native && "native declaration missing");
+    Call = B.createCallNative(Native, std::move(Args), E->loc());
+  } else {
+    Function *Callee = PL.functionFor(E->Callee);
+    assert(Callee && "function shell missing");
+    Call = B.createCall(Callee, std::move(Args), E->loc());
+  }
+  if (Call->producesValue())
+    return Operand::instr(Call);
+  return Operand::constInt(0);
+}
+
+} // namespace
+
+std::unique_ptr<Module> commset::lowerProgram(const Program &P,
+                                              DiagnosticEngine &Diags) {
+  ProgramLowerer PL(P, Diags);
+  return PL.run();
+}

@@ -1,0 +1,358 @@
+//===- Specialize.cpp -----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// COMMSETNAMEDARGADD is implemented the way the paper's prototype does it
+// (§4.2): the call path from the enabling call site to the named block is
+// *inlined*, so the optionally-commuting block becomes a commutative block
+// directly in the client, bound to the client's predicate arguments, and
+// the client loop's PDG sees the callee's operations directly.
+//
+// The inline expansion at an enabled call `f(a0, a1)`:
+//
+//   { <t0> f$inlN.p0 = a0; <t1> f$inlN.p1 = a1;
+//     <body of f with params and locals renamed with the $inlN suffix,
+//      the enabled named block gaining the enable's member specs> }
+//
+// Functions exporting named blocks must not contain `return` (enforced
+// here), which makes statement-level inlining sound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lower/Specialize.h"
+
+#include "commset/Lang/ASTClone.h"
+#include "commset/Support/Casting.h"
+#include "commset/Support/StringUtils.h"
+
+#include <map>
+
+using namespace commset;
+
+namespace {
+
+/// Renames every occurrence of the mapped variable names in a statement
+/// tree (declarations, assignments, references, COMMSET member arguments).
+class Renamer {
+public:
+  explicit Renamer(const std::map<std::string, std::string> &Map)
+      : Map(Map) {}
+
+  void rename(Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      auto *B = cast<BlockStmt>(S);
+      for (MemberSpec &Member : B->Members)
+        for (std::string &Arg : Member.Args)
+          renameName(Arg);
+      for (StmtPtr &Sub : B->Body)
+        rename(Sub.get());
+      return;
+    }
+    case StmtKind::Decl: {
+      auto *D = cast<DeclStmt>(S);
+      rename(D->Init.get());
+      renameName(D->Name);
+      return;
+    }
+    case StmtKind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      rename(A->Value.get());
+      if (!A->IsGlobal)
+        renameName(A->Name);
+      return;
+    }
+    case StmtKind::ExprStmt: {
+      auto *E = cast<ExprStmt>(S);
+      rename(E->E.get());
+      for (EnableSpec &Spec : E->Enables)
+        for (MemberSpec &Member : Spec.Sets)
+          for (std::string &Arg : Member.Args)
+            renameName(Arg);
+      return;
+    }
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      rename(I->Cond.get());
+      rename(I->Then.get());
+      rename(I->Else.get());
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      rename(W->Cond.get());
+      rename(W->Body.get());
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(S);
+      rename(F->Init.get());
+      rename(F->Cond.get());
+      rename(F->Step.get());
+      rename(F->Body.get());
+      return;
+    }
+    case StmtKind::Return:
+      rename(cast<ReturnStmt>(S)->Value.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void rename(Expr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      auto *Ref = cast<VarRefExpr>(E);
+      if (!Ref->IsGlobal)
+        renameName(Ref->Name);
+      return;
+    }
+    case ExprKind::Unary:
+      rename(cast<UnaryExpr>(E)->Sub.get());
+      return;
+    case ExprKind::Binary:
+      rename(cast<BinaryExpr>(E)->LHS.get());
+      rename(cast<BinaryExpr>(E)->RHS.get());
+      return;
+    case ExprKind::Call:
+      for (ExprPtr &Arg : cast<CallExpr>(E)->Args)
+        rename(Arg.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+private:
+  void renameName(std::string &Name) {
+    auto It = Map.find(Name);
+    if (It != Map.end())
+      Name = It->second;
+  }
+
+  const std::map<std::string, std::string> &Map;
+};
+
+/// Collects all names declared anywhere inside a statement tree.
+void collectDeclaredNames(const Stmt *S, std::vector<std::string> &Names) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->Body)
+      collectDeclaredNames(Sub.get(), Names);
+    return;
+  case StmtKind::Decl:
+    Names.push_back(cast<DeclStmt>(S)->Name);
+    return;
+  case StmtKind::If:
+    collectDeclaredNames(cast<IfStmt>(S)->Then.get(), Names);
+    collectDeclaredNames(cast<IfStmt>(S)->Else.get(), Names);
+    return;
+  case StmtKind::While:
+    collectDeclaredNames(cast<WhileStmt>(S)->Body.get(), Names);
+    return;
+  case StmtKind::For:
+    collectDeclaredNames(cast<ForStmt>(S)->Init.get(), Names);
+    collectDeclaredNames(cast<ForStmt>(S)->Body.get(), Names);
+    return;
+  default:
+    return;
+  }
+}
+
+bool containsReturn(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case StmtKind::Return:
+    return true;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->Body)
+      if (containsReturn(Sub.get()))
+        return true;
+    return false;
+  case StmtKind::If:
+    return containsReturn(cast<IfStmt>(S)->Then.get()) ||
+           containsReturn(cast<IfStmt>(S)->Else.get());
+  case StmtKind::While:
+    return containsReturn(cast<WhileStmt>(S)->Body.get());
+  case StmtKind::For:
+    return containsReturn(cast<ForStmt>(S)->Body.get());
+  default:
+    return false;
+  }
+}
+
+class Specializer {
+public:
+  Specializer(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    for (auto &F : P.Functions)
+      if (F->Body)
+        visitBlock(F->Body.get());
+    return !Diags.hasErrors();
+  }
+
+private:
+  void visitStmt(StmtPtr &Slot) {
+    Stmt *S = Slot.get();
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Block:
+      visitBlock(cast<BlockStmt>(S));
+      return;
+    case StmtKind::If:
+      visitStmt(cast<IfStmt>(S)->Then);
+      visitStmt(cast<IfStmt>(S)->Else);
+      return;
+    case StmtKind::While:
+      visitStmt(cast<WhileStmt>(S)->Body);
+      return;
+    case StmtKind::For:
+      visitStmt(cast<ForStmt>(S)->Body);
+      return;
+    case StmtKind::ExprStmt: {
+      auto *E = cast<ExprStmt>(S);
+      if (E->Enables.empty())
+        return;
+      if (StmtPtr Inlined = inlineEnabledCall(E)) {
+        Slot = std::move(Inlined);
+        // The inlined body may itself contain enabled calls.
+        if (++InlineCount > Limit) {
+          Diags.error(E->loc(), "named-block inlining exceeded its budget; "
+                                "recursive enables?");
+          return;
+        }
+        visitStmt(Slot);
+      }
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void visitBlock(BlockStmt *B) {
+    for (StmtPtr &Sub : B->Body)
+      visitStmt(Sub);
+  }
+
+  /// Builds the replacement block for an enabled call; null (after
+  /// diagnostics) when the call cannot be inlined.
+  StmtPtr inlineEnabledCall(ExprStmt *S) {
+    auto *Call = dyn_cast<CallExpr>(S->E.get());
+    if (!Call) {
+      Diags.error(S->loc(), "enable pragma must precede a call statement");
+      return nullptr;
+    }
+    FunctionDecl *Callee = P.findFunction(Call->Callee);
+    if (!Callee || !Callee->Body)
+      return nullptr; // Sema diagnoses unknown/extern callees.
+    if (containsReturn(Callee->Body.get())) {
+      Diags.error(S->loc(),
+                  formatString("cannot enable named blocks of '%s': "
+                               "functions exporting named blocks must not "
+                               "contain return statements",
+                               Callee->Name.c_str()));
+      return nullptr;
+    }
+    if (Call->Args.size() != Callee->Params.size())
+      return nullptr; // Sema diagnoses arity errors.
+
+    unsigned Id = NextInlineId++;
+    auto Suffix = [&](const std::string &Name) {
+      return formatString("%s$inl%u", Name.c_str(), Id);
+    };
+
+    // Rename map: parameters and every local declared in the body.
+    std::map<std::string, std::string> Rename;
+    for (const ParamDecl &Param : Callee->Params)
+      Rename[Param.Name] = Suffix(Param.Name);
+    std::vector<std::string> Declared;
+    collectDeclaredNames(Callee->Body.get(), Declared);
+    for (const std::string &Name : Declared)
+      Rename.try_emplace(Name, Suffix(Name));
+
+    StmtPtr BodyClone = cloneStmt(Callee->Body.get());
+    Renamer R(Rename);
+    R.rename(BodyClone.get());
+    auto *Body = cast<BlockStmt>(BodyClone.get());
+
+    // Attach the enable's member specs to the named blocks. Arguments stay
+    // client variables, which are in scope at the call site.
+    for (EnableSpec &Spec : S->Enables) {
+      BlockStmt *Named = findNamedBlock(Body, Spec.BlockName);
+      if (!Named) {
+        Diags.error(Spec.Loc,
+                    formatString("named block '%s' not found in '%s'",
+                                 Spec.BlockName.c_str(),
+                                 Callee->Name.c_str()));
+        return nullptr;
+      }
+      for (MemberSpec &Member : Spec.Sets)
+        Named->Members.push_back(Member);
+      Named->NamedBlock.clear();
+    }
+
+    // Wrapper: parameter initializers then the inlined body.
+    std::vector<StmtPtr> Stmts;
+    for (size_t I = 0; I < Callee->Params.size(); ++I) {
+      Stmts.push_back(std::make_unique<DeclStmt>(
+          Callee->Params[I].Type, Rename[Callee->Params[I].Name],
+          std::move(Call->Args[I]), S->loc()));
+    }
+    Stmts.push_back(std::move(BodyClone));
+    return std::make_unique<BlockStmt>(std::move(Stmts), S->loc());
+  }
+
+  static BlockStmt *findNamedBlock(Stmt *S, const std::string &Name) {
+    if (!S)
+      return nullptr;
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      auto *B = cast<BlockStmt>(S);
+      // Renaming does not touch NamedBlock labels.
+      if (B->NamedBlock == Name)
+        return B;
+      for (StmtPtr &Sub : B->Body)
+        if (BlockStmt *Found = findNamedBlock(Sub.get(), Name))
+          return Found;
+      return nullptr;
+    }
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      if (BlockStmt *Found = findNamedBlock(I->Then.get(), Name))
+        return Found;
+      return findNamedBlock(I->Else.get(), Name);
+    }
+    case StmtKind::While:
+      return findNamedBlock(cast<WhileStmt>(S)->Body.get(), Name);
+    case StmtKind::For:
+      return findNamedBlock(cast<ForStmt>(S)->Body.get(), Name);
+    default:
+      return nullptr;
+    }
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  unsigned NextInlineId = 0;
+  unsigned InlineCount = 0;
+  static constexpr unsigned Limit = 4096;
+};
+
+} // namespace
+
+bool commset::specializeNamedBlocks(Program &P, DiagnosticEngine &Diags) {
+  return Specializer(P, Diags).run();
+}

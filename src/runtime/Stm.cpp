@@ -1,0 +1,108 @@
+//===- Stm.cpp ------------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/Stm.h"
+
+using namespace commset;
+
+namespace {
+bool isLocked(uint64_t StripeValue) { return StripeValue & 1; }
+} // namespace
+
+void Stm::begin() {
+  ReadVersion = Space.Clock.load(std::memory_order_acquire);
+  Aborted = false;
+  ReadSet.clear();
+  WriteSet.clear();
+  ++Attempts;
+}
+
+uint64_t Stm::read(const uint64_t *Addr) {
+  if (Aborted)
+    return 0;
+  // Read-own-writes.
+  auto WriteIt = WriteSet.find(const_cast<uint64_t *>(Addr));
+  if (WriteIt != WriteSet.end())
+    return WriteIt->second;
+
+  auto &Stripe = Space.stripeFor(Addr);
+  uint64_t Pre = Stripe.load(std::memory_order_acquire);
+  uint64_t Value = *Addr;
+  uint64_t Post = Stripe.load(std::memory_order_acquire);
+  if (isLocked(Pre) || Pre != Post || Pre > ReadVersion) {
+    Aborted = true;
+    return 0;
+  }
+  ReadSet.emplace(Addr, Pre);
+  return Value;
+}
+
+void Stm::write(uint64_t *Addr, uint64_t Value) {
+  if (Aborted)
+    return;
+  WriteSet[Addr] = Value;
+}
+
+bool Stm::lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked) {
+  for (auto &[Addr, Value] : WriteSet) {
+    auto &Stripe = Space.stripeFor(Addr);
+    uint64_t Current = Stripe.load(std::memory_order_acquire);
+    // A stripe may cover several addresses in the write set; locking twice
+    // must not deadlock, so skip stripes we already own.
+    bool AlreadyOwned = false;
+    for (auto *Own : Locked)
+      AlreadyOwned |= (Own == &Stripe);
+    if (AlreadyOwned)
+      continue;
+    if (isLocked(Current) || Current > ReadVersion)
+      return false;
+    if (!Stripe.compare_exchange_strong(Current, Current | 1,
+                                        std::memory_order_acq_rel))
+      return false;
+    Locked.push_back(&Stripe);
+  }
+  return true;
+}
+
+bool Stm::commit() {
+  if (Aborted)
+    return false;
+  if (WriteSet.empty())
+    return true; // Read-only transactions validated on the fly.
+
+  std::vector<std::atomic<uint64_t> *> Locked;
+  if (!lockWriteSet(Locked)) {
+    for (auto *Stripe : Locked)
+      Stripe->fetch_and(~uint64_t(1), std::memory_order_release);
+    return false;
+  }
+
+  // Validate the read set (skip stripes we own).
+  for (auto &[Addr, Version] : ReadSet) {
+    auto &Stripe = Space.stripeFor(Addr);
+    uint64_t Current = Stripe.load(std::memory_order_acquire);
+    bool Owned = false;
+    for (auto *Own : Locked)
+      Owned |= (Own == &Stripe);
+    uint64_t Effective = Owned ? (Current & ~uint64_t(1)) : Current;
+    if ((!Owned && isLocked(Current)) || Effective > ReadVersion ||
+        Effective != Version) {
+      for (auto *Stripe2 : Locked)
+        Stripe2->fetch_and(~uint64_t(1), std::memory_order_release);
+      return false;
+    }
+  }
+
+  uint64_t CommitVersion =
+      Space.Clock.fetch_add(2, std::memory_order_acq_rel) + 2;
+
+  // Publish.
+  for (auto &[Addr, Value] : WriteSet)
+    *Addr = Value;
+  for (auto *Stripe : Locked)
+    Stripe->store(CommitVersion, std::memory_order_release);
+  return true;
+}

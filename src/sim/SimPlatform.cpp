@@ -1,0 +1,245 @@
+//===- SimPlatform.cpp ----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Sim/SimPlatform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace commset;
+
+SimPlatform::SimPlatform(unsigned NumThreads, SyncMode Mode,
+                         SimParams Params)
+    : NumThreads(NumThreads), Mode(Mode), Params(Params),
+      VTime(NumThreads), Chans(static_cast<size_t>(NumThreads) * NumThreads),
+      TxStart(NumThreads, 0), TxRetries(NumThreads, 0),
+      State(NumThreads, TState::Inactive) {
+  for (auto &T : VTime)
+    T.store(0, std::memory_order_relaxed);
+  // Thread 0 (the master / sequential prefix) is live from the start.
+  State[0] = TState::Running;
+}
+
+void SimPlatform::charge(unsigned Thread, uint64_t Ns) {
+  VTime[Thread].fetch_add(Ns, std::memory_order_relaxed);
+}
+
+void SimPlatform::gate(unsigned Thread,
+                       std::unique_lock<std::mutex> &Guard) {
+  // Compute-bound threads advance their clocks without notifying, so poll.
+  auto Minimal = [&] {
+    uint64_t Mine = VTime[Thread].load(std::memory_order_relaxed);
+    for (unsigned U = 0; U < NumThreads; ++U) {
+      if (U == Thread || State[U] != TState::Running)
+        continue;
+      uint64_t Other = VTime[U].load(std::memory_order_relaxed);
+      if (Other < Mine || (Other == Mine && U < Thread))
+        return false;
+    }
+    return true;
+  };
+  while (!Minimal())
+    CV.wait_for(Guard, std::chrono::microseconds(200));
+}
+
+void SimPlatform::send(unsigned From, unsigned To, RtValue Value) {
+  std::unique_lock<std::mutex> Guard(M);
+  Channel &Chan = Chans[static_cast<size_t>(From) * NumThreads + To];
+
+  // Backpressure: pushing entry #n requires entry #(n - capacity) popped;
+  // the sender's clock advances to that pop's virtual time (it stalled on
+  // a full queue until then).
+  uint64_t Seq = Chan.Pushed++;
+  if (Seq >= Params.QueueCapacity) {
+    uint64_t NeedPopped = Seq - Params.QueueCapacity + 1;
+    if (Chan.Popped < NeedPopped) {
+      State[From] = TState::Blocked;
+      CV.notify_all();
+      CV.wait(Guard, [&] { return Chan.Popped >= NeedPopped; });
+      State[From] = TState::Running;
+    }
+    uint64_t FreeTime = Chan.PopTimes[NeedPopped - 1 - Chan.PopBase];
+    uint64_t Now = VTime[From].load(std::memory_order_relaxed);
+    if (FreeTime > Now)
+      VTime[From].store(FreeTime, std::memory_order_relaxed);
+  }
+
+  uint64_t Now = VTime[From].load(std::memory_order_relaxed) +
+                 Params.SendOverhead;
+  VTime[From].store(Now, std::memory_order_relaxed);
+  Chan.Items.push_back({Now + Params.CommLatency, Value});
+  CV.notify_all();
+}
+
+RtValue SimPlatform::recv(unsigned From, unsigned To) {
+  std::unique_lock<std::mutex> Guard(M);
+  Channel &Chan = Chans[static_cast<size_t>(From) * NumThreads + To];
+  if (Chan.Items.empty()) {
+    State[To] = TState::Blocked;
+    CV.notify_all();
+    CV.wait(Guard, [&] { return !Chan.Items.empty(); });
+    State[To] = TState::Running;
+  }
+  auto [Ready, Value] = Chan.Items.front();
+  Chan.Items.pop_front();
+
+  uint64_t Now = VTime[To].load(std::memory_order_relaxed);
+  uint64_t After = std::max(Now, Ready) + Params.RecvOverhead;
+  VTime[To].store(After, std::memory_order_relaxed);
+  if (getenv("COMMSET_TRACE_RECV"))
+    fprintf(stderr, "recv %u<-%u ready=%lu now=%lu after=%lu\n", To, From,
+            (unsigned long)Ready, (unsigned long)Now, (unsigned long)After);
+
+  ++Chan.Popped;
+  Chan.PopTimes.push_back(After);
+  // Prune pop times already consumed by backpressure checks.
+  while (Chan.PopTimes.size() > 2 * Params.QueueCapacity + 4) {
+    Chan.PopTimes.pop_front();
+    ++Chan.PopBase;
+  }
+  CV.notify_all();
+  return Value;
+}
+
+void SimPlatform::acquireLockLike(unsigned Thread, LockState &L,
+                                  uint64_t Handoff,
+                                  std::unique_lock<std::mutex> &Guard) {
+  // Process requests in virtual-time order: gate until this thread holds
+  // the minimal clock among runnable threads (no earlier request can still
+  // arrive), then enqueue and wait for the grant in request-time order —
+  // the host's real schedule must not leak into who gets the lock.
+  gate(Thread, Guard);
+  uint64_t Request = VTime[Thread].load(std::memory_order_relaxed);
+  bool QueuedBehind = L.Held || !L.Waiters.empty();
+  auto Key = std::make_pair(Request, Thread);
+  L.Waiters.insert(Key);
+  if (L.Held || *L.Waiters.begin() != Key) {
+    State[Thread] = TState::Blocked;
+    CV.notify_all();
+    CV.wait(Guard,
+            [&] { return !L.Held && *L.Waiters.begin() == Key; });
+    State[Thread] = TState::Running;
+  }
+  L.Waiters.erase(Key);
+
+  uint64_t Now = Request;
+  bool Violation = Request < L.LastRequest;
+  L.LastRequest = std::max(L.LastRequest, Request);
+  bool Contended = !Violation && (QueuedBehind || L.FreeAt > Request);
+  if (Contended) {
+    ContentionCount.fetch_add(1, std::memory_order_relaxed);
+    Now = std::max(Request, L.FreeAt) + Handoff;
+  }
+  Now += Params.LockAcquire;
+  L.Held = true;
+  if (Now > VTime[Thread].load(std::memory_order_relaxed))
+    VTime[Thread].store(Now, std::memory_order_relaxed);
+}
+
+void SimPlatform::lockEnter(unsigned Thread,
+                            const std::vector<unsigned> &Ranks) {
+  uint64_t Handoff = Mode == SyncMode::Spin ? Params.SpinHandoff
+                                            : Params.MutexHandoff;
+  std::unique_lock<std::mutex> Guard(M);
+  for (unsigned Rank : Ranks)
+    acquireLockLike(Thread, Locks[Rank], Handoff, Guard);
+}
+
+void SimPlatform::lockExit(unsigned Thread,
+                           const std::vector<unsigned> &Ranks) {
+  std::lock_guard<std::mutex> Guard(M);
+  uint64_t Now = VTime[Thread].load(std::memory_order_relaxed) +
+                 Params.LockRelease * Ranks.size();
+  VTime[Thread].store(Now, std::memory_order_relaxed);
+  for (auto It = Ranks.rbegin(); It != Ranks.rend(); ++It) {
+    Locks[*It].Held = false;
+    Locks[*It].FreeAt = std::max(Locks[*It].FreeAt, Now);
+  }
+  CV.notify_all();
+}
+
+void SimPlatform::txBegin(unsigned Thread) {
+  charge(Thread, Params.TmBegin);
+  TxStart[Thread] = VTime[Thread].load(std::memory_order_relaxed);
+}
+
+bool SimPlatform::txCommit(unsigned Thread,
+                           const std::vector<unsigned> &Ranks,
+                           uint64_t MemberCostNs) {
+  std::unique_lock<std::mutex> Guard(M);
+  gate(Thread, Guard);
+  uint64_t Now = VTime[Thread].load(std::memory_order_relaxed);
+  bool Conflict = false;
+  for (unsigned Rank : Ranks)
+    Conflict |= Locks[Rank].LastCommit > TxStart[Thread];
+  if (Conflict && TxRetries[Thread] < Params.TmMaxRetries) {
+    // Abort: the member re-executes (and re-charges its work).
+    TmAbortCount.fetch_add(1, std::memory_order_relaxed);
+    ++TxRetries[Thread];
+    VTime[Thread].store(Now + Params.TmBegin, std::memory_order_relaxed);
+    CV.notify_all();
+    return false;
+  }
+  TxRetries[Thread] = 0;
+  Now += Params.TmCommit;
+  for (unsigned Rank : Ranks)
+    Locks[Rank].LastCommit = Now;
+  VTime[Thread].store(Now, std::memory_order_relaxed);
+  CV.notify_all();
+  return true;
+}
+
+void SimPlatform::resourceEnter(unsigned Thread, const std::string &Name) {
+  std::unique_lock<std::mutex> Guard(M);
+  acquireLockLike(Thread, Resources[Name], Params.ResourceHandoff, Guard);
+}
+
+void SimPlatform::resourceExit(unsigned Thread, const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(M);
+  LockState &L = Resources[Name];
+  uint64_t Now = VTime[Thread].load(std::memory_order_relaxed) +
+                 Params.LockRelease;
+  VTime[Thread].store(Now, std::memory_order_relaxed);
+  L.Held = false;
+  L.FreeAt = std::max(L.FreeAt, Now);
+  CV.notify_all();
+}
+
+void SimPlatform::threadDone(unsigned Thread) {
+  std::lock_guard<std::mutex> Guard(M);
+  State[Thread] = TState::Done;
+  CV.notify_all();
+}
+
+void SimPlatform::regionBegin(unsigned MasterThread) {
+  std::lock_guard<std::mutex> Guard(M);
+  uint64_t Base = VTime[MasterThread].load(std::memory_order_relaxed);
+  for (unsigned U = 0; U < NumThreads; ++U) {
+    VTime[U].store(Base, std::memory_order_relaxed);
+    State[U] = TState::Running;
+  }
+  CV.notify_all();
+}
+
+void SimPlatform::regionEnd(unsigned MasterThread) {
+  std::lock_guard<std::mutex> Guard(M);
+  uint64_t Max = 0;
+  for (unsigned U = 0; U < NumThreads; ++U)
+    Max = std::max(Max, VTime[U].load(std::memory_order_relaxed));
+  VTime[MasterThread].store(Max, std::memory_order_relaxed);
+  State[MasterThread] = TState::Running;
+  CV.notify_all();
+}
+
+uint64_t SimPlatform::elapsedNs() const {
+  uint64_t Max = 0;
+  for (const auto &T : VTime)
+    Max = std::max(Max, T.load(std::memory_order_relaxed));
+  return Max;
+}

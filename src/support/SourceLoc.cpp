@@ -1,0 +1,17 @@
+//===- SourceLoc.cpp ------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Support/SourceLoc.h"
+
+#include "commset/Support/StringUtils.h"
+
+using namespace commset;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return formatString("%u:%u", Line, Col);
+}

@@ -1,0 +1,62 @@
+//===- ParallelPlan.cpp ---------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Transform/ParallelPlan.h"
+
+#include "commset/Support/StringUtils.h"
+
+using namespace commset;
+
+const char *commset::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Sequential:
+    return "Sequential";
+  case Strategy::Doall:
+    return "DOALL";
+  case Strategy::Dswp:
+    return "DSWP";
+  case Strategy::PsDswp:
+    return "PS-DSWP";
+  }
+  return "?";
+}
+
+const char *commset::syncModeName(SyncMode M) {
+  switch (M) {
+  case SyncMode::Mutex:
+    return "Mutex";
+  case SyncMode::Spin:
+    return "Spin";
+  case SyncMode::Tm:
+    return "TM";
+  case SyncMode::None:
+    return "Lib";
+  }
+  return "?";
+}
+
+std::string ParallelPlan::describe() const {
+  std::string Out = strategyName(Kind);
+  if (Kind == Strategy::Doall) {
+    Out += formatString("(%u threads)", NumThreads);
+  } else if (Kind == Strategy::Dswp || Kind == Strategy::PsDswp) {
+    Out += " [";
+    for (size_t I = 0; I < Stages.size(); ++I) {
+      if (I)
+        Out += ", ";
+      if (Stages[I].Parallel)
+        Out += formatString("DOALL(%u)", Stages[I].Replicas);
+      else
+        Out += "S";
+    }
+    Out += "]";
+  }
+  if (Kind != Strategy::Sequential) {
+    Out += " + ";
+    Out += syncModeName(Sync);
+  }
+  return Out;
+}

@@ -1,0 +1,797 @@
+//===- Planner.cpp --------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Transform/Planner.h"
+
+#include "commset/Analysis/Dominators.h"
+#include "commset/Analysis/LoopInfo.h"
+#include "commset/IR/Printer.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace commset;
+
+//===----------------------------------------------------------------------===//
+// Cost model
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr double BaseOpCost = 2.0;     // ns per simple IR operation.
+constexpr double LoopTripGuess = 16.0; // Nesting factor for callee loops.
+constexpr unsigned MaxCostDepth = 8;
+} // namespace
+
+CostEstimator::CostEstimator(const Module &M, const PlanOptions &Opts)
+    : Opts(Opts) {
+  for (const auto &F : M.Functions)
+    FunctionCosts[F.get()] = functionCost(F.get(), 0);
+}
+
+double CostEstimator::functionCost(const Function *F, unsigned Depth) const {
+  if (Depth >= MaxCostDepth)
+    return Opts.DefaultNativeCost;
+  auto It = FunctionCosts.find(F);
+  if (It != FunctionCosts.end() && It->second > 0)
+    return It->second;
+
+  // Per-block loop-nesting weights from real loop detection.
+  const_cast<Function *>(F)->numberInstructions();
+  DomTree DT = computeDominators(*F);
+  LoopInfo LI = LoopInfo::compute(*F, DT);
+  std::vector<double> BlockWeight(F->Blocks.size(), 1.0);
+  for (const auto &L : LI.loops())
+    for (unsigned BlockId : L->BlockIds)
+      BlockWeight[BlockId] *= LoopTripGuess;
+
+  double Total = 0;
+  for (const auto &BB : F->Blocks) {
+    for (const auto &Instr : BB->Instrs) {
+      double Cost = BaseOpCost;
+      if (Instr->op() == Opcode::CallNative) {
+        auto Hint = Opts.NativeCostHints.find(Instr->Native->Name);
+        Cost = Hint != Opts.NativeCostHints.end() ? Hint->second
+                                                  : Opts.DefaultNativeCost;
+      } else if (Instr->op() == Opcode::Call) {
+        Cost = functionCost(Instr->Callee, Depth + 1);
+      }
+      Total += Cost * BlockWeight[BB->Id];
+    }
+  }
+  return Total;
+}
+
+double CostEstimator::nodeCost(const Instruction *Instr) const {
+  if (Instr->op() == Opcode::CallNative) {
+    auto Hint = Opts.NativeCostHints.find(Instr->Native->Name);
+    return Hint != Opts.NativeCostHints.end() ? Hint->second
+                                              : Opts.DefaultNativeCost;
+  }
+  if (Instr->op() == Opcode::Call) {
+    auto It = FunctionCosts.find(Instr->Callee);
+    return It != FunctionCosts.end() ? It->second : Opts.DefaultNativeCost;
+  }
+  return BaseOpCost;
+}
+
+//===----------------------------------------------------------------------===//
+// Replicated control
+//===----------------------------------------------------------------------===//
+
+void commset::computeReplicatedNodes(const PDG &G, ParallelPlan &Plan) {
+  Plan.ReplicatedNodes.clear();
+  Plan.ReplicatedControl = false;
+  const Loop *L = G.L;
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    if (G.Nodes[I]->isTerminator())
+      Plan.ReplicatedNodes.insert(static_cast<unsigned>(I));
+
+  if (L->Induction.Local == ~0u || !L->Induction.Update)
+    return;
+  unsigned Ind = L->Induction.Local;
+
+  // Induction SCC: the update store, its value chain, and every load of the
+  // induction local (each stage keeps a private copy of the counter).
+  auto addChain = [&](const Instruction *Instr, auto &&Self) -> void {
+    int Idx = G.indexOf(Instr);
+    if (Idx < 0 || !Plan.ReplicatedNodes.insert(Idx).second)
+      return;
+    for (const Operand &Op : Instr->Operands)
+      if (Op.isInstr())
+        Self(Op.Def, Self);
+  };
+  addChain(L->Induction.Update, addChain);
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    if (G.Nodes[I]->op() == Opcode::LoadLocal && G.Nodes[I]->SlotId == Ind)
+      Plan.ReplicatedNodes.insert(static_cast<unsigned>(I));
+
+  // Header-condition closure: replicable when it only uses pure ops over
+  // the induction local and loop-invariant locals.
+  Instruction *Term = L->Header->terminator();
+  if (!Term || Term->op() != Opcode::CondBr)
+    return;
+
+  std::vector<const Instruction *> Closure;
+  bool Replicable = true;
+  auto visit = [&](const Instruction *Instr, auto &&Self) -> void {
+    if (!Replicable)
+      return;
+    switch (Instr->op()) {
+    case Opcode::LoadLocal:
+      if (Instr->SlotId != Ind && localStoredInLoop(*L, Instr->SlotId))
+        Replicable = false;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::IntToFp:
+    case Opcode::FpToInt:
+      break;
+    default:
+      Replicable = false;
+      return;
+    }
+    Closure.push_back(Instr);
+    for (const Operand &Op : Instr->Operands)
+      if (Op.isInstr())
+        Self(Op.Def, Self);
+  };
+  if (Term->Operands[0].isInstr())
+    visit(Term->Operands[0].Def, visit);
+  else
+    Closure.clear(); // Constant condition: nothing to replicate.
+
+  if (Replicable) {
+    for (const Instruction *Instr : Closure) {
+      int Idx = G.indexOf(Instr);
+      if (Idx >= 0)
+        Plan.ReplicatedNodes.insert(static_cast<unsigned>(Idx));
+    }
+    Plan.ReplicatedControl = true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronization engine
+//===----------------------------------------------------------------------===//
+
+void commset::attachSynchronization(ParallelPlan &Plan, const Module &M,
+                                    const CommSetRegistry &Registry,
+                                    const EffectAnalysis &EA) {
+  Plan.MemberSync.clear();
+  for (const std::string &Callee : Registry.memberCallees()) {
+    MemberSyncInfo Info;
+    std::set<unsigned> Ranks;
+    for (const auto &Membership : Registry.membershipsOf(Callee)) {
+      const auto &S = Registry.set(Membership.SetId);
+      if (!S.NoSync)
+        Ranks.insert(S.Rank);
+    }
+    Info.LockRanks.assign(Ranks.begin(), Ranks.end());
+
+    // TM eligibility: user functions whose effects are interpreted global
+    // accesses only (the STM instruments LoadGlobal/StoreGlobal).
+    if (Function *F = M.findFunction(Callee)) {
+      const EffectSummary &S = EA.summaryFor(F);
+      Info.TmEligible = !S.World && S.ReadClasses.empty() &&
+                        S.WriteClasses.empty() && !S.ArgMemRead &&
+                        !S.ArgMemWrite;
+    }
+    Plan.MemberSync[Callee] = std::move(Info);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shared checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Locals stored inside the loop whose values are read after it exits.
+std::vector<unsigned> liveOutLocals(const PDG &G) {
+  const Function &F = *G.F;
+  const Loop &L = *G.L;
+  std::set<unsigned> StoredInLoop;
+  for (Instruction *Instr : G.Nodes)
+    if (Instr->op() == Opcode::StoreLocal)
+      StoredInLoop.insert(Instr->SlotId);
+  if (StoredInLoop.empty())
+    return {};
+
+  // Blocks reachable from the loop's exit edges (not through the header).
+  std::set<unsigned> AfterLoop;
+  std::vector<const BasicBlock *> Worklist;
+  for (unsigned BlockId : L.BlockIds)
+    for (BasicBlock *Succ : F.Blocks[BlockId]->successors())
+      if (!L.BlockIds.count(Succ->Id))
+        Worklist.push_back(Succ);
+  while (!Worklist.empty()) {
+    const BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (!AfterLoop.insert(BB->Id).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      if (!L.BlockIds.count(Succ->Id))
+        Worklist.push_back(Succ);
+  }
+
+  std::set<unsigned> LiveOut;
+  for (unsigned BlockId : AfterLoop)
+    for (const auto &Instr : F.Blocks[BlockId]->Instrs)
+      if (Instr->op() == Opcode::LoadLocal &&
+          StoredInLoop.count(Instr->SlotId))
+        LiveOut.insert(Instr->SlotId);
+  return {LiveOut.begin(), LiveOut.end()};
+}
+
+void setWhyNot(std::string *WhyNot, std::string Reason) {
+  if (WhyNot)
+    *WhyNot = std::move(Reason);
+}
+
+double totalLoopCost(const PDG &G, const CostEstimator &Cost) {
+  double Total = 0;
+  for (Instruction *Instr : G.Nodes)
+    Total += Cost.nodeCost(Instr);
+  return Total;
+}
+
+double lockedMemberCost(const PDG &G, const ParallelPlan &Plan,
+                        const CostEstimator &Cost) {
+  double Locked = 0;
+  for (Instruction *Instr : G.Nodes) {
+    if (!Instr->isCall())
+      continue;
+    const std::string &Name = Instr->op() == Opcode::Call
+                                  ? Instr->Callee->Name
+                                  : Instr->Native->Name;
+    auto It = Plan.MemberSync.find(Name);
+    if (It != Plan.MemberSync.end() && !It->second.LockRanks.empty())
+      Locked += Cost.nodeCost(Instr);
+  }
+  return Locked;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DOALL
+//===----------------------------------------------------------------------===//
+
+std::optional<ParallelPlan>
+commset::buildDoallPlan(const PDG &G, const SCCResult &Sccs, const Module &M,
+                        const CommSetRegistry &Registry,
+                        const EffectAnalysis &EA, const PlanOptions &Opts,
+                        std::string *WhyNot) {
+  const Loop *L = G.L;
+  ParallelPlan Plan;
+  Plan.Kind = Strategy::Doall;
+  Plan.F = G.F;
+  Plan.L = L;
+  Plan.NumThreads = Opts.NumThreads;
+  Plan.Sync = Opts.Sync;
+
+  if (L->Induction.Local == ~0u) {
+    setWhyNot(WhyNot, "no canonical induction variable (e.g. pointer "
+                      "chasing loop)");
+    return std::nullopt;
+  }
+  if (!L->SingleHeaderExit) {
+    setWhyNot(WhyNot, "loop has side exits; only the header may exit");
+    return std::nullopt;
+  }
+  if (!L->Induction.ExitCompare) {
+    setWhyNot(WhyNot, "loop exit is not a compare on the induction "
+                      "variable");
+    return std::nullopt;
+  }
+
+  computeReplicatedNodes(G, Plan);
+  if (!Plan.ReplicatedControl) {
+    setWhyNot(WhyNot, "loop bound is not computable per thread");
+    return std::nullopt;
+  }
+
+  // No remaining loop-carried dependence outside the privatized induction.
+  for (const PDGEdge &E : G.Edges) {
+    if (!G.edgeActive(E) || !G.edgeCarried(E))
+      continue;
+    if (E.Kind == DepKind::LocalFlow && E.LocalId == L->Induction.Local)
+      continue;
+    if (Plan.ReplicatedNodes.count(E.Src) && Plan.ReplicatedNodes.count(E.Dst))
+      continue;
+    setWhyNot(WhyNot,
+              formatString("loop-carried dependence remains: %s -> %s",
+                           printInstruction(*G.Nodes[E.Src]).c_str(),
+                           printInstruction(*G.Nodes[E.Dst]).c_str()));
+    return std::nullopt;
+  }
+
+  auto LiveOuts = liveOutLocals(G);
+  for (unsigned Local : LiveOuts) {
+    if (Local == L->Induction.Local)
+      continue; // Fixed up by the executor via the trip count.
+    setWhyNot(WhyNot, formatString("local '%s' is live out of the loop",
+                                   G.F->Locals[Local].Name.c_str()));
+    return std::nullopt;
+  }
+
+  Plan.InductionLocal = L->Induction.Local;
+  Plan.InductionStep = L->Induction.Step;
+
+  attachSynchronization(Plan, M, Registry, EA);
+
+  CostEstimator Cost(M, Opts);
+  double Total = totalLoopCost(G, Cost);
+  double Locked = lockedMemberCost(G, Plan, Cost);
+  double SerialFraction = Total > 0 ? Locked / Total : 0.0;
+  Plan.EstimatedSpeedup =
+      1.0 / (SerialFraction + (1.0 - SerialFraction) / Opts.NumThreads);
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// DSWP / PS-DSWP
+//===----------------------------------------------------------------------===//
+
+std::optional<ParallelPlan>
+commset::buildPipelinePlan(const PDG &G, const SCCResult &Sccs,
+                           const Module &M, const CommSetRegistry &Registry,
+                           const EffectAnalysis &EA, const PlanOptions &Opts,
+                           bool AllowParallelStage, std::string *WhyNot) {
+  ParallelPlan Plan;
+  Plan.Kind = AllowParallelStage ? Strategy::PsDswp : Strategy::Dswp;
+  Plan.F = G.F;
+  Plan.L = G.L;
+  Plan.Sync = Opts.Sync;
+  computeReplicatedNodes(G, Plan);
+
+  if (Plan.L->Induction.Local != ~0u) {
+    Plan.InductionLocal = Plan.L->Induction.Local;
+    Plan.InductionStep = Plan.L->Induction.Step;
+  }
+
+  // Pipeline live-out merging takes final local values from a sequential
+  // stage thread; locals other than the privatized induction variable must
+  // not escape the loop.
+  for (unsigned Local : liveOutLocals(G)) {
+    if (Local == Plan.L->Induction.Local)
+      continue;
+    setWhyNot(WhyNot, formatString("local '%s' is live out of the loop",
+                                   G.F->Locals[Local].Name.c_str()));
+    return std::nullopt;
+  }
+
+  CostEstimator Cost(M, Opts);
+
+  // --- Scheduling units: SCCs coarsened so every sub-loop of the target
+  // loop schedules as one piece. Splitting an inner loop across stages
+  // would forward values and branch conditions once per *inner* iteration,
+  // drowning the pipeline in queue traffic; the paper's schedules always
+  // move whole inner computations between stages.
+  unsigned NumSccs = Sccs.numComponents();
+  std::vector<unsigned> UnitOf(NumSccs);
+  for (unsigned I = 0; I < NumSccs; ++I)
+    UnitOf[I] = I;
+
+  DomTree UnitDT = computeDominators(*G.F);
+  LoopInfo UnitLI = LoopInfo::compute(*G.F, UnitDT);
+  // Inner-loop nodes execute once per inner iteration: weight their cost
+  // by the trip-count guess per extra nesting level (what run-time
+  // profiling gives the paper's compiler).
+  auto nodeWeight = [&](const Instruction *Instr) {
+    double Weight = 1.0;
+    for (const Loop *Inner = UnitLI.loopFor(Instr->Parent);
+         Inner && Inner->Header->Id != G.L->Header->Id;
+         Inner = Inner->Parent)
+      Weight *= 16.0;
+    return Weight;
+  };
+
+  {
+    LoopInfo &LI = UnitLI;
+    // Map each SCC to the direct child loop of the target containing all
+    // of its nodes (if any), then union SCCs sharing that child.
+    std::map<const Loop *, unsigned> Leader;
+    for (unsigned SccId = 0; SccId < NumSccs; ++SccId) {
+      const Loop *Child = nullptr;
+      bool Uniform = true;
+      for (unsigned Node : Sccs.Components[SccId]) {
+        const Loop *Innermost = LI.loopFor(G.Nodes[Node]->Parent);
+        // Ascend to the direct child of the target loop (this LoopInfo is
+        // freshly computed, so match loops by header block).
+        while (Innermost && Innermost->Parent &&
+               Innermost->Parent->Header->Id != G.L->Header->Id)
+          Innermost = Innermost->Parent;
+        if (!Innermost || !Innermost->Parent ||
+            Innermost->Header->Id == G.L->Header->Id) {
+          Uniform = false;
+          break;
+        }
+        if (!Child)
+          Child = Innermost;
+        else if (Child != Innermost)
+          Uniform = false;
+      }
+      if (!Uniform || !Child)
+        continue;
+      auto [It, Inserted] = Leader.try_emplace(Child, SccId);
+      if (!Inserted)
+        UnitOf[SccId] = UnitOf[It->second];
+    }
+  }
+
+  // Collapse any cycles the coarsening created in the unit graph.
+  {
+    std::map<unsigned, std::set<unsigned>> UnitSuccs;
+    for (unsigned SccId = 0; SccId < NumSccs; ++SccId)
+      for (unsigned Succ : Sccs.DagSuccs[SccId])
+        if (UnitOf[SccId] != UnitOf[Succ])
+          UnitSuccs[UnitOf[SccId]].insert(UnitOf[Succ]);
+    // Iterative cycle collapsing: find a cycle with DFS, merge it, retry.
+    bool Merged = true;
+    while (Merged) {
+      Merged = false;
+      std::map<unsigned, int> Color; // 0 white, 1 grey, 2 black.
+      std::vector<unsigned> Path;
+      std::function<bool(unsigned)> Dfs = [&](unsigned U) {
+        Color[U] = 1;
+        Path.push_back(U);
+        for (unsigned V : UnitSuccs[U]) {
+          unsigned RV = UnitOf[V];
+          if (RV == U)
+            continue;
+          if (Color[RV] == 1) {
+            // Merge the cycle suffix into RV.
+            for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
+              if (*It == RV)
+                break;
+              for (unsigned &Slot : UnitOf)
+                if (Slot == *It)
+                  Slot = RV;
+            }
+            return true;
+          }
+          if (Color[RV] == 0 && Dfs(RV))
+            return true;
+        }
+        Color[U] = 2;
+        Path.pop_back();
+        return false;
+      };
+      std::set<unsigned> Roots;
+      for (unsigned SccId = 0; SccId < NumSccs; ++SccId)
+        Roots.insert(UnitOf[SccId]);
+      for (unsigned Root : Roots) {
+        Color.clear();
+        Path.clear();
+        if (Dfs(Root)) {
+          Merged = true;
+          // Rebuild successor map under the new unit ids.
+          UnitSuccs.clear();
+          for (unsigned SccId = 0; SccId < NumSccs; ++SccId)
+            for (unsigned Succ : Sccs.DagSuccs[SccId])
+              if (UnitOf[SccId] != UnitOf[Succ])
+                UnitSuccs[UnitOf[SccId]].insert(UnitOf[Succ]);
+          break;
+        }
+      }
+    }
+  }
+
+  // Materialize units in topological order (min SCC topo position).
+  struct SccInfo {
+    unsigned Id;
+    std::vector<unsigned> OwnedNodes;
+    double Cost = 0;
+    bool Carried = false;
+  };
+  std::vector<unsigned> TopoPos(NumSccs);
+  for (unsigned I = 0; I < Sccs.TopoOrder.size(); ++I)
+    TopoPos[Sccs.TopoOrder[I]] = I;
+  std::map<unsigned, SccInfo> UnitMap; // Keyed by min topo position.
+  for (unsigned SccId = 0; SccId < NumSccs; ++SccId) {
+    unsigned Unit = UnitOf[SccId];
+    unsigned Key = TopoPos[Unit];
+    for (unsigned Other = 0; Other < NumSccs; ++Other)
+      if (UnitOf[Other] == Unit)
+        Key = std::min(Key, TopoPos[Other]);
+    SccInfo &Info = UnitMap[Key];
+    Info.Id = Unit;
+    for (unsigned Node : Sccs.Components[SccId]) {
+      if (Plan.ReplicatedNodes.count(Node))
+        continue;
+      Info.OwnedNodes.push_back(Node);
+      Info.Cost += Cost.nodeCost(G.Nodes[Node]) * nodeWeight(G.Nodes[Node]);
+    }
+    Info.Carried |= Sccs.HasCarried[SccId] != 0;
+  }
+  std::vector<SccInfo> Seq;
+  for (auto &[Key, Info] : UnitMap)
+    if (!Info.OwnedNodes.empty())
+      Seq.push_back(std::move(Info));
+  if (Seq.empty()) {
+    setWhyNot(WhyNot, "loop body is empty after control replication");
+    return std::nullopt;
+  }
+
+  // Cross-SCC carried edges (still-active carried constraints between
+  // different SCCs): both endpoints must not land in one parallel stage.
+  std::vector<std::pair<unsigned, unsigned>> CrossCarried;
+  for (const PDGEdge &E : G.Edges) {
+    if (!G.edgeActive(E) || !G.edgeCarried(E))
+      continue;
+    if (Plan.InductionLocal != ~0u && E.Kind == DepKind::LocalFlow &&
+        E.LocalId == Plan.InductionLocal)
+      continue; // Privatized.
+    unsigned SrcU = UnitOf[Sccs.ComponentOf[E.Src]];
+    unsigned DstU = UnitOf[Sccs.ComponentOf[E.Dst]];
+    if (SrcU != DstU)
+      CrossCarried.push_back({SrcU, DstU});
+    else {
+      // A carried edge folded inside one coarsened unit makes that unit
+      // sequential.
+      for (SccInfo &Info : Seq)
+        if (Info.Id == SrcU)
+          Info.Carried = true;
+    }
+  }
+
+  if (getenv("COMMSET_DEBUG_PLANNER")) {
+    fprintf(stderr, "pipeline units for %s (%s):\n", G.F->Name.c_str(),
+            AllowParallelStage ? "PS-DSWP" : "DSWP");
+    for (const SccInfo &Info : Seq) {
+      fprintf(stderr, "  unit %u cost=%.0f carried=%d:", Info.Id, Info.Cost,
+              (int)Info.Carried);
+      for (unsigned Node : Info.OwnedNodes)
+        if (G.Nodes[Node]->isCall())
+          fprintf(stderr, " %s",
+                  G.Nodes[Node]->op() == Opcode::Call
+                      ? G.Nodes[Node]->Callee->Name.c_str()
+                      : G.Nodes[Node]->Native->Name.c_str());
+      fprintf(stderr, "\n");
+    }
+    for (auto [A, B] : CrossCarried)
+      fprintf(stderr, "  crosscarried %u -> %u\n", A, B);
+  }
+
+  std::vector<std::pair<size_t, size_t>> StageRanges; // [first, last).
+  int ParallelStage = -1;
+
+  // SCCs excluded from a parallel stage: internal carried deps, incidence
+  // to a cross-SCC carried edge (a replica would observe stale forwarded
+  // state), or header-block nodes (the header is traced by every replica
+  // every iteration, so its owner must execute every iteration).
+  std::set<unsigned> CarriedIncident;
+  for (auto [A, B] : CrossCarried) {
+    CarriedIncident.insert(A);
+    CarriedIncident.insert(B);
+  }
+  double TotalCost = 0;
+  for (const SccInfo &Info : Seq)
+    TotalCost += Info.Cost;
+
+  // A member call needing compiler-inserted synchronization.
+  auto isLockedMemberCall = [&](const Instruction *Instr) {
+    if (!Instr->isCall())
+      return false;
+    const std::string &Name = Instr->op() == Opcode::Call
+                                  ? Instr->Callee->Name
+                                  : Instr->Native->Name;
+    for (const auto &Membership : Registry.membershipsOf(Name))
+      if (!Registry.set(Membership.SetId).NoSync)
+        return true;
+    return false;
+  };
+
+  for (SccInfo &Info : Seq) {
+    if (CarriedIncident.count(Info.Id))
+      Info.Carried = true;
+    for (unsigned Node : Info.OwnedNodes) {
+      if (G.Nodes[Node]->Parent == G.L->Header)
+        Info.Carried = true;
+      if (G.Nodes[Node]->op() == Opcode::Ret) {
+        setWhyNot(WhyNot, "loop contains a return");
+        return std::nullopt;
+      }
+    }
+    // Partitioning heuristic matching the paper's schedules: a cheap,
+    // synchronized member (RNG seed update, packet dequeue, console print)
+    // runs better in a sequential stage, off the critical path, than
+    // replicated behind a contended lock (paper §5.1, §5.7).
+    if (!Info.Carried && Info.Cost < 0.25 * TotalCost) {
+      bool HasLockedMember = false;
+      bool OnlyCheapNodes = true;
+      for (unsigned Node : Info.OwnedNodes) {
+        if (isLockedMemberCall(G.Nodes[Node]))
+          HasLockedMember = true;
+        else if (G.Nodes[Node]->isCall())
+          OnlyCheapNodes = false;
+      }
+      if (HasLockedMember && OnlyCheapNodes)
+        Info.Carried = true; // Keep out of the parallel window.
+    }
+  }
+
+  if (AllowParallelStage) {
+    // Find the best contiguous run of carried-free SCCs with no internal
+    // cross-carried pair.
+    double BestCost = 0;
+    size_t BestStart = 0, BestEnd = 0;
+    size_t Start = 0;
+    while (Start < Seq.size()) {
+      if (Seq[Start].Carried) {
+        ++Start;
+        continue;
+      }
+      size_t End = Start;
+      double RunCost = 0;
+      std::set<unsigned> InRun;
+      while (End < Seq.size() && !Seq[End].Carried) {
+        bool Violates = false;
+        for (auto [A, B] : CrossCarried)
+          if ((InRun.count(A) && B == Seq[End].Id) ||
+              (InRun.count(B) && A == Seq[End].Id) ||
+              (A == Seq[End].Id && B == Seq[End].Id))
+            Violates = true;
+        if (Violates)
+          break;
+        InRun.insert(Seq[End].Id);
+        RunCost += Seq[End].Cost;
+        ++End;
+      }
+      if (RunCost > BestCost) {
+        BestCost = RunCost;
+        BestStart = Start;
+        BestEnd = End;
+      }
+      Start = End > Start ? End : Start + 1;
+    }
+    if (BestEnd == BestStart) {
+      setWhyNot(WhyNot, "no replicable (carried-free) stage found");
+      return std::nullopt;
+    }
+    if (BestStart > 0)
+      StageRanges.push_back({0, BestStart});
+    ParallelStage = static_cast<int>(StageRanges.size());
+    StageRanges.push_back({BestStart, BestEnd});
+    if (BestEnd < Seq.size())
+      StageRanges.push_back({BestEnd, Seq.size()});
+  } else {
+    // DSWP: balanced contiguous partition into k sequential stages.
+    unsigned K = std::min<unsigned>(
+        {Opts.MaxStages, Opts.NumThreads,
+         static_cast<unsigned>(Seq.size())});
+    if (K < 2) {
+      setWhyNot(WhyNot, "cannot form at least two pipeline stages");
+      return std::nullopt;
+    }
+    double Total = 0;
+    for (const SccInfo &Info : Seq)
+      Total += Info.Cost;
+    double Target = Total / K;
+    size_t Pos = 0;
+    for (unsigned StageIdx = 0; StageIdx < K && Pos < Seq.size();
+         ++StageIdx) {
+      size_t First = Pos;
+      double Acc = 0;
+      size_t Remaining = Seq.size() - Pos;
+      unsigned StagesLeft = K - StageIdx;
+      while (Pos < Seq.size() && (Acc < Target || Pos == First) &&
+             Remaining > StagesLeft - 1) {
+        Acc += Seq[Pos].Cost;
+        ++Pos;
+        Remaining = Seq.size() - Pos;
+      }
+      StageRanges.push_back({First, Pos});
+    }
+    if (Pos < Seq.size())
+      StageRanges.back().second = Seq.size();
+  }
+
+  if (StageRanges.size() < 2 && ParallelStage < 0) {
+    setWhyNot(WhyNot, "pipeline collapsed to a single sequential stage");
+    return std::nullopt;
+  }
+
+  // Materialize stages. A pipeline needs at least one thread per stage.
+  if (StageRanges.size() > Opts.NumThreads) {
+    setWhyNot(WhyNot,
+              formatString("pipeline needs %zu stages but only %u threads "
+                           "are available",
+                           StageRanges.size(), Opts.NumThreads));
+    return std::nullopt;
+  }
+  unsigned SeqStages = 0;
+  for (size_t I = 0; I < StageRanges.size(); ++I)
+    SeqStages += (static_cast<int>(I) != ParallelStage);
+  unsigned Replicas =
+      ParallelStage >= 0 && Opts.NumThreads > SeqStages
+          ? Opts.NumThreads - SeqStages
+          : 1;
+
+  for (size_t I = 0; I < StageRanges.size(); ++I) {
+    StagePlan Stage;
+    Stage.Parallel = static_cast<int>(I) == ParallelStage;
+    Stage.Replicas = Stage.Parallel ? Replicas : 1;
+    for (size_t Pos = StageRanges[I].first; Pos < StageRanges[I].second;
+         ++Pos) {
+      Stage.CostEstimate += Seq[Pos].Cost;
+      for (unsigned Node : Seq[Pos].OwnedNodes)
+        Stage.OwnedNodes.insert(Node);
+    }
+    Plan.Stages.push_back(std::move(Stage));
+  }
+  if (ParallelStage >= 0 && Replicas < 2 && Plan.Stages.size() < 2) {
+    setWhyNot(WhyNot, "not enough threads to replicate the parallel stage");
+    return std::nullopt;
+  }
+
+  Plan.NumThreads = 0;
+  for (const StagePlan &Stage : Plan.Stages)
+    Plan.NumThreads += Stage.Replicas;
+
+  // Cross-stage memory-dependence tokens: for every active memory edge
+  // whose endpoints land in different stages, the destination's stage pops
+  // a token at the source node's trace position.
+  std::vector<int> OwnerStage(G.Nodes.size(), -1);
+  for (size_t S = 0; S < Plan.Stages.size(); ++S)
+    for (unsigned Node : Plan.Stages[S].OwnedNodes)
+      OwnerStage[Node] = static_cast<int>(S);
+  Plan.MemTokenStages.assign(G.Nodes.size(), 0);
+  Plan.StoreReceiverStages.assign(G.Nodes.size(), 0);
+  for (const PDGEdge &E : G.Edges) {
+    if (E.Kind == DepKind::LocalFlow && G.edgeActive(E)) {
+      int SrcStage = OwnerStage[E.Src];
+      int DstStage = OwnerStage[E.Dst];
+      if (SrcStage >= 0 && DstStage >= 0 && SrcStage != DstStage)
+        Plan.StoreReceiverStages[E.Src] |= uint64_t(1) << DstStage;
+      continue;
+    }
+    if (E.Kind != DepKind::Memory || !G.edgeActive(E))
+      continue;
+    int SrcStage = OwnerStage[E.Src];
+    int DstStage = OwnerStage[E.Dst];
+    if (SrcStage < 0 || DstStage < 0 || SrcStage == DstStage)
+      continue;
+    Plan.MemTokenStages[E.Src] |= uint64_t(1) << DstStage;
+    if (getenv("COMMSET_DEBUG_PLANNER"))
+      fprintf(stderr, "  memtoken stage%d -> stage%d: %s -> %s%s\n",
+              SrcStage, DstStage,
+              printInstruction(*G.Nodes[E.Src]).c_str(),
+              printInstruction(*G.Nodes[E.Dst]).c_str(),
+              E.LoopCarried ? " (carried)" : "");
+  }
+
+  attachSynchronization(Plan, M, Registry, EA);
+
+  // Estimate: pipeline throughput is bounded by the slowest stage.
+  double Total = 0, Bottleneck = 0;
+  for (const StagePlan &Stage : Plan.Stages) {
+    Total += Stage.CostEstimate;
+    Bottleneck =
+        std::max(Bottleneck, Stage.CostEstimate / Stage.Replicas);
+  }
+  Plan.EstimatedSpeedup =
+      Bottleneck > 0 ? std::min<double>(Total / Bottleneck, Opts.NumThreads)
+                     : 1.0;
+  return Plan;
+}

@@ -1,0 +1,160 @@
+//===- BenchHarness.cpp ---------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Workloads/BenchHarness.h"
+
+#include "commset/Support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace commset;
+using namespace commset::bench;
+
+FigureRunner::FigureRunner(const std::string &WorkloadName, int Scale)
+    : Name(WorkloadName), Scale(Scale), W(makeWorkload(WorkloadName)) {
+  if (W && Scale == 0)
+    this->Scale = W->defaultScale();
+}
+
+FigureRunner::VariantState *
+FigureRunner::variant(const std::string &Variant) {
+  auto It = Variants.find(Variant);
+  if (It != Variants.end())
+    return It->second.get();
+
+  auto V = std::make_unique<VariantState>();
+  DiagnosticEngine Diags;
+  V->C = Compilation::fromSource(W->source(Variant), Diags);
+  if (V->C)
+    V->T = V->C->analyzeLoop(W->entry(), Diags);
+  auto *Raw = V.get();
+  Variants[Variant] = std::move(V);
+  return Raw;
+}
+
+uint64_t FigureRunner::seqBaseline(VariantState &V) {
+  if (V.SeqVirtualNs)
+    return V.SeqVirtualNs;
+  NativeRegistry Natives;
+  W->reset();
+  W->registerNatives(Natives);
+  RunConfig Config;
+  Config.Simulate = true;
+  RunOutcome Out =
+      runScheme(*V.C, V.T->F, W->args(Scale), Natives, Config);
+  V.SeqVirtualNs = Out.VirtualNs;
+  return V.SeqVirtualNs;
+}
+
+Measurement FigureRunner::measure(const Series &S, unsigned Threads) {
+  Measurement M;
+  VariantState *V = variant(S.Variant);
+  if (!V || !V->C || !V->T) {
+    M.WhyNot = "variant failed to compile";
+    return M;
+  }
+  M.SeqVirtualNs = seqBaseline(*V);
+
+  PlanOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.Sync = S.Sync;
+  for (auto &[K, C] : W->costHints())
+    Opts.NativeCostHints[K] = C;
+  auto Schemes = buildAllSchemes(*V->C, *V->T, Opts);
+  const SchemeReport *Chosen = nullptr;
+  for (const SchemeReport &R : Schemes)
+    if (R.Kind == S.Kind)
+      Chosen = &R;
+  if (!Chosen || !Chosen->Applicable) {
+    M.WhyNot = Chosen ? Chosen->WhyNot : "unknown scheme";
+    return M;
+  }
+
+  NativeRegistry Natives;
+  W->reset();
+  W->registerNatives(Natives);
+  RunConfig Config;
+  Config.Plan = &*Chosen->Plan;
+  Config.Simulate = true;
+  RunOutcome Out =
+      runScheme(*V->C, V->T->F, W->args(Scale), Natives, Config);
+  M.Applicable = true;
+  M.VirtualNs = Out.VirtualNs;
+  M.Speedup = Out.VirtualNs
+                  ? static_cast<double>(M.SeqVirtualNs) / Out.VirtualNs
+                  : 0.0;
+  M.Schedule = Chosen->Plan->describe();
+  return M;
+}
+
+Measurement FigureRunner::measureBest(const std::string &Variant,
+                                      SyncMode Sync, unsigned Threads,
+                                      std::string *SchemeName) {
+  Measurement Best;
+  for (Strategy Kind :
+       {Strategy::Doall, Strategy::PsDswp, Strategy::Dswp}) {
+    Series S{"", Variant, Kind, Sync};
+    Measurement M = measure(S, Threads);
+    if (M.Applicable && M.Speedup > Best.Speedup) {
+      Best = M;
+      if (SchemeName)
+        *SchemeName = strategyName(Kind);
+    }
+  }
+  if (!Best.Applicable) {
+    Best.Speedup = 1.0; // Sequential fallback.
+    if (SchemeName)
+      *SchemeName = "Sequential";
+  }
+  return Best;
+}
+
+unsigned FigureRunner::annotationCount() const {
+  unsigned Count = 0;
+  for (const std::string &Line : splitString(W->source(""), '\n'))
+    if (Line.find("#pragma commset") != std::string::npos &&
+        Line.find("effects") == std::string::npos)
+      ++Count;
+  return Count;
+}
+
+unsigned FigureRunner::sourceLines() const {
+  unsigned Count = 0;
+  for (const std::string &Line : splitString(W->source(""), '\n'))
+    if (!trimString(Line).empty())
+      ++Count;
+  return Count;
+}
+
+double commset::bench::printFigure(const std::string &WorkloadName,
+                                   const std::vector<Series> &SeriesList,
+                                   const std::vector<unsigned> &Threads,
+                                   int Scale) {
+  FigureRunner Runner(WorkloadName, Scale);
+  printf("\n=== %s: simulated speedup over sequential ===\n",
+         WorkloadName.c_str());
+  printf("%-28s", "scheme \\ threads");
+  for (unsigned T : Threads)
+    printf("%8u", T);
+  printf("\n");
+
+  double BestAtMax = 0.0;
+  for (const Series &S : SeriesList) {
+    printf("%-28s", S.Label.c_str());
+    for (unsigned T : Threads) {
+      Measurement M = Runner.measure(S, T);
+      if (!M.Applicable)
+        printf("%8s", "n/a");
+      else
+        printf("%8.2f", M.Speedup);
+      if (M.Applicable && T == Threads.back())
+        BestAtMax = std::max(BestAtMax, M.Speedup);
+    }
+    printf("\n");
+  }
+  fflush(stdout);
+  return BestAtMax;
+}

@@ -1,0 +1,149 @@
+//===- Md5.cpp - RFC 1321 MD5 ---------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Implemented from the RFC 1321 specification (reference constants and
+// round structure); verified against the RFC's official test vectors in
+// tests/WorkloadTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Workloads/Kernels.h"
+
+#include <cstring>
+
+using namespace commset;
+
+namespace {
+
+inline uint32_t rotl(uint32_t X, unsigned C) {
+  return (X << C) | (X >> (32 - C));
+}
+
+// Per-round shift amounts.
+const unsigned Shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+const uint32_t SineTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+} // namespace
+
+void Md5::reset() {
+  State[0] = 0x67452301;
+  State[1] = 0xefcdab89;
+  State[2] = 0x98badcfe;
+  State[3] = 0x10325476;
+  BitCount = 0;
+  BufferLen = 0;
+}
+
+void Md5::processBlock(const uint8_t Block[64]) {
+  uint32_t M[16];
+  for (unsigned I = 0; I < 16; ++I)
+    M[I] = static_cast<uint32_t>(Block[I * 4]) |
+           (static_cast<uint32_t>(Block[I * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(Block[I * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(Block[I * 4 + 3]) << 24);
+
+  uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+  for (unsigned I = 0; I < 64; ++I) {
+    uint32_t F;
+    unsigned G;
+    if (I < 16) {
+      F = (B & C) | (~B & D);
+      G = I;
+    } else if (I < 32) {
+      F = (D & B) | (~D & C);
+      G = (5 * I + 1) % 16;
+    } else if (I < 48) {
+      F = B ^ C ^ D;
+      G = (3 * I + 5) % 16;
+    } else {
+      F = C ^ (B | ~D);
+      G = (7 * I) % 16;
+    }
+    uint32_t Temp = D;
+    D = C;
+    C = B;
+    B = B + rotl(A + F + SineTable[I] + M[G], Shifts[I]);
+    A = Temp;
+  }
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+}
+
+void Md5::update(const uint8_t *Data, size_t Len) {
+  BitCount += static_cast<uint64_t>(Len) * 8;
+  while (Len > 0) {
+    size_t Space = 64 - BufferLen;
+    size_t Take = Len < Space ? Len : Space;
+    std::memcpy(Buffer + BufferLen, Data, Take);
+    BufferLen += Take;
+    Data += Take;
+    Len -= Take;
+    if (BufferLen == 64) {
+      processBlock(Buffer);
+      BufferLen = 0;
+    }
+  }
+}
+
+std::vector<uint8_t> Md5::final128() {
+  uint64_t Bits = BitCount;
+  // Padding: 0x80, zeros, then the 64-bit length.
+  uint8_t Pad = 0x80;
+  update(&Pad, 1);
+  uint8_t Zero = 0;
+  while (BufferLen != 56)
+    update(&Zero, 1);
+  // Length bytes bypass the counter.
+  uint8_t LenBytes[8];
+  for (unsigned I = 0; I < 8; ++I)
+    LenBytes[I] = static_cast<uint8_t>(Bits >> (8 * I));
+  std::memcpy(Buffer + 56, LenBytes, 8);
+  processBlock(Buffer);
+  BufferLen = 0;
+
+  std::vector<uint8_t> Digest(16);
+  for (unsigned I = 0; I < 4; ++I)
+    for (unsigned J = 0; J < 4; ++J)
+      Digest[I * 4 + J] = static_cast<uint8_t>(State[I] >> (8 * J));
+  return Digest;
+}
+
+uint64_t Md5::final64() {
+  std::vector<uint8_t> Digest = final128();
+  uint64_t Value = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(Digest[I]) << (8 * I);
+  return Value;
+}
+
+std::string Md5::hex(const std::vector<uint8_t> &Digest) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out;
+  for (uint8_t Byte : Digest) {
+    Out += Digits[Byte >> 4];
+    Out += Digits[Byte & 0xF];
+  }
+  return Out;
+}

@@ -1,0 +1,228 @@
+//===- Md5sumWorkload.cpp - Figure 6a program -----------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// md5sum (paper §2, §5, Figure 1): the main loop opens each input file,
+// computes its MD5 digest, prints it, and closes the file. COMMSET
+// annotations let distinct files' operations commute (FSET predicated on
+// the loop induction variable), reads commute across iterations through
+// the exported READB named block, and printing commute with itself (SELF)
+// unless deterministic output is wanted — exactly the paper's running
+// example. Files are an in-memory VirtualFs (substitution documented in
+// DESIGN.md).
+//
+// Paper results to reproduce: DOALL+Lib 7.6x, PS-DSWP 5.8x on 8 threads;
+// without COMMSET the loop does not parallelize.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+#include "commset/Workloads/Kernels.h"
+
+#include <cstring>
+#include <mutex>
+
+using namespace commset;
+
+namespace {
+
+const char *Md5Source = R"(
+extern ptr fs_open(int fileid);
+extern int fs_read(ptr f, ptr buf, int n);
+extern void fs_close(ptr f);
+extern ptr buf_alloc(int n);
+extern void buf_free(ptr b);
+extern ptr md5_init();
+extern void md5_update(ptr st, ptr buf, int n);
+extern int md5_final(ptr st);
+extern void print_digest(int i, int d);
+#pragma commset effects(fs_open, malloc, reads(fs), writes(fs))
+#pragma commset effects(fs_read, argmem, reads(fs), writes(fs))
+#pragma commset effects(fs_close, reads(fs), writes(fs))
+#pragma commset effects(buf_alloc, malloc)
+#pragma commset effects(buf_free, argmem)
+#pragma commset effects(md5_init, malloc)
+#pragma commset effects(md5_update, argmem)
+#pragma commset effects(md5_final, argmem)
+#pragma commset effects(print_digest, reads(console), writes(console))
+#pragma commset decl(FSET)
+#pragma commset decl(SSET, self)
+#pragma commset predicate(FSET, (int i1), (int i2), i1 != i2)
+#pragma commset predicate(SSET, (int i1), (int i2), i1 != i2)
+#pragma commset namedarg(READB)
+void mdfile(ptr st, ptr f, int i) {
+  ptr buf = buf_alloc(4096);
+  int n = 1;
+  while (n > 0) {
+    #pragma commset namedblock(READB)
+    {
+      n = fs_read(f, buf, 4096);
+    }
+    if (n > 0) {
+      md5_update(st, buf, n);
+    }
+  }
+  buf_free(buf);
+}
+void main_loop(int nfiles) {
+  for (int i = 0; i < nfiles; i = i + 1) {
+    ptr f;
+    #pragma commset member(SELF, FSET(i))
+    {
+      f = fs_open(i);
+    }
+    ptr st = md5_init();
+    #pragma commset enable(READB: SSET(i), FSET(i))
+    mdfile(st, f, i);
+    int d = md5_final(st);
+    #pragma commset member(SELF, FSET(i))
+    {
+      print_digest(i, d);
+      fs_close(f);
+    }
+  }
+}
+)";
+
+class Md5sumWorkload : public Workload {
+public:
+  Md5sumWorkload() : Fs(512, 48 * 1024, 32 * 1024) {}
+
+  const char *name() const override { return "md5sum"; }
+
+  std::string source(const std::string &Variant) const override {
+    std::string Src = Md5Source;
+    if (Variant == "noself") {
+      // Deterministic digests (paper §2): the print block keeps FSET but
+      // loses SELF, forcing in-order output.
+      size_t Pos = Src.rfind("#pragma commset member(SELF, FSET(i))");
+      Src.replace(Pos, strlen("#pragma commset member(SELF, FSET(i))"),
+                  "#pragma commset member(FSET(i))");
+      return Src;
+    }
+    if (Variant == "plain")
+      return stripCommsetAnnotations(Src);
+    return Src;
+  }
+
+  int defaultScale() const override { return 256; }
+
+  void registerNatives(NativeRegistry &Natives) override {
+    Natives.add(
+        "fs_open",
+        [this](const RtValue *Args, unsigned) {
+          return RtValue::ofPtr(
+              Fs.open(static_cast<unsigned>(Args[0].I % Fs.numFiles())));
+        },
+        600, "fs");
+    Natives.add(
+        "fs_read",
+        [this](const RtValue *Args, unsigned) {
+          auto *H = static_cast<VirtualFs::Handle *>(Args[0].P);
+          auto *Buf = static_cast<uint8_t *>(Args[1].P);
+          return RtValue::ofInt(static_cast<int64_t>(
+              Fs.read(H, Buf, static_cast<size_t>(Args[2].I))));
+        },
+        [](const RtValue *Args, unsigned) {
+          return 250 + static_cast<uint64_t>(Args[2].I) / 20;
+        });
+    Natives.add(
+        "fs_close", [](const RtValue *, unsigned) { return RtValue(); },
+        300, "fs");
+    Natives.add(
+        "buf_alloc",
+        [this](const RtValue *Args, unsigned) {
+          return RtValue::ofPtr(allocBuffer(Args[0].I));
+        },
+        150);
+    Natives.add(
+        "buf_free", [](const RtValue *, unsigned) { return RtValue(); },
+        100);
+    Natives.add(
+        "md5_init",
+        [this](const RtValue *, unsigned) {
+          return RtValue::ofPtr(allocState());
+        },
+        200);
+    Natives.add(
+        "md5_update",
+        [](const RtValue *Args, unsigned) {
+          auto *St = static_cast<Md5 *>(Args[0].P);
+          St->update(static_cast<const uint8_t *>(Args[1].P),
+                     static_cast<size_t>(Args[2].I));
+          return RtValue();
+        },
+        [](const RtValue *Args, unsigned) {
+          // MD5 throughput: ~0.45 ns/byte on the paper-era machine.
+          return 100 + static_cast<uint64_t>(Args[2].I) * 9 / 20;
+        });
+    Natives.add(
+        "md5_final",
+        [](const RtValue *Args, unsigned) {
+          auto *St = static_cast<Md5 *>(Args[0].P);
+          return RtValue::ofInt(
+              static_cast<int64_t>(St->final64() & 0x7FFFFFFFFFFFFFFF));
+        },
+        300);
+    Natives.add(
+        "print_digest",
+        [this](const RtValue *Args, unsigned) {
+          std::lock_guard<std::mutex> Guard(OutM);
+          Output.push_back({Args[0].I, Args[1].I});
+          return RtValue();
+        },
+        700, "console");
+  }
+
+  std::map<std::string, double> costHints() const override {
+    return {{"fs_open", 600},     {"fs_read", 2700},  {"fs_close", 300},
+            {"buf_alloc", 150},   {"buf_free", 100},  {"md5_init", 200},
+            {"md5_update", 2000}, {"md5_final", 300}, {"print_digest", 700}};
+  }
+
+  uint64_t checksum() const override {
+    uint64_t Sum = 0;
+    for (auto [I, D] : Output)
+      Sum += static_cast<uint64_t>(I + 1) * 2654435761u ^
+             static_cast<uint64_t>(D);
+    return Sum;
+  }
+
+  std::vector<int64_t> orderedOutput() const override {
+    std::vector<int64_t> Order;
+    for (auto [I, D] : Output)
+      Order.push_back(I);
+    return Order;
+  }
+
+  void reset() override {
+    Output.clear();
+    Buffers.clear();
+    States.clear();
+  }
+
+private:
+  uint8_t *allocBuffer(int64_t Size) {
+    std::lock_guard<std::mutex> Guard(OutM);
+    Buffers.push_back(
+        std::make_unique<std::vector<uint8_t>>(static_cast<size_t>(Size)));
+    return Buffers.back()->data();
+  }
+  Md5 *allocState() {
+    std::lock_guard<std::mutex> Guard(OutM);
+    States.push_back(std::make_unique<Md5>());
+    return States.back().get();
+  }
+
+  VirtualFs Fs;
+  std::mutex OutM;
+  std::vector<std::pair<int64_t, int64_t>> Output;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> Buffers;
+  std::vector<std::unique_ptr<Md5>> States;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> commset::makeMd5sumWorkload() {
+  return std::make_unique<Md5sumWorkload>();
+}

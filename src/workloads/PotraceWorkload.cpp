@@ -1,0 +1,195 @@
+//===- PotraceWorkload.cpp - Figure 6f program ----------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// potrace (paper §5.5): vectorizes bitmaps into smooth paths. The code
+// pattern mirrors md5sum — load image, trace contours (heavy, private),
+// write the output — with an option that appends every output into a
+// single file: in that mode the SELF annotation on the write block is
+// omitted to keep writes in sequential order. Paper results: DOALL 5.5x
+// peaking at 7 threads (I/O costs dominate beyond that); the single-file
+// PS-DSWP variant is limited to 2.2x by the sequential writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+#include "commset/Workloads/Kernels.h"
+
+#include <cstring>
+#include <mutex>
+
+using namespace commset;
+
+namespace {
+
+const char *PotraceSourceMulti = R"(
+#pragma commset decl(FSET)
+#pragma commset predicate(FSET, (int a), (int b), a != b)
+extern ptr img_load(int i);
+#pragma commset effects(img_load, malloc, reads(imgfs), writes(imgfs))
+extern ptr trace_contours(ptr img);
+#pragma commset effects(trace_contours, malloc, argmem)
+extern int smooth_path(ptr path);
+#pragma commset effects(smooth_path, argmem)
+extern void img_write(int i, ptr path, int len);
+#pragma commset effects(img_write, reads(outfs), writes(outfs))
+extern void img_write_single(int i, ptr path, int len);
+#pragma commset effects(img_write_single, reads(outfs), writes(outfs))
+extern void img_free(ptr img);
+#pragma commset effects(img_free, argmem)
+void main_loop(int n) {
+  for (int i = 0; i < n; i++) {
+    ptr img;
+    #pragma commset member(SELF, FSET(i))
+    {
+      img = img_load(i);
+    }
+    ptr path = trace_contours(img);
+    int len = smooth_path(path);
+    #pragma commset member(SELF, FSET(i))
+    {
+      img_write(i, path, len);
+      img_free(img);
+    }
+  }
+}
+)";
+
+class PotraceWorkload : public Workload {
+public:
+  PotraceWorkload() {
+    // Synthetic 64x64 bitmaps: pseudo-random blobs per image id.
+    Lcg Rng(0x907ACE);
+    Images.resize(128);
+    for (auto &Img : Images) {
+      Img.resize(64 * 64 / 8);
+      for (auto &Byte : Img)
+        Byte = static_cast<uint8_t>(Rng.next(256)) &
+               static_cast<uint8_t>(Rng.next(256));
+    }
+  }
+
+  const char *name() const override { return "potrace"; }
+
+  std::string source(const std::string &Variant) const override {
+    std::string Src = PotraceSourceMulti;
+    if (Variant == "noself") {
+      // Single-output-file mode: one big output stream, writes keep
+      // sequential order and are larger (the whole multi-image container
+      // is appended, paper section 5.5).
+      size_t Pos = Src.rfind("member(SELF, FSET(i))");
+      Src.replace(Pos, strlen("member(SELF, FSET(i))"), "member(FSET(i))");
+      Pos = Src.find("img_write(i, path, len);");
+      Src.replace(Pos, strlen("img_write(i, path, len);"),
+                  "img_write_single(i, path, len);");
+      return Src;
+    }
+    if (Variant == "plain")
+      return stripCommsetAnnotations(Src);
+    return Src;
+  }
+
+  int defaultScale() const override { return 256; }
+
+  void registerNatives(NativeRegistry &Natives) override {
+    Natives.add(
+        "img_load",
+        [this](const RtValue *Args, unsigned) {
+          size_t Id = static_cast<size_t>(Args[0].I) % Images.size();
+          return RtValue::ofPtr(
+              const_cast<uint8_t *>(Images[Id].data()));
+        },
+        1100, "imgfs");
+    Natives.add(
+        "trace_contours",
+        [this](const RtValue *Args, unsigned) {
+          // Contour following: count sign changes along rows/columns and
+          // produce a synthetic path buffer.
+          auto *Bits = static_cast<const uint8_t *>(Args[0].P);
+          auto Path = std::make_unique<std::vector<int32_t>>();
+          int32_t Acc = 0;
+          for (int Pass = 0; Pass < 6; ++Pass) {
+            for (int I = 1; I < 64 * 64 / 8; ++I) {
+              int Edge = __builtin_popcount(
+                  static_cast<unsigned>(Bits[I] ^ Bits[I - 1]));
+              Acc += Edge * (Pass + 1);
+              if (Edge > 3)
+                Path->push_back(Acc);
+            }
+          }
+          Path->push_back(Acc);
+          std::lock_guard<std::mutex> Guard(M);
+          Paths.push_back(std::move(Path));
+          return RtValue::ofPtr(Paths.back()->data());
+        },
+        19000);
+    Natives.add(
+        "smooth_path",
+        [](const RtValue *Args, unsigned) {
+          auto *Points = static_cast<int32_t *>(Args[0].P);
+          // Bezier-ish smoothing over the stored accumulator trail.
+          int64_t Len = 0;
+          for (int I = 0; I < 48; ++I)
+            Len += (Points[0] * (I + 1)) >> (I % 5);
+          return RtValue::ofInt(Len & 0xFFFF);
+        },
+        6000);
+    Natives.add(
+        "img_write",
+        [this](const RtValue *Args, unsigned) {
+          std::lock_guard<std::mutex> Guard(M);
+          Written.push_back({Args[0].I, Args[2].I});
+          return RtValue();
+        },
+        3200, "outfs");
+    Natives.add(
+        "img_write_single",
+        [this](const RtValue *Args, unsigned) {
+          std::lock_guard<std::mutex> Guard(M);
+          Written.push_back({Args[0].I, Args[2].I});
+          return RtValue();
+        },
+        11000, "outfs");
+    Natives.add(
+        "img_free", [](const RtValue *, unsigned) { return RtValue(); },
+        150);
+  }
+
+  std::map<std::string, double> costHints() const override {
+    return {{"img_load", 1100},     {"trace_contours", 19000},
+            {"smooth_path", 6000},  {"img_write", 3200},
+            {"img_write_single", 11000}, {"img_free", 150}};
+  }
+
+  uint64_t checksum() const override {
+    uint64_t Sum = 0;
+    for (auto [I, Len] : Written)
+      Sum += static_cast<uint64_t>(I + 29) * 1099511628211ULL ^
+             static_cast<uint64_t>(Len);
+    return Sum;
+  }
+
+  std::vector<int64_t> orderedOutput() const override {
+    std::vector<int64_t> Order;
+    for (auto [I, Len] : Written)
+      Order.push_back(I);
+    return Order;
+  }
+
+  void reset() override {
+    Written.clear();
+    Paths.clear();
+  }
+
+private:
+  std::vector<std::vector<uint8_t>> Images;
+  std::mutex M;
+  std::vector<std::pair<int64_t, int64_t>> Written;
+  std::vector<std::unique_ptr<std::vector<int32_t>>> Paths;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> commset::makePotraceWorkload() {
+  return std::make_unique<PotraceWorkload>();
+}

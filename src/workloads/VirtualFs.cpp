@@ -1,0 +1,60 @@
+//===- VirtualFs.cpp ------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Workloads/Kernels.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace commset;
+
+VirtualFs::VirtualFs(unsigned NumFiles, size_t BaseSize, size_t SizeJitter) {
+  Files.resize(NumFiles);
+  for (unsigned FileId = 0; FileId < NumFiles; ++FileId) {
+    Lcg Rng(0x9e3779b97f4a7c15ULL ^ (FileId * 0x100000001b3ULL + 7));
+    size_t Size = BaseSize + (SizeJitter ? Rng.next(SizeJitter) : 0);
+    auto &Data = Files[FileId];
+    Data.resize(Size);
+    for (size_t I = 0; I < Size; ++I)
+      Data[I] = static_cast<uint8_t>(Rng.next(256));
+  }
+}
+
+VirtualFs::Handle *VirtualFs::open(unsigned FileId) {
+  std::lock_guard<std::mutex> Guard(M);
+  assert(FileId < Files.size() && "file id out of range");
+  auto H = std::make_unique<Handle>();
+  H->FileId = FileId;
+  H->Position = 0;
+  ++Opens;
+  Handles.push_back(std::move(H));
+  return Handles.back().get();
+}
+
+size_t VirtualFs::read(Handle *H, uint8_t *Out, size_t Len) {
+  // Handle state is private to its owner; only the content table is shared
+  // (and immutable after construction).
+  const std::vector<uint8_t> &Data = Files[H->FileId];
+  if (H->Position >= Data.size())
+    return 0;
+  size_t Take = std::min(Len, Data.size() - H->Position);
+  std::memcpy(Out, Data.data() + H->Position, Take);
+  H->Position += Take;
+  return Take;
+}
+
+void VirtualFs::close(Handle *H) {
+  // Handles are reclaimed with the VirtualFs; close is a semantic marker.
+  (void)H;
+}
+
+size_t VirtualFs::fileSize(unsigned FileId) const {
+  return Files[FileId].size();
+}
+
+const std::vector<uint8_t> &VirtualFs::contents(unsigned FileId) const {
+  return Files[FileId];
+}

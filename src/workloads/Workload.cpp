@@ -1,0 +1,51 @@
+//===- Workload.cpp -------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Workloads/Workload.h"
+
+#include "WorkloadsInternal.h"
+#include "commset/Support/StringUtils.h"
+
+using namespace commset;
+
+std::unique_ptr<Workload> commset::makeWorkload(const std::string &Name) {
+  if (Name == "md5sum")
+    return makeMd5sumWorkload();
+  if (Name == "hmmer" || Name == "456.hmmer")
+    return makeHmmerWorkload();
+  if (Name == "geti")
+    return makeGetiWorkload();
+  if (Name == "eclat")
+    return makeEclatWorkload();
+  if (Name == "em3d")
+    return makeEm3dWorkload();
+  if (Name == "potrace")
+    return makePotraceWorkload();
+  if (Name == "kmeans")
+    return makeKmeansWorkload();
+  if (Name == "url")
+    return makeUrlWorkload();
+  return nullptr;
+}
+
+std::vector<std::string> commset::workloadNames() {
+  return {"md5sum", "hmmer",   "geti",   "eclat",
+          "em3d",   "potrace", "kmeans", "url"};
+}
+
+std::string commset::stripCommsetAnnotations(const std::string &Source) {
+  std::string Out;
+  for (const std::string &Line : splitString(Source, '\n')) {
+    bool IsCommsetPragma =
+        Line.find("#pragma commset") != std::string::npos &&
+        Line.find("effects") == std::string::npos;
+    if (!IsCommsetPragma) {
+      Out += Line;
+      Out += '\n';
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,25 @@
+//===- WorkloadsInternal.h - Per-workload factories ---------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SRC_WORKLOADS_WORKLOADSINTERNAL_H
+#define COMMSET_SRC_WORKLOADS_WORKLOADSINTERNAL_H
+
+#include "commset/Workloads/Workload.h"
+
+namespace commset {
+
+std::unique_ptr<Workload> makeMd5sumWorkload();
+std::unique_ptr<Workload> makeHmmerWorkload();
+std::unique_ptr<Workload> makeGetiWorkload();
+std::unique_ptr<Workload> makeEclatWorkload();
+std::unique_ptr<Workload> makeEm3dWorkload();
+std::unique_ptr<Workload> makePotraceWorkload();
+std::unique_ptr<Workload> makeKmeansWorkload();
+std::unique_ptr<Workload> makeUrlWorkload();
+
+} // namespace commset
+
+#endif // COMMSET_SRC_WORKLOADS_WORKLOADSINTERNAL_H

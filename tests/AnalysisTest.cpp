@@ -1,0 +1,321 @@
+//===- AnalysisTest.cpp - Dominators/loops/effects/PDG tests --------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/Analysis/CallGraph.h"
+#include "commset/Analysis/Dominators.h"
+#include "commset/Analysis/Effects.h"
+#include "commset/Analysis/LoopInfo.h"
+#include "commset/Analysis/PDG.h"
+#include "commset/Analysis/SCC.h"
+#include "commset/Driver/Compilation.h"
+#include "commset/IR/Printer.h"
+#include "commset/Support/StringUtils.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace commset;
+using namespace commset::test;
+
+namespace {
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+std::unique_ptr<Compilation::LoopTarget>
+analyzeOk(Compilation &C, const std::string &Func) {
+  DiagnosticEngine Diags;
+  auto T = C.analyzeLoop(Func, Diags);
+  EXPECT_NE(T.get(), nullptr) << Diags.str();
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators / loops
+//===----------------------------------------------------------------------===//
+
+TEST(DominatorTest, DiamondAndLoop) {
+  auto C = compileOk("extern void sink(int v);\n"
+                     "void f(int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    if (i > 2) { sink(1); } else { sink(2); }\n"
+                     "  }\n"
+                     "}\n");
+  Function *F = C->module().findFunction("f");
+  F->numberInstructions();
+  DomTree DT = computeDominators(*F);
+  // Entry dominates everything.
+  for (const auto &BB : F->Blocks)
+    EXPECT_TRUE(DT.dominates(F->entry()->Id, BB->Id));
+  LoopInfo LI = LoopInfo::compute(*F, DT);
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  Loop *L = LI.topLevel()[0];
+  EXPECT_TRUE(analyzeInduction(*F, *L));
+  EXPECT_EQ(L->Induction.Step, 1);
+  EXPECT_TRUE(L->SingleHeaderExit);
+  EXPECT_NE(L->Induction.ExitCompare, nullptr);
+}
+
+TEST(DominatorTest, NestedLoops) {
+  auto C = compileOk("extern void sink(int v);\n"
+                     "void f(int n) {\n"
+                     "  for (int i = 0; i < n; i++)\n"
+                     "    for (int j = 0; j < i; j += 2)\n"
+                     "      sink(j);\n"
+                     "}\n");
+  Function *F = C->module().findFunction("f");
+  F->numberInstructions();
+  DomTree DT = computeDominators(*F);
+  LoopInfo LI = LoopInfo::compute(*F, DT);
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  Loop *Outer = LI.topLevel()[0];
+  ASSERT_EQ(Outer->SubLoops.size(), 1u);
+  Loop *Inner = Outer->SubLoops[0];
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_TRUE(analyzeInduction(*F, *Inner));
+  EXPECT_EQ(Inner->Induction.Step, 2);
+}
+
+TEST(DominatorTest, WhileLoopBreakMeansExtraExit) {
+  auto C = compileOk("extern int get();\n"
+                     "void f() {\n"
+                     "  for (int i = 0; i < 10; i++) {\n"
+                     "    if (get() == 0) break;\n"
+                     "  }\n"
+                     "}\n");
+  Function *F = C->module().findFunction("f");
+  F->numberInstructions();
+  DomTree DT = computeDominators(*F);
+  LoopInfo LI = LoopInfo::compute(*F, DT);
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  Loop *L = LI.topLevel()[0];
+  analyzeInduction(*F, *L);
+  EXPECT_FALSE(L->SingleHeaderExit);
+}
+
+//===----------------------------------------------------------------------===//
+// Effects
+//===----------------------------------------------------------------------===//
+
+TEST(EffectsTest, TransitiveSummaries) {
+  auto C = compileOk("int g;\n"
+                     "extern int rng();\n"
+                     "#pragma commset effects(rng, reads(seed), "
+                     "writes(seed))\n"
+                     "int helper() { g = g + 1; return rng(); }\n"
+                     "int top() { return helper(); }\n");
+  const EffectAnalysis &EA = C->effects();
+  Function *Top = C->module().findFunction("top");
+  const EffectSummary &S = EA.summaryFor(Top);
+  EXPECT_FALSE(S.World);
+  EXPECT_EQ(S.ReadGlobals.size(), 1u);
+  EXPECT_EQ(S.WriteGlobals.size(), 1u);
+  EXPECT_EQ(S.ReadClasses.size(), 1u);
+  EXPECT_EQ(S.WriteClasses.size(), 1u);
+}
+
+TEST(EffectsTest, MallocWrapperPropagates) {
+  auto C = compileOk("extern ptr alloc(int n);\n"
+                     "#pragma commset effects(alloc, malloc)\n"
+                     "ptr wrap(int n) { return alloc(n); }\n");
+  Function *Wrap = C->module().findFunction("wrap");
+  EXPECT_TRUE(C->effects().summaryFor(Wrap).Malloc);
+}
+
+TEST(EffectsTest, UndeclaredNativeIsWorld) {
+  auto C = compileOk("extern void mystery();\n"
+                     "void f() { mystery(); }\n");
+  Function *F = C->module().findFunction("f");
+  EXPECT_TRUE(C->effects().summaryFor(F).World);
+}
+
+TEST(PtrOriginTest, FreshRootsDontAlias) {
+  auto C = compileOk("extern ptr alloc(int n);\n"
+                     "extern void use(ptr a, ptr b);\n"
+                     "#pragma commset effects(alloc, malloc)\n"
+                     "#pragma commset effects(use, argmem)\n"
+                     "void f() {\n"
+                     "  ptr a = alloc(1);\n"
+                     "  ptr b = alloc(2);\n"
+                     "  ptr c = a;\n"
+                     "  use(a, b);\n"
+                     "  use(c, b);\n"
+                     "}\n");
+  Function *F = C->module().findFunction("f");
+  F->numberInstructions();
+  PtrOrigins PO = PtrOrigins::compute(*F, C->effects());
+  // Find the two `use` calls; their first args alias (a/c), first vs
+  // second arg never alias.
+  std::vector<Instruction *> Uses;
+  for (Instruction *Instr : F->instructions())
+    if (Instr->op() == Opcode::CallNative &&
+        Instr->Native->Name == "use")
+      Uses.push_back(Instr);
+  ASSERT_EQ(Uses.size(), 2u);
+  auto A0 = PO.classOf(Uses[0]->Operands[0]);
+  auto B0 = PO.classOf(Uses[0]->Operands[1]);
+  auto C0 = PO.classOf(Uses[1]->Operands[0]);
+  EXPECT_TRUE(PtrOrigins::mayAlias(A0, C0));
+  EXPECT_FALSE(PtrOrigins::mayAlias(A0, B0));
+}
+
+//===----------------------------------------------------------------------===//
+// PDG + Algorithm 1 on the md5sum running example
+//===----------------------------------------------------------------------===//
+
+TEST(PDGTest, Md5sumUnannotatedHasCarriedCycle) {
+  // Strip the pragmas (keep effects): without COMMSET the loop has carried
+  // memory dependences among the file operations.
+  std::string Source = md5sumSource();
+  // Remove commset decl/member/enable/namedarg/namedblock/predicate lines.
+  std::string Filtered;
+  for (const std::string &Line : splitString(Source, '\n')) {
+    bool IsCommsetPragma =
+        Line.find("#pragma commset") != std::string::npos &&
+        Line.find("effects") == std::string::npos;
+    if (!IsCommsetPragma)
+      Filtered += Line + "\n";
+  }
+  auto C = compileOk(Filtered);
+  auto T = analyzeOk(*C, "main_loop");
+  unsigned CarriedMem = 0;
+  for (const PDGEdge &E : T->G.Edges)
+    if (E.Kind == DepKind::Memory && T->G.edgeCarried(E))
+      ++CarriedMem;
+  EXPECT_GT(CarriedMem, 0u);
+}
+
+TEST(PDGTest, Md5sumAnnotatedRelaxesAllCarriedCallDeps) {
+  auto C = compileOk(md5sumSource());
+  auto T = analyzeOk(*C, "main_loop");
+  EXPECT_GT(T->Stats.UcoEdges, 0u);
+  // After Algorithm 1, no carried memory dependence between calls remains.
+  for (const PDGEdge &E : T->G.Edges) {
+    if (E.Kind != DepKind::Memory)
+      continue;
+    Instruction *Src = T->G.Nodes[E.Src];
+    Instruction *Dst = T->G.Nodes[E.Dst];
+    if (!Src->isCall() || !Dst->isCall())
+      continue;
+    EXPECT_FALSE(T->G.edgeCarried(E))
+        << "carried edge survived between " << printInstruction(*Src)
+        << " and " << printInstruction(*Dst) << "\n"
+        << T->G.dump();
+  }
+}
+
+TEST(PDGTest, Md5sumOnlyInductionCarriesRemain) {
+  auto C = compileOk(md5sumSource());
+  auto T = analyzeOk(*C, "main_loop");
+  unsigned Induction = T->L->Induction.Local;
+  for (const PDGEdge &E : T->G.Edges) {
+    if (!T->G.edgeCarried(E))
+      continue;
+    EXPECT_EQ(E.Kind, DepKind::LocalFlow) << T->G.dump();
+    EXPECT_EQ(E.LocalId, Induction) << T->G.dump();
+  }
+}
+
+TEST(PDGTest, DeterministicVariantKeepsPrintSelfDep) {
+  // Omitting SELF on the print block (paper §2: deterministic digests)
+  // leaves a carried self dependence, blocking DOALL but allowing a
+  // sequential PS-DSWP output stage.
+  std::string Source = md5sumSource();
+  size_t Pos = Source.rfind("#pragma commset member(SELF, FSET(i))");
+  ASSERT_NE(Pos, std::string::npos);
+  Source.replace(Pos, strlen("#pragma commset member(SELF, FSET(i))"),
+                 "#pragma commset member(FSET(i))");
+  auto C = compileOk(Source);
+  auto T = analyzeOk(*C, "main_loop");
+  unsigned CarriedCallDeps = 0;
+  for (const PDGEdge &E : T->G.Edges)
+    if (E.Kind == DepKind::Memory && T->G.edgeCarried(E))
+      ++CarriedCallDeps;
+  EXPECT_GT(CarriedCallDeps, 0u);
+}
+
+TEST(PDGTest, IcoAnnotationsAppear) {
+  auto C = compileOk(md5sumSource());
+  auto T = analyzeOk(*C, "main_loop");
+  // Forward carried edges between distinct members (e.g. open -> close on
+  // later iteration) are ico; backward ones uco.
+  EXPECT_GT(T->Stats.IcoEdges, 0u);
+  EXPECT_GT(T->Stats.UcoEdges, 0u);
+}
+
+TEST(SCCTest, ControlSCCFormsAndTopoOrderValid) {
+  auto C = compileOk(md5sumSource());
+  auto T = analyzeOk(*C, "main_loop");
+  const SCCResult &S = T->Sccs;
+  ASSERT_GT(S.numComponents(), 1u);
+  // Topological order: every DAG edge goes forward.
+  std::vector<unsigned> Position(S.numComponents());
+  for (unsigned I = 0; I < S.TopoOrder.size(); ++I)
+    Position[S.TopoOrder[I]] = I;
+  for (unsigned From = 0; From < S.numComponents(); ++From)
+    for (unsigned To : S.DagSuccs[From])
+      EXPECT_LT(Position[From], Position[To]);
+  // The induction update belongs to an SCC with a carried dependence.
+  int UpdateNode = T->G.indexOf(T->L->Induction.Update);
+  ASSERT_GE(UpdateNode, 0);
+  EXPECT_TRUE(S.HasCarried[S.ComponentOf[UpdateNode]]);
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness
+//===----------------------------------------------------------------------===//
+
+TEST(WellFormedTest, MemberCallingMemberRejected) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(
+      "#pragma commset decl(S)\n"
+      "extern void touch();\n"
+      "#pragma commset member(S)\n"
+      "void a() { touch(); }\n"
+      "#pragma commset member(S)\n"
+      "void b() { a(); }\n",
+      Diags);
+  EXPECT_EQ(C.get(), nullptr);
+  EXPECT_TRUE(Diags.contains("transitively calls member"));
+}
+
+TEST(WellFormedTest, CommSetGraphCycleRejected) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(
+      "#pragma commset decl(S)\n"
+      "#pragma commset decl(T)\n"
+      "extern void touch();\n"
+      "#pragma commset member(T)\n"
+      "void a() { touch(); }\n"
+      "#pragma commset member(S)\n"
+      "void b() { a(); }\n"
+      "#pragma commset member(T)\n"
+      "void c() { d(); }\n"
+      "#pragma commset member(S)\n"
+      "void d() { touch(); }\n",
+      Diags);
+  EXPECT_EQ(C.get(), nullptr);
+  EXPECT_TRUE(Diags.contains("cycle"));
+}
+
+TEST(WellFormedTest, DisjointSetsAccepted) {
+  auto C = compileOk("#pragma commset decl(S)\n"
+                     "#pragma commset decl(T)\n"
+                     "extern void touch();\n"
+                     "#pragma commset member(T)\n"
+                     "void a() { touch(); }\n"
+                     "#pragma commset member(S)\n"
+                     "void b() { a(); }\n");
+  EXPECT_NE(C.get(), nullptr);
+}
+
+} // namespace

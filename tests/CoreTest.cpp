@@ -1,0 +1,217 @@
+//===- CoreTest.cpp - COMMSET core pass unit tests ------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/Core/CommSetRegistry.h"
+#include "commset/Core/PredicateInterp.h"
+#include "commset/Driver/Compilation.h"
+#include "commset/Lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Symbolic predicate interpreter
+//===----------------------------------------------------------------------===//
+
+/// Parses a standalone C expression by wrapping it in a predicate pragma.
+ExprPtr parsePredicate(const std::string &Expr, Program &Storage) {
+  DiagnosticEngine Diags;
+  std::string Source = "#pragma commset decl(S)\n"
+                       "#pragma commset predicate(S, (int i1, int k1), "
+                       "(int i2, int k2), " +
+                       Expr + ")\n";
+  auto P = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(P->Predicates.size(), 1u);
+  Storage.Predicates = std::move(P->Predicates);
+  return std::move(Storage.Predicates[0].Predicate);
+}
+
+struct PredCase {
+  const char *Expr;
+  bool Distinct; // i1 != i2 fact available.
+  TriBool Expected;
+};
+
+class PredicateInterpTest : public ::testing::TestWithParam<PredCase> {};
+
+TEST_P(PredicateInterpTest, Evaluates) {
+  const PredCase &Case = GetParam();
+  Program Storage;
+  ExprPtr Pred = parsePredicate(Case.Expr, Storage);
+
+  std::map<std::string, SymValue> Env;
+  Env["i1"] = SymValue::affine(1);
+  Env["i2"] = SymValue::affine(Case.Distinct ? 2 : 1);
+  Env["k1"] = SymValue::opaque();
+  Env["k2"] = SymValue::opaque();
+  SymFacts Facts;
+  if (Case.Distinct)
+    Facts.Distinct.push_back({1, 2});
+
+  EXPECT_EQ(evalPredicate(Pred.get(), Env, Facts), Case.Expected)
+      << Case.Expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredicateInterpTest,
+    ::testing::Values(
+        // Distinct iterations: the Algorithm 1 assertion decides it.
+        PredCase{"i1 != i2", true, TriBool::True},
+        PredCase{"i1 == i2", true, TriBool::False},
+        // Same iteration: both contexts bind the same variable.
+        PredCase{"i1 != i2", false, TriBool::False},
+        PredCase{"i1 == i2", false, TriBool::True},
+        // Affine offsets: i1+c vs i2+c stays decidable; unequal offsets
+        // with only a distinctness fact do not.
+        PredCase{"i1 + 3 != i2 + 3", true, TriBool::True},
+        PredCase{"i1 + 1 != i2", true, TriBool::Unknown},
+        PredCase{"i1 + 1 != i2", false, TriBool::True},
+        PredCase{"i1 - 2 == i2 - 2", false, TriBool::True},
+        // Opaque terms poison only their own subterm.
+        PredCase{"k1 != k2", true, TriBool::Unknown},
+        PredCase{"i1 != i2 && k1 != k2", true, TriBool::Unknown},
+        PredCase{"i1 == i2 && k1 != k2", true, TriBool::False},
+        PredCase{"i1 != i2 || k1 != k2", true, TriBool::True},
+        // Constants fold exactly.
+        PredCase{"1 < 2", false, TriBool::True},
+        PredCase{"3 * 4 == 12", false, TriBool::True},
+        PredCase{"10 % 3 == 2", false, TriBool::False},
+        PredCase{"!(i1 != i2)", true, TriBool::False},
+        // Relational on distinct vars is not decidable from != alone.
+        PredCase{"i1 < i2", true, TriBool::Unknown},
+        PredCase{"i1 <= i1 + 1", false, TriBool::True}));
+
+//===----------------------------------------------------------------------===//
+// Registry semantics
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+TEST(RegistryTest, GroupVsSelfPairSemantics) {
+  auto C = compileOk("#pragma commset decl(G)\n"
+                     "#pragma commset decl(V, self)\n"
+                     "#pragma commset member(G, V)\n"
+                     "extern void a();\n"
+                     "#pragma commset effects(a, reads(s), writes(s))\n"
+                     "#pragma commset member(G, V)\n"
+                     "extern void b();\n"
+                     "#pragma commset effects(b, reads(s), writes(s))\n"
+                     "void f() { a(); b(); }\n");
+  const CommSetRegistry &R = C->registry();
+  // Distinct members commute through the group set only.
+  auto AB = R.commutingSets("a", "b");
+  ASSERT_EQ(AB.size(), 1u);
+  EXPECT_EQ(R.set(AB[0]).Name, "G");
+  // A member commutes with itself through the self set only.
+  auto AA = R.commutingSets("a", "a");
+  ASSERT_EQ(AA.size(), 1u);
+  EXPECT_EQ(R.set(AA[0]).Name, "V");
+}
+
+TEST(RegistryTest, ImplicitSelfSetsAreSingletons) {
+  auto C = compileOk("#pragma commset member(SELF)\n"
+                     "extern void a();\n"
+                     "#pragma commset effects(a, reads(s), writes(s))\n"
+                     "#pragma commset member(SELF)\n"
+                     "extern void b();\n"
+                     "#pragma commset effects(b, reads(s), writes(s))\n"
+                     "void f() { a(); b(); }\n");
+  const CommSetRegistry &R = C->registry();
+  EXPECT_FALSE(R.commutingSets("a", "a").empty());
+  EXPECT_FALSE(R.commutingSets("b", "b").empty());
+  // Separate SELF annotations never make two functions commute.
+  EXPECT_TRUE(R.commutingSets("a", "b").empty());
+}
+
+TEST(RegistryTest, RanksFollowDeclarationOrder) {
+  auto C = compileOk("#pragma commset decl(X)\n"
+                     "#pragma commset decl(Y)\n"
+                     "#pragma commset member(Y, X)\n"
+                     "extern void a();\n"
+                     "#pragma commset effects(a, reads(s), writes(s))\n"
+                     "void f() { a(); }\n");
+  const CommSetRegistry &R = C->registry();
+  int X = R.findSet("X");
+  int Y = R.findSet("Y");
+  ASSERT_GE(X, 0);
+  ASSERT_GE(Y, 0);
+  EXPECT_LT(R.set(X).Rank, R.set(Y).Rank);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy-chain tracing in Algorithm 1 (predicate actuals through locals)
+//===----------------------------------------------------------------------===//
+
+TEST(DepAnalysisTest, PredicateActualThroughCopyChain) {
+  // `seg` is a copy of the induction variable; predication on it must
+  // still prove cross-iteration commutativity (S is a predicated *self*
+  // set, like the paper's SSET, so it covers the block's self-pairs).
+  auto C = compileOk("#pragma commset decl(S, self)\n"
+                     "#pragma commset predicate(S, (int a), (int b), "
+                     "a != b)\n"
+                     "extern void op(int k);\n"
+                     "#pragma commset effects(op, reads(c), writes(c))\n"
+                     "void main_loop(int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    int seg = i;\n"
+                     "    int shifted = seg + 2;\n"
+                     "    #pragma commset member(S(shifted))\n"
+                     "    { op(shifted); }\n"
+                     "  }\n"
+                     "}\n");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("main_loop", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  EXPECT_GT(T->Stats.UcoEdges, 0u)
+      << "copy chain i -> seg -> shifted must reach the induction variable";
+  for (const PDGEdge &E : T->G.Edges)
+    if (E.Kind == DepKind::Memory)
+      EXPECT_FALSE(T->G.edgeCarried(E));
+}
+
+TEST(DepAnalysisTest, MultiplyDefinedCopyStaysOpaque) {
+  // `key` has two reaching definitions; the chain must NOT be traced and
+  // the dependence must survive.
+  auto C = compileOk("#pragma commset decl(S, self)\n"
+                     "#pragma commset predicate(S, (int a), (int b), "
+                     "a != b)\n"
+                     "extern void op(int k);\n"
+                     "#pragma commset effects(op, reads(c), writes(c))\n"
+                     "extern int coin(int i);\n"
+                     "#pragma commset effects(coin, pure)\n"
+                     "void main_loop(int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    int key = i;\n"
+                     "    if (coin(i) > 0) {\n"
+                     "      key = 7;\n"
+                     "    }\n"
+                     "    #pragma commset member(S(key))\n"
+                     "    { op(key); }\n"
+                     "  }\n"
+                     "}\n");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("main_loop", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  bool CarriedSurvives = false;
+  for (const PDGEdge &E : T->G.Edges)
+    if (E.Kind == DepKind::Memory && T->G.edgeCarried(E))
+      CarriedSurvives = true;
+  EXPECT_TRUE(CarriedSurvives)
+      << "key may be 7 on two different iterations; the proof must fail";
+}
+
+} // namespace

@@ -1,0 +1,447 @@
+//===- ExecTest.cpp - Interpreter and parallel executor tests -------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/Interpreter.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+
+using namespace commset;
+
+namespace {
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential interpreter
+//===----------------------------------------------------------------------===//
+
+RtValue runSeq(Compilation &C, const NativeRegistry &Natives,
+               const std::string &Fn, std::vector<RtValue> Args) {
+  auto Globals = makeGlobalImage(C.module());
+  Interpreter Interp(C.module(), Natives, Globals.data());
+  Function *F = C.module().findFunction(Fn);
+  EXPECT_NE(F, nullptr);
+  return Interp.call(F, Args);
+}
+
+TEST(InterpTest, Arithmetic) {
+  auto C = compileOk("int f(int a, int b) { return (a + b) * 3 - a % b; }");
+  NativeRegistry Natives;
+  RtValue R = runSeq(*C, Natives, "f", {RtValue::ofInt(7), RtValue::ofInt(4)});
+  EXPECT_EQ(R.I, (7 + 4) * 3 - 7 % 4);
+}
+
+TEST(InterpTest, FloatPromotion) {
+  auto C = compileOk("double f(int a) { return a / 2 + 0.5; }");
+  NativeRegistry Natives;
+  RtValue R = runSeq(*C, Natives, "f", {RtValue::ofInt(7)});
+  EXPECT_DOUBLE_EQ(R.D, 3.5);
+}
+
+TEST(InterpTest, LoopsAndCalls) {
+  auto C = compileOk("int square(int x) { return x * x; }\n"
+                     "int f(int n) {\n"
+                     "  int sum = 0;\n"
+                     "  for (int i = 1; i <= n; i++) sum += square(i);\n"
+                     "  return sum;\n"
+                     "}\n");
+  NativeRegistry Natives;
+  RtValue R = runSeq(*C, Natives, "f", {RtValue::ofInt(5)});
+  EXPECT_EQ(R.I, 1 + 4 + 9 + 16 + 25);
+}
+
+TEST(InterpTest, ShortCircuitSkipsCalls) {
+  auto C = compileOk("extern int probe(int x);\n"
+                     "int f(int a) { return a > 10 && probe(a); }");
+  int Calls = 0;
+  NativeRegistry Natives;
+  Natives.add("probe", [&](const RtValue *Args, unsigned) {
+    ++Calls;
+    return RtValue::ofInt(1);
+  });
+  RtValue R = runSeq(*C, Natives, "f", {RtValue::ofInt(3)});
+  EXPECT_EQ(R.I, 0);
+  EXPECT_EQ(Calls, 0) << "RHS must not evaluate when LHS is false";
+}
+
+TEST(InterpTest, GlobalsPersistAcrossCalls) {
+  auto C = compileOk("int g = 10;\n"
+                     "void bump() { g = g + 1; }\n"
+                     "int f() { bump(); bump(); return g; }\n");
+  NativeRegistry Natives;
+  RtValue R = runSeq(*C, Natives, "f", {});
+  EXPECT_EQ(R.I, 12);
+}
+
+TEST(InterpTest, StringLiteralToNative) {
+  auto C = compileOk("extern void log_msg(ptr s);\n"
+                     "void f() { log_msg(\"hello\"); }\n");
+  std::string Got;
+  NativeRegistry Natives;
+  Natives.add("log_msg", [&](const RtValue *Args, unsigned) {
+    Got = static_cast<const char *>(Args[0].P);
+    return RtValue();
+  });
+  runSeq(*C, Natives, "f", {});
+  EXPECT_EQ(Got, "hello");
+}
+
+TEST(InterpTest, WhileBreakContinue) {
+  auto C = compileOk("int f(int n) {\n"
+                     "  int sum = 0;\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    if (i % 2 == 0) continue;\n"
+                     "    if (i > 6) break;\n"
+                     "    sum += i;\n"
+                     "  }\n"
+                     "  return sum;\n"
+                     "}\n");
+  NativeRegistry Natives;
+  RtValue R = runSeq(*C, Natives, "f", {RtValue::ofInt(100)});
+  EXPECT_EQ(R.I, 1 + 3 + 5);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel execution harness
+//===----------------------------------------------------------------------===//
+
+/// Thread-safe recorder used as the observable side effect of toy loops.
+struct Recorder {
+  std::mutex M;
+  std::vector<std::pair<int64_t, int64_t>> Entries;
+
+  void add(int64_t I, int64_t V) {
+    std::lock_guard<std::mutex> Guard(M);
+    Entries.push_back({I, V});
+  }
+};
+
+/// Toy with record in a SELF set (out-of-order output permitted -> DOALL).
+const char *toySource(bool RecordSelf) {
+  static std::string WithSelf = std::string("extern int work(int x);\n") +
+                                "#pragma commset member(SELF)\n"
+                                "extern void record(int i, int v);\n"
+                                "#pragma commset effects(work, pure)\n"
+                                "#pragma commset effects(record, "
+                                "reads(out), writes(out))\n"
+                                "void run(int n) {\n"
+                                "  for (int i = 0; i < n; i++) {\n"
+                                "    record(i, work(i));\n"
+                                "  }\n"
+                                "}\n";
+  static std::string NoSelf = std::string("extern int work(int x);\n") +
+                              "extern void record(int i, int v);\n"
+                              "#pragma commset effects(work, pure)\n"
+                              "#pragma commset effects(record, "
+                              "reads(out), writes(out))\n"
+                              "void run(int n) {\n"
+                              "  for (int i = 0; i < n; i++) {\n"
+                              "    record(i, work(i));\n"
+                              "  }\n"
+                              "}\n";
+  return RecordSelf ? WithSelf.c_str() : NoSelf.c_str();
+}
+
+NativeRegistry makeToyNatives(Recorder &Rec) {
+  NativeRegistry Natives;
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+      },
+      /*FixedCostNs=*/20000);
+  Natives.add(
+      "record",
+      [&Rec](const RtValue *Args, unsigned) {
+        Rec.add(Args[0].I, Args[1].I);
+        return RtValue();
+      },
+      /*FixedCostNs=*/400);
+  return Natives;
+}
+
+struct ToyRun {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  std::vector<SchemeReport> Schemes;
+};
+
+ToyRun analyzeToy(bool RecordSelf, unsigned Threads, SyncMode Sync) {
+  ToyRun R;
+  R.C = compileOk(toySource(RecordSelf));
+  if (!R.C)
+    return R;
+  DiagnosticEngine Diags;
+  R.T = R.C->analyzeLoop("run", Diags);
+  EXPECT_NE(R.T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.Sync = Sync;
+  Opts.NativeCostHints = {{"work", 20000.0}, {"record", 400.0}};
+  R.Schemes = buildAllSchemes(*R.C, *R.T, Opts);
+  return R;
+}
+
+const SchemeReport *findScheme(const std::vector<SchemeReport> &Schemes,
+                               Strategy Kind) {
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Kind)
+      return &S;
+  return nullptr;
+}
+
+void verifyCompleteness(const Recorder &Rec, int64_t N) {
+  ASSERT_EQ(Rec.Entries.size(), static_cast<size_t>(N));
+  std::vector<char> Seen(N, 0);
+  for (auto [I, V] : Rec.Entries) {
+    ASSERT_GE(I, 0);
+    ASSERT_LT(I, N);
+    EXPECT_FALSE(Seen[I]) << "duplicate iteration " << I;
+    Seen[I] = 1;
+    EXPECT_EQ(V, I * I + 1) << "wrong payload for iteration " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DOALL
+//===----------------------------------------------------------------------===//
+
+TEST(DoallExecTest, AppliesOnlyWithSelfAnnotation) {
+  auto WithSelf = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(WithSelf.Schemes, Strategy::Doall);
+  ASSERT_NE(Doall, nullptr);
+  EXPECT_TRUE(Doall->Applicable) << Doall->WhyNot;
+
+  auto NoSelf = analyzeToy(false, 4, SyncMode::Mutex);
+  auto *NoDoall = findScheme(NoSelf.Schemes, Strategy::Doall);
+  ASSERT_NE(NoDoall, nullptr);
+  EXPECT_FALSE(NoDoall->Applicable)
+      << "without SELF the record self-dependence must block DOALL";
+  EXPECT_NE(NoDoall->WhyNot.find("loop-carried"), std::string::npos)
+      << NoDoall->WhyNot;
+}
+
+TEST(DoallExecTest, ThreadedCompleteAndCorrect) {
+  constexpr int64_t N = 200;
+  auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  RunOutcome Out = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives,
+                             Config);
+  EXPECT_EQ(Out.Iterations, static_cast<uint64_t>(N));
+  verifyCompleteness(Rec, N);
+}
+
+TEST(DoallExecTest, SimulatedCompleteAndSpeedsUp) {
+  constexpr int64_t N = 256;
+  auto Toy = analyzeToy(true, 8, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  Recorder RecSeq;
+  NativeRegistry NativesSeq = makeToyNatives(RecSeq);
+  RunConfig SeqConfig;
+  SeqConfig.Simulate = true;
+  RunOutcome Seq = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                             NativesSeq, SeqConfig);
+
+  Recorder RecPar;
+  NativeRegistry NativesPar = makeToyNatives(RecPar);
+  RunConfig ParConfig;
+  ParConfig.Plan = &*Doall->Plan;
+  ParConfig.Simulate = true;
+  RunOutcome Par = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                             NativesPar, ParConfig);
+
+  verifyCompleteness(RecSeq, N);
+  verifyCompleteness(RecPar, N);
+  ASSERT_GT(Par.VirtualNs, 0u);
+  double Speedup = static_cast<double>(Seq.VirtualNs) / Par.VirtualNs;
+  EXPECT_GT(Speedup, 5.0) << "8-thread DOALL on compute-bound work should "
+                             "approach linear speedup, got "
+                          << Speedup;
+  EXPECT_LT(Speedup, 8.5);
+}
+
+TEST(DoallExecTest, InductionFinalValue) {
+  auto C = compileOk("#pragma commset member(SELF)\n"
+                     "extern void touch();\n"
+                     "#pragma commset effects(touch, reads(t), writes(t))\n"
+                     "int run(int n) {\n"
+                     "  int i;\n"
+                     "  for (i = 0; i < n; i += 3) {\n"
+                     "    touch();\n"
+                     "  }\n"
+                     "  return i;\n"
+                     "}\n");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("run", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = 4;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  auto *Doall = findScheme(Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  NativeRegistry Natives;
+  Natives.add("touch", [](const RtValue *, unsigned) { return RtValue(); });
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  RunOutcome Out =
+      runScheme(*C, T->F, {RtValue::ofInt(100)}, Natives, Config);
+  // Sequential semantics: i ends at the first multiple of 3 >= 100.
+  EXPECT_EQ(Out.Result.I, 102);
+  EXPECT_EQ(Out.Iterations, 34u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline (DSWP / PS-DSWP)
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineExecTest, PsDswpAppliesWithoutSelf) {
+  auto Toy = analyzeToy(false, 4, SyncMode::Mutex);
+  auto *Ps = findScheme(Toy.Schemes, Strategy::PsDswp);
+  ASSERT_NE(Ps, nullptr);
+  EXPECT_TRUE(Ps->Applicable) << Ps->WhyNot;
+  ASSERT_GE(Ps->Plan->Stages.size(), 2u);
+  // The expensive pure work stage replicates; record stays sequential.
+  bool HasParallel = false;
+  for (const StagePlan &S : Ps->Plan->Stages)
+    HasParallel |= S.Parallel;
+  EXPECT_TRUE(HasParallel);
+}
+
+TEST(PipelineExecTest, ThreadedDeterministicOrder) {
+  constexpr int64_t N = 150;
+  auto Toy = analyzeToy(false, 4, SyncMode::Mutex);
+  auto *Ps = findScheme(Toy.Schemes, Strategy::PsDswp);
+  ASSERT_TRUE(Ps && Ps->Applicable) << Ps->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+  RunConfig Config;
+  Config.Plan = &*Ps->Plan;
+  Config.Simulate = false;
+  RunOutcome Out = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives,
+                             Config);
+  EXPECT_EQ(Out.Iterations, static_cast<uint64_t>(N));
+  verifyCompleteness(Rec, N);
+  // The record stage is sequential: iteration order must be preserved
+  // (the paper's deterministic-output guarantee).
+  for (size_t I = 0; I < Rec.Entries.size(); ++I)
+    EXPECT_EQ(Rec.Entries[I].first, static_cast<int64_t>(I))
+        << "sequential stage must run in iteration order";
+}
+
+TEST(PipelineExecTest, SimulatedSpeedup) {
+  constexpr int64_t N = 256;
+  auto Toy = analyzeToy(false, 8, SyncMode::Mutex);
+  auto *Ps = findScheme(Toy.Schemes, Strategy::PsDswp);
+  ASSERT_TRUE(Ps && Ps->Applicable) << Ps->WhyNot;
+
+  Recorder RecSeq;
+  NativeRegistry NativesSeq = makeToyNatives(RecSeq);
+  RunConfig SeqConfig;
+  RunOutcome Seq = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                             NativesSeq, SeqConfig);
+
+  Recorder RecPar;
+  NativeRegistry NativesPar = makeToyNatives(RecPar);
+  RunConfig ParConfig;
+  ParConfig.Plan = &*Ps->Plan;
+  RunOutcome Par = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                             NativesPar, ParConfig);
+
+  verifyCompleteness(RecPar, N);
+  for (size_t I = 0; I < RecPar.Entries.size(); ++I)
+    EXPECT_EQ(RecPar.Entries[I].first, static_cast<int64_t>(I));
+
+  double Speedup = static_cast<double>(Seq.VirtualNs) / Par.VirtualNs;
+  EXPECT_GT(Speedup, 3.0) << "PS-DSWP should scale the work stage";
+}
+
+TEST(PipelineExecTest, DswpTwoStageRuns) {
+  constexpr int64_t N = 100;
+  auto Toy = analyzeToy(false, 2, SyncMode::Mutex);
+  auto *Dswp = findScheme(Toy.Schemes, Strategy::Dswp);
+  ASSERT_TRUE(Dswp && Dswp->Applicable) << Dswp->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+  RunConfig Config;
+  Config.Plan = &*Dswp->Plan;
+  Config.Simulate = false;
+  runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives, Config);
+  verifyCompleteness(Rec, N);
+  for (size_t I = 0; I < Rec.Entries.size(); ++I)
+    EXPECT_EQ(Rec.Entries[I].first, static_cast<int64_t>(I));
+}
+
+//===----------------------------------------------------------------------===//
+// TM execution
+//===----------------------------------------------------------------------===//
+
+TEST(TmExecTest, TransactionalCounterCorrect) {
+  auto C = compileOk("int counter;\n"
+                     "#pragma commset decl(CSET, self)\n"
+                     "#pragma commset member(SELF)\n"
+                     "void bump() { counter = counter + 1; }\n"
+                     "extern int work(int x);\n"
+                     "#pragma commset effects(work, pure)\n"
+                     "int run(int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    work(i);\n"
+                     "    bump();\n"
+                     "  }\n"
+                     "  return counter;\n"
+                     "}\n");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("run", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.Sync = SyncMode::Tm;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  auto *Doall = findScheme(Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+  auto It = Doall->Plan->MemberSync.find("bump");
+  ASSERT_NE(It, Doall->Plan->MemberSync.end());
+  EXPECT_TRUE(It->second.TmEligible);
+
+  NativeRegistry Natives;
+  Natives.add("work", [](const RtValue *Args, unsigned) {
+    return RtValue::ofInt(Args[0].I);
+  });
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  RunOutcome Out =
+      runScheme(*C, T->F, {RtValue::ofInt(500)}, Natives, Config);
+  EXPECT_EQ(Out.Result.I, 500);
+}
+
+} // namespace

@@ -1,0 +1,435 @@
+//===- FrontendTest.cpp - Lexer/Parser/Sema unit tests --------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Lang/Lexer.h"
+#include "commset/Lang/Parser.h"
+#include "commset/Lang/Sema.h"
+#include "commset/Support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  return Lex.lexAll();
+}
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto P = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Parses and runs Sema, expecting success.
+std::unique_ptr<Program> analyzeOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto P = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Sema S(*P, Diags);
+  EXPECT_TRUE(S.run()) << Diags.str();
+  return P;
+}
+
+/// Parses and runs Sema, expecting an error containing \p Needle.
+void analyzeError(const std::string &Source, const std::string &Needle) {
+  DiagnosticEngine Diags;
+  auto P = Parser::parse(Source, Diags);
+  if (!Diags.hasErrors()) {
+    Sema S(*P, Diags);
+    S.run();
+  }
+  EXPECT_TRUE(Diags.hasErrors()) << "expected error matching: " << Needle;
+  EXPECT_TRUE(Diags.contains(Needle)) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, BasicTokens) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("int x = 42 + 3.5; // comment\nif (x <= 2) {}", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected = {
+      TokKind::KwInt,   TokKind::Identifier, TokKind::Assign,
+      TokKind::IntLiteral, TokKind::Plus,    TokKind::FloatLiteral,
+      TokKind::Semi,    TokKind::KwIf,       TokKind::LParen,
+      TokKind::Identifier, TokKind::LessEq,  TokKind::IntLiteral,
+      TokKind::RParen,  TokKind::LBrace,     TokKind::RBrace,
+      TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+  EXPECT_EQ(Toks[3].IntValue, 42);
+  EXPECT_DOUBLE_EQ(Toks[5].FloatValue, 3.5);
+}
+
+TEST(LexerTest, PragmaBrackets) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("#pragma commset decl(FSET)\nint x;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Kind, TokKind::PragmaCommset);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[1].Text, "decl");
+  EXPECT_EQ(Toks[5].Kind, TokKind::PragmaEnd);
+  EXPECT_EQ(Toks[6].Kind, TokKind::KwInt);
+}
+
+TEST(LexerTest, NonCommsetPragmaIgnored) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("#pragma once\nint x;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwInt);
+}
+
+TEST(LexerTest, StringEscapes) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("\"a\\nb\\tc\"", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Text, "a\nb\tc");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.contains("unterminated string"));
+}
+
+TEST(LexerTest, CompoundOperators) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("i++ j-- a += b -= && || == !=", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[1].Kind, TokKind::PlusPlus);
+  EXPECT_EQ(Toks[3].Kind, TokKind::MinusMinus);
+  EXPECT_EQ(Toks[5].Kind, TokKind::PlusAssign);
+  EXPECT_EQ(Toks[7].Kind, TokKind::MinusAssign);
+  EXPECT_EQ(Toks[8].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(Toks[9].Kind, TokKind::PipePipe);
+  EXPECT_EQ(Toks[10].Kind, TokKind::EqEq);
+  EXPECT_EQ(Toks[11].Kind, TokKind::NotEq);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, FunctionAndGlobal) {
+  auto P = parseOk("int g = 7;\n"
+                   "int add(int a, int b) { return a + b; }\n");
+  ASSERT_EQ(P->Globals.size(), 1u);
+  EXPECT_EQ(P->Globals[0].Name, "g");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_EQ(P->Functions[0]->Name, "add");
+  ASSERT_EQ(P->Functions[0]->Params.size(), 2u);
+  EXPECT_EQ(P->Functions[0]->Params[1].Name, "b");
+}
+
+TEST(ParserTest, ExternDecl) {
+  auto P = parseOk("extern int fs_open(int fileid);\n");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_TRUE(P->Functions[0]->IsExtern);
+  EXPECT_FALSE(P->Functions[0]->Body);
+}
+
+TEST(ParserTest, PrototypeIsExtern) {
+  auto P = parseOk("int f(int x);\n");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_TRUE(P->Functions[0]->IsExtern);
+}
+
+TEST(ParserTest, ForLoopDesugar) {
+  auto P = parseOk("void f() { for (int i = 0; i < 10; i++) { } }");
+  auto *Body = P->Functions[0]->Body.get();
+  ASSERT_EQ(Body->Body.size(), 1u);
+  auto *For = dyn_cast<ForStmt>(Body->Body[0].get());
+  ASSERT_NE(For, nullptr);
+  ASSERT_NE(For->Init.get(), nullptr);
+  ASSERT_NE(For->Step.get(), nullptr);
+  auto *Step = dyn_cast<AssignStmt>(For->Step.get());
+  ASSERT_NE(Step, nullptr);
+  EXPECT_EQ(Step->Name, "i");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto P = parseOk("int f() { return 1 + 2 * 3 == 7 && 1 < 2; }");
+  auto *Ret = cast<ReturnStmt>(P->Functions[0]->Body->Body[0].get());
+  auto *And = dyn_cast<BinaryExpr>(Ret->Value.get());
+  ASSERT_NE(And, nullptr);
+  EXPECT_EQ(And->Op, BinaryOp::LAnd);
+  auto *Eq = dyn_cast<BinaryExpr>(And->LHS.get());
+  ASSERT_NE(Eq, nullptr);
+  EXPECT_EQ(Eq->Op, BinaryOp::Eq);
+  auto *Add = dyn_cast<BinaryExpr>(Eq->LHS.get());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->Op, BinaryOp::Add);
+  auto *Mul = dyn_cast<BinaryExpr>(Add->RHS.get());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, SetAndPredicateDecls) {
+  auto P = parseOk("#pragma commset decl(FSET)\n"
+                   "#pragma commset decl(SSET, self)\n"
+                   "#pragma commset predicate(FSET, (int i1), (int i2), "
+                   "i1 != i2)\n"
+                   "#pragma commset nosync(FSET)\n");
+  ASSERT_EQ(P->SetDecls.size(), 2u);
+  EXPECT_EQ(P->SetDecls[0].Name, "FSET");
+  EXPECT_EQ(P->SetDecls[0].Kind, CommSetKind::Group);
+  EXPECT_EQ(P->SetDecls[1].Kind, CommSetKind::Self);
+  ASSERT_EQ(P->Predicates.size(), 1u);
+  EXPECT_EQ(P->Predicates[0].SetName, "FSET");
+  ASSERT_EQ(P->Predicates[0].Params1.size(), 1u);
+  EXPECT_EQ(P->Predicates[0].Params2[0].Name, "i2");
+  auto *Pred = dyn_cast<BinaryExpr>(P->Predicates[0].Predicate.get());
+  ASSERT_NE(Pred, nullptr);
+  EXPECT_EQ(Pred->Op, BinaryOp::Ne);
+  ASSERT_EQ(P->NoSyncs.size(), 1u);
+  EXPECT_EQ(P->NoSyncs[0].SetName, "FSET");
+}
+
+TEST(ParserTest, InterfaceMemberPragma) {
+  auto P = parseOk("#pragma commset decl(FSET)\n"
+                   "#pragma commset member(SELF, FSET(key))\n"
+                   "void setbit(int key) { }\n");
+  auto &F = *P->Functions[0];
+  ASSERT_EQ(F.Members.size(), 2u);
+  EXPECT_EQ(F.Members[0].SetName, "SELF");
+  EXPECT_EQ(F.Members[1].SetName, "FSET");
+  ASSERT_EQ(F.Members[1].Args.size(), 1u);
+  EXPECT_EQ(F.Members[1].Args[0], "key");
+}
+
+TEST(ParserTest, BlockMemberPragma) {
+  auto P = parseOk("void f() {\n"
+                   "  for (int i = 0; i < 4; i++) {\n"
+                   "    #pragma commset member(SELF)\n"
+                   "    { }\n"
+                   "  }\n"
+                   "}\n");
+  auto *For = cast<ForStmt>(P->Functions[0]->Body->Body[0].get());
+  auto *LoopBody = cast<BlockStmt>(For->Body.get());
+  auto *Inner = dyn_cast<BlockStmt>(LoopBody->Body[0].get());
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_EQ(Inner->Members.size(), 1u);
+  EXPECT_EQ(Inner->Members[0].SetName, "SELF");
+}
+
+TEST(ParserTest, NamedBlockAndEnable) {
+  auto P = parseOk("#pragma commset decl(SSET, self)\n"
+                   "#pragma commset namedarg(READB)\n"
+                   "void mdfile(int f) {\n"
+                   "  #pragma commset namedblock(READB)\n"
+                   "  { }\n"
+                   "}\n"
+                   "void main2() {\n"
+                   "  #pragma commset enable(READB: SSET)\n"
+                   "  mdfile(3);\n"
+                   "}\n");
+  auto &F = *P->Functions[0];
+  ASSERT_EQ(F.NamedArgs.size(), 1u);
+  EXPECT_EQ(F.NamedArgs[0], "READB");
+  auto *Inner = cast<BlockStmt>(F.Body->Body[0].get());
+  EXPECT_EQ(Inner->NamedBlock, "READB");
+  auto &Main = *P->Functions[1];
+  auto *CallSt = cast<ExprStmt>(Main.Body->Body[0].get());
+  ASSERT_EQ(CallSt->Enables.size(), 1u);
+  EXPECT_EQ(CallSt->Enables[0].BlockName, "READB");
+  ASSERT_EQ(CallSt->Enables[0].Sets.size(), 1u);
+  EXPECT_EQ(CallSt->Enables[0].Sets[0].SetName, "SSET");
+}
+
+TEST(ParserTest, DanglingPragmaError) {
+  DiagnosticEngine Diags;
+  Parser::parse("#pragma commset member(SELF)\n", Diags);
+  EXPECT_TRUE(Diags.contains("dangling COMMSET pragma"));
+}
+
+TEST(ParserTest, PragmaOnGlobalError) {
+  DiagnosticEngine Diags;
+  Parser::parse("#pragma commset member(SELF)\nint g;\n", Diags);
+  EXPECT_TRUE(Diags.contains("cannot annotate a global variable"));
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, TypesPropagate) {
+  auto P = analyzeOk("double f(int a) { double x = a + 0.5; return x; }");
+  auto *D = cast<DeclStmt>(P->Functions[0]->Body->Body[0].get());
+  EXPECT_EQ(D->Init->Type, TypeKind::Double);
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  analyzeError("void f() { x = 1; }", "undeclared variable");
+}
+
+TEST(SemaTest, UndeclaredFunction) {
+  analyzeError("void f() { g(); }", "undeclared function");
+}
+
+TEST(SemaTest, ArgumentCountMismatch) {
+  analyzeError("int g(int a) { return a; } void f() { g(1, 2); }",
+               "expects 1 arguments, got 2");
+}
+
+TEST(SemaTest, PtrTypeStrict) {
+  analyzeError("extern ptr mk(); void f() { int x = 0; ptr p = mk(); "
+               "x = p; }",
+               "cannot convert ptr to int");
+}
+
+TEST(SemaTest, GlobalResolution) {
+  auto P = analyzeOk("int g; void f() { g = 3; int l = g; }");
+  auto *Assign = cast<AssignStmt>(P->Functions[0]->Body->Body[0].get());
+  EXPECT_TRUE(Assign->IsGlobal);
+  auto *Decl = cast<DeclStmt>(P->Functions[0]->Body->Body[1].get());
+  auto *Ref = cast<VarRefExpr>(Decl->Init.get());
+  EXPECT_TRUE(Ref->IsGlobal);
+}
+
+TEST(SemaTest, UndeclaredSet) {
+  analyzeError("#pragma commset member(NOSET)\nvoid f() { }\n",
+               "undeclared COMMSET");
+}
+
+TEST(SemaTest, PredicateArityMismatch) {
+  analyzeError("#pragma commset decl(S)\n"
+               "#pragma commset predicate(S, (int a), (int b), a != b)\n"
+               "#pragma commset member(S(x, y))\n"
+               "void f(int x, int y) { }\n",
+               "expects 1 arguments, member supplies 2");
+}
+
+TEST(SemaTest, PredicateMustBePure) {
+  analyzeError("int g;\n"
+               "#pragma commset decl(S)\n"
+               "#pragma commset predicate(S, (int a), (int b), a != g)\n",
+               "must be pure");
+}
+
+TEST(SemaTest, PredicateParamListLengths) {
+  analyzeError("#pragma commset decl(S)\n"
+               "#pragma commset predicate(S, (int a), (int b, int c), 1)\n",
+               "same length");
+}
+
+TEST(SemaTest, InterfaceArgMustBeParam) {
+  analyzeError("#pragma commset decl(S)\n"
+               "#pragma commset predicate(S, (int a), (int b), a != b)\n"
+               "#pragma commset member(S(z))\n"
+               "void f(int x) { }\n",
+               "must name a parameter");
+}
+
+TEST(SemaTest, SelfWithArgsRejected) {
+  analyzeError("#pragma commset member(SELF(x))\nvoid f(int x) { }\n",
+               "implicit SELF set cannot take predicate arguments");
+}
+
+TEST(SemaTest, ReturnInsideCommutativeBlock) {
+  analyzeError("#pragma commset decl(S)\n"
+               "int f() {\n"
+               "  #pragma commset member(S)\n"
+               "  { return 1; }\n"
+               "}\n",
+               "return cannot appear inside a commutative block");
+}
+
+TEST(SemaTest, BreakEscapingCommutativeBlock) {
+  analyzeError("#pragma commset decl(S)\n"
+               "void f() {\n"
+               "  while (1) {\n"
+               "    #pragma commset member(S)\n"
+               "    { break; }\n"
+               "  }\n"
+               "}\n",
+               "cannot escape a commutative block");
+}
+
+TEST(SemaTest, BreakInsideLoopInsideCommutativeBlockOk) {
+  analyzeOk("#pragma commset decl(S)\n"
+            "void f() {\n"
+            "  #pragma commset member(S)\n"
+            "  { while (1) { break; } }\n"
+            "}\n");
+}
+
+TEST(SemaTest, NamedBlockMustBeExported) {
+  analyzeError("void f() {\n"
+               "  #pragma commset namedblock(B)\n"
+               "  { }\n"
+               "}\n",
+               "not exported via COMMSETNAMEDARG");
+}
+
+TEST(SemaTest, NamedArgWithoutBlock) {
+  analyzeError("#pragma commset namedarg(B)\nvoid f() { }\n",
+               "does not match any named block");
+}
+
+TEST(SemaTest, EnableUnknownNamedArg) {
+  analyzeError("#pragma commset decl(S, self)\n"
+               "void g() { }\n"
+               "void f() {\n"
+               "  #pragma commset enable(B: S)\n"
+               "  g();\n"
+               "}\n",
+               "does not export a named block");
+}
+
+TEST(SemaTest, Md5sumStyleProgramAnalyzes) {
+  // A close transliteration of the paper's Figure 1 running example.
+  analyzeOk(
+      "extern ptr fs_open(int fileid);\n"
+      "extern int fs_read(ptr f, ptr buf, int n);\n"
+      "extern void fs_close(ptr f);\n"
+      "extern ptr buf_alloc(int n);\n"
+      "extern void buf_free(ptr b);\n"
+      "extern void md5_update(ptr buf, int n);\n"
+      "extern void print_digest(int i);\n"
+      "#pragma commset decl(FSET)\n"
+      "#pragma commset decl(SSET, self)\n"
+      "#pragma commset predicate(FSET, (int i1), (int i2), i1 != i2)\n"
+      "#pragma commset predicate(SSET, (int i1), (int i2), i1 != i2)\n"
+      "#pragma commset namedarg(READB)\n"
+      "void mdfile(ptr f, int i) {\n"
+      "  ptr buf = buf_alloc(4096);\n"
+      "  int n = 1;\n"
+      "  while (n > 0) {\n"
+      "    #pragma commset namedblock(READB)\n"
+      "    {\n"
+      "      n = fs_read(f, buf, 4096);\n"
+      "    }\n"
+      "    md5_update(buf, n);\n"
+      "  }\n"
+      "  buf_free(buf);\n"
+      "}\n"
+      "void main_loop(int nfiles) {\n"
+      "  for (int i = 0; i < nfiles; i++) {\n"
+      "    ptr f;\n"
+      "    #pragma commset member(SELF, FSET(i))\n"
+      "    {\n"
+      "      f = fs_open(i);\n"
+      "    }\n"
+      "    #pragma commset enable(READB: SSET(i), FSET(i))\n"
+      "    mdfile(f, i);\n"
+      "    #pragma commset member(SELF, FSET(i))\n"
+      "    {\n"
+      "      print_digest(i);\n"
+      "      fs_close(f);\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+//===- LowerTest.cpp - AST->IR lowering tests -----------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/IR/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+using namespace commset::test;
+
+namespace {
+
+TEST(LowerTest, SimpleFunction) {
+  auto C = compile("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(C.Mod);
+  Function *F = C.Mod->findFunction("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->NumParams, 2u);
+  EXPECT_EQ(F->ReturnType, IRType::I64);
+  // Entry block plus the dead continuation block opened after `return`.
+  ASSERT_GE(F->Blocks.size(), 1u);
+  // ldloc a, ldloc b, add, ret.
+  EXPECT_EQ(F->Blocks[0]->Instrs.size(), 4u);
+  EXPECT_EQ(F->Blocks[0]->Instrs[2]->op(), Opcode::Add);
+  EXPECT_EQ(F->Blocks[0]->Instrs[3]->op(), Opcode::Ret);
+}
+
+TEST(LowerTest, GlobalInitAndAccess) {
+  auto C = compile("int g = -3;\n"
+                   "double h = 2.5;\n"
+                   "void f() { g = g + 1; }\n");
+  ASSERT_TRUE(C.Mod);
+  ASSERT_EQ(C.Mod->Globals.size(), 2u);
+  EXPECT_EQ(C.Mod->Globals[0].IntInit, -3);
+  EXPECT_DOUBLE_EQ(C.Mod->Globals[1].FloatInit, 2.5);
+  Function *F = C.Mod->findFunction("f");
+  bool HasLoadGlobal = false, HasStoreGlobal = false;
+  for (Instruction *Instr : F->instructions()) {
+    HasLoadGlobal |= Instr->op() == Opcode::LoadGlobal;
+    HasStoreGlobal |= Instr->op() == Opcode::StoreGlobal;
+  }
+  EXPECT_TRUE(HasLoadGlobal);
+  EXPECT_TRUE(HasStoreGlobal);
+}
+
+TEST(LowerTest, NumericPromotion) {
+  auto C = compile("double f(int a) { return a + 0.5; }");
+  ASSERT_TRUE(C.Mod);
+  Function *F = C.Mod->findFunction("f");
+  bool HasIntToFp = false;
+  for (Instruction *Instr : F->instructions()) {
+    HasIntToFp |= Instr->op() == Opcode::IntToFp;
+    if (Instr->op() == Opcode::Add)
+      EXPECT_EQ(Instr->type(), IRType::F64);
+  }
+  EXPECT_TRUE(HasIntToFp);
+}
+
+TEST(LowerTest, ShortCircuitCreatesControlFlow) {
+  auto C = compile("extern int probe(int x);\n"
+                   "int f(int a) { return a > 0 && probe(a); }");
+  ASSERT_TRUE(C.Mod);
+  Function *F = C.Mod->findFunction("f");
+  // Short-circuit must not call probe when a <= 0: the call lives in a
+  // separate block.
+  EXPECT_GE(F->Blocks.size(), 4u);
+}
+
+TEST(LowerTest, ForLoopShape) {
+  auto C = compile("extern void sink(int v);\n"
+                   "void f(int n) { for (int i = 0; i < n; i++) sink(i); }");
+  ASSERT_TRUE(C.Mod);
+  Function *F = C.Mod->findFunction("f");
+  // entry, head, body, step, exit at minimum.
+  EXPECT_GE(F->Blocks.size(), 5u);
+  // The loop has a back edge: some block branches to an earlier block.
+  bool HasBackEdge = false;
+  for (const auto &BB : F->Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      HasBackEdge |= Succ->Id <= BB->Id;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(LowerTest, BreakContinue) {
+  auto C = compile("extern void sink(int v);\n"
+                   "void f(int n) {\n"
+                   "  for (int i = 0; i < n; i++) {\n"
+                   "    if (i == 3) continue;\n"
+                   "    if (i == 7) break;\n"
+                   "    sink(i);\n"
+                   "  }\n"
+                   "}\n");
+  ASSERT_TRUE(C.Mod); // Verifier inside compile() checks structure.
+}
+
+TEST(LowerTest, NativeEffectsLowered) {
+  auto C = compile("extern int rng_next();\n"
+                   "extern void log_pkt(int x);\n"
+                   "#pragma commset effects(rng_next, reads(rng), "
+                   "writes(rng))\n"
+                   "void f() { log_pkt(rng_next()); }\n");
+  ASSERT_TRUE(C.Mod);
+  NativeDecl *Rng = C.Mod->findNative("rng_next");
+  ASSERT_NE(Rng, nullptr);
+  EXPECT_FALSE(Rng->Effects.World);
+  EXPECT_EQ(Rng->Effects.ReadClasses.size(), 1u);
+  EXPECT_EQ(Rng->Effects.WriteClasses.size(), 1u);
+  NativeDecl *Log = C.Mod->findNative("log_pkt");
+  ASSERT_NE(Log, nullptr);
+  EXPECT_TRUE(Log->Effects.World); // No effects declared -> world.
+}
+
+TEST(LowerTest, RegionExtractionBasic) {
+  auto C = compile("#pragma commset decl(S)\n"
+                   "extern int get(int k);\n"
+                   "void f(int n) {\n"
+                   "  for (int i = 0; i < n; i++) {\n"
+                   "    int v;\n"
+                   "    #pragma commset member(S)\n"
+                   "    {\n"
+                   "      v = get(i);\n"
+                   "    }\n"
+                   "  }\n"
+                   "}\n");
+  ASSERT_TRUE(C.Mod);
+  // One region function extracted.
+  Function *Region = nullptr;
+  for (const auto &F : C.Mod->Functions)
+    if (F->IsRegion)
+      Region = F.get();
+  ASSERT_NE(Region, nullptr);
+  EXPECT_EQ(Region->ReturnType, IRType::I64); // live-out v.
+  ASSERT_EQ(Region->Members.size(), 1u);
+  EXPECT_EQ(Region->Members[0].SetName, "S");
+  // Region takes i (read inside).
+  EXPECT_EQ(Region->NumParams, 1u);
+  EXPECT_EQ(Region->Locals[0].Name, "i");
+}
+
+TEST(LowerTest, RegionPredicateArgsBecomeParams) {
+  auto C = compile("#pragma commset decl(S)\n"
+                   "#pragma commset predicate(S, (int a), (int b), a != b)\n"
+                   "extern void touch();\n"
+                   "void f(int n) {\n"
+                   "  for (int i = 0; i < n; i++) {\n"
+                   "    #pragma commset member(S(i))\n"
+                   "    {\n"
+                   "      touch();\n"
+                   "    }\n"
+                   "  }\n"
+                   "}\n");
+  ASSERT_TRUE(C.Mod);
+  Function *Region = nullptr;
+  for (const auto &F : C.Mod->Functions)
+    if (F->IsRegion)
+      Region = F.get();
+  ASSERT_NE(Region, nullptr);
+  // i is a parameter even though the block never reads it.
+  EXPECT_EQ(Region->NumParams, 1u);
+  ASSERT_EQ(Region->Members.size(), 1u);
+  ASSERT_EQ(Region->Members[0].ArgParams.size(), 1u);
+  EXPECT_EQ(Region->Members[0].ArgParams[0], 0u);
+}
+
+TEST(LowerTest, RegionTwoLiveOutsRejected) {
+  DiagnosticEngine Diags;
+  auto P = Parser::parse("#pragma commset decl(S)\n"
+                         "extern int get(int k);\n"
+                         "void f() {\n"
+                         "  int a; int b;\n"
+                         "  #pragma commset member(S)\n"
+                         "  {\n"
+                         "    a = get(0);\n"
+                         "    b = get(1);\n"
+                         "  }\n"
+                         "}\n",
+                         Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  Sema S(*P, Diags);
+  ASSERT_TRUE(S.run()) << Diags.str();
+  ASSERT_TRUE(specializeNamedBlocks(*P, Diags));
+  auto Mod = lowerProgram(*P, Diags);
+  EXPECT_EQ(Mod.get(), nullptr);
+  EXPECT_TRUE(Diags.contains("at most one live-out"));
+}
+
+TEST(LowerTest, NestedRegions) {
+  auto C = compile("#pragma commset decl(S)\n"
+                   "#pragma commset decl(T)\n"
+                   "extern void touch(int k);\n"
+                   "void f(int n) {\n"
+                   "  #pragma commset member(S)\n"
+                   "  {\n"
+                   "    touch(0);\n"
+                   "    #pragma commset member(T)\n"
+                   "    {\n"
+                   "      touch(1);\n"
+                   "    }\n"
+                   "  }\n"
+                   "}\n");
+  ASSERT_TRUE(C.Mod);
+  unsigned Regions = 0;
+  for (const auto &F : C.Mod->Functions)
+    Regions += F->IsRegion;
+  EXPECT_EQ(Regions, 2u);
+}
+
+TEST(LowerTest, EnabledCallInlinesNamedBlock) {
+  auto C = compile(md5sumSource());
+  ASSERT_TRUE(C.Mod);
+  // The enabled mdfile call is inlined into main_loop; the READB named
+  // block becomes a commutative region of main_loop, member of SSET and
+  // FSET, bound to the client induction variable.
+  Function *ReadRegion = nullptr;
+  for (const auto &F : C.Mod->Functions) {
+    if (!F->IsRegion || F->Name.find("main_loop") != 0)
+      continue;
+    for (const MemberInstance &MI : F->Members)
+      if (MI.SetName == "SSET")
+        ReadRegion = F.get();
+  }
+  ASSERT_NE(ReadRegion, nullptr);
+  std::set<std::string> SetNames;
+  for (const MemberInstance &MI : ReadRegion->Members)
+    SetNames.insert(MI.SetName);
+  EXPECT_TRUE(SetNames.count("SSET"));
+  EXPECT_TRUE(SetNames.count("FSET"));
+  // The predicate argument binds the client's `i`.
+  for (const MemberInstance &MI : ReadRegion->Members) {
+    if (MI.SetName != "FSET")
+      continue;
+    ASSERT_EQ(MI.ArgParams.size(), 1u);
+    EXPECT_EQ(ReadRegion->Locals[MI.ArgParams[0]].Name, "i");
+  }
+}
+
+TEST(LowerTest, Md5sumRegionInventory) {
+  auto C = compile(md5sumSource());
+  ASSERT_TRUE(C.Mod);
+  // main_loop extracts three regions: the fopen block, the print+close
+  // block, and the inlined READB block.
+  unsigned MainRegions = 0;
+  for (const auto &F : C.Mod->Functions)
+    if (F->IsRegion && F->Name.find("main_loop") == 0)
+      ++MainRegions;
+  EXPECT_EQ(MainRegions, 3u);
+  // The original mdfile keeps its un-enabled named block inline (no
+  // members -> no region) and is unchanged.
+  Function *Orig = C.Mod->findFunction("mdfile");
+  ASSERT_NE(Orig, nullptr);
+  EXPECT_TRUE(Orig->Members.empty());
+}
+
+TEST(LowerTest, PrinterProducesStableText) {
+  auto C = compile("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(C.Mod);
+  std::string Text = printModule(*C.Mod);
+  EXPECT_NE(Text.find("func i64 add(i64 $a, i64 $b)"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("add i64"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- RuntimeTest.cpp - Queue/lock/STM substrate tests -------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/Locks.h"
+#include "commset/Runtime/SpscQueue.h"
+#include "commset/Runtime/Stm.h"
+#include "commset/Runtime/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+using namespace commset;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SPSC queue
+//===----------------------------------------------------------------------===//
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> Q(8);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Q.tryPush(I));
+  EXPECT_FALSE(Q.tryPush(99)) << "queue should be full";
+  for (int I = 0; I < 8; ++I) {
+    int V = -1;
+    EXPECT_TRUE(Q.tryPop(V));
+    EXPECT_EQ(V, I);
+  }
+  int V;
+  EXPECT_FALSE(Q.tryPop(V)) << "queue should be empty";
+}
+
+TEST(SpscQueueTest, WrapAround) {
+  SpscQueue<int> Q(4);
+  for (int Round = 0; Round < 100; ++Round) {
+    EXPECT_TRUE(Q.tryPush(Round));
+    EXPECT_TRUE(Q.tryPush(Round + 1000));
+    int A, B;
+    EXPECT_TRUE(Q.tryPop(A));
+    EXPECT_TRUE(Q.tryPop(B));
+    EXPECT_EQ(A, Round);
+    EXPECT_EQ(B, Round + 1000);
+  }
+}
+
+TEST(SpscQueueTest, CrossThreadStress) {
+  // Property: all pushed values arrive exactly once, in order, across a
+  // real producer/consumer thread pair.
+  constexpr int N = 200000;
+  SpscQueue<int> Q(256);
+  long long Sum = 0;
+  bool Ordered = true;
+  std::thread Consumer([&] {
+    int Last = -1;
+    for (int I = 0; I < N; ++I) {
+      int V = Q.pop();
+      Ordered &= (V == Last + 1);
+      Last = V;
+      Sum += V;
+    }
+  });
+  for (int I = 0; I < N; ++I)
+    Q.push(I);
+  Consumer.join();
+  EXPECT_TRUE(Ordered);
+  EXPECT_EQ(Sum, static_cast<long long>(N) * (N - 1) / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Locks
+//===----------------------------------------------------------------------===//
+
+TEST(LockTest, SpinLockMutualExclusion) {
+  SpinLock Lock;
+  long long Counter = 0;
+  std::vector<std::function<void()>> Tasks;
+  for (int T = 0; T < 4; ++T)
+    Tasks.push_back([&] {
+      for (int I = 0; I < 20000; ++I) {
+        Lock.lock();
+        ++Counter;
+        Lock.unlock();
+      }
+    });
+  runParallel(Tasks);
+  EXPECT_EQ(Counter, 4 * 20000);
+}
+
+TEST(LockTest, RankedAcquisitionNoDeadlock) {
+  // Two threads repeatedly acquiring overlapping rank sets in ascending
+  // order must not deadlock.
+  CommSetLockManager Locks(3, LockMode::Mutex);
+  std::vector<std::function<void()>> Tasks;
+  long long Counter = 0;
+  std::vector<unsigned> RanksA = {0, 1};
+  std::vector<unsigned> RanksB = {0, 1, 2};
+  for (int T = 0; T < 2; ++T)
+    Tasks.push_back([&, T] {
+      const auto &Ranks = T == 0 ? RanksA : RanksB;
+      for (int I = 0; I < 10000; ++I) {
+        Locks.acquire(Ranks);
+        ++Counter;
+        Locks.release(Ranks);
+      }
+    });
+  runParallel(Tasks);
+  EXPECT_EQ(Counter, 20000);
+}
+
+TEST(LockTest, NoneModeIsNoOp) {
+  CommSetLockManager Locks(2, LockMode::None);
+  std::vector<unsigned> Ranks = {0, 1};
+  Locks.acquire(Ranks);
+  Locks.release(Ranks); // Must not block or crash.
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// STM
+//===----------------------------------------------------------------------===//
+
+TEST(StmTest, ReadYourOwnWrite) {
+  StmSpace Space;
+  uint64_t X = 5;
+  Stm Tx(Space);
+  Tx.begin();
+  EXPECT_EQ(Tx.read(&X), 5u);
+  Tx.write(&X, 7);
+  EXPECT_EQ(Tx.read(&X), 7u);
+  EXPECT_TRUE(Tx.commit());
+  EXPECT_EQ(X, 7u);
+}
+
+TEST(StmTest, ReadOnlyCommits) {
+  StmSpace Space;
+  uint64_t X = 42;
+  Stm Tx(Space);
+  Tx.begin();
+  EXPECT_EQ(Tx.read(&X), 42u);
+  EXPECT_TRUE(Tx.commit());
+}
+
+TEST(StmTest, ConflictingIncrementsSerializable) {
+  // Classic counter test: concurrent transactional increments must not
+  // lose updates (serializability property).
+  StmSpace Space;
+  uint64_t Counter = 0;
+  constexpr int PerThread = 5000;
+  std::vector<std::function<void()>> Tasks;
+  for (int T = 0; T < 4; ++T)
+    Tasks.push_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        Stm Tx(Space);
+        do {
+          Tx.begin();
+          uint64_t V = Tx.read(&Counter);
+          Tx.write(&Counter, V + 1);
+        } while (!Tx.commit());
+      }
+    });
+  runParallel(Tasks);
+  EXPECT_EQ(Counter, 4u * PerThread);
+}
+
+TEST(StmTest, DisjointWritesBothCommitFirstTry) {
+  StmSpace Space;
+  // Place words far apart so they hash to different stripes.
+  std::vector<uint64_t> Data(4096, 0);
+  Stm Tx1(Space), Tx2(Space);
+  Tx1.begin();
+  Tx2.begin();
+  Tx1.write(&Data[0], 1);
+  Tx2.write(&Data[1000], 2);
+  EXPECT_TRUE(Tx1.commit());
+  EXPECT_TRUE(Tx2.commit());
+  EXPECT_EQ(Data[0], 1u);
+  EXPECT_EQ(Data[1000], 2u);
+}
+
+TEST(StmTest, StaleReadAborts) {
+  StmSpace Space;
+  uint64_t X = 0;
+  Stm Tx1(Space);
+  Tx1.begin();
+  (void)Tx1.read(&X);
+
+  // A second transaction commits a new value, bumping the clock.
+  {
+    Stm Tx2(Space);
+    Tx2.begin();
+    Tx2.write(&X, 9);
+    ASSERT_TRUE(Tx2.commit());
+  }
+
+  // Tx1 now writes based on its stale read; commit must fail.
+  Tx1.write(&X, 1);
+  EXPECT_FALSE(Tx1.commit());
+  EXPECT_EQ(X, 9u);
+}
+
+TEST(StmTest, TransferInvariantUnderContention) {
+  // Property test: concurrent transfers between two accounts preserve the
+  // total (snapshot isolation would break this; TL2 is serializable).
+  StmSpace Space;
+  std::vector<uint64_t> Accounts(512, 0);
+  uint64_t *A = &Accounts[0];
+  uint64_t *B = &Accounts[300];
+  *A = 10000;
+  *B = 10000;
+  std::vector<std::function<void()>> Tasks;
+  for (int T = 0; T < 4; ++T)
+    Tasks.push_back([&, T] {
+      for (int I = 0; I < 2000; ++I) {
+        Stm Tx(Space);
+        do {
+          Tx.begin();
+          uint64_t Va = Tx.read(A);
+          uint64_t Vb = Tx.read(B);
+          if (Tx.aborted())
+            continue;
+          uint64_t Delta = (T + I) % 7;
+          if (Va >= Delta) {
+            Tx.write(A, Va - Delta);
+            Tx.write(B, Vb + Delta);
+          }
+        } while (!Tx.commit());
+      }
+    });
+  runParallel(Tasks);
+  EXPECT_EQ(*A + *B, 20000u);
+}
+
+} // namespace

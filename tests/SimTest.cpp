@@ -1,0 +1,187 @@
+//===- SimTest.cpp - Discrete-event simulator unit tests ------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/ThreadPool.h"
+#include "commset/Sim/SimPlatform.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+
+namespace {
+
+TEST(SimTest, ChargeAccumulates) {
+  SimPlatform P(1, SyncMode::Mutex);
+  P.charge(0, 100);
+  P.charge(0, 250);
+  EXPECT_EQ(P.threadTimeNs(0), 350u);
+  EXPECT_EQ(P.elapsedNs(), 350u);
+}
+
+TEST(SimTest, SendRecvAddsLatency) {
+  SimParams Params;
+  SimPlatform P(2, SyncMode::Mutex, Params);
+  P.regionBegin(0);
+  P.charge(0, 1000);
+  P.send(0, 1, RtValue::ofInt(42)); // Sender pays SendOverhead.
+  EXPECT_EQ(P.threadTimeNs(0), 1000 + Params.SendOverhead);
+
+  // An early receiver waits for the message's ready time.
+  RtValue V = P.recv(0, 1);
+  EXPECT_EQ(V.I, 42);
+  EXPECT_EQ(P.threadTimeNs(1), 1000 + Params.SendOverhead +
+                                   Params.CommLatency +
+                                   Params.RecvOverhead);
+}
+
+TEST(SimTest, LateReceiverKeepsOwnClock) {
+  SimParams Params;
+  SimPlatform P(2, SyncMode::Mutex, Params);
+  P.regionBegin(0);
+  P.send(0, 1, RtValue::ofInt(7));
+  P.charge(1, 500000); // Receiver is far past the ready time.
+  P.recv(0, 1);
+  EXPECT_EQ(P.threadTimeNs(1), 500000 + Params.RecvOverhead);
+}
+
+TEST(SimTest, FifoOrderPerPair) {
+  SimPlatform P(2, SyncMode::Mutex);
+  P.regionBegin(0);
+  for (int I = 0; I < 10; ++I)
+    P.send(0, 1, RtValue::ofInt(I));
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(P.recv(0, 1).I, I);
+}
+
+TEST(SimTest, BackpressureSyncsSenderToPopTimes) {
+  SimParams Params;
+  Params.QueueCapacity = 4;
+  SimPlatform P(2, SyncMode::Mutex, Params);
+  P.regionBegin(0);
+
+  // Consumer drains slowly on its own thread; producer floods.
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&] {
+    for (int I = 0; I < 64; ++I)
+      P.send(0, 1, RtValue::ofInt(I));
+    P.threadDone(0);
+  });
+  Tasks.push_back([&] {
+    for (int I = 0; I < 64; ++I) {
+      P.charge(1, 10000); // 10us of consumer work per item.
+      EXPECT_EQ(P.recv(0, 1).I, I);
+    }
+    P.threadDone(1);
+  });
+  runParallel(Tasks);
+
+  // Without backpressure the producer would finish at ~64*SendOverhead;
+  // with capacity 4 its clock must track the consumer's pop times.
+  EXPECT_GT(P.threadTimeNs(0), 64u * 10000 / 2);
+}
+
+TEST(SimTest, ContendedLocksSerializeInVirtualTime) {
+  SimParams Params;
+  SimPlatform P(4, SyncMode::Mutex, Params);
+  P.regionBegin(0);
+  std::vector<unsigned> Ranks = {0};
+
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned T = 0; T < 4; ++T)
+    Tasks.push_back([&, T] {
+      for (int I = 0; I < 10; ++I) {
+        P.lockEnter(T, Ranks);
+        P.charge(T, 1000); // Critical section.
+        P.lockExit(T, Ranks);
+      }
+      P.threadDone(T);
+    });
+  runParallel(Tasks);
+
+  // 40 critical sections of 1us must serialize: the max clock is at least
+  // the total critical work, regardless of the host's schedule.
+  EXPECT_GE(P.elapsedNs(), 40u * 1000);
+  EXPECT_GT(P.lockContentions(), 0u);
+}
+
+TEST(SimTest, SpinHandoffCheaperThanMutex) {
+  auto contendFor = [](SyncMode Mode) {
+    SimParams Params;
+    SimPlatform P(4, Mode, Params);
+    P.regionBegin(0);
+    std::vector<unsigned> Ranks = {0};
+    std::vector<std::function<void()>> Tasks;
+    for (unsigned T = 0; T < 4; ++T)
+      Tasks.push_back([&, T] {
+        for (int I = 0; I < 25; ++I) {
+          P.lockEnter(T, Ranks);
+          P.charge(T, 300);
+          P.lockExit(T, Ranks);
+        }
+        P.threadDone(T);
+      });
+    runParallel(Tasks);
+    return P.elapsedNs();
+  };
+  EXPECT_GT(contendFor(SyncMode::Mutex), contendFor(SyncMode::Spin))
+      << "mutex sleep/wakeup hand-off must cost more under contention";
+}
+
+TEST(SimTest, TmConflictWindowsAbort) {
+  SimParams Params;
+  SimPlatform P(2, SyncMode::Tm, Params);
+  P.regionBegin(0);
+  std::vector<unsigned> Ranks = {0};
+
+  // Two overlapping transactions on the same rank: the second commit must
+  // observe the first and abort at least once.
+  P.txBegin(0);
+  P.txBegin(1);
+  P.charge(0, 100);
+  P.charge(1, 120);
+  EXPECT_TRUE(P.txCommit(0, Ranks, 100));
+  P.threadDone(0); // Retire thread 0's clock from the virtual-time gate.
+  EXPECT_FALSE(P.txCommit(1, Ranks, 120)) << "overlap must conflict";
+  P.txBegin(1);
+  P.charge(1, 50);
+  EXPECT_TRUE(P.txCommit(1, Ranks, 50));
+  EXPECT_EQ(P.tmAborts(), 1u);
+}
+
+TEST(SimTest, RegionBracketsAlignClocks) {
+  SimPlatform P(3, SyncMode::Mutex);
+  P.charge(0, 5000); // Sequential prefix on the master.
+  P.regionBegin(0);
+  EXPECT_EQ(P.threadTimeNs(1), 5000u);
+  EXPECT_EQ(P.threadTimeNs(2), 5000u);
+  P.charge(1, 777);
+  P.charge(2, 9999);
+  P.threadDone(1);
+  P.threadDone(2);
+  P.regionEnd(0);
+  EXPECT_EQ(P.threadTimeNs(0), 5000u + 9999u) << "join takes the max";
+}
+
+TEST(SimTest, ResourceSerialization) {
+  SimParams Params;
+  SimPlatform P(2, SyncMode::None, Params);
+  P.regionBegin(0);
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned T = 0; T < 2; ++T)
+    Tasks.push_back([&, T] {
+      for (int I = 0; I < 20; ++I) {
+        P.resourceEnter(T, "fs");
+        P.charge(T, 2000);
+        P.resourceExit(T, "fs");
+      }
+      P.threadDone(T);
+    });
+  runParallel(Tasks);
+  EXPECT_GE(P.elapsedNs(), 40u * 2000)
+      << "a serialized library resource admits one holder at a time";
+}
+
+} // namespace

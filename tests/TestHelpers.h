@@ -1,0 +1,122 @@
+//===- TestHelpers.h - Shared test utilities ---------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TESTS_TESTHELPERS_H
+#define COMMSET_TESTS_TESTHELPERS_H
+
+#include "commset/IR/Verifier.h"
+#include "commset/Lang/Parser.h"
+#include "commset/Lang/Sema.h"
+#include "commset/Lower/Lower.h"
+#include "commset/Lower/Specialize.h"
+
+#include <gtest/gtest.h>
+
+namespace commset {
+namespace test {
+
+/// Runs the full frontend pipeline (parse, sema, specialize, lower, verify)
+/// and returns the verified module alongside the program (which owns
+/// predicate ASTs referenced by later passes).
+struct Compiled {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<Module> Mod;
+};
+
+inline Compiled compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Compiled Result;
+  Result.Prog = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  if (Diags.hasErrors())
+    return Result;
+  Sema S(*Result.Prog, Diags);
+  EXPECT_TRUE(S.run()) << Diags.str();
+  if (Diags.hasErrors())
+    return Result;
+  EXPECT_TRUE(specializeNamedBlocks(*Result.Prog, Diags)) << Diags.str();
+  if (Diags.hasErrors())
+    return Result;
+  {
+    Sema S2(*Result.Prog, Diags);
+    EXPECT_TRUE(S2.run()) << Diags.str();
+    if (Diags.hasErrors())
+      return Result;
+  }
+  Result.Mod = lowerProgram(*Result.Prog, Diags);
+  EXPECT_NE(Result.Mod.get(), nullptr) << Diags.str();
+  if (Result.Mod)
+    EXPECT_TRUE(verifyModule(*Result.Mod, Diags)) << Diags.str();
+  return Result;
+}
+
+/// The paper's Figure 1 running example, transliterated to CSet-C with
+/// synthetic-filesystem native kernels. Used across analysis, transform and
+/// execution tests.
+inline const char *md5sumSource() {
+  return R"(
+extern ptr fs_open(int fileid);
+extern int fs_read(ptr f, ptr buf, int n);
+extern void fs_close(ptr f);
+extern ptr buf_alloc(int n);
+extern void buf_free(ptr b);
+extern ptr md5_init();
+extern void md5_update(ptr st, ptr buf, int n);
+extern int md5_final(ptr st);
+extern void print_digest(int i, int d);
+#pragma commset effects(fs_open, malloc, reads(fs), writes(fs))
+#pragma commset effects(fs_read, argmem, reads(fs), writes(fs))
+#pragma commset effects(fs_close, reads(fs), writes(fs))
+#pragma commset effects(buf_alloc, malloc)
+#pragma commset effects(buf_free, argmem)
+#pragma commset effects(md5_init, malloc)
+#pragma commset effects(md5_update, argmem)
+#pragma commset effects(md5_final, argmem)
+#pragma commset effects(print_digest, reads(console), writes(console))
+#pragma commset decl(FSET)
+#pragma commset decl(SSET, self)
+#pragma commset predicate(FSET, (int i1), (int i2), i1 != i2)
+#pragma commset predicate(SSET, (int i1), (int i2), i1 != i2)
+#pragma commset namedarg(READB)
+void mdfile(ptr st, ptr f, int i) {
+  ptr buf = buf_alloc(4096);
+  int n = 1;
+  while (n > 0) {
+    #pragma commset namedblock(READB)
+    {
+      n = fs_read(f, buf, 4096);
+    }
+    if (n > 0) {
+      md5_update(st, buf, n);
+    }
+  }
+  buf_free(buf);
+}
+void main_loop(int nfiles) {
+  for (int i = 0; i < nfiles; i = i + 1) {
+    ptr f;
+    #pragma commset member(SELF, FSET(i))
+    {
+      f = fs_open(i);
+    }
+    ptr st = md5_init();
+    #pragma commset enable(READB: SSET(i), FSET(i))
+    mdfile(st, f, i);
+    int d = md5_final(st);
+    #pragma commset member(SELF, FSET(i))
+    {
+      print_digest(i, d);
+      fs_close(f);
+    }
+  }
+}
+)";
+}
+
+} // namespace test
+} // namespace commset
+
+#endif // COMMSET_TESTS_TESTHELPERS_H
