@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_eclat.dir/bench_fig6_eclat.cpp.o"
+  "CMakeFiles/bench_fig6_eclat.dir/bench_fig6_eclat.cpp.o.d"
+  "bench_fig6_eclat"
+  "bench_fig6_eclat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_eclat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_geomean.dir/bench_fig6_geomean.cpp.o"
+  "CMakeFiles/bench_fig6_geomean.dir/bench_fig6_geomean.cpp.o.d"
+  "bench_fig6_geomean"
+  "bench_fig6_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_geti.dir/bench_fig6_geti.cpp.o"
+  "CMakeFiles/bench_fig6_geti.dir/bench_fig6_geti.cpp.o.d"
+  "bench_fig6_geti"
+  "bench_fig6_geti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_geti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hmmer.dir/bench_fig6_hmmer.cpp.o"
+  "CMakeFiles/bench_fig6_hmmer.dir/bench_fig6_hmmer.cpp.o.d"
+  "bench_fig6_hmmer"
+  "bench_fig6_hmmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hmmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

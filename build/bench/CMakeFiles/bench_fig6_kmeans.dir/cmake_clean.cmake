@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kmeans.dir/bench_fig6_kmeans.cpp.o"
+  "CMakeFiles/bench_fig6_kmeans.dir/bench_fig6_kmeans.cpp.o.d"
+  "bench_fig6_kmeans"
+  "bench_fig6_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

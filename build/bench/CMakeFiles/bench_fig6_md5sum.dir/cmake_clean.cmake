@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_md5sum.dir/bench_fig6_md5sum.cpp.o"
+  "CMakeFiles/bench_fig6_md5sum.dir/bench_fig6_md5sum.cpp.o.d"
+  "bench_fig6_md5sum"
+  "bench_fig6_md5sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_md5sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

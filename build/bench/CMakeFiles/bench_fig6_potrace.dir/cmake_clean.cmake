@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_potrace.dir/bench_fig6_potrace.cpp.o"
+  "CMakeFiles/bench_fig6_potrace.dir/bench_fig6_potrace.cpp.o.d"
+  "bench_fig6_potrace"
+  "bench_fig6_potrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_potrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md5sum_schedules.dir/md5sum_schedules.cpp.o"
+  "CMakeFiles/md5sum_schedules.dir/md5sum_schedules.cpp.o.d"
+  "md5sum_schedules"
+  "md5sum_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md5sum_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for md5sum_schedules.
+# This may be replaced when dependencies are built.

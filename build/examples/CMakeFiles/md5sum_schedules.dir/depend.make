@@ -1,0 +1,2 @@
+# Empty dependencies file for md5sum_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/commset.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/commset.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Effects.cpp" "src/CMakeFiles/commset.dir/analysis/Effects.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/Effects.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/commset.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/PDG.cpp" "src/CMakeFiles/commset.dir/analysis/PDG.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/PDG.cpp.o.d"
+  "/root/repo/src/analysis/SCC.cpp" "src/CMakeFiles/commset.dir/analysis/SCC.cpp.o" "gcc" "src/CMakeFiles/commset.dir/analysis/SCC.cpp.o.d"
+  "/root/repo/src/core/CommSetRegistry.cpp" "src/CMakeFiles/commset.dir/core/CommSetRegistry.cpp.o" "gcc" "src/CMakeFiles/commset.dir/core/CommSetRegistry.cpp.o.d"
+  "/root/repo/src/core/DepAnalysis.cpp" "src/CMakeFiles/commset.dir/core/DepAnalysis.cpp.o" "gcc" "src/CMakeFiles/commset.dir/core/DepAnalysis.cpp.o.d"
+  "/root/repo/src/core/PredicateInterp.cpp" "src/CMakeFiles/commset.dir/core/PredicateInterp.cpp.o" "gcc" "src/CMakeFiles/commset.dir/core/PredicateInterp.cpp.o.d"
+  "/root/repo/src/core/WellFormed.cpp" "src/CMakeFiles/commset.dir/core/WellFormed.cpp.o" "gcc" "src/CMakeFiles/commset.dir/core/WellFormed.cpp.o.d"
+  "/root/repo/src/driver/Compilation.cpp" "src/CMakeFiles/commset.dir/driver/Compilation.cpp.o" "gcc" "src/CMakeFiles/commset.dir/driver/Compilation.cpp.o.d"
+  "/root/repo/src/driver/Runner.cpp" "src/CMakeFiles/commset.dir/driver/Runner.cpp.o" "gcc" "src/CMakeFiles/commset.dir/driver/Runner.cpp.o.d"
+  "/root/repo/src/exec/Interpreter.cpp" "src/CMakeFiles/commset.dir/exec/Interpreter.cpp.o" "gcc" "src/CMakeFiles/commset.dir/exec/Interpreter.cpp.o.d"
+  "/root/repo/src/exec/LoopExecutors.cpp" "src/CMakeFiles/commset.dir/exec/LoopExecutors.cpp.o" "gcc" "src/CMakeFiles/commset.dir/exec/LoopExecutors.cpp.o.d"
+  "/root/repo/src/exec/ThreadedPlatform.cpp" "src/CMakeFiles/commset.dir/exec/ThreadedPlatform.cpp.o" "gcc" "src/CMakeFiles/commset.dir/exec/ThreadedPlatform.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/commset.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/commset.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/commset.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/commset.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/commset.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/commset.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/commset.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/commset.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/lang/AST.cpp" "src/CMakeFiles/commset.dir/lang/AST.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lang/AST.cpp.o.d"
+  "/root/repo/src/lang/ASTClone.cpp" "src/CMakeFiles/commset.dir/lang/ASTClone.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lang/ASTClone.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/commset.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/commset.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Sema.cpp" "src/CMakeFiles/commset.dir/lang/Sema.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lang/Sema.cpp.o.d"
+  "/root/repo/src/lower/Lower.cpp" "src/CMakeFiles/commset.dir/lower/Lower.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lower/Lower.cpp.o.d"
+  "/root/repo/src/lower/Specialize.cpp" "src/CMakeFiles/commset.dir/lower/Specialize.cpp.o" "gcc" "src/CMakeFiles/commset.dir/lower/Specialize.cpp.o.d"
+  "/root/repo/src/runtime/Stm.cpp" "src/CMakeFiles/commset.dir/runtime/Stm.cpp.o" "gcc" "src/CMakeFiles/commset.dir/runtime/Stm.cpp.o.d"
+  "/root/repo/src/sim/SimPlatform.cpp" "src/CMakeFiles/commset.dir/sim/SimPlatform.cpp.o" "gcc" "src/CMakeFiles/commset.dir/sim/SimPlatform.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/commset.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/commset.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/SourceLoc.cpp" "src/CMakeFiles/commset.dir/support/SourceLoc.cpp.o" "gcc" "src/CMakeFiles/commset.dir/support/SourceLoc.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/CMakeFiles/commset.dir/support/StringUtils.cpp.o" "gcc" "src/CMakeFiles/commset.dir/support/StringUtils.cpp.o.d"
+  "/root/repo/src/transform/ParallelPlan.cpp" "src/CMakeFiles/commset.dir/transform/ParallelPlan.cpp.o" "gcc" "src/CMakeFiles/commset.dir/transform/ParallelPlan.cpp.o.d"
+  "/root/repo/src/transform/Planner.cpp" "src/CMakeFiles/commset.dir/transform/Planner.cpp.o" "gcc" "src/CMakeFiles/commset.dir/transform/Planner.cpp.o.d"
+  "/root/repo/src/workloads/BenchHarness.cpp" "src/CMakeFiles/commset.dir/workloads/BenchHarness.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/BenchHarness.cpp.o.d"
+  "/root/repo/src/workloads/EclatWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/EclatWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/EclatWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Em3dWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/Em3dWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/Em3dWorkload.cpp.o.d"
+  "/root/repo/src/workloads/GetiWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/GetiWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/GetiWorkload.cpp.o.d"
+  "/root/repo/src/workloads/HmmerWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/HmmerWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/HmmerWorkload.cpp.o.d"
+  "/root/repo/src/workloads/KmeansWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/KmeansWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/KmeansWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Md5.cpp" "src/CMakeFiles/commset.dir/workloads/Md5.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/Md5.cpp.o.d"
+  "/root/repo/src/workloads/Md5sumWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/Md5sumWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/Md5sumWorkload.cpp.o.d"
+  "/root/repo/src/workloads/PotraceWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/PotraceWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/PotraceWorkload.cpp.o.d"
+  "/root/repo/src/workloads/UrlWorkload.cpp" "src/CMakeFiles/commset.dir/workloads/UrlWorkload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/UrlWorkload.cpp.o.d"
+  "/root/repo/src/workloads/VirtualFs.cpp" "src/CMakeFiles/commset.dir/workloads/VirtualFs.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/VirtualFs.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/commset.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/commset.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/commset_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/CoreTest.cpp" "tests/CMakeFiles/commset_tests.dir/CoreTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/CoreTest.cpp.o.d"
+  "/root/repo/tests/ExecTest.cpp" "tests/CMakeFiles/commset_tests.dir/ExecTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/ExecTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/commset_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/LowerTest.cpp" "tests/CMakeFiles/commset_tests.dir/LowerTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/LowerTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/commset_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/commset_tests.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/SimTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/commset_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/commset_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/commset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

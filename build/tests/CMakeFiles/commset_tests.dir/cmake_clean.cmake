@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commset_tests.dir/AnalysisTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/AnalysisTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/CoreTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/CoreTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/ExecTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/ExecTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/FrontendTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/FrontendTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/LowerTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/LowerTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/RuntimeTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/SimTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/SimTest.cpp.o.d"
+  "CMakeFiles/commset_tests.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/commset_tests.dir/WorkloadTest.cpp.o.d"
+  "commset_tests"
+  "commset_tests.pdb"
+  "commset_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commset_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
