@@ -78,9 +78,62 @@ void runTable2() {
   }
 }
 
+/// Drift guard: every Figure-6 scheme DESIGN.md §4 names for a workload
+/// must still be planned for it. A transform silently becoming inapplicable
+/// (a planner or annotation regression) fails the run with a non-zero exit.
+bool verifyFigure6Schemes() {
+  struct Expectation {
+    const char *Workload;
+    std::vector<Strategy> Required;
+    std::vector<Strategy> Forbidden;
+  };
+  const std::vector<Expectation> Expected = {
+      {"md5sum", {Strategy::Doall, Strategy::PsDswp}, {}},
+      {"hmmer", {Strategy::Doall, Strategy::PsDswp}, {}},
+      {"geti", {Strategy::Doall, Strategy::PsDswp}, {}},
+      {"eclat", {Strategy::Doall, Strategy::Dswp}, {}},
+      // em3d's loop is pointer-chasing: pipelines apply, DOALL must not.
+      {"em3d", {Strategy::Dswp, Strategy::PsDswp}, {Strategy::Doall}},
+      {"potrace", {Strategy::Doall, Strategy::PsDswp}, {}},
+      {"kmeans", {Strategy::Doall, Strategy::PsDswp}, {}},
+      {"url", {Strategy::Doall, Strategy::PsDswp}, {}},
+  };
+
+  bool Ok = true;
+  for (const Expectation &E : Expected) {
+    FigureRunner Runner(E.Workload);
+    for (Strategy Kind : E.Required) {
+      Series Probe{"", "", Kind, SyncMode::Mutex};
+      Measurement M = Runner.measure(Probe, 8);
+      if (!M.Applicable) {
+        fprintf(stderr,
+                "table2 drift guard: %s no longer planned for %s "
+                "(DESIGN.md section 4 expects it): %s\n",
+                strategyName(Kind), E.Workload, M.WhyNot.c_str());
+        Ok = false;
+      }
+    }
+    for (Strategy Kind : E.Forbidden) {
+      Series Probe{"", "", Kind, SyncMode::Mutex};
+      if (Runner.measure(Probe, 8).Applicable) {
+        fprintf(stderr,
+                "table2 drift guard: %s unexpectedly applies to %s "
+                "(DESIGN.md section 4 says it must not)\n",
+                strategyName(Kind), E.Workload);
+        Ok = false;
+      }
+    }
+  }
+  return Ok;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (!verifyFigure6Schemes()) {
+    fprintf(stderr, "table2 drift guard failed; not regenerating table\n");
+    return 1;
+  }
   runTable2();
   ::benchmark::RegisterBenchmark(
       "table2/regenerate",

@@ -1,0 +1,81 @@
+//===- CheckRuntime.h - Harness natives and state snapshots -----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native kernels generated programs call (ProgramGen.h), the harness
+/// state they mutate, and the snapshot/comparison machinery the
+/// differential oracle uses. Every kernel is internally synchronized (the
+/// paper's "Lib" discipline) and every mutation is exactly commutative, so
+/// two runs of the same program must agree on the final snapshot up to the
+/// program's declared output equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_CHECKRUNTIME_H
+#define COMMSET_CHECK_CHECKRUNTIME_H
+
+#include "commset/Check/ProgramGen.h"
+#include "commset/Exec/NativeRegistry.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace commset {
+namespace check {
+
+/// Shared state behind the harness natives. One instance per run.
+struct CheckState {
+  static constexpr size_t NumCells = 16;
+
+  std::mutex M;
+  std::vector<int64_t> Cells = std::vector<int64_t>(NumCells, 0);
+  int64_t StatCount = 0;
+  int64_t StatSum = 0;
+  int64_t StatMin = INT64_MAX;
+  int64_t StatMax = INT64_MIN;
+  int64_t SourceCursor = 0;
+  std::vector<std::pair<int64_t, int64_t>> Output; // (key, value) in order.
+};
+
+/// Registers work/mix2/cell_add/cell_get/stat_note/emit/source_next over
+/// \p State, with serial-resource names and fixed costs.
+void registerCheckNatives(NativeRegistry &Natives, CheckState &State);
+
+/// Planner cost hints matching registerCheckNatives.
+std::map<std::string, double> checkCostHints();
+
+/// Final program state captured after a run.
+struct Snapshot {
+  std::vector<int64_t> GlobalInts; // Interpreter globals, in slot order.
+  std::vector<int64_t> Cells;
+  int64_t StatCount = 0, StatSum = 0, StatMin = 0, StatMax = 0;
+  int64_t SourceCursor = 0;
+  std::vector<std::pair<int64_t, int64_t>> Output;
+  int64_t Result = 0;
+  uint64_t Iterations = 0;
+};
+
+/// Captures \p State plus the interpreter global image and run result.
+Snapshot takeSnapshot(const CheckState &State,
+                      const std::vector<int64_t> &GlobalInts, int64_t Result,
+                      uint64_t Iterations);
+
+/// Compares a parallel run against the sequential reference under the
+/// program's output equivalence. Returns a human-readable divergence
+/// description, or std::nullopt when equivalent.
+std::optional<std::string> compareSnapshots(const Snapshot &Ref,
+                                            const Snapshot &Got,
+                                            OutputOrder Order);
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_CHECKRUNTIME_H

@@ -1,0 +1,64 @@
+//===- CommCheck.h - Fuzzing harness entry point ----------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommCheck's top-level loop: for iteration k, generate the program for
+/// seed Seed + k, run the differential oracle and schedule explorer on it,
+/// and on failure write a self-contained artifact (seed, repro command,
+/// generated source, shape, report) so
+///
+///   commcheck --seed <iteration seed> --iters 1
+///
+/// replays the exact failing trial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_COMMCHECK_H
+#define COMMSET_CHECK_COMMCHECK_H
+
+#include "commset/Check/Oracle.h"
+#include "commset/Check/ProgramGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commset {
+namespace check {
+
+struct CommCheckOptions {
+  uint64_t Seed = 1;
+  unsigned Iterations = 25;
+  GenOptions Gen;
+  OracleOptions Oracle;
+  /// Directory for failure artifacts; empty disables dumping.
+  std::string DumpDir = ".";
+  /// Print a line per iteration to stdout.
+  bool Verbose = false;
+};
+
+struct CommCheckSummary {
+  unsigned Iterations = 0;
+  unsigned Failures = 0;
+  unsigned PlansRun = 0;
+  unsigned SchedulesRun = 0;
+  unsigned RacesReported = 0;
+  std::vector<std::string> ArtifactPaths;
+  /// First failing trial's full report (also in its artifact).
+  std::string FirstFailure;
+};
+
+/// Runs the harness. Deterministic in \p Opts.
+CommCheckSummary runCommCheck(const CommCheckOptions &Opts);
+
+/// Renders the artifact text for one failing trial (exposed for tests).
+std::string renderArtifact(const GeneratedProgram &P,
+                           const TrialResult &Trial);
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_COMMCHECK_H

@@ -1,0 +1,117 @@
+//===- HappensBefore.h - Vector-clock race detection ------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector-clock happens-before checker fed by the interpreter's
+/// instrumentation hooks (ExecPlatform). Happens-before edges come from
+/// every ordering mechanism the executors use:
+///
+///   * queue send -> recv (per ordered thread pair, FIFO),
+///   * ranked-lock release -> next acquire, per rank,
+///   * serialized-resource release -> next acquire, per resource,
+///   * transaction commits (serialized through a TM clock),
+///   * parallel-region fork (master -> workers) and join (workers -> master).
+///
+/// A pair of conflicting global accesses unordered by happens-before is a
+/// race — unless both accesses run inside members the COMMSET contract
+/// declares thread safe (NOSYNC / Lib mode) or inside transactions, i.e.
+/// unless a COMMSET covers them. Races the sync engine should have
+/// synchronized are exactly what survives this filter.
+///
+/// Events must arrive serialized (SchedulePlatform runs one thread at a
+/// time); the checker itself takes no locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_HAPPENSBEFORE_H
+#define COMMSET_CHECK_HAPPENSBEFORE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace commset {
+
+class Module;
+
+namespace check {
+
+struct RaceReport {
+  unsigned Slot = 0;
+  std::string Global;
+  unsigned ThreadA = 0, ThreadB = 0;
+  bool WriteA = false, WriteB = false;
+  std::string describe() const;
+};
+
+class HbChecker {
+public:
+  HbChecker(unsigned NumThreads, const Module &M);
+
+  // Access events.
+  void onLoad(unsigned T, unsigned Slot) { access(T, Slot, false); }
+  void onStore(unsigned T, unsigned Slot) { access(T, Slot, true); }
+
+  // Ordering events.
+  void onSend(unsigned From, unsigned To);
+  void onRecv(unsigned From, unsigned To);
+  void onLockAcquire(unsigned T, const std::vector<unsigned> &Ranks);
+  void onLockRelease(unsigned T, const std::vector<unsigned> &Ranks);
+  void onResourceAcquire(unsigned T, const std::string &Name);
+  void onResourceRelease(unsigned T, const std::string &Name);
+  void onTxBegin(unsigned T);
+  void onTxCommit(unsigned T);
+  void onMemberEnter(unsigned T, bool DeclaredSafe);
+  void onMemberExit(unsigned T);
+  void onRegionBegin(unsigned Master);
+  void onRegionEnd(unsigned Master);
+
+  const std::vector<RaceReport> &races() const { return Races; }
+
+private:
+  using VC = std::vector<uint64_t>;
+
+  void access(unsigned T, unsigned Slot, bool IsWrite);
+  bool protectedAccess(unsigned T) const {
+    return InTx[T] || SafeDepth[T] > 0;
+  }
+  void join(VC &Into, const VC &From) {
+    for (size_t I = 0; I < Into.size(); ++I)
+      Into[I] = Into[I] > From[I] ? Into[I] : From[I];
+  }
+  void report(unsigned Slot, unsigned TA, bool WA, unsigned TB, bool WB);
+
+  unsigned N;
+  std::vector<std::string> GlobalNames;
+  std::vector<VC> Clocks; // Per thread.
+
+  // Per-slot, per-thread last access epochs and protection flags.
+  struct SlotState {
+    VC LastWrite, LastRead;
+    std::vector<uint8_t> WriteProt, ReadProt;
+  };
+  std::vector<SlotState> Slots;
+
+  std::map<std::pair<unsigned, unsigned>, std::deque<VC>> ChannelClocks;
+  std::map<unsigned, VC> RankClocks;
+  std::map<std::string, VC> ResourceClocks;
+  VC TmClock;
+  std::vector<uint8_t> InTx;
+  std::vector<unsigned> SafeDepth;
+  std::vector<std::vector<uint8_t>> MemberStack; // DeclaredSafe flags.
+
+  std::set<std::tuple<unsigned, bool, bool>> Seen; // Dedup per slot+kinds.
+  std::vector<RaceReport> Races;
+};
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_HAPPENSBEFORE_H

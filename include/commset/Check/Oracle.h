@@ -1,0 +1,67 @@
+//===- Oracle.h - Differential oracle for generated programs ----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommCheck's differential oracle. A generated program (ProgramGen.h) is
+/// compiled once, run sequentially for a reference snapshot, and then run
+/// under every applicable scheme x sync-mode x thread-count plan on the
+/// threaded executors. Final states must match the reference up to the
+/// program's declared output equivalence (CheckRuntime.h).
+///
+/// On top of the free-running sweep, a schedule-exploration pass re-runs a
+/// subset of plans under the controlled scheduler (SchedulePlatform.h) with
+/// seeded random and round-robin policies, feeding the happens-before
+/// checker: a divergent snapshot or a reported race on a sync-enabled plan
+/// fails the trial with enough context to replay it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_ORACLE_H
+#define COMMSET_CHECK_ORACLE_H
+
+#include "commset/Check/ProgramGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commset {
+namespace check {
+
+struct OracleOptions {
+  /// Thread counts to sweep in the free-running differential pass.
+  std::vector<unsigned> Threads = {2, 4, 8};
+  /// Include SyncMode::Tm plans in the sweep.
+  bool IncludeTm = true;
+  /// Run the controlled-scheduler + happens-before pass.
+  bool ExploreSchedules = true;
+  /// Number of random schedule policies per explored plan.
+  unsigned RandomSchedules = 2;
+  /// Round-robin switch intervals to sweep per explored plan.
+  std::vector<unsigned> RoundRobinIntervals = {1, 5};
+  /// Cap on plans taken into schedule exploration (it is slow).
+  unsigned MaxPlansToExplore = 2;
+};
+
+struct TrialResult {
+  bool Ok = true;
+  unsigned PlansRun = 0;
+  unsigned SchedulesRun = 0;
+  unsigned RacesReported = 0;
+  /// Failure description (divergence diff, races, plan, policy); empty on
+  /// success.
+  std::string Report;
+};
+
+/// Runs the full oracle over \p P. \p ScheduleSeed seeds the random
+/// schedule policies, independently of the program seed.
+TrialResult runTrials(const GeneratedProgram &P, const OracleOptions &Opts,
+                      uint64_t ScheduleSeed);
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_ORACLE_H

@@ -1,0 +1,91 @@
+//===- ProgramGen.h - Seeded CSet-C program generator -----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommCheck's program generator: emits random-but-well-formed CSet-C
+/// programs over a fixed menu of harness natives (CheckRuntime.h). Programs
+/// are biased toward the constructs the front end and region extractor
+/// accept — Self and Group sets, predicated commutativity, commutative
+/// blocks, named optional blocks enabled per call site, NOSYNC members —
+/// and every shared effect is exactly commutative (integer sums, min/max,
+/// keyed appends), so the differential oracle can compare final states
+/// under the set's equivalence without false mismatches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_PROGRAMGEN_H
+#define COMMSET_CHECK_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace commset {
+namespace check {
+
+/// splitmix64: tiny, seedable, and stable across platforms — the whole
+/// CommCheck pipeline (generation, schedule decisions) keys off it so a
+/// seed fully determines programs, plans, and verdicts.
+class CheckRng {
+public:
+  explicit CheckRng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, N).
+  uint64_t range(uint64_t N) { return N ? next() % N : 0; }
+
+  /// True with probability Percent/100.
+  bool chance(unsigned Percent) { return range(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// How the committed output stream (emit calls) may legally differ from
+/// the sequential run's stream.
+enum class OutputOrder {
+  Exact,         ///< emit not in any set: byte-for-byte identical order.
+  PerKeyOrdered, ///< emit in a predicated set keyed by the induction
+                 ///< variable: entries with equal keys keep their order.
+  Multiset,      ///< emit in a SELF set: any permutation is legal.
+};
+
+struct GeneratedProgram {
+  uint64_t Seed = 0;
+  std::string Source;
+  OutputOrder Output = OutputOrder::Exact;
+  /// True when no user-defined member touches interpreter globals, so the
+  /// program is correct even with compiler synchronization disabled
+  /// (SyncMode::None / the paper's Lib mode): every shared effect lives in
+  /// an internally-synchronized native.
+  bool LibSafe = true;
+  /// Loop trip count the oracle should run with.
+  int TripCount = 12;
+  /// One-line summary of the structure choices (for failure artifacts).
+  std::string Shape;
+};
+
+struct GenOptions {
+  int MinTrip = 8;
+  int MaxTrip = 24;
+  bool AllowNamedBlocks = true;
+  bool AllowNosync = true;
+  bool AllowSequentialSource = true; ///< source_next() biases pipelines.
+};
+
+/// Generates the program for \p Seed. Pure function of its arguments.
+GeneratedProgram generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_PROGRAMGEN_H

@@ -1,0 +1,150 @@
+//===- SchedulePlatform.h - Controlled-interleaving executor ----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ExecPlatform that runs the parallel executors under a *controlled*
+/// scheduler: real worker threads exist, but exactly one holds the run
+/// token at any instant, and the token moves only at platform events
+/// (charge, queue, lock, resource, TM). A seeded policy — uniformly random
+/// switches or a bounded round-robin sweep — decides each handoff, so an
+/// interleaving is completely determined by (program, plan, policy): the
+/// seed in a failure artifact replays the exact schedule.
+///
+/// Because blocking operations (recv on an empty queue, contended member
+/// locks, busy resources) are gated cooperatively *before* any real
+/// mutex/queue is touched, serialization can never deadlock against the
+/// runtime's own primitives; a state where no thread can run is reported
+/// as a genuine executor/planner deadlock with full thread status.
+///
+/// When constructed with a Module, every run also feeds a vector-clock
+/// happens-before checker (HappensBefore.h) through the interpreter's
+/// instrumentation hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_SCHEDULEPLATFORM_H
+#define COMMSET_CHECK_SCHEDULEPLATFORM_H
+
+#include "commset/Check/HappensBefore.h"
+#include "commset/Check/ProgramGen.h"
+#include "commset/Exec/ExecPlatform.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace commset {
+namespace check {
+
+struct SchedulePolicy {
+  enum class Kind { Random, RoundRobin };
+  Kind K = Kind::Random;
+  /// Random: RNG seed for switch decisions.
+  uint64_t Seed = 1;
+  /// RoundRobin: hand the token to the next runnable thread every
+  /// Interval schedule points.
+  unsigned Interval = 1;
+
+  static SchedulePolicy random(uint64_t Seed) {
+    SchedulePolicy P;
+    P.K = Kind::Random;
+    P.Seed = Seed;
+    return P;
+  }
+  static SchedulePolicy roundRobin(unsigned Interval) {
+    SchedulePolicy P;
+    P.K = Kind::RoundRobin;
+    P.Interval = Interval ? Interval : 1;
+    return P;
+  }
+  std::string describe() const;
+};
+
+class SchedulePlatform : public ExecPlatform {
+public:
+  /// \p M non-null enables happens-before checking.
+  SchedulePlatform(unsigned NumThreads, const SchedulePolicy &Policy,
+                   const Module *M = nullptr);
+  ~SchedulePlatform() override;
+
+  void send(unsigned From, unsigned To, RtValue Value) override;
+  RtValue recv(unsigned From, unsigned To) override;
+  void charge(unsigned Thread, uint64_t Ns) override;
+  void lockEnter(unsigned Thread,
+                 const std::vector<unsigned> &Ranks) override;
+  void lockExit(unsigned Thread,
+                const std::vector<unsigned> &Ranks) override;
+  void txBegin(unsigned Thread) override;
+  bool txCommit(unsigned Thread, const std::vector<unsigned> &Ranks,
+                uint64_t MemberCostNs) override;
+  void resourceEnter(unsigned Thread, const std::string &Name) override;
+  void resourceExit(unsigned Thread, const std::string &Name) override;
+  void threadDone(unsigned Thread) override;
+  void regionBegin(unsigned MasterThread) override;
+  void regionEnd(unsigned MasterThread) override;
+  uint64_t elapsedNs() const override { return 0; }
+
+  void onGlobalLoad(unsigned Thread, unsigned Slot) override;
+  void onGlobalStore(unsigned Thread, unsigned Slot) override;
+  void memberEnter(unsigned Thread, const std::string &Name,
+                   bool DeclaredSafe) override;
+  void memberExit(unsigned Thread) override;
+
+  /// Null unless a Module was supplied.
+  const HbChecker *checker() const { return Hb.get(); }
+  /// Token handoffs actually taken (bounded), for failure artifacts.
+  const std::vector<unsigned> &decisionLog() const { return Log; }
+  uint64_t schedulePoints() const { return Points; }
+
+private:
+  enum class Block { None, Recv, Lock, Resource };
+  struct ThreadState {
+    Block B = Block::None;
+    unsigned RecvFrom = 0;
+    std::vector<unsigned> WantRanks;
+    std::string WantResource;
+  };
+
+  using Guard = std::unique_lock<std::mutex>;
+
+  void waitTurn(Guard &Lk, unsigned T);
+  bool canRun(unsigned T) const;
+  bool blockSatisfied(unsigned T) const;
+  /// One policy decision; may hand the token off and wait to get it back.
+  void schedulePoint(Guard &Lk, unsigned T);
+  /// Hands the token to some other runnable thread (deadlock-checked);
+  /// \p Wait keeps the caller parked until the token returns.
+  void switchAway(Guard &Lk, unsigned T, bool Wait);
+  unsigned pickNext(unsigned T, bool AllowSelf);
+  void handoff(Guard &Lk, unsigned T, unsigned Next, bool Wait);
+  [[noreturn]] void reportDeadlock(unsigned T);
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned N;
+  SchedulePolicy Policy;
+  CheckRng Rng;
+  unsigned Cur = 0;
+  bool InRegion = false;
+  std::vector<uint8_t> Done;
+  std::vector<ThreadState> TS;
+  std::map<std::pair<unsigned, unsigned>, std::deque<RtValue>> Queues;
+  std::map<unsigned, unsigned> RankOwner;
+  std::map<std::string, unsigned> ResourceOwner;
+  unsigned PointsSinceSwitch = 0;
+  uint64_t Points = 0;
+  std::vector<unsigned> Log;
+  std::unique_ptr<HbChecker> Hb;
+};
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_SCHEDULEPLATFORM_H

@@ -85,6 +85,24 @@ public:
   /// Elapsed virtual nanoseconds (simulator) — the maximum over thread
   /// clocks; the threaded platform returns 0 (callers measure wall time).
   virtual uint64_t elapsedNs() const = 0;
+
+  /// Instrumentation hooks (default no-ops). The interpreter reports every
+  /// shared-global access and COMMSET member bracket through these so a
+  /// checking platform (Check/SchedulePlatform) can run a vector-clock
+  /// happens-before analysis without slowing the production platforms.
+  ///
+  /// onGlobalLoad/onGlobalStore fire for direct accesses to the shared
+  /// global image; transactional accesses are bracketed by txBegin/txCommit
+  /// and also reported here. memberEnter carries \p DeclaredSafe = true when
+  /// the member runs without compiler synchronization because it was
+  /// declared thread-safe (NOSYNC / Lib mode), which tells the race checker
+  /// the access is covered by a COMMSET contract rather than unsynchronized
+  /// by accident.
+  virtual void onGlobalLoad(unsigned Thread, unsigned Slot) {}
+  virtual void onGlobalStore(unsigned Thread, unsigned Slot) {}
+  virtual void memberEnter(unsigned Thread, const std::string &Name,
+                           bool DeclaredSafe) {}
+  virtual void memberExit(unsigned Thread) {}
 };
 
 } // namespace commset

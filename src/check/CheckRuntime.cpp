@@ -1,0 +1,223 @@
+//===- CheckRuntime.cpp ---------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/CheckRuntime.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace commset;
+using namespace commset::check;
+
+void check::registerCheckNatives(NativeRegistry &Natives, CheckState &S) {
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        uint64_t X = static_cast<uint64_t>(Args[0].I);
+        return RtValue::ofInt(
+            static_cast<int64_t>(((X * 2654435761ULL) >> 7) & 0xffff));
+      },
+      4000);
+  Natives.add(
+      "mix2",
+      [](const RtValue *Args, unsigned) {
+        return RtValue::ofInt((Args[0].I * 31 + Args[1].I * 17) & 0xffff);
+      },
+      1500);
+  Natives.add(
+      "cell_add",
+      [&S](const RtValue *Args, unsigned) {
+        std::lock_guard<std::mutex> Guard(S.M);
+        size_t K = static_cast<size_t>(Args[0].I < 0 ? -Args[0].I
+                                                     : Args[0].I) %
+                   CheckState::NumCells;
+        S.Cells[K] += Args[1].I;
+        return RtValue();
+      },
+      300, "cells");
+  Natives.add(
+      "cell_get",
+      [&S](const RtValue *Args, unsigned) {
+        std::lock_guard<std::mutex> Guard(S.M);
+        size_t K = static_cast<size_t>(Args[0].I < 0 ? -Args[0].I
+                                                     : Args[0].I) %
+                   CheckState::NumCells;
+        return RtValue::ofInt(S.Cells[K]);
+      },
+      200, "cells");
+  Natives.add(
+      "stat_note",
+      [&S](const RtValue *Args, unsigned) {
+        std::lock_guard<std::mutex> Guard(S.M);
+        ++S.StatCount;
+        S.StatSum += Args[0].I;
+        S.StatMin = std::min(S.StatMin, Args[0].I);
+        S.StatMax = std::max(S.StatMax, Args[0].I);
+        return RtValue();
+      },
+      250, "stats");
+  Natives.add(
+      "emit",
+      [&S](const RtValue *Args, unsigned) {
+        std::lock_guard<std::mutex> Guard(S.M);
+        S.Output.push_back({Args[0].I, Args[1].I});
+        return RtValue();
+      },
+      400, "out");
+  Natives.add(
+      "source_next",
+      [&S](const RtValue *, unsigned) {
+        std::lock_guard<std::mutex> Guard(S.M);
+        int64_t V = (S.SourceCursor * 97 + 13) & 0xff;
+        ++S.SourceCursor;
+        return RtValue::ofInt(V);
+      },
+      350, "src");
+}
+
+std::map<std::string, double> check::checkCostHints() {
+  return {{"work", 4000.0},      {"mix2", 1500.0}, {"cell_add", 300.0},
+          {"cell_get", 200.0},   {"stat_note", 250.0}, {"emit", 400.0},
+          {"source_next", 350.0}};
+}
+
+Snapshot check::takeSnapshot(const CheckState &State,
+                             const std::vector<int64_t> &GlobalInts,
+                             int64_t Result, uint64_t Iterations) {
+  Snapshot S;
+  S.GlobalInts = GlobalInts;
+  S.Cells = State.Cells;
+  S.StatCount = State.StatCount;
+  S.StatSum = State.StatSum;
+  S.StatMin = State.StatMin;
+  S.StatMax = State.StatMax;
+  S.SourceCursor = State.SourceCursor;
+  S.Output = State.Output;
+  S.Result = Result;
+  S.Iterations = Iterations;
+  return S;
+}
+
+namespace {
+
+template <typename T>
+void dumpSeq(std::ostringstream &Os, const std::vector<T> &V, size_t Cap) {
+  Os << "[";
+  for (size_t I = 0; I < V.size() && I < Cap; ++I)
+    Os << (I ? " " : "") << V[I];
+  if (V.size() > Cap)
+    Os << " ...";
+  Os << "]";
+}
+
+void dumpPairs(std::ostringstream &Os,
+               const std::vector<std::pair<int64_t, int64_t>> &V,
+               size_t Cap) {
+  Os << "[";
+  for (size_t I = 0; I < V.size() && I < Cap; ++I)
+    Os << (I ? " " : "") << "(" << V[I].first << "," << V[I].second << ")";
+  if (V.size() > Cap)
+    Os << " ...";
+  Os << "]";
+}
+
+bool outputEquivalent(const Snapshot &Ref, const Snapshot &Got,
+                      OutputOrder Order, std::string &Why) {
+  if (Ref.Output.size() != Got.Output.size()) {
+    Why = "output length differs";
+    return false;
+  }
+  switch (Order) {
+  case OutputOrder::Exact:
+    if (Ref.Output != Got.Output) {
+      Why = "output sequence differs (exact order required)";
+      return false;
+    }
+    return true;
+  case OutputOrder::PerKeyOrdered: {
+    // Same multiset overall and same subsequence per key.
+    std::map<int64_t, std::vector<int64_t>> RefKeyed, GotKeyed;
+    for (auto &[K, V] : Ref.Output)
+      RefKeyed[K].push_back(V);
+    for (auto &[K, V] : Got.Output)
+      GotKeyed[K].push_back(V);
+    if (RefKeyed != GotKeyed) {
+      Why = "per-key output subsequences differ";
+      return false;
+    }
+    return true;
+  }
+  case OutputOrder::Multiset: {
+    auto A = Ref.Output, B = Got.Output;
+    std::sort(A.begin(), A.end());
+    std::sort(B.begin(), B.end());
+    if (A != B) {
+      Why = "output multisets differ";
+      return false;
+    }
+    return true;
+  }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::string> check::compareSnapshots(const Snapshot &Ref,
+                                                   const Snapshot &Got,
+                                                   OutputOrder Order) {
+  std::ostringstream Os;
+  bool Diverged = false;
+  auto mismatch = [&](const char *What, int64_t A, int64_t B) {
+    Os << "  " << What << ": expected " << A << ", got " << B << "\n";
+    Diverged = true;
+  };
+
+  if (Ref.GlobalInts != Got.GlobalInts) {
+    Os << "  globals: expected ";
+    dumpSeq(Os, Ref.GlobalInts, 16);
+    Os << ", got ";
+    dumpSeq(Os, Got.GlobalInts, 16);
+    Os << "\n";
+    Diverged = true;
+  }
+  if (Ref.Cells != Got.Cells) {
+    Os << "  cells: expected ";
+    dumpSeq(Os, Ref.Cells, 16);
+    Os << ", got ";
+    dumpSeq(Os, Got.Cells, 16);
+    Os << "\n";
+    Diverged = true;
+  }
+  if (Ref.StatCount != Got.StatCount)
+    mismatch("stat count", Ref.StatCount, Got.StatCount);
+  if (Ref.StatSum != Got.StatSum)
+    mismatch("stat sum", Ref.StatSum, Got.StatSum);
+  if (Ref.StatMin != Got.StatMin)
+    mismatch("stat min", Ref.StatMin, Got.StatMin);
+  if (Ref.StatMax != Got.StatMax)
+    mismatch("stat max", Ref.StatMax, Got.StatMax);
+  if (Ref.SourceCursor != Got.SourceCursor)
+    mismatch("source cursor", Ref.SourceCursor, Got.SourceCursor);
+  if (Ref.Result != Got.Result)
+    mismatch("return value", Ref.Result, Got.Result);
+  // Iterations is informational only: the sequential interpreter does not
+  // count loop trips, so it is not comparable across schemes.
+
+  std::string Why;
+  if (!outputEquivalent(Ref, Got, Order, Why)) {
+    Os << "  " << Why << ": expected ";
+    dumpPairs(Os, Ref.Output, 24);
+    Os << ", got ";
+    dumpPairs(Os, Got.Output, 24);
+    Os << "\n";
+    Diverged = true;
+  }
+
+  if (!Diverged)
+    return std::nullopt;
+  return Os.str();
+}

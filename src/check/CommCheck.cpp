@@ -1,0 +1,67 @@
+//===- CommCheck.cpp ------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/CommCheck.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace commset;
+using namespace commset::check;
+
+std::string check::renderArtifact(const GeneratedProgram &P,
+                                  const TrialResult &Trial) {
+  std::ostringstream Os;
+  Os << "CommCheck failure artifact\n"
+     << "==========================\n"
+     << "seed: " << P.Seed << "\n"
+     << "replay: commcheck --seed " << P.Seed << " --iters 1\n"
+     << "shape: " << P.Shape << "\n"
+     << "trip count: " << P.TripCount << "\n"
+     << "lib-safe: " << (P.LibSafe ? "yes" : "no") << "\n"
+     << "\n--- report ---\n"
+     << Trial.Report << "\n--- generated program ---\n"
+     << P.Source;
+  return Os.str();
+}
+
+CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
+  CommCheckSummary Sum;
+  for (unsigned K = 0; K < Opts.Iterations; ++K) {
+    uint64_t IterSeed = Opts.Seed + K;
+    GeneratedProgram P = generateProgram(IterSeed, Opts.Gen);
+    TrialResult Trial = runTrials(P, Opts.Oracle, IterSeed);
+
+    ++Sum.Iterations;
+    Sum.PlansRun += Trial.PlansRun;
+    Sum.SchedulesRun += Trial.SchedulesRun;
+    Sum.RacesReported += Trial.RacesReported;
+
+    if (Opts.Verbose)
+      std::printf("commcheck: seed %llu %s (%u plans, %u schedules) %s\n",
+                  static_cast<unsigned long long>(IterSeed),
+                  Trial.Ok ? "ok" : "FAIL", Trial.PlansRun,
+                  Trial.SchedulesRun, P.Shape.c_str());
+
+    if (Trial.Ok)
+      continue;
+
+    ++Sum.Failures;
+    if (Sum.FirstFailure.empty())
+      Sum.FirstFailure = Trial.Report;
+    if (!Opts.DumpDir.empty()) {
+      std::string Path = Opts.DumpDir + "/commcheck-" +
+                         std::to_string(IterSeed) + ".txt";
+      std::ofstream Out(Path);
+      if (Out) {
+        Out << renderArtifact(P, Trial);
+        Sum.ArtifactPaths.push_back(Path);
+      }
+    }
+  }
+  return Sum;
+}

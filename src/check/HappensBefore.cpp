@@ -1,0 +1,162 @@
+//===- HappensBefore.cpp --------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/HappensBefore.h"
+
+#include "commset/IR/IR.h"
+
+#include <sstream>
+
+using namespace commset;
+using namespace commset::check;
+
+std::string RaceReport::describe() const {
+  std::ostringstream Os;
+  Os << "race on global '" << Global << "' (slot " << Slot << "): thread "
+     << ThreadA << " " << (WriteA ? "write" : "read") << " vs thread "
+     << ThreadB << " " << (WriteB ? "write" : "read")
+     << ", unordered by happens-before and not covered by a COMMSET";
+  return Os.str();
+}
+
+HbChecker::HbChecker(unsigned NumThreads, const Module &M) : N(NumThreads) {
+  for (const GlobalVar &G : M.Globals)
+    GlobalNames.push_back(G.Name);
+  Clocks.assign(N, VC(N, 0));
+  // Distinct initial epochs per thread so "has T joined U's release?"
+  // starts false everywhere except the thread's own component.
+  for (unsigned T = 0; T < N; ++T)
+    Clocks[T][T] = 1;
+  SlotState Empty;
+  Empty.LastWrite.assign(N, 0);
+  Empty.LastRead.assign(N, 0);
+  Empty.WriteProt.assign(N, 0);
+  Empty.ReadProt.assign(N, 0);
+  Slots.assign(M.Globals.size(), Empty);
+  TmClock.assign(N, 0);
+  InTx.assign(N, 0);
+  SafeDepth.assign(N, 0);
+  MemberStack.assign(N, {});
+}
+
+void HbChecker::report(unsigned Slot, unsigned TA, bool WA, unsigned TB,
+                       bool WB) {
+  auto Key = std::make_tuple(Slot, WA, WB);
+  if (!Seen.insert(Key).second || Races.size() >= 64)
+    return;
+  RaceReport R;
+  R.Slot = Slot;
+  R.Global = Slot < GlobalNames.size() ? GlobalNames[Slot] : "?";
+  R.ThreadA = TA;
+  R.WriteA = WA;
+  R.ThreadB = TB;
+  R.WriteB = WB;
+  Races.push_back(std::move(R));
+}
+
+void HbChecker::access(unsigned T, unsigned Slot, bool IsWrite) {
+  if (T >= N || Slot >= Slots.size())
+    return;
+  SlotState &S = Slots[Slot];
+  const VC &Mine = Clocks[T];
+  bool Prot = protectedAccess(T);
+  for (unsigned U = 0; U < N; ++U) {
+    if (U == T)
+      continue;
+    // A prior access by U races with this one when T has not joined U's
+    // clock past it (unordered) — unless a COMMSET covers both sides
+    // (both in declared-safe members or transactions).
+    if (S.LastWrite[U] > Mine[U] && !(Prot && S.WriteProt[U]))
+      report(Slot, U, true, T, IsWrite);
+    if (IsWrite && S.LastRead[U] > Mine[U] && !(Prot && S.ReadProt[U]))
+      report(Slot, U, false, T, true);
+  }
+  if (IsWrite) {
+    S.LastWrite[T] = Mine[T];
+    S.WriteProt[T] = Prot;
+  } else {
+    S.LastRead[T] = Mine[T];
+    S.ReadProt[T] = Prot;
+  }
+}
+
+void HbChecker::onSend(unsigned From, unsigned To) {
+  ChannelClocks[{From, To}].push_back(Clocks[From]);
+  ++Clocks[From][From];
+}
+
+void HbChecker::onRecv(unsigned From, unsigned To) {
+  auto &Q = ChannelClocks[{From, To}];
+  if (Q.empty())
+    return; // Platform guarantees a matching send; be defensive anyway.
+  join(Clocks[To], Q.front());
+  Q.pop_front();
+}
+
+void HbChecker::onLockAcquire(unsigned T,
+                              const std::vector<unsigned> &Ranks) {
+  for (unsigned R : Ranks) {
+    auto It = RankClocks.find(R);
+    if (It != RankClocks.end())
+      join(Clocks[T], It->second);
+  }
+}
+
+void HbChecker::onLockRelease(unsigned T,
+                              const std::vector<unsigned> &Ranks) {
+  for (unsigned R : Ranks)
+    RankClocks[R] = Clocks[T];
+  ++Clocks[T][T];
+}
+
+void HbChecker::onResourceAcquire(unsigned T, const std::string &Name) {
+  auto It = ResourceClocks.find(Name);
+  if (It != ResourceClocks.end())
+    join(Clocks[T], It->second);
+}
+
+void HbChecker::onResourceRelease(unsigned T, const std::string &Name) {
+  ResourceClocks[Name] = Clocks[T];
+  ++Clocks[T][T];
+}
+
+void HbChecker::onTxBegin(unsigned T) {
+  InTx[T] = 1;
+  join(Clocks[T], TmClock);
+}
+
+void HbChecker::onTxCommit(unsigned T) {
+  join(TmClock, Clocks[T]);
+  ++Clocks[T][T];
+  InTx[T] = 0;
+}
+
+void HbChecker::onMemberEnter(unsigned T, bool DeclaredSafe) {
+  MemberStack[T].push_back(DeclaredSafe ? 1 : 0);
+  if (DeclaredSafe)
+    ++SafeDepth[T];
+}
+
+void HbChecker::onMemberExit(unsigned T) {
+  if (MemberStack[T].empty())
+    return;
+  if (MemberStack[T].back())
+    --SafeDepth[T];
+  MemberStack[T].pop_back();
+}
+
+void HbChecker::onRegionBegin(unsigned Master) {
+  for (unsigned W = 0; W < N; ++W)
+    if (W != Master)
+      join(Clocks[W], Clocks[Master]);
+  ++Clocks[Master][Master];
+}
+
+void HbChecker::onRegionEnd(unsigned Master) {
+  for (unsigned W = 0; W < N; ++W)
+    if (W != Master)
+      join(Clocks[Master], Clocks[W]);
+}

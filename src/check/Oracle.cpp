@@ -1,0 +1,170 @@
+//===- Oracle.cpp ---------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/Oracle.h"
+
+#include "commset/Check/CheckRuntime.h"
+#include "commset/Check/SchedulePlatform.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <sstream>
+
+using namespace commset;
+using namespace commset::check;
+
+namespace {
+
+/// One execution of \p F under \p Plan with fresh harness state and a
+/// fresh global image, snapshotted afterwards.
+Snapshot runOnce(const Module &M, const Function *F, const ParallelPlan &Plan,
+                 int TripCount, ExecPlatform &Platform) {
+  CheckState State;
+  NativeRegistry Natives;
+  registerCheckNatives(Natives, State);
+  std::vector<RtValue> Globals = makeGlobalImage(M);
+  LoopRunStats Stats;
+  RtValue Result =
+      runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
+                          {RtValue::ofInt(TripCount)}, Platform, &Stats);
+  std::vector<int64_t> GlobalInts;
+  GlobalInts.reserve(Globals.size());
+  for (const RtValue &V : Globals)
+    GlobalInts.push_back(V.I);
+  return takeSnapshot(State, GlobalInts, Result.I, Stats.Iterations);
+}
+
+std::string planContext(const ParallelPlan &Plan, unsigned Threads,
+                        SyncMode Sync) {
+  std::ostringstream Os;
+  Os << "plan: " << Plan.describe() << "\n  requested threads: " << Threads
+     << ", sync mode: " << syncModeName(Sync) << "\n";
+  return Os.str();
+}
+
+void fail(TrialResult &Res, const std::string &What) {
+  Res.Ok = false;
+  if (!Res.Report.empty())
+    return; // Keep the first failure; it is the one to replay.
+  Res.Report = What;
+}
+
+} // namespace
+
+TrialResult check::runTrials(const GeneratedProgram &P,
+                             const OracleOptions &Opts,
+                             uint64_t ScheduleSeed) {
+  TrialResult Res;
+
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(P.Source, Diags);
+  if (!C) {
+    fail(Res, "generated program failed to compile (generator bug):\n" +
+                  Diags.str());
+    return Res;
+  }
+  auto T = C->analyzeLoop("main_loop", Diags);
+  if (!T) {
+    fail(Res, "analyzeLoop(main_loop) failed:\n" + Diags.str());
+    return Res;
+  }
+
+  const Module &M = C->module();
+
+  // Sequential reference.
+  ParallelPlan SeqPlan;
+  SeqPlan.Kind = Strategy::Sequential;
+  SeqPlan.F = T->F;
+  SeqPlan.L = T->L;
+  SeqPlan.NumThreads = 1;
+  Snapshot Ref;
+  {
+    ThreadedPlatform Platform(1);
+    Ref = runOnce(M, T->F, SeqPlan, P.TripCount, Platform);
+  }
+
+  // Free-running differential sweep: every applicable scheme under every
+  // sync mode and thread count.
+  std::vector<SyncMode> Syncs = {SyncMode::Mutex, SyncMode::Spin};
+  if (Opts.IncludeTm)
+    Syncs.push_back(SyncMode::Tm);
+  if (P.LibSafe)
+    Syncs.push_back(SyncMode::None);
+
+  for (unsigned Threads : Opts.Threads) {
+    for (SyncMode Sync : Syncs) {
+      PlanOptions PO;
+      PO.NumThreads = Threads;
+      PO.Sync = Sync;
+      PO.NativeCostHints = checkCostHints();
+      auto Schemes = buildAllSchemes(*C, *T, PO);
+      for (const SchemeReport &R : Schemes) {
+        if (!R.Applicable || !R.Plan ||
+            R.Plan->Kind == Strategy::Sequential)
+          continue;
+        ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
+        Snapshot Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+        ++Res.PlansRun;
+        if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+          fail(Res, "differential mismatch vs sequential reference\n  " +
+                        planContext(*R.Plan, Threads, Sync) + *Diff);
+      }
+      if (!Res.Ok)
+        return Res;
+    }
+  }
+
+  if (!Opts.ExploreSchedules)
+    return Res;
+
+  // Schedule exploration + happens-before checking at two threads, where
+  // interleavings are densest relative to runtime.
+  PlanOptions PO;
+  PO.NumThreads = 2;
+  PO.Sync = SyncMode::Mutex;
+  PO.NativeCostHints = checkCostHints();
+  auto Schemes = buildAllSchemes(*C, *T, PO);
+
+  std::vector<SchedulePolicy> Policies;
+  for (unsigned K = 0; K < Opts.RandomSchedules; ++K)
+    Policies.push_back(
+        SchedulePolicy::random(ScheduleSeed * 1000003ULL + K + 1));
+  for (unsigned Interval : Opts.RoundRobinIntervals)
+    Policies.push_back(SchedulePolicy::roundRobin(Interval));
+
+  unsigned Explored = 0;
+  for (const SchemeReport &R : Schemes) {
+    if (!R.Applicable || !R.Plan || R.Plan->Kind == Strategy::Sequential)
+      continue;
+    if (Explored++ >= Opts.MaxPlansToExplore)
+      break;
+    for (const SchedulePolicy &Policy : Policies) {
+      SchedulePlatform Platform(std::max(1u, R.Plan->NumThreads), Policy,
+                                &M);
+      Snapshot Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+      ++Res.SchedulesRun;
+      const auto &Races = Platform.checker()->races();
+      Res.RacesReported += static_cast<unsigned>(Races.size());
+      if (!Races.empty()) {
+        std::ostringstream Os;
+        Os << "happens-before violation under sync-enabled plan\n  "
+           << planContext(*R.Plan, 2, SyncMode::Mutex)
+           << "  schedule policy: " << Policy.describe() << "\n";
+        for (const RaceReport &Race : Races)
+          Os << "  " << Race.describe() << "\n";
+        fail(Res, Os.str());
+      }
+      if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+        fail(Res, "divergence under controlled schedule\n  " +
+                      planContext(*R.Plan, 2, SyncMode::Mutex) +
+                      "  schedule policy: " + Policy.describe() + "\n" +
+                      *Diff);
+      if (!Res.Ok)
+        return Res;
+    }
+  }
+  return Res;
+}

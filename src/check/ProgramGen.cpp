@@ -1,0 +1,340 @@
+//===- ProgramGen.cpp -----------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every shared effect a generated program performs is exactly commutative
+// (integer sums into globals or cells, count/sum/min/max statistics, keyed
+// output appends), so any schedule the planner derives must reproduce the
+// sequential final state bit-for-bit — except the output stream, whose
+// legal reordering is captured by GeneratedProgram::Output. That invariant
+// is what lets the differential oracle treat *any* divergence as a bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/ProgramGen.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace commset;
+using namespace commset::check;
+
+namespace {
+
+struct Gen {
+  CheckRng Rng;
+  const GenOptions &Opts;
+  GeneratedProgram P;
+
+  // Structure choices, drawn once in a fixed order (determinism).
+  int NumGlobals = 1;
+  int NumBump = 0;
+  bool UsePred = false;
+  bool UseNosync = false;
+  bool CellAddSelf = false;
+  bool UseNamed = false;
+  bool UseSource = false;
+  bool UseEmit = false;
+  bool UseDirectAcc = false;
+  bool UseSubloop = false;
+  bool UseCellGet = false;
+
+  std::vector<std::string> Locals; // int-valued locals usable as operands.
+  std::ostringstream Body;
+
+  Gen(uint64_t Seed, const GenOptions &Opts) : Rng(Seed), Opts(Opts) {
+    P.Seed = Seed;
+  }
+
+  std::string pickVal() {
+    // An operand for an effect call: a local or the induction variable.
+    if (Locals.empty() || Rng.chance(25))
+      return "i";
+    return Locals[Rng.range(Locals.size())];
+  }
+
+  std::string pickKey() {
+    switch (Rng.range(3)) {
+    case 0:
+      return "i";
+    case 1:
+      return "i % 4";
+    default:
+      return "(i + 3) % 8";
+    }
+  }
+
+  void stmt(const std::string &S) { Body << "    " << S << "\n"; }
+
+  /// Wraps one call statement in an anonymous commutative block.
+  void block(const std::string &Sets, const std::string &Call) {
+    Body << "    #pragma commset member(" << Sets << ")\n"
+         << "    {\n      " << Call << "\n    }\n";
+  }
+
+  /// Some effect statements hide behind a data-dependent branch so the
+  /// generated CFGs are not all straight-line.
+  void maybeIf(const std::string &Call) {
+    if (!Locals.empty() && Rng.chance(30)) {
+      const std::string &C = Locals[Rng.range(Locals.size())];
+      Body << "    if (" << C << " % 3 != 1) {\n      " << Call
+           << "\n    }\n";
+    } else {
+      stmt(Call);
+    }
+  }
+
+  void drawShape() {
+    P.TripCount = Opts.MinTrip +
+                  static_cast<int>(Rng.range(
+                      static_cast<uint64_t>(Opts.MaxTrip - Opts.MinTrip + 1)));
+    NumGlobals = 1 + static_cast<int>(Rng.range(3));
+    NumBump = Rng.chance(55) ? 1 + static_cast<int>(Rng.range(2)) : 0;
+    if (NumBump > NumGlobals)
+      NumBump = NumGlobals;
+    UsePred = Rng.chance(65);
+    UseNosync = Opts.AllowNosync && Rng.chance(40);
+    CellAddSelf = Rng.chance(35);
+    // The named-block helper wraps cell_add; skip it when cell_add is
+    // already an interface member (members must not call members).
+    UseNamed = Opts.AllowNamedBlocks && UsePred && !CellAddSelf &&
+               Rng.chance(45);
+    UseSource = Opts.AllowSequentialSource && Rng.chance(35);
+    UseEmit = Rng.chance(70);
+    if (UseEmit) {
+      switch (Rng.range(3)) {
+      case 0:
+        P.Output = OutputOrder::Exact;
+        break;
+      case 1:
+        P.Output = OutputOrder::Multiset;
+        break;
+      default:
+        P.Output = UsePred ? OutputOrder::PerKeyOrdered
+                           : OutputOrder::Multiset;
+        break;
+      }
+    }
+    UseDirectAcc = Rng.chance(30);
+    UseSubloop = Rng.chance(25);
+    UseCellGet = Rng.chance(15);
+    // User-defined members mutate interpreter globals, so disabling
+    // compiler synchronization (Lib mode) is only legal without them.
+    P.LibSafe = NumBump == 0;
+
+    std::ostringstream Shape;
+    Shape << "globals=" << NumGlobals << " bump=" << NumBump
+          << (UsePred ? " pred" : "") << (UseNosync ? " nosync" : "")
+          << (CellAddSelf ? " cell-self" : "") << (UseNamed ? " named" : "")
+          << (UseSource ? " source" : "") << (UseDirectAcc ? " acc" : "")
+          << (UseSubloop ? " subloop" : "") << (UseCellGet ? " get" : "");
+    if (UseEmit)
+      Shape << " emit="
+            << (P.Output == OutputOrder::Exact
+                    ? "exact"
+                    : P.Output == OutputOrder::PerKeyOrdered ? "perkey"
+                                                             : "multiset");
+    P.Shape = Shape.str();
+  }
+
+  void emitPrologue(std::ostringstream &Src) {
+    Src << "// commcheck seed " << P.Seed << ": " << P.Shape << "\n";
+    for (int G = 0; G < NumGlobals; ++G)
+      Src << "int g" << G << " = " << Rng.range(7) << ";\n";
+
+    // Harness natives (CheckRuntime.cpp). work/mix2 are pure; everything
+    // else lives in internally synchronized harness state.
+    Src << "extern int work(int x);\n"
+        << "extern int mix2(int a, int b);\n";
+    if (CellAddSelf)
+      Src << "#pragma commset member(SELF)\n";
+    Src << "extern void cell_add(int k, int v);\n"
+        << "extern int cell_get(int k);\n";
+    if (UseNosync)
+      Src << "#pragma commset member(LOG)\n";
+    Src << "extern void stat_note(int v);\n"
+        << "extern void emit(int k, int v);\n"
+        << "extern int source_next();\n"
+        << "#pragma commset effects(work, pure)\n"
+        << "#pragma commset effects(mix2, pure)\n"
+        << "#pragma commset effects(cell_add, reads(cells), writes(cells))\n"
+        << "#pragma commset effects(cell_get, reads(cells))\n"
+        << "#pragma commset effects(stat_note, reads(stats), writes(stats))\n"
+        << "#pragma commset effects(emit, reads(out), writes(out))\n"
+        << "#pragma commset effects(source_next, reads(src), writes(src))\n";
+
+    if (UsePred)
+      Src << "#pragma commset decl(KSET)\n"
+          << "#pragma commset predicate(KSET, (int a), (int b), a != b)\n";
+    if (UseNosync)
+      Src << "#pragma commset decl(LOG, self)\n"
+          << "#pragma commset nosync(LOG)\n";
+
+    for (int B = 0; B < NumBump; ++B) {
+      // A user-defined self-commuting member: pure integer accumulation,
+      // TM-eligible (no native calls inside).
+      Src << "#pragma commset member(SELF)\n"
+          << "void bump" << B << "(int v) { g" << B << " = g" << B
+          << " + v";
+      if (Rng.chance(40))
+        Src << " + " << (1 + Rng.range(3));
+      Src << "; }\n";
+    }
+
+    if (UseNamed)
+      Src << "#pragma commset namedarg(RB)\n"
+          << "void step(int k, int v) {\n"
+          << "  #pragma commset namedblock(RB)\n"
+          << "  {\n    cell_add(k, v);\n  }\n"
+          << "}\n";
+  }
+
+  void emitValueOps() {
+    unsigned N = 2 + static_cast<unsigned>(Rng.range(3));
+    if (UseSource) {
+      std::string T = "t" + std::to_string(Locals.size());
+      stmt("int " + T + " = source_next();");
+      Locals.push_back(T);
+    }
+    for (unsigned K = 0; K < N; ++K) {
+      std::string T = "t" + std::to_string(Locals.size());
+      switch (Rng.range(4)) {
+      case 0:
+        stmt("int " + T + " = work(" + pickVal() + " + " +
+             std::to_string(Rng.range(9)) + ");");
+        break;
+      case 1:
+        stmt("int " + T + " = mix2(" + pickVal() + ", " + pickVal() + ");");
+        break;
+      case 2:
+        stmt("int " + T + " = " + pickVal() + " * " +
+             std::to_string(1 + Rng.range(4)) + " + i;");
+        break;
+      default:
+        if (UseCellGet) {
+          stmt("int " + T + " = cell_get(" + pickKey() + ");");
+        } else {
+          stmt("int " + T + " = work(" + pickVal() + ");");
+        }
+        break;
+      }
+      Locals.push_back(T);
+    }
+    if (UseSubloop) {
+      std::string T = "t" + std::to_string(Locals.size());
+      stmt("int " + T + " = 0;");
+      Body << "    for (int j = 0; j < 3; j = j + 1) {\n"
+           << "      " << T << " = " << T << " + work(" << pickVal()
+           << " + j);\n    }\n";
+      Locals.push_back(T);
+    }
+  }
+
+  void emitCellOp() {
+    std::string Call = "cell_add(" + pickKey() + ", " + pickVal() + ");";
+    if (CellAddSelf) {
+      // The native itself is an interface member of an implicit self set;
+      // wrapping it again would nest members of different sets.
+      maybeIf(Call);
+      return;
+    }
+    if (UseNamed && Rng.chance(40)) {
+      std::string Args = pickVal();
+      if (Rng.chance(70)) {
+        Body << "    #pragma commset enable(RB: KSET(i))\n";
+        stmt("step(i, " + Args + ");");
+      } else {
+        // Disabled named block: plain (sequentialized) semantics.
+        stmt("step(i, " + Args + ");");
+      }
+      return;
+    }
+    switch (Rng.range(3)) {
+    case 0:
+      maybeIf(Call); // Un-annotated: loop-carried, biases pipelines.
+      break;
+    case 1:
+      block("SELF", Call);
+      break;
+    default:
+      if (UsePred)
+        block(Rng.chance(50) ? "SELF, KSET(i)" : "KSET(i)", Call);
+      else
+        block("SELF", Call);
+      break;
+    }
+  }
+
+  void emitBody() {
+    emitValueOps();
+
+    for (int B = 0; B < NumBump; ++B)
+      if (Rng.chance(80))
+        maybeIf("bump" + std::to_string(B) + "(" + pickVal() + ");");
+
+    unsigned Cells = 1 + static_cast<unsigned>(Rng.range(2));
+    for (unsigned K = 0; K < Cells; ++K)
+      emitCellOp();
+
+    if (Rng.chance(60)) {
+      std::string Call = "stat_note(" + pickVal() + ");";
+      if (UseNosync)
+        maybeIf(Call); // Interface member of the NOSYNC set.
+      else if (Rng.chance(50))
+        block("SELF", Call);
+      else
+        stmt(Call);
+    }
+
+    if (UseEmit) {
+      switch (P.Output) {
+      case OutputOrder::Exact:
+        stmt("emit(" + pickKey() + ", " + pickVal() + ");");
+        break;
+      case OutputOrder::PerKeyOrdered:
+        // Keyed by the predicate argument: cross-key reordering is legal,
+        // same-key order must hold (trivially, keys are distinct here).
+        block("KSET(i)", "emit(i, " + pickVal() + ");");
+        break;
+      case OutputOrder::Multiset:
+        block("SELF", "emit(" + pickKey() + ", " + pickVal() + ");");
+        break;
+      }
+    }
+
+    if (UseDirectAcc) {
+      // Direct un-annotated accumulation: loop-carried scalar the planner
+      // must keep in one sequential stage.
+      int G = NumGlobals - 1;
+      stmt("g" + std::to_string(G) + " = g" + std::to_string(G) + " + " +
+           pickVal() + ";");
+    }
+  }
+
+  GeneratedProgram run() {
+    drawShape();
+    Locals.clear();
+    emitBody(); // Fills Body; drawn before prologue only uses Rng order.
+    std::ostringstream Src;
+    emitPrologue(Src);
+    Src << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n";
+    Src << Body.str();
+    Src << "  }\n  return";
+    for (int G = 0; G < NumGlobals; ++G)
+      Src << (G ? " + g" : " g") << G;
+    Src << ";\n}\n";
+    P.Source = Src.str();
+    return P;
+  }
+};
+
+} // namespace
+
+GeneratedProgram check::generateProgram(uint64_t Seed,
+                                        const GenOptions &Opts) {
+  Gen G(Seed, Opts);
+  return G.run();
+}

@@ -1,0 +1,370 @@
+//===- SchedulePlatform.cpp -----------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Token discipline: exactly one thread owns the run token (Cur). Every
+// platform entry point first parks until the caller owns it, so all
+// interpreter work between two platform events is exclusive — which both
+// serializes the schedule deterministically and lets the happens-before
+// checker run lock-free. Blocking conditions (empty queue, held rank,
+// busy resource) are re-checked by the blocked thread itself after each
+// handback; the scheduler only hands the token to threads whose condition
+// currently holds, so there are no lost wakeups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/SchedulePlatform.h"
+
+#include "commset/IR/IR.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace commset;
+using namespace commset::check;
+
+std::string SchedulePolicy::describe() const {
+  std::ostringstream Os;
+  if (K == Kind::Random)
+    Os << "random(seed=" << Seed << ")";
+  else
+    Os << "round-robin(interval=" << Interval << ")";
+  return Os.str();
+}
+
+SchedulePlatform::SchedulePlatform(unsigned NumThreads,
+                                   const SchedulePolicy &Policy,
+                                   const Module *M)
+    : N(NumThreads ? NumThreads : 1), Policy(Policy), Rng(Policy.Seed) {
+  Done.assign(N, 0);
+  TS.assign(N, {});
+  if (M)
+    Hb = std::make_unique<HbChecker>(N, *M);
+}
+
+SchedulePlatform::~SchedulePlatform() = default;
+
+void SchedulePlatform::waitTurn(Guard &Lk, unsigned T) {
+  Cv.wait(Lk, [&] { return Cur == T; });
+}
+
+bool SchedulePlatform::blockSatisfied(unsigned T) const {
+  const ThreadState &St = TS[T];
+  switch (St.B) {
+  case Block::None:
+    return true;
+  case Block::Recv: {
+    auto It = Queues.find({St.RecvFrom, T});
+    return It != Queues.end() && !It->second.empty();
+  }
+  case Block::Lock:
+    for (unsigned R : St.WantRanks) {
+      auto It = RankOwner.find(R);
+      if (It != RankOwner.end() && It->second != T)
+        return false;
+    }
+    return true;
+  case Block::Resource: {
+    auto It = ResourceOwner.find(St.WantResource);
+    return It == ResourceOwner.end() || It->second == T;
+  }
+  }
+  return true;
+}
+
+bool SchedulePlatform::canRun(unsigned T) const {
+  bool Active = InRegion ? T < N : T == 0;
+  return Active && !Done[T] && blockSatisfied(T);
+}
+
+unsigned SchedulePlatform::pickNext(unsigned T, bool AllowSelf) {
+  if (Policy.K == SchedulePolicy::Kind::RoundRobin) {
+    for (unsigned D = 1; D <= N; ++D) {
+      unsigned U = (T + D) % N;
+      if (U == T && !AllowSelf)
+        continue;
+      if (canRun(U))
+        return U;
+    }
+    return N;
+  }
+  std::vector<unsigned> Cand;
+  for (unsigned U = 0; U < N; ++U) {
+    if (U == T && !AllowSelf)
+      continue;
+    if (canRun(U))
+      Cand.push_back(U);
+  }
+  if (Cand.empty())
+    return N;
+  return Cand[Rng.range(Cand.size())];
+}
+
+void SchedulePlatform::handoff(Guard &Lk, unsigned T, unsigned Next,
+                               bool Wait) {
+  Cur = Next;
+  if (Log.size() < 8192)
+    Log.push_back(Next);
+  Cv.notify_all();
+  if (Wait)
+    Cv.wait(Lk, [&] { return Cur == T; });
+}
+
+void SchedulePlatform::switchAway(Guard &Lk, unsigned T, bool Wait) {
+  unsigned Next = pickNext(T, /*AllowSelf=*/false);
+  if (Next == N) {
+    if (Wait)
+      reportDeadlock(T);
+    // threadDone path: fine if everyone else already exited, but a live
+    // thread that is not runnable is blocked forever — a real deadlock.
+    for (unsigned U = 0; U < N; ++U)
+      if (U != T && !Done[U])
+        reportDeadlock(T);
+    // Last finisher: return the token to the master for region teardown.
+    Cur = 0;
+    Cv.notify_all();
+    return;
+  }
+  handoff(Lk, T, Next, Wait);
+}
+
+void SchedulePlatform::schedulePoint(Guard &Lk, unsigned T) {
+  ++Points;
+  if (Policy.K == SchedulePolicy::Kind::Random) {
+    if (Rng.next() & 1)
+      return;
+    unsigned Next = pickNext(T, /*AllowSelf=*/true);
+    if (Next != N && Next != T)
+      handoff(Lk, T, Next, /*Wait=*/true);
+    return;
+  }
+  if (++PointsSinceSwitch < Policy.Interval)
+    return;
+  PointsSinceSwitch = 0;
+  unsigned Next = pickNext(T, /*AllowSelf=*/false);
+  if (Next != N && Next != T)
+    handoff(Lk, T, Next, /*Wait=*/true);
+}
+
+void SchedulePlatform::reportDeadlock(unsigned T) {
+  std::ostringstream Os;
+  Os << "commcheck controlled scheduler: no runnable thread (deadlock)\n"
+     << "  reported by thread " << T << ", " << Points
+     << " schedule points, policy " << Policy.describe() << "\n";
+  for (unsigned U = 0; U < N; ++U) {
+    Os << "  thread " << U << ": " << (Done[U] ? "done" : "live");
+    switch (TS[U].B) {
+    case Block::None:
+      break;
+    case Block::Recv:
+      Os << ", blocked on recv from thread " << TS[U].RecvFrom;
+      break;
+    case Block::Lock: {
+      Os << ", blocked on ranks";
+      for (unsigned R : TS[U].WantRanks)
+        Os << " " << R;
+      break;
+    }
+    case Block::Resource:
+      Os << ", blocked on resource '" << TS[U].WantResource << "'";
+      break;
+    }
+    Os << "\n";
+  }
+  std::fputs(Os.str().c_str(), stderr);
+  std::abort();
+}
+
+//===----------------------------------------------------------------------===//
+// ExecPlatform interface
+//===----------------------------------------------------------------------===//
+
+void SchedulePlatform::send(unsigned From, unsigned To, RtValue Value) {
+  Guard Lk(Mu);
+  waitTurn(Lk, From);
+  Queues[{From, To}].push_back(Value);
+  if (Hb)
+    Hb->onSend(From, To);
+  schedulePoint(Lk, From);
+}
+
+RtValue SchedulePlatform::recv(unsigned From, unsigned To) {
+  Guard Lk(Mu);
+  waitTurn(Lk, To);
+  auto *Q = &Queues[{From, To}];
+  while (Q->empty()) {
+    TS[To].B = Block::Recv;
+    TS[To].RecvFrom = From;
+    switchAway(Lk, To, /*Wait=*/true);
+    TS[To].B = Block::None;
+    Q = &Queues[{From, To}];
+  }
+  RtValue V = Q->front();
+  Q->pop_front();
+  if (Hb)
+    Hb->onRecv(From, To);
+  schedulePoint(Lk, To);
+  return V;
+}
+
+void SchedulePlatform::charge(unsigned Thread, uint64_t) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  schedulePoint(Lk, Thread);
+}
+
+void SchedulePlatform::lockEnter(unsigned Thread,
+                                 const std::vector<unsigned> &Ranks) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  auto heldElsewhere = [&] {
+    for (unsigned R : Ranks) {
+      auto It = RankOwner.find(R);
+      if (It != RankOwner.end() && It->second != Thread)
+        return true;
+    }
+    return false;
+  };
+  while (heldElsewhere()) {
+    TS[Thread].B = Block::Lock;
+    TS[Thread].WantRanks = Ranks;
+    switchAway(Lk, Thread, /*Wait=*/true);
+    TS[Thread].B = Block::None;
+  }
+  // Grant cooperatively; the interpreter's real acquire that follows is
+  // guaranteed uncontended, so serialization cannot wedge on it.
+  for (unsigned R : Ranks)
+    RankOwner[R] = Thread;
+  if (Hb)
+    Hb->onLockAcquire(Thread, Ranks);
+  schedulePoint(Lk, Thread);
+}
+
+void SchedulePlatform::lockExit(unsigned Thread,
+                                const std::vector<unsigned> &Ranks) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  for (unsigned R : Ranks) {
+    auto It = RankOwner.find(R);
+    if (It != RankOwner.end() && It->second == Thread)
+      RankOwner.erase(It);
+  }
+  if (Hb)
+    Hb->onLockRelease(Thread, Ranks);
+  schedulePoint(Lk, Thread);
+}
+
+void SchedulePlatform::txBegin(unsigned Thread) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  if (Hb)
+    Hb->onTxBegin(Thread);
+  schedulePoint(Lk, Thread);
+}
+
+bool SchedulePlatform::txCommit(unsigned Thread,
+                                const std::vector<unsigned> &,
+                                uint64_t) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  if (Hb)
+    Hb->onTxCommit(Thread);
+  schedulePoint(Lk, Thread);
+  return true; // Real STM validation decides retry.
+}
+
+void SchedulePlatform::resourceEnter(unsigned Thread,
+                                     const std::string &Name) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  while (true) {
+    auto It = ResourceOwner.find(Name);
+    if (It == ResourceOwner.end() || It->second == Thread)
+      break;
+    TS[Thread].B = Block::Resource;
+    TS[Thread].WantResource = Name;
+    switchAway(Lk, Thread, /*Wait=*/true);
+    TS[Thread].B = Block::None;
+  }
+  ResourceOwner[Name] = Thread;
+  if (Hb)
+    Hb->onResourceAcquire(Thread, Name);
+}
+
+void SchedulePlatform::resourceExit(unsigned Thread,
+                                    const std::string &Name) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  auto It = ResourceOwner.find(Name);
+  if (It != ResourceOwner.end() && It->second == Thread)
+    ResourceOwner.erase(It);
+  if (Hb)
+    Hb->onResourceRelease(Thread, Name);
+  schedulePoint(Lk, Thread);
+}
+
+void SchedulePlatform::threadDone(unsigned Thread) {
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  Done[Thread] = 1;
+  // Must not park: the caller's OS thread is about to exit (workers) or
+  // wait in the fork-join barrier (master).
+  switchAway(Lk, Thread, /*Wait=*/false);
+}
+
+void SchedulePlatform::regionBegin(unsigned MasterThread) {
+  Guard Lk(Mu);
+  waitTurn(Lk, MasterThread);
+  InRegion = true;
+  Done.assign(N, 0);
+  TS.assign(N, {});
+  PointsSinceSwitch = 0;
+  if (Hb)
+    Hb->onRegionBegin(MasterThread);
+}
+
+void SchedulePlatform::regionEnd(unsigned MasterThread) {
+  Guard Lk(Mu);
+  waitTurn(Lk, MasterThread);
+  InRegion = false;
+  Done[MasterThread] = 0;
+  if (Hb)
+    Hb->onRegionEnd(MasterThread);
+  Cv.notify_all();
+}
+
+void SchedulePlatform::onGlobalLoad(unsigned Thread, unsigned Slot) {
+  if (!Hb)
+    return;
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  Hb->onLoad(Thread, Slot);
+}
+
+void SchedulePlatform::onGlobalStore(unsigned Thread, unsigned Slot) {
+  if (!Hb)
+    return;
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  Hb->onStore(Thread, Slot);
+}
+
+void SchedulePlatform::memberEnter(unsigned Thread, const std::string &,
+                                   bool DeclaredSafe) {
+  if (!Hb)
+    return;
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  Hb->onMemberEnter(Thread, DeclaredSafe);
+}
+
+void SchedulePlatform::memberExit(unsigned Thread) {
+  if (!Hb)
+    return;
+  Guard Lk(Mu);
+  waitTurn(Lk, Thread);
+  Hb->onMemberExit(Thread);
+}

@@ -259,8 +259,10 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
     Fr.Locals[Instr->SlotId] = evalOperand(Fr, Instr->Operands[0]);
     return;
   case Opcode::LoadGlobal:
-    if (Platform)
+    if (Platform) {
       Platform->charge(ThreadId, opCost(Instr));
+      Platform->onGlobalLoad(ThreadId, Instr->SlotId);
+    }
     if (CurrentTx) {
       Dest.Bits = CurrentTx->read(&Globals[Instr->SlotId].Bits);
       return;
@@ -268,8 +270,10 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
     Dest = Globals[Instr->SlotId];
     return;
   case Opcode::StoreGlobal: {
-    if (Platform)
+    if (Platform) {
       Platform->charge(ThreadId, opCost(Instr));
+      Platform->onGlobalStore(ThreadId, Instr->SlotId);
+    }
     RtValue V = evalOperand(Fr, Instr->Operands[0]);
     if (CurrentTx) {
       CurrentTx->write(&Globals[Instr->SlotId].Bits, V.Bits);
@@ -317,10 +321,21 @@ RtValue Interpreter::invokeDirect(const Instruction *Instr,
 RtValue Interpreter::invokeMember(const Instruction *Instr,
                                   const std::vector<RtValue> &Args,
                                   const MemberSyncInfo &Info) {
+  const std::string &MemberName = Instr->op() == Opcode::Call
+                                      ? Instr->Callee->Name
+                                      : Instr->Native->Name;
+  // DeclaredSafe: the sync engine assigned no locks because the member was
+  // declared thread safe (NOSYNC / Lib). Running lock-free merely because
+  // Sync.Mode == None disables synchronization is *not* declared safe —
+  // the race checker must still flag those accesses.
+  const bool DeclaredSafe = Info.LockRanks.empty();
+
   // TM mode: optimistic execution for eligible members; everything else
   // falls back to the pessimistic ranked locks (paper §4.6).
   if (Sync.Mode == SyncMode::Tm && Info.TmEligible &&
       Instr->op() == Opcode::Call && Sync.StmState) {
+    if (Platform)
+      Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
     uint64_t Before = Platform ? Platform->elapsedNs() : 0;
     Stm Tx(*Sync.StmState);
     RtValue Result;
@@ -338,24 +353,36 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
       if (Platform && !Platform->txCommit(ThreadId, Info.LockRanks,
                                           MemberCost))
         Committed = false;
-      if (Committed)
+      if (Committed) {
+        if (Platform)
+          Platform->memberExit(ThreadId);
         return Result;
+      }
     }
   }
 
   if (Info.LockRanks.empty() || Sync.Mode == SyncMode::None ||
       !Sync.Locks) {
     // Lib mode / nosync: the member is already thread safe.
-    return invokeDirect(Instr, Args);
+    if (!Platform)
+      return invokeDirect(Instr, Args);
+    Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
+    RtValue Result = invokeDirect(Instr, Args);
+    Platform->memberExit(ThreadId);
+    return Result;
   }
 
-  if (Platform)
+  if (Platform) {
+    Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
     Platform->lockEnter(ThreadId, Info.LockRanks);
+  }
   Sync.Locks->acquire(Info.LockRanks);
   RtValue Result = invokeDirect(Instr, Args);
   Sync.Locks->release(Info.LockRanks);
-  if (Platform)
+  if (Platform) {
     Platform->lockExit(ThreadId, Info.LockRanks);
+    Platform->memberExit(ThreadId);
+  }
   return Result;
 }
 

@@ -1,0 +1,244 @@
+//===- CheckTest.cpp - CommCheck harness tests ----------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the CommCheck tentpole: the seeded program generator (determinism,
+// front-end acceptance), the differential oracle, the controlled scheduler
+// (determinism, replayability), and the happens-before checker (a known
+// racy sync-disabled program is flagged; the sync-enabled run is clean).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/CommCheck.h"
+#include "commset/Check/CheckRuntime.h"
+#include "commset/Check/Oracle.h"
+#include "commset/Check/ProgramGen.h"
+#include "commset/Check/SchedulePlatform.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+using namespace commset::check;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Program generator
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramGenTest, SameSeedSameProgram) {
+  for (uint64_t Seed : {1ULL, 7ULL, 99ULL, 123456789ULL}) {
+    GeneratedProgram A = generateProgram(Seed);
+    GeneratedProgram B = generateProgram(Seed);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    EXPECT_EQ(A.Shape, B.Shape);
+    EXPECT_EQ(A.TripCount, B.TripCount);
+    EXPECT_EQ(A.Output, B.Output);
+    EXPECT_EQ(A.LibSafe, B.LibSafe);
+  }
+}
+
+TEST(ProgramGenTest, DistinctSeedsDiffer) {
+  // Not a hard guarantee, but 1 and 2 colliding would mean the seed is
+  // not actually feeding the draws.
+  EXPECT_NE(generateProgram(1).Source, generateProgram(2).Source);
+}
+
+TEST(ProgramGenTest, GeneratedProgramsCompileAndAnalyze) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    GeneratedProgram P = generateProgram(Seed);
+    DiagnosticEngine Diags;
+    auto C = Compilation::fromSource(P.Source, Diags);
+    ASSERT_NE(C, nullptr) << "seed " << Seed << ":\n"
+                          << Diags.str() << "\n"
+                          << P.Source;
+    auto T = C->analyzeLoop("main_loop", Diags);
+    ASSERT_NE(T, nullptr) << "seed " << Seed << ":\n" << Diags.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential oracle + harness
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, SmokeIterationsPass) {
+  CommCheckOptions Opts;
+  Opts.Seed = 1;
+  Opts.Iterations = 6;
+  Opts.DumpDir.clear(); // No artifacts from a passing run anyway.
+  CommCheckSummary Sum = runCommCheck(Opts);
+  EXPECT_EQ(Sum.Failures, 0u) << Sum.FirstFailure;
+  EXPECT_EQ(Sum.Iterations, 6u);
+  EXPECT_GT(Sum.PlansRun, 0u);
+  EXPECT_GT(Sum.SchedulesRun, 0u);
+  EXPECT_EQ(Sum.RacesReported, 0u);
+}
+
+TEST(OracleTest, ArtifactNamesReplaySeed) {
+  GeneratedProgram P = generateProgram(4242);
+  TrialResult Trial;
+  Trial.Ok = false;
+  Trial.Report = "synthetic failure";
+  std::string Artifact = renderArtifact(P, Trial);
+  EXPECT_NE(Artifact.find("commcheck --seed 4242 --iters 1"),
+            std::string::npos);
+  EXPECT_NE(Artifact.find(P.Source), std::string::npos);
+  EXPECT_NE(Artifact.find("synthetic failure"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Controlled scheduler + happens-before checker
+//===----------------------------------------------------------------------===//
+
+// A deliberately shared counter: bump() is a SELF-set member, so DOALL
+// applies and the *sync engine* is what makes it correct. Disabling it
+// (SyncMode::None) yields a known-racy execution the happens-before
+// checker must flag.
+const char *racyCounterSource() {
+  return R"(
+int counter = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void bump(int v) { counter = counter + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int t = work(i);
+    bump(t);
+  }
+  return counter;
+}
+)";
+}
+
+struct RacyFixture {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  CheckState State;
+  NativeRegistry Natives;
+  DiagnosticEngine Diags;
+
+  bool init(SyncMode Sync, ParallelPlan &PlanOut) {
+    C = Compilation::fromSource(racyCounterSource(), Diags);
+    if (!C) {
+      ADD_FAILURE() << Diags.str();
+      return false;
+    }
+    T = C->analyzeLoop("main_loop", Diags);
+    if (!T) {
+      ADD_FAILURE() << Diags.str();
+      return false;
+    }
+    registerCheckNatives(Natives, State);
+    PlanOptions PO;
+    PO.NumThreads = 2;
+    PO.Sync = Sync;
+    auto Schemes = buildAllSchemes(*C, *T, PO);
+    for (const SchemeReport &R : Schemes)
+      if (R.Kind == Strategy::Doall && R.Applicable && R.Plan) {
+        PlanOut = *R.Plan;
+        return true;
+      }
+    ADD_FAILURE() << "DOALL did not apply to the racy counter program";
+    return false;
+  }
+
+  int64_t run(const ParallelPlan &Plan, ExecPlatform &Platform) {
+    std::vector<RtValue> Globals = makeGlobalImage(C->module());
+    RtValue R = runFunctionWithPlan(C->module(), Natives, Globals.data(),
+                                    Plan, T->F, {RtValue::ofInt(16)},
+                                    Platform);
+    return R.I;
+  }
+};
+
+TEST(HappensBeforeTest, SyncDisabledRacyProgramIsFlagged) {
+  ParallelPlan Plan;
+  RacyFixture Fx;
+  if (!Fx.init(SyncMode::None, Plan))
+    return;
+  SchedulePlatform Platform(2, SchedulePolicy::roundRobin(1),
+                            &Fx.C->module());
+  Fx.run(Plan, Platform);
+  ASSERT_NE(Platform.checker(), nullptr);
+  const auto &Races = Platform.checker()->races();
+  ASSERT_FALSE(Races.empty())
+      << "sync-disabled shared counter must race";
+  EXPECT_EQ(Races.front().Global, "counter");
+}
+
+TEST(HappensBeforeTest, SyncEnabledRunIsCleanAndCorrect) {
+  ParallelPlan Plan;
+  RacyFixture Fx;
+  if (!Fx.init(SyncMode::Mutex, Plan))
+    return;
+
+  // Sequential reference for the final counter value.
+  ParallelPlan Seq;
+  Seq.Kind = Strategy::Sequential;
+  Seq.F = Fx.T->F;
+  Seq.L = Fx.T->L;
+  Seq.NumThreads = 1;
+  int64_t Expected;
+  {
+    ThreadedPlatform P1(1);
+    Expected = Fx.run(Seq, P1);
+  }
+
+  SchedulePlatform Platform(2, SchedulePolicy::roundRobin(1),
+                            &Fx.C->module());
+  int64_t Got = Fx.run(Plan, Platform);
+  ASSERT_NE(Platform.checker(), nullptr);
+  EXPECT_TRUE(Platform.checker()->races().empty())
+      << Platform.checker()->races().front().describe();
+  EXPECT_EQ(Got, Expected);
+}
+
+TEST(SchedulePlatformTest, SameSeedSameSchedule) {
+  auto runOnce = [](uint64_t Seed, std::vector<unsigned> &LogOut,
+                    int64_t &Result) {
+    ParallelPlan Plan;
+    RacyFixture Fx;
+    if (!Fx.init(SyncMode::Mutex, Plan))
+      return;
+    SchedulePlatform Platform(2, SchedulePolicy::random(Seed),
+                              &Fx.C->module());
+    Result = Fx.run(Plan, Platform);
+    LogOut = Platform.decisionLog();
+  };
+  std::vector<unsigned> LogA, LogB;
+  int64_t ResA = 0, ResB = 0;
+  runOnce(77, LogA, ResA);
+  runOnce(77, LogB, ResB);
+  EXPECT_EQ(LogA, LogB) << "same policy seed must replay the schedule";
+  EXPECT_EQ(ResA, ResB);
+  EXPECT_FALSE(LogA.empty());
+
+  std::vector<unsigned> LogC;
+  int64_t ResC = 0;
+  runOnce(78, LogC, ResC);
+  EXPECT_EQ(ResA, ResC) << "result must not depend on the schedule";
+}
+
+TEST(SchedulePlatformTest, RoundRobinAlternatesThreads) {
+  ParallelPlan Plan;
+  RacyFixture Fx;
+  if (!Fx.init(SyncMode::Mutex, Plan))
+    return;
+  SchedulePlatform Platform(2, SchedulePolicy::roundRobin(1),
+                            &Fx.C->module());
+  Fx.run(Plan, Platform);
+  const auto &Log = Platform.decisionLog();
+  ASSERT_FALSE(Log.empty());
+  bool Saw1 = false;
+  for (unsigned T : Log)
+    if (T == 1)
+      Saw1 = true;
+  EXPECT_TRUE(Saw1) << "interval-1 round robin must hand off to thread 1";
+}
+
+} // namespace

@@ -236,4 +236,126 @@ TEST(StmTest, TransferInvariantUnderContention) {
   EXPECT_EQ(*A + *B, 20000u);
 }
 
+TEST(StmTest, ForcedConflictAbortsThenRetries) {
+  // Deterministic conflict: the victim reads X, an interfering transaction
+  // commits a new version of X, and the victim's commit-time validation
+  // must fail exactly once before the retry succeeds.
+  StmSpace Space;
+  uint64_t X = 0;
+  Stm Victim(Space);
+  bool Interfered = false;
+  do {
+    Victim.begin();
+    uint64_t V = Victim.read(&X);
+    if (!Interfered) {
+      Interfered = true;
+      Stm Interferer(Space);
+      do {
+        Interferer.begin();
+        uint64_t W = Interferer.read(&X);
+        if (Interferer.aborted())
+          continue;
+        Interferer.write(&X, W + 100);
+      } while (!Interferer.commit());
+    }
+    if (Victim.aborted())
+      continue;
+    Victim.write(&X, V + 1);
+  } while (!Victim.commit());
+  EXPECT_GE(Victim.attempts(), 2u) << "first attempt must have aborted";
+  EXPECT_EQ(X, 101u) << "retry must observe the interferer's update";
+}
+
+//===----------------------------------------------------------------------===//
+// Ranked locks under inverted acquisition requests
+//===----------------------------------------------------------------------===//
+
+TEST(LockTest, InvertedAcquisitionOrderIsSortedByDiscipline) {
+  // Two threads whose members *want* overlapping locks in opposite orders
+  // ({0,1} vs {1,0}). Acquiring in request order could deadlock; the sync
+  // engine's discipline — sort to ascending rank before acquire — must
+  // make both make progress. This mirrors attachSynchronization, which
+  // materializes LockRanks from a std::set (always ascending).
+  CommSetLockManager Locks(3, LockMode::Mutex);
+  uint64_t Shared01 = 0; // Guarded by ranks {0,1}.
+  constexpr int Iters = 4000;
+  auto worker = [&](std::vector<unsigned> Wanted) {
+    std::sort(Wanted.begin(), Wanted.end()); // The engine's discipline.
+    for (int I = 0; I < Iters; ++I) {
+      Locks.acquire(Wanted);
+      ++Shared01;
+      Locks.release(Wanted);
+    }
+  };
+  std::thread A(worker, std::vector<unsigned>{0, 1});
+  std::thread B(worker, std::vector<unsigned>{1, 0});
+  A.join();
+  B.join();
+  EXPECT_EQ(Shared01, static_cast<uint64_t>(2 * Iters));
+}
+
+TEST(LockTest, PartiallyOverlappingRankSetsNoDeadlock) {
+  // Three threads over rank sets {0,1}, {1,2}, {0,2}: pairwise overlap in
+  // a triangle, the classic deadlock shape when acquisition order is
+  // uncoordinated. Ascending-rank acquisition is what breaks the cycle.
+  CommSetLockManager Locks(3, LockMode::Spin);
+  uint64_t PerRank[3] = {0, 0, 0};
+  constexpr int Iters = 2000;
+  auto worker = [&](unsigned RankA, unsigned RankB) {
+    std::vector<unsigned> Ranks = {std::min(RankA, RankB),
+                                   std::max(RankA, RankB)};
+    for (int I = 0; I < Iters; ++I) {
+      Locks.acquire(Ranks);
+      ++PerRank[RankA];
+      ++PerRank[RankB];
+      Locks.release(Ranks);
+    }
+  };
+  std::thread A(worker, 0u, 1u);
+  std::thread B(worker, 1u, 2u);
+  std::thread C(worker, 0u, 2u);
+  A.join();
+  B.join();
+  C.join();
+  EXPECT_EQ(PerRank[0], static_cast<uint64_t>(2 * Iters));
+  EXPECT_EQ(PerRank[1], static_cast<uint64_t>(2 * Iters));
+  EXPECT_EQ(PerRank[2], static_cast<uint64_t>(2 * Iters));
+}
+
+//===----------------------------------------------------------------------===//
+// SPSC backpressure at the default 1024-entry bound
+//===----------------------------------------------------------------------===//
+
+TEST(SpscQueueTest, BackpressureAtDefaultBound) {
+  SpscQueue<int> Q; // Default capacity: 1024 entries.
+  ASSERT_EQ(Q.capacity(), 1024u);
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_TRUE(Q.tryPush(I)) << "slot " << I << " must accept";
+  EXPECT_EQ(Q.size(), 1024u);
+  EXPECT_FALSE(Q.tryPush(1024)) << "1025th push must be refused";
+
+  // A blocking push cannot complete until the consumer frees a slot.
+  std::atomic<bool> Pushed{false};
+  std::thread Producer([&] {
+    Q.push(1024);
+    Pushed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(Pushed.load(std::memory_order_acquire))
+      << "producer must be held in backpressure while the queue is full";
+
+  int V = -1;
+  ASSERT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 0);
+  Producer.join();
+  EXPECT_TRUE(Pushed.load());
+
+  // FIFO order survives the wrap: 1..1024 drain in sequence.
+  for (int I = 1; I <= 1024; ++I) {
+    ASSERT_TRUE(Q.tryPop(V));
+    ASSERT_EQ(V, I);
+  }
+  EXPECT_TRUE(Q.empty());
+}
+
 } // namespace

@@ -1,0 +1,248 @@
+//===- SemaNegativeTest.cpp - Rejected-construct diagnostics --------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// One test per construct the frontend must reject, asserting both the
+// diagnostic text and where it points. These pin down the paper's §3.1
+// static rules (structured control flow, pure predicates, no transitive
+// member calls, acyclic COMMSET graph, return-free named-block exporters)
+// against silent regressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Compilation.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+
+namespace {
+
+/// 1-based line of the first source line containing \p Needle (0 if absent).
+uint32_t lineOf(const std::string &Source, const std::string &Needle) {
+  uint32_t Line = 1;
+  size_t Pos = 0;
+  size_t Hit = Source.find(Needle);
+  if (Hit == std::string::npos)
+    return 0;
+  while ((Pos = Source.find('\n', Pos)) != std::string::npos && Pos < Hit) {
+    ++Line;
+    ++Pos;
+  }
+  return Line;
+}
+
+/// Compiles expecting failure; returns the first diagnostic whose message
+/// contains \p Needle (null if the error did not fire).
+const Diagnostic *expectRejected(const std::string &Source,
+                                 const std::string &Needle,
+                                 DiagnosticEngine &Diags) {
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_EQ(C, nullptr) << "expected rejection: " << Needle;
+  EXPECT_TRUE(Diags.contains(Needle)) << Diags.str();
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Message.find(Needle) != std::string::npos)
+      return &D;
+  return nullptr;
+}
+
+TEST(SemaNegativeTest, TransitiveMemberCallIsIllDefined) {
+  std::string Source = R"(
+int x = 0;
+#pragma commset decl(S, self)
+#pragma commset member(S)
+void inner(int v) { x = x + v; }
+#pragma commset member(S)
+void outer(int v) { inner(v); }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    outer(i);
+  }
+  return x;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "COMMSET 'S' is ill-defined: member 'outer' transitively calls "
+      "member 'inner'",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  // Well-formedness is a whole-program property of the lowered module; it
+  // carries no single source location.
+  EXPECT_FALSE(D->Loc.isValid());
+}
+
+TEST(SemaNegativeTest, CyclicCommSetGraphIsRejected) {
+  // SA -> SB via fa calling gb, SB -> SA via kb calling ha; no member
+  // transitively calls a member of its *own* set, so the cycle check is
+  // what must fire.
+  std::string Source = R"(
+int x = 0;
+#pragma commset decl(SA, self)
+#pragma commset decl(SB, self)
+#pragma commset member(SB)
+void gb(int v) { x = x + v; }
+#pragma commset member(SA)
+void fa(int v) { gb(v); }
+#pragma commset member(SA)
+void ha(int v) { x = x + v + v; }
+#pragma commset member(SB)
+void kb(int v) { ha(v); }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    fa(i);
+    kb(i);
+  }
+  return x;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D =
+      expectRejected(Source, "COMMSET graph has a cycle through", Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_NE(D->Message.find("not well-formed"), std::string::npos);
+  EXPECT_FALSE(D->Loc.isValid());
+}
+
+TEST(SemaNegativeTest, PredicateCallingFunctionIsImpure) {
+  std::string Source = R"(
+extern int probe(int x);
+#pragma commset effects(probe, pure)
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+#pragma commset decl(K)
+#pragma commset predicate(K, (int a), (int b), probe(a) != b)
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    #pragma commset member(K(i))
+    {
+      touch(i);
+    }
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source, "COMMSETPREDICATE must be pure: calls are not allowed",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "#pragma commset predicate"));
+}
+
+TEST(SemaNegativeTest, PredicateReadingGlobalIsImpure) {
+  std::string Source = R"(
+int gflag = 1;
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+#pragma commset decl(K)
+#pragma commset predicate(K, (int a), (int b), a != b + gflag)
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    #pragma commset member(K(i))
+    {
+      touch(i);
+    }
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source, "COMMSETPREDICATE must be pure: cannot read global 'gflag'",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "#pragma commset predicate"));
+}
+
+TEST(SemaNegativeTest, ReturnInsideCommutativeBlock) {
+  std::string Source = R"(
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+int f(int i) {
+  #pragma commset member(SELF)
+  {
+    touch(i);
+    return 3;
+  }
+  return 0;
+}
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    f(i);
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "return cannot appear inside a commutative block (non-local control "
+      "flow; paper section 3.1)",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "return 3;"));
+}
+
+TEST(SemaNegativeTest, BreakEscapingCommutativeBlock) {
+  std::string Source = R"(
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    #pragma commset member(SELF)
+    {
+      touch(i);
+      break;
+    }
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "break/continue cannot escape a commutative block; its parent loop "
+      "must be inside the block (paper section 3.1)",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "break;"));
+}
+
+TEST(SemaNegativeTest, NamedBlockExporterWithReturnCannotBeEnabled) {
+  std::string Source = R"(
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+#pragma commset decl(K)
+#pragma commset predicate(K, (int a), (int b), a != b)
+#pragma commset namedarg(RB)
+int step(int k) {
+  #pragma commset namedblock(RB)
+  {
+    touch(k);
+  }
+  return k;
+}
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    #pragma commset enable(RB: K(i))
+    step(i);
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "cannot enable named blocks of 'step': functions exporting named "
+      "blocks must not contain return statements",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  // The error points at the enable site, the only place the user can fix.
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "step(i);"));
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- commcheck.cpp - CommCheck command-line driver ----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential fuzzing + schedule exploration + happens-before checking
+// for the COMMSET pipeline. Typical invocations:
+//
+//   commcheck --seed 1 --iters 25            # smoke tier (ctest check_smoke)
+//   commcheck --seed 1 --iters 200           # soak tier (TESTING.md)
+//   commcheck --seed 4242 --iters 1 -v       # replay one failing trial
+//   commcheck --dump SEED                    # print the generated program
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Check/CommCheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace commset::check;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N          base seed (iteration k uses seed N+k; default 1)\n"
+      "  --iters K         number of generated programs (default 25)\n"
+      "  --threads LIST    comma-separated thread counts (default 2,4,8)\n"
+      "  --no-tm           skip SyncMode::Tm plans\n"
+      "  --no-schedules    skip controlled-schedule exploration\n"
+      "  --random-scheds N random schedule policies per plan (default 2)\n"
+      "  --dump-dir DIR    failure artifact directory ('' disables; default .)\n"
+      "  --dump SEED       print the program generated for SEED and exit\n"
+      "  -v, --verbose     one line per iteration\n"
+      "  -h, --help        this text\n",
+      Argv0);
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseThreadList(const std::string &S, std::vector<unsigned> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    uint64_t V = 0;
+    if (!parseU64(S.substr(Pos, Comma - Pos).c_str(), V) || V == 0)
+      return false;
+    Out.push_back(static_cast<unsigned>(V));
+    Pos = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CommCheckOptions Opts;
+  bool DumpOnly = false;
+  uint64_t DumpSeed = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto needValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "commcheck: %s requires a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    uint64_t V = 0;
+    if (Arg == "--seed") {
+      if (!parseU64(needValue(), V)) {
+        std::fprintf(stderr, "commcheck: bad --seed\n");
+        return 2;
+      }
+      Opts.Seed = V;
+    } else if (Arg == "--iters") {
+      if (!parseU64(needValue(), V)) {
+        std::fprintf(stderr, "commcheck: bad --iters\n");
+        return 2;
+      }
+      Opts.Iterations = static_cast<unsigned>(V);
+    } else if (Arg == "--threads") {
+      if (!parseThreadList(needValue(), Opts.Oracle.Threads)) {
+        std::fprintf(stderr, "commcheck: bad --threads list\n");
+        return 2;
+      }
+    } else if (Arg == "--no-tm") {
+      Opts.Oracle.IncludeTm = false;
+    } else if (Arg == "--no-schedules") {
+      Opts.Oracle.ExploreSchedules = false;
+    } else if (Arg == "--random-scheds") {
+      if (!parseU64(needValue(), V)) {
+        std::fprintf(stderr, "commcheck: bad --random-scheds\n");
+        return 2;
+      }
+      Opts.Oracle.RandomSchedules = static_cast<unsigned>(V);
+    } else if (Arg == "--dump-dir") {
+      Opts.DumpDir = needValue();
+    } else if (Arg == "--dump") {
+      if (!parseU64(needValue(), DumpSeed)) {
+        std::fprintf(stderr, "commcheck: bad --dump seed\n");
+        return 2;
+      }
+      DumpOnly = true;
+    } else if (Arg == "-v" || Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "commcheck: unknown option '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (DumpOnly) {
+    GeneratedProgram P = generateProgram(DumpSeed, Opts.Gen);
+    std::printf("// seed %llu  shape: %s\n// trip %d  output %s  lib-safe %s\n%s",
+                static_cast<unsigned long long>(P.Seed), P.Shape.c_str(),
+                P.TripCount,
+                P.Output == OutputOrder::Exact          ? "exact"
+                : P.Output == OutputOrder::PerKeyOrdered ? "per-key"
+                                                         : "multiset",
+                P.LibSafe ? "yes" : "no", P.Source.c_str());
+    return 0;
+  }
+
+  CommCheckSummary Sum = runCommCheck(Opts);
+  std::printf("commcheck: %u iterations, %u plans, %u schedules, "
+              "%u races, %u failures\n",
+              Sum.Iterations, Sum.PlansRun, Sum.SchedulesRun,
+              Sum.RacesReported, Sum.Failures);
+  if (Sum.Failures) {
+    std::printf("first failure:\n%s\n", Sum.FirstFailure.c_str());
+    for (const std::string &Path : Sum.ArtifactPaths)
+      std::printf("artifact: %s\n", Path.c_str());
+    return 1;
+  }
+  return 0;
+}
