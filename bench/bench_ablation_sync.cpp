@@ -12,12 +12,120 @@
 
 #include "BenchCommon.h"
 
+#include "commset/Driver/Runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 
 using namespace commset;
 using namespace commset::bench;
 
 namespace {
+
+/// Resilience ablation: the supervised engine (heartbeat checkpoints,
+/// watchdog, cancellation checks) must cost nothing measurable when no
+/// faults are injected, or production runs would pay for robustness they
+/// never use. Compares min-of-N wall times of the same threaded DOALL run
+/// with supervision on (default) vs off and enforces the <2% bound.
+int runFallbackOverheadGuard() {
+  const char *Src = "extern int work(int x);\n"
+                    "#pragma commset member(SELF)\n"
+                    "extern void record(int i, int v);\n"
+                    "#pragma commset effects(work, pure)\n"
+                    "#pragma commset effects(record, reads(out), writes(out))\n"
+                    "void run(int n) {\n"
+                    "  for (int i = 0; i < n; i++) {\n"
+                    "    record(i, work(i));\n"
+                    "  }\n"
+                    "}\n";
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Src, Diags);
+  if (!C) {
+    std::fprintf(stderr, "overhead guard: compile failed:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+  auto T = C->analyzeLoop("run", Diags);
+  if (!T) {
+    std::fprintf(stderr, "overhead guard: analyzeLoop failed:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+  PlanOptions PO;
+  PO.NumThreads = 2;
+  PO.Sync = SyncMode::Mutex;
+  PO.NativeCostHints = {{"work", 20000.0}, {"record", 400.0}};
+  auto Schemes = buildAllSchemes(*C, *T, PO);
+  const SchemeReport *Doall = nullptr;
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Strategy::Doall)
+      Doall = &S;
+  if (!Doall || !Doall->Applicable || !Doall->Plan) {
+    std::fprintf(stderr, "overhead guard: DOALL not applicable\n");
+    return 1;
+  }
+
+  std::atomic<uint64_t> Sink{0};
+  NativeRegistry Natives;
+  Natives.add("work", [](const RtValue *Args, unsigned) {
+    return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+  });
+  Natives.add("record", [&Sink](const RtValue *Args, unsigned) {
+    Sink.fetch_add(static_cast<uint64_t>(Args[1].I),
+                   std::memory_order_relaxed);
+    return RtValue();
+  });
+
+  constexpr int64_t N = 20000;
+  ResilienceConfig Bare;
+  Bare.Supervise = false; // pre-resilience fork/join, no checkpoints
+
+  auto once = [&](const ResilienceConfig *RC) -> uint64_t {
+    RunConfig Config;
+    Config.Plan = &*Doall->Plan;
+    Config.Simulate = false;
+    Config.Resilience = RC;
+    RunOutcome Out =
+        runScheme(*C, T->F, {RtValue::ofInt(N)}, Natives, Config);
+    if (Out.Status != RunStatus::Ok) {
+      std::fprintf(stderr, "overhead guard: unexpected status %s: %s\n",
+                   runStatusName(Out.Status), Out.Diagnostic.c_str());
+      return 0;
+    }
+    return Out.WallNs;
+  };
+
+  // Interleave repetitions so machine drift hits both flavors equally;
+  // min-of-N discards scheduler noise.
+  constexpr int Reps = 9;
+  uint64_t Supervised = UINT64_MAX, Unsupervised = UINT64_MAX;
+  for (int R = 0; R < Reps; ++R) {
+    uint64_t U = once(&Bare);
+    uint64_t S = once(nullptr); // default resilience: supervised
+    if (!U || !S)
+      return 1;
+    Unsupervised = std::min(Unsupervised, U);
+    Supervised = std::min(Supervised, S);
+  }
+
+  double Ratio =
+      static_cast<double>(Supervised) / static_cast<double>(Unsupervised);
+  std::printf("\nResilience overhead guard (DOALL x%d, n=%lld, min of %d)\n"
+              "  unsupervised: %8.3f ms\n"
+              "  supervised:   %8.3f ms   ratio %.4f (bound < 1.02)\n\n",
+              PO.NumThreads, static_cast<long long>(N), Reps,
+              Unsupervised / 1e6, Supervised / 1e6, Ratio);
+  if (Ratio >= 1.02) {
+    std::fprintf(stderr,
+                 "overhead guard FAILED: supervision costs %.2f%% with no "
+                 "faults injected (bound: 2%%)\n",
+                 (Ratio - 1.0) * 100.0);
+    return 1;
+  }
+  return 0;
+}
 
 void runAblation(const char *Workload) {
   std::vector<Series> SeriesList = {
@@ -32,6 +140,8 @@ void runAblation(const char *Workload) {
 } // namespace
 
 int main(int argc, char **argv) {
+  if (int Rc = runFallbackOverheadGuard())
+    return Rc;
   runAblation("hmmer");
   runAblation("kmeans");
   runAblation("eclat");

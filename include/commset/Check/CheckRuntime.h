@@ -43,6 +43,18 @@ struct CheckState {
   int64_t StatMax = INT64_MIN;
   int64_t SourceCursor = 0;
   std::vector<std::pair<int64_t, int64_t>> Output; // (key, value) in order.
+
+  /// Reverts to the pristine pre-run state; the fault sweep's ResetState
+  /// hook for sequential fallback re-execution.
+  void reset() {
+    Cells.assign(NumCells, 0);
+    StatCount = 0;
+    StatSum = 0;
+    StatMin = INT64_MAX;
+    StatMax = INT64_MIN;
+    SourceCursor = 0;
+    Output.clear();
+  }
 };
 
 /// Registers work/mix2/cell_add/cell_get/stat_note/emit/source_next over

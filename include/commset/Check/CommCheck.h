@@ -46,6 +46,9 @@ struct CommCheckSummary {
   unsigned PlansRun = 0;
   unsigned SchedulesRun = 0;
   unsigned RacesReported = 0;
+  unsigned FaultRuns = 0;
+  unsigned DegradedRuns = 0;
+  uint64_t FaultsInjected = 0;
   std::vector<std::string> ArtifactPaths;
   /// First failing trial's full report (also in its artifact).
   std::string FirstFailure;

@@ -44,6 +44,15 @@ struct OracleOptions {
   std::vector<unsigned> RoundRobinIntervals = {1, 5};
   /// Cap on plans taken into schedule exploration (it is slow).
   unsigned MaxPlansToExplore = 2;
+  /// Fault sweep: re-run plans under seeded fault injection with tight
+  /// retry/timeout bounds and assert the resilient engine still reproduces
+  /// the sequential reference (retry or logged fallback — never a wrong
+  /// answer).
+  bool FaultSweep = false;
+  /// Fault policies applied per plan in the sweep.
+  unsigned FaultPoliciesPerPlan = 2;
+  /// Cap on parallel plans swept per sync mode.
+  unsigned MaxFaultPlansPerSync = 2;
 };
 
 struct TrialResult {
@@ -51,6 +60,9 @@ struct TrialResult {
   unsigned PlansRun = 0;
   unsigned SchedulesRun = 0;
   unsigned RacesReported = 0;
+  unsigned FaultRuns = 0;    ///< Fault-injected executions performed.
+  unsigned DegradedRuns = 0; ///< ... of which fell back to sequential.
+  uint64_t FaultsInjected = 0;
   /// Failure description (divergence diff, races, plan, policy); empty on
   /// success.
   std::string Report;

@@ -45,6 +45,21 @@ std::vector<SchemeReport> buildAllSchemes(Compilation &C,
 /// Picks the applicable scheme with the best estimated speedup.
 const SchemeReport *bestScheme(const std::vector<SchemeReport> &Schemes);
 
+/// What a run ultimately did, from the caller's point of view. Distinct
+/// process exit codes (exitCodeFor) let scripts tell these apart.
+enum class RunStatus : int {
+  Ok = 0,                 ///< Plan ran to completion as planned.
+  DegradedSequential = 1, ///< Parallel plan failed; sequential fallback
+                          ///< produced the (correct) result.
+  InternalError = 2,      ///< Unrecoverable failure; no trustworthy result.
+};
+
+const char *runStatusName(RunStatus Status);
+
+/// Process exit code for each status: 0 (ok), 10 (degraded), 70 (internal
+/// error, mirroring BSD EX_SOFTWARE).
+int exitCodeFor(RunStatus Status);
+
 struct RunConfig {
   /// Null plan = sequential execution.
   const ParallelPlan *Plan = nullptr;
@@ -52,6 +67,11 @@ struct RunConfig {
   /// False: run on real threads and report wall time.
   bool Simulate = true;
   SimParams Sim;
+  /// Retry/timeout bounds + fault injection; null = process defaults.
+  const ResilienceConfig *Resilience = nullptr;
+  /// Reverts caller-side native state (e.g. a recorder) before a
+  /// sequential fallback re-execution.
+  std::function<void()> ResetState;
 };
 
 struct RunOutcome {
@@ -61,6 +81,10 @@ struct RunOutcome {
   uint64_t Iterations = 0;
   uint64_t TmAborts = 0;
   uint64_t LockContentions = 0;
+  /// Structured diagnostics: did the plan run, degrade, or die — and why.
+  RunStatus Status = RunStatus::Ok;
+  FaultKind DegradedWhy = FaultKind::None;
+  std::string Diagnostic;
 };
 
 /// Executes \p F (the analyzed loop's function) with \p Args over a fresh

@@ -86,6 +86,11 @@ public:
   /// clocks; the threaded platform returns 0 (callers measure wall time).
   virtual uint64_t elapsedNs() const = 0;
 
+  /// Cancels the region: wakes every worker blocked inside the platform
+  /// (e.g. on a queue) so it can unwind. Idempotent; safe to call from any
+  /// thread. Default no-op for platforms whose operations never block.
+  virtual void cancel() {}
+
   /// Instrumentation hooks (default no-ops). The interpreter reports every
   /// shared-global access and COMMSET member bracket through these so a
   /// checking platform (Check/SchedulePlatform) can run a vector-clock

@@ -46,6 +46,9 @@ struct SyncContext {
   const std::map<std::string, MemberSyncInfo> *Members = nullptr;
   CommSetLockManager *Locks = nullptr;
   StmSpace *StmState = nullptr;
+  /// Retry/timeout bounds and fault injection for this region; null means
+  /// process defaults (defaultResilience()).
+  const ResilienceConfig *Resilience = nullptr;
 };
 
 class Interpreter {

@@ -28,9 +28,12 @@
 
 #include "commset/Exec/ExecPlatform.h"
 #include "commset/Exec/Interpreter.h"
+#include "commset/Runtime/FaultInjector.h"
 #include "commset/Transform/ParallelPlan.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 namespace commset {
 
@@ -42,15 +45,58 @@ struct LoopRunStats {
 /// outside the target loop, plan-directed execution inside it. \p Globals
 /// must hold Module.Globals.size() slots. For Strategy::Sequential the
 /// whole function is interpreted on thread 0 of \p Platform.
+///
+/// \p Resilience selects the region's retry/timeout bounds, supervision
+/// and fault injection (null = process defaults). When a parallel region
+/// fails — exhausted STM, timed-out lock, watchdog trip, injected task
+/// failure — this throws RegionFault after cancelling the region and
+/// joining its workers; partial effects on \p Globals and native state are
+/// unspecified, which is why callers wanting the sequential-fallback
+/// guarantee go through runFunctionResilient instead.
 RtValue runFunctionWithPlan(const Module &M, const NativeRegistry &Natives,
                             RtValue *Globals, const ParallelPlan &Plan,
                             const Function *F,
                             const std::vector<RtValue> &Args,
                             ExecPlatform &Platform,
-                            LoopRunStats *Stats = nullptr);
+                            LoopRunStats *Stats = nullptr,
+                            const ResilienceConfig *Resilience = nullptr);
 
 /// Initializes a fresh global image from the module's initializers.
 std::vector<RtValue> makeGlobalImage(const Module &M);
+
+/// Result of a resilient run: the answer is always the correct sequential
+/// answer; Degraded records whether the parallel plan had to be abandoned.
+struct ResilientOutcome {
+  RtValue Result;
+  LoopRunStats Stats;
+  bool Degraded = false;
+  FaultKind Why = FaultKind::None;
+  unsigned FaultThread = 0;
+  std::string Diagnostic;
+};
+
+/// Builds the execution platform for one run attempt. Called once for the
+/// parallel attempt (Plan.NumThreads) and, after a fault, once more for
+/// the sequential re-execution (1 thread) — the faulted platform's queues
+/// are poisoned and must not be reused.
+using PlatformFactory =
+    std::function<std::unique_ptr<ExecPlatform>(unsigned NumThreads)>;
+
+/// Graceful degradation wrapper: runs \p Plan, and if the parallel region
+/// fails mid-run, discards all partial parallel state — \p Globals is
+/// reassigned a fresh image, \p ResetState reverts caller-side native
+/// state to its pre-run snapshot — and re-executes the whole function
+/// sequentially, which by construction reproduces the sequential
+/// reference. \p OnRunDone fires after the successful attempt (parallel
+/// or fallback) so callers can harvest platform statistics.
+ResilientOutcome runFunctionResilient(
+    const Module &M, const NativeRegistry &Natives,
+    std::vector<RtValue> &Globals, const ParallelPlan &Plan,
+    const Function *F, const std::vector<RtValue> &Args,
+    const PlatformFactory &MakePlatform,
+    const ResilienceConfig *Resilience = nullptr,
+    const std::function<void()> &ResetState = {},
+    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone = {});
 
 } // namespace commset
 

@@ -16,6 +16,7 @@
 #define COMMSET_EXEC_THREADEDPLATFORM_H
 
 #include "commset/Exec/ExecPlatform.h"
+#include "commset/Runtime/FaultInjector.h"
 #include "commset/Runtime/SpscQueue.h"
 
 #include <map>
@@ -28,7 +29,10 @@ namespace commset {
 
 class ThreadedPlatform : public ExecPlatform {
 public:
-  explicit ThreadedPlatform(unsigned NumThreads);
+  /// \p Faults, when non-null, injects slow-consumer stalls ahead of
+  /// queue receives (FaultKind::QueueStall).
+  explicit ThreadedPlatform(unsigned NumThreads,
+                            FaultInjector *Faults = nullptr);
 
   void send(unsigned From, unsigned To, RtValue Value) override;
   RtValue recv(unsigned From, unsigned To) override;
@@ -47,8 +51,13 @@ public:
   void threadDone(unsigned Thread) override {}
   uint64_t elapsedNs() const override { return 0; }
 
+  /// Poisons every inter-thread queue: blocked senders/receivers return
+  /// and throw RegionFault(Cancelled) so the region unwinds.
+  void cancel() override;
+
 private:
   unsigned NumThreads;
+  FaultInjector *Faults;
   std::vector<std::unique_ptr<SpscQueue<RtValue>>> Queues; // From*N + To.
   std::mutex ResourceMapLock;
   std::map<std::string, std::unique_ptr<std::mutex>> Resources;

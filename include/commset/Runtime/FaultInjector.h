@@ -1,0 +1,160 @@
+//===- FaultInjector.h - Seeded fault injection and resilience --*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Failure as a first-class, injectable, recoverable event. The resilient
+/// execution engine treats every platform-level failure — a stalled worker,
+/// an STM abort storm, a lock that never arrives, a queue whose consumer
+/// went quiet — as a FaultKind that either resolves through bounded retry
+/// or escalates to a RegionFault, at which point the engine discards the
+/// region's partial parallel state and re-executes it sequentially. The
+/// FaultInjector makes those failures reproducible: decisions are a pure
+/// function of (seed, fault kind, thread, per-site call index), so a fault
+/// campaign replays exactly like a CommCheck schedule does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_FAULTINJECTOR_H
+#define COMMSET_RUNTIME_FAULTINJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace commset {
+
+/// Fault taxonomy. The first group (WorkerDelay..TaskFailure) is
+/// injectable by the FaultInjector; the second group (StmExhausted..
+/// Internal) names escalation reasons carried by RegionFault.
+enum class FaultKind : unsigned {
+  None = 0,
+  WorkerDelay,  ///< Short injected delay at an iteration boundary.
+  WorkerStall,  ///< Long injected stall (watchdog fodder).
+  StmAbort,     ///< Forced transaction abort at commit time.
+  LockDelay,    ///< Injected delay before a ranked-lock acquisition.
+  QueueStall,   ///< Slow-consumer stall before an SPSC pop.
+  TaskFailure,  ///< Spurious worker task failure.
+  StmExhausted, ///< Bounded STM retries ran out.
+  LockTimeout,  ///< Ranked-lock acquisition timed out.
+  WatchdogStall,///< Watchdog declared the region stalled.
+  Cancelled,    ///< Worker unwound because the region was cancelled.
+  Internal,     ///< Unexpected error escaped a worker.
+};
+
+/// Number of FaultKind values the injector can fire (WorkerDelay..
+/// TaskFailure).
+constexpr unsigned NumInjectableFaultKinds = 6;
+
+const char *faultKindName(FaultKind Kind);
+
+/// Per-mille firing rates and delay magnitudes for each injectable fault.
+/// Deterministic per Seed.
+struct FaultPolicy {
+  uint64_t Seed = 0;
+  std::string Name = "none";
+
+  unsigned WorkerDelayPerMille = 0;
+  uint64_t WorkerDelayUs = 200;
+  unsigned WorkerStallPerMille = 0;
+  uint64_t WorkerStallUs = 20000;
+  unsigned StmAbortPerMille = 0;
+  unsigned LockDelayPerMille = 0;
+  uint64_t LockDelayUs = 500;
+  unsigned QueueStallPerMille = 0;
+  uint64_t QueueStallUs = 200;
+  unsigned TaskFailurePerMille = 0;
+
+  /// One-line description naming the policy and its nonzero rates.
+  std::string describe() const;
+
+  /// Canned sweep policies (abort-storm, stall, task-failure, mixed),
+  /// cycled by \p Index and seeded deterministically.
+  static FaultPolicy preset(unsigned Index, uint64_t Seed);
+};
+
+/// SplitMix64 finalizer used for all deterministic fault/jitter decisions.
+uint64_t faultMix(uint64_t X);
+
+/// Seeded, policy-driven fault shim. Thread safe; decisions for a given
+/// (kind, thread) stream depend only on the policy seed and the call
+/// index within that stream, so they replay identically regardless of how
+/// other threads interleave.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPolicy &Policy) : P(Policy) {}
+
+  /// True when the next event in the (Kind, Thread) stream is a fault.
+  bool fires(FaultKind Kind, unsigned Thread);
+
+  /// fires() plus the policy's sleep for delay-style kinds. \returns true
+  /// when a delay was injected.
+  bool maybeDelay(FaultKind Kind, unsigned Thread);
+
+  uint64_t injected(FaultKind Kind) const;
+  uint64_t totalInjected() const;
+  const FaultPolicy &policy() const { return P; }
+
+private:
+  static constexpr unsigned MaxThreads = 64;
+  unsigned rateOf(FaultKind Kind) const;
+  uint64_t delayUsOf(FaultKind Kind) const;
+
+  FaultPolicy P;
+  std::atomic<uint64_t> Calls[NumInjectableFaultKinds][MaxThreads] = {};
+  std::atomic<uint64_t> Injected[NumInjectableFaultKinds] = {};
+};
+
+/// Thrown when a parallel region cannot continue: an exhausted STM member,
+/// a timed-out lock, a watchdog trip, or an injected task failure. The
+/// resilient engine catches it at the region boundary, discards partial
+/// state, and re-executes sequentially.
+class RegionFault : public std::runtime_error {
+public:
+  RegionFault(FaultKind Kind, unsigned Thread, const std::string &Detail);
+
+  FaultKind Kind;
+  unsigned Thread;
+  std::string Detail;
+};
+
+/// Knobs for the resilient execution engine. All defaults are generous
+/// enough that fault-free production runs never hit them; fault sweeps and
+/// tests tighten them.
+struct ResilienceConfig {
+  /// When false, parallel regions run exactly like the pre-resilience
+  /// engine: plain fork/join, no watchdog, no cancellation checkpoints.
+  /// Exists for the bench guard that pins fallback overhead at zero.
+  bool Supervise = true;
+
+  /// Bounded STM retry: attempts per member invocation before the region
+  /// fails with StmExhausted, and the exponential-backoff envelope
+  /// (jittered, deterministic) between attempts.
+  unsigned StmMaxAttempts = 64;
+  uint64_t StmBackoffBaseUs = 1;
+  uint64_t StmBackoffCapUs = 128;
+
+  /// Ranked-lock acquisition timeout; 0 blocks forever (legacy).
+  uint64_t LockTimeoutMs = 10000;
+
+  /// Watchdog: when no worker makes progress (heartbeat or completion)
+  /// for this long, the region is declared stalled and cancelled.
+  uint64_t WatchdogStallMs = 30000;
+
+  /// Extra time after cancellation for workers to unwind and join before
+  /// they are abandoned (reported, not hung on).
+  uint64_t JoinGraceMs = 5000;
+
+  /// Optional fault injection shim; null in production.
+  FaultInjector *Faults = nullptr;
+};
+
+/// Process-wide default configuration (supervision on, no injection).
+const ResilienceConfig &defaultResilience();
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_FAULTINJECTOR_H

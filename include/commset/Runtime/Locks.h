@@ -10,15 +10,24 @@
 /// in ascending global rank order and release in reverse, which together
 /// with the acyclic queue topology guarantees deadlock freedom.
 ///
+/// Resilience: acquireOrTimeout bounds every acquisition. A lock that does
+/// not arrive within the deadline throws RegionFault(LockTimeout) carrying
+/// a deadlock-suspicion diagnostic that walks the holder/waiter graph and
+/// names the suspected rank cycle, instead of blocking the engine forever.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMMSET_RUNTIME_LOCKS_H
 #define COMMSET_RUNTIME_LOCKS_H
 
+#include "commset/Runtime/FaultInjector.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -45,6 +54,23 @@ public:
 
   bool try_lock() { return !Flag.exchange(true, std::memory_order_acquire); }
 
+  /// Bounded acquisition; \returns false when the lock did not arrive
+  /// within \p TimeoutMs.
+  bool try_lock_for_ms(uint64_t TimeoutMs) {
+    auto Deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
+    unsigned Spins = 0;
+    while (!try_lock()) {
+      if (std::chrono::steady_clock::now() >= Deadline)
+        return false;
+      if (++Spins >= 512) {
+        std::this_thread::yield();
+        Spins = 0;
+      }
+    }
+    return true;
+  }
+
   void unlock() { Flag.store(false, std::memory_order_release); }
 
 private:
@@ -59,10 +85,16 @@ enum class LockMode { Mutex, Spin, None };
 class CommSetLockManager {
 public:
   explicit CommSetLockManager(unsigned NumSets, LockMode Mode)
-      : Mode(Mode), Mutexes(NumSets), Spins(NumSets) {}
+      : Mode(Mode), Mutexes(NumSets), Spins(NumSets), Holder(NumSets) {
+    for (auto &H : Holder)
+      H.store(NoThread, std::memory_order_relaxed);
+    for (auto &W : Waiting)
+      W.store(NoRank, std::memory_order_relaxed);
+  }
 
   /// Acquires the locks for the given set ranks. \p Ranks must be sorted
-  /// ascending (the synchronization engine emits them that way).
+  /// ascending (the synchronization engine emits them that way). Blocks
+  /// without bound; the resilient engine uses acquireOrTimeout instead.
   void acquire(const std::vector<unsigned> &Ranks) {
     assert(std::is_sorted(Ranks.begin(), Ranks.end()) &&
            "lock ranks must be acquired in ascending order");
@@ -70,15 +102,90 @@ public:
       lockOne(Rank);
   }
 
+  /// Timeout-bounded acquisition with holder/waiter tracking and optional
+  /// fault injection. \p TimeoutMs == 0 blocks forever (legacy behavior).
+  /// On timeout, releases any ranks already taken by this call and throws
+  /// RegionFault(LockTimeout) whose Detail names the suspected rank cycle.
+  void acquireOrTimeout(const std::vector<unsigned> &Ranks, unsigned ThreadId,
+                        uint64_t TimeoutMs, FaultInjector *Faults = nullptr) {
+    assert(std::is_sorted(Ranks.begin(), Ranks.end()) &&
+           "lock ranks must be acquired in ascending order");
+    size_t Taken = 0;
+    for (unsigned Rank : Ranks) {
+      if (Faults)
+        Faults->maybeDelay(FaultKind::LockDelay, ThreadId);
+      setWaiting(ThreadId, static_cast<int>(Rank));
+      bool Ok = TimeoutMs == 0 ? (lockOne(Rank), true)
+                               : lockOneFor(Rank, TimeoutMs);
+      if (Ok) {
+        setWaiting(ThreadId, NoRank);
+        Holder[Rank].store(static_cast<int>(ThreadId),
+                           std::memory_order_relaxed);
+        ++Taken;
+        continue;
+      }
+      std::string Diag = timeoutDiagnostic(ThreadId, Rank, TimeoutMs);
+      setWaiting(ThreadId, NoRank);
+      for (size_t I = Taken; I > 0; --I) {
+        Holder[Ranks[I - 1]].store(NoThread, std::memory_order_relaxed);
+        unlockOne(Ranks[I - 1]);
+      }
+      throw RegionFault(FaultKind::LockTimeout, ThreadId, Diag);
+    }
+  }
+
   /// Releases in reverse order.
   void release(const std::vector<unsigned> &Ranks) {
-    for (auto It = Ranks.rbegin(); It != Ranks.rend(); ++It)
+    for (auto It = Ranks.rbegin(); It != Ranks.rend(); ++It) {
+      Holder[*It].store(NoThread, std::memory_order_relaxed);
       unlockOne(*It);
+    }
   }
 
   LockMode mode() const { return Mode; }
 
 private:
+  static constexpr int NoThread = -1;
+  static constexpr int NoRank = -1;
+  static constexpr unsigned MaxTrackedThreads = 64;
+
+  void setWaiting(unsigned ThreadId, int Rank) {
+    if (ThreadId < MaxTrackedThreads)
+      Waiting[ThreadId].store(Rank, std::memory_order_relaxed);
+  }
+
+  /// Walks holder -> waited-rank edges starting at the timed-out rank and
+  /// renders the suspected cycle. Best effort over racy atomics: the
+  /// output is a diagnosis aid, not a proof.
+  std::string timeoutDiagnostic(unsigned ThreadId, unsigned Rank,
+                                uint64_t TimeoutMs) const {
+    std::ostringstream Os;
+    Os << "lock timeout: thread " << ThreadId << " waited " << TimeoutMs
+       << "ms for rank " << Rank << "; suspected rank cycle: ";
+    unsigned Cur = Rank;
+    for (size_t Step = 0; Step <= Holder.size(); ++Step) {
+      int H = Holder[Cur].load(std::memory_order_relaxed);
+      Os << "rank " << Cur << " held by ";
+      if (H == NoThread) {
+        Os << "<none>";
+        break;
+      }
+      Os << "thread " << H;
+      int Next = H >= 0 && static_cast<unsigned>(H) < MaxTrackedThreads
+                     ? Waiting[H].load(std::memory_order_relaxed)
+                     : NoRank;
+      if (Next == NoRank)
+        break;
+      Os << " -> ";
+      if (static_cast<unsigned>(Next) == Rank) {
+        Os << "rank " << Next << " (cycle closes)";
+        break;
+      }
+      Cur = static_cast<unsigned>(Next);
+    }
+    return Os.str();
+  }
+
   void lockOne(unsigned Rank) {
     switch (Mode) {
     case LockMode::Mutex:
@@ -91,6 +198,44 @@ private:
       return;
     }
   }
+
+  /// Deadline-bounded mutex acquisition by try_lock polling. Deliberately
+  /// NOT std::timed_mutex: libstdc++ implements try_lock_for via
+  /// pthread_mutex_clocklock, which ThreadSanitizer does not intercept —
+  /// the acquisition becomes invisible to it, producing bogus
+  /// unlock-of-unlocked reports and, worse, dropping the happens-before
+  /// edge the lock provides.
+  bool timedMutexLock(unsigned Rank, uint64_t TimeoutMs) {
+    if (Mutexes[Rank].try_lock())
+      return true;
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    unsigned Spins = 0;
+    while (!Mutexes[Rank].try_lock()) {
+      if (++Spins < 64) {
+        std::this_thread::yield();
+      } else {
+        // Past the short-hold window; sleep-poll and check the deadline.
+        if (std::chrono::steady_clock::now() >= Deadline)
+          return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    return true;
+  }
+
+  bool lockOneFor(unsigned Rank, uint64_t TimeoutMs) {
+    switch (Mode) {
+    case LockMode::Mutex:
+      return timedMutexLock(Rank, TimeoutMs);
+    case LockMode::Spin:
+      return Spins[Rank].try_lock_for_ms(TimeoutMs);
+    case LockMode::None:
+      return true;
+    }
+    return true;
+  }
+
   void unlockOne(unsigned Rank) {
     switch (Mode) {
     case LockMode::Mutex:
@@ -107,6 +252,11 @@ private:
   LockMode Mode;
   std::vector<std::mutex> Mutexes;
   std::vector<SpinLock> Spins;
+  /// Rank -> holding thread (NoThread when free). Tracked only through
+  /// acquireOrTimeout/release; the legacy acquire path leaves NoThread.
+  std::vector<std::atomic<int>> Holder;
+  /// Thread -> rank it is currently blocked on (NoRank when not waiting).
+  std::atomic<int> Waiting[MaxTrackedThreads];
 };
 
 } // namespace commset

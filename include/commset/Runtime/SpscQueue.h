@@ -11,6 +11,11 @@
 /// in software"); their acquire/release pairs also provide the memory
 /// ordering that makes forwarded stores visible downstream.
 ///
+/// Cancellation: poison() marks the queue closed in both directions. A
+/// blocked pushWait() fails immediately; a blocked popWait() drains the
+/// entries already in flight and then fails, so producer and consumer
+/// both unwind cleanly when a parallel region is cancelled.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMMSET_RUNTIME_SPSCQUEUE_H
@@ -57,21 +62,55 @@ public:
     return true;
   }
 
-  /// Blocking push (spins, yielding periodically).
+  /// Blocking push (spins, yielding periodically). Must not be used on a
+  /// queue that may be poisoned; cancellation-aware callers use pushWait.
   void push(const T &Value) {
-    unsigned Spins = 0;
-    while (!tryPush(Value))
-      backoff(Spins);
+    bool Ok = pushWait(Value);
+    assert(Ok && "push on a poisoned queue");
+    (void)Ok;
   }
 
-  /// Blocking pop.
+  /// Blocking pop. Must not be used on a queue that may be poisoned;
+  /// cancellation-aware callers use popWait.
   T pop() {
     T Value;
-    unsigned Spins = 0;
-    while (!tryPop(Value))
-      backoff(Spins);
+    bool Ok = popWait(Value);
+    assert(Ok && "pop on a poisoned queue");
+    (void)Ok;
     return Value;
   }
+
+  /// Blocking push that observes cancellation. \returns false (value not
+  /// enqueued) once the queue is poisoned — even when space is available,
+  /// so a cancelled producer stops generating work immediately.
+  bool pushWait(const T &Value) {
+    unsigned Spins = 0;
+    while (true) {
+      if (Poison.load(std::memory_order_acquire))
+        return false;
+      if (tryPush(Value))
+        return true;
+      backoff(Spins);
+    }
+  }
+
+  /// Blocking pop that observes cancellation. Entries already enqueued are
+  /// still delivered; \returns false once the queue is empty and poisoned.
+  bool popWait(T &Value) {
+    unsigned Spins = 0;
+    while (!tryPop(Value)) {
+      if (Poison.load(std::memory_order_acquire))
+        return false;
+      backoff(Spins);
+    }
+    return true;
+  }
+
+  /// Marks the queue cancelled: both endpoints unwind instead of blocking.
+  /// Safe to call from any thread; idempotent.
+  void poison() { Poison.store(true, std::memory_order_release); }
+
+  bool poisoned() const { return Poison.load(std::memory_order_acquire); }
 
   bool empty() const {
     return HeadPos.load(std::memory_order_acquire) ==
@@ -97,6 +136,7 @@ private:
   const size_t Mask;
   alignas(64) std::atomic<size_t> HeadPos{0};
   alignas(64) std::atomic<size_t> TailPos{0};
+  alignas(64) std::atomic<bool> Poison{false};
 };
 
 } // namespace commset

@@ -18,6 +18,8 @@
 #ifndef COMMSET_RUNTIME_STM_H
 #define COMMSET_RUNTIME_STM_H
 
+#include "commset/Runtime/FaultInjector.h"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -48,7 +50,9 @@ public:
 ///   while (!Tx.commit());
 class Stm {
 public:
-  explicit Stm(StmSpace &Space) : Space(Space) {}
+  explicit Stm(StmSpace &Space, FaultInjector *Faults = nullptr,
+               unsigned ThreadId = 0)
+      : Space(Space), Faults(Faults), ThreadId(ThreadId) {}
 
   void begin();
 
@@ -73,11 +77,46 @@ private:
   bool lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked);
 
   StmSpace &Space;
+  FaultInjector *Faults;
+  unsigned ThreadId;
   uint64_t ReadVersion = 0;
   bool Aborted = false;
   unsigned Attempts = 0;
   std::map<const uint64_t *, uint64_t> ReadSet; // addr -> observed version.
   std::map<uint64_t *, uint64_t> WriteSet;      // addr -> buffered value.
+};
+
+/// Outcome of one failed-commit decision by the retry governor.
+enum class StmOutcome {
+  Committed, ///< Not produced by onFailedAttempt; for caller bookkeeping.
+  Retry,     ///< Backoff slept; attempt again.
+  Exhausted, ///< Retry budget spent; escalate to RegionFault(StmExhausted).
+};
+
+/// Bounds the classic `do { ... } while (!Tx.commit())` livelock: each
+/// failed attempt sleeps an exponentially growing, deterministically
+/// jittered backoff, and after MaxAttempts failures the caller must stop
+/// retrying and escalate. Jitter is a pure function of the seed and the
+/// failure count, so fault campaigns replay bit-identically.
+class StmRetryGovernor {
+public:
+  StmRetryGovernor(unsigned MaxAttempts, uint64_t BackoffBaseUs,
+                   uint64_t BackoffCapUs, uint64_t JitterSeed)
+      : MaxAttempts(MaxAttempts), BaseUs(BackoffBaseUs), CapUs(BackoffCapUs),
+        JitterSeed(JitterSeed) {}
+
+  /// Records one failed commit; sleeps the backoff and returns Retry, or
+  /// returns Exhausted once the attempt budget is spent.
+  StmOutcome onFailedAttempt();
+
+  unsigned failures() const { return Failures; }
+
+private:
+  unsigned MaxAttempts;
+  uint64_t BaseUs;
+  uint64_t CapUs;
+  uint64_t JitterSeed;
+  unsigned Failures = 0;
 };
 
 } // namespace commset

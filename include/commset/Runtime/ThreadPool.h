@@ -1,20 +1,35 @@
-//===- ThreadPool.h - Simple fork-join worker pool ---------------*- C++ -*-===//
+//===- ThreadPool.h - Fork-join worker pool with supervision -----*- C++ -*-===//
 //
 // Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Minimal fork-join helper: runs N tasks on N threads and joins. The
-/// parallel executors spawn one worker per DOALL thread / pipeline stage,
-/// matching the paper's static thread assignment.
+/// Fork-join helpers for the parallel executors, which spawn one worker
+/// per DOALL thread / pipeline stage (the paper's static thread
+/// assignment). Two flavors:
+///
+///  - runParallel: the original bare fork-join, used when supervision is
+///    disabled. No watchdog, no cancellation — byte-for-byte the
+///    pre-resilience hot path.
+///
+///  - runParallelSupervised: resilient fork-join. Workers report progress
+///    through RegionControl heartbeats; a supervisor thread watches for
+///    global stalls, cancels the region when a worker faults or wedges,
+///    and joins with a grace deadline so a truly stuck worker is reported
+///    (detached) instead of hanging the engine forever.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMMSET_RUNTIME_THREADPOOL_H
 #define COMMSET_RUNTIME_THREADPOOL_H
 
+#include "commset/Runtime/FaultInjector.h"
+
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +47,65 @@ inline void runParallel(const std::vector<std::function<void()>> &Tasks) {
   for (std::thread &T : Threads)
     T.join();
 }
+
+/// Shared cancellation flag + per-worker heartbeat counters for one
+/// supervised parallel region. Heartbeat slots are cache-line padded and
+/// single-writer, so a checkpoint costs one relaxed load and one relaxed
+/// store — cheap enough for every loop iteration.
+class RegionControl {
+public:
+  static constexpr unsigned MaxWorkers = 64;
+
+  /// Worker-side progress tick; call at iteration boundaries.
+  void heartbeat(unsigned Worker) {
+    auto &Slot = Slots[Worker % MaxWorkers].Beats;
+    Slot.store(Slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  }
+
+  /// Supervisor-side global progress counter (sum of all heartbeats).
+  uint64_t beats() const {
+    uint64_t Sum = 0;
+    for (const auto &S : Slots)
+      Sum += S.Beats.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void cancel() { Cancel.store(true, std::memory_order_release); }
+  bool cancelled() const { return Cancel.load(std::memory_order_acquire); }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> Beats{0};
+  };
+  Slot Slots[MaxWorkers];
+  alignas(64) std::atomic<bool> Cancel{false};
+};
+
+/// What happened to a supervised region, reported to the degradation
+/// machinery in the executors / Runner.
+struct SupervisedReport {
+  bool Faulted = false;              ///< Some worker raised a RegionFault.
+  FaultKind Kind = FaultKind::None;  ///< Primary fault (non-Cancelled wins).
+  unsigned FaultThread = 0;
+  std::string Detail;
+  bool WatchdogTripped = false;      ///< Supervisor saw a global stall.
+  std::vector<unsigned> StalledWorkers; ///< Unfinished workers at the trip.
+  bool AllJoined = true;             ///< False when a worker was abandoned.
+};
+
+/// Resilient fork-join. Runs every task on its own thread while a
+/// supervisor watches RegionControl for progress. On a worker fault or a
+/// stall of WatchdogStallMs with no heartbeat/completion anywhere, the
+/// region is cancelled (Control.cancel() plus the caller's CancelAll hook,
+/// which e.g. poisons platform queues). Workers then get JoinGraceMs of
+/// post-cancel quiet time to unwind; any that do not are detached and
+/// reported via AllJoined=false rather than hung on.
+SupervisedReport
+runParallelSupervised(const std::vector<std::function<void()>> &Tasks,
+                      RegionControl &Control, uint64_t WatchdogStallMs,
+                      uint64_t JoinGraceMs,
+                      const std::function<void()> &CancelAll);
 
 } // namespace commset
 

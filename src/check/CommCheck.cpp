@@ -40,12 +40,25 @@ CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
     Sum.PlansRun += Trial.PlansRun;
     Sum.SchedulesRun += Trial.SchedulesRun;
     Sum.RacesReported += Trial.RacesReported;
+    Sum.FaultRuns += Trial.FaultRuns;
+    Sum.DegradedRuns += Trial.DegradedRuns;
+    Sum.FaultsInjected += Trial.FaultsInjected;
 
-    if (Opts.Verbose)
-      std::printf("commcheck: seed %llu %s (%u plans, %u schedules) %s\n",
-                  static_cast<unsigned long long>(IterSeed),
-                  Trial.Ok ? "ok" : "FAIL", Trial.PlansRun,
-                  Trial.SchedulesRun, P.Shape.c_str());
+    if (Opts.Verbose) {
+      if (Trial.FaultRuns)
+        std::printf("commcheck: seed %llu %s (%u plans, %u schedules, "
+                    "%u fault runs, %u degraded, %llu faults) %s\n",
+                    static_cast<unsigned long long>(IterSeed),
+                    Trial.Ok ? "ok" : "FAIL", Trial.PlansRun,
+                    Trial.SchedulesRun, Trial.FaultRuns, Trial.DegradedRuns,
+                    static_cast<unsigned long long>(Trial.FaultsInjected),
+                    P.Shape.c_str());
+      else
+        std::printf("commcheck: seed %llu %s (%u plans, %u schedules) %s\n",
+                    static_cast<unsigned long long>(IterSeed),
+                    Trial.Ok ? "ok" : "FAIL", Trial.PlansRun,
+                    Trial.SchedulesRun, P.Shape.c_str());
+    }
 
     if (Trial.Ok)
       continue;

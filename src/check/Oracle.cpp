@@ -117,6 +117,91 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     }
   }
 
+  // Fault sweep: every injected-fault run must still match the sequential
+  // reference — either the retries absorb the faults or the engine
+  // degrades to a logged sequential fallback. Tight retry/timeout bounds
+  // make the escalation paths actually fire at test time scales.
+  if (Opts.FaultSweep) {
+    std::vector<SyncMode> FaultSyncs = {SyncMode::Mutex, SyncMode::Spin};
+    if (Opts.IncludeTm)
+      FaultSyncs.push_back(SyncMode::Tm);
+    for (SyncMode Sync : FaultSyncs) {
+      PlanOptions PO;
+      PO.NumThreads = 4;
+      PO.Sync = Sync;
+      PO.NativeCostHints = checkCostHints();
+      auto Schemes = buildAllSchemes(*C, *T, PO);
+      unsigned Swept = 0;
+      for (const SchemeReport &R : Schemes) {
+        if (!R.Applicable || !R.Plan ||
+            R.Plan->Kind == Strategy::Sequential)
+          continue;
+        if (Swept++ >= Opts.MaxFaultPlansPerSync)
+          break;
+        for (unsigned PolicyIdx = 0; PolicyIdx < Opts.FaultPoliciesPerPlan;
+             ++PolicyIdx) {
+          // Rotate the preset window per plan so the whole sweep covers
+          // all four presets (including task-failure, which forces the
+          // sequential fallback) even at two policies per plan.
+          unsigned PresetIdx = PolicyIdx + 2 * ((Swept - 1) % 2);
+          FaultPolicy Policy = FaultPolicy::preset(
+              PresetIdx, ScheduleSeed * 0x9E3779B9ULL + PresetIdx + 1 +
+                             static_cast<uint64_t>(Swept) * 131 +
+                             static_cast<unsigned>(Sync) * 1009);
+          FaultInjector FI(Policy);
+          ResilienceConfig RC;
+          RC.StmMaxAttempts = 8;
+          RC.StmBackoffBaseUs = 1;
+          RC.StmBackoffCapUs = 32;
+          RC.LockTimeoutMs = 200;
+          RC.WatchdogStallMs = 250;
+          RC.JoinGraceMs = 5000;
+          RC.Faults = &FI;
+
+          CheckState State;
+          NativeRegistry Natives;
+          registerCheckNatives(Natives, State);
+          std::vector<RtValue> Globals = makeGlobalImage(M);
+          ++Res.FaultRuns;
+          try {
+            ResilientOutcome Out = runFunctionResilient(
+                M, Natives, Globals, *R.Plan, T->F,
+                {RtValue::ofInt(P.TripCount)},
+                [&FI](unsigned Th) {
+                  return std::unique_ptr<ExecPlatform>(
+                      new ThreadedPlatform(std::max(1u, Th), &FI));
+                },
+                &RC, [&State] { State.reset(); });
+            if (Out.Degraded)
+              ++Res.DegradedRuns;
+            std::vector<int64_t> GlobalInts;
+            GlobalInts.reserve(Globals.size());
+            for (const RtValue &V : Globals)
+              GlobalInts.push_back(V.I);
+            Snapshot Got = takeSnapshot(State, GlobalInts, Out.Result.I,
+                                        Out.Stats.Iterations);
+            if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+              fail(Res,
+                   "divergence under fault injection\n  " +
+                       planContext(*R.Plan, PO.NumThreads, Sync) + "  " +
+                       Policy.describe() +
+                       (Out.Degraded
+                            ? "\n  degraded: " + Out.Diagnostic + "\n"
+                            : "\n") +
+                       *Diff);
+          } catch (const std::exception &E) {
+            fail(Res, "unrecoverable error under fault injection\n  " +
+                          planContext(*R.Plan, PO.NumThreads, Sync) + "  " +
+                          Policy.describe() + "\n  " + E.what());
+          }
+          Res.FaultsInjected += FI.totalInjected();
+          if (!Res.Ok)
+            return Res;
+        }
+      }
+    }
+  }
+
   if (!Opts.ExploreSchedules)
     return Res;
 

@@ -69,6 +69,30 @@ commset::bestScheme(const std::vector<SchemeReport> &Schemes) {
   return Best;
 }
 
+const char *commset::runStatusName(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::DegradedSequential:
+    return "degraded-to-sequential";
+  case RunStatus::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+int commset::exitCodeFor(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::Ok:
+    return 0;
+  case RunStatus::DegradedSequential:
+    return 10;
+  case RunStatus::InternalError:
+    return 70;
+  }
+  return 70;
+}
+
 RunOutcome commset::runScheme(Compilation &C, const Function *F,
                               const std::vector<RtValue> &Args,
                               const NativeRegistry &Natives,
@@ -79,27 +103,52 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
   ParallelPlan SeqPlan;
   SeqPlan.Kind = Strategy::Sequential;
   const ParallelPlan &Plan = Config.Plan ? *Config.Plan : SeqPlan;
-  unsigned Threads = std::max(1u, Plan.NumThreads);
+
+  FaultInjector *Faults =
+      Config.Resilience ? Config.Resilience->Faults : nullptr;
+  PlatformFactory MakePlatform;
+  if (Config.Simulate) {
+    SyncMode Sync = Plan.Sync;
+    SimParams Sim = Config.Sim;
+    MakePlatform = [Sync, Sim](unsigned Threads) {
+      return std::unique_ptr<ExecPlatform>(
+          new SimPlatform(std::max(1u, Threads), Sync, Sim));
+    };
+  } else {
+    MakePlatform = [Faults](unsigned Threads) {
+      return std::unique_ptr<ExecPlatform>(
+          new ThreadedPlatform(std::max(1u, Threads), Faults));
+    };
+  }
 
   RunOutcome Out;
-  LoopRunStats Stats;
   auto Start = std::chrono::steady_clock::now();
-  if (Config.Simulate) {
-    SimPlatform Platform(Threads, Plan.Sync, Config.Sim);
-    Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
-                                     Args, Platform, &Stats);
-    Out.VirtualNs = Platform.elapsedNs();
-    Out.TmAborts = Platform.tmAborts();
-    Out.LockContentions = Platform.lockContentions();
-  } else {
-    ThreadedPlatform Platform(Threads);
-    Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
-                                     Args, Platform, &Stats);
+  try {
+    ResilientOutcome R = runFunctionResilient(
+        M, Natives, Globals, Plan, F, Args, MakePlatform, Config.Resilience,
+        Config.ResetState,
+        [&](ExecPlatform &Platform, bool Degraded) {
+          if (auto *Sim = dynamic_cast<SimPlatform *>(&Platform)) {
+            Out.VirtualNs = Sim->elapsedNs();
+            Out.TmAborts = Sim->tmAborts();
+            Out.LockContentions = Sim->lockContentions();
+          }
+        });
+    Out.Result = R.Result;
+    Out.Iterations = R.Stats.Iterations;
+    if (R.Degraded) {
+      Out.Status = RunStatus::DegradedSequential;
+      Out.DegradedWhy = R.Why;
+      Out.Diagnostic = "plan '" + Plan.describe() + "' degraded: " +
+                       R.Diagnostic;
+    }
+  } catch (const std::exception &E) {
+    Out.Status = RunStatus::InternalError;
+    Out.Diagnostic = E.what();
   }
   auto End = std::chrono::steady_clock::now();
   Out.WallNs = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
-  Out.Iterations = Stats.Iterations;
   return Out;
 }

@@ -334,10 +334,16 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
   // falls back to the pessimistic ranked locks (paper §4.6).
   if (Sync.Mode == SyncMode::Tm && Info.TmEligible &&
       Instr->op() == Opcode::Call && Sync.StmState) {
+    const ResilienceConfig &RC =
+        Sync.Resilience ? *Sync.Resilience : defaultResilience();
     if (Platform)
       Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
     uint64_t Before = Platform ? Platform->elapsedNs() : 0;
-    Stm Tx(*Sync.StmState);
+    Stm Tx(*Sync.StmState, RC.Faults, ThreadId);
+    StmRetryGovernor Governor(
+        RC.StmMaxAttempts, RC.StmBackoffBaseUs, RC.StmBackoffCapUs,
+        (RC.Faults ? RC.Faults->policy().Seed : 0) ^
+            (static_cast<uint64_t>(ThreadId) * 0x9E3779B9ULL));
     RtValue Result;
     while (true) {
       if (Platform)
@@ -358,6 +364,14 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
           Platform->memberExit(ThreadId);
         return Result;
       }
+      if (Governor.onFailedAttempt() == StmOutcome::Exhausted) {
+        if (Platform)
+          Platform->memberExit(ThreadId);
+        throw RegionFault(FaultKind::StmExhausted, ThreadId,
+                          "STM retries exhausted after " +
+                              std::to_string(Tx.attempts()) +
+                              " attempts in member '" + MemberName + "'");
+      }
     }
   }
 
@@ -376,8 +390,17 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
     Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
     Platform->lockEnter(ThreadId, Info.LockRanks);
   }
-  Sync.Locks->acquire(Info.LockRanks);
-  RtValue Result = invokeDirect(Instr, Args);
+  const ResilienceConfig &RC =
+      Sync.Resilience ? *Sync.Resilience : defaultResilience();
+  Sync.Locks->acquireOrTimeout(Info.LockRanks, ThreadId, RC.LockTimeoutMs,
+                               RC.Faults);
+  RtValue Result;
+  try {
+    Result = invokeDirect(Instr, Args);
+  } catch (...) {
+    Sync.Locks->release(Info.LockRanks);
+    throw;
+  }
   Sync.Locks->release(Info.LockRanks);
   if (Platform) {
     Platform->lockExit(ThreadId, Info.LockRanks);

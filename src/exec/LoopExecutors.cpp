@@ -42,14 +42,17 @@ struct ParallelRegion {
   RtValue *Globals;
   const ParallelPlan &Plan;
   ExecPlatform &Platform;
+  const ResilienceConfig &Resilience;
   CommSetLockManager Locks;
   StmSpace StmState;
+  RegionControl Control;
 
   ParallelRegion(const Module &M, const NativeRegistry &Natives,
                  RtValue *Globals, const ParallelPlan &Plan,
-                 ExecPlatform &Platform)
+                 ExecPlatform &Platform, const ResilienceConfig *Res)
       : M(M), Natives(Natives), Globals(Globals), Plan(Plan),
         Platform(Platform),
+        Resilience(Res ? *Res : defaultResilience()),
         Locks(lockCount(Plan), realLockMode(Plan)) {}
 
   SyncContext syncFor() {
@@ -58,7 +61,47 @@ struct ParallelRegion {
     Sync.Members = &Plan.MemberSync;
     Sync.Locks = &Locks;
     Sync.StmState = &StmState;
+    Sync.Resilience = &Resilience;
     return Sync;
+  }
+
+  /// Worker progress checkpoint at iteration boundaries: heartbeats the
+  /// watchdog, observes cancellation, and hosts the worker-level fault
+  /// injection points. Two relaxed atomic ops when nothing fires.
+  void checkpoint(unsigned Tid) {
+    if (!Resilience.Supervise)
+      return;
+    Control.heartbeat(Tid);
+    if (Control.cancelled())
+      throw RegionFault(FaultKind::Cancelled, Tid, "region cancelled");
+    if (FaultInjector *FI = Resilience.Faults) {
+      FI->maybeDelay(FaultKind::WorkerDelay, Tid);
+      FI->maybeDelay(FaultKind::WorkerStall, Tid);
+      if (FI->fires(FaultKind::TaskFailure, Tid))
+        throw RegionFault(FaultKind::TaskFailure, Tid,
+                          "injected spurious task failure");
+    }
+  }
+
+  /// Fork-join for \p Tasks under this region's supervision settings;
+  /// throws RegionFault on any worker fault, watchdog trip, or abandoned
+  /// worker so the caller can degrade to sequential execution.
+  void runRegion(std::vector<std::function<void()>> &Tasks) {
+    if (!Resilience.Supervise) {
+      runParallel(Tasks);
+      return;
+    }
+    SupervisedReport Rep = runParallelSupervised(
+        Tasks, Control, Resilience.WatchdogStallMs, Resilience.JoinGraceMs,
+        [this] { Platform.cancel(); });
+    if (!Rep.AllJoined)
+      // An abandoned worker may still touch region state; reusing the
+      // process for a fallback run would race with it. Escalate as
+      // unrecoverable (plain runtime_error, deliberately not RegionFault).
+      throw std::runtime_error("unrecoverable region failure: " +
+                               Rep.Detail);
+    if (Rep.Faulted)
+      throw RegionFault(Rep.Kind, Rep.FaultThread, Rep.Detail);
   }
 
   static unsigned lockCount(const ParallelPlan &Plan) {
@@ -114,6 +157,7 @@ public:
     uint64_t Iterations = 0;
     const BasicBlock *BB = L.Header;
     size_t Idx = 0;
+    Region.checkpoint(ThreadId);
     while (true) {
       const Instruction *Instr = BB->Instrs[Idx].get();
       switch (Instr->op()) {
@@ -121,8 +165,10 @@ public:
         Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
         BB = Instr->Succ0;
         Idx = 0;
-        if (BB == L.Header)
+        if (BB == L.Header) {
           ++Iterations;
+          Region.checkpoint(ThreadId);
+        }
         continue;
       case Opcode::CondBr: {
         Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
@@ -132,8 +178,10 @@ public:
           Region.Platform.threadDone(ThreadId);
           return Iterations;
         }
-        if (Next == L.Header)
+        if (Next == L.Header) {
           ++Iterations;
+          Region.checkpoint(ThreadId);
+        }
         BB = Next;
         Idx = 0;
         continue;
@@ -177,7 +225,7 @@ const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
       Iterations[Tid] = Worker.run();
     });
   Region.Platform.regionBegin(0);
-  runParallel(Tasks);
+  Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
 
   uint64_t Total = 0;
@@ -420,6 +468,8 @@ public:
       }
 
       bool InHeader = BB == L.Header;
+      if (InHeader)
+        Region.checkpoint(ThreadId);
       processBlockBody(BB, InHeader);
 
       const Instruction *Term = BB->terminator();
@@ -588,7 +638,7 @@ const BasicBlock *runPipeline(ParallelRegion &Region, Frame &MainFrame,
     Tasks.push_back(
         [&Workers, &ExitBlocks, Tid] { ExitBlocks[Tid] = Workers[Tid]->run(); });
   Region.Platform.regionBegin(0);
-  runParallel(Tasks);
+  Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
 
   // All threads observed the same control flow.
@@ -618,8 +668,9 @@ RtValue commset::runFunctionWithPlan(const Module &M,
                                      const Function *F,
                                      const std::vector<RtValue> &Args,
                                      ExecPlatform &Platform,
-                                     LoopRunStats *Stats) {
-  ParallelRegion Region(M, Natives, Globals, Plan, Platform);
+                                     LoopRunStats *Stats,
+                                     const ResilienceConfig *Resilience) {
+  ParallelRegion Region(M, Natives, Globals, Plan, Platform, Resilience);
   Interpreter Main(M, Natives, Globals,
                    Plan.Kind == Strategy::Sequential ? SyncContext()
                                                      : Region.syncFor(),
@@ -666,4 +717,48 @@ RtValue commset::runFunctionWithPlan(const Module &M,
       continue;
     }
   }
+}
+
+ResilientOutcome commset::runFunctionResilient(
+    const Module &M, const NativeRegistry &Natives,
+    std::vector<RtValue> &Globals, const ParallelPlan &Plan,
+    const Function *F, const std::vector<RtValue> &Args,
+    const PlatformFactory &MakePlatform, const ResilienceConfig *Resilience,
+    const std::function<void()> &ResetState,
+    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone) {
+  ResilientOutcome Out;
+  try {
+    std::unique_ptr<ExecPlatform> Platform = MakePlatform(Plan.NumThreads);
+    Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
+                                     Args, *Platform, &Out.Stats, Resilience);
+    if (OnRunDone)
+      OnRunDone(*Platform, /*Degraded=*/false);
+    return Out;
+  } catch (const RegionFault &Fault) {
+    Out.Degraded = true;
+    Out.Why = Fault.Kind;
+    Out.FaultThread = Fault.Thread;
+    Out.Diagnostic = Fault.what();
+  }
+
+  // Guaranteed fallback: every scrap of partial parallel state is
+  // discarded — fresh global image, caller-reset native state, a brand-new
+  // single-thread platform — and the whole function re-executes
+  // sequentially, which reproduces the sequential reference exactly.
+  if (ResetState)
+    ResetState();
+  Globals = makeGlobalImage(M);
+  ParallelPlan Seq;
+  Seq.Kind = Strategy::Sequential;
+  Seq.F = Plan.F;
+  Seq.L = Plan.L;
+  Seq.NumThreads = 1;
+  Out.Stats = {};
+  std::unique_ptr<ExecPlatform> Platform = MakePlatform(1);
+  Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Seq, F, Args,
+                                   *Platform, &Out.Stats,
+                                   /*Resilience=*/nullptr);
+  if (OnRunDone)
+    OnRunDone(*Platform, /*Degraded=*/true);
+  return Out;
 }

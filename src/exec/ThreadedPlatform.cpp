@@ -10,8 +10,8 @@
 
 using namespace commset;
 
-ThreadedPlatform::ThreadedPlatform(unsigned NumThreads)
-    : NumThreads(NumThreads) {
+ThreadedPlatform::ThreadedPlatform(unsigned NumThreads, FaultInjector *Faults)
+    : NumThreads(NumThreads), Faults(Faults) {
   Queues.resize(static_cast<size_t>(NumThreads) * NumThreads);
   for (auto &Q : Queues)
     Q = std::make_unique<SpscQueue<RtValue>>(4096);
@@ -19,12 +19,23 @@ ThreadedPlatform::ThreadedPlatform(unsigned NumThreads)
 
 void ThreadedPlatform::send(unsigned From, unsigned To, RtValue Value) {
   assert(From < NumThreads && To < NumThreads && "thread id out of range");
-  Queues[static_cast<size_t>(From) * NumThreads + To]->push(Value);
+  if (!Queues[static_cast<size_t>(From) * NumThreads + To]->pushWait(Value))
+    throw RegionFault(FaultKind::Cancelled, From, "send on cancelled region");
 }
 
 RtValue ThreadedPlatform::recv(unsigned From, unsigned To) {
   assert(From < NumThreads && To < NumThreads && "thread id out of range");
-  return Queues[static_cast<size_t>(From) * NumThreads + To]->pop();
+  if (Faults)
+    Faults->maybeDelay(FaultKind::QueueStall, To);
+  RtValue Value;
+  if (!Queues[static_cast<size_t>(From) * NumThreads + To]->popWait(Value))
+    throw RegionFault(FaultKind::Cancelled, To, "recv on cancelled region");
+  return Value;
+}
+
+void ThreadedPlatform::cancel() {
+  for (auto &Q : Queues)
+    Q->poison();
 }
 
 void ThreadedPlatform::resourceEnter(unsigned Thread,

@@ -1,0 +1,200 @@
+//===- FaultInjector.cpp --------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/FaultInjector.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+using namespace commset;
+
+const char *commset::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::WorkerDelay:
+    return "worker-delay";
+  case FaultKind::WorkerStall:
+    return "worker-stall";
+  case FaultKind::StmAbort:
+    return "stm-abort";
+  case FaultKind::LockDelay:
+    return "lock-delay";
+  case FaultKind::QueueStall:
+    return "queue-stall";
+  case FaultKind::TaskFailure:
+    return "task-failure";
+  case FaultKind::StmExhausted:
+    return "stm-exhausted";
+  case FaultKind::LockTimeout:
+    return "lock-timeout";
+  case FaultKind::WatchdogStall:
+    return "watchdog-stall";
+  case FaultKind::Cancelled:
+    return "cancelled";
+  case FaultKind::Internal:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+uint64_t commset::faultMix(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+std::string FaultPolicy::describe() const {
+  std::ostringstream Os;
+  Os << "policy '" << Name << "' seed=" << Seed;
+  auto rate = [&](const char *What, unsigned PerMille, uint64_t Us) {
+    if (!PerMille)
+      return;
+    Os << " " << What << "=" << PerMille << "/1000";
+    if (Us)
+      Os << "@" << Us << "us";
+  };
+  rate("worker-delay", WorkerDelayPerMille, WorkerDelayUs);
+  rate("worker-stall", WorkerStallPerMille, WorkerStallUs);
+  rate("stm-abort", StmAbortPerMille, 0);
+  rate("lock-delay", LockDelayPerMille, LockDelayUs);
+  rate("queue-stall", QueueStallPerMille, QueueStallUs);
+  rate("task-failure", TaskFailurePerMille, 0);
+  return Os.str();
+}
+
+FaultPolicy FaultPolicy::preset(unsigned Index, uint64_t Seed) {
+  FaultPolicy P;
+  P.Seed = Seed;
+  switch (Index % 4) {
+  case 0: // STM abort storm + a little scheduling noise.
+    P.Name = "abort-storm";
+    P.StmAbortPerMille = 350;
+    P.WorkerDelayPerMille = 80;
+    P.WorkerDelayUs = 150;
+    break;
+  case 1: // Stalls: slow workers and slow queue consumers.
+    P.Name = "stall";
+    P.WorkerStallPerMille = 25;
+    P.WorkerStallUs = 15000;
+    P.QueueStallPerMille = 80;
+    P.QueueStallUs = 200;
+    break;
+  case 2: // Spurious task failures force the sequential fallback.
+    P.Name = "task-failure";
+    P.TaskFailurePerMille = 12;
+    P.WorkerDelayPerMille = 60;
+    P.WorkerDelayUs = 100;
+    break;
+  default: // A bit of everything.
+    P.Name = "mixed";
+    P.StmAbortPerMille = 120;
+    P.LockDelayPerMille = 150;
+    P.LockDelayUs = 400;
+    P.QueueStallPerMille = 40;
+    P.QueueStallUs = 150;
+    P.TaskFailurePerMille = 6;
+    break;
+  }
+  return P;
+}
+
+unsigned FaultInjector::rateOf(FaultKind Kind) const {
+  switch (Kind) {
+  case FaultKind::WorkerDelay:
+    return P.WorkerDelayPerMille;
+  case FaultKind::WorkerStall:
+    return P.WorkerStallPerMille;
+  case FaultKind::StmAbort:
+    return P.StmAbortPerMille;
+  case FaultKind::LockDelay:
+    return P.LockDelayPerMille;
+  case FaultKind::QueueStall:
+    return P.QueueStallPerMille;
+  case FaultKind::TaskFailure:
+    return P.TaskFailurePerMille;
+  default:
+    return 0;
+  }
+}
+
+uint64_t FaultInjector::delayUsOf(FaultKind Kind) const {
+  switch (Kind) {
+  case FaultKind::WorkerDelay:
+    return P.WorkerDelayUs;
+  case FaultKind::WorkerStall:
+    return P.WorkerStallUs;
+  case FaultKind::LockDelay:
+    return P.LockDelayUs;
+  case FaultKind::QueueStall:
+    return P.QueueStallUs;
+  default:
+    return 0;
+  }
+}
+
+bool FaultInjector::fires(FaultKind Kind, unsigned Thread) {
+  unsigned Rate = rateOf(Kind);
+  unsigned K = static_cast<unsigned>(Kind) - 1; // WorkerDelay == index 0.
+  if (K >= NumInjectableFaultKinds)
+    return false;
+  unsigned T = Thread % MaxThreads;
+  // The per-stream counter advances even at rate 0 so that enabling one
+  // fault kind never perturbs another kind's decision stream.
+  uint64_t Idx = Calls[K][T].fetch_add(1, std::memory_order_relaxed);
+  if (!Rate)
+    return false;
+  uint64_t H = faultMix(faultMix(faultMix(P.Seed ^ (K + 1)) ^ (T + 1)) ^ Idx);
+  if (H % 1000 >= Rate)
+    return false;
+  Injected[K].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::maybeDelay(FaultKind Kind, unsigned Thread) {
+  if (!fires(Kind, Thread))
+    return false;
+  uint64_t Us = delayUsOf(Kind);
+  if (Us)
+    std::this_thread::sleep_for(std::chrono::microseconds(Us));
+  return true;
+}
+
+uint64_t FaultInjector::injected(FaultKind Kind) const {
+  unsigned K = static_cast<unsigned>(Kind) - 1;
+  if (K >= NumInjectableFaultKinds)
+    return 0;
+  return Injected[K].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::totalInjected() const {
+  uint64_t Sum = 0;
+  for (unsigned K = 0; K < NumInjectableFaultKinds; ++K)
+    Sum += Injected[K].load(std::memory_order_relaxed);
+  return Sum;
+}
+
+namespace {
+std::string formatRegionFault(FaultKind Kind, unsigned Thread,
+                              const std::string &Detail) {
+  std::ostringstream Os;
+  Os << "region fault [" << faultKindName(Kind) << "] on thread " << Thread
+     << ": " << Detail;
+  return Os.str();
+}
+} // namespace
+
+RegionFault::RegionFault(FaultKind Kind, unsigned Thread,
+                         const std::string &Detail)
+    : std::runtime_error(formatRegionFault(Kind, Thread, Detail)),
+      Kind(Kind), Thread(Thread), Detail(Detail) {}
+
+const ResilienceConfig &commset::defaultResilience() {
+  static const ResilienceConfig Config;
+  return Config;
+}

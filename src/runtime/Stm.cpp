@@ -6,6 +6,10 @@
 
 #include "commset/Runtime/Stm.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 using namespace commset;
 
 namespace {
@@ -70,6 +74,10 @@ bool Stm::lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked) {
 bool Stm::commit() {
   if (Aborted)
     return false;
+  // Injected abort storm: indistinguishable from a genuine conflict, so it
+  // exercises exactly the retry/backoff/exhaustion path real contention hits.
+  if (Faults && Faults->fires(FaultKind::StmAbort, ThreadId))
+    return false;
   if (WriteSet.empty())
     return true; // Read-only transactions validated on the fly.
 
@@ -105,4 +113,21 @@ bool Stm::commit() {
   for (auto *Stripe : Locked)
     Stripe->store(CommitVersion, std::memory_order_release);
   return true;
+}
+
+StmOutcome StmRetryGovernor::onFailedAttempt() {
+  ++Failures;
+  if (Failures >= MaxAttempts)
+    return StmOutcome::Exhausted;
+  if (BaseUs) {
+    uint64_t Shift = std::min<uint64_t>(Failures - 1, 63);
+    uint64_t Envelope = BaseUs << Shift;
+    if (!Envelope || Envelope > CapUs)
+      Envelope = CapUs;
+    if (Envelope) {
+      uint64_t SleepUs = 1 + faultMix(JitterSeed ^ Failures) % Envelope;
+      std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+    }
+  }
+  return StmOutcome::Retry;
 }

@@ -1,0 +1,190 @@
+//===- ThreadPool.cpp - Supervised fork-join ------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/ThreadPool.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+using namespace commset;
+
+namespace {
+
+/// Join bookkeeping shared between workers and the supervisor. Held by
+/// shared_ptr so a detached (abandoned) worker's completion bookkeeping
+/// stays valid even after runParallelSupervised returns.
+struct JoinState {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<char> Done;
+  size_t DoneCount = 0;
+
+  bool Faulted = false;
+  FaultKind Kind = FaultKind::None;
+  unsigned FaultThread = 0;
+  std::string Detail;
+
+  /// Records a worker fault. A real fault always displaces a Cancelled
+  /// unwind: workers cancelled *because* of the first fault are collateral,
+  /// not the cause.
+  void recordFault(FaultKind K, unsigned T, std::string D) {
+    std::lock_guard<std::mutex> G(M);
+    bool Replace = !Faulted || (Kind == FaultKind::Cancelled &&
+                                K != FaultKind::Cancelled);
+    if (Replace) {
+      Faulted = true;
+      Kind = K;
+      FaultThread = T;
+      Detail = std::move(D);
+    }
+  }
+};
+
+} // namespace
+
+SupervisedReport commset::runParallelSupervised(
+    const std::vector<std::function<void()>> &Tasks, RegionControl &Control,
+    uint64_t WatchdogStallMs, uint64_t JoinGraceMs,
+    const std::function<void()> &CancelAll) {
+  SupervisedReport Rep;
+  if (Tasks.empty())
+    return Rep;
+  const size_t N = Tasks.size();
+
+  auto S = std::make_shared<JoinState>();
+  S->Done.assign(N, 0);
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    // Tasks/Control/CancelAll are captured by reference: they outlive every
+    // joined worker, and an abandoned worker is reported as unrecoverable
+    // (AllJoined=false) precisely because it may still touch region state.
+    Threads.emplace_back([&Tasks, &Control, &CancelAll, S, I] {
+      try {
+        Tasks[I]();
+      } catch (const RegionFault &F) {
+        S->recordFault(F.Kind, F.Thread, F.Detail);
+        Control.cancel();
+        if (CancelAll)
+          CancelAll();
+      } catch (const std::exception &E) {
+        S->recordFault(FaultKind::Internal, static_cast<unsigned>(I),
+                       E.what());
+        Control.cancel();
+        if (CancelAll)
+          CancelAll();
+      }
+      {
+        std::lock_guard<std::mutex> G(S->M);
+        S->Done[I] = 1;
+        ++S->DoneCount;
+      }
+      S->Cv.notify_all();
+    });
+  }
+
+  // Supervisor loop on the calling thread. "Progress" is any heartbeat or
+  // task completion anywhere in the region; only a *global* stall trips the
+  // watchdog, so one slow worker among busy peers never does.
+  uint64_t TickSrc = WatchdogStallMs ? WatchdogStallMs : JoinGraceMs;
+  uint64_t TickMs = TickSrc / 4;
+  TickMs = TickMs < 2 ? 2 : (TickMs > 50 ? 50 : TickMs);
+  auto Tick = std::chrono::milliseconds(TickMs);
+
+  uint64_t LastBeats = Control.beats();
+  size_t LastDone = 0;
+  auto LastProgress = std::chrono::steady_clock::now();
+  bool Abandoned = false;
+
+  std::unique_lock<std::mutex> Lk(S->M);
+  while (S->DoneCount < N) {
+    S->Cv.wait_for(Lk, Tick);
+    if (S->DoneCount == N)
+      break;
+    uint64_t Beats = Control.beats();
+    size_t DoneC = S->DoneCount;
+    auto Now = std::chrono::steady_clock::now();
+    if (Beats != LastBeats || DoneC != LastDone) {
+      LastBeats = Beats;
+      LastDone = DoneC;
+      LastProgress = Now;
+      continue;
+    }
+    auto StalledMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Now - LastProgress)
+                         .count();
+    if (!Rep.WatchdogTripped) {
+      if (WatchdogStallMs &&
+          static_cast<uint64_t>(StalledMs) >= WatchdogStallMs) {
+        Rep.WatchdogTripped = true;
+        for (size_t I = 0; I < N; ++I)
+          if (!S->Done[I])
+            Rep.StalledWorkers.push_back(static_cast<unsigned>(I));
+        Lk.unlock();
+        Control.cancel();
+        if (CancelAll)
+          CancelAll();
+        Lk.lock();
+        // Fresh clock: the grace window measures post-cancel quiet time.
+        LastProgress = std::chrono::steady_clock::now();
+      }
+    } else if (static_cast<uint64_t>(StalledMs) >= JoinGraceMs) {
+      Abandoned = true;
+      break;
+    }
+  }
+  Lk.unlock();
+
+  if (!Abandoned) {
+    for (std::thread &T : Threads)
+      T.join();
+  } else {
+    for (size_t I = 0; I < N; ++I) {
+      bool IsDone;
+      {
+        std::lock_guard<std::mutex> G(S->M);
+        IsDone = S->Done[I];
+      }
+      if (IsDone) {
+        Threads[I].join();
+      } else {
+        Threads[I].detach();
+        Rep.AllJoined = false;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> G(S->M);
+    Rep.Faulted = S->Faulted;
+    Rep.Kind = S->Kind;
+    Rep.FaultThread = S->FaultThread;
+    Rep.Detail = S->Detail;
+  }
+
+  // A watchdog trip is the primary fault unless a worker reported a real
+  // (non-Cancelled) fault of its own before wedging the region.
+  if (Rep.WatchdogTripped &&
+      (!Rep.Faulted || Rep.Kind == FaultKind::Cancelled)) {
+    std::ostringstream Os;
+    Os << "watchdog: no region progress for " << WatchdogStallMs
+       << "ms; stalled workers:";
+    for (unsigned W : Rep.StalledWorkers)
+      Os << " " << W;
+    Rep.Faulted = true;
+    Rep.Kind = FaultKind::WatchdogStall;
+    Rep.FaultThread =
+        Rep.StalledWorkers.empty() ? 0 : Rep.StalledWorkers.front();
+    Rep.Detail = Os.str();
+  }
+  if (!Rep.AllJoined)
+    Rep.Detail += " [worker(s) abandoned after join grace expired]";
+  return Rep;
+}

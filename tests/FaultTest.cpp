@@ -1,0 +1,608 @@
+//===- FaultTest.cpp - Fault injection and resilient engine tests ---------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the resilient execution engine end to end: deterministic fault
+// injection, bounded STM retry, lock-timeout diagnostics, SPSC queue
+// poisoning, the supervised fork-join watchdog, and the guaranteed
+// sequential fallback observable through Runner's structured diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Exec/ThreadedPlatform.h"
+#include "commset/Runtime/FaultInjector.h"
+#include "commset/Runtime/Locks.h"
+#include "commset/Runtime/SpscQueue.h"
+#include "commset/Runtime/Stm.h"
+#include "commset/Runtime/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace commset;
+
+namespace {
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+/// Thread-safe recorder mirroring ExecTest's observable side effect.
+struct Recorder {
+  std::mutex M;
+  std::vector<std::pair<int64_t, int64_t>> Entries;
+
+  void add(int64_t I, int64_t V) {
+    std::lock_guard<std::mutex> Guard(M);
+    Entries.push_back({I, V});
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Guard(M);
+    Entries.clear();
+  }
+};
+
+const char *toySource(bool RecordSelf) {
+  static std::string WithSelf = std::string("extern int work(int x);\n") +
+                                "#pragma commset member(SELF)\n"
+                                "extern void record(int i, int v);\n"
+                                "#pragma commset effects(work, pure)\n"
+                                "#pragma commset effects(record, "
+                                "reads(out), writes(out))\n"
+                                "void run(int n) {\n"
+                                "  for (int i = 0; i < n; i++) {\n"
+                                "    record(i, work(i));\n"
+                                "  }\n"
+                                "}\n";
+  static std::string NoSelf = std::string("extern int work(int x);\n") +
+                              "extern void record(int i, int v);\n"
+                              "#pragma commset effects(work, pure)\n"
+                              "#pragma commset effects(record, "
+                              "reads(out), writes(out))\n"
+                              "void run(int n) {\n"
+                              "  for (int i = 0; i < n; i++) {\n"
+                              "    record(i, work(i));\n"
+                              "  }\n"
+                              "}\n";
+  return RecordSelf ? WithSelf.c_str() : NoSelf.c_str();
+}
+
+NativeRegistry makeToyNatives(Recorder &Rec) {
+  NativeRegistry Natives;
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+      },
+      /*FixedCostNs=*/20000);
+  Natives.add(
+      "record",
+      [&Rec](const RtValue *Args, unsigned) {
+        Rec.add(Args[0].I, Args[1].I);
+        return RtValue();
+      },
+      /*FixedCostNs=*/400);
+  return Natives;
+}
+
+struct ToyRun {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  std::vector<SchemeReport> Schemes;
+};
+
+ToyRun analyzeToy(bool RecordSelf, unsigned Threads, SyncMode Sync) {
+  ToyRun R;
+  R.C = compileOk(toySource(RecordSelf));
+  if (!R.C)
+    return R;
+  DiagnosticEngine Diags;
+  R.T = R.C->analyzeLoop("run", Diags);
+  EXPECT_NE(R.T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.Sync = Sync;
+  Opts.NativeCostHints = {{"work", 20000.0}, {"record", 400.0}};
+  R.Schemes = buildAllSchemes(*R.C, *R.T, Opts);
+  return R;
+}
+
+const SchemeReport *findScheme(const std::vector<SchemeReport> &Schemes,
+                               Strategy Kind) {
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Kind)
+      return &S;
+  return nullptr;
+}
+
+void verifyCompleteness(const Recorder &Rec, int64_t N) {
+  ASSERT_EQ(Rec.Entries.size(), static_cast<size_t>(N));
+  std::vector<char> Seen(N, 0);
+  for (auto [I, V] : Rec.Entries) {
+    ASSERT_GE(I, 0);
+    ASSERT_LT(I, N);
+    EXPECT_FALSE(Seen[I]) << "duplicate iteration " << I;
+    Seen[I] = 1;
+    EXPECT_EQ(V, I * I + 1) << "wrong payload for iteration " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector: determinism and stream independence
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, DeterministicPerSeed) {
+  FaultPolicy P = FaultPolicy::preset(3, 42); // mixed: several nonzero rates
+  std::vector<bool> First, Second;
+  {
+    FaultInjector FI(P);
+    for (unsigned I = 0; I < 200; ++I)
+      First.push_back(FI.fires(FaultKind::StmAbort, /*Thread=*/1));
+  }
+  {
+    FaultInjector FI(P);
+    for (unsigned I = 0; I < 200; ++I)
+      Second.push_back(FI.fires(FaultKind::StmAbort, /*Thread=*/1));
+  }
+  EXPECT_EQ(First, Second) << "same seed must replay the same decisions";
+
+  FaultPolicy Q = P;
+  Q.Seed = 43;
+  FaultInjector FJ(Q);
+  std::vector<bool> Other;
+  for (unsigned I = 0; I < 200; ++I)
+    Other.push_back(FJ.fires(FaultKind::StmAbort, /*Thread=*/1));
+  EXPECT_NE(First, Other) << "different seeds should diverge";
+}
+
+TEST(FaultInjectorTest, StreamsAreIndependentOfOtherThreads) {
+  // The (kind, thread) stream depends only on the call index within that
+  // stream: interleaving calls from another thread must not perturb it.
+  FaultPolicy P = FaultPolicy::preset(0, 7);
+  std::vector<bool> Alone;
+  {
+    FaultInjector FI(P);
+    for (unsigned I = 0; I < 100; ++I)
+      Alone.push_back(FI.fires(FaultKind::StmAbort, 0));
+  }
+  std::vector<bool> Interleaved;
+  {
+    FaultInjector FI(P);
+    for (unsigned I = 0; I < 100; ++I) {
+      (void)FI.fires(FaultKind::StmAbort, 1);
+      (void)FI.fires(FaultKind::WorkerDelay, 0);
+      Interleaved.push_back(FI.fires(FaultKind::StmAbort, 0));
+    }
+  }
+  EXPECT_EQ(Alone, Interleaved);
+}
+
+TEST(FaultInjectorTest, ZeroRateNeverFires) {
+  FaultPolicy P; // all rates zero
+  P.Seed = 99;
+  FaultInjector FI(P);
+  for (unsigned I = 0; I < 500; ++I) {
+    EXPECT_FALSE(FI.fires(FaultKind::TaskFailure, I % 4));
+    EXPECT_FALSE(FI.maybeDelay(FaultKind::WorkerDelay, I % 4));
+  }
+  EXPECT_EQ(FI.totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, PresetsCycleAndCountInjections) {
+  EXPECT_EQ(FaultPolicy::preset(0, 1).Name, FaultPolicy::preset(4, 1).Name);
+  // Full-rate policy fires every time and counts what it injected.
+  FaultPolicy P;
+  P.Seed = 5;
+  P.StmAbortPerMille = 1000;
+  FaultInjector FI(P);
+  for (unsigned I = 0; I < 10; ++I)
+    EXPECT_TRUE(FI.fires(FaultKind::StmAbort, 2));
+  EXPECT_EQ(FI.injected(FaultKind::StmAbort), 10u);
+  EXPECT_EQ(FI.totalInjected(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// STM: injected aborts and the bounded retry governor
+//===----------------------------------------------------------------------===//
+
+TEST(StmFaultTest, InjectedAbortForcesCommitFailure) {
+  FaultPolicy P;
+  P.Seed = 11;
+  P.StmAbortPerMille = 1000;
+  FaultInjector FI(P);
+  StmSpace Space;
+  uint64_t Cell = 0;
+  Stm Tx(Space, &FI, /*ThreadId=*/0);
+  for (unsigned I = 0; I < 3; ++I) {
+    Tx.begin();
+    Tx.write(&Cell, 7);
+    EXPECT_FALSE(Tx.commit()) << "full-rate StmAbort must abort every commit";
+  }
+  EXPECT_EQ(Cell, 0u) << "aborted transactions must not publish writes";
+}
+
+TEST(StmFaultTest, RetryGovernorExhaustsAfterBudget) {
+  StmRetryGovernor Gov(/*MaxAttempts=*/4, /*BackoffBaseUs=*/1,
+                       /*BackoffCapUs=*/4, /*JitterSeed=*/1);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Retry);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Retry);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Retry);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Exhausted);
+  EXPECT_EQ(Gov.failures(), 4u);
+  // Once exhausted it stays exhausted.
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Exhausted);
+}
+
+//===----------------------------------------------------------------------===//
+// Ranked locks: timeout + deadlock-suspicion diagnostic
+//===----------------------------------------------------------------------===//
+
+TEST(LockTimeoutTest, RankCycleDiagnostic) {
+  // Construct the classic two-rank deadlock shape by bypassing the
+  // ascending-order discipline across *separate* calls: thread 0 holds
+  // rank 0 and wants rank 1; thread 1 holds rank 1 and wants rank 0.
+  CommSetLockManager Locks(2, LockMode::Mutex);
+  Locks.acquireOrTimeout({0}, /*ThreadId=*/0, /*TimeoutMs=*/0);
+
+  std::atomic<bool> PeerHolds{false};
+  std::thread Peer([&] {
+    Locks.acquireOrTimeout({1}, /*ThreadId=*/1, /*TimeoutMs=*/0);
+    PeerHolds.store(true);
+    try {
+      Locks.acquireOrTimeout({0}, /*ThreadId=*/1, /*TimeoutMs=*/2000);
+      Locks.release({0}); // acquired after the main thread backed off
+    } catch (const RegionFault &) {
+      // Also acceptable: both sides timed out.
+    }
+    Locks.release({1});
+  });
+  while (!PeerHolds.load())
+    std::this_thread::yield();
+  // Give the peer a moment to actually block on rank 0 so the diagnostic
+  // can see its Waiting edge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::string Diag;
+  try {
+    Locks.acquireOrTimeout({1}, /*ThreadId=*/0, /*TimeoutMs=*/150);
+    FAIL() << "rank 1 is held by the peer; acquisition must time out";
+  } catch (const RegionFault &F) {
+    EXPECT_EQ(F.Kind, FaultKind::LockTimeout);
+    EXPECT_EQ(F.Thread, 0u);
+    Diag = F.Detail;
+  }
+  Locks.release({0}); // unblocks the peer
+  Peer.join();
+
+  EXPECT_NE(Diag.find("lock timeout: thread 0 waited 150ms for rank 1"),
+            std::string::npos)
+      << Diag;
+  EXPECT_NE(Diag.find("suspected rank cycle"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("rank 1 held by thread 1"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("rank 0 held by thread 0"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("(cycle closes)"), std::string::npos) << Diag;
+}
+
+TEST(LockTimeoutTest, TimeoutReleasesPartiallyTakenRanks) {
+  CommSetLockManager Locks(3, LockMode::Spin);
+  // Peer pins rank 2 so the main thread's {0,1,2} acquisition times out
+  // after taking 0 and 1.
+  Locks.acquireOrTimeout({2}, /*ThreadId=*/1, /*TimeoutMs=*/0);
+  EXPECT_THROW(
+      Locks.acquireOrTimeout({0, 1, 2}, /*ThreadId=*/0, /*TimeoutMs=*/50),
+      RegionFault);
+  // Ranks 0 and 1 must have been released on the failure path.
+  Locks.acquireOrTimeout({0, 1}, /*ThreadId=*/0, /*TimeoutMs=*/50);
+  Locks.release({0, 1});
+  Locks.release({2});
+}
+
+//===----------------------------------------------------------------------===//
+// SPSC queue poisoning
+//===----------------------------------------------------------------------===//
+
+TEST(SpscPoisonTest, PoisonUnblocksProducerAndConsumer) {
+  // Blocked producer: queue full, pushWait spins until poison.
+  SpscQueue<int> Full(2);
+  ASSERT_TRUE(Full.pushWait(1));
+  ASSERT_TRUE(Full.pushWait(2));
+  std::atomic<int> ProducerResult{-1};
+  std::thread Producer(
+      [&] { ProducerResult.store(Full.pushWait(3) ? 1 : 0); });
+
+  // Blocked consumer: queue empty, popWait spins until poison.
+  SpscQueue<int> Empty(2);
+  std::atomic<int> ConsumerResult{-1};
+  std::thread Consumer([&] {
+    int V = 0;
+    ConsumerResult.store(Empty.popWait(V) ? 1 : 0);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ProducerResult.load(), -1) << "producer should still be blocked";
+  EXPECT_EQ(ConsumerResult.load(), -1) << "consumer should still be blocked";
+
+  Full.poison();
+  Empty.poison();
+  Producer.join();
+  Consumer.join();
+  EXPECT_EQ(ProducerResult.load(), 0) << "pushWait must fail once poisoned";
+  EXPECT_EQ(ConsumerResult.load(), 0) << "popWait must fail once poisoned";
+}
+
+TEST(SpscPoisonTest, PoisonedPopStillDrainsInFlightEntries) {
+  SpscQueue<int> Q(4);
+  ASSERT_TRUE(Q.pushWait(10));
+  ASSERT_TRUE(Q.pushWait(11));
+  Q.poison();
+  EXPECT_FALSE(Q.pushWait(12)) << "no new entries after poison";
+  int V = 0;
+  EXPECT_TRUE(Q.popWait(V));
+  EXPECT_EQ(V, 10);
+  EXPECT_TRUE(Q.popWait(V));
+  EXPECT_EQ(V, 11);
+  EXPECT_FALSE(Q.popWait(V)) << "drained + poisoned must fail";
+}
+
+//===----------------------------------------------------------------------===//
+// Supervised fork-join: watchdog, grace deadline, fault propagation
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisedPoolTest, WatchdogTripReportsStalledWorker) {
+  RegionControl Control;
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&] { Control.heartbeat(0); });
+  Tasks.push_back([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  });
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, Control, /*WatchdogStallMs=*/40, /*JoinGraceMs=*/5000, {});
+  EXPECT_TRUE(Rep.WatchdogTripped);
+  ASSERT_EQ(Rep.StalledWorkers.size(), 1u);
+  EXPECT_EQ(Rep.StalledWorkers[0], 1u);
+  EXPECT_TRUE(Rep.AllJoined) << "sleeper finishes within the grace window";
+  EXPECT_TRUE(Rep.Faulted);
+  EXPECT_EQ(Rep.Kind, FaultKind::WatchdogStall);
+  EXPECT_NE(Rep.Detail.find("watchdog: no region progress"),
+            std::string::npos)
+      << Rep.Detail;
+  EXPECT_NE(Rep.Detail.find("stalled workers: 1"), std::string::npos)
+      << Rep.Detail;
+}
+
+TEST(SupervisedPoolTest, WedgedWorkerIsAbandonedNotHungOn) {
+  // Satellite (a): shutdown joins with a deadline; a worker that never
+  // unwinds is detached and reported instead of wedging the engine.
+  std::atomic<bool> WorkerExited{false};
+  RegionControl Control;
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&] { Control.heartbeat(0); });
+  Tasks.push_back([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    WorkerExited.store(true);
+  });
+  auto Start = std::chrono::steady_clock::now();
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, Control, /*WatchdogStallMs=*/30, /*JoinGraceMs=*/60, {});
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_TRUE(Rep.WatchdogTripped);
+  EXPECT_FALSE(Rep.AllJoined);
+  EXPECT_LT(ElapsedMs, 500) << "must return before the wedged worker exits";
+  EXPECT_NE(Rep.Detail.find("abandoned after join grace expired"),
+            std::string::npos)
+      << Rep.Detail;
+  // Keep Tasks/Control alive until the detached worker is done with them.
+  while (!WorkerExited.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(SupervisedPoolTest, WorkerFaultCancelsSiblings) {
+  RegionControl Control;
+  std::atomic<bool> ExternallyCancelled{false};
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&] {
+    throw RegionFault(FaultKind::TaskFailure, 0, "injected failure");
+  });
+  Tasks.push_back([&] {
+    // Cooperative sibling: loops with heartbeats until cancelled.
+    for (unsigned I = 0; I < 100000; ++I) {
+      Control.heartbeat(1);
+      if (Control.cancelled())
+        throw RegionFault(FaultKind::Cancelled, 1, "unwound on cancel");
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, Control, /*WatchdogStallMs=*/10000, /*JoinGraceMs=*/5000,
+      [&] { ExternallyCancelled.store(true); });
+  EXPECT_TRUE(Rep.Faulted);
+  EXPECT_EQ(Rep.Kind, FaultKind::TaskFailure)
+      << "the real fault must displace the sibling's Cancelled unwind";
+  EXPECT_EQ(Rep.FaultThread, 0u);
+  EXPECT_EQ(Rep.Detail, "injected failure");
+  EXPECT_FALSE(Rep.WatchdogTripped);
+  EXPECT_TRUE(Rep.AllJoined);
+  EXPECT_TRUE(ExternallyCancelled.load()) << "CancelAll hook must fire";
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level degradation: parallel plan fails, sequential fallback wins
+//===----------------------------------------------------------------------===//
+
+TEST(FaultExecTest, StmExhaustionDegradesToSequential) {
+  auto C = compileOk("int counter;\n"
+                     "#pragma commset decl(CSET, self)\n"
+                     "#pragma commset member(SELF)\n"
+                     "void bump() { counter = counter + 1; }\n"
+                     "extern int work(int x);\n"
+                     "#pragma commset effects(work, pure)\n"
+                     "int run(int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    work(i);\n"
+                     "    bump();\n"
+                     "  }\n"
+                     "  return counter;\n"
+                     "}\n");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("run", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.Sync = SyncMode::Tm;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  auto *Doall = findScheme(Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  NativeRegistry Natives;
+  Natives.add("work", [](const RtValue *Args, unsigned) {
+    return RtValue::ofInt(Args[0].I);
+  });
+
+  FaultPolicy Policy;
+  Policy.Seed = 21;
+  Policy.Name = "abort-everything";
+  Policy.StmAbortPerMille = 1000; // every commit aborts -> retries exhaust
+  FaultInjector FI(Policy);
+  ResilienceConfig RC;
+  RC.StmMaxAttempts = 4;
+  RC.StmBackoffBaseUs = 1;
+  RC.StmBackoffCapUs = 8;
+  RC.Faults = &FI;
+
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  Config.Resilience = &RC;
+  RunOutcome Out = runScheme(*C, T->F, {RtValue::ofInt(500)}, Natives, Config);
+
+  EXPECT_EQ(Out.Status, RunStatus::DegradedSequential);
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::StmExhausted);
+  EXPECT_EQ(Out.Result.I, 500) << "fallback must produce the sequential answer";
+  EXPECT_NE(Out.Diagnostic.find("degraded"), std::string::npos)
+      << Out.Diagnostic;
+  EXPECT_NE(Out.Diagnostic.find("STM retries exhausted"), std::string::npos)
+      << Out.Diagnostic;
+  EXPECT_GT(FI.injected(FaultKind::StmAbort), 0u);
+}
+
+TEST(FaultExecTest, TaskFailureDoallFallsBackComplete) {
+  constexpr int64_t N = 60;
+  auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+
+  FaultPolicy Policy;
+  Policy.Seed = 33;
+  Policy.Name = "always-fail";
+  Policy.TaskFailurePerMille = 1000; // first checkpoint kills every worker
+  FaultInjector FI(Policy);
+  ResilienceConfig RC;
+  RC.Faults = &FI;
+
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  Config.Resilience = &RC;
+  Config.ResetState = [&Rec] { Rec.clear(); };
+  RunOutcome Out =
+      runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives, Config);
+
+  EXPECT_EQ(Out.Status, RunStatus::DegradedSequential);
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::TaskFailure);
+  EXPECT_NE(Out.Diagnostic.find("injected spurious task failure"),
+            std::string::npos)
+      << Out.Diagnostic;
+  verifyCompleteness(Rec, N); // ResetState discarded the partial entries
+}
+
+TEST(FaultExecTest, WatchdogTripOnStalledDswpStage) {
+  constexpr int64_t N = 30;
+  auto Toy = analyzeToy(false, 2, SyncMode::Mutex);
+  auto *Dswp = findScheme(Toy.Schemes, Strategy::Dswp);
+  ASSERT_TRUE(Dswp && Dswp->Applicable) << Dswp->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+
+  FaultPolicy Policy;
+  Policy.Seed = 77;
+  Policy.Name = "stall-everything";
+  Policy.WorkerStallPerMille = 1000;
+  Policy.WorkerStallUs = 120000; // 120ms stall at every checkpoint
+  FaultInjector FI(Policy);
+  ResilienceConfig RC;
+  RC.WatchdogStallMs = 40;
+  RC.JoinGraceMs = 5000; // stalls are finite; workers unwind within grace
+  RC.Faults = &FI;
+
+  RunConfig Config;
+  Config.Plan = &*Dswp->Plan;
+  Config.Simulate = false;
+  Config.Resilience = &RC;
+  Config.ResetState = [&Rec] { Rec.clear(); };
+  RunOutcome Out =
+      runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives, Config);
+
+  EXPECT_EQ(Out.Status, RunStatus::DegradedSequential);
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::WatchdogStall);
+  EXPECT_NE(Out.Diagnostic.find("watchdog"), std::string::npos)
+      << Out.Diagnostic;
+  verifyCompleteness(Rec, N);
+}
+
+TEST(FaultExecTest, NoFaultsMeansNoDegradation) {
+  constexpr int64_t N = 100;
+  auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives = makeToyNatives(Rec);
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false; // default resilience: supervised, no injection
+  RunOutcome Out =
+      runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives, Config);
+
+  EXPECT_EQ(Out.Status, RunStatus::Ok);
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::None);
+  EXPECT_TRUE(Out.Diagnostic.empty()) << Out.Diagnostic;
+  verifyCompleteness(Rec, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Runner structured diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(RunStatusTest, NamesAndExitCodesAreDistinct) {
+  EXPECT_STREQ(runStatusName(RunStatus::Ok), "ok");
+  EXPECT_STREQ(runStatusName(RunStatus::DegradedSequential),
+               "degraded-to-sequential");
+  EXPECT_STREQ(runStatusName(RunStatus::InternalError), "internal-error");
+  EXPECT_EQ(exitCodeFor(RunStatus::Ok), 0);
+  EXPECT_EQ(exitCodeFor(RunStatus::DegradedSequential), 10);
+  EXPECT_EQ(exitCodeFor(RunStatus::InternalError), 70);
+}
+
+} // namespace

@@ -358,4 +358,58 @@ TEST(SpscQueueTest, BackpressureAtDefaultBound) {
   EXPECT_TRUE(Q.empty());
 }
 
+//===----------------------------------------------------------------------===//
+// Resilience substrate: poisoning, retry bounds, supervised join
+//===----------------------------------------------------------------------===//
+
+TEST(SpscQueueTest, PoisonIsIdempotentAndSticky) {
+  SpscQueue<int> Q(4);
+  EXPECT_FALSE(Q.poisoned());
+  Q.poison();
+  Q.poison(); // Safe to repeat from any thread.
+  EXPECT_TRUE(Q.poisoned());
+  EXPECT_FALSE(Q.pushWait(1));
+  int V = 0;
+  EXPECT_FALSE(Q.popWait(V));
+}
+
+TEST(StmTest, RetryGovernorBacksOffThenExhausts) {
+  StmRetryGovernor Gov(/*MaxAttempts=*/3, /*BackoffBaseUs=*/1,
+                       /*BackoffCapUs=*/2, /*JitterSeed=*/99);
+  EXPECT_EQ(Gov.failures(), 0u);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Retry);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Retry);
+  EXPECT_EQ(Gov.onFailedAttempt(), StmOutcome::Exhausted);
+  EXPECT_EQ(Gov.failures(), 3u);
+}
+
+TEST(LockTest, SpinTryLockForTimesOutWhenHeld) {
+  SpinLock Lock;
+  Lock.lock();
+  EXPECT_FALSE(Lock.try_lock_for_ms(30));
+  Lock.unlock();
+  EXPECT_TRUE(Lock.try_lock_for_ms(30));
+  Lock.unlock();
+}
+
+TEST(ThreadPoolTest, SupervisedCleanRunReportsNothing) {
+  RegionControl Control;
+  std::atomic<int> Ran{0};
+  std::vector<std::function<void()>> Tasks;
+  for (int T = 0; T < 4; ++T)
+    Tasks.push_back([&Control, &Ran, T] {
+      for (int I = 0; I < 100; ++I)
+        Control.heartbeat(static_cast<unsigned>(T));
+      ++Ran;
+    });
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, Control, /*WatchdogStallMs=*/10000, /*JoinGraceMs=*/5000, {});
+  EXPECT_EQ(Ran.load(), 4);
+  EXPECT_FALSE(Rep.Faulted);
+  EXPECT_FALSE(Rep.WatchdogTripped);
+  EXPECT_TRUE(Rep.AllJoined);
+  EXPECT_EQ(Rep.Kind, FaultKind::None);
+  EXPECT_GE(Control.beats(), 400u);
+}
+
 } // namespace

@@ -10,6 +10,7 @@
 //   commcheck --seed 1 --iters 25            # smoke tier (ctest check_smoke)
 //   commcheck --seed 1 --iters 200           # soak tier (TESTING.md)
 //   commcheck --seed 4242 --iters 1 -v       # replay one failing trial
+//   commcheck --faults --seed 1 --iters 25   # fault sweep (ctest fault_smoke)
 //   commcheck --dump SEED                    # print the generated program
 //
 //===----------------------------------------------------------------------===//
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 using namespace commset::check;
@@ -34,6 +36,10 @@ void usage(const char *Argv0) {
       "  --no-tm           skip SyncMode::Tm plans\n"
       "  --no-schedules    skip controlled-schedule exploration\n"
       "  --random-scheds N random schedule policies per plan (default 2)\n"
+      "  --faults          fault sweep: re-run plans under seeded fault\n"
+      "                    injection and assert the resilient engine still\n"
+      "                    matches the sequential reference\n"
+      "  --fault-policies N fault policies per swept plan (default 2)\n"
       "  --dump-dir DIR    failure artifact directory ('' disables; default .)\n"
       "  --dump SEED       print the program generated for SEED and exit\n"
       "  -v, --verbose     one line per iteration\n"
@@ -101,6 +107,14 @@ int main(int argc, char **argv) {
       Opts.Oracle.IncludeTm = false;
     } else if (Arg == "--no-schedules") {
       Opts.Oracle.ExploreSchedules = false;
+    } else if (Arg == "--faults") {
+      Opts.Oracle.FaultSweep = true;
+    } else if (Arg == "--fault-policies") {
+      if (!parseU64(needValue(), V) || V == 0) {
+        std::fprintf(stderr, "commcheck: bad --fault-policies\n");
+        return 2;
+      }
+      Opts.Oracle.FaultPoliciesPerPlan = static_cast<unsigned>(V);
     } else if (Arg == "--random-scheds") {
       if (!parseU64(needValue(), V)) {
         std::fprintf(stderr, "commcheck: bad --random-scheds\n");
@@ -139,16 +153,28 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  CommCheckSummary Sum = runCommCheck(Opts);
-  std::printf("commcheck: %u iterations, %u plans, %u schedules, "
-              "%u races, %u failures\n",
-              Sum.Iterations, Sum.PlansRun, Sum.SchedulesRun,
-              Sum.RacesReported, Sum.Failures);
-  if (Sum.Failures) {
-    std::printf("first failure:\n%s\n", Sum.FirstFailure.c_str());
-    for (const std::string &Path : Sum.ArtifactPaths)
-      std::printf("artifact: %s\n", Path.c_str());
-    return 1;
+  try {
+    CommCheckSummary Sum = runCommCheck(Opts);
+    std::printf("commcheck: %u iterations, %u plans, %u schedules, "
+                "%u races, %u failures\n",
+                Sum.Iterations, Sum.PlansRun, Sum.SchedulesRun,
+                Sum.RacesReported, Sum.Failures);
+    if (Opts.Oracle.FaultSweep)
+      std::printf("commcheck: fault sweep: %u runs, %u degraded to "
+                  "sequential, %llu faults injected, %u divergences\n",
+                  Sum.FaultRuns, Sum.DegradedRuns,
+                  static_cast<unsigned long long>(Sum.FaultsInjected),
+                  Sum.Failures);
+    if (Sum.Failures) {
+      std::printf("first failure:\n%s\n", Sum.FirstFailure.c_str());
+      for (const std::string &Path : Sum.ArtifactPaths)
+        std::printf("artifact: %s\n", Path.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "commcheck: unrecoverable internal error: %s\n",
+                 E.what());
+    return 3;
   }
-  return 0;
 }
