@@ -24,6 +24,39 @@ namespace bench {
 inline const std::vector<unsigned> PaperThreads = {1, 2, 3, 4, 5, 6, 7, 8};
 inline const std::vector<unsigned> QuickThreads = {2, 4, 6, 8};
 
+/// Strips a `--json=FILE` flag from argv and returns the path ("" when
+/// absent). Must run before benchmark::Initialize, which rejects flags it
+/// does not know.
+inline std::string extractJsonPath(int &argc, char **argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      Path = Arg.substr(7);
+    else
+      argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return Path;
+}
+
+/// Writes \p Records to \p JsonPath if set; prints the failure and returns
+/// false on I/O error. No-op (true) when JsonPath is empty.
+inline bool maybeWriteJson(const std::string &JsonPath,
+                           const std::vector<BenchRecord> &Records) {
+  if (JsonPath.empty())
+    return true;
+  std::string Err;
+  if (!writeBenchJson(JsonPath, Records, &Err)) {
+    fprintf(stderr, "bench: %s\n", Err.c_str());
+    return false;
+  }
+  printf("bench: wrote %zu records to %s\n", Records.size(),
+         JsonPath.c_str());
+  return true;
+}
+
 /// Registers a benchmark that compiles and simulates one scheme end to end
 /// (reports the simulated speedup as a counter).
 inline void registerSchemeBenchmark(const std::string &Workload,
@@ -53,7 +86,12 @@ inline void registerSchemeBenchmark(const std::string &Workload,
 /// the google-benchmark harness.
 inline int figureMain(int argc, char **argv, const std::string &Workload,
                       const std::vector<Series> &SeriesList) {
-  printFigure(Workload, SeriesList, PaperThreads);
+  std::string JsonPath = extractJsonPath(argc, argv);
+  std::vector<BenchRecord> Records;
+  printFigure(Workload, SeriesList, PaperThreads, /*Scale=*/0,
+              JsonPath.empty() ? nullptr : &Records);
+  if (!maybeWriteJson(JsonPath, Records))
+    return 1;
   for (const Series &S : SeriesList)
     registerSchemeBenchmark(Workload, S, 8);
   ::benchmark::Initialize(&argc, argv);

@@ -13,9 +13,12 @@
 #include "BenchCommon.h"
 
 #include "commset/Driver/Runner.h"
+#include "commset/Trace/Trace.h"
+#include "commset/Workloads/Workload.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 
@@ -127,6 +130,121 @@ int runFallbackOverheadGuard() {
   return 0;
 }
 
+/// CommTrace overhead guard (DESIGN.md §Observability budget): on the real
+/// md5sum DOALL loop, compiled-in-but-disabled tracing must cost < 1% (one
+/// relaxed load + branch per site) and enabled tracing < 5%. The disabled
+/// bound is checked analytically — per-emit disabled cost measured by a
+/// micro-loop, multiplied by the event count a traced run actually records,
+/// relative to the untraced wall time — because a compiled-out binary is
+/// not available for comparison inside one process.
+int runTraceOverheadGuard() {
+  if (!trace::compiledIn()) {
+    std::printf("\nCommTrace overhead guard: tracing compiled out, "
+                "skipping\n\n");
+    return 0;
+  }
+
+  auto W = makeWorkload("md5sum");
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(W->source(""), Diags);
+  std::unique_ptr<Compilation::LoopTarget> T;
+  if (C)
+    T = C->analyzeLoop(W->entry(), Diags);
+  if (!C || !T) {
+    std::fprintf(stderr, "trace guard: md5sum failed to compile:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+  PlanOptions PO;
+  PO.NumThreads = 4;
+  PO.Sync = SyncMode::Mutex;
+  for (auto &[K, Cost] : W->costHints())
+    PO.NativeCostHints[K] = Cost;
+  auto Schemes = buildAllSchemes(*C, *T, PO);
+  const SchemeReport *Doall = nullptr;
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Strategy::Doall)
+      Doall = &S;
+  if (!Doall || !Doall->Applicable || !Doall->Plan) {
+    std::fprintf(stderr, "trace guard: md5sum DOALL not applicable\n");
+    return 1;
+  }
+
+  uint64_t TracedEvents = 0;
+  auto once = [&](bool Traced) -> uint64_t {
+    NativeRegistry Natives;
+    W->reset();
+    W->registerNatives(Natives);
+    RunConfig Config;
+    Config.Plan = &*Doall->Plan;
+    Config.Simulate = false;
+    Config.Trace = Traced;
+    RunOutcome Out = runScheme(*C, T->F, W->args(W->defaultScale()),
+                               Natives, Config);
+    if (Out.Status != RunStatus::Ok) {
+      std::fprintf(stderr, "trace guard: unexpected status %s: %s\n",
+                   runStatusName(Out.Status), Out.Diagnostic.c_str());
+      return 0;
+    }
+    if (Traced)
+      TracedEvents = std::max(TracedEvents, Out.TraceEvents);
+    return Out.WallNs;
+  };
+
+  constexpr int Reps = 9;
+  uint64_t Disabled = UINT64_MAX, Enabled = UINT64_MAX;
+  for (int R = 0; R < Reps; ++R) {
+    uint64_t D = once(false);
+    uint64_t E = once(true);
+    if (!D || !E)
+      return 1;
+    Disabled = std::min(Disabled, D);
+    Enabled = std::min(Enabled, E);
+  }
+
+  // Disabled-path micro-cost: emit() with the session off is the exact
+  // instruction sequence every instrumented site pays when not tracing.
+  constexpr uint64_t Calls = uint64_t(1) << 22;
+  auto M0 = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Calls; ++I)
+    trace::emit(trace::EventKind::MemberEnter, 0, I, I);
+  auto M1 = std::chrono::steady_clock::now();
+  double DisabledEmitNs =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(M1 - M0)
+              .count()) /
+      static_cast<double>(Calls);
+
+  double EnabledRatio =
+      static_cast<double>(Enabled) / static_cast<double>(Disabled);
+  double DisabledFraction = TracedEvents * DisabledEmitNs /
+                            static_cast<double>(Disabled);
+  std::printf(
+      "\nCommTrace overhead guard (md5sum DOALL x%u, min of %d)\n"
+      "  untraced:       %8.3f ms\n"
+      "  traced:         %8.3f ms   ratio %.4f (bound < 1.05)\n"
+      "  disabled emit:  %8.3f ns/site x %llu events -> %.4f%% of untraced "
+      "run (bound < 1%%)\n\n",
+      PO.NumThreads, Reps, Disabled / 1e6, Enabled / 1e6, EnabledRatio,
+      DisabledEmitNs, static_cast<unsigned long long>(TracedEvents),
+      DisabledFraction * 100.0);
+  if (EnabledRatio >= 1.05) {
+    std::fprintf(stderr,
+                 "trace guard FAILED: enabled tracing costs %.2f%% "
+                 "(bound: 5%%)\n",
+                 (EnabledRatio - 1.0) * 100.0);
+    return 1;
+  }
+  if (DisabledFraction >= 0.01) {
+    std::fprintf(stderr,
+                 "trace guard FAILED: disabled instrumentation costs "
+                 "%.2f%% (bound: 1%%)\n",
+                 DisabledFraction * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 void runAblation(const char *Workload) {
   std::vector<Series> SeriesList = {
       {"DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
@@ -141,6 +259,8 @@ void runAblation(const char *Workload) {
 
 int main(int argc, char **argv) {
   if (int Rc = runFallbackOverheadGuard())
+    return Rc;
+  if (int Rc = runTraceOverheadGuard())
     return Rc;
   runAblation("hmmer");
   runAblation("kmeans");

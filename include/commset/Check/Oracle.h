@@ -53,6 +53,14 @@ struct OracleOptions {
   unsigned FaultPoliciesPerPlan = 2;
   /// Cap on parallel plans swept per sync mode.
   unsigned MaxFaultPlansPerSync = 2;
+  /// CommTrace: run every free-running sweep plan traced and report
+  /// per-plan abort / contention / lock-wait stats (TrialResult::PlanStats).
+  /// No-op when tracing is compiled out.
+  bool PlanStats = false;
+  /// CommTrace: when a free-running plan diverges from the sequential
+  /// reference, re-run it traced and dump a Chrome trace_event JSON into
+  /// this directory ("" disables).
+  std::string TraceOnDivergenceDir;
 };
 
 struct TrialResult {
@@ -66,6 +74,12 @@ struct TrialResult {
   /// Failure description (divergence diff, races, plan, policy); empty on
   /// success.
   std::string Report;
+  /// Per-plan stats lines (one per swept plan) when OracleOptions::PlanStats
+  /// is set; empty otherwise.
+  std::string PlanStats;
+  /// Chrome trace JSON files dumped for diverging plans
+  /// (OracleOptions::TraceOnDivergenceDir).
+  std::vector<std::string> TracePaths;
 };
 
 /// Runs the full oracle over \p P. \p ScheduleSeed seeds the random

@@ -72,6 +72,16 @@ struct RunConfig {
   /// Reverts caller-side native state (e.g. a recorder) before a
   /// sequential fallback re-execution.
   std::function<void()> ResetState;
+
+  /// CommTrace: arm the tracer for this run (implied by TraceOutPath /
+  /// TraceProfileStderr). No-op when tracing is compiled out.
+  bool Trace = false;
+  /// Write the run's Chrome trace_event JSON here ("" = don't export).
+  std::string TraceOutPath;
+  /// Print the plain-text profile report to stderr after the run.
+  bool TraceProfileStderr = false;
+  /// Ring capacity per worker when tracing (events kept per thread).
+  size_t TraceCapacity = size_t(1) << 15;
 };
 
 struct RunOutcome {
@@ -85,6 +95,10 @@ struct RunOutcome {
   RunStatus Status = RunStatus::Ok;
   FaultKind DegradedWhy = FaultKind::None;
   std::string Diagnostic;
+  /// CommTrace results (zero / empty when the run was not traced).
+  uint64_t TraceEvents = 0;
+  uint64_t TraceDropped = 0;
+  std::string TraceError; ///< Trace export failure, if any.
 };
 
 /// Executes \p F (the analyzed loop's function) with \p Args over a fresh

@@ -91,6 +91,12 @@ private:
   RtValue invokeDirect(const Instruction *Instr,
                        const std::vector<RtValue> &Args);
 
+  /// CommTrace: interned id of a member's name, cached per MemberSyncInfo
+  /// so the hot path interns each member once per interpreter (= per
+  /// worker), not once per call.
+  uint64_t traceMemberId(const MemberSyncInfo &Info,
+                         const std::string &Name);
+
   const Module &M;
   const NativeRegistry &Natives;
   RtValue *Globals;
@@ -101,6 +107,10 @@ private:
   /// Active transaction (TM mode member execution); global accesses are
   /// redirected through it.
   Stm *CurrentTx = nullptr;
+
+  /// traceMemberId cache; keyed by the plan's MemberSyncInfo address,
+  /// which is stable for the life of the region.
+  std::map<const MemberSyncInfo *, uint64_t> TraceMemberIds;
 };
 
 } // namespace commset

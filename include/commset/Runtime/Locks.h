@@ -21,6 +21,7 @@
 #define COMMSET_RUNTIME_LOCKS_H
 
 #include "commset/Runtime/FaultInjector.h"
+#include "commset/Trace/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -115,8 +116,23 @@ public:
       if (Faults)
         Faults->maybeDelay(FaultKind::LockDelay, ThreadId);
       setWaiting(ThreadId, static_cast<int>(Rank));
-      bool Ok = TimeoutMs == 0 ? (lockOne(Rank), true)
-                               : lockOneFor(Rank, TimeoutMs);
+      bool Ok;
+      if (!trace::enabled()) {
+        Ok = TimeoutMs == 0 ? (lockOne(Rank), true)
+                            : lockOneFor(Rank, TimeoutMs);
+      } else {
+        // Traced flavor: a failed try_lock marks the acquisition contended
+        // and times the wait. The untraced path above stays byte-identical.
+        uint64_t T0 = trace::session().nowNs();
+        bool Immediate = tryOne(Rank);
+        if (!Immediate)
+          trace::emit(trace::EventKind::LockContend, ThreadId, Rank);
+        Ok = Immediate || (TimeoutMs == 0 ? (lockOne(Rank), true)
+                                          : lockOneFor(Rank, TimeoutMs));
+        if (Ok)
+          trace::emit(trace::EventKind::LockAcquire, ThreadId, Rank,
+                      Immediate ? 0 : trace::session().nowNs() - T0);
+      }
       if (Ok) {
         setWaiting(ThreadId, NoRank);
         Holder[Rank].store(static_cast<int>(ThreadId),
@@ -137,6 +153,11 @@ public:
   /// Releases in reverse order.
   void release(const std::vector<unsigned> &Ranks) {
     for (auto It = Ranks.rbegin(); It != Ranks.rend(); ++It) {
+      if (trace::enabled()) {
+        int H = Holder[*It].load(std::memory_order_relaxed);
+        trace::emit(trace::EventKind::LockRelease,
+                    H >= 0 ? static_cast<uint32_t>(H) : 0, *It);
+      }
       Holder[*It].store(NoThread, std::memory_order_relaxed);
       unlockOne(*It);
     }
@@ -184,6 +205,20 @@ private:
       Cur = static_cast<unsigned>(Next);
     }
     return Os.str();
+  }
+
+  /// Non-blocking probe used by the traced acquisition path to classify an
+  /// acquisition as contended before falling back to the blocking flavor.
+  bool tryOne(unsigned Rank) {
+    switch (Mode) {
+    case LockMode::Mutex:
+      return Mutexes[Rank].try_lock();
+    case LockMode::Spin:
+      return Spins[Rank].try_lock();
+    case LockMode::None:
+      return true;
+    }
+    return true;
   }
 
   void lockOne(unsigned Rank) {

@@ -21,6 +21,8 @@
 #ifndef COMMSET_RUNTIME_SPSCQUEUE_H
 #define COMMSET_RUNTIME_SPSCQUEUE_H
 
+#include "commset/Trace/Trace.h"
+
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -40,6 +42,16 @@ public:
   SpscQueue(const SpscQueue &) = delete;
   SpscQueue &operator=(const SpscQueue &) = delete;
 
+  /// CommTrace identity: queue id plus the logical thread ids of the two
+  /// endpoints, so push/pop/block/poison events attribute to concrete
+  /// workers. Set once by the owning platform before the region starts;
+  /// queues without ids trace as queue 0 on thread 0.
+  void setTraceIds(uint32_t QueueId, uint32_t Producer, uint32_t Consumer) {
+    TraceQueueId = QueueId;
+    TraceProducer = Producer;
+    TraceConsumer = Consumer;
+  }
+
   /// Non-blocking push. \returns false when full.
   bool tryPush(const T &Value) {
     size_t Tail = TailPos.load(std::memory_order_relaxed);
@@ -48,6 +60,8 @@ public:
       return false;
     Buffer[Tail & Mask] = Value;
     TailPos.store(Tail + 1, std::memory_order_release);
+    trace::emit(trace::EventKind::QueuePush, TraceProducer, TraceQueueId,
+                Tail + 1 - Head);
     return true;
   }
 
@@ -59,6 +73,8 @@ public:
       return false;
     Value = Buffer[Head & Mask];
     HeadPos.store(Head + 1, std::memory_order_release);
+    trace::emit(trace::EventKind::QueuePop, TraceConsumer, TraceQueueId,
+                Tail - Head - 1);
     return true;
   }
 
@@ -85,11 +101,18 @@ public:
   /// so a cancelled producer stops generating work immediately.
   bool pushWait(const T &Value) {
     unsigned Spins = 0;
+    uint64_t BlockedT0 = 0;
     while (true) {
-      if (Poison.load(std::memory_order_acquire))
+      if (Poison.load(std::memory_order_acquire)) {
+        emitBlocked(TraceProducer, BlockedT0);
         return false;
-      if (tryPush(Value))
+      }
+      if (tryPush(Value)) {
+        emitBlocked(TraceProducer, BlockedT0);
         return true;
+      }
+      if (BlockedT0 == 0)
+        BlockedT0 = trace::nowIfEnabled();
       backoff(Spins);
     }
   }
@@ -98,17 +121,27 @@ public:
   /// still delivered; \returns false once the queue is empty and poisoned.
   bool popWait(T &Value) {
     unsigned Spins = 0;
+    uint64_t BlockedT0 = 0;
     while (!tryPop(Value)) {
-      if (Poison.load(std::memory_order_acquire))
+      if (Poison.load(std::memory_order_acquire)) {
+        emitBlocked(TraceConsumer, BlockedT0);
         return false;
+      }
+      if (BlockedT0 == 0)
+        BlockedT0 = trace::nowIfEnabled();
       backoff(Spins);
     }
+    emitBlocked(TraceConsumer, BlockedT0);
     return true;
   }
 
   /// Marks the queue cancelled: both endpoints unwind instead of blocking.
   /// Safe to call from any thread; idempotent.
-  void poison() { Poison.store(true, std::memory_order_release); }
+  void poison() {
+    bool Was = Poison.exchange(true, std::memory_order_acq_rel);
+    if (!Was)
+      trace::emit(trace::EventKind::QueuePoison, TraceConsumer, TraceQueueId);
+  }
 
   bool poisoned() const { return Poison.load(std::memory_order_acquire); }
 
@@ -125,6 +158,14 @@ public:
   size_t capacity() const { return Mask + 1; }
 
 private:
+  /// Closes an open blocked-window (pushWait/popWait stalled at least one
+  /// backoff round while tracing was live).
+  void emitBlocked(uint32_t Tid, uint64_t BlockedT0) {
+    if (BlockedT0 != 0 && trace::enabled())
+      trace::emit(trace::EventKind::QueueBlock, Tid, TraceQueueId,
+                  trace::session().nowNs() - BlockedT0);
+  }
+
   static void backoff(unsigned &Spins) {
     if (++Spins < 64)
       return;
@@ -134,6 +175,9 @@ private:
 
   std::vector<T> Buffer;
   const size_t Mask;
+  uint32_t TraceQueueId = 0;
+  uint32_t TraceProducer = 0;
+  uint32_t TraceConsumer = 0;
   alignas(64) std::atomic<size_t> HeadPos{0};
   alignas(64) std::atomic<size_t> TailPos{0};
   alignas(64) std::atomic<bool> Poison{false};

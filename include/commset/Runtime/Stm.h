@@ -73,12 +73,18 @@ public:
 
   unsigned attempts() const { return Attempts; }
 
+  /// CommTrace: interned name id of the COMMSET this transaction guards,
+  /// so begin/commit/abort events aggregate into per-set abort rates.
+  void setTraceSet(uint64_t NameId) { TraceSet = NameId; }
+
 private:
+  bool commitImpl();
   bool lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked);
 
   StmSpace &Space;
   FaultInjector *Faults;
   unsigned ThreadId;
+  uint64_t TraceSet = 0;
   uint64_t ReadVersion = 0;
   bool Aborted = false;
   unsigned Attempts = 0;

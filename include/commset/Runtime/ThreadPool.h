@@ -25,6 +25,7 @@
 #define COMMSET_RUNTIME_THREADPOOL_H
 
 #include "commset/Runtime/FaultInjector.h"
+#include "commset/Trace/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -35,6 +36,15 @@
 
 namespace commset {
 
+/// Stable display name for a logical worker: "commset-w<N>". Used for OS
+/// thread names, trace tracks and watchdog diagnostics, so every layer
+/// attributes work to the same small integer id.
+std::string workerName(unsigned Worker);
+
+/// Names the calling OS thread workerName(Worker) where the platform
+/// supports it (pthread_setname_np); no-op elsewhere.
+void setCurrentWorkerThreadName(unsigned Worker);
+
 /// Runs Tasks[i] on its own thread; returns after all complete.
 inline void runParallel(const std::vector<std::function<void()>> &Tasks) {
   if (Tasks.empty())
@@ -42,8 +52,16 @@ inline void runParallel(const std::vector<std::function<void()>> &Tasks) {
   std::vector<std::thread> Threads;
   Threads.reserve(Tasks.size() - 1);
   for (size_t I = 1; I < Tasks.size(); ++I)
-    Threads.emplace_back(Tasks[I]);
+    Threads.emplace_back([&Tasks, I] {
+      setCurrentWorkerThreadName(static_cast<unsigned>(I));
+      trace::emit(trace::EventKind::TaskDispatch, static_cast<uint32_t>(I));
+      Tasks[I]();
+      trace::emit(trace::EventKind::TaskComplete, static_cast<uint32_t>(I));
+    });
+  // Task 0 runs inline on the caller, which keeps its own thread name.
+  trace::emit(trace::EventKind::TaskDispatch, 0);
   Tasks[0]();
+  trace::emit(trace::EventKind::TaskComplete, 0);
   for (std::thread &T : Threads)
     T.join();
 }

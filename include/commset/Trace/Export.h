@@ -1,0 +1,61 @@
+//===- Export.h - CommTrace exporters and trace validation ------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace exporters: Chrome trace_event JSON (loadable in chrome://tracing
+/// or Perfetto) and a plain-text per-run profile report. Also an in-repo
+/// validator for the Chrome format — well-formed JSON, monotone per-thread
+/// timestamps, balanced B/E pairs — used by tests and by commcheck's
+/// trace-smoke path so a malformed trace fails loudly instead of silently
+/// producing an unloadable file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TRACE_EXPORT_H
+#define COMMSET_TRACE_EXPORT_H
+
+#include "commset/Trace/Metrics.h"
+#include "commset/Trace/Trace.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace commset {
+namespace trace {
+
+/// Renders \p Events as a Chrome trace_event JSON object
+/// ({"traceEvents": [...], ...}). Region/task/member events become B/E
+/// duration spans (repaired to stay balanced per thread even when a fault
+/// truncated the run); everything else becomes thread-scoped instants with
+/// per-kind args. \p S resolves interned names for span labels.
+std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
+                            const TraceSession &S);
+
+/// Writes chromeTraceJson() to \p Path. \returns false and sets \p Error on
+/// I/O failure.
+bool writeChromeTraceFile(const std::vector<TraceEvent> &Events,
+                          const TraceSession &S, const std::string &Path,
+                          std::string *Error = nullptr);
+
+/// Validates a Chrome trace: parses the JSON (full parse, not a regex),
+/// checks a non-empty traceEvents array whose entries carry name/ph/ts/tid,
+/// per-tid non-decreasing timestamps, and per-tid balanced B/E nesting.
+/// \returns true when valid; otherwise fills \p Error.
+bool validateChromeTrace(const std::string &Json, std::string *Error);
+
+/// Human-readable profile report: events/drops, region time, per-worker
+/// utilization, per-rank lock contention + wait histogram percentiles,
+/// per-set STM abort rates, queue stalls, injected faults, degradations.
+void writeProfileReport(const TraceMetrics &M, std::ostream &Os);
+
+/// writeProfileReport into a string.
+std::string profileReport(const TraceMetrics &M);
+
+} // namespace trace
+} // namespace commset
+
+#endif // COMMSET_TRACE_EXPORT_H

@@ -1,0 +1,173 @@
+//===- Metrics.h - CommTrace drain-time metrics aggregation -----*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drain-time aggregation of a collected trace into counters and
+/// fixed-bucket histograms. Nothing here runs on the hot path: the tracer
+/// records raw events and this module folds them into per-rank lock stats,
+/// per-set STM abort rates, per-queue occupancy/stall stats, per-worker
+/// busy/idle time and task latency after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TRACE_METRICS_H
+#define COMMSET_TRACE_METRICS_H
+
+#include "commset/Trace/Trace.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace commset {
+namespace trace {
+
+/// Power-of-two bucketed histogram: bucket 0 counts values 0..1, bucket I
+/// (I >= 1) counts values in [2^I, 2^(I+1)). Fixed 48 buckets cover the
+/// full nanosecond range of interest (~3 days).
+class LogHistogram {
+public:
+  static constexpr unsigned NumBuckets = 48;
+
+  void add(uint64_t V) {
+    unsigned B = bucketFor(V);
+    ++Buckets[B];
+    ++N;
+    Total += V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  uint64_t max() const { return MaxV; }
+  double mean() const { return N ? static_cast<double>(Total) / N : 0.0; }
+  uint64_t bucket(unsigned I) const { return I < NumBuckets ? Buckets[I] : 0; }
+
+  /// Inclusive upper bound of bucket \p I (2^(I+1) - 1, saturating).
+  static uint64_t bucketUpperBound(unsigned I) {
+    return I >= 63 ? UINT64_MAX : (uint64_t(1) << (I + 1)) - 1;
+  }
+
+  /// Upper bound of the bucket holding the \p P-th percentile (P in 0..100).
+  uint64_t percentileUpperBound(double P) const {
+    if (!N)
+      return 0;
+    uint64_t Need = static_cast<uint64_t>(std::ceil(P / 100.0 * N));
+    if (Need == 0)
+      Need = 1;
+    if (Need > N)
+      Need = N;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Need)
+        return bucketUpperBound(I);
+    }
+    return MaxV;
+  }
+
+  static unsigned bucketFor(uint64_t V) {
+    unsigned B = 0;
+    while (V > 1 && B + 1 < NumBuckets) {
+      V >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t MaxV = 0;
+};
+
+struct LockRankStats {
+  uint64_t Acquires = 0;
+  uint64_t Contentions = 0;
+  uint64_t WaitNs = 0;
+  uint64_t MaxWaitNs = 0;
+};
+
+struct StmSetStats {
+  std::string Name; ///< Interned member/set name ("" when unresolved).
+  uint64_t Begins = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  uint64_t Retries = 0;
+  uint64_t Exhausts = 0;
+  double abortRate() const {
+    uint64_t Attempts = Commits + Aborts;
+    return Attempts ? static_cast<double>(Aborts) / Attempts : 0.0;
+  }
+};
+
+struct QueueStats {
+  uint64_t Pushes = 0;
+  uint64_t Pops = 0;
+  uint64_t Blocks = 0;
+  uint64_t BlockNs = 0;
+  uint64_t Poisons = 0;
+  uint64_t MaxOccupancy = 0;
+};
+
+struct WorkerStats {
+  uint64_t Tasks = 0;
+  uint64_t BusyNs = 0; ///< Sum of dispatch->complete spans.
+  uint64_t Faulted = 0;
+  uint64_t Events = 0; ///< All events attributed to this tid.
+};
+
+/// Everything the profile report prints, in one drain.
+struct TraceMetrics {
+  uint64_t Events = 0;
+  uint64_t Dropped = 0;
+
+  uint64_t Regions = 0;
+  uint64_t RegionNs = 0; ///< Sum of region begin->end spans.
+
+  std::map<unsigned, LockRankStats> Locks; ///< Keyed by rank.
+  LogHistogram LockWaitNs;
+
+  std::map<uint64_t, StmSetStats> StmSets; ///< Keyed by interned name id.
+  uint64_t StmBegins = 0;
+  uint64_t StmCommits = 0;
+  uint64_t StmAborts = 0;
+  uint64_t StmRetries = 0;
+  uint64_t StmExhausts = 0;
+
+  std::map<uint64_t, QueueStats> Queues; ///< Keyed by (from<<16|to) id.
+  LogHistogram QueueOccupancy;
+  uint64_t QueueBlockNs = 0;
+
+  std::map<unsigned, WorkerStats> Workers; ///< Keyed by logical tid.
+  LogHistogram TaskNs;
+
+  uint64_t MemberCalls = 0;
+  std::map<unsigned, uint64_t> FaultsInjected; ///< FaultKind -> count.
+  std::vector<std::pair<unsigned, unsigned>> Degradations; ///< (kind, tid).
+
+  uint64_t totalLockContentions() const {
+    uint64_t N = 0;
+    for (const auto &KV : Locks)
+      N += KV.second.Contentions;
+    return N;
+  }
+};
+
+/// Folds \p Events (as returned by TraceSession::collect()) into metrics.
+/// \p S resolves interned names and supplies the drop count.
+TraceMetrics aggregateMetrics(const std::vector<TraceEvent> &Events,
+                              const TraceSession &S);
+
+} // namespace trace
+} // namespace commset
+
+#endif // COMMSET_TRACE_METRICS_H

@@ -1,0 +1,199 @@
+//===- Trace.h - CommTrace low-overhead event tracer ------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommTrace: per-thread ring-buffer event tracing for the COMMSET runtime
+/// (DESIGN.md §"Observability"). The tracer answers *why* a scheme performs
+/// the way it does — lock contention, STM abort storms, queue stalls, idle
+/// workers — where Figure 6 / Table 2 only say *which* scheme wins.
+///
+/// Design constraints, in priority order:
+///   1. Disabled cost ~ zero: every emit site is one relaxed atomic load
+///      and a predictable branch. Compiling with -DCOMMSET_TRACE=0 removes
+///      even that.
+///   2. No allocation and no locks on the hot path: events go into
+///      fixed-capacity per-thread rings sized at enable() time; when a ring
+///      fills, new events are counted as dropped, never blocked on.
+///   3. Honest accounting: drops are reported, and each ring tolerates the
+///      rare foreign writer (e.g. the supervisor poisoning a worker's queue)
+///      via a fetch_add slot claim plus a per-slot release/acquire publish
+///      flag, so a torn event can never be observed.
+///
+/// Events are drained after a run with collect(), aggregated into metrics
+/// (Trace/Metrics.h) and exported as Chrome trace_event JSON or a text
+/// profile report (Trace/Export.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_TRACE_TRACE_H
+#define COMMSET_TRACE_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// Compile-time toggle: build with -DCOMMSET_TRACE=0 to compile all
+/// instrumentation out entirely (the cmake option COMMSET_TRACE=OFF does
+/// this). Default is compiled-in but runtime-disabled.
+#ifndef COMMSET_TRACE
+#define COMMSET_TRACE 1
+#endif
+
+namespace commset {
+namespace trace {
+
+/// Event taxonomy. The A/B payload meaning is per-kind (documented inline);
+/// names are interned strings referenced by id (TraceSession::internName).
+enum class EventKind : uint32_t {
+  None = 0,
+  RegionBegin,   ///< A = Strategy, B = task count. Span open (tid 0).
+  RegionEnd,     ///< Span close.
+  TaskDispatch,  ///< Worker task starts. Span open on the worker's track.
+  TaskComplete,  ///< A = 1 when the task exited via an exception.
+  MemberEnter,   ///< A = interned member-name id. Span open.
+  MemberExit,    ///< A = interned member-name id. Span close.
+  LockContend,   ///< A = rank. The lock was not immediately available.
+  LockAcquire,   ///< A = rank, B = wait ns (0 on the untimed fast path).
+  LockRelease,   ///< A = rank.
+  StmBegin,      ///< A = interned set/member id, B = attempt number.
+  StmCommit,     ///< A = interned set/member id, B = attempts used.
+  StmAbort,      ///< A = interned set/member id, B = attempts so far.
+  StmRetry,      ///< A = interned set/member id, B = failed attempts.
+  StmExhaust,    ///< A = interned set/member id, B = attempts at giveup.
+  QueuePush,     ///< A = queue id (from<<16|to), B = occupancy after push.
+  QueuePop,      ///< A = queue id, B = occupancy after pop.
+  QueueBlock,    ///< A = queue id, B = ns spent blocked before success/fail.
+  QueuePoison,   ///< A = queue id. Attributed to the consumer endpoint.
+  FaultInject,   ///< A = FaultKind that fired at this site.
+  Degrade,       ///< A = FaultKind that forced sequential re-execution.
+};
+
+constexpr unsigned NumEventKinds = static_cast<unsigned>(EventKind::Degrade) + 1;
+
+const char *eventKindName(EventKind K);
+
+/// One trace record: 32 bytes, fixed layout, no pointers.
+struct TraceEvent {
+  uint64_t TsNs; ///< Nanoseconds since TraceSession::enable().
+  uint32_t Kind; ///< EventKind.
+  uint32_t Tid;  ///< Logical worker/thread id (0 = main / worker 0).
+  uint64_t A;    ///< Per-kind payload (see EventKind).
+  uint64_t B;    ///< Per-kind payload (see EventKind).
+};
+
+/// Owns the per-thread rings, the interned-name table and the trace epoch.
+/// enable()/disable()/collect() are control-plane calls made outside
+/// parallel regions; record() is the data-plane hot path.
+class TraceSession {
+public:
+  static constexpr unsigned MaxRings = 64;
+
+  /// Arms tracing: (re)allocates \p Rings rings of \p CapacityPerThread
+  /// slots each and resets the epoch and drop counters. Must not be called
+  /// while a traced parallel region is running. Events from logical thread
+  /// ids >= Rings land in the last ring (their Tid field stays truthful).
+  void enable(size_t CapacityPerThread = 1 << 13, unsigned Rings = 16);
+
+  /// Stops recording. Rings are retained for collect().
+  void disable();
+
+  bool active() const;
+
+  /// Drains every published event, sorted by (timestamp, tid). Safe after
+  /// disable(); safe concurrently with writers too (a claimed-but-unpublished
+  /// slot is simply not visible yet).
+  std::vector<TraceEvent> collect() const;
+
+  /// Events lost to full rings since enable().
+  uint64_t dropped() const;
+
+  /// Interns \p S and returns its stable id (>= 1). Takes a mutex: callers
+  /// cache the id (see Interpreter::traceMemberId) so the hot path never
+  /// re-interns.
+  uint64_t internName(const std::string &S);
+
+  /// Name for an interned id; "" when unknown.
+  std::string nameOf(uint64_t Id) const;
+
+  /// Nanoseconds since enable().
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Hot path: claims a slot in Tid's ring and publishes the event. Lock
+  /// free; drops (and counts) the event when the ring is full.
+  void record(EventKind K, uint32_t Tid, uint64_t A, uint64_t B);
+
+private:
+  struct Slot {
+    std::atomic<uint32_t> Ready{0};
+    TraceEvent Ev{};
+  };
+  /// One ring per logical thread. Next is a monotone claim counter, not a
+  /// wrap index: claims past Slots.size() are drops. This keeps published
+  /// events immutable (readable without racing) at the cost of capping the
+  /// trace at ring capacity — profiling wants the *first* window anyway,
+  /// and drop counts make the truncation explicit.
+  struct Ring {
+    std::atomic<uint64_t> Next{0};
+    std::atomic<uint64_t> Dropped{0};
+    std::vector<Slot> Slots;
+  };
+
+  std::vector<std::unique_ptr<Ring>> Rings;
+  std::atomic<bool> Active{false};
+  std::chrono::steady_clock::time_point Epoch{};
+
+  mutable std::mutex NamesMutex;
+  std::unordered_map<std::string, uint64_t> NameIds;
+  std::vector<std::string> NamesById;
+};
+
+/// Global runtime-enable flag, split from the session object so the
+/// disabled emit path is one relaxed load with no function call.
+extern std::atomic<uint32_t> GEnabled;
+
+#if COMMSET_TRACE
+inline bool enabled() {
+  return GEnabled.load(std::memory_order_relaxed) != 0;
+}
+constexpr bool compiledIn() { return true; }
+#else
+constexpr bool enabled() { return false; }
+constexpr bool compiledIn() { return false; }
+#endif
+
+/// The process-wide session. Runner / commcheck / tests arm it around one
+/// run at a time; concurrent enables are not supported (nor needed).
+TraceSession &session();
+
+/// Emit an event if tracing is compiled in and enabled. The disabled path
+/// is a single relaxed load + branch; with COMMSET_TRACE=0 the call
+/// disappears entirely.
+inline void emit(EventKind K, uint32_t Tid, uint64_t A = 0, uint64_t B = 0) {
+  if (enabled())
+    session().record(K, Tid, A, B);
+}
+
+/// Timestamp helper for duration payloads (lock wait, queue block): returns
+/// ns-since-epoch when tracing is live, 0 otherwise so disabled runs never
+/// touch the clock.
+inline uint64_t nowIfEnabled() {
+  return enabled() ? session().nowNs() : 0;
+}
+
+} // namespace trace
+} // namespace commset
+
+#endif // COMMSET_TRACE_TRACE_H

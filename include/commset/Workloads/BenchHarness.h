@@ -82,12 +82,39 @@ private:
   std::map<std::string, std::unique_ptr<VariantState>> Variants;
 };
 
+/// One machine-readable measurement row; the bench binaries' --json=FILE
+/// flag emits an array of these.
+struct BenchRecord {
+  std::string Workload;
+  std::string Label;   ///< Series label (or "best" for Table 2 rows).
+  std::string Variant; ///< "", "noself", "plain".
+  std::string Scheme;  ///< Strategy name, e.g. "DOALL".
+  std::string Sync;    ///< Sync mode name, e.g. "Mutex".
+  unsigned Threads = 0;
+  bool Applicable = false;
+  double Speedup = 0.0;       ///< Over same-variant sequential baseline.
+  uint64_t VirtualNs = 0;     ///< Simulated parallel time.
+  uint64_t SeqVirtualNs = 0;  ///< Simulated sequential baseline.
+};
+
+/// Renders \p Records as a JSON array (stable key order, no trailing
+/// whitespace) for downstream plotting / regression tooling.
+std::string benchRecordsJson(const std::vector<BenchRecord> &Records);
+
+/// Writes benchRecordsJson to \p Path. Returns false (and sets \p Error)
+/// when the file cannot be written.
+bool writeBenchJson(const std::string &Path,
+                    const std::vector<BenchRecord> &Records,
+                    std::string *Error = nullptr);
+
 /// Prints a Figure-6-style table (rows = series, columns = thread counts)
 /// to stdout and returns the best speedup observed at the maximum thread
-/// count.
+/// count. When \p Records is non-null, also appends one BenchRecord per
+/// (series, thread count) cell.
 double printFigure(const std::string &WorkloadName,
                    const std::vector<Series> &SeriesList,
-                   const std::vector<unsigned> &Threads, int Scale = 0);
+                   const std::vector<unsigned> &Threads, int Scale = 0,
+                   std::vector<BenchRecord> *Records = nullptr);
 
 } // namespace bench
 } // namespace commset

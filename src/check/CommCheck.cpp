@@ -24,8 +24,13 @@ std::string check::renderArtifact(const GeneratedProgram &P,
      << "trip count: " << P.TripCount << "\n"
      << "lib-safe: " << (P.LibSafe ? "yes" : "no") << "\n"
      << "\n--- report ---\n"
-     << Trial.Report << "\n--- generated program ---\n"
-     << P.Source;
+     << Trial.Report;
+  if (!Trial.TracePaths.empty()) {
+    Os << "\n--- traces ---\n";
+    for (const std::string &Path : Trial.TracePaths)
+      Os << Path << "\n";
+  }
+  Os << "\n--- generated program ---\n" << P.Source;
   return Os.str();
 }
 
@@ -43,6 +48,13 @@ CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
     Sum.FaultRuns += Trial.FaultRuns;
     Sum.DegradedRuns += Trial.DegradedRuns;
     Sum.FaultsInjected += Trial.FaultsInjected;
+    for (const std::string &Path : Trial.TracePaths)
+      Sum.ArtifactPaths.push_back(Path);
+
+    if (!Trial.PlanStats.empty())
+      std::printf("commcheck: seed %llu plan stats:\n%s",
+                  static_cast<unsigned long long>(IterSeed),
+                  Trial.PlanStats.c_str());
 
     if (Opts.Verbose) {
       if (Trial.FaultRuns)

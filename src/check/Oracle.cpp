@@ -10,6 +10,9 @@
 #include "commset/Check/SchedulePlatform.h"
 #include "commset/Driver/Runner.h"
 #include "commset/Exec/ThreadedPlatform.h"
+#include "commset/Trace/Export.h"
+#include "commset/Trace/Metrics.h"
+#include "commset/Trace/Trace.h"
 
 #include <sstream>
 
@@ -50,6 +53,50 @@ void fail(TrialResult &Res, const std::string &What) {
   if (!Res.Report.empty())
     return; // Keep the first failure; it is the one to replay.
   Res.Report = What;
+}
+
+/// Arms the CommTrace session for one sweep run (one ring per worker plus
+/// a spare for out-of-range tids).
+void armTrace(unsigned Threads) {
+  trace::session().enable(size_t(1) << 14, std::max(2u, Threads + 1));
+}
+
+/// Stops the session and returns the run's events (sorted).
+std::vector<trace::TraceEvent> drainTrace() {
+  trace::TraceSession &S = trace::session();
+  S.disable();
+  return S.collect();
+}
+
+/// One "plan ... : stm-aborts=... lock-contentions=..." stats line for the
+/// sweep output.
+std::string planStatsLine(const ParallelPlan &Plan, unsigned Threads,
+                          SyncMode Sync,
+                          const std::vector<trace::TraceEvent> &Events) {
+  trace::TraceMetrics Met =
+      trace::aggregateMetrics(Events, trace::session());
+  std::ostringstream Os;
+  Os << "  " << strategyName(Plan.Kind) << " sync=" << syncModeName(Sync)
+     << " threads=" << Threads << ": events=" << Met.Events
+     << " stm-aborts=" << Met.StmAborts << "/" << Met.StmBegins
+     << " stm-retries=" << Met.StmRetries
+     << " lock-contentions=" << Met.totalLockContentions()
+     << " lock-wait=" << Met.LockWaitNs.sum() << "ns"
+     << " queue-block=" << Met.QueueBlockNs << "ns\n";
+  return Os.str();
+}
+
+/// Sanitizes a plan into a file-name fragment for divergence trace dumps.
+std::string traceFileStem(uint64_t Seed, const ParallelPlan &Plan,
+                          unsigned Threads, SyncMode Sync) {
+  std::ostringstream Os;
+  Os << "commcheck-trace-" << Seed << "-" << strategyName(Plan.Kind) << "-"
+     << syncModeName(Sync) << "-t" << Threads;
+  std::string S = Os.str();
+  for (char &C : S)
+    if (C == ' ' || C == '/')
+      C = '_';
+  return S;
 }
 
 } // namespace
@@ -105,12 +152,46 @@ TrialResult check::runTrials(const GeneratedProgram &P,
         if (!R.Applicable || !R.Plan ||
             R.Plan->Kind == Strategy::Sequential)
           continue;
-        ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
-        Snapshot Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+        const bool Stats = Opts.PlanStats && trace::compiledIn();
+        if (Stats)
+          armTrace(R.Plan->NumThreads);
+        Snapshot Got;
+        {
+          ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
+          Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+        }
+        if (Stats)
+          Res.PlanStats += planStatsLine(*R.Plan, Threads, Sync,
+                                         drainTrace());
         ++Res.PlansRun;
-        if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+        if (auto Diff = compareSnapshots(Ref, Got, P.Output)) {
+          std::string Extra;
+          // Re-run the diverging plan traced and dump a Chrome trace so the
+          // interleaving that produced the wrong answer can be inspected.
+          // A re-run is not guaranteed to diverge again, but its trace still
+          // shows the plan's task/lock/queue structure.
+          if (!Opts.TraceOnDivergenceDir.empty() && trace::compiledIn()) {
+            armTrace(R.Plan->NumThreads);
+            {
+              ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
+              runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+            }
+            std::vector<trace::TraceEvent> Events = drainTrace();
+            std::string Path =
+                Opts.TraceOnDivergenceDir + "/" +
+                traceFileStem(P.Seed, *R.Plan, Threads, Sync) + ".json";
+            std::string Err;
+            if (trace::writeChromeTraceFile(Events, trace::session(), Path,
+                                            &Err)) {
+              Res.TracePaths.push_back(Path);
+              Extra = "  trace: " + Path + "\n";
+            } else {
+              Extra = "  trace dump failed: " + Err + "\n";
+            }
+          }
           fail(Res, "differential mismatch vs sequential reference\n  " +
-                        planContext(*R.Plan, Threads, Sync) + *Diff);
+                        planContext(*R.Plan, Threads, Sync) + Extra + *Diff);
+        }
       }
       if (!Res.Ok)
         return Res;

@@ -7,8 +7,13 @@
 #include "commset/Driver/Runner.h"
 
 #include "commset/Exec/ThreadedPlatform.h"
+#include "commset/Trace/Export.h"
+#include "commset/Trace/Metrics.h"
+#include "commset/Trace/Trace.h"
 
+#include <algorithm>
 #include <chrono>
+#include <iostream>
 
 using namespace commset;
 
@@ -121,6 +126,16 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
     };
   }
 
+  // CommTrace: arm the tracer around the whole resilient run so a degraded
+  // execution's fault, cancellation and sequential re-run all land in one
+  // trace. One ring per worker plus one spare for out-of-range tids.
+  const bool WantTrace =
+      trace::compiledIn() && (Config.Trace || !Config.TraceOutPath.empty() ||
+                              Config.TraceProfileStderr);
+  if (WantTrace)
+    trace::session().enable(Config.TraceCapacity,
+                            std::max(2u, Plan.NumThreads + 1));
+
   RunOutcome Out;
   auto Start = std::chrono::steady_clock::now();
   try {
@@ -150,5 +165,27 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
   Out.WallNs = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
+
+  if (WantTrace) {
+    trace::TraceSession &S = trace::session();
+    S.disable();
+    std::vector<trace::TraceEvent> Events = S.collect();
+    trace::TraceMetrics Met = trace::aggregateMetrics(Events, S);
+    Out.TraceEvents = Met.Events;
+    Out.TraceDropped = Met.Dropped;
+    // Threaded runs have no simulator to count conflicts; the trace is the
+    // source of truth for them.
+    if (!Config.Simulate) {
+      Out.TmAborts = Met.StmAborts;
+      Out.LockContentions = Met.totalLockContentions();
+    }
+    if (!Config.TraceOutPath.empty()) {
+      std::string Err;
+      if (!trace::writeChromeTraceFile(Events, S, Config.TraceOutPath, &Err))
+        Out.TraceError = Err;
+    }
+    if (Config.TraceProfileStderr)
+      trace::writeProfileReport(Met, std::cerr);
+  }
   return Out;
 }

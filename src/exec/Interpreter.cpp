@@ -6,10 +6,44 @@
 
 #include "commset/Exec/Interpreter.h"
 
+#include "commset/Trace/Trace.h"
+
 #include <cassert>
 #include <cmath>
 
 using namespace commset;
+
+namespace {
+
+/// Closes a MemberEnter span on every exit path, including the exceptions
+/// thrown for lock timeouts and STM retry exhaustion, so exported traces
+/// keep balanced member spans.
+struct MemberTraceScope {
+  unsigned Tid;
+  uint64_t Name;
+  bool Armed;
+  MemberTraceScope(unsigned Tid, uint64_t Name, bool Armed)
+      : Tid(Tid), Name(Name), Armed(Armed) {
+    if (Armed)
+      trace::emit(trace::EventKind::MemberEnter, Tid, Name);
+  }
+  ~MemberTraceScope() {
+    if (Armed)
+      trace::emit(trace::EventKind::MemberExit, Tid, Name);
+  }
+};
+
+} // namespace
+
+uint64_t Interpreter::traceMemberId(const MemberSyncInfo &Info,
+                                    const std::string &Name) {
+  auto It = TraceMemberIds.find(&Info);
+  if (It != TraceMemberIds.end())
+    return It->second;
+  uint64_t Id = trace::session().internName(Name);
+  TraceMemberIds.emplace(&Info, Id);
+  return Id;
+}
 
 uint64_t Interpreter::opCost(const Instruction *Instr) {
   switch (Instr->op()) {
@@ -330,6 +364,10 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
   // the race checker must still flag those accesses.
   const bool DeclaredSafe = Info.LockRanks.empty();
 
+  const bool Traced = trace::enabled();
+  const uint64_t TraceName = Traced ? traceMemberId(Info, MemberName) : 0;
+  MemberTraceScope TraceScope(ThreadId, TraceName, Traced);
+
   // TM mode: optimistic execution for eligible members; everything else
   // falls back to the pessimistic ranked locks (paper §4.6).
   if (Sync.Mode == SyncMode::Tm && Info.TmEligible &&
@@ -340,6 +378,7 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
       Platform->memberEnter(ThreadId, MemberName, DeclaredSafe);
     uint64_t Before = Platform ? Platform->elapsedNs() : 0;
     Stm Tx(*Sync.StmState, RC.Faults, ThreadId);
+    Tx.setTraceSet(TraceName);
     StmRetryGovernor Governor(
         RC.StmMaxAttempts, RC.StmBackoffBaseUs, RC.StmBackoffCapUs,
         (RC.Faults ? RC.Faults->policy().Seed : 0) ^
@@ -367,11 +406,15 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
       if (Governor.onFailedAttempt() == StmOutcome::Exhausted) {
         if (Platform)
           Platform->memberExit(ThreadId);
+        trace::emit(trace::EventKind::StmExhaust, ThreadId, TraceName,
+                    Tx.attempts());
         throw RegionFault(FaultKind::StmExhausted, ThreadId,
                           "STM retries exhausted after " +
                               std::to_string(Tx.attempts()) +
                               " attempts in member '" + MemberName + "'");
       }
+      trace::emit(trace::EventKind::StmRetry, ThreadId, TraceName,
+                  Governor.failures());
     }
   }
 

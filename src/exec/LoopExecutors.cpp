@@ -7,6 +7,7 @@
 #include "commset/Exec/LoopExecutors.h"
 
 #include "commset/Runtime/ThreadPool.h"
+#include "commset/Trace/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -128,6 +129,17 @@ struct ParallelRegion {
   }
 };
 
+/// CommTrace bracket for one parallel region, emitted on the main thread.
+/// RAII so the end event still fires when a fault unwinds the region and
+/// the exported trace keeps its B/E pairs balanced.
+struct RegionTraceScope {
+  RegionTraceScope(Strategy Kind, size_t Tasks) {
+    trace::emit(trace::EventKind::RegionBegin, 0,
+                static_cast<uint64_t>(Kind), Tasks);
+  }
+  ~RegionTraceScope() { trace::emit(trace::EventKind::RegionEnd, 0); }
+};
+
 /// \returns the unique loop-exit successor of the header (DOALL loops).
 const BasicBlock *headerExitBlock(const Loop &L) {
   for (BasicBlock *Succ : L.Header->successors())
@@ -224,6 +236,7 @@ const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
       DoallWorker Worker(Region, MainFrame, Tid);
       Iterations[Tid] = Worker.run();
     });
+  RegionTraceScope TraceScope(Plan.Kind, Tasks.size());
   Region.Platform.regionBegin(0);
   Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
@@ -637,6 +650,7 @@ const BasicBlock *runPipeline(ParallelRegion &Region, Frame &MainFrame,
   for (unsigned Tid = 0; Tid < T.NumThreads; ++Tid)
     Tasks.push_back(
         [&Workers, &ExitBlocks, Tid] { ExitBlocks[Tid] = Workers[Tid]->run(); });
+  RegionTraceScope TraceScope(Region.Plan.Kind, Tasks.size());
   Region.Platform.regionBegin(0);
   Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
@@ -739,6 +753,8 @@ ResilientOutcome commset::runFunctionResilient(
     Out.Why = Fault.Kind;
     Out.FaultThread = Fault.Thread;
     Out.Diagnostic = Fault.what();
+    trace::emit(trace::EventKind::Degrade, Fault.Thread,
+                static_cast<uint64_t>(Fault.Kind));
   }
 
   // Guaranteed fallback: every scrap of partial parallel state is

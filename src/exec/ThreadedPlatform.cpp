@@ -13,8 +13,14 @@ using namespace commset;
 ThreadedPlatform::ThreadedPlatform(unsigned NumThreads, FaultInjector *Faults)
     : NumThreads(NumThreads), Faults(Faults) {
   Queues.resize(static_cast<size_t>(NumThreads) * NumThreads);
-  for (auto &Q : Queues)
-    Q = std::make_unique<SpscQueue<RtValue>>(4096);
+  for (unsigned From = 0; From < NumThreads; ++From) {
+    for (unsigned To = 0; To < NumThreads; ++To) {
+      auto &Q = Queues[static_cast<size_t>(From) * NumThreads + To];
+      Q = std::make_unique<SpscQueue<RtValue>>(4096);
+      // CommTrace queue identity: (from<<16)|to mirrors the index layout.
+      Q->setTraceIds((From << 16) | To, From, To);
+    }
+  }
 }
 
 void ThreadedPlatform::send(unsigned From, unsigned To, RtValue Value) {

@@ -6,6 +6,8 @@
 
 #include "commset/Runtime/FaultInjector.h"
 
+#include "commset/Trace/Trace.h"
+
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -153,6 +155,8 @@ bool FaultInjector::fires(FaultKind Kind, unsigned Thread) {
   if (H % 1000 >= Rate)
     return false;
   Injected[K].fetch_add(1, std::memory_order_relaxed);
+  trace::emit(trace::EventKind::FaultInject, Thread,
+              static_cast<uint64_t>(Kind));
   return true;
 }
 

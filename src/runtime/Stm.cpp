@@ -6,6 +6,8 @@
 
 #include "commset/Runtime/Stm.h"
 
+#include "commset/Trace/Trace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -22,6 +24,7 @@ void Stm::begin() {
   ReadSet.clear();
   WriteSet.clear();
   ++Attempts;
+  trace::emit(trace::EventKind::StmBegin, ThreadId, TraceSet, Attempts);
 }
 
 uint64_t Stm::read(const uint64_t *Addr) {
@@ -72,6 +75,13 @@ bool Stm::lockWriteSet(std::vector<std::atomic<uint64_t> *> &Locked) {
 }
 
 bool Stm::commit() {
+  bool Ok = commitImpl();
+  trace::emit(Ok ? trace::EventKind::StmCommit : trace::EventKind::StmAbort,
+              ThreadId, TraceSet, Attempts);
+  return Ok;
+}
+
+bool Stm::commitImpl() {
   if (Aborted)
     return false;
   // Injected abort storm: indistinguishable from a genuine conflict, so it

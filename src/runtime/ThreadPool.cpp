@@ -12,7 +12,25 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 using namespace commset;
+
+std::string commset::workerName(unsigned Worker) {
+  return "commset-w" + std::to_string(Worker);
+}
+
+void commset::setCurrentWorkerThreadName(unsigned Worker) {
+#if defined(__linux__)
+  // pthread thread names are capped at 15 chars + NUL; "commset-w" leaves
+  // room for six digits of worker id, far beyond MaxWorkers.
+  pthread_setname_np(pthread_self(), workerName(Worker).c_str());
+#else
+  (void)Worker;
+#endif
+}
 
 namespace {
 
@@ -67,8 +85,12 @@ SupervisedReport commset::runParallelSupervised(
     // joined worker, and an abandoned worker is reported as unrecoverable
     // (AllJoined=false) precisely because it may still touch region state.
     Threads.emplace_back([&Tasks, &Control, &CancelAll, S, I] {
+      setCurrentWorkerThreadName(static_cast<unsigned>(I));
+      trace::emit(trace::EventKind::TaskDispatch, static_cast<uint32_t>(I));
+      bool Clean = false;
       try {
         Tasks[I]();
+        Clean = true;
       } catch (const RegionFault &F) {
         S->recordFault(F.Kind, F.Thread, F.Detail);
         Control.cancel();
@@ -81,6 +103,8 @@ SupervisedReport commset::runParallelSupervised(
         if (CancelAll)
           CancelAll();
       }
+      trace::emit(trace::EventKind::TaskComplete, static_cast<uint32_t>(I),
+                  Clean ? 0 : 1);
       {
         std::lock_guard<std::mutex> G(S->M);
         S->Done[I] = 1;
@@ -178,6 +202,12 @@ SupervisedReport commset::runParallelSupervised(
        << "ms; stalled workers:";
     for (unsigned W : Rep.StalledWorkers)
       Os << " " << W;
+    if (!Rep.StalledWorkers.empty()) {
+      Os << " (";
+      for (size_t I = 0; I < Rep.StalledWorkers.size(); ++I)
+        Os << (I ? ", " : "") << workerName(Rep.StalledWorkers[I]);
+      Os << ")";
+    }
     Rep.Faulted = true;
     Rep.Kind = FaultKind::WatchdogStall;
     Rep.FaultThread =

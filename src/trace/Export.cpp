@@ -1,0 +1,704 @@
+//===- Export.cpp - Chrome trace_event / profile report exporters ---------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Trace/Export.h"
+
+#include "commset/Runtime/FaultInjector.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace commset {
+namespace trace {
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0xff);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// ns -> trace_event microseconds with ns precision.
+std::string tsUs(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03u",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned>(Ns % 1000));
+  return Buf;
+}
+
+std::string fmtNs(uint64_t Ns) {
+  char Buf[32];
+  if (Ns < 1000)
+    std::snprintf(Buf, sizeof(Buf), "%lluns",
+                  static_cast<unsigned long long>(Ns));
+  else if (Ns < 1000 * 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.1fus", Ns / 1e3);
+  else if (Ns < 1000ull * 1000 * 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", Ns / 1e6);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3fs", Ns / 1e9);
+  return Buf;
+}
+
+struct SpanOpen {
+  EventKind Kind;
+  std::string Name;
+};
+
+/// Appends one complete trace_event JSON object to \p Os.
+void appendEvent(std::ostream &Os, bool &First, const std::string &Ph,
+                 const std::string &Name, uint64_t TsNs, uint32_t Tid,
+                 const std::string &ArgsJson) {
+  if (!First)
+    Os << ",\n";
+  First = false;
+  Os << "{\"name\":\"" << jsonEscape(Name) << "\",\"cat\":\"commset\",\"ph\":\""
+     << Ph << "\",\"ts\":" << tsUs(TsNs) << ",\"pid\":1,\"tid\":" << Tid;
+  if (Ph == "i")
+    Os << ",\"s\":\"t\"";
+  if (!ArgsJson.empty())
+    Os << ",\"args\":{" << ArgsJson << "}";
+  Os << "}";
+}
+
+std::string queueName(uint64_t Qid) {
+  std::ostringstream Os;
+  Os << "q" << (Qid >> 16) << "->" << (Qid & 0xffff);
+  return Os.str();
+}
+
+} // namespace
+
+std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
+                            const TraceSession &S) {
+  std::vector<TraceEvent> Sorted = Events;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const TraceEvent &L, const TraceEvent &R) {
+              if (L.TsNs != R.TsNs)
+                return L.TsNs < R.TsNs;
+              return L.Tid < R.Tid;
+            });
+
+  std::ostringstream Os;
+  Os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool First = true;
+
+  // Thread-name metadata rows so chrome://tracing shows commset-wN tracks.
+  std::set<uint32_t> Tids;
+  for (const TraceEvent &E : Sorted)
+    Tids.insert(E.Tid);
+  for (uint32_t Tid : Tids) {
+    std::ostringstream Name;
+    if (Tid == 0)
+      Name << "commset-w0 (main)";
+    else
+      Name << "commset-w" << Tid;
+    if (!First)
+      Os << ",\n";
+    First = false;
+    Os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << Tid
+       << ",\"args\":{\"name\":\"" << jsonEscape(Name.str()) << "\"}}";
+  }
+
+  // Per-tid open-span stacks: emit B/E only in properly nested pairs. A
+  // close with no matching open is dropped; opens left dangling (fault
+  // truncation, ring drops) are closed at the thread's last timestamp so
+  // the exported trace always balances.
+  std::map<uint32_t, std::vector<SpanOpen>> Open;
+  std::map<uint32_t, uint64_t> LastTs;
+
+  auto openSpan = [&](const TraceEvent &E, const std::string &Name,
+                      const std::string &Args) {
+    appendEvent(Os, First, "B", Name, E.TsNs, E.Tid, Args);
+    Open[E.Tid].push_back({static_cast<EventKind>(E.Kind), Name});
+  };
+  auto closeSpan = [&](const TraceEvent &E, EventKind OpenKind,
+                       const std::string &Args) {
+    auto &Stack = Open[E.Tid];
+    if (Stack.empty() || Stack.back().Kind != OpenKind)
+      return; // unmatched close: drop rather than corrupt nesting
+    appendEvent(Os, First, "E", Stack.back().Name, E.TsNs, E.Tid, Args);
+    Stack.pop_back();
+  };
+
+  for (const TraceEvent &E : Sorted) {
+    LastTs[E.Tid] = E.TsNs;
+    EventKind K = static_cast<EventKind>(E.Kind);
+    std::ostringstream Args;
+    switch (K) {
+    case EventKind::RegionBegin: {
+      std::ostringstream Name;
+      Name << "region:"
+           << strategyName(static_cast<Strategy>(E.A));
+      Args << "\"tasks\":" << E.B;
+      openSpan(E, Name.str(), Args.str());
+      break;
+    }
+    case EventKind::RegionEnd:
+      closeSpan(E, EventKind::RegionBegin, "");
+      break;
+    case EventKind::TaskDispatch:
+      Args << "\"worker\":" << E.Tid;
+      openSpan(E, "task", Args.str());
+      break;
+    case EventKind::TaskComplete:
+      Args << "\"faulted\":" << (E.A ? "true" : "false");
+      closeSpan(E, EventKind::TaskDispatch, Args.str());
+      break;
+    case EventKind::MemberEnter: {
+      std::string Member = S.nameOf(E.A);
+      openSpan(E, "member:" + (Member.empty() ? "?" : Member), "");
+      break;
+    }
+    case EventKind::MemberExit:
+      closeSpan(E, EventKind::MemberEnter, "");
+      break;
+
+    case EventKind::LockContend:
+      Args << "\"rank\":" << E.A;
+      appendEvent(Os, First, "i", "lock-contend", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::LockAcquire:
+      Args << "\"rank\":" << E.A << ",\"waitNs\":" << E.B;
+      appendEvent(Os, First, "i", "lock-acquire", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::LockRelease:
+      Args << "\"rank\":" << E.A;
+      appendEvent(Os, First, "i", "lock-release", E.TsNs, E.Tid, Args.str());
+      break;
+
+    case EventKind::StmBegin:
+    case EventKind::StmCommit:
+    case EventKind::StmAbort:
+    case EventKind::StmRetry:
+    case EventKind::StmExhaust: {
+      std::string Member = S.nameOf(E.A);
+      Args << "\"set\":\"" << jsonEscape(Member.empty() ? "?" : Member)
+           << "\",\"attempts\":" << E.B;
+      appendEvent(Os, First, "i", eventKindName(K), E.TsNs, E.Tid, Args.str());
+      break;
+    }
+
+    case EventKind::QueuePush:
+    case EventKind::QueuePop:
+      Args << "\"queue\":\"" << queueName(E.A) << "\",\"occupancy\":" << E.B;
+      appendEvent(Os, First, "i", eventKindName(K), E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::QueueBlock:
+      Args << "\"queue\":\"" << queueName(E.A) << "\",\"blockedNs\":" << E.B;
+      appendEvent(Os, First, "i", "queue-block", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::QueuePoison:
+      Args << "\"queue\":\"" << queueName(E.A) << "\"";
+      appendEvent(Os, First, "i", "queue-poison", E.TsNs, E.Tid, Args.str());
+      break;
+
+    case EventKind::FaultInject:
+      Args << "\"fault\":\""
+           << faultKindName(static_cast<FaultKind>(E.A)) << "\"";
+      appendEvent(Os, First, "i", "fault-inject", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::Degrade:
+      Args << "\"fault\":\""
+           << faultKindName(static_cast<FaultKind>(E.A)) << "\"";
+      appendEvent(Os, First, "i", "degrade", E.TsNs, E.Tid, Args.str());
+      break;
+
+    case EventKind::None:
+      break;
+    }
+  }
+
+  // Close any dangling spans at the owning thread's last timestamp.
+  for (auto &KV : Open) {
+    uint64_t Ts = LastTs[KV.first];
+    while (!KV.second.empty()) {
+      appendEvent(Os, First, "E", KV.second.back().Name, Ts, KV.first, "");
+      KV.second.pop_back();
+    }
+  }
+
+  Os << "\n]}\n";
+  return Os.str();
+}
+
+bool writeChromeTraceFile(const std::vector<TraceEvent> &Events,
+                          const TraceSession &S, const std::string &Path,
+                          std::string *Error) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open trace output file: " + Path;
+    return false;
+  }
+  Out << chromeTraceJson(Events, S);
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write failed: " + Path;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome-trace validation: a small but complete JSON parser plus the
+// structural checks the acceptance criteria name (monotone per-tid ts,
+// balanced B/E nesting).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonValue {
+  enum Type { Null, Bool, Num, Str, Arr, Obj } T = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JsonValue> A;
+  std::vector<std::pair<std::string, JsonValue>> O;
+
+  const JsonValue *field(const std::string &Key) const {
+    for (const auto &KV : O)
+      if (KV.first == Key)
+        return &KV.second;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : S(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Err) {
+    if (!value(Out, Err))
+      return false;
+    ws();
+    if (P != S.size()) {
+      Err = "trailing garbage at offset " + std::to_string(P);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::string &S;
+  size_t P = 0;
+
+  void ws() {
+    while (P < S.size() && (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' ||
+                            S[P] == '\r'))
+      ++P;
+  }
+
+  bool fail(std::string &Err, const std::string &What) {
+    Err = What + " at offset " + std::to_string(P);
+    return false;
+  }
+
+  bool literal(const char *Lit, std::string &Err) {
+    size_t Len = std::string(Lit).size();
+    if (S.compare(P, Len, Lit) != 0)
+      return fail(Err, std::string("expected '") + Lit + "'");
+    P += Len;
+    return true;
+  }
+
+  bool string(std::string &Out, std::string &Err) {
+    if (P >= S.size() || S[P] != '"')
+      return fail(Err, "expected string");
+    ++P;
+    Out.clear();
+    while (P < S.size() && S[P] != '"') {
+      char C = S[P];
+      if (C == '\\') {
+        if (P + 1 >= S.size())
+          return fail(Err, "truncated escape");
+        char E = S[P + 1];
+        P += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (P + 4 > S.size())
+            return fail(Err, "truncated \\u escape");
+          for (int I = 0; I < 4; ++I)
+            if (!std::isxdigit(static_cast<unsigned char>(S[P + I])))
+              return fail(Err, "bad \\u escape");
+          Out += '?'; // code point identity is irrelevant for validation
+          P += 4;
+          break;
+        }
+        default:
+          return fail(Err, "bad escape");
+        }
+      } else {
+        Out += C;
+        ++P;
+      }
+    }
+    if (P >= S.size())
+      return fail(Err, "unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool number(double &Out, std::string &Err) {
+    size_t Start = P;
+    if (P < S.size() && (S[P] == '-' || S[P] == '+'))
+      ++P;
+    bool Digits = false;
+    auto digits = [&]() {
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P]))) {
+        ++P;
+        Digits = true;
+      }
+    };
+    digits();
+    if (P < S.size() && S[P] == '.') {
+      ++P;
+      digits();
+    }
+    if (P < S.size() && (S[P] == 'e' || S[P] == 'E')) {
+      ++P;
+      if (P < S.size() && (S[P] == '-' || S[P] == '+'))
+        ++P;
+      digits();
+    }
+    if (!Digits)
+      return fail(Err, "expected number");
+    Out = std::strtod(S.substr(Start, P - Start).c_str(), nullptr);
+    return true;
+  }
+
+  bool value(JsonValue &Out, std::string &Err) {
+    ws();
+    if (P >= S.size())
+      return fail(Err, "unexpected end of input");
+    char C = S[P];
+    if (C == '{') {
+      ++P;
+      Out.T = JsonValue::Obj;
+      ws();
+      if (P < S.size() && S[P] == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        ws();
+        std::string Key;
+        if (!string(Key, Err))
+          return false;
+        ws();
+        if (P >= S.size() || S[P] != ':')
+          return fail(Err, "expected ':'");
+        ++P;
+        JsonValue V;
+        if (!value(V, Err))
+          return false;
+        Out.O.emplace_back(std::move(Key), std::move(V));
+        ws();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        if (P < S.size() && S[P] == '}') {
+          ++P;
+          return true;
+        }
+        return fail(Err, "expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++P;
+      Out.T = JsonValue::Arr;
+      ws();
+      if (P < S.size() && S[P] == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        JsonValue V;
+        if (!value(V, Err))
+          return false;
+        Out.A.push_back(std::move(V));
+        ws();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        if (P < S.size() && S[P] == ']') {
+          ++P;
+          return true;
+        }
+        return fail(Err, "expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      Out.T = JsonValue::Str;
+      return string(Out.S, Err);
+    }
+    if (C == 't') {
+      Out.T = JsonValue::Bool;
+      Out.B = true;
+      return literal("true", Err);
+    }
+    if (C == 'f') {
+      Out.T = JsonValue::Bool;
+      Out.B = false;
+      return literal("false", Err);
+    }
+    if (C == 'n') {
+      Out.T = JsonValue::Null;
+      return literal("null", Err);
+    }
+    Out.T = JsonValue::Num;
+    return number(Out.N, Err);
+  }
+};
+
+} // namespace
+
+bool validateChromeTrace(const std::string &Json, std::string *Error) {
+  auto fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+
+  JsonValue Root;
+  std::string ParseErr;
+  if (!JsonParser(Json).parse(Root, ParseErr))
+    return fail("malformed JSON: " + ParseErr);
+  if (Root.T != JsonValue::Obj)
+    return fail("top level is not an object");
+  const JsonValue *EventsV = Root.field("traceEvents");
+  if (!EventsV || EventsV->T != JsonValue::Arr)
+    return fail("missing traceEvents array");
+  if (EventsV->A.empty())
+    return fail("traceEvents is empty");
+
+  std::map<long long, double> LastTs;
+  std::map<long long, long long> Depth;
+  size_t Spans = 0;
+  for (size_t I = 0; I < EventsV->A.size(); ++I) {
+    const JsonValue &E = EventsV->A[I];
+    if (E.T != JsonValue::Obj)
+      return fail("traceEvents[" + std::to_string(I) + "] is not an object");
+    const JsonValue *Ph = E.field("ph");
+    const JsonValue *Name = E.field("name");
+    const JsonValue *Tid = E.field("tid");
+    if (!Ph || Ph->T != JsonValue::Str)
+      return fail("event " + std::to_string(I) + " missing ph");
+    if (!Name || Name->T != JsonValue::Str)
+      return fail("event " + std::to_string(I) + " missing name");
+    if (!Tid || Tid->T != JsonValue::Num)
+      return fail("event " + std::to_string(I) + " missing tid");
+    if (Ph->S == "M")
+      continue; // metadata rows carry no timestamp
+    const JsonValue *Ts = E.field("ts");
+    if (!Ts || Ts->T != JsonValue::Num)
+      return fail("event " + std::to_string(I) + " missing ts");
+    long long T = static_cast<long long>(Tid->N);
+    auto It = LastTs.find(T);
+    if (It != LastTs.end() && Ts->N < It->second)
+      return fail("non-monotone ts on tid " + std::to_string(T) +
+                  " at event " + std::to_string(I));
+    LastTs[T] = Ts->N;
+    if (Ph->S == "B") {
+      ++Depth[T];
+      ++Spans;
+    } else if (Ph->S == "E") {
+      if (--Depth[T] < 0)
+        return fail("unbalanced E on tid " + std::to_string(T) +
+                    " at event " + std::to_string(I));
+    } else if (Ph->S != "i") {
+      return fail("unexpected ph '" + Ph->S + "' at event " +
+                  std::to_string(I));
+    }
+  }
+  for (const auto &KV : Depth)
+    if (KV.second != 0)
+      return fail("unclosed B span(s) on tid " + std::to_string(KV.first));
+  (void)Spans;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Profile report
+//===----------------------------------------------------------------------===//
+
+void writeProfileReport(const TraceMetrics &M, std::ostream &Os) {
+  Os << "=== CommTrace profile ===\n";
+  Os << "events: " << M.Events << " recorded, " << M.Dropped << " dropped\n";
+  Os << "regions: " << M.Regions << " parallel region(s), total "
+     << fmtNs(M.RegionNs) << "\n";
+
+  if (!M.Workers.empty()) {
+    Os << "workers:\n";
+    for (const auto &KV : M.Workers) {
+      const WorkerStats &W = KV.second;
+      Os << "  commset-w" << KV.first << ": " << W.Tasks << " task(s), busy "
+         << fmtNs(W.BusyNs);
+      if (M.RegionNs && W.Tasks)
+        Os << " (" << static_cast<int>(100.0 * W.BusyNs / M.RegionNs + 0.5)
+           << "% of region)";
+      if (W.Faulted)
+        Os << ", " << W.Faulted << " faulted";
+      Os << ", " << W.Events << " events\n";
+    }
+    if (M.TaskNs.count())
+      Os << "  task latency: mean " << fmtNs(static_cast<uint64_t>(
+             M.TaskNs.mean()))
+         << ", p95 <= " << fmtNs(M.TaskNs.percentileUpperBound(95))
+         << ", max " << fmtNs(M.TaskNs.max()) << "\n";
+  }
+
+  Os << "locks:";
+  if (M.Locks.empty())
+    Os << " none\n";
+  else {
+    Os << "\n";
+    for (const auto &KV : M.Locks) {
+      const LockRankStats &L = KV.second;
+      double Pct = L.Acquires
+                       ? 100.0 * L.Contentions / L.Acquires
+                       : 0.0;
+      Os << "  rank " << KV.first << ": " << L.Acquires << " acquires, "
+         << L.Contentions << " contended (";
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%.1f%%", Pct);
+      Os << Buf << "), wait total " << fmtNs(L.WaitNs) << ", max "
+         << fmtNs(L.MaxWaitNs) << "\n";
+    }
+    if (M.LockWaitNs.count())
+      Os << "  lock wait: p50 <= "
+         << fmtNs(M.LockWaitNs.percentileUpperBound(50)) << ", p95 <= "
+         << fmtNs(M.LockWaitNs.percentileUpperBound(95)) << ", max "
+         << fmtNs(M.LockWaitNs.max()) << "\n";
+  }
+
+  Os << "stm:";
+  if (M.StmBegins == 0)
+    Os << " none\n";
+  else {
+    Os << "\n";
+    for (const auto &KV : M.StmSets) {
+      const StmSetStats &T = KV.second;
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * T.abortRate());
+      Os << "  set '" << (T.Name.empty() ? "?" : T.Name) << "': " << T.Begins
+         << " begins, " << T.Commits << " commits, " << T.Aborts
+         << " aborts (" << Buf << "), " << T.Retries << " retries, "
+         << T.Exhausts << " exhausted\n";
+    }
+  }
+
+  Os << "queues:";
+  if (M.Queues.empty())
+    Os << " none\n";
+  else {
+    Os << "\n";
+    for (const auto &KV : M.Queues) {
+      const QueueStats &Q = KV.second;
+      Os << "  " << queueName(KV.first) << ": " << Q.Pushes << " pushes, "
+         << Q.Pops << " pops, " << Q.Blocks << " blocks ("
+         << fmtNs(Q.BlockNs) << "), max occupancy " << Q.MaxOccupancy;
+      if (Q.Poisons)
+        Os << ", poisoned";
+      Os << "\n";
+    }
+  }
+
+  Os << "member calls: " << M.MemberCalls << "\n";
+
+  Os << "faults injected:";
+  if (M.FaultsInjected.empty())
+    Os << " none\n";
+  else {
+    for (const auto &KV : M.FaultsInjected)
+      Os << " " << faultKindName(static_cast<FaultKind>(KV.first)) << " x"
+         << KV.second;
+    Os << "\n";
+  }
+
+  Os << "degradations:";
+  if (M.Degradations.empty())
+    Os << " none\n";
+  else {
+    for (const auto &D : M.Degradations)
+      Os << " " << faultKindName(static_cast<FaultKind>(D.first))
+         << "@w" << D.second;
+    Os << "\n";
+  }
+}
+
+std::string profileReport(const TraceMetrics &M) {
+  std::ostringstream Os;
+  writeProfileReport(M, Os);
+  return Os.str();
+}
+
+} // namespace trace
+} // namespace commset

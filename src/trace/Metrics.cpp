@@ -1,0 +1,140 @@
+//===- Metrics.cpp - CommTrace drain-time aggregation ---------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Trace/Metrics.h"
+
+#include <map>
+
+namespace commset {
+namespace trace {
+
+TraceMetrics aggregateMetrics(const std::vector<TraceEvent> &Events,
+                              const TraceSession &S) {
+  TraceMetrics M;
+  M.Events = Events.size();
+  M.Dropped = S.dropped();
+
+  // Open-span bookkeeping. Events arrive sorted by timestamp, so a simple
+  // last-open match per key is enough; spans left open by a faulted run
+  // simply do not contribute to the duration sums.
+  std::map<unsigned, uint64_t> OpenTask;  // tid -> dispatch ts
+  uint64_t OpenRegionTs = 0;
+  bool RegionOpen = false;
+
+  for (const TraceEvent &E : Events) {
+    M.Workers[E.Tid].Events++;
+    switch (static_cast<EventKind>(E.Kind)) {
+    case EventKind::RegionBegin:
+      ++M.Regions;
+      OpenRegionTs = E.TsNs;
+      RegionOpen = true;
+      break;
+    case EventKind::RegionEnd:
+      if (RegionOpen && E.TsNs >= OpenRegionTs)
+        M.RegionNs += E.TsNs - OpenRegionTs;
+      RegionOpen = false;
+      break;
+
+    case EventKind::TaskDispatch:
+      M.Workers[E.Tid].Tasks++;
+      OpenTask[E.Tid] = E.TsNs;
+      break;
+    case EventKind::TaskComplete: {
+      auto It = OpenTask.find(E.Tid);
+      if (It != OpenTask.end() && E.TsNs >= It->second) {
+        uint64_t Ns = E.TsNs - It->second;
+        M.Workers[E.Tid].BusyNs += Ns;
+        M.TaskNs.add(Ns);
+        OpenTask.erase(It);
+      }
+      if (E.A)
+        M.Workers[E.Tid].Faulted++;
+      break;
+    }
+
+    case EventKind::MemberEnter:
+      ++M.MemberCalls;
+      break;
+    case EventKind::MemberExit:
+      break;
+
+    case EventKind::LockContend:
+      M.Locks[static_cast<unsigned>(E.A)].Contentions++;
+      break;
+    case EventKind::LockAcquire: {
+      LockRankStats &L = M.Locks[static_cast<unsigned>(E.A)];
+      L.Acquires++;
+      L.WaitNs += E.B;
+      if (E.B > L.MaxWaitNs)
+        L.MaxWaitNs = E.B;
+      M.LockWaitNs.add(E.B);
+      break;
+    }
+    case EventKind::LockRelease:
+      break;
+
+    case EventKind::StmBegin:
+      ++M.StmBegins;
+      M.StmSets[E.A].Begins++;
+      break;
+    case EventKind::StmCommit:
+      ++M.StmCommits;
+      M.StmSets[E.A].Commits++;
+      break;
+    case EventKind::StmAbort:
+      ++M.StmAborts;
+      M.StmSets[E.A].Aborts++;
+      break;
+    case EventKind::StmRetry:
+      ++M.StmRetries;
+      M.StmSets[E.A].Retries++;
+      break;
+    case EventKind::StmExhaust:
+      ++M.StmExhausts;
+      M.StmSets[E.A].Exhausts++;
+      break;
+
+    case EventKind::QueuePush: {
+      QueueStats &Q = M.Queues[E.A];
+      Q.Pushes++;
+      if (E.B > Q.MaxOccupancy)
+        Q.MaxOccupancy = E.B;
+      M.QueueOccupancy.add(E.B);
+      break;
+    }
+    case EventKind::QueuePop:
+      M.Queues[E.A].Pops++;
+      break;
+    case EventKind::QueueBlock: {
+      QueueStats &Q = M.Queues[E.A];
+      Q.Blocks++;
+      Q.BlockNs += E.B;
+      M.QueueBlockNs += E.B;
+      break;
+    }
+    case EventKind::QueuePoison:
+      M.Queues[E.A].Poisons++;
+      break;
+
+    case EventKind::FaultInject:
+      M.FaultsInjected[static_cast<unsigned>(E.A)]++;
+      break;
+    case EventKind::Degrade:
+      M.Degradations.emplace_back(static_cast<unsigned>(E.A), E.Tid);
+      break;
+
+    case EventKind::None:
+      break;
+    }
+  }
+
+  for (auto &KV : M.StmSets)
+    KV.second.Name = S.nameOf(KV.first);
+  return M;
+}
+
+} // namespace trace
+} // namespace commset

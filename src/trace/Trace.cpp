@@ -1,0 +1,169 @@
+//===- Trace.cpp - CommTrace session implementation -----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Trace/Trace.h"
+
+#include <algorithm>
+
+namespace commset {
+namespace trace {
+
+std::atomic<uint32_t> GEnabled{0};
+
+TraceSession &session() {
+  static TraceSession S;
+  return S;
+}
+
+const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::None:
+    return "none";
+  case EventKind::RegionBegin:
+    return "region-begin";
+  case EventKind::RegionEnd:
+    return "region-end";
+  case EventKind::TaskDispatch:
+    return "task-dispatch";
+  case EventKind::TaskComplete:
+    return "task-complete";
+  case EventKind::MemberEnter:
+    return "member-enter";
+  case EventKind::MemberExit:
+    return "member-exit";
+  case EventKind::LockContend:
+    return "lock-contend";
+  case EventKind::LockAcquire:
+    return "lock-acquire";
+  case EventKind::LockRelease:
+    return "lock-release";
+  case EventKind::StmBegin:
+    return "stm-begin";
+  case EventKind::StmCommit:
+    return "stm-commit";
+  case EventKind::StmAbort:
+    return "stm-abort";
+  case EventKind::StmRetry:
+    return "stm-retry";
+  case EventKind::StmExhaust:
+    return "stm-exhaust";
+  case EventKind::QueuePush:
+    return "queue-push";
+  case EventKind::QueuePop:
+    return "queue-pop";
+  case EventKind::QueueBlock:
+    return "queue-block";
+  case EventKind::QueuePoison:
+    return "queue-poison";
+  case EventKind::FaultInject:
+    return "fault-inject";
+  case EventKind::Degrade:
+    return "degrade";
+  }
+  return "unknown";
+}
+
+void TraceSession::enable(size_t CapacityPerThread, unsigned RingCount) {
+  // Control plane: callers arm tracing between runs, never while a traced
+  // region is executing, so tearing down the old rings is safe.
+  GEnabled.store(0, std::memory_order_seq_cst);
+  if (RingCount == 0)
+    RingCount = 1;
+  if (RingCount > MaxRings)
+    RingCount = MaxRings;
+  if (CapacityPerThread == 0)
+    CapacityPerThread = 1;
+  Rings.clear();
+  Rings.reserve(RingCount);
+  for (unsigned I = 0; I < RingCount; ++I) {
+    auto R = std::make_unique<Ring>();
+    R->Slots = std::vector<Slot>(CapacityPerThread);
+    Rings.push_back(std::move(R));
+  }
+  Epoch = std::chrono::steady_clock::now();
+  Active.store(true, std::memory_order_relaxed);
+  GEnabled.store(1, std::memory_order_seq_cst);
+}
+
+void TraceSession::disable() {
+  GEnabled.store(0, std::memory_order_seq_cst);
+  Active.store(false, std::memory_order_relaxed);
+}
+
+bool TraceSession::active() const {
+  return Active.load(std::memory_order_relaxed);
+}
+
+void TraceSession::record(EventKind K, uint32_t Tid, uint64_t A, uint64_t B) {
+  if (Rings.empty())
+    return;
+  // Out-of-range tids (rare: oversized pipelines) share the last ring but
+  // keep their real Tid in the event, so attribution stays correct.
+  size_t Index = Tid < Rings.size() ? Tid : Rings.size() - 1;
+  Ring &R = *Rings[Index];
+  uint64_t Claim = R.Next.fetch_add(1, std::memory_order_relaxed);
+  if (Claim >= R.Slots.size()) {
+    R.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot &S = R.Slots[Claim];
+  S.Ev.TsNs = nowNs();
+  S.Ev.Kind = static_cast<uint32_t>(K);
+  S.Ev.Tid = Tid;
+  S.Ev.A = A;
+  S.Ev.B = B;
+  S.Ready.store(1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceSession::collect() const {
+  std::vector<TraceEvent> Out;
+  for (const auto &RPtr : Rings) {
+    const Ring &R = *RPtr;
+    uint64_t Published =
+        std::min<uint64_t>(R.Next.load(std::memory_order_acquire),
+                           R.Slots.size());
+    for (uint64_t I = 0; I < Published; ++I) {
+      const Slot &S = R.Slots[I];
+      if (S.Ready.load(std::memory_order_acquire))
+        Out.push_back(S.Ev);
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &L, const TraceEvent &R) {
+              if (L.TsNs != R.TsNs)
+                return L.TsNs < R.TsNs;
+              return L.Tid < R.Tid;
+            });
+  return Out;
+}
+
+uint64_t TraceSession::dropped() const {
+  uint64_t Total = 0;
+  for (const auto &RPtr : Rings)
+    Total += RPtr->Dropped.load(std::memory_order_relaxed);
+  return Total;
+}
+
+uint64_t TraceSession::internName(const std::string &S) {
+  std::lock_guard<std::mutex> Guard(NamesMutex);
+  auto It = NameIds.find(S);
+  if (It != NameIds.end())
+    return It->second;
+  NamesById.push_back(S);
+  uint64_t Id = NamesById.size(); // ids start at 1; 0 means "no name"
+  NameIds.emplace(S, Id);
+  return Id;
+}
+
+std::string TraceSession::nameOf(uint64_t Id) const {
+  std::lock_guard<std::mutex> Guard(NamesMutex);
+  if (Id == 0 || Id > NamesById.size())
+    return "";
+  return NamesById[Id - 1];
+}
+
+} // namespace trace
+} // namespace commset

@@ -9,6 +9,8 @@
 #include "commset/Support/StringUtils.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 using namespace commset;
 using namespace commset::bench;
@@ -129,10 +131,82 @@ unsigned FigureRunner::sourceLines() const {
   return Count;
 }
 
+namespace {
+
+void appendJsonString(std::ostringstream &Os, const std::string &S) {
+  Os << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Os << "\\\"";
+      break;
+    case '\\':
+      Os << "\\\\";
+      break;
+    case '\n':
+      Os << "\\n";
+      break;
+    default:
+      Os << C;
+    }
+  }
+  Os << '"';
+}
+
+} // namespace
+
+std::string
+commset::bench::benchRecordsJson(const std::vector<BenchRecord> &Records) {
+  std::ostringstream Os;
+  Os << "[\n";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    Os << "  {\"workload\": ";
+    appendJsonString(Os, R.Workload);
+    Os << ", \"label\": ";
+    appendJsonString(Os, R.Label);
+    Os << ", \"variant\": ";
+    appendJsonString(Os, R.Variant);
+    Os << ", \"scheme\": ";
+    appendJsonString(Os, R.Scheme);
+    Os << ", \"sync\": ";
+    appendJsonString(Os, R.Sync);
+    Os << ", \"threads\": " << R.Threads
+       << ", \"applicable\": " << (R.Applicable ? "true" : "false");
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", R.Speedup);
+    Os << ", \"speedup\": " << Buf << ", \"virtual_ns\": " << R.VirtualNs
+       << ", \"seq_virtual_ns\": " << R.SeqVirtualNs << "}";
+    Os << (I + 1 < Records.size() ? ",\n" : "\n");
+  }
+  Os << "]\n";
+  return Os.str();
+}
+
+bool commset::bench::writeBenchJson(const std::string &Path,
+                                    const std::vector<BenchRecord> &Records,
+                                    std::string *Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << benchRecordsJson(Records);
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
 double commset::bench::printFigure(const std::string &WorkloadName,
                                    const std::vector<Series> &SeriesList,
                                    const std::vector<unsigned> &Threads,
-                                   int Scale) {
+                                   int Scale,
+                                   std::vector<BenchRecord> *Records) {
   FigureRunner Runner(WorkloadName, Scale);
   printf("\n=== %s: simulated speedup over sequential ===\n",
          WorkloadName.c_str());
@@ -152,6 +226,20 @@ double commset::bench::printFigure(const std::string &WorkloadName,
         printf("%8.2f", M.Speedup);
       if (M.Applicable && T == Threads.back())
         BestAtMax = std::max(BestAtMax, M.Speedup);
+      if (Records) {
+        BenchRecord R;
+        R.Workload = WorkloadName;
+        R.Label = S.Label;
+        R.Variant = S.Variant;
+        R.Scheme = strategyName(S.Kind);
+        R.Sync = syncModeName(S.Sync);
+        R.Threads = T;
+        R.Applicable = M.Applicable;
+        R.Speedup = M.Speedup;
+        R.VirtualNs = M.VirtualNs;
+        R.SeqVirtualNs = M.SeqVirtualNs;
+        Records->push_back(std::move(R));
+      }
     }
     printf("\n");
   }

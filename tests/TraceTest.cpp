@@ -1,0 +1,345 @@
+//===- TraceTest.cpp - CommTrace tracer, metrics, exporter tests ----------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Trace/Export.h"
+#include "commset/Trace/Metrics.h"
+#include "commset/Trace/Trace.h"
+
+#include "commset/Driver/Runner.h"
+#include "commset/Workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using namespace commset;
+using namespace commset::trace;
+
+namespace {
+
+/// Stops the global session on scope exit so a failing assertion cannot
+/// leave tracing armed for unrelated tests.
+struct SessionGuard {
+  ~SessionGuard() { session().disable(); }
+};
+
+TEST(TraceSessionTest, DisabledEmitIsNoOp) {
+  SessionGuard G;
+  session().disable();
+  ASSERT_FALSE(enabled());
+  for (int I = 0; I < 1000; ++I)
+    emit(EventKind::LockAcquire, 0, 1, 2);
+  session().enable(16, 1);
+  EXPECT_EQ(session().collect().size(), 0u);
+  EXPECT_EQ(session().dropped(), 0u);
+}
+
+TEST(TraceSessionTest, RecordsAndCollectsInOrder) {
+  SessionGuard G;
+  session().enable(64, 2);
+  ASSERT_TRUE(enabled());
+  emit(EventKind::RegionBegin, 0, 1, 4);
+  emit(EventKind::TaskDispatch, 1);
+  emit(EventKind::TaskComplete, 1);
+  emit(EventKind::RegionEnd, 0);
+  session().disable();
+  EXPECT_FALSE(enabled());
+
+  std::vector<TraceEvent> Events = session().collect();
+  ASSERT_EQ(Events.size(), 4u);
+  // Sorted by (ts, tid); timestamps are monotone per thread.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_LE(Events[I - 1].TsNs, Events[I].TsNs);
+  unsigned Begins = 0, Ends = 0;
+  for (const TraceEvent &E : Events) {
+    Begins += E.Kind == static_cast<uint32_t>(EventKind::RegionBegin);
+    Ends += E.Kind == static_cast<uint32_t>(EventKind::RegionEnd);
+  }
+  EXPECT_EQ(Begins, 1u);
+  EXPECT_EQ(Ends, 1u);
+}
+
+TEST(TraceSessionTest, FullRingDropsAndCounts) {
+  SessionGuard G;
+  constexpr size_t Cap = 32;
+  session().enable(Cap, 1);
+  for (unsigned I = 0; I < 3 * Cap; ++I)
+    emit(EventKind::LockAcquire, 0, I, 0);
+  session().disable();
+
+  std::vector<TraceEvent> Events = session().collect();
+  EXPECT_EQ(Events.size(), Cap);
+  EXPECT_EQ(session().dropped(), 2 * Cap);
+  // Drop-newest: the retained window is the *first* Cap events.
+  std::vector<uint64_t> Ranks;
+  for (const TraceEvent &E : Events)
+    Ranks.push_back(E.A);
+  std::sort(Ranks.begin(), Ranks.end());
+  for (size_t I = 0; I < Cap; ++I)
+    EXPECT_EQ(Ranks[I], I);
+}
+
+TEST(TraceSessionTest, OutOfRangeTidLandsInLastRingWithTruthfulTid) {
+  SessionGuard G;
+  session().enable(64, 2);
+  emit(EventKind::LockAcquire, 57, 3, 0);
+  session().disable();
+  std::vector<TraceEvent> Events = session().collect();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Tid, 57u);
+}
+
+TEST(TraceSessionTest, ConcurrentEmissionLosesNothingBelowCapacity) {
+  SessionGuard G;
+  constexpr unsigned Threads = 4;
+  constexpr unsigned PerThread = 2000;
+  session().enable(PerThread + 16, Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([T] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        emit(EventKind::QueuePush, T, T, I);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  session().disable();
+
+  std::vector<TraceEvent> Events = session().collect();
+  EXPECT_EQ(Events.size(), Threads * PerThread);
+  EXPECT_EQ(session().dropped(), 0u);
+  uint64_t PerTid[Threads] = {};
+  for (const TraceEvent &E : Events) {
+    ASSERT_LT(E.Tid, Threads);
+    ++PerTid[E.Tid];
+  }
+  for (unsigned T = 0; T < Threads; ++T)
+    EXPECT_EQ(PerTid[T], PerThread);
+}
+
+TEST(TraceSessionTest, InternedNamesAreStableAndResolvable) {
+  SessionGuard G;
+  uint64_t A = session().internName("md5_update");
+  uint64_t B = session().internName("print_result");
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(session().internName("md5_update"), A);
+  EXPECT_EQ(session().nameOf(A), "md5_update");
+  EXPECT_EQ(session().nameOf(B), "print_result");
+  EXPECT_EQ(session().nameOf(0), "");
+}
+
+/// Synthetic, fully-known event sequence used by the metrics and exporter
+/// tests: one region with two tasks, a contended lock, an STM abort+commit,
+/// and queue traffic.
+std::vector<TraceEvent> syntheticEvents(TraceSession &S) {
+  uint64_t SetId = S.internName("cache_insert");
+  auto Ev = [](uint64_t Ts, EventKind K, uint32_t Tid, uint64_t A = 0,
+               uint64_t B = 0) {
+    return TraceEvent{Ts, static_cast<uint32_t>(K), Tid, A, B};
+  };
+  return {
+      Ev(100, EventKind::RegionBegin, 0, 0, 2),
+      Ev(110, EventKind::TaskDispatch, 0),
+      Ev(120, EventKind::TaskDispatch, 1),
+      Ev(130, EventKind::LockContend, 1, 7),
+      Ev(150, EventKind::LockAcquire, 1, 7, 20),
+      Ev(160, EventKind::LockRelease, 1, 7),
+      Ev(170, EventKind::LockAcquire, 0, 7, 0),
+      Ev(180, EventKind::LockRelease, 0, 7),
+      Ev(200, EventKind::StmBegin, 1, SetId, 1),
+      Ev(210, EventKind::StmAbort, 1, SetId, 1),
+      Ev(215, EventKind::StmRetry, 1, SetId, 1),
+      Ev(220, EventKind::StmBegin, 1, SetId, 2),
+      Ev(230, EventKind::StmCommit, 1, SetId, 2),
+      Ev(240, EventKind::QueuePush, 0, (0u << 16) | 1u, 1),
+      Ev(250, EventKind::QueuePop, 1, (0u << 16) | 1u, 0),
+      Ev(260, EventKind::QueueBlock, 1, (0u << 16) | 1u, 35),
+      Ev(300, EventKind::TaskComplete, 0),
+      Ev(310, EventKind::TaskComplete, 1),
+      Ev(320, EventKind::RegionEnd, 0),
+  };
+}
+
+TEST(TraceMetricsTest, AggregatesExactCounts) {
+  SessionGuard G;
+  TraceSession &S = session();
+  std::vector<TraceEvent> Events = syntheticEvents(S);
+  TraceMetrics M = aggregateMetrics(Events, S);
+
+  EXPECT_EQ(M.Events, Events.size());
+  EXPECT_EQ(M.Regions, 1u);
+  EXPECT_EQ(M.RegionNs, 220u); // 320 - 100.
+
+  ASSERT_EQ(M.Locks.count(7u), 1u);
+  EXPECT_EQ(M.Locks.at(7u).Acquires, 2u);
+  EXPECT_EQ(M.Locks.at(7u).Contentions, 1u);
+  EXPECT_EQ(M.Locks.at(7u).WaitNs, 20u);
+  EXPECT_EQ(M.Locks.at(7u).MaxWaitNs, 20u);
+  EXPECT_EQ(M.totalLockContentions(), 1u);
+
+  EXPECT_EQ(M.StmBegins, 2u);
+  EXPECT_EQ(M.StmCommits, 1u);
+  EXPECT_EQ(M.StmAborts, 1u);
+  EXPECT_EQ(M.StmRetries, 1u);
+  EXPECT_EQ(M.StmExhausts, 0u);
+  ASSERT_EQ(M.StmSets.size(), 1u);
+  const StmSetStats &Set = M.StmSets.begin()->second;
+  EXPECT_EQ(Set.Name, "cache_insert");
+  EXPECT_DOUBLE_EQ(Set.abortRate(), 0.5);
+
+  uint64_t Qid = (0u << 16) | 1u;
+  ASSERT_EQ(M.Queues.count(Qid), 1u);
+  EXPECT_EQ(M.Queues.at(Qid).Pushes, 1u);
+  EXPECT_EQ(M.Queues.at(Qid).Pops, 1u);
+  EXPECT_EQ(M.Queues.at(Qid).Blocks, 1u);
+  EXPECT_EQ(M.Queues.at(Qid).BlockNs, 35u);
+  EXPECT_EQ(M.QueueBlockNs, 35u);
+
+  ASSERT_EQ(M.Workers.count(0u), 1u);
+  ASSERT_EQ(M.Workers.count(1u), 1u);
+  EXPECT_EQ(M.Workers.at(0u).Tasks, 1u);
+  EXPECT_EQ(M.Workers.at(0u).BusyNs, 190u); // 300 - 110.
+  EXPECT_EQ(M.Workers.at(1u).BusyNs, 190u); // 310 - 120.
+  EXPECT_EQ(M.TaskNs.count(), 2u);
+  EXPECT_EQ(M.TaskNs.max(), 190u);
+}
+
+TEST(TraceMetricsTest, LogHistogramBucketsAndPercentiles) {
+  LogHistogram H;
+  EXPECT_EQ(H.percentileUpperBound(95), 0u);
+  for (uint64_t V : {0u, 1u, 2u, 3u, 4u, 1000u})
+    H.add(V);
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_EQ(H.sum(), 1010u);
+  EXPECT_EQ(H.max(), 1000u);
+  // Bucket layout: 0..1 -> bucket 0, [2^I, 2^(I+1)) -> bucket I.
+  EXPECT_EQ(LogHistogram::bucketFor(0), 0u);
+  EXPECT_EQ(LogHistogram::bucketFor(1), 0u);
+  EXPECT_EQ(LogHistogram::bucketFor(2), 1u);
+  EXPECT_EQ(LogHistogram::bucketFor(3), 1u);
+  EXPECT_EQ(LogHistogram::bucketFor(4), 2u);
+  EXPECT_EQ(LogHistogram::bucketFor(1000), 9u);
+  // The bucket's inclusive upper bound covers every value it holds.
+  for (uint64_t V : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 1000u, 4096u})
+    EXPECT_GE(LogHistogram::bucketUpperBound(LogHistogram::bucketFor(V)), V);
+  // p100 reaches the bucket holding the max; p50 stays low.
+  EXPECT_GE(H.percentileUpperBound(100), 1000u);
+  EXPECT_LE(H.percentileUpperBound(50), 3u);
+}
+
+TEST(TraceExportTest, ChromeJsonValidatesAndNamesSpans) {
+  SessionGuard G;
+  TraceSession &S = session();
+  std::vector<TraceEvent> Events = syntheticEvents(S);
+  std::string Json = chromeTraceJson(Events, S);
+
+  std::string Err;
+  EXPECT_TRUE(validateChromeTrace(Json, &Err)) << Err;
+  // Span/instant content the exporter must produce.
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("region:"), std::string::npos);
+  EXPECT_NE(Json.find("\"task\""), std::string::npos);
+  EXPECT_NE(Json.find("lock-acquire"), std::string::npos);
+  EXPECT_NE(Json.find("stm-abort"), std::string::npos);
+  EXPECT_NE(Json.find("commset-w1"), std::string::npos);
+}
+
+TEST(TraceExportTest, DanglingSpansAreRepaired) {
+  SessionGuard G;
+  TraceSession &S = session();
+  // A truncated run: task dispatched, never completed (e.g. ring filled or
+  // a fault killed the worker). The exporter must close the span itself.
+  std::vector<TraceEvent> Events = {
+      {100, static_cast<uint32_t>(EventKind::RegionBegin), 0, 0, 1},
+      {110, static_cast<uint32_t>(EventKind::TaskDispatch), 1, 0, 0},
+  };
+  std::string Json = chromeTraceJson(Events, S);
+  std::string Err;
+  EXPECT_TRUE(validateChromeTrace(Json, &Err)) << Err;
+}
+
+TEST(TraceExportTest, ValidatorRejectsMalformedTraces) {
+  std::string Err;
+  EXPECT_FALSE(validateChromeTrace("", &Err));
+  EXPECT_FALSE(validateChromeTrace("not json", &Err));
+  EXPECT_FALSE(validateChromeTrace("{\"traceEvents\": []}", &Err));
+  // Unbalanced: B without E.
+  EXPECT_FALSE(validateChromeTrace(
+      "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}]}",
+      &Err));
+  EXPECT_NE(Err.find("unclosed"), std::string::npos) << Err;
+  // Non-monotone timestamps on one thread.
+  EXPECT_FALSE(validateChromeTrace(
+      "{\"traceEvents\": ["
+      "{\"name\": \"a\", \"ph\": \"i\", \"ts\": 5, \"pid\": 1, \"tid\": 0},"
+      "{\"name\": \"b\", \"ph\": \"i\", \"ts\": 2, \"pid\": 1, \"tid\": 0}"
+      "]}",
+      &Err));
+}
+
+TEST(TraceExportTest, ProfileReportListsHeadlineSections) {
+  SessionGuard G;
+  TraceSession &S = session();
+  TraceMetrics M = aggregateMetrics(syntheticEvents(S), S);
+  std::string Report = profileReport(M);
+  EXPECT_NE(Report.find("CommTrace profile"), std::string::npos);
+  EXPECT_NE(Report.find("commset-w0"), std::string::npos);
+  EXPECT_NE(Report.find("rank 7"), std::string::npos);
+  EXPECT_NE(Report.find("cache_insert"), std::string::npos);
+  EXPECT_NE(Report.find("lock wait"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, TracedThreadedRunProducesValidTrace) {
+  SessionGuard G;
+  auto W = makeWorkload("md5sum");
+  ASSERT_NE(W, nullptr);
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(W->source(""), Diags);
+  ASSERT_NE(C, nullptr) << Diags.str();
+  auto T = C->analyzeLoop(W->entry(), Diags);
+  ASSERT_NE(T, nullptr) << Diags.str();
+
+  PlanOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.Sync = SyncMode::Mutex;
+  for (auto &[K, Cost] : W->costHints())
+    Opts.NativeCostHints[K] = Cost;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  const SchemeReport *Doall = nullptr;
+  for (const SchemeReport &R : Schemes)
+    if (R.Kind == Strategy::Doall)
+      Doall = &R;
+  ASSERT_NE(Doall, nullptr);
+  ASSERT_TRUE(Doall->Applicable);
+
+  NativeRegistry Natives;
+  W->reset();
+  W->registerNatives(Natives);
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  Config.Trace = true;
+  RunOutcome Out = runScheme(*C, T->F, W->args(64), Natives, Config);
+  ASSERT_EQ(Out.Status, RunStatus::Ok) << Out.Diagnostic;
+  EXPECT_GT(Out.TraceEvents, 0u);
+
+  std::vector<TraceEvent> Events = session().collect();
+  ASSERT_FALSE(Events.empty());
+  std::string Json = chromeTraceJson(Events, session());
+  std::string Err;
+  EXPECT_TRUE(validateChromeTrace(Json, &Err)) << Err;
+
+  TraceMetrics M = aggregateMetrics(Events, session());
+  EXPECT_EQ(M.Regions, 1u);
+  EXPECT_EQ(M.Workers.size(), 4u);
+  EXPECT_GT(M.MemberCalls, 0u);
+}
+
+} // namespace

@@ -40,6 +40,10 @@ void usage(const char *Argv0) {
       "                    injection and assert the resilient engine still\n"
       "                    matches the sequential reference\n"
       "  --fault-policies N fault policies per swept plan (default 2)\n"
+      "  --plan-stats      trace every sweep plan and print per-plan\n"
+      "                    abort/contention/lock-wait stats\n"
+      "  --trace-on-divergence  re-run a diverging plan traced and dump its\n"
+      "                    Chrome trace JSON next to the failure artifact\n"
       "  --dump-dir DIR    failure artifact directory ('' disables; default .)\n"
       "  --dump SEED       print the program generated for SEED and exit\n"
       "  -v, --verbose     one line per iteration\n"
@@ -74,6 +78,7 @@ bool parseThreadList(const std::string &S, std::vector<unsigned> &Out) {
 int main(int argc, char **argv) {
   CommCheckOptions Opts;
   bool DumpOnly = false;
+  bool TraceOnDivergence = false;
   uint64_t DumpSeed = 0;
 
   for (int I = 1; I < argc; ++I) {
@@ -121,6 +126,10 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.Oracle.RandomSchedules = static_cast<unsigned>(V);
+    } else if (Arg == "--plan-stats") {
+      Opts.Oracle.PlanStats = true;
+    } else if (Arg == "--trace-on-divergence") {
+      TraceOnDivergence = true;
     } else if (Arg == "--dump-dir") {
       Opts.DumpDir = needValue();
     } else if (Arg == "--dump") {
@@ -140,6 +149,10 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  if (TraceOnDivergence)
+    Opts.Oracle.TraceOnDivergenceDir =
+        Opts.DumpDir.empty() ? "." : Opts.DumpDir;
 
   if (DumpOnly) {
     GeneratedProgram P = generateProgram(DumpSeed, Opts.Gen);

@@ -1,0 +1,256 @@
+//===- runner.cpp - commset-run: execute one workload, optionally traced --===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Command-line driver around Runner: compiles one of the paper's evaluation
+// workloads, builds a parallelization scheme, executes it on real threads
+// (or the multicore simulator) and reports the outcome. The CommTrace
+// surface lives here: --trace-out captures a Chrome trace_event JSON of the
+// run, --profile prints the per-run profile report to stderr, and
+// --validate-trace re-parses the exported trace and fails loudly when it is
+// not well-formed (the trace-smoke ctest tier runs exactly that).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Runner.h"
+#include "commset/Trace/Export.h"
+#include "commset/Workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace commset;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <workload> [options]\n"
+      "       %s --list\n"
+      "\n"
+      "options:\n"
+      "  --scheme=S        doall | dswp | psdswp | seq | best (default best)\n"
+      "  --sync=M          mutex | spin | tm | none (default mutex)\n"
+      "  --threads=N       worker threads (default 4)\n"
+      "  --scale=N         iteration count (default: workload default)\n"
+      "  --variant=V       source variant: '', noself, plain\n"
+      "  --simulate        run under the multicore simulator (default: real\n"
+      "                    threads)\n"
+      "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
+      "  --profile         print the CommTrace profile report to stderr\n"
+      "  --validate-trace  validate the exported trace; fail if malformed\n"
+      "\n"
+      "exit codes: 0 ok, 10 degraded-to-sequential, 70 internal error,\n"
+      "            64 usage, 65 invalid trace\n",
+      Argv0, Argv0);
+  return 64;
+}
+
+bool parseSync(const std::string &S, SyncMode &Out) {
+  if (S == "mutex")
+    Out = SyncMode::Mutex;
+  else if (S == "spin")
+    Out = SyncMode::Spin;
+  else if (S == "tm")
+    Out = SyncMode::Tm;
+  else if (S == "none" || S == "lib")
+    Out = SyncMode::None;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string WorkloadName;
+  std::string SchemeName = "best";
+  std::string SyncName = "mutex";
+  std::string Variant;
+  std::string TraceOut;
+  unsigned Threads = 4;
+  int Scale = 0;
+  bool Simulate = false;
+  bool Profile = false;
+  bool ValidateTrace = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto valueOf = [&Arg](const char *Prefix) {
+      return Arg.substr(std::strlen(Prefix));
+    };
+    if (Arg == "--list") {
+      for (const std::string &Name : workloadNames())
+        std::printf("%s\n", Name.c_str());
+      return 0;
+    } else if (Arg.rfind("--scheme=", 0) == 0) {
+      SchemeName = valueOf("--scheme=");
+    } else if (Arg.rfind("--sync=", 0) == 0) {
+      SyncName = valueOf("--sync=");
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(std::atoi(valueOf("--threads=").c_str()));
+    } else if (Arg.rfind("--scale=", 0) == 0) {
+      Scale = std::atoi(valueOf("--scale=").c_str());
+    } else if (Arg.rfind("--variant=", 0) == 0) {
+      Variant = valueOf("--variant=");
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = valueOf("--trace-out=");
+    } else if (Arg == "--simulate") {
+      Simulate = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg == "--validate-trace") {
+      ValidateTrace = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return usage(argv[0]);
+    } else if (WorkloadName.empty()) {
+      WorkloadName = Arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (WorkloadName.empty())
+    return usage(argv[0]);
+  if (Threads == 0 || Threads > 64) {
+    std::fprintf(stderr, "--threads must be in 1..64\n");
+    return 64;
+  }
+  SyncMode Sync;
+  if (!parseSync(SyncName, Sync)) {
+    std::fprintf(stderr, "bad --sync value: %s\n", SyncName.c_str());
+    return 64;
+  }
+
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 WorkloadName.c_str());
+    return 64;
+  }
+  if (Scale == 0)
+    Scale = W->defaultScale();
+
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(W->source(Variant), Diags);
+  if (!C) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+    return 70;
+  }
+  auto T = C->analyzeLoop(W->entry(), Diags);
+  if (!T) {
+    std::fprintf(stderr, "loop analysis failed:\n%s", Diags.str().c_str());
+    return 70;
+  }
+
+  PlanOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.Sync = Sync;
+  for (auto &[K, Cost] : W->costHints())
+    Opts.NativeCostHints[K] = Cost;
+  std::vector<SchemeReport> Schemes = buildAllSchemes(*C, *T, Opts);
+
+  const SchemeReport *Chosen = nullptr;
+  if (SchemeName == "best") {
+    Chosen = bestScheme(Schemes);
+  } else {
+    Strategy Want;
+    if (SchemeName == "doall")
+      Want = Strategy::Doall;
+    else if (SchemeName == "dswp")
+      Want = Strategy::Dswp;
+    else if (SchemeName == "psdswp")
+      Want = Strategy::PsDswp;
+    else if (SchemeName == "seq" || SchemeName == "sequential")
+      Want = Strategy::Sequential;
+    else {
+      std::fprintf(stderr, "bad --scheme value: %s\n", SchemeName.c_str());
+      return 64;
+    }
+    for (const SchemeReport &R : Schemes)
+      if (R.Kind == Want)
+        Chosen = &R;
+  }
+  if (!Chosen || !Chosen->Applicable || !Chosen->Plan) {
+    std::fprintf(stderr, "scheme '%s' not applicable for %s: %s\n",
+                 SchemeName.c_str(), WorkloadName.c_str(),
+                 Chosen ? Chosen->WhyNot.c_str() : "no scheme");
+    return 64;
+  }
+
+  NativeRegistry Natives;
+  W->reset();
+  W->registerNatives(Natives);
+
+  RunConfig Config;
+  Config.Plan = Chosen->Kind == Strategy::Sequential ? nullptr
+                                                     : &*Chosen->Plan;
+  Config.Simulate = Simulate;
+  Config.ResetState = [&W] { W->reset(); };
+  Config.TraceOutPath = TraceOut;
+  Config.TraceProfileStderr = Profile;
+  Config.Trace = ValidateTrace || !TraceOut.empty() || Profile;
+
+  RunOutcome Out = runScheme(*C, T->F, W->args(Scale), Natives, Config);
+
+  std::printf("workload:   %s (scale %d, variant '%s')\n",
+              WorkloadName.c_str(), Scale, Variant.c_str());
+  std::printf("scheme:     %s\n", Chosen->Plan->describe().c_str());
+  std::printf("status:     %s\n", runStatusName(Out.Status));
+  if (!Out.Diagnostic.empty())
+    std::printf("diagnostic: %s\n", Out.Diagnostic.c_str());
+  if (Simulate)
+    std::printf("virtual:    %.3f ms\n", Out.VirtualNs / 1e6);
+  std::printf("wall:       %.3f ms\n", Out.WallNs / 1e6);
+  std::printf("iterations: %llu\n",
+              static_cast<unsigned long long>(Out.Iterations));
+  std::printf("checksum:   %016llx\n",
+              static_cast<unsigned long long>(W->checksum()));
+  if (Out.TmAborts || Out.LockContentions)
+    std::printf("conflicts:  %llu tm aborts, %llu lock contentions\n",
+                static_cast<unsigned long long>(Out.TmAborts),
+                static_cast<unsigned long long>(Out.LockContentions));
+  if (Config.Trace)
+    std::printf("trace:      %llu events (%llu dropped)%s%s\n",
+                static_cast<unsigned long long>(Out.TraceEvents),
+                static_cast<unsigned long long>(Out.TraceDropped),
+                TraceOut.empty() ? "" : " -> ",
+                TraceOut.c_str());
+  if (!Out.TraceError.empty()) {
+    std::fprintf(stderr, "trace export error: %s\n", Out.TraceError.c_str());
+    return 65;
+  }
+
+  if (ValidateTrace) {
+    if (TraceOut.empty()) {
+      std::fprintf(stderr, "--validate-trace requires --trace-out=FILE\n");
+      return 64;
+    }
+    std::ifstream In(TraceOut);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    if (!In) {
+      std::fprintf(stderr, "cannot read back trace file %s\n",
+                   TraceOut.c_str());
+      return 65;
+    }
+    std::string Err;
+    if (!trace::validateChromeTrace(Buf.str(), &Err)) {
+      std::fprintf(stderr, "trace validation FAILED: %s\n", Err.c_str());
+      return 65;
+    }
+    std::printf("trace validated: well-formed, monotone per-thread ts, "
+                "balanced B/E\n");
+  }
+
+  return exitCodeFor(Out.Status);
+}
