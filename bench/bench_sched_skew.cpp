@@ -1,0 +1,183 @@
+//===- bench_sched_skew.cpp - Iteration-scheduling policy guard -----------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// DESIGN.md scheduling ablation: the same DOALL loop under the three
+// iteration-scheduling policies (static | dynamic | guided), on two cost
+// distributions, in simulated virtual time (deterministic, so single runs
+// are exact):
+//
+//  - skewed: every 8th iteration costs 8x. Static round-robin assignment
+//    at 8 threads lands every heavy iteration on thread 0, so the region
+//    ends when thread 0 does; dynamic and guided rebalance via the shared
+//    chunk counter. Guard: dynamic and guided >= 1.3x faster than static.
+//
+//  - uniform: all iterations cost the same. Static is optimal here (no
+//    scheduling traffic at all), so the guard bounds what the chunk-claim
+//    charges may cost: dynamic and guided within 2% of static.
+//
+// Exits non-zero when either bound is violated, like the sync/resilience
+// overhead guards in bench_ablation_sync.cpp. --json=FILE dumps the six
+// measurements as BenchRecords.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "commset/Driver/Runner.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace commset;
+using namespace commset::bench;
+
+namespace {
+
+constexpr unsigned Threads = 8;
+constexpr int64_t N = 4096;         // Iterations; multiple of the skew stride.
+constexpr uint64_t WorkNs = 20000;  // Virtual cost of one work() call.
+constexpr uint64_t RecordNs = 400;  // Virtual cost of one record() call.
+constexpr int64_t SkewStride = 8;   // Every 8th iteration is heavy...
+constexpr uint64_t SkewFactor = 8;  // ...at 8x the base cost.
+
+const char *Src = "extern int work(int x);\n"
+                  "#pragma commset member(SELF)\n"
+                  "extern void record(int i, int v);\n"
+                  "#pragma commset effects(work, pure)\n"
+                  "#pragma commset effects(record, reads(out), writes(out))\n"
+                  "void run(int n) {\n"
+                  "  for (int i = 0; i < n; i++) {\n"
+                  "    record(i, work(i));\n"
+                  "  }\n"
+                  "}\n";
+
+/// Simulated virtual ns of one DOALL run of the loop under \p Sched, with
+/// the per-iteration cost model selected by \p Skew. 0 on failure.
+uint64_t runOne(SchedPolicy Sched, bool Skew) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Src, Diags);
+  std::unique_ptr<Compilation::LoopTarget> T;
+  if (C)
+    T = C->analyzeLoop("run", Diags);
+  if (!C || !T) {
+    std::fprintf(stderr, "sched guard: compile/analyze failed:\n%s",
+                 Diags.str().c_str());
+    return 0;
+  }
+
+  PlanOptions PO;
+  PO.NumThreads = Threads;
+  PO.Sync = SyncMode::Mutex;
+  PO.Sched = Sched;
+  PO.NativeCostHints = {{"work", double(WorkNs)}, {"record", double(RecordNs)}};
+  auto Schemes = buildAllSchemes(*C, *T, PO);
+  const SchemeReport *Doall = nullptr;
+  for (const SchemeReport &S : Schemes)
+    if (S.Kind == Strategy::Doall)
+      Doall = &S;
+  if (!Doall || !Doall->Applicable || !Doall->Plan) {
+    std::fprintf(stderr, "sched guard: DOALL not applicable: %s\n",
+                 Doall ? Doall->WhyNot.c_str() : "no scheme");
+    return 0;
+  }
+
+  NativeRegistry Natives;
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+      },
+      [Skew](const RtValue *Args, unsigned) {
+        if (Skew && Args[0].I % SkewStride == 0)
+          return WorkNs * SkewFactor;
+        return WorkNs;
+      });
+  Natives.add("record", [](const RtValue *, unsigned) { return RtValue(); },
+              RecordNs);
+
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = true;
+  RunOutcome Out = runScheme(*C, T->F, {RtValue::ofInt(N)}, Natives, Config);
+  if (Out.Status != RunStatus::Ok) {
+    std::fprintf(stderr, "sched guard: unexpected status %s: %s\n",
+                 runStatusName(Out.Status), Out.Diagnostic.c_str());
+    return 0;
+  }
+  return Out.VirtualNs;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
+
+  const SchedPolicy Policies[] = {SchedPolicy::Static, SchedPolicy::Dynamic,
+                                  SchedPolicy::Guided};
+  uint64_t Skewed[3] = {}, Uniform[3] = {};
+  std::vector<BenchRecord> Records;
+  for (int I = 0; I < 3; ++I) {
+    Skewed[I] = runOne(Policies[I], /*Skew=*/true);
+    Uniform[I] = runOne(Policies[I], /*Skew=*/false);
+    if (!Skewed[I] || !Uniform[I])
+      return 1;
+    for (bool Skew : {true, false}) {
+      BenchRecord R;
+      R.Workload = Skew ? "sched_skew" : "sched_uniform";
+      R.Label = std::string("DOALL sched=") + schedPolicyName(Policies[I]);
+      R.Scheme = "DOALL";
+      R.Sync = "Mutex";
+      R.Threads = Threads;
+      R.Applicable = true;
+      R.VirtualNs = Skew ? Skewed[I] : Uniform[I];
+      R.SeqVirtualNs = Skew ? Skewed[0] : Uniform[0]; // static baseline
+      R.Speedup = static_cast<double>(R.SeqVirtualNs) / R.VirtualNs;
+      Records.push_back(R);
+    }
+  }
+
+  std::printf("Scheduling-policy guard (DOALL x%u, n=%lld, every %lldth "
+              "iteration %llux, simulated)\n",
+              Threads, static_cast<long long>(N),
+              static_cast<long long>(SkewStride),
+              static_cast<unsigned long long>(SkewFactor));
+  std::printf("  %-8s  %12s  %12s\n", "policy", "skewed ms", "uniform ms");
+  for (int I = 0; I < 3; ++I)
+    std::printf("  %-8s  %12.3f  %12.3f\n", schedPolicyName(Policies[I]),
+                Skewed[I] / 1e6, Uniform[I] / 1e6);
+
+  double DynGain = static_cast<double>(Skewed[0]) / Skewed[1];
+  double GuidedGain = static_cast<double>(Skewed[0]) / Skewed[2];
+  double DynOverhead = static_cast<double>(Uniform[1]) / Uniform[0];
+  double GuidedOverhead = static_cast<double>(Uniform[2]) / Uniform[0];
+  std::printf("  skewed: dynamic %.2fx, guided %.2fx over static "
+              "(bound >= 1.30)\n"
+              "  uniform: dynamic %.4f, guided %.4f of static "
+              "(bound within 2%%)\n\n",
+              DynGain, GuidedGain, DynOverhead, GuidedOverhead);
+
+  if (!maybeWriteJson(JsonPath, Records))
+    return 1;
+
+  int Rc = 0;
+  if (DynGain < 1.30 || GuidedGain < 1.30) {
+    std::fprintf(stderr,
+                 "sched guard FAILED: skewed-loop gain below 1.30x "
+                 "(dynamic %.2fx, guided %.2fx)\n",
+                 DynGain, GuidedGain);
+    Rc = 1;
+  }
+  if (std::fabs(DynOverhead - 1.0) > 0.02 ||
+      std::fabs(GuidedOverhead - 1.0) > 0.02) {
+    std::fprintf(stderr,
+                 "sched guard FAILED: uniform-loop overhead above 2%% "
+                 "(dynamic %.4f, guided %.4f)\n",
+                 DynOverhead, GuidedOverhead);
+    Rc = 1;
+  }
+  return Rc;
+}

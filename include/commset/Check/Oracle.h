@@ -23,6 +23,7 @@
 #define COMMSET_CHECK_ORACLE_H
 
 #include "commset/Check/ProgramGen.h"
+#include "commset/Runtime/Sched.h"
 
 #include <cstdint>
 #include <string>
@@ -34,6 +35,12 @@ namespace check {
 struct OracleOptions {
   /// Thread counts to sweep in the free-running differential pass.
   std::vector<unsigned> Threads = {2, 4, 8};
+  /// Iteration-scheduling policies rotated through the sweeps. The oracle
+  /// does not cross-product these with every plan (the sweep is already
+  /// cubic); instead each sweep axis rotates through the list so a default
+  /// run covers all three policies against the sequential reference.
+  std::vector<SchedPolicy> SchedPolicies = {
+      SchedPolicy::Static, SchedPolicy::Dynamic, SchedPolicy::Guided};
   /// Include SyncMode::Tm plans in the sweep.
   bool IncludeTm = true;
   /// Run the controlled-scheduler + happens-before pass.

@@ -26,7 +26,9 @@
 #define COMMSET_EXEC_EXECPLATFORM_H
 
 #include "commset/Exec/RtValue.h"
+#include "commset/Runtime/Sched.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -75,6 +77,39 @@ public:
   /// minimum-time gate).
   virtual void threadDone(unsigned Thread) = 0;
 
+  /// Dynamic self-scheduling: claims the next chunk of loop iterations for
+  /// \p Thread from the region's shared counter. \returns the first claimed
+  /// iteration index and sets \p Count to the chunk size —
+  /// schedChunkSize(P, Begin, Threads), so chunk boundaries tile the
+  /// iteration space identically regardless of claim interleaving. The
+  /// counter is unbounded; the executor discovers loop exit through the
+  /// header, so claims past the trip count are benign. The simulator
+  /// overrides this to grant claims in virtual-time order and charge the
+  /// claim's cost.
+  virtual uint64_t claimIterations(unsigned Thread, SchedPolicy P,
+                                   unsigned Threads, uint64_t &Count) {
+    uint64_t Cur = NextIter.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t C = schedChunkSize(P, Cur, Threads);
+      if (NextIter.compare_exchange_weak(Cur, Cur + C,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        Count = C;
+        return Cur;
+      }
+    }
+  }
+
+  /// Resets the claim counter; called by the loop executor before the
+  /// region's tasks start (a platform may outlive one region).
+  void resetClaims() { NextIter.store(0, std::memory_order_relaxed); }
+
+  /// True when idle workers may steal split-off sub-chunks from other
+  /// workers' deques. Only the threaded platform opts in: steal victims are
+  /// picked by real-time races, which would leak the host schedule into the
+  /// simulator's virtual clocks and into replayed schedule exploration.
+  virtual bool supportsWorkStealing() const { return false; }
+
   /// Parallel-region brackets: workers fork from / join into
   /// \p MasterThread. The simulator aligns the workers' virtual clocks with
   /// the master at fork and advances the master to the slowest worker at
@@ -108,6 +143,10 @@ public:
   virtual void memberEnter(unsigned Thread, const std::string &Name,
                            bool DeclaredSafe) {}
   virtual void memberExit(unsigned Thread) {}
+
+protected:
+  /// Shared iteration counter behind claimIterations/resetClaims.
+  std::atomic<uint64_t> NextIter{0};
 };
 
 } // namespace commset

@@ -51,6 +51,10 @@ public:
   void threadDone(unsigned Thread) override {}
   uint64_t elapsedNs() const override { return 0; }
 
+  /// Real threads, real races: steal-deque victim selection cannot leak
+  /// anything the platform needs to keep deterministic.
+  bool supportsWorkStealing() const override { return true; }
+
   /// Poisons every inter-thread queue: blocked senders/receivers return
   /// and throw RegionFault(Cancelled) so the region unwinds.
   void cancel() override;

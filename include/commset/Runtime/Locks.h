@@ -96,11 +96,19 @@ public:
   /// Acquires the locks for the given set ranks. \p Ranks must be sorted
   /// ascending (the synchronization engine emits them that way). Blocks
   /// without bound; the resilient engine uses acquireOrTimeout instead.
-  void acquire(const std::vector<unsigned> &Ranks) {
+  /// Tracks holders/waiters the same way the timeout path does, so
+  /// release() attributes LockRelease to the real owner and
+  /// timeoutDiagnostic never reports <none> for a lock taken here.
+  void acquire(const std::vector<unsigned> &Ranks, unsigned ThreadId = 0) {
     assert(std::is_sorted(Ranks.begin(), Ranks.end()) &&
            "lock ranks must be acquired in ascending order");
-    for (unsigned Rank : Ranks)
+    for (unsigned Rank : Ranks) {
+      setWaiting(ThreadId, static_cast<int>(Rank));
       lockOne(Rank);
+      setWaiting(ThreadId, NoRank);
+      Holder[Rank].store(static_cast<int>(ThreadId),
+                         std::memory_order_relaxed);
+    }
   }
 
   /// Timeout-bounded acquisition with holder/waiter tracking and optional
@@ -287,8 +295,9 @@ private:
   LockMode Mode;
   std::vector<std::mutex> Mutexes;
   std::vector<SpinLock> Spins;
-  /// Rank -> holding thread (NoThread when free). Tracked only through
-  /// acquireOrTimeout/release; the legacy acquire path leaves NoThread.
+  /// Rank -> holding thread (NoThread when free). Maintained by both
+  /// acquisition paths (acquire and acquireOrTimeout) and cleared by
+  /// release().
   std::vector<std::atomic<int>> Holder;
   /// Thread -> rank it is currently blocked on (NoRank when not waiting).
   std::atomic<int> Waiting[MaxTrackedThreads];

@@ -1,0 +1,114 @@
+//===- Sched.h - Loop scheduling policies -----------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iteration-scheduling policies for the parallel loop executors. The
+/// paper's executors assign iterations round-robin (static); skewed
+/// per-iteration costs then leave all but the unlucky thread idle. The
+/// dynamic policies let workers claim chunks from a shared counter at run
+/// time instead:
+///
+///  * Static  — iteration i runs on thread i % T. Zero scheduling
+///    overhead, no balancing.
+///  * Dynamic — chunks of 1 iteration claimed from a shared counter.
+///    Best balancing, one claim per iteration.
+///  * Guided  — decaying chunk sizes: the first T chunks hold 8
+///    iterations, the next T hold 4, then 2, then 1 from there on.
+///    Balancing close to Dynamic at a fraction of the claims.
+///
+/// Chunk boundaries must be a pure function of the claimed position: every
+/// claimer advances the counter with a compare-exchange from position P to
+/// P + schedChunkSize(P), so the tiling of the iteration space is identical
+/// no matter which worker claims which chunk or in what order. That keeps
+/// the simulator deterministic (claims are granted in virtual-time order)
+/// and makes traces comparable across runs.
+///
+/// The pipeline executor cannot claim dynamically — every PS-DSWP stage
+/// thread must compute the same iteration->replica mapping locally, or
+/// cross-stage queue traffic would be misrouted. schedReplicaOf is the
+/// deterministic analogue: a pure function applying the same chunking shape
+/// (static round-robin, dynamic block-cyclic, guided decaying rounds) to
+/// replica assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_SCHED_H
+#define COMMSET_RUNTIME_SCHED_H
+
+#include <cstdint>
+
+namespace commset {
+
+/// Iteration-scheduling policy for DOALL loops and PS-DSWP parallel stages.
+enum class SchedPolicy { Static, Dynamic, Guided };
+
+const char *schedPolicyName(SchedPolicy P);
+
+/// Parses "static" / "dynamic" / "guided"; \returns false on anything else.
+bool schedPolicyFromString(const char *Name, SchedPolicy &Out);
+
+/// Initial guided chunk size (halves every round of \p Threads chunks).
+constexpr uint64_t GuidedInitialChunk = 8;
+
+/// Chunk size for the chunk beginning at iteration \p Begin under policy
+/// \p P with \p Threads workers. Pure function of Begin: all claimers
+/// advance the shared counter Begin -> Begin + schedChunkSize(P, Begin,
+/// Threads), so chunk boundaries form one deterministic tiling of the
+/// iteration space regardless of claim order.
+inline uint64_t schedChunkSize(SchedPolicy P, uint64_t Begin,
+                               unsigned Threads) {
+  switch (P) {
+  case SchedPolicy::Static:
+  case SchedPolicy::Dynamic:
+    return 1;
+  case SchedPolicy::Guided: {
+    uint64_t Off = 0;
+    for (uint64_t C = GuidedInitialChunk; C > 1; C >>= 1) {
+      uint64_t RoundLen = static_cast<uint64_t>(Threads) * C;
+      if (Begin < Off + RoundLen)
+        return C - (Begin - Off) % C; // Realign a mid-chunk Begin.
+      Off += RoundLen;
+    }
+    return 1;
+  }
+  }
+  return 1;
+}
+
+/// Deterministic replica assignment for a PS-DSWP parallel stage with
+/// \p Replicas replicas: which replica runs iteration \p Iter. A pure
+/// function every stage thread computes identically (queue routing depends
+/// on it), mirroring the claiming shape of each policy:
+///
+///  * Static  — round-robin, Iter % R.
+///  * Dynamic — block-cyclic pairs, (Iter / 2) % R: consecutive iterations
+///    share a replica the way a claimed chunk does.
+///  * Guided  — decaying rounds: R blocks of 8 iterations, then R of 4,
+///    2, and 1 from there on, matching schedChunkSize's tiling.
+inline unsigned schedReplicaOf(SchedPolicy P, uint64_t Iter,
+                               unsigned Replicas) {
+  switch (P) {
+  case SchedPolicy::Static:
+    return static_cast<unsigned>(Iter % Replicas);
+  case SchedPolicy::Dynamic:
+    return static_cast<unsigned>((Iter / 2) % Replicas);
+  case SchedPolicy::Guided: {
+    uint64_t Off = 0;
+    for (uint64_t C = GuidedInitialChunk; C > 1; C >>= 1) {
+      uint64_t RoundLen = static_cast<uint64_t>(Replicas) * C;
+      if (Iter < Off + RoundLen)
+        return static_cast<unsigned>((Iter - Off) / C);
+      Off += RoundLen;
+    }
+    return static_cast<unsigned>((Iter - Off) % Replicas);
+  }
+  }
+  return 0;
+}
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_SCHED_H

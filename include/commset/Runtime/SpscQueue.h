@@ -60,8 +60,12 @@ public:
       return false;
     Buffer[Tail & Mask] = Value;
     TailPos.store(Tail + 1, std::memory_order_release);
-    trace::emit(trace::EventKind::QueuePush, TraceProducer, TraceQueueId,
-                Tail + 1 - Head);
+    // Occupancy is computed from a head index re-read after the publish:
+    // the pre-check Head may be arbitrarily stale by now and would
+    // over-report the depth whenever the consumer drained concurrently.
+    if (trace::enabled())
+      trace::emit(trace::EventKind::QueuePush, TraceProducer, TraceQueueId,
+                  Tail + 1 - HeadPos.load(std::memory_order_acquire));
     return true;
   }
 
@@ -73,8 +77,11 @@ public:
       return false;
     Value = Buffer[Head & Mask];
     HeadPos.store(Head + 1, std::memory_order_release);
-    trace::emit(trace::EventKind::QueuePop, TraceConsumer, TraceQueueId,
-                Tail - Head - 1);
+    // Same staleness hazard as tryPush: re-read the tail after consuming
+    // so concurrent producer progress cannot under-report the depth.
+    if (trace::enabled())
+      trace::emit(trace::EventKind::QueuePop, TraceConsumer, TraceQueueId,
+                  TailPos.load(std::memory_order_acquire) - (Head + 1));
     return true;
   }
 
@@ -135,12 +142,21 @@ public:
     return true;
   }
 
+  /// CommTrace tid recorded for a poison() with no known endpoint (a
+  /// supervisor or platform cancelling from outside the worker set). The
+  /// session files events from out-of-range tids into its spare ring, so a
+  /// divergence trace shows "external" instead of blaming the consumer.
+  static constexpr uint32_t PoisonExternalTid = ~uint32_t(0);
+
   /// Marks the queue cancelled: both endpoints unwind instead of blocking.
-  /// Safe to call from any thread; idempotent.
-  void poison() {
+  /// Safe to call from any thread; idempotent. \p ByTid is the logical
+  /// thread performing the cancellation; callers outside the region's
+  /// worker set use the PoisonExternalTid default rather than mislabeling
+  /// the event as consumer-initiated.
+  void poison(uint32_t ByTid = PoisonExternalTid) {
     bool Was = Poison.exchange(true, std::memory_order_acq_rel);
     if (!Was)
-      trace::emit(trace::EventKind::QueuePoison, TraceConsumer, TraceQueueId);
+      trace::emit(trace::EventKind::QueuePoison, ByTid, TraceQueueId);
   }
 
   bool poisoned() const { return Poison.load(std::memory_order_acquire); }

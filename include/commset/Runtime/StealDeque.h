@@ -1,0 +1,108 @@
+//===- StealDeque.h - Bounded work-stealing deque ---------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chase-Lev-style work-stealing deque, specialized for the DOALL executor
+/// on the threaded platform: the owner pushes/pops iteration ranges at the
+/// bottom, idle workers steal the oldest (largest) ranges from the top.
+/// A worker that claims a guided chunk splits it lazily — work the first
+/// half, publish the second half here — so a thread whose own iterations
+/// ran short can finish someone else's backlog instead of idling.
+///
+/// Deviations from the textbook algorithm, both deliberate:
+///
+///  * Fixed capacity, no growth. The deque holds at most one entry per
+///    lazy split of one chunk (<= log2 of the largest chunk), so 64 slots
+///    cannot fill; push still reports overflow and the owner simply runs
+///    the range itself.
+///  * Sequentially-consistent atomics instead of the classic
+///    fence-calibrated relaxed/acquire mix. ThreadSanitizer does not model
+///    standalone atomic_thread_fence, so the textbook version produces
+///    false positives under COMMSET_SANITIZE=thread; deque traffic is a
+///    few operations per *chunk*, far off the hot path, and seq_cst keeps
+///    the proof and the tooling simple.
+///
+/// Entries are opaque uint64_t values (the executor packs an iteration
+/// range as begin<<32|end). The zero-capable payload is fine: emptiness is
+/// tracked by indices, not sentinels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_STEALDEQUE_H
+#define COMMSET_RUNTIME_STEALDEQUE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace commset {
+
+class StealDeque {
+public:
+  static constexpr unsigned Capacity = 64;
+
+  /// Owner-only: publishes \p V at the bottom. \returns false when full
+  /// (caller keeps the work private).
+  bool push(uint64_t V) {
+    uint64_t B = Bottom.load();
+    uint64_t T = Top.load();
+    if (B - T >= Capacity)
+      return false;
+    Buf[B % Capacity].store(V);
+    Bottom.store(B + 1);
+    return true;
+  }
+
+  /// Owner-only: takes the most recently pushed entry. Races the last
+  /// entry against thieves with a CAS on Top.
+  bool pop(uint64_t &V) {
+    uint64_t B = Bottom.load();
+    uint64_t T = Top.load();
+    if (T >= B)
+      return false;
+    B -= 1;
+    Bottom.store(B);
+    T = Top.load();
+    if (T > B) { // A thief took the last entry while we were descending.
+      Bottom.store(B + 1);
+      return false;
+    }
+    V = Buf[B % Capacity].load();
+    if (T == B) { // Last entry: settle ownership against concurrent steals.
+      bool Won = Top.compare_exchange_strong(T, T + 1);
+      Bottom.store(B + 1);
+      return Won;
+    }
+    return true;
+  }
+
+  /// Thief-side: takes the oldest entry. \returns false when empty or
+  /// when it lost the race for the entry.
+  bool steal(uint64_t &V) {
+    uint64_t T = Top.load();
+    uint64_t B = Bottom.load();
+    if (T >= B)
+      return false;
+    V = Buf[T % Capacity].load();
+    return Top.compare_exchange_strong(T, T + 1);
+  }
+
+  /// Racy emptiness probe for victim selection; a false negative just
+  /// costs the thief one wasted steal() attempt.
+  bool emptyApprox() const {
+    return Top.load(std::memory_order_relaxed) >=
+           Bottom.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Top{0};
+  std::atomic<uint64_t> Bottom{0};
+  std::array<std::atomic<uint64_t>, Capacity> Buf{};
+};
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_STEALDEQUE_H

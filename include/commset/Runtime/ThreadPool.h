@@ -1,23 +1,34 @@
-//===- ThreadPool.h - Fork-join worker pool with supervision -----*- C++ -*-===//
+//===- ThreadPool.h - Persistent worker pool with supervision ---*- C++ -*-===//
 //
 // Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Fork-join helpers for the parallel executors, which spawn one worker
-/// per DOALL thread / pipeline stage (the paper's static thread
-/// assignment). Two flavors:
+/// Worker-pool fork-join for the parallel executors. Workers are spawned
+/// once, park on a condition variable between parallel regions, and are
+/// reused by every subsequent region, so short regions no longer pay
+/// thread-creation cost (ROADMAP: "as fast as the hardware allows"). Two
+/// entry points, both routed through the process-wide WorkerPool:
 ///
-///  - runParallel: the original bare fork-join, used when supervision is
-///    disabled. No watchdog, no cancellation — byte-for-byte the
-///    pre-resilience hot path.
+///  - runParallel: bare fork-join, used when supervision is disabled.
+///    No watchdog, no cancellation — the pre-resilience hot path minus
+///    the per-region spawns.
 ///
 ///  - runParallelSupervised: resilient fork-join. Workers report progress
-///    through RegionControl heartbeats; a supervisor thread watches for
-///    global stalls, cancels the region when a worker faults or wedges,
-///    and joins with a grace deadline so a truly stuck worker is reported
-///    (detached) instead of hanging the engine forever.
+///    through RegionControl heartbeats; the supervisor (the calling
+///    thread) watches for global stalls, cancels the region when a worker
+///    faults or wedges, and abandons workers that ignore the join-grace
+///    deadline. An abandoned worker permanently retires its pool slot:
+///    the detached thread exits as soon as its job returns (if ever) and
+///    the slot respawns a fresh thread on next use, so a wedged thread can
+///    never be handed new work.
+///
+/// CommTrace: TaskDispatch/TaskComplete bracket a worker's *pool lifetime*
+/// (one pair per spawned thread), not each region — a trace covering two
+/// consecutive regions shows one dispatch per worker, which is exactly how
+/// pool reuse is verified. Per-region work attribution comes from the
+/// scheduler's ChunkClaim/Steal events instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +41,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,27 +57,6 @@ std::string workerName(unsigned Worker);
 /// Names the calling OS thread workerName(Worker) where the platform
 /// supports it (pthread_setname_np); no-op elsewhere.
 void setCurrentWorkerThreadName(unsigned Worker);
-
-/// Runs Tasks[i] on its own thread; returns after all complete.
-inline void runParallel(const std::vector<std::function<void()>> &Tasks) {
-  if (Tasks.empty())
-    return;
-  std::vector<std::thread> Threads;
-  Threads.reserve(Tasks.size() - 1);
-  for (size_t I = 1; I < Tasks.size(); ++I)
-    Threads.emplace_back([&Tasks, I] {
-      setCurrentWorkerThreadName(static_cast<unsigned>(I));
-      trace::emit(trace::EventKind::TaskDispatch, static_cast<uint32_t>(I));
-      Tasks[I]();
-      trace::emit(trace::EventKind::TaskComplete, static_cast<uint32_t>(I));
-    });
-  // Task 0 runs inline on the caller, which keeps its own thread name.
-  trace::emit(trace::EventKind::TaskDispatch, 0);
-  Tasks[0]();
-  trace::emit(trace::EventKind::TaskComplete, 0);
-  for (std::thread &T : Threads)
-    T.join();
-}
 
 /// Shared cancellation flag + per-worker heartbeat counters for one
 /// supervised parallel region. Heartbeat slots are cache-line padded and
@@ -112,13 +104,73 @@ struct SupervisedReport {
   bool AllJoined = true;             ///< False when a worker was abandoned.
 };
 
-/// Resilient fork-join. Runs every task on its own thread while a
-/// supervisor watches RegionControl for progress. On a worker fault or a
-/// stall of WatchdogStallMs with no heartbeat/completion anywhere, the
-/// region is cancelled (Control.cancel() plus the caller's CancelAll hook,
-/// which e.g. poisons platform queues). Workers then get JoinGraceMs of
-/// post-cancel quiet time to unwind; any that do not are detached and
-/// reported via AllJoined=false rather than hung on.
+/// Persistent pool of parked worker threads. Slot index == logical worker
+/// id (tid in traces, sim/platform thread id, heartbeat slot), so worker N
+/// of every region lands on the same OS thread "commset-wN".
+///
+/// One region runs at a time per pool (the pool mutex is held for the
+/// region's duration; concurrent regions serialize). A region entered
+/// *from* a pool worker — which would self-deadlock — falls back to
+/// spawn-per-region threads transparently.
+class WorkerPool {
+public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Bare fork-join: runs Tasks[i] on pool worker i; returns after all
+  /// complete. No supervision, no cancellation.
+  void run(const std::vector<std::function<void()>> &Tasks);
+
+  /// Resilient fork-join. Runs every task on its pool worker while the
+  /// calling thread supervises RegionControl for progress. On a worker
+  /// fault or a stall of WatchdogStallMs with no heartbeat/completion
+  /// anywhere, the region is cancelled (Control.cancel() plus the caller's
+  /// CancelAll hook, which e.g. poisons platform queues). Workers then get
+  /// JoinGraceMs of post-cancel quiet time to unwind; any that do not are
+  /// abandoned (slot retired, AllJoined=false) rather than hung on.
+  /// JoinGraceMs == 0 means "wait forever for the join", matching
+  /// WatchdogStallMs == 0 ("never trip").
+  SupervisedReport
+  runSupervised(const std::vector<std::function<void()>> &Tasks,
+                RegionControl &Control, uint64_t WatchdogStallMs,
+                uint64_t JoinGraceMs, const std::function<void()> &CancelAll);
+
+  /// Total OS threads ever spawned by this pool (respawns after an
+  /// abandonment included). Two consecutive N-worker regions cost N, not
+  /// 2N — the reuse property the sched tests pin.
+  uint64_t spawnCount() const {
+    return Spawns.load(std::memory_order_relaxed);
+  }
+
+  /// Wakes, joins and destroys every parked worker. Abandoned (detached)
+  /// threads are not waited for. Called by the destructor.
+  void shutdown();
+
+  /// The process-wide pool used by runParallel/runParallelSupervised.
+  static WorkerPool &global();
+
+private:
+  struct WorkerShared;
+  struct Slot {
+    std::shared_ptr<WorkerShared> Sh; ///< Null until first use / after retire.
+    std::thread Th;
+  };
+
+  /// Ensures slot \p I has a live worker and hands it \p Job. PoolM held.
+  void dispatch(unsigned I, std::function<void()> Job);
+
+  std::mutex PoolM;        ///< Serializes regions and slot mutation.
+  std::vector<Slot> Slots; ///< Guarded by PoolM.
+  std::atomic<uint64_t> Spawns{0};
+};
+
+/// Runs Tasks[i] on worker i of the global pool; returns after all
+/// complete.
+void runParallel(const std::vector<std::function<void()>> &Tasks);
+
+/// Supervised fork-join on the global pool; see WorkerPool::runSupervised.
 SupervisedReport
 runParallelSupervised(const std::vector<std::function<void()>> &Tasks,
                       RegionControl &Control, uint64_t WatchdogStallMs,

@@ -64,6 +64,9 @@ struct SimParams {
   /// coupled to the pipeline's real rate — but the window must comfortably
   /// exceed the items one iteration produces, or stages lock-step.
   unsigned QueueCapacity = 1024;
+  /// Cost of one dynamic-scheduling chunk claim (a fetch-add on a shared
+  /// cache line plus the surrounding branchwork).
+  uint64_t ChunkClaim = 40;
 };
 
 class SimPlatform : public ExecPlatform {
@@ -83,6 +86,8 @@ public:
   void resourceEnter(unsigned Thread, const std::string &Name) override;
   void resourceExit(unsigned Thread, const std::string &Name) override;
   void threadDone(unsigned Thread) override;
+  uint64_t claimIterations(unsigned Thread, SchedPolicy P, unsigned Threads,
+                           uint64_t &Count) override;
   void regionBegin(unsigned MasterThread) override;
   void regionEnd(unsigned MasterThread) override;
   uint64_t elapsedNs() const override;

@@ -123,6 +123,11 @@ struct WorkerStats {
   uint64_t BusyNs = 0; ///< Sum of dispatch->complete spans.
   uint64_t Faulted = 0;
   uint64_t Events = 0; ///< All events attributed to this tid.
+  // Dynamic-scheduler activity (DOALL under dynamic/guided policies).
+  uint64_t Claims = 0;       ///< ChunkClaim events.
+  uint64_t ClaimedIters = 0; ///< Iterations claimed from the counter.
+  uint64_t Steals = 0;       ///< Steal events (this tid was the thief).
+  uint64_t StolenIters = 0;  ///< Iterations taken from other deques.
 };
 
 /// Everything the profile report prints, in one drain.
@@ -159,6 +164,41 @@ struct TraceMetrics {
     for (const auto &KV : Locks)
       N += KV.second.Contentions;
     return N;
+  }
+
+  uint64_t totalClaims() const {
+    uint64_t N = 0;
+    for (const auto &KV : Workers)
+      N += KV.second.Claims;
+    return N;
+  }
+
+  uint64_t totalSteals() const {
+    uint64_t N = 0;
+    for (const auto &KV : Workers)
+      N += KV.second.Steals;
+    return N;
+  }
+
+  /// Load-balance figure for dynamically scheduled regions: max over mean
+  /// of per-worker claimed+stolen iterations across workers that claimed
+  /// at all. 1.0 is perfect balance; T means one worker claimed
+  /// everything. 0 when the trace holds no claims (static policy).
+  double claimImbalance() const {
+    uint64_t Max = 0, Sum = 0;
+    unsigned N = 0;
+    for (const auto &KV : Workers) {
+      if (!KV.second.Claims)
+        continue;
+      uint64_t Iters = KV.second.ClaimedIters + KV.second.StolenIters;
+      Sum += Iters;
+      if (Iters > Max)
+        Max = Iters;
+      ++N;
+    }
+    if (!N || !Sum)
+      return 0.0;
+    return static_cast<double>(Max) * N / static_cast<double>(Sum);
   }
 };
 

@@ -71,12 +71,16 @@ enum class EventKind : uint32_t {
   QueuePush,     ///< A = queue id (from<<16|to), B = occupancy after push.
   QueuePop,      ///< A = queue id, B = occupancy after pop.
   QueueBlock,    ///< A = queue id, B = ns spent blocked before success/fail.
-  QueuePoison,   ///< A = queue id. Attributed to the consumer endpoint.
+  QueuePoison,   ///< A = queue id. Tid = poisoning endpoint, or
+                 ///< SpscQueue::PoisonExternalTid for an outside canceller.
   FaultInject,   ///< A = FaultKind that fired at this site.
   Degrade,       ///< A = FaultKind that forced sequential re-execution.
+  ChunkClaim,    ///< A = first iteration claimed, B = iterations claimed
+                 ///< (0 = the shared counter was already exhausted).
+  Steal,         ///< A = victim worker tid, B = iterations stolen.
 };
 
-constexpr unsigned NumEventKinds = static_cast<unsigned>(EventKind::Degrade) + 1;
+constexpr unsigned NumEventKinds = static_cast<unsigned>(EventKind::Steal) + 1;
 
 const char *eventKindName(EventKind K);
 

@@ -9,13 +9,16 @@
 /// produce over the annotated PDG (paper §4.5), consumed by the threaded
 /// executor and the multicore simulator:
 ///
-///  * DOALL: every thread runs whole iterations round-robin; the canonical
-///    induction variable is privatized (start offset + scaled step).
+///  * DOALL: every thread runs whole iterations; the canonical induction
+///    variable is privatized. Iteration assignment follows the plan's
+///    SchedPolicy (Runtime/Sched.h): static round-robin, or dynamic/guided
+///    chunks claimed from a shared counter at run time.
 ///  * DSWP / PS-DSWP: PDG nodes are partitioned into pipeline stages;
 ///    control (terminators, the induction SCC, the header-condition
 ///    closure) is replicated into every stage; cross-stage values flow
-///    through SPSC queues; a PS-DSWP parallel stage is replicated with
-///    round-robin iteration assignment.
+///    through SPSC queues; a PS-DSWP parallel stage is replicated with a
+///    deterministic iteration->replica mapping shaped by the same policy
+///    (schedReplicaOf).
 ///
 /// The plan also carries the synchronization engine's decisions: the
 /// rank-ordered lock set per COMMSET member and the lock mode (paper §4.6).
@@ -28,6 +31,7 @@
 #include "commset/Analysis/PDG.h"
 #include "commset/Analysis/SCC.h"
 #include "commset/Runtime/Locks.h"
+#include "commset/Runtime/Sched.h"
 
 #include <map>
 #include <set>
@@ -93,6 +97,11 @@ struct ParallelPlan {
   /// store (from the PDG's reaching-definition edges). Receivers shadow the
   /// store into their local copy at the store's trace position.
   std::vector<uint64_t> StoreReceiverStages;
+
+  /// Iteration-scheduling policy for DOALL loops and PS-DSWP parallel
+  /// stages (Runtime/Sched.h). Guided by default: near-dynamic balancing
+  /// on skewed loops at a fraction of the claim traffic.
+  SchedPolicy Sched = SchedPolicy::Guided;
 
   // Synchronization.
   SyncMode Sync = SyncMode::Mutex;

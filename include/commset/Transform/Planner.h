@@ -33,6 +33,9 @@ namespace commset {
 struct PlanOptions {
   unsigned NumThreads = 8;
   SyncMode Sync = SyncMode::Mutex;
+  /// Iteration-scheduling policy for DOALL loops and PS-DSWP parallel
+  /// stages (see Runtime/Sched.h).
+  SchedPolicy Sched = SchedPolicy::Guided;
   /// Maximum pipeline depth (the paper's schedules use 2-3 stages).
   unsigned MaxStages = 3;
   /// Per-native-call cost hints (ns) used for stage balancing and speedup

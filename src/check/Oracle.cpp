@@ -77,7 +77,8 @@ std::string planStatsLine(const ParallelPlan &Plan, unsigned Threads,
       trace::aggregateMetrics(Events, trace::session());
   std::ostringstream Os;
   Os << "  " << strategyName(Plan.Kind) << " sync=" << syncModeName(Sync)
-     << " threads=" << Threads << ": events=" << Met.Events
+     << " sched=" << schedPolicyName(Plan.Sched) << " threads=" << Threads
+     << ": events=" << Met.Events
      << " stm-aborts=" << Met.StmAborts << "/" << Met.StmBegins
      << " stm-retries=" << Met.StmRetries
      << " lock-contentions=" << Met.totalLockContentions()
@@ -133,19 +134,30 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     Ref = runOnce(M, T->F, SeqPlan, P.TripCount, Platform);
   }
 
+  // Iteration-scheduling rotation: index I picks the I-th policy from the
+  // option list (guided when the list is empty, matching PlanOptions).
+  auto schedAt = [&Opts](size_t I) {
+    if (Opts.SchedPolicies.empty())
+      return SchedPolicy::Guided;
+    return Opts.SchedPolicies[I % Opts.SchedPolicies.size()];
+  };
+
   // Free-running differential sweep: every applicable scheme under every
-  // sync mode and thread count.
+  // sync mode and thread count; the sched policy rotates with the
+  // thread-count axis so every policy sees real concurrency.
   std::vector<SyncMode> Syncs = {SyncMode::Mutex, SyncMode::Spin};
   if (Opts.IncludeTm)
     Syncs.push_back(SyncMode::Tm);
   if (P.LibSafe)
     Syncs.push_back(SyncMode::None);
 
-  for (unsigned Threads : Opts.Threads) {
+  for (size_t TIdx = 0; TIdx < Opts.Threads.size(); ++TIdx) {
+    unsigned Threads = Opts.Threads[TIdx];
     for (SyncMode Sync : Syncs) {
       PlanOptions PO;
       PO.NumThreads = Threads;
       PO.Sync = Sync;
+      PO.Sched = schedAt(TIdx);
       PO.NativeCostHints = checkCostHints();
       auto Schemes = buildAllSchemes(*C, *T, PO);
       for (const SchemeReport &R : Schemes) {
@@ -206,10 +218,12 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     std::vector<SyncMode> FaultSyncs = {SyncMode::Mutex, SyncMode::Spin};
     if (Opts.IncludeTm)
       FaultSyncs.push_back(SyncMode::Tm);
-    for (SyncMode Sync : FaultSyncs) {
+    for (size_t SIdx = 0; SIdx < FaultSyncs.size(); ++SIdx) {
+      SyncMode Sync = FaultSyncs[SIdx];
       PlanOptions PO;
       PO.NumThreads = 4;
       PO.Sync = Sync;
+      PO.Sched = schedAt(SIdx);
       PO.NativeCostHints = checkCostHints();
       auto Schemes = buildAllSchemes(*C, *T, PO);
       unsigned Swept = 0;
@@ -305,19 +319,23 @@ TrialResult check::runTrials(const GeneratedProgram &P,
   for (const SchemeReport &R : Schemes) {
     if (!R.Applicable || !R.Plan || R.Plan->Kind == Strategy::Sequential)
       continue;
-    if (Explored++ >= Opts.MaxPlansToExplore)
+    if (Explored >= Opts.MaxPlansToExplore)
       break;
+    // The sched policy only parameterizes execution (iteration->thread
+    // assignment), not plan structure, so rotating it on a copy is sound.
+    ParallelPlan Plan = *R.Plan;
+    Plan.Sched = schedAt(Explored);
+    ++Explored;
     for (const SchedulePolicy &Policy : Policies) {
-      SchedulePlatform Platform(std::max(1u, R.Plan->NumThreads), Policy,
-                                &M);
-      Snapshot Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+      SchedulePlatform Platform(std::max(1u, Plan.NumThreads), Policy, &M);
+      Snapshot Got = runOnce(M, T->F, Plan, P.TripCount, Platform);
       ++Res.SchedulesRun;
       const auto &Races = Platform.checker()->races();
       Res.RacesReported += static_cast<unsigned>(Races.size());
       if (!Races.empty()) {
         std::ostringstream Os;
         Os << "happens-before violation under sync-enabled plan\n  "
-           << planContext(*R.Plan, 2, SyncMode::Mutex)
+           << planContext(Plan, 2, SyncMode::Mutex)
            << "  schedule policy: " << Policy.describe() << "\n";
         for (const RaceReport &Race : Races)
           Os << "  " << Race.describe() << "\n";
@@ -325,7 +343,7 @@ TrialResult check::runTrials(const GeneratedProgram &P,
       }
       if (auto Diff = compareSnapshots(Ref, Got, P.Output))
         fail(Res, "divergence under controlled schedule\n  " +
-                      planContext(*R.Plan, 2, SyncMode::Mutex) +
+                      planContext(Plan, 2, SyncMode::Mutex) +
                       "  schedule policy: " + Policy.describe() + "\n" +
                       *Diff);
       if (!Res.Ok)

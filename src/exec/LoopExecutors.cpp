@@ -6,11 +6,14 @@
 
 #include "commset/Exec/LoopExecutors.h"
 
+#include "commset/Runtime/Sched.h"
+#include "commset/Runtime/StealDeque.h"
 #include "commset/Runtime/ThreadPool.h"
 #include "commset/Trace/Trace.h"
 
 #include <atomic>
 #include <cassert>
+#include <memory>
 
 using namespace commset;
 
@@ -152,6 +155,13 @@ const BasicBlock *headerExitBlock(const Loop &L) {
 // DOALL
 //===----------------------------------------------------------------------===//
 
+/// Iteration ranges [Begin, End) packed for the steal deque.
+inline uint64_t packRange(uint64_t Begin, uint64_t End) {
+  return (Begin << 32) | End;
+}
+inline uint64_t rangeBegin(uint64_t R) { return R >> 32; }
+inline uint64_t rangeEnd(uint64_t R) { return R & 0xffffffffu; }
+
 class DoallWorker {
 public:
   DoallWorker(ParallelRegion &Region, const Frame &EntryFrame,
@@ -161,6 +171,9 @@ public:
                &Region.Platform, ThreadId),
         Fr(EntryFrame), ThreadId(ThreadId) {}
 
+  /// Static round-robin assignment: thread t runs iterations t, t+T,
+  /// t+2T, ... with a privatized induction variable. No scheduling
+  /// traffic at all; the historical (paper) executor.
   uint64_t run() {
     int64_t Start = Fr.Locals[Plan.InductionLocal].I;
     Fr.Locals[Plan.InductionLocal].I =
@@ -214,7 +227,142 @@ public:
     }
   }
 
+  /// Dynamic self-scheduling (Dynamic/Guided policies): chunks of
+  /// iterations are claimed from the platform's shared counter; nothing is
+  /// pre-assigned, so a thread stuck on one expensive iteration simply
+  /// stops claiming while the others drain the rest of the space. When
+  /// \p Deques is non-null (threaded platform), claimed chunks are lazily
+  /// split — work the lower half, publish the upper half — and workers
+  /// that run out of iterations steal published halves before retiring.
+  ///
+  /// Relies on the same monotone-exit property as the static executor: a
+  /// header that evaluates false at iteration k evaluates false at every
+  /// iteration >= k, so claims past the (statically unknown) trip count
+  /// terminate after a single header evaluation.
+  uint64_t runDynamic(std::vector<StealDeque> *Deques) {
+    int64_t Start = Fr.Locals[Plan.InductionLocal].I;
+    StealDeque *Mine = Deques ? &(*Deques)[ThreadId] : nullptr;
+    uint64_t Iterations = 0;
+
+    bool SawExit = false;
+    while (!SawExit) {
+      uint64_t Count = 0;
+      uint64_t Begin = Region.Platform.claimIterations(
+          ThreadId, Plan.Sched, Plan.NumThreads, Count);
+      trace::emit(trace::EventKind::ChunkClaim, ThreadId, Begin, Count);
+      uint64_t End = Begin + Count;
+      while (true) {
+        // Lazy splitting: keep the lower half private, publish the rest
+        // for thieves. A full deque (cannot happen at 64 slots, but the
+        // API is honest) just means we run the range ourselves.
+        while (Mine && End - Begin > 1 &&
+               Mine->push(packRange(Begin + (End - Begin) / 2, End)))
+          End = Begin + (End - Begin) / 2;
+        if (!runRange(Start, Begin, End, Iterations)) {
+          SawExit = true;
+          // Everything still in our deque begins past the exit index
+          // (splits are published in increasing order); discard it so
+          // thieves stop finding dead ranges.
+          uint64_t Dead;
+          while (Mine && Mine->pop(Dead)) {
+          }
+          break;
+        }
+        // Reclaim our most recent split if no thief got to it.
+        uint64_t Next;
+        if (!Mine || !Mine->pop(Next))
+          break;
+        Begin = rangeBegin(Next);
+        End = rangeEnd(Next);
+      }
+    }
+
+    if (Deques) {
+      // Steal phase: help finish ranges other workers split off. One
+      // clean sweep finding every deque empty ends it — a victim still
+      // claiming fresh chunks is making progress on them itself.
+      bool Found = true;
+      while (Found) {
+        Found = false;
+        for (unsigned V = 0; V < Plan.NumThreads; ++V) {
+          if (V == ThreadId)
+            continue;
+          uint64_t R;
+          while ((*Deques)[V].steal(R)) {
+            Found = true;
+            trace::emit(trace::EventKind::Steal, ThreadId, V,
+                        rangeEnd(R) - rangeBegin(R));
+            // A stolen range past the exit dies on its first header
+            // evaluation; ignore the exit signal and keep sweeping.
+            runRange(Start, rangeBegin(R), rangeEnd(R), Iterations);
+          }
+        }
+      }
+    }
+
+    Region.Platform.threadDone(ThreadId);
+    return Iterations;
+  }
+
 private:
+  /// Executes iterations [Begin, End) (global indices), repositioning the
+  /// privatized induction variable to Begin. \returns true when the range
+  /// completed, false when the header observed the loop exit (every
+  /// iteration >= the exit index is dead).
+  bool runRange(int64_t Start, uint64_t Begin, uint64_t End,
+                uint64_t &Iterations) {
+    if (Begin >= End)
+      return true;
+    Fr.Locals[Plan.InductionLocal].I =
+        Start + static_cast<int64_t>(Begin) * Plan.InductionStep;
+    uint64_t Done = Begin; // Iteration the header is about to test.
+    const BasicBlock *BB = L.Header;
+    size_t Idx = 0;
+    Region.checkpoint(ThreadId);
+    while (true) {
+      const Instruction *Instr = BB->Instrs[Idx].get();
+      switch (Instr->op()) {
+      case Opcode::Br:
+        Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
+        BB = Instr->Succ0;
+        Idx = 0;
+        if (BB == L.Header) {
+          ++Iterations;
+          if (++Done == End)
+            return true;
+          Region.checkpoint(ThreadId);
+        }
+        continue;
+      case Opcode::CondBr: {
+        Region.Platform.charge(ThreadId, Interpreter::opCost(Instr));
+        bool Taken = Interp.evalOperand(Fr, Instr->Operands[0]).I != 0;
+        const BasicBlock *Next = Taken ? Instr->Succ0 : Instr->Succ1;
+        if (!L.BlockIds.count(Next->Id))
+          return false;
+        if (Next == L.Header) {
+          ++Iterations;
+          if (++Done == End)
+            return true;
+          Region.checkpoint(ThreadId);
+        }
+        BB = Next;
+        Idx = 0;
+        continue;
+      }
+      case Opcode::Ret:
+        assert(false && "DOALL loop cannot contain a return");
+        return true;
+      default:
+        // Within a chunk consecutive iterations are adjacent, so the
+        // loop's own induction update already lands on the next assigned
+        // iteration — no privatization jump (contrast run()).
+        Interp.execInstr(Fr, Instr);
+        ++Idx;
+        continue;
+      }
+    }
+  }
+
   ParallelRegion &Region;
   const ParallelPlan &Plan;
   const Loop &L;
@@ -229,12 +377,23 @@ const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
   unsigned T = Plan.NumThreads;
   int64_t Start = MainFrame.Locals[Plan.InductionLocal].I;
 
+  // Dynamic policies claim from the platform's shared counter; stealing
+  // on top of that only where victim selection cannot perturb determinism
+  // (the threaded platform). Static keeps the zero-traffic legacy path.
+  bool Dynamic = Plan.Sched != SchedPolicy::Static;
+  Region.Platform.resetClaims();
+  std::unique_ptr<std::vector<StealDeque>> Deques;
+  if (Dynamic && Region.Platform.supportsWorkStealing())
+    Deques = std::make_unique<std::vector<StealDeque>>(T);
+
   std::vector<uint64_t> Iterations(T, 0);
   std::vector<std::function<void()>> Tasks;
   for (unsigned Tid = 0; Tid < T; ++Tid)
-    Tasks.push_back([&Region, &MainFrame, &Iterations, Tid] {
+    Tasks.push_back([&Region, &MainFrame, &Iterations, Tid, Dynamic,
+                     DequePtr = Deques.get()] {
       DoallWorker Worker(Region, MainFrame, Tid);
-      Iterations[Tid] = Worker.run();
+      Iterations[Tid] =
+          Dynamic ? Worker.runDynamic(DequePtr) : Worker.run();
     });
   RegionTraceScope TraceScope(Plan.Kind, Tasks.size());
   Region.Platform.regionBegin(0);
@@ -263,6 +422,12 @@ struct PipelineTables {
 
   unsigned NumStages = 0;
   unsigned NumThreads = 0;
+  /// Iteration->replica policy for parallel stages. Routing (who sends to
+  /// whom at which iteration) hangs off this, so it must be a pure
+  /// function every stage thread evaluates identically — true dynamic
+  /// claiming is impossible here; schedReplicaOf mirrors each policy's
+  /// chunking shape deterministically instead (see Runtime/Sched.h).
+  SchedPolicy Sched = SchedPolicy::Static;
   std::vector<unsigned> StageFirstThread; // Stage -> first thread id.
   std::vector<unsigned> StageReplicas;
   std::vector<unsigned> ThreadStage; // Thread -> stage.
@@ -296,7 +461,7 @@ struct PipelineTables {
     if (StageReplicas[Stage] <= 1)
       return StageFirstThread[Stage];
     return StageFirstThread[Stage] +
-           static_cast<unsigned>(Iter % StageReplicas[Stage]);
+           schedReplicaOf(Sched, Iter, StageReplicas[Stage]);
   }
 
   bool stageParallel(unsigned Stage) const {
@@ -310,6 +475,7 @@ PipelineTables buildTables(const ParallelPlan &Plan) {
   const Loop &L = *Plan.L;
 
   T.NumStages = static_cast<unsigned>(Plan.Stages.size());
+  T.Sched = Plan.Sched;
   unsigned NextThread = 0;
   int FirstSeqStage = -1;
   for (unsigned S = 0; S < T.NumStages; ++S) {
@@ -523,8 +689,11 @@ public:
 
 private:
   bool isParallelStage() const { return MyReplicas > 1; }
+  /// Must agree with PipelineTables::threadOf — both sides of every queue
+  /// derive routing from the same schedReplicaOf mapping.
   bool assigned(uint64_t Iter) const {
-    return !isParallelStage() || Iter % MyReplicas == MyReplica;
+    return !isParallelStage() ||
+           schedReplicaOf(T.Sched, Iter, MyReplicas) == MyReplica;
   }
 
   void finishAtExit() { Region.Platform.threadDone(ThreadId); }

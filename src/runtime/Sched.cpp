@@ -1,0 +1,35 @@
+//===- Sched.cpp ----------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/Sched.h"
+
+#include <cstring>
+
+using namespace commset;
+
+const char *commset::schedPolicyName(SchedPolicy P) {
+  switch (P) {
+  case SchedPolicy::Static:
+    return "static";
+  case SchedPolicy::Dynamic:
+    return "dynamic";
+  case SchedPolicy::Guided:
+    return "guided";
+  }
+  return "?";
+}
+
+bool commset::schedPolicyFromString(const char *Name, SchedPolicy &Out) {
+  if (std::strcmp(Name, "static") == 0)
+    Out = SchedPolicy::Static;
+  else if (std::strcmp(Name, "dynamic") == 0)
+    Out = SchedPolicy::Dynamic;
+  else if (std::strcmp(Name, "guided") == 0)
+    Out = SchedPolicy::Guided;
+  else
+    return false;
+  return true;
+}

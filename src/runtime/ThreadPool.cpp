@@ -1,4 +1,4 @@
-//===- ThreadPool.cpp - Supervised fork-join ------------------------------===//
+//===- ThreadPool.cpp - Persistent worker pool with supervision -----------===//
 //
 // Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
 //
@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -34,9 +35,15 @@ void commset::setCurrentWorkerThreadName(unsigned Worker) {
 
 namespace {
 
+/// Set while the current thread is executing a pool job. A parallel region
+/// entered from inside one would self-deadlock on the pool mutex, so such
+/// (unexpected, but cheap to tolerate) nestings fall back to
+/// spawn-per-region threads.
+thread_local bool InPoolWorker = false;
+
 /// Join bookkeeping shared between workers and the supervisor. Held by
-/// shared_ptr so a detached (abandoned) worker's completion bookkeeping
-/// stays valid even after runParallelSupervised returns.
+/// shared_ptr so an abandoned worker's completion bookkeeping stays valid
+/// even after the supervised call returns.
 struct JoinState {
   std::mutex M;
   std::condition_variable Cv;
@@ -64,9 +71,171 @@ struct JoinState {
   }
 };
 
+/// Wraps one region task into a pool job: catch worker faults, cancel the
+/// siblings, mark the task done. The task and CancelAll hook are captured
+/// by value so the job owns everything it calls even if the region's
+/// frames are long gone by the time an abandoned worker finishes (the
+/// *captured state inside* those functions is still the caller's problem,
+/// which is why an abandonment is reported unrecoverable).
+std::function<void()>
+makeSupervisedJob(std::function<void()> Task, RegionControl &Control,
+                  std::function<void()> CancelAll,
+                  std::shared_ptr<JoinState> S, size_t I) {
+  return [Task = std::move(Task), &Control, CancelAll = std::move(CancelAll),
+          S = std::move(S), I] {
+    try {
+      Task();
+    } catch (const RegionFault &F) {
+      S->recordFault(F.Kind, F.Thread, F.Detail);
+      Control.cancel();
+      if (CancelAll)
+        CancelAll();
+    } catch (const std::exception &E) {
+      S->recordFault(FaultKind::Internal, static_cast<unsigned>(I), E.what());
+      Control.cancel();
+      if (CancelAll)
+        CancelAll();
+    }
+    {
+      std::lock_guard<std::mutex> G(S->M);
+      S->Done[I] = 1;
+      ++S->DoneCount;
+    }
+    S->Cv.notify_all();
+  };
+}
+
+/// Legacy spawn-per-region fork-join, kept only for the nested-region
+/// fallback (a region started from inside a pool worker).
+void runParallelUnpooled(const std::vector<std::function<void()>> &Tasks) {
+  std::vector<std::thread> Threads;
+  Threads.reserve(Tasks.size());
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    Threads.emplace_back([&Tasks, I] {
+      setCurrentWorkerThreadName(static_cast<unsigned>(I));
+      trace::emit(trace::EventKind::TaskDispatch, static_cast<uint32_t>(I));
+      Tasks[I]();
+      trace::emit(trace::EventKind::TaskComplete, static_cast<uint32_t>(I));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+}
+
 } // namespace
 
-SupervisedReport commset::runParallelSupervised(
+struct WorkerPool::WorkerShared {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::function<void()> Job; ///< Valid when HasJob.
+  bool HasJob = false;
+  bool Quit = false; ///< Exit after the current job (shutdown / retired).
+};
+
+WorkerPool &WorkerPool::global() {
+  static WorkerPool Pool;
+  return Pool;
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::shutdown() {
+  std::lock_guard<std::mutex> G(PoolM);
+  for (Slot &Sl : Slots) {
+    if (!Sl.Sh)
+      continue;
+    {
+      std::lock_guard<std::mutex> WG(Sl.Sh->M);
+      Sl.Sh->Quit = true;
+    }
+    Sl.Sh->Cv.notify_one();
+    if (Sl.Th.joinable())
+      Sl.Th.join();
+    Sl.Sh.reset();
+  }
+}
+
+void WorkerPool::dispatch(unsigned I, std::function<void()> Job) {
+  Slot &Sl = Slots[I];
+  if (!Sl.Sh) {
+    // First use of this slot (or the previous occupant was abandoned and
+    // retired): spawn a fresh parked worker. TaskDispatch brackets the
+    // whole pool lifetime of the thread; regions do not re-emit it.
+    auto Sh = std::make_shared<WorkerShared>();
+    Spawns.fetch_add(1, std::memory_order_relaxed);
+    Sl.Sh = Sh;
+    Sl.Th = std::thread([Sh, I] {
+      setCurrentWorkerThreadName(I);
+      InPoolWorker = true;
+      trace::emit(trace::EventKind::TaskDispatch, I);
+      for (;;) {
+        std::function<void()> Job;
+        {
+          std::unique_lock<std::mutex> Lk(Sh->M);
+          Sh->Cv.wait(Lk, [&Sh] { return Sh->HasJob || Sh->Quit; });
+          if (!Sh->HasJob)
+            break; // Quit while parked.
+          Job = std::move(Sh->Job);
+          Sh->HasJob = false;
+        }
+        Job();
+        std::lock_guard<std::mutex> Lk(Sh->M);
+        if (Sh->Quit)
+          break; // Retired (abandoned) while running: never accept new work.
+      }
+      trace::emit(trace::EventKind::TaskComplete, I);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> G(Sl.Sh->M);
+    Sl.Sh->Job = std::move(Job);
+    Sl.Sh->HasJob = true;
+  }
+  Sl.Sh->Cv.notify_one();
+}
+
+void WorkerPool::run(const std::vector<std::function<void()>> &Tasks) {
+  if (Tasks.empty())
+    return;
+  if (InPoolWorker)
+    return runParallelUnpooled(Tasks);
+
+  struct Latch {
+    std::mutex M;
+    std::condition_variable Cv;
+    size_t Remaining;
+    std::exception_ptr Err;
+  };
+  auto L = std::make_shared<Latch>();
+  L->Remaining = Tasks.size();
+
+  {
+    std::lock_guard<std::mutex> G(PoolM);
+    if (Slots.size() < Tasks.size())
+      Slots.resize(Tasks.size());
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      dispatch(static_cast<unsigned>(I), [&Tasks, L, I] {
+        // The pre-pool runParallel ran task 0 inline, so its exceptions
+        // reached the caller; keep that contract for every task now that
+        // all of them run on workers (first exception wins).
+        try {
+          Tasks[I]();
+        } catch (...) {
+          std::lock_guard<std::mutex> LG(L->M);
+          if (!L->Err)
+            L->Err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> LG(L->M);
+        if (--L->Remaining == 0)
+          L->Cv.notify_all();
+      });
+    std::unique_lock<std::mutex> Lk(L->M);
+    L->Cv.wait(Lk, [&L] { return L->Remaining == 0; });
+  }
+  if (L->Err)
+    std::rethrow_exception(L->Err);
+}
+
+SupervisedReport WorkerPool::runSupervised(
     const std::vector<std::function<void()>> &Tasks, RegionControl &Control,
     uint64_t WatchdogStallMs, uint64_t JoinGraceMs,
     const std::function<void()> &CancelAll) {
@@ -78,40 +247,25 @@ SupervisedReport commset::runParallelSupervised(
   auto S = std::make_shared<JoinState>();
   S->Done.assign(N, 0);
 
-  std::vector<std::thread> Threads;
-  Threads.reserve(N);
-  for (size_t I = 0; I < N; ++I) {
-    // Tasks/Control/CancelAll are captured by reference: they outlive every
-    // joined worker, and an abandoned worker is reported as unrecoverable
-    // (AllJoined=false) precisely because it may still touch region state.
-    Threads.emplace_back([&Tasks, &Control, &CancelAll, S, I] {
-      setCurrentWorkerThreadName(static_cast<unsigned>(I));
-      trace::emit(trace::EventKind::TaskDispatch, static_cast<uint32_t>(I));
-      bool Clean = false;
-      try {
-        Tasks[I]();
-        Clean = true;
-      } catch (const RegionFault &F) {
-        S->recordFault(F.Kind, F.Thread, F.Detail);
-        Control.cancel();
-        if (CancelAll)
-          CancelAll();
-      } catch (const std::exception &E) {
-        S->recordFault(FaultKind::Internal, static_cast<unsigned>(I),
-                       E.what());
-        Control.cancel();
-        if (CancelAll)
-          CancelAll();
-      }
-      trace::emit(trace::EventKind::TaskComplete, static_cast<uint32_t>(I),
-                  Clean ? 0 : 1);
-      {
-        std::lock_guard<std::mutex> G(S->M);
-        S->Done[I] = 1;
-        ++S->DoneCount;
-      }
-      S->Cv.notify_all();
-    });
+  std::unique_lock<std::mutex> PoolLk(PoolM, std::defer_lock);
+  const bool Pooled = !InPoolWorker;
+  std::vector<std::thread> FallbackThreads;
+  if (Pooled) {
+    PoolLk.lock();
+    if (Slots.size() < N)
+      Slots.resize(N);
+    for (size_t I = 0; I < N; ++I)
+      dispatch(static_cast<unsigned>(I),
+               makeSupervisedJob(Tasks[I], Control, CancelAll, S, I));
+  } else {
+    // Nested-region fallback: dedicated threads, joined/detached below.
+    FallbackThreads.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      FallbackThreads.emplace_back(
+          [Job = makeSupervisedJob(Tasks[I], Control, CancelAll, S, I), I] {
+            setCurrentWorkerThreadName(static_cast<unsigned>(I));
+            Job();
+          });
   }
 
   // Supervisor loop on the calling thread. "Progress" is any heartbeat or
@@ -159,28 +313,58 @@ SupervisedReport commset::runParallelSupervised(
         // Fresh clock: the grace window measures post-cancel quiet time.
         LastProgress = std::chrono::steady_clock::now();
       }
-    } else if (static_cast<uint64_t>(StalledMs) >= JoinGraceMs) {
+    } else if (JoinGraceMs != 0 &&
+               static_cast<uint64_t>(StalledMs) >= JoinGraceMs) {
+      // JoinGraceMs == 0 means "wait forever for the join" (matching
+      // WatchdogStallMs == 0 = "never trip"), not "abandon instantly".
       Abandoned = true;
       break;
     }
   }
   Lk.unlock();
 
-  if (!Abandoned) {
-    for (std::thread &T : Threads)
-      T.join();
-  } else {
-    for (size_t I = 0; I < N; ++I) {
-      bool IsDone;
-      {
-        std::lock_guard<std::mutex> G(S->M);
-        IsDone = S->Done[I];
-      }
-      if (IsDone) {
-        Threads[I].join();
-      } else {
-        Threads[I].detach();
+  if (Pooled) {
+    if (Abandoned) {
+      for (size_t I = 0; I < N; ++I) {
+        bool IsDone;
+        {
+          std::lock_guard<std::mutex> G(S->M);
+          IsDone = S->Done[I];
+        }
+        if (IsDone)
+          continue; // Worker unwound in time; it is parked and reusable.
+        // Permanently retire the slot: the wedged thread exits whenever its
+        // job finally returns (Quit is checked after every job) and can
+        // never be handed new work; the slot respawns on next use.
+        Slot &Sl = Slots[I];
+        {
+          std::lock_guard<std::mutex> WG(Sl.Sh->M);
+          Sl.Sh->Quit = true;
+        }
+        Sl.Sh->Cv.notify_one();
+        Sl.Th.detach();
+        Sl.Sh.reset();
         Rep.AllJoined = false;
+      }
+    }
+    PoolLk.unlock();
+  } else {
+    if (!Abandoned) {
+      for (std::thread &T : FallbackThreads)
+        T.join();
+    } else {
+      for (size_t I = 0; I < N; ++I) {
+        bool IsDone;
+        {
+          std::lock_guard<std::mutex> G(S->M);
+          IsDone = S->Done[I];
+        }
+        if (IsDone) {
+          FallbackThreads[I].join();
+        } else {
+          FallbackThreads[I].detach();
+          Rep.AllJoined = false;
+        }
       }
     }
   }
@@ -217,4 +401,16 @@ SupervisedReport commset::runParallelSupervised(
   if (!Rep.AllJoined)
     Rep.Detail += " [worker(s) abandoned after join grace expired]";
   return Rep;
+}
+
+void commset::runParallel(const std::vector<std::function<void()>> &Tasks) {
+  WorkerPool::global().run(Tasks);
+}
+
+SupervisedReport commset::runParallelSupervised(
+    const std::vector<std::function<void()>> &Tasks, RegionControl &Control,
+    uint64_t WatchdogStallMs, uint64_t JoinGraceMs,
+    const std::function<void()> &CancelAll) {
+  return WorkerPool::global().runSupervised(Tasks, Control, WatchdogStallMs,
+                                            JoinGraceMs, CancelAll);
 }

@@ -211,6 +211,22 @@ void SimPlatform::resourceExit(unsigned Thread, const std::string &Name) {
   CV.notify_all();
 }
 
+uint64_t SimPlatform::claimIterations(unsigned Thread, SchedPolicy P,
+                                      unsigned Threads, uint64_t &Count) {
+  // Grant claims in virtual-time order (ties by id): which worker gets
+  // which chunk is then a pure function of the virtual clocks, not of the
+  // single-core host's real schedule.
+  std::unique_lock<std::mutex> Guard(M);
+  gate(Thread, Guard);
+  charge(Thread, Params.ChunkClaim);
+  uint64_t Begin = ExecPlatform::claimIterations(Thread, P, Threads, Count);
+  // The claim advanced this thread's clock: gated claimants behind it can
+  // now be minimal, and nothing else may wake them (compute-only workers
+  // never notify).
+  CV.notify_all();
+  return Begin;
+}
+
 void SimPlatform::threadDone(unsigned Thread) {
   std::lock_guard<std::mutex> Guard(M);
   State[Thread] = TState::Done;

@@ -233,6 +233,15 @@ std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
       appendEvent(Os, First, "i", "queue-poison", E.TsNs, E.Tid, Args.str());
       break;
 
+    case EventKind::ChunkClaim:
+      Args << "\"begin\":" << E.A << ",\"count\":" << E.B;
+      appendEvent(Os, First, "i", "chunk-claim", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::Steal:
+      Args << "\"victim\":" << E.A << ",\"iters\":" << E.B;
+      appendEvent(Os, First, "i", "steal", E.TsNs, E.Tid, Args.str());
+      break;
+
     case EventKind::FaultInject:
       Args << "\"fault\":\""
            << faultKindName(static_cast<FaultKind>(E.A)) << "\"";
@@ -613,6 +622,19 @@ void writeProfileReport(const TraceMetrics &M, std::ostream &Os) {
              M.TaskNs.mean()))
          << ", p95 <= " << fmtNs(M.TaskNs.percentileUpperBound(95))
          << ", max " << fmtNs(M.TaskNs.max()) << "\n";
+    if (M.totalClaims()) {
+      Os << "  scheduling: " << M.totalClaims() << " chunk claim(s), "
+         << M.totalSteals() << " steal(s); per-worker iterations";
+      for (const auto &KV : M.Workers) {
+        if (!KV.second.Claims && !KV.second.Steals)
+          continue;
+        Os << " w" << KV.first << "="
+           << (KV.second.ClaimedIters + KV.second.StolenIters);
+      }
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.2f", M.claimImbalance());
+      Os << "; load imbalance " << Buf << " (1.00 = perfect)\n";
+    }
   }
 
   Os << "locks:";

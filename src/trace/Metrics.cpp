@@ -6,6 +6,7 @@
 
 #include "commset/Trace/Metrics.h"
 
+#include <algorithm>
 #include <map>
 
 namespace commset {
@@ -118,6 +119,24 @@ TraceMetrics aggregateMetrics(const std::vector<TraceEvent> &Events,
     case EventKind::QueuePoison:
       M.Queues[E.A].Poisons++;
       break;
+
+    case EventKind::ChunkClaim: {
+      WorkerStats &W = M.Workers[E.Tid];
+      W.Claims++;
+      W.ClaimedIters += E.B;
+      break;
+    }
+    case EventKind::Steal: {
+      WorkerStats &W = M.Workers[E.Tid];
+      W.Steals++;
+      W.StolenIters += E.B;
+      // The stolen iterations were counted as claimed by the victim;
+      // subtract (saturating: the events may be interleaved oddly in a
+      // truncated trace) so per-worker totals reflect executed work.
+      WorkerStats &V = M.Workers[static_cast<unsigned>(E.A)];
+      V.ClaimedIters -= std::min(V.ClaimedIters, E.B);
+      break;
+    }
 
     case EventKind::FaultInject:
       M.FaultsInjected[static_cast<unsigned>(E.A)]++;

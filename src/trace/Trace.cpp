@@ -62,6 +62,10 @@ const char *eventKindName(EventKind K) {
     return "fault-inject";
   case EventKind::Degrade:
     return "degrade";
+  case EventKind::ChunkClaim:
+    return "chunk-claim";
+  case EventKind::Steal:
+    return "steal";
   }
   return "unknown";
 }

@@ -57,6 +57,7 @@ std::string ParallelPlan::describe() const {
   if (Kind != Strategy::Sequential) {
     Out += " + ";
     Out += syncModeName(Sync);
+    Out += formatString(", sched=%s", schedPolicyName(Sched));
   }
   return Out;
 }

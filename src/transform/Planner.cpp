@@ -288,6 +288,7 @@ commset::buildDoallPlan(const PDG &G, const SCCResult &Sccs, const Module &M,
   Plan.L = L;
   Plan.NumThreads = Opts.NumThreads;
   Plan.Sync = Opts.Sync;
+  Plan.Sched = Opts.Sched;
 
   if (L->Induction.Local == ~0u) {
     setWhyNot(WhyNot, "no canonical induction variable (e.g. pointer "
@@ -362,6 +363,7 @@ commset::buildPipelinePlan(const PDG &G, const SCCResult &Sccs,
   Plan.F = G.F;
   Plan.L = G.L;
   Plan.Sync = Opts.Sync;
+  Plan.Sched = Opts.Sched;
   computeReplicatedNodes(G, Plan);
 
   if (Plan.L->Induction.Local != ~0u) {

@@ -319,6 +319,133 @@ TEST(DoallExecTest, InductionFinalValue) {
 }
 
 //===----------------------------------------------------------------------===//
+// Iteration scheduling policies
+//===----------------------------------------------------------------------===//
+
+TEST(SchedPolicyTest, AllPoliciesCompleteOnThreadsAndSim) {
+  // The same DOALL plan under static | dynamic | guided must execute every
+  // iteration exactly once with the right payload, on real threads (work
+  // stealing live) and under the simulator (chunk-claim gating live).
+  constexpr int64_t N = 200;
+  auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  for (SchedPolicy P :
+       {SchedPolicy::Static, SchedPolicy::Dynamic, SchedPolicy::Guided}) {
+    ParallelPlan Plan = *Doall->Plan;
+    Plan.Sched = P;
+    for (bool Simulate : {false, true}) {
+      Recorder Rec;
+      NativeRegistry Natives = makeToyNatives(Rec);
+      RunConfig Config;
+      Config.Plan = &Plan;
+      Config.Simulate = Simulate;
+      RunOutcome Out = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                                 Natives, Config);
+      EXPECT_EQ(Out.Status, RunStatus::Ok)
+          << schedPolicyName(P) << ": " << Out.Diagnostic;
+      EXPECT_EQ(Out.Iterations, static_cast<uint64_t>(N))
+          << schedPolicyName(P);
+      verifyCompleteness(Rec, N);
+    }
+  }
+}
+
+TEST(SchedPolicyTest, SimulatedDynamicSchedulingIsDeterministic) {
+  // Chunk boundaries are a pure function of the claim counter and claims
+  // are gated by virtual time, so repeated simulated runs of a dynamic
+  // policy must report the *identical* virtual duration — host scheduling
+  // must not leak into the model.
+  constexpr int64_t N = 128;
+  auto Toy = analyzeToy(true, 8, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  for (SchedPolicy P : {SchedPolicy::Dynamic, SchedPolicy::Guided}) {
+    ParallelPlan Plan = *Doall->Plan;
+    Plan.Sched = P;
+    uint64_t First = 0;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      Recorder Rec;
+      NativeRegistry Natives = makeToyNatives(Rec);
+      RunConfig Config;
+      Config.Plan = &Plan;
+      Config.Simulate = true;
+      RunOutcome Out = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                                 Natives, Config);
+      ASSERT_EQ(Out.Status, RunStatus::Ok) << Out.Diagnostic;
+      ASSERT_GT(Out.VirtualNs, 0u);
+      if (Rep == 0)
+        First = Out.VirtualNs;
+      else
+        EXPECT_EQ(Out.VirtualNs, First)
+            << schedPolicyName(P) << " rep " << Rep
+            << ": virtual time must not depend on host timing";
+    }
+  }
+}
+
+TEST(SchedPolicyTest, PipelinePoliciesPreserveSequentialStageOrder) {
+  // PS-DSWP replica routing is a pure function (schedReplicaOf) shared by
+  // producers and consumers, so any policy keeps the sequential stage in
+  // iteration order — the paper's deterministic-output guarantee.
+  constexpr int64_t N = 120;
+  auto Toy = analyzeToy(false, 4, SyncMode::Mutex);
+  auto *Ps = findScheme(Toy.Schemes, Strategy::PsDswp);
+  ASSERT_TRUE(Ps && Ps->Applicable) << Ps->WhyNot;
+
+  for (SchedPolicy P :
+       {SchedPolicy::Static, SchedPolicy::Dynamic, SchedPolicy::Guided}) {
+    ParallelPlan Plan = *Ps->Plan;
+    Plan.Sched = P;
+    Recorder Rec;
+    NativeRegistry Natives = makeToyNatives(Rec);
+    RunConfig Config;
+    Config.Plan = &Plan;
+    Config.Simulate = false;
+    RunOutcome Out = runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)},
+                               Natives, Config);
+    EXPECT_EQ(Out.Status, RunStatus::Ok)
+        << schedPolicyName(P) << ": " << Out.Diagnostic;
+    verifyCompleteness(Rec, N);
+    for (size_t I = 0; I < Rec.Entries.size(); ++I)
+      ASSERT_EQ(Rec.Entries[I].first, static_cast<int64_t>(I))
+          << schedPolicyName(P) << ": sequential stage out of order";
+  }
+}
+
+TEST(SchedPolicyTest, GuidedTilingIsAPureFunctionOfBegin) {
+  // The whole dynamic-determinism story rests on this: chunk size depends
+  // only on the claim counter's value, so the orbit from 0 is the unique
+  // tiling every execution sees, regardless of which thread claims when.
+  constexpr unsigned Threads = 4;
+  uint64_t Begin = 0;
+  std::vector<uint64_t> Sizes;
+  while (Begin < 120) {
+    uint64_t C = schedChunkSize(SchedPolicy::Guided, Begin, Threads);
+    Sizes.push_back(C);
+    Begin += C;
+  }
+  // Decaying rounds of Threads chunks: 8,8,8,8, 4,4,4,4, 2,2,2,2, 1,1,...
+  std::vector<uint64_t> Expect = {8, 8, 8, 8, 4, 4, 4, 4, 2, 2, 2, 2};
+  ASSERT_GE(Sizes.size(), Expect.size() + 4);
+  for (size_t I = 0; I < Expect.size(); ++I)
+    EXPECT_EQ(Sizes[I], Expect[I]) << "chunk " << I;
+  for (size_t I = Expect.size(); I < Sizes.size(); ++I)
+    EXPECT_EQ(Sizes[I], 1u) << "tail chunk " << I;
+  // Off-orbit begins still make progress and stay within their chunk.
+  EXPECT_EQ(schedChunkSize(SchedPolicy::Guided, 3, Threads), 5u)
+      << "mid-chunk begin completes the chunk it landed in";
+  // Replica routing agrees with the tiling (producers and consumers both
+  // call this; a disagreement would deadlock the pipeline queues).
+  for (uint64_t I = 0; I < 64; ++I) {
+    unsigned R = schedReplicaOf(SchedPolicy::Guided, I, Threads);
+    EXPECT_LT(R, Threads) << "iteration " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Pipeline (DSWP / PS-DSWP)
 //===----------------------------------------------------------------------===//
 

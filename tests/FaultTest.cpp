@@ -299,6 +299,25 @@ TEST(LockTimeoutTest, RankCycleDiagnostic) {
   EXPECT_NE(Diag.find("(cycle closes)"), std::string::npos) << Diag;
 }
 
+TEST(LockTimeoutTest, UntimedAcquireIsVisibleToTheHolderGraph) {
+  // Regression: the unbounded acquire() path never recorded itself in
+  // Holder, so a peer timing out on a lock taken that way got "held by
+  // <none>" — a dead-end diagnostic for a lock that very much has an
+  // owner.
+  CommSetLockManager Locks(1, LockMode::Mutex);
+  Locks.acquire({0}, /*ThreadId=*/7);
+  try {
+    Locks.acquireOrTimeout({0}, /*ThreadId=*/1, /*TimeoutMs=*/50);
+    FAIL() << "rank 0 is held; acquisition must time out";
+  } catch (const RegionFault &F) {
+    EXPECT_EQ(F.Kind, FaultKind::LockTimeout);
+    EXPECT_NE(F.Detail.find("rank 0 held by thread 7"), std::string::npos)
+        << F.Detail;
+    EXPECT_EQ(F.Detail.find("<none>"), std::string::npos) << F.Detail;
+  }
+  Locks.release({0});
+}
+
 TEST(LockTimeoutTest, TimeoutReleasesPartiallyTakenRanks) {
   CommSetLockManager Locks(3, LockMode::Spin);
   // Peer pins rank 2 so the main thread's {0,1,2} acquisition times out
@@ -412,6 +431,27 @@ TEST(SupervisedPoolTest, WedgedWorkerIsAbandonedNotHungOn) {
   // Keep Tasks/Control alive until the detached worker is done with them.
   while (!WorkerExited.load())
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(SupervisedPoolTest, ZeroJoinGraceMeansWaitForeverNotAbandonInstantly) {
+  // Regression: after a watchdog trip, JoinGraceMs == 0 used to compare
+  // StalledMs >= 0 and abandon every unfinished worker immediately. Zero
+  // means "wait forever for the join" (matching WatchdogStallMs == 0 =
+  // "never trip"), so a worker that unwinds after the trip still joins.
+  RegionControl Control;
+  std::atomic<bool> WorkerExited{false};
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&Control] { Control.heartbeat(0); });
+  Tasks.push_back([&WorkerExited] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    WorkerExited.store(true);
+  });
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, Control, /*WatchdogStallMs=*/30, /*JoinGraceMs=*/0, {});
+  EXPECT_TRUE(Rep.WatchdogTripped);
+  EXPECT_TRUE(Rep.AllJoined)
+      << "JoinGraceMs==0 must wait out the sleeper, not abandon it";
+  EXPECT_TRUE(WorkerExited.load()) << "the join must cover the full sleep";
 }
 
 TEST(SupervisedPoolTest, WorkerFaultCancelsSiblings) {

@@ -6,6 +6,7 @@
 
 #include "commset/Runtime/Locks.h"
 #include "commset/Runtime/SpscQueue.h"
+#include "commset/Runtime/StealDeque.h"
 #include "commset/Runtime/Stm.h"
 #include "commset/Runtime/ThreadPool.h"
 
@@ -410,6 +411,98 @@ TEST(ThreadPoolTest, SupervisedCleanRunReportsNothing) {
   EXPECT_TRUE(Rep.AllJoined);
   EXPECT_EQ(Rep.Kind, FaultKind::None);
   EXPECT_GE(Control.beats(), 400u);
+}
+
+TEST(ThreadPoolTest, WorkersAreReusedAcrossConsecutiveRegions) {
+  // The pool's whole point: region 2 of N workers must not spawn N more
+  // threads. spawnCount() counts OS-thread creations over the pool's life.
+  WorkerPool Pool;
+  constexpr unsigned N = 4;
+  std::atomic<unsigned> Ran{0};
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned I = 0; I < N; ++I)
+    Tasks.push_back([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  Pool.run(Tasks);
+  EXPECT_EQ(Pool.spawnCount(), N);
+  Pool.run(Tasks);
+  Pool.run(Tasks);
+  EXPECT_EQ(Ran.load(), 3 * N);
+  EXPECT_EQ(Pool.spawnCount(), N) << "parked workers must be reused";
+}
+
+//===----------------------------------------------------------------------===//
+// Work-stealing deque
+//===----------------------------------------------------------------------===//
+
+TEST(StealDequeTest, OwnerPopsNewestThiefStealsOldest) {
+  StealDeque D;
+  uint64_t V = 0;
+  EXPECT_FALSE(D.pop(V));
+  EXPECT_FALSE(D.steal(V));
+  EXPECT_TRUE(D.push(1));
+  EXPECT_TRUE(D.push(2));
+  EXPECT_TRUE(D.push(3));
+  EXPECT_FALSE(D.emptyApprox());
+  EXPECT_TRUE(D.steal(V));
+  EXPECT_EQ(V, 1u) << "thief takes the oldest (largest) range";
+  EXPECT_TRUE(D.pop(V));
+  EXPECT_EQ(V, 3u) << "owner takes the newest (LIFO locality)";
+  EXPECT_TRUE(D.pop(V));
+  EXPECT_EQ(V, 2u);
+  EXPECT_FALSE(D.pop(V));
+  EXPECT_FALSE(D.steal(V));
+  EXPECT_TRUE(D.emptyApprox());
+}
+
+TEST(StealDequeTest, PushReportsOverflowAtCapacity) {
+  StealDeque D;
+  for (unsigned I = 0; I < StealDeque::Capacity; ++I)
+    ASSERT_TRUE(D.push(I));
+  EXPECT_FALSE(D.push(999)) << "full deque must refuse, not overwrite";
+  uint64_t V = 0;
+  ASSERT_TRUE(D.steal(V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(D.push(999)) << "space freed by a steal is reusable";
+}
+
+TEST(StealDequeTest, ConcurrentOwnerAndThievesLoseNothing) {
+  // Owner pushes Rounds batches and drains its own bottom while two
+  // thieves hammer the top: every pushed value must be taken exactly once
+  // (sum check), by whichever side. TSan-clean by construction (seq_cst
+  // atomics only; see StealDeque.h).
+  StealDeque D;
+  constexpr uint64_t Rounds = 20000;
+  std::atomic<uint64_t> StolenSum{0};
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < 2; ++T)
+    Thieves.emplace_back([&D, &StolenSum, &Done] {
+      uint64_t V = 0;
+      while (!Done.load(std::memory_order_acquire))
+        if (D.steal(V))
+          StolenSum.fetch_add(V, std::memory_order_relaxed);
+    });
+  uint64_t PushedSum = 0, OwnerSum = 0;
+  for (uint64_t I = 1; I <= Rounds; ++I) {
+    // Values start at 1: the sum identity must count every entry.
+    while (!D.push(I))
+      ; // Full only transiently while thieves drain.
+    PushedSum += I;
+    if (I % 4 == 0) { // Periodically drain own bottom like the executor.
+      uint64_t V = 0;
+      while (D.pop(V))
+        OwnerSum += V;
+    }
+  }
+  uint64_t V = 0;
+  while (D.pop(V))
+    OwnerSum += V;
+  Done.store(true, std::memory_order_release);
+  for (std::thread &Th : Thieves)
+    Th.join();
+  EXPECT_TRUE(D.emptyApprox());
+  EXPECT_EQ(OwnerSum + StolenSum.load(), PushedSum)
+      << "every entry taken exactly once, by owner or thief";
 }
 
 } // namespace

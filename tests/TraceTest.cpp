@@ -9,6 +9,8 @@
 #include "commset/Trace/Trace.h"
 
 #include "commset/Driver/Runner.h"
+#include "commset/Runtime/Locks.h"
+#include "commset/Runtime/SpscQueue.h"
 #include "commset/Workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -294,6 +296,121 @@ TEST(TraceExportTest, ProfileReportListsHeadlineSections) {
   EXPECT_NE(Report.find("rank 7"), std::string::npos);
   EXPECT_NE(Report.find("cache_insert"), std::string::npos);
   EXPECT_NE(Report.find("lock wait"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumented-primitive attribution (queues, locks, scheduler)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceQueueTest, OccupancyIsComputedAfterTheOperation) {
+  // Regression: tryPush/tryPop used to report occupancy from the indices
+  // read for the full/empty pre-check. The traced depth is the depth
+  // *after* the operation from re-read indices: push K reports K entries,
+  // pop with K remaining reports K — and a concurrent drain between the
+  // pre-check and the emit can only shrink, never inflate, the report.
+  SessionGuard G;
+  session().enable(64, 4);
+  SpscQueue<int> Q(8);
+  Q.setTraceIds(/*QueueId=*/5, /*Producer=*/1, /*Consumer=*/2);
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(Q.tryPush(I));
+  int V = 0;
+  ASSERT_TRUE(Q.tryPop(V));
+  ASSERT_TRUE(Q.tryPop(V));
+  session().disable();
+
+  std::vector<uint64_t> PushDepths, PopDepths;
+  for (const TraceEvent &E : session().collect()) {
+    if (E.Kind == static_cast<uint32_t>(EventKind::QueuePush)) {
+      EXPECT_EQ(E.Tid, 1u);
+      EXPECT_EQ(E.A, 5u);
+      PushDepths.push_back(E.B);
+    } else if (E.Kind == static_cast<uint32_t>(EventKind::QueuePop)) {
+      EXPECT_EQ(E.Tid, 2u);
+      EXPECT_EQ(E.A, 5u);
+      PopDepths.push_back(E.B);
+    }
+  }
+  EXPECT_EQ(PushDepths, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(PopDepths, (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(TraceQueueTest, PoisonAttributesCallerOrExternal) {
+  // Regression: poison() hardcoded the consumer tid, blaming the consumer
+  // for cancellations initiated by a producer or by the supervisor.
+  SessionGuard G;
+  session().enable(64, 4);
+  SpscQueue<int> ByProducer(4);
+  ByProducer.setTraceIds(/*QueueId=*/1, /*Producer=*/3, /*Consumer=*/4);
+  ByProducer.poison(/*ByTid=*/3);
+  ByProducer.poison(3); // Idempotent: no second event.
+  SpscQueue<int> BySupervisor(4);
+  BySupervisor.setTraceIds(/*QueueId=*/2, /*Producer=*/3, /*Consumer=*/4);
+  BySupervisor.poison(); // No endpoint: external cancellation.
+  session().disable();
+
+  unsigned Poisons = 0;
+  for (const TraceEvent &E : session().collect()) {
+    if (E.Kind != static_cast<uint32_t>(EventKind::QueuePoison))
+      continue;
+    ++Poisons;
+    if (E.A == 1)
+      EXPECT_EQ(E.Tid, 3u) << "producer-initiated poison blames producer";
+    else if (E.A == 2)
+      EXPECT_EQ(E.Tid, SpscQueue<int>::PoisonExternalTid)
+          << "endpoint-less poison must not blame the consumer";
+    else
+      ADD_FAILURE() << "unexpected queue id " << E.A;
+  }
+  EXPECT_EQ(Poisons, 2u);
+}
+
+TEST(TraceLockTest, UntimedAcquireAttributesReleaseToHolder) {
+  // Regression: acquire() never recorded the holder, so release() traced
+  // LockRelease against tid 0 regardless of who actually held the lock.
+  SessionGuard G;
+  session().enable(64, 8);
+  CommSetLockManager Locks(2, LockMode::Mutex);
+  Locks.acquire({0, 1}, /*ThreadId=*/3);
+  Locks.release({0, 1});
+  session().disable();
+
+  unsigned Releases = 0;
+  for (const TraceEvent &E : session().collect()) {
+    if (E.Kind != static_cast<uint32_t>(EventKind::LockRelease))
+      continue;
+    ++Releases;
+    EXPECT_EQ(E.Tid, 3u) << "release must attribute to the real holder";
+  }
+  EXPECT_EQ(Releases, 2u);
+}
+
+TEST(TraceMetricsTest, ChunkClaimsAndStealsFoldIntoWorkerStats) {
+  SessionGuard G;
+  TraceSession &S = session();
+  auto Ev = [](uint64_t Ts, EventKind K, uint32_t Tid, uint64_t A = 0,
+               uint64_t B = 0) {
+    return TraceEvent{Ts, static_cast<uint32_t>(K), Tid, A, B};
+  };
+  // Worker 0 claims 8+4, worker 1 claims 8; worker 1 then steals 4 of
+  // worker 0's iterations, which move between the per-worker totals.
+  std::vector<TraceEvent> Events = {
+      Ev(10, EventKind::ChunkClaim, 0, 0, 8),
+      Ev(20, EventKind::ChunkClaim, 1, 8, 8),
+      Ev(30, EventKind::ChunkClaim, 0, 16, 4),
+      Ev(40, EventKind::Steal, 1, /*victim=*/0, /*iters=*/4),
+  };
+  TraceMetrics M = aggregateMetrics(Events, S);
+  EXPECT_EQ(M.totalClaims(), 3u);
+  EXPECT_EQ(M.totalSteals(), 1u);
+  EXPECT_EQ(M.Workers[0].Claims, 2u);
+  EXPECT_EQ(M.Workers[0].ClaimedIters, 8u); // 12 claimed - 4 stolen away
+  EXPECT_EQ(M.Workers[1].Steals, 1u);
+  EXPECT_EQ(M.Workers[1].StolenIters, 4u);
+  EXPECT_EQ(M.Workers[1].ClaimedIters, 8u);
+  // 8 vs 12 executed iterations across two claiming workers:
+  // max * N / sum = 12 * 2 / 20.
+  EXPECT_DOUBLE_EQ(M.claimImbalance(), 1.2);
 }
 
 TEST(TraceIntegrationTest, TracedThreadedRunProducesValidTrace) {

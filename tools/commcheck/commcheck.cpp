@@ -33,6 +33,8 @@ void usage(const char *Argv0) {
       "  --seed N          base seed (iteration k uses seed N+k; default 1)\n"
       "  --iters K         number of generated programs (default 25)\n"
       "  --threads LIST    comma-separated thread counts (default 2,4,8)\n"
+      "  --sched P         pin the iteration-scheduling policy: static |\n"
+      "                    dynamic | guided (default: rotate all three)\n"
       "  --no-tm           skip SyncMode::Tm plans\n"
       "  --no-schedules    skip controlled-schedule exploration\n"
       "  --random-scheds N random schedule policies per plan (default 2)\n"
@@ -108,6 +110,13 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "commcheck: bad --threads list\n");
         return 2;
       }
+    } else if (Arg == "--sched") {
+      commset::SchedPolicy Sched;
+      if (!commset::schedPolicyFromString(needValue(), Sched)) {
+        std::fprintf(stderr, "commcheck: bad --sched policy\n");
+        return 2;
+      }
+      Opts.Oracle.SchedPolicies = {Sched};
     } else if (Arg == "--no-tm") {
       Opts.Oracle.IncludeTm = false;
     } else if (Arg == "--no-schedules") {

@@ -36,6 +36,8 @@ int usage(const char *Argv0) {
       "options:\n"
       "  --scheme=S        doall | dswp | psdswp | seq | best (default best)\n"
       "  --sync=M          mutex | spin | tm | none (default mutex)\n"
+      "  --sched=P         static | dynamic | guided iteration scheduling\n"
+      "                    (default guided)\n"
       "  --threads=N       worker threads (default 4)\n"
       "  --scale=N         iteration count (default: workload default)\n"
       "  --variant=V       source variant: '', noself, plain\n"
@@ -71,6 +73,7 @@ int main(int argc, char **argv) {
   std::string WorkloadName;
   std::string SchemeName = "best";
   std::string SyncName = "mutex";
+  std::string SchedName = "guided";
   std::string Variant;
   std::string TraceOut;
   unsigned Threads = 4;
@@ -92,6 +95,8 @@ int main(int argc, char **argv) {
       SchemeName = valueOf("--scheme=");
     } else if (Arg.rfind("--sync=", 0) == 0) {
       SyncName = valueOf("--sync=");
+    } else if (Arg.rfind("--sched=", 0) == 0) {
+      SchedName = valueOf("--sched=");
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Threads = static_cast<unsigned>(std::atoi(valueOf("--threads=").c_str()));
     } else if (Arg.rfind("--scale=", 0) == 0) {
@@ -130,6 +135,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "bad --sync value: %s\n", SyncName.c_str());
     return 64;
   }
+  SchedPolicy Sched;
+  if (!schedPolicyFromString(SchedName.c_str(), Sched)) {
+    std::fprintf(stderr, "bad --sched value: %s\n", SchedName.c_str());
+    return 64;
+  }
 
   std::unique_ptr<Workload> W = makeWorkload(WorkloadName);
   if (!W) {
@@ -155,6 +165,7 @@ int main(int argc, char **argv) {
   PlanOptions Opts;
   Opts.NumThreads = Threads;
   Opts.Sync = Sync;
+  Opts.Sched = Sched;
   for (auto &[K, Cost] : W->costHints())
     Opts.NativeCostHints[K] = Cost;
   std::vector<SchemeReport> Schemes = buildAllSchemes(*C, *T, Opts);
