@@ -24,6 +24,18 @@
 
 namespace commset {
 
+/// Provable write discipline of a function on one module global, used by
+/// the CommLint annotation auditor: add-reductions commute with themselves,
+/// anything else is order-sensitive.
+enum class GlobalWriteKind {
+  /// Every store to the global is `g = g + E` where E is independent of g
+  /// (sums through any chain of integer additions).
+  AddReduction,
+  /// At least one store whose result depends on execution order (overwrite,
+  /// scaled update, read-modify-write through an unknown path).
+  Ordered,
+};
+
 /// Effect summary of a function or call site over abstract locations:
 /// named effect classes, module globals, and argument-reachable memory.
 struct EffectSummary {
@@ -36,10 +48,29 @@ struct EffectSummary {
   std::set<unsigned> WriteClasses;
   std::set<unsigned> ReadGlobals;
   std::set<unsigned> WriteGlobals;
+  /// Per written global (keys are a subset of WriteGlobals): the strongest
+  /// write discipline provable for every store, merged pessimistically
+  /// (Ordered wins) across paths and callees.
+  std::map<unsigned, GlobalWriteKind> GlobalWriteKinds;
+  /// Globals read outside a same-global add-reduction pattern. A bare read
+  /// observes intermediate reduction state, so it is order-sensitive even
+  /// when every write to the global is an AddReduction.
+  std::set<unsigned> BareReadGlobals;
+  /// Argument memory at parameter granularity: indices of this callee's
+  /// parameters whose pointees may be read/written (directly or through
+  /// callees). The blanket ArgMemRead/ArgMemWrite flags remain the
+  /// conservative union the PDG builder consumes; these sets refine them
+  /// for region-sensitive clients (CommLint, tests).
+  std::set<unsigned> ArgReadParams;
+  std::set<unsigned> ArgWriteParams;
 
   /// Merges \p Other into this summary (argmem flags transfer only when the
   /// caller actually passes pointers; the caller handles that).
   void mergeClasses(const EffectSummary &Other);
+
+  /// Records a write to global \p Slot with kind \p Kind (Ordered wins over
+  /// an existing AddReduction entry).
+  void noteGlobalWrite(unsigned Slot, GlobalWriteKind Kind);
 
   bool touchesMemory() const {
     return World || ArgMemRead || ArgMemWrite || !ReadClasses.empty() ||
@@ -47,6 +78,14 @@ struct EffectSummary {
            !WriteGlobals.empty();
   }
 };
+
+/// Classifies one StoreGlobal instruction: AddReduction when the stored
+/// value is a sum with exactly one `load <same global>` leaf (the canonical
+/// `g = g + E` reduction). On success \p ReductionLoad (when non-null)
+/// receives the consumed load so callers can exclude it from bare reads.
+GlobalWriteKind classifyGlobalStore(const Instruction &Store,
+                                    const Instruction **ReductionLoad =
+                                        nullptr);
 
 /// Whole-module effect analysis: fixpoint over the call graph.
 class EffectAnalysis {

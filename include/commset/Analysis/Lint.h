@@ -1,0 +1,111 @@
+//===- Lint.h - CommLint static race & soundness analyzer -------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommLint: a static analysis pass that audits one lowered parallel plan
+/// (ParallelPlan + its synchronization decisions) after planning. Three
+/// checkers run over the annotated PDG and the effect summaries:
+///
+///  * Lockset race detector (LintRace.cpp). Every Memory dependence that
+///    Algorithm 1 relaxed (uco/ico) stands for an ordering the original
+///    program had and the plan may now violate. For each such edge whose
+///    endpoints can run concurrently under the plan's strategy/stages, the
+///    checker requires a protection witness: a common rank-ordered lock, STM
+///    coverage of both endpoints, or pipeline-stage ordering. Unprotected
+///    conflicting pairs are diagnosed with both access paths.
+///
+///  * Annotation-soundness auditor (LintAnnot.cpp). Flags Self/Group
+///    members whose transitive effect summaries provably do not commute
+///    (order-sensitive writes to a shared global; bare reads observing
+///    intermediate reduction state), and conversely suggests annotation
+///    sites where a loop-carried dependence blocks parallelization but the
+///    effects form a commutative reduction.
+///
+///  * Plan/sync consistency checker (Lint.cpp). Every uco/ico edge must be
+///    justified by an in-scope COMMSET declaration covering both endpoint
+///    callees, and each member's lock-acquisition sequence must follow the
+///    global rank order strictly ascending (deadlock freedom, paper §4.6).
+///
+/// Diagnostics carry machine-readable CL0xx codes; commlint maps them to
+/// exit codes 0/1/2 (clean/warnings/errors). CommCheck cross-validates the
+/// static verdicts against its differential sweep (`commcheck --lint`).
+///
+/// Soundness caveats (see DESIGN.md §6): the race detector trusts declared
+/// native effect classes (a lying `#pragma commset effects` hides a race at
+/// Warning severity, not Error), and argument-memory conflicts are resolved
+/// at alias-class granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_LINT_H
+#define COMMSET_ANALYSIS_LINT_H
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Transform/ParallelPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace commset {
+
+enum class LintSeverity { Note, Warning, Error };
+
+const char *lintSeverityName(LintSeverity S);
+
+/// One CommLint finding: machine-readable code, severity, anchor location,
+/// rendered message (which embeds both access paths for race reports).
+struct LintDiagnostic {
+  std::string Code; // "CL001", ...
+  LintSeverity Severity = LintSeverity::Warning;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: [CL001] line:col: message".
+  std::string str() const;
+};
+
+/// Result of linting one (loop, plan) pair.
+struct LintResult {
+  std::vector<LintDiagnostic> Diags;
+
+  unsigned errors() const;
+  unsigned warnings() const;
+  /// The static verdict CommCheck validates: no Error-severity findings.
+  bool raceFree() const { return errors() == 0; }
+  bool hasCode(const std::string &Code) const;
+
+  /// commlint exit-code convention: 0 clean, 1 warnings only, 2 errors.
+  int exitCode() const;
+
+  /// All diagnostics, one per line, sorted most severe first.
+  std::string str() const;
+};
+
+/// One-line description of a CL0xx diagnostic code (empty for unknown).
+/// Codes CL01x are emitted by Sema (annotation well-formedness at source
+/// level); CL00x/CL02x-CL04x by the plan-level checkers here.
+const char *lintCodeDescription(const std::string &Code);
+
+/// Runs all three checkers over \p Plan for the analyzed loop \p T.
+/// Diagnostics whose codes the program suppressed via
+/// `#pragma commset lint_suppress(CLxxx)` are dropped.
+LintResult runLint(const Compilation &C, const Compilation::LoopTarget &T,
+                   const ParallelPlan &Plan);
+
+namespace lint {
+// Individual checkers (exposed for focused tests; runLint calls all three).
+void checkRaces(const Compilation &C, const Compilation::LoopTarget &T,
+                const ParallelPlan &Plan, LintResult &R);
+void checkAnnotations(const Compilation &C, const Compilation::LoopTarget &T,
+                      const ParallelPlan &Plan, LintResult &R);
+void checkPlanConsistency(const Compilation &C,
+                          const Compilation::LoopTarget &T,
+                          const ParallelPlan &Plan, LintResult &R);
+} // namespace lint
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_LINT_H

@@ -50,6 +50,10 @@ struct PDGEdge {
   CommAnnotation Comm = CommAnnotation::None;
   /// Local slot for LocalFlow edges.
   unsigned LocalId = ~0u;
+  /// For uco/ico edges: id of the COMMSET declaration Algorithm 1 used to
+  /// justify relaxing this dependence (~0u when unannotated). CommLint's
+  /// plan-consistency checker audits that every relaxed edge carries one.
+  unsigned JustifyingSet = ~0u;
 };
 
 class PDG {

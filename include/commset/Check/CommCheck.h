@@ -38,6 +38,12 @@ struct CommCheckOptions {
   std::string DumpDir = ".";
   /// Print a line per iteration to stdout.
   bool Verbose = false;
+  /// CommLint cross-validation (`commcheck --lint`): in addition to the
+  /// oracle-side checks (Oracle.Lint is forced on), every iteration also
+  /// generates a seeded-UNSOUND twin program (GenOptions::SeedUnsound) and
+  /// asserts CommLint flags it with the expected CL0xx code on at least one
+  /// applicable parallel plan. A miss is a trial failure.
+  bool Lint = false;
 };
 
 struct CommCheckSummary {
@@ -49,6 +55,9 @@ struct CommCheckSummary {
   unsigned FaultRuns = 0;
   unsigned DegradedRuns = 0;
   uint64_t FaultsInjected = 0;
+  unsigned LintedPlans = 0;   ///< Plans audited by CommLint across trials.
+  unsigned UnsoundSeeded = 0; ///< Seeded-unsound twin programs generated.
+  unsigned UnsoundFlagged = 0; ///< ... of which CommLint flagged correctly.
   std::vector<std::string> ArtifactPaths;
   /// First failing trial's full report (also in its artifact).
   std::string FirstFailure;

@@ -68,6 +68,11 @@ struct OracleOptions {
   /// reference, re-run it traced and dump a Chrome trace_event JSON into
   /// this directory ("" disables).
   std::string TraceOnDivergenceDir;
+  /// CommLint cross-validation: statically lint every swept parallel plan
+  /// before executing it. An Error-severity finding on a generator-sound
+  /// program fails the trial (lint false positive); a divergence on a plan
+  /// lint called race-free fails with an unsound-verdict report.
+  bool Lint = false;
 };
 
 struct TrialResult {
@@ -78,6 +83,11 @@ struct TrialResult {
   unsigned FaultRuns = 0;    ///< Fault-injected executions performed.
   unsigned DegradedRuns = 0; ///< ... of which fell back to sequential.
   uint64_t FaultsInjected = 0;
+  unsigned LintedPlans = 0;  ///< Plans audited by CommLint (--lint).
+  /// The iteration-scheduling policies the sweep rotated through, copied
+  /// from OracleOptions so failure artifacts can record (and the replay
+  /// command can pin) the active --sched configuration.
+  std::vector<SchedPolicy> SchedPolicies;
   /// Failure description (divergence diff, races, plan, policy); empty on
   /// success.
   std::string Report;

@@ -72,6 +72,12 @@ struct GeneratedProgram {
   int TripCount = 12;
   /// One-line summary of the structure choices (for failure artifacts).
   std::string Shape;
+  /// Non-empty when GenOptions::SeedUnsound planted a wrong annotation:
+  /// the CL0xx code CommLint must report for this program.
+  std::string ExpectedLintCode;
+  /// One-line description of the planted unsoundness ("" for sound
+  /// programs).
+  std::string UnsoundKind;
 };
 
 struct GenOptions {
@@ -80,6 +86,11 @@ struct GenOptions {
   bool AllowNamedBlocks = true;
   bool AllowNosync = true;
   bool AllowSequentialSource = true; ///< source_next() biases pipelines.
+  /// Generate a program with a deliberately WRONG annotation (rotating
+  /// through ordered self writes, NOSYNC shared state, and order-sensitive
+  /// group pairs). Used by `commcheck --lint` to validate that CommLint
+  /// flags every planted unsoundness with the expected code.
+  bool SeedUnsound = false;
 };
 
 /// Generates the program for \p Seed. Pure function of its arguments.

@@ -41,6 +41,7 @@ public:
                                                  DiagnosticEngine &Diags);
 
   Module &module() { return *Mod; }
+  const Module &module() const { return *Mod; }
   const Program &program() const { return *Prog; }
   const CommSetRegistry &registry() const { return Registry; }
   const EffectAnalysis &effects() const { return Effects; }

@@ -8,7 +8,11 @@
 /// Structural verifier run after lowering and after transforms: every block
 /// ends in exactly one terminator, register operands are defined earlier in
 /// the same block, slot/callee references are in range, and branch targets
-/// belong to the same function.
+/// belong to the same function. When the caller supplies the program's
+/// declared COMMSET names, every member instance (on functions — including
+/// extracted commutative regions — and on natives) must reference one of
+/// them; an annotation naming a ghost set would otherwise silently drop
+/// dependences with no synchronization behind it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +22,22 @@
 #include "commset/IR/IR.h"
 #include "commset/Support/Diagnostics.h"
 
+#include <set>
+#include <string>
+
 namespace commset {
 
 /// Verifies \p F; reports problems to \p Diags. \returns true if clean.
-bool verifyFunction(const Function &F, DiagnosticEngine &Diags);
+/// \p DeclaredSets, when non-null, is the set of COMMSET names declared by
+/// the program ("SELF" is implicitly allowed); member instances naming
+/// anything else are rejected.
+bool verifyFunction(const Function &F, DiagnosticEngine &Diags,
+                    const std::set<std::string> *DeclaredSets = nullptr);
 
-/// Verifies every function in \p M. \returns true if clean.
-bool verifyModule(const Module &M, DiagnosticEngine &Diags);
+/// Verifies every function in \p M (and, with \p DeclaredSets, the member
+/// instances on native declarations). \returns true if clean.
+bool verifyModule(const Module &M, DiagnosticEngine &Diags,
+                  const std::set<std::string> *DeclaredSets = nullptr);
 
 } // namespace commset
 

@@ -385,6 +385,15 @@ struct EffectDecl {
   SourceLoc Loc;
 };
 
+/// `#pragma commset sync(SET, mutex|spin|tm)`: requests a synchronization
+/// flavor for a set's members. Sema rejects a request on a NOSYNC set
+/// (CL012): the two pragmas make contradictory thread-safety claims.
+struct SyncReqDecl {
+  std::string SetName;
+  std::string Mode;
+  SourceLoc Loc;
+};
+
 /// A parsed CSet-C translation unit.
 struct Program {
   std::vector<GlobalVarDecl> Globals;
@@ -393,6 +402,9 @@ struct Program {
   std::vector<PredicateDecl> Predicates;
   std::vector<NoSyncDecl> NoSyncs;
   std::vector<EffectDecl> Effects;
+  std::vector<SyncReqDecl> SyncReqs;
+  /// CL0xx codes silenced via `#pragma commset lint_suppress(CLxxx)`.
+  std::vector<std::string> LintSuppressions;
 
   FunctionDecl *findFunction(const std::string &Name) const;
 };

@@ -78,6 +78,8 @@ private:
   void parseSetDecl(Program &P);
   void parsePredicateDecl(Program &P);
   void parseNoSyncDecl(Program &P);
+  void parseSyncDecl(Program &P);
+  void parseLintSuppress(Program &P);
   void parseEffectsDecl(Program &P);
   void parseMemberPragma();
   void parseNamedArgPragma();

@@ -49,6 +49,7 @@ private:
   void checkSetDecls();
   void checkPredicates();
   void checkNoSyncs();
+  void checkSetOverlap();
 
   // Function checking.
   void checkFunction(FunctionDecl &F);

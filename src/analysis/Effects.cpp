@@ -18,19 +18,42 @@ void EffectSummary::mergeClasses(const EffectSummary &Other) {
   WriteClasses.insert(Other.WriteClasses.begin(), Other.WriteClasses.end());
   ReadGlobals.insert(Other.ReadGlobals.begin(), Other.ReadGlobals.end());
   WriteGlobals.insert(Other.WriteGlobals.begin(), Other.WriteGlobals.end());
+  for (const auto &[Slot, Kind] : Other.GlobalWriteKinds)
+    noteGlobalWrite(Slot, Kind);
+  BareReadGlobals.insert(Other.BareReadGlobals.begin(),
+                         Other.BareReadGlobals.end());
+}
+
+void EffectSummary::noteGlobalWrite(unsigned Slot, GlobalWriteKind Kind) {
+  auto [It, Inserted] = GlobalWriteKinds.try_emplace(Slot, Kind);
+  if (!Inserted && Kind == GlobalWriteKind::Ordered)
+    It->second = GlobalWriteKind::Ordered;
 }
 
 EffectSummary EffectAnalysis::summaryFor(const NativeDecl *N) {
   EffectSummary S;
   const MemoryEffects &E = N->Effects;
+  // Argmem at parameter granularity: a native declared argmem may touch the
+  // pointee of any ptr parameter.
+  auto ptrParams = [&N](std::set<unsigned> &Out) {
+    for (unsigned I = 0; I < N->ParamTypes.size(); ++I)
+      if (N->ParamTypes[I] == IRType::Ptr)
+        Out.insert(I);
+  };
   if (E.World) {
     S.World = true;
     S.ArgMemRead = S.ArgMemWrite = true;
+    ptrParams(S.ArgReadParams);
+    ptrParams(S.ArgWriteParams);
     return S;
   }
   S.Malloc = E.Malloc;
   S.ArgMemRead = E.ArgMemRead;
   S.ArgMemWrite = E.ArgMemWrite;
+  if (E.ArgMemRead)
+    ptrParams(S.ArgReadParams);
+  if (E.ArgMemWrite)
+    ptrParams(S.ArgWriteParams);
   S.ReadClasses = E.ReadClasses;
   S.WriteClasses = E.WriteClasses;
   return S;
@@ -92,6 +115,148 @@ private:
 };
 } // namespace
 
+namespace {
+
+/// Collects the leaves of the addition tree rooted at \p Op: recursing
+/// through Add instructions only, so `g + v + 3` yields {load g, v, 3}.
+void addTreeLeaves(const Operand &Op, std::vector<const Operand *> &Leaves,
+                   unsigned Depth = 0) {
+  if (Depth <= 16 && Op.isInstr() && Op.Def->op() == Opcode::Add) {
+    addTreeLeaves(Op.Def->Operands[0], Leaves, Depth + 1);
+    addTreeLeaves(Op.Def->Operands[1], Leaves, Depth + 1);
+    return;
+  }
+  Leaves.push_back(&Op);
+}
+
+} // namespace
+
+GlobalWriteKind
+commset::classifyGlobalStore(const Instruction &Store,
+                             const Instruction **ReductionLoad) {
+  if (ReductionLoad)
+    *ReductionLoad = nullptr;
+  std::vector<const Operand *> Leaves;
+  addTreeLeaves(Store.Operands[0], Leaves);
+  const Instruction *SelfLoad = nullptr;
+  unsigned SelfLoads = 0;
+  for (const Operand *Leaf : Leaves) {
+    if (!Leaf->isInstr())
+      continue;
+    const Instruction *Def = Leaf->Def;
+    if (Def->op() == Opcode::LoadGlobal && Def->SlotId == Store.SlotId) {
+      SelfLoad = Def;
+      ++SelfLoads;
+    }
+  }
+  if (SelfLoads != 1)
+    return GlobalWriteKind::Ordered; // Overwrite (0) or g-dependent E (>1).
+  if (ReductionLoad)
+    *ReductionLoad = SelfLoad;
+  return GlobalWriteKind::AddReduction;
+}
+
+namespace {
+
+/// Traces a ptr value to the caller parameters it may carry. Unknown stays
+/// conservative: the value may point into any parameter-reachable region.
+struct ParamOrigin {
+  bool Fresh = false;   ///< Provably a fresh in-function allocation (or null).
+  bool Unknown = false; ///< Could be anything (globals, unanalyzed defs).
+  std::set<unsigned> Params;
+};
+
+class ParamTracer {
+public:
+  ParamTracer(const Function &F,
+              const std::map<const Function *, EffectSummary> &Summaries)
+      : F(F), Summaries(Summaries) {}
+
+  ParamOrigin traceOperand(const Operand &Op) {
+    ParamOrigin O;
+    if (Op.K == Operand::Kind::ConstNull) {
+      O.Fresh = true;
+      return O;
+    }
+    if (!Op.isInstr()) {
+      O.Fresh = true; // String-table constants carry no argument memory.
+      return O;
+    }
+    const Instruction *Def = Op.Def;
+    switch (Def->op()) {
+    case Opcode::LoadLocal:
+      return traceLocal(Def->SlotId);
+    case Opcode::Call: {
+      auto It = Summaries.find(Def->Callee);
+      O.Fresh = It != Summaries.end() && It->second.Malloc;
+      O.Unknown = !O.Fresh;
+      return O;
+    }
+    case Opcode::CallNative:
+      O.Fresh = Def->Native->Effects.Malloc && !Def->Native->Effects.World;
+      O.Unknown = !O.Fresh;
+      return O;
+    default:
+      O.Unknown = true;
+      return O;
+    }
+  }
+
+private:
+  ParamOrigin traceLocal(unsigned Local) {
+    ParamOrigin O;
+    if (Local < F.NumParams) {
+      O.Params.insert(Local);
+      return O;
+    }
+    if (!Visited.insert(Local).second)
+      return O; // Cycle: neutral; the other stores decide.
+    bool AnyStore = false;
+    for (const auto &BB : F.Blocks) {
+      for (const auto &Instr : BB->Instrs) {
+        if (Instr->op() != Opcode::StoreLocal || Instr->SlotId != Local)
+          continue;
+        AnyStore = true;
+        ParamOrigin Sub = traceOperand(Instr->Operands[0]);
+        O.Unknown |= Sub.Unknown;
+        O.Fresh |= Sub.Fresh;
+        O.Params.insert(Sub.Params.begin(), Sub.Params.end());
+      }
+    }
+    if (!AnyStore)
+      O.Unknown = true; // Never-stored ptr local: treat as opaque.
+    return O;
+  }
+
+  const Function &F;
+  const std::map<const Function *, EffectSummary> &Summaries;
+  std::set<unsigned> Visited;
+};
+
+/// Maps a callee's per-parameter argmem effects through one call site into
+/// the caller's parameter space. Unknown origins widen to every ptr
+/// parameter of the caller (sound); fresh origins contribute nothing.
+void mapCalleeArgParams(const Instruction &CallInstr,
+                        const std::set<unsigned> &CalleeParams,
+                        const Function &Caller,
+                        const std::map<const Function *, EffectSummary>
+                            &Summaries,
+                        std::set<unsigned> &Out) {
+  for (unsigned P : CalleeParams) {
+    if (P >= CallInstr.Operands.size())
+      continue;
+    ParamTracer Tracer(Caller, Summaries);
+    ParamOrigin O = Tracer.traceOperand(CallInstr.Operands[P]);
+    Out.insert(O.Params.begin(), O.Params.end());
+    if (O.Unknown)
+      for (unsigned I = 0; I < Caller.NumParams; ++I)
+        if (Caller.Locals[I].Type == IRType::Ptr)
+          Out.insert(I);
+  }
+}
+
+} // namespace
+
 /// \returns true when every value returned traces to a malloc-like call,
 /// making the function itself allocator-like.
 static bool returnsFreshPointer(const Function &F,
@@ -123,11 +288,30 @@ EffectAnalysis EffectAnalysis::compute(const Module &M) {
     Changed = false;
     for (const auto &F : M.Functions) {
       EffectSummary S = EA.Summaries[F.get()];
+
+      // Pre-pass: classify every direct StoreGlobal and remember the loads
+      // consumed by add-reduction patterns, so the main pass can tell bare
+      // reads apart from reduction reads.
+      std::set<const Instruction *> ReductionLoads;
+      for (const auto &BB : F->Blocks) {
+        for (const auto &Instr : BB->Instrs) {
+          if (Instr->op() != Opcode::StoreGlobal)
+            continue;
+          const Instruction *Load = nullptr;
+          S.noteGlobalWrite(Instr->SlotId,
+                            classifyGlobalStore(*Instr, &Load));
+          if (Load)
+            ReductionLoads.insert(Load);
+        }
+      }
+
       for (const auto &BB : F->Blocks) {
         for (const auto &Instr : BB->Instrs) {
           switch (Instr->op()) {
           case Opcode::LoadGlobal:
             S.ReadGlobals.insert(Instr->SlotId);
+            if (!ReductionLoads.count(Instr.get()))
+              S.BareReadGlobals.insert(Instr->SlotId);
             break;
           case Opcode::StoreGlobal:
             S.WriteGlobals.insert(Instr->SlotId);
@@ -137,6 +321,10 @@ EffectAnalysis EffectAnalysis::compute(const Module &M) {
             S.mergeClasses(N);
             S.ArgMemRead |= N.ArgMemRead;
             S.ArgMemWrite |= N.ArgMemWrite;
+            mapCalleeArgParams(*Instr, N.ArgReadParams, *F, EA.Summaries,
+                               S.ArgReadParams);
+            mapCalleeArgParams(*Instr, N.ArgWriteParams, *F, EA.Summaries,
+                               S.ArgWriteParams);
             break;
           }
           case Opcode::Call: {
@@ -144,6 +332,10 @@ EffectAnalysis EffectAnalysis::compute(const Module &M) {
             S.mergeClasses(Callee);
             S.ArgMemRead |= Callee.ArgMemRead;
             S.ArgMemWrite |= Callee.ArgMemWrite;
+            mapCalleeArgParams(*Instr, Callee.ArgReadParams, *F,
+                               EA.Summaries, S.ArgReadParams);
+            mapCalleeArgParams(*Instr, Callee.ArgWriteParams, *F,
+                               EA.Summaries, S.ArgWriteParams);
             break;
           }
           default:
@@ -160,7 +352,11 @@ EffectAnalysis EffectAnalysis::compute(const Module &M) {
           Old.ReadClasses != S.ReadClasses ||
           Old.WriteClasses != S.WriteClasses ||
           Old.ReadGlobals != S.ReadGlobals ||
-          Old.WriteGlobals != S.WriteGlobals) {
+          Old.WriteGlobals != S.WriteGlobals ||
+          Old.GlobalWriteKinds != S.GlobalWriteKinds ||
+          Old.BareReadGlobals != S.BareReadGlobals ||
+          Old.ArgReadParams != S.ArgReadParams ||
+          Old.ArgWriteParams != S.ArgWriteParams) {
         Old = S;
         Changed = true;
       }

@@ -1,0 +1,225 @@
+//===- Lint.cpp - CommLint driver and plan-consistency checker ------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/Lint.h"
+
+#include "LintInternal.h"
+#include "commset/Support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace commset;
+using namespace commset::lint;
+
+const char *commset::lintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::str() const {
+  return formatString("%s: [%s] %s: %s", lintSeverityName(Severity),
+                      Code.c_str(), Loc.str().c_str(), Message.c_str());
+}
+
+unsigned LintResult::errors() const {
+  unsigned N = 0;
+  for (const LintDiagnostic &D : Diags)
+    N += D.Severity == LintSeverity::Error;
+  return N;
+}
+
+unsigned LintResult::warnings() const {
+  unsigned N = 0;
+  for (const LintDiagnostic &D : Diags)
+    N += D.Severity == LintSeverity::Warning;
+  return N;
+}
+
+bool LintResult::hasCode(const std::string &Code) const {
+  for (const LintDiagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+int LintResult::exitCode() const {
+  if (errors())
+    return 2;
+  if (warnings())
+    return 1;
+  return 0;
+}
+
+std::string LintResult::str() const {
+  std::string Out;
+  for (const LintDiagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+const char *commset::lintCodeDescription(const std::string &Code) {
+  if (Code == "CL001")
+    return "unprotected concurrent accesses to interpreter globals (race)";
+  if (Code == "CL002")
+    return "unprotected concurrent accesses to declared library state";
+  if (Code == "CL010")
+    return "commutativity predicate calls a side-effecting function";
+  if (Code == "CL011")
+    return "commutativity predicate reads mutable global state";
+  if (Code == "CL012")
+    return "sync-mode request contradicts COMMSETNOSYNC";
+  if (Code == "CL013")
+    return "duplicate membership of one function in a set";
+  if (Code == "CL014")
+    return "two group sets with identical member lists";
+  if (Code == "CL020")
+    return "self-set member performs an order-sensitive global write";
+  if (Code == "CL021")
+    return "group-set member pair writes a shared global order-sensitively";
+  if (Code == "CL023")
+    return "member observes a concurrently-written global outside a "
+           "reduction";
+  if (Code == "CL030")
+    return "annotation opportunity: carried dependence is a commutative "
+           "reduction";
+  if (Code == "CL040")
+    return "relaxed dependence lacks a justifying COMMSET declaration";
+  if (Code == "CL041")
+    return "member lock acquisition violates the global rank order";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Plan/sync consistency checker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when \p Callee holds a membership in set \p SetId.
+bool memberOfSet(const CommSetRegistry &Reg, const std::string &Callee,
+                 unsigned SetId) {
+  for (const auto &M : Reg.membershipsOf(Callee))
+    if (M.SetId == SetId)
+      return true;
+  return false;
+}
+
+std::string ranksToString(const std::vector<unsigned> &Ranks) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Ranks.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Ranks[I]);
+  }
+  return Out + "]";
+}
+
+} // namespace
+
+void lint::checkPlanConsistency(const Compilation &C,
+                                const Compilation::LoopTarget &T,
+                                const ParallelPlan &Plan, LintResult &R) {
+  const CommSetRegistry &Reg = C.registry();
+
+  // Every uco/ico edge Algorithm 1 removed or demoted must point back at an
+  // in-scope COMMSET declaration covering both endpoint callees; a relaxed
+  // edge with no justification means a transform dropped an ordering the
+  // program never licensed.
+  for (const PDGEdge &E : T.G.Edges) {
+    if (E.Kind != DepKind::Memory || E.Comm == CommAnnotation::None)
+      continue;
+    const Instruction *N1 = T.G.Nodes[E.Src];
+    const Instruction *N2 = T.G.Nodes[E.Dst];
+    const char *What = E.Comm == CommAnnotation::Uco ? "uco" : "ico";
+    if (!N1->isCall() || !N2->isCall()) {
+      addDiag(R, "CL040", LintSeverity::Error, N1->Loc,
+              formatString("%s dependence relaxed between non-call "
+                           "instructions %u and %u",
+                           What, N1->Id, N2->Id));
+      continue;
+    }
+    const std::string &F = calleeName(N1);
+    const std::string &G = calleeName(N2);
+    if (E.JustifyingSet == ~0u || E.JustifyingSet >= Reg.sets().size()) {
+      addDiag(R, "CL040", LintSeverity::Error, N1->Loc,
+              formatString("%s dependence between '%s' (%s) and '%s' (%s) "
+                           "is not justified by any in-scope COMMSET "
+                           "declaration",
+                           What, F.c_str(), N1->Loc.str().c_str(), G.c_str(),
+                           N2->Loc.str().c_str()));
+      continue;
+    }
+    const CommSetRegistry::SetInfo &S = Reg.set(E.JustifyingSet);
+    if (!memberOfSet(Reg, F, S.Id) || !memberOfSet(Reg, G, S.Id))
+      addDiag(R, "CL040", LintSeverity::Error, N1->Loc,
+              formatString("%s dependence between '%s' and '%s' cites "
+                           "COMMSET '%s', which does not contain both "
+                           "callees",
+                           What, F.c_str(), G.c_str(), S.Name.c_str()));
+  }
+
+  // Rank-ordered locking is deadlock free only if every member acquires its
+  // locks in strictly ascending global rank order (paper §4.6). A repeated
+  // or descending rank in one member's sequence breaks the global order and
+  // admits an acquisition cycle across members.
+  for (const auto &[Name, Info] : Plan.MemberSync) {
+    bool Ascending = true;
+    for (size_t I = 0; I + 1 < Info.LockRanks.size(); ++I)
+      if (Info.LockRanks[I] >= Info.LockRanks[I + 1])
+        Ascending = false;
+    if (!Ascending)
+      addDiag(R, "CL041", LintSeverity::Error, T.F->Loc,
+              formatString("member '%s' acquires COMMSET locks out of rank "
+                           "order %s; the global acquisition order is no "
+                           "longer cycle-free",
+                           Name.c_str(),
+                           ranksToString(Info.LockRanks).c_str()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+LintResult commset::runLint(const Compilation &C,
+                            const Compilation::LoopTarget &T,
+                            const ParallelPlan &Plan) {
+  LintResult R;
+  lint::checkPlanConsistency(C, T, Plan, R);
+  lint::checkAnnotations(C, T, Plan, R);
+  lint::checkRaces(C, T, Plan, R);
+
+  const std::vector<std::string> &Suppressed = C.program().LintSuppressions;
+  if (!Suppressed.empty())
+    R.Diags.erase(std::remove_if(R.Diags.begin(), R.Diags.end(),
+                                 [&](const LintDiagnostic &D) {
+                                   return std::find(Suppressed.begin(),
+                                                    Suppressed.end(),
+                                                    D.Code) !=
+                                          Suppressed.end();
+                                 }),
+                  R.Diags.end());
+
+  std::stable_sort(R.Diags.begin(), R.Diags.end(),
+                   [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                     if (A.Severity != B.Severity)
+                       return static_cast<int>(A.Severity) >
+                              static_cast<int>(B.Severity);
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     return A.Code < B.Code;
+                   });
+  return R;
+}

@@ -1,0 +1,306 @@
+//===- LintAnnot.cpp - CommLint annotation-soundness auditor --------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// A COMMSET annotation is a claim the compiler cannot check in general —
+// that is the paper's point. This auditor flags the claims it can refute
+// from transitive effect summaries:
+//
+//  * CL020: a self-set member whose summarized writes to some global are
+//    order-sensitive (an overwrite or scaled update, not `g = g + E`).
+//    Reordered dynamic instances then produce different final state, so the
+//    self-commutativity claim is provably wrong.
+//  * CL021: two group-set members write a shared global and at least one
+//    side is order-sensitive: the pair cannot commute.
+//  * CL023 (warning): a member reads a global its co-members write outside
+//    the reduction pattern; the read observes intermediate state, making
+//    the set's behavior schedule-dependent even when every write commutes.
+//
+// Natives have no bodies; their claims are trusted (see the CL002 split in
+// the race detector). Conversely the auditor suggests annotations (CL030,
+// note) where a loop-carried dependence blocks parallelization but the
+// effects form a commutative add-reduction: the paper's flagship use case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LintInternal.h"
+#include "commset/Lang/CommSetAttrs.h"
+#include "commset/Support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace commset;
+using namespace commset::lint;
+
+namespace {
+
+bool isOrdered(const EffectSummary &S, unsigned Slot) {
+  auto It = S.GlobalWriteKinds.find(Slot);
+  return It != S.GlobalWriteKinds.end() &&
+         It->second == GlobalWriteKind::Ordered;
+}
+
+/// Members of each set that are user functions (natives carry no bodies to
+/// audit).
+std::map<unsigned, std::vector<const Function *>>
+userMembersBySet(const Compilation &C) {
+  std::map<unsigned, std::vector<const Function *>> Out;
+  const CommSetRegistry &Reg = C.registry();
+  for (const std::string &Callee : Reg.memberCallees()) {
+    const Function *F = C.module().findFunction(Callee);
+    if (!F)
+      continue;
+    for (const auto &M : Reg.membershipsOf(Callee))
+      Out[M.SetId].push_back(F);
+  }
+  for (auto &[SetId, Members] : Out) {
+    std::sort(Members.begin(), Members.end(),
+              [](const Function *A, const Function *B) {
+                return A->Name < B->Name;
+              });
+    Members.erase(std::unique(Members.begin(), Members.end()),
+                  Members.end());
+  }
+  return Out;
+}
+
+void auditSelfSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
+                  const std::vector<const Function *> &Members,
+                  LintResult &R) {
+  const Module &M = C.module();
+  for (const Function *F : Members) {
+    const EffectSummary &Sum = C.effects().summaryFor(F);
+    for (const auto &[Slot, Kind] : Sum.GlobalWriteKinds) {
+      if (Kind != GlobalWriteKind::Ordered)
+        continue;
+      addDiag(R, "CL020", LintSeverity::Error, F->Loc,
+              formatString("member '%s' of self COMMSET '%s' performs an "
+                           "order-sensitive write to global '%s'; reordered "
+                           "instances do not commute",
+                           F->Name.c_str(), S.Name.c_str(),
+                           globalName(M, Slot).c_str()));
+    }
+    for (unsigned Slot : Sum.BareReadGlobals) {
+      if (!Sum.WriteGlobals.count(Slot))
+        continue;
+      addDiag(R, "CL023", LintSeverity::Warning, F->Loc,
+              formatString("member '%s' of self COMMSET '%s' reads global "
+                           "'%s' outside the reduction pattern; concurrent "
+                           "instances observe intermediate state",
+                           F->Name.c_str(), S.Name.c_str(),
+                           globalName(M, Slot).c_str()));
+    }
+  }
+}
+
+void auditGroupSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
+                   const std::vector<const Function *> &Members,
+                   LintResult &R) {
+  const Module &M = C.module();
+  for (size_t I = 0; I < Members.size(); ++I) {
+    for (size_t J = I + 1; J < Members.size(); ++J) {
+      const Function *F1 = Members[I];
+      const Function *F2 = Members[J];
+      const EffectSummary &S1 = C.effects().summaryFor(F1);
+      const EffectSummary &S2 = C.effects().summaryFor(F2);
+      std::set<unsigned> Shared;
+      std::set_intersection(S1.WriteGlobals.begin(), S1.WriteGlobals.end(),
+                            S2.WriteGlobals.begin(), S2.WriteGlobals.end(),
+                            std::inserter(Shared, Shared.end()));
+      for (unsigned Slot : Shared) {
+        if (!isOrdered(S1, Slot) && !isOrdered(S2, Slot))
+          continue; // Both sides sum: the pair commutes on this global.
+        addDiag(R, "CL021", LintSeverity::Error, F1->Loc,
+                formatString("members '%s' and '%s' of COMMSET '%s' both "
+                             "write global '%s' and at least one write is "
+                             "order-sensitive; the pair cannot commute",
+                             F1->Name.c_str(), F2->Name.c_str(),
+                             S.Name.c_str(), globalName(M, Slot).c_str()));
+      }
+      const std::pair<const Function *, const Function *> Directions[] = {
+          {F1, F2}, {F2, F1}};
+      for (const auto &[Reader, Writer] : Directions) {
+        const EffectSummary &SR = C.effects().summaryFor(Reader);
+        const EffectSummary &SW = C.effects().summaryFor(Writer);
+        for (unsigned Slot : SR.BareReadGlobals) {
+          if (!SW.WriteGlobals.count(Slot))
+            continue;
+          addDiag(R, "CL023", LintSeverity::Warning, Reader->Loc,
+                  formatString("member '%s' of COMMSET '%s' reads global "
+                               "'%s' written by co-member '%s' outside the "
+                               "reduction pattern",
+                               Reader->Name.c_str(), S.Name.c_str(),
+                               globalName(M, Slot).c_str(),
+                               Writer->Name.c_str()));
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CL030: annotation-opportunity suggestions
+//===----------------------------------------------------------------------===//
+
+/// Direct `g = g + E` updates in the loop body: a carried dependence on the
+/// global blocks DOALL, yet the update is a commutative reduction. Suggest
+/// moving it into a commutative region or member (paper §3.1).
+void suggestDirectReductions(const Compilation &C,
+                             const Compilation::LoopTarget &T,
+                             LintResult &R) {
+  const Module &M = C.module();
+  std::set<unsigned> Candidates;
+  for (const PDGEdge &E : T.G.Edges) {
+    if (E.Kind != DepKind::Memory || !E.LoopCarried ||
+        E.Comm != CommAnnotation::None)
+      continue;
+    const Instruction *N1 = T.G.Nodes[E.Src];
+    const Instruction *N2 = T.G.Nodes[E.Dst];
+    const Instruction *Store = nullptr;
+    if (N1->op() == Opcode::StoreGlobal)
+      Store = N1;
+    else if (N2->op() == Opcode::StoreGlobal)
+      Store = N2;
+    if (!Store)
+      continue;
+    const Instruction *Other = Store == N1 ? N2 : N1;
+    if (Other->op() != Opcode::LoadGlobal &&
+        Other->op() != Opcode::StoreGlobal)
+      continue;
+    if (Other->SlotId != Store->SlotId)
+      continue;
+    Candidates.insert(Store->SlotId);
+  }
+
+  for (unsigned Slot : Candidates) {
+    // Every store in the loop must be a reduction and every load its
+    // consumed reduction load; one stray access makes the rewrite unsafe.
+    bool AllReductions = true;
+    std::set<const Instruction *> ReductionLoads;
+    SourceLoc Anchor;
+    for (const Instruction *Node : T.G.Nodes) {
+      if (Node->op() != Opcode::StoreGlobal || Node->SlotId != Slot)
+        continue;
+      const Instruction *Load = nullptr;
+      if (classifyGlobalStore(*Node, &Load) != GlobalWriteKind::AddReduction) {
+        AllReductions = false;
+        break;
+      }
+      ReductionLoads.insert(Load);
+      Anchor = Node->Loc;
+    }
+    if (AllReductions)
+      for (const Instruction *Node : T.G.Nodes)
+        if (Node->op() == Opcode::LoadGlobal && Node->SlotId == Slot &&
+            !ReductionLoads.count(Node))
+          AllReductions = false;
+    if (!AllReductions)
+      continue;
+    addDiag(R, "CL030", LintSeverity::Note, Anchor,
+            formatString("loop-carried reduction on global '%s' blocks "
+                         "parallelization; wrapping the update in a "
+                         "commutative member or region (COMMSET self set) "
+                         "would relax this dependence",
+                         globalName(M, Slot).c_str()));
+  }
+}
+
+/// Call pairs whose only conflicts are add-reductions into shared globals:
+/// a COMMSET annotation would dissolve the carried dependence.
+void suggestCallAnnotations(const Compilation &C,
+                            const Compilation::LoopTarget &T,
+                            LintResult &R) {
+  const Module &M = C.module();
+  const EffectAnalysis &EA = C.effects();
+  std::set<std::pair<std::string, std::string>> Suggested;
+
+  for (const PDGEdge &E : T.G.Edges) {
+    if (E.Kind != DepKind::Memory || !E.LoopCarried ||
+        E.Comm != CommAnnotation::None)
+      continue;
+    const Instruction *N1 = T.G.Nodes[E.Src];
+    const Instruction *N2 = T.G.Nodes[E.Dst];
+    if (!N1->isCall() || !N2->isCall())
+      continue;
+    const std::string &F = calleeName(N1);
+    const std::string &G = calleeName(N2);
+    if (!C.registry().commutingSets(F, G).empty())
+      continue; // Already annotated; the predicate just was not provable.
+
+    EffectSummary SA = EA.instructionEffects(N1);
+    EffectSummary SB = EA.instructionEffects(N2);
+    if (SA.World || SB.World || SA.ArgMemWrite || SB.ArgMemWrite)
+      continue;
+    std::set<unsigned> SharedClasses;
+    std::set_intersection(SA.WriteClasses.begin(), SA.WriteClasses.end(),
+                          SB.WriteClasses.begin(), SB.WriteClasses.end(),
+                          std::inserter(SharedClasses, SharedClasses.end()));
+    if (!SharedClasses.empty())
+      continue; // Opaque library state: cannot prove commutativity.
+
+    std::set<unsigned> Conflicts;
+    auto addConflicts = [&Conflicts](const std::set<unsigned> &A,
+                                     const std::set<unsigned> &B) {
+      std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                            std::inserter(Conflicts, Conflicts.end()));
+    };
+    addConflicts(SA.WriteGlobals, SB.WriteGlobals);
+    addConflicts(SA.WriteGlobals, SB.ReadGlobals);
+    addConflicts(SA.ReadGlobals, SB.WriteGlobals);
+    if (Conflicts.empty())
+      continue;
+    bool AllReductions = true;
+    for (unsigned Slot : Conflicts) {
+      bool WA = SA.WriteGlobals.count(Slot) != 0;
+      bool WB = SB.WriteGlobals.count(Slot) != 0;
+      if ((WA && isOrdered(SA, Slot)) || (WB && isOrdered(SB, Slot)) ||
+          SA.BareReadGlobals.count(Slot) || SB.BareReadGlobals.count(Slot)) {
+        AllReductions = false;
+        break;
+      }
+    }
+    if (!AllReductions)
+      continue;
+
+    auto Key = std::minmax(F, G);
+    if (!Suggested.insert(Key).second)
+      continue;
+    std::string Names;
+    for (unsigned Slot : Conflicts) {
+      if (!Names.empty())
+        Names += ", ";
+      Names += "'" + globalName(M, Slot) + "'";
+    }
+    addDiag(R, "CL030", LintSeverity::Note, N1->Loc,
+            formatString("calls to '%s' and '%s' conflict only through "
+                         "add-reductions into global(s) %s; a COMMSET "
+                         "annotation (%s) would relax this loop-carried "
+                         "dependence",
+                         F.c_str(), G.c_str(), Names.c_str(),
+                         F == G ? "self set" : "group set"));
+  }
+}
+
+} // namespace
+
+void lint::checkAnnotations(const Compilation &C,
+                            const Compilation::LoopTarget &T,
+                            const ParallelPlan &Plan, LintResult &R) {
+  (void)Plan; // Annotation claims are plan-independent.
+  auto Members = userMembersBySet(C);
+  for (const CommSetRegistry::SetInfo &S : C.registry().sets()) {
+    auto It = Members.find(S.Id);
+    if (It == Members.end())
+      continue;
+    if (S.Kind == CommSetKind::Self)
+      auditSelfSet(C, S, It->second, R);
+    else
+      auditGroupSet(C, S, It->second, R);
+  }
+  suggestDirectReductions(C, T, R);
+  suggestCallAnnotations(C, T, R);
+}

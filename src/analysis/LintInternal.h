@@ -1,0 +1,47 @@
+//===- LintInternal.h - Helpers shared by the CommLint checkers -*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SRC_ANALYSIS_LINTINTERNAL_H
+#define COMMSET_SRC_ANALYSIS_LINTINTERNAL_H
+
+#include "commset/Analysis/Lint.h"
+#include "commset/IR/IR.h"
+
+#include <string>
+
+namespace commset {
+namespace lint {
+
+inline const std::string &calleeName(const Instruction *Call) {
+  static const std::string Empty;
+  if (Call->op() == Opcode::Call)
+    return Call->Callee->Name;
+  if (Call->op() == Opcode::CallNative)
+    return Call->Native->Name;
+  return Empty;
+}
+
+inline std::string globalName(const Module &M, unsigned Slot) {
+  if (Slot < M.Globals.size())
+    return M.Globals[Slot].Name;
+  return "<global #" + std::to_string(Slot) + ">";
+}
+
+inline std::string effectClassName(const Module &M, unsigned Id) {
+  if (Id < M.EffectClasses.size())
+    return M.EffectClasses[Id];
+  return "<class #" + std::to_string(Id) + ">";
+}
+
+inline void addDiag(LintResult &R, const char *Code, LintSeverity Severity,
+                    SourceLoc Loc, std::string Message) {
+  R.Diags.push_back({Code, Severity, Loc, std::move(Message)});
+}
+
+} // namespace lint
+} // namespace commset
+
+#endif // COMMSET_SRC_ANALYSIS_LINTINTERNAL_H

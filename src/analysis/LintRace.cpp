@@ -1,0 +1,259 @@
+//===- LintRace.cpp - CommLint lockset race detector ----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every Memory dependence Algorithm 1 relaxed (uco/ico) is an ordering the
+// sequential program had and the plan may now violate: that is precisely the
+// set of access pairs the synchronization engine promised to protect. The
+// race detector replays that promise statically. For each relaxed edge whose
+// endpoints can execute concurrently under the plan's strategy, it demands a
+// protection witness:
+//
+//  * Mutex/Spin: a common rank-ordered lock (LockRanks intersection);
+//  * Tm: both members inside STM, or both outside under a common lock — a
+//    mixed pair is unprotected because the STM side bypasses the locks;
+//  * None (COMMSETNOSYNC / thread-safe library): nothing is inserted, so
+//    nothing protects the pair.
+//
+// Unprotected pairs conflicting on interpreter globals are errors (CL001):
+// the interpreter really does race on those words. Pairs conflicting only on
+// declared native effect classes or argument memory are warnings (CL002): we
+// trust the author's thread-safety declaration but surface the reliance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LintInternal.h"
+#include "commset/Support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace commset;
+using namespace commset::lint;
+
+namespace {
+
+/// Shared locations two summaries conflict on, rendered for the report.
+struct ConflictBasis {
+  /// Human-readable conflicting locations ("global 'g1'", "class 'fs'").
+  std::vector<std::string> Parts;
+  /// Conflict involves interpreter globals or undeclared (world) effects.
+  bool OnGlobals = false;
+
+  bool any() const { return !Parts.empty(); }
+};
+
+void intersectInto(const std::set<unsigned> &A, const std::set<unsigned> &B,
+                   std::set<unsigned> &Out) {
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::inserter(Out, Out.end()));
+}
+
+ConflictBasis conflictBasis(const Module &M, const EffectSummary &A,
+                            const EffectSummary &B) {
+  ConflictBasis C;
+  std::set<unsigned> Globals;
+  intersectInto(A.WriteGlobals, B.WriteGlobals, Globals);
+  intersectInto(A.WriteGlobals, B.ReadGlobals, Globals);
+  intersectInto(A.ReadGlobals, B.WriteGlobals, Globals);
+  for (unsigned Slot : Globals) {
+    C.Parts.push_back("global '" + globalName(M, Slot) + "'");
+    C.OnGlobals = true;
+  }
+  std::set<unsigned> Classes;
+  intersectInto(A.WriteClasses, B.WriteClasses, Classes);
+  intersectInto(A.WriteClasses, B.ReadClasses, Classes);
+  intersectInto(A.ReadClasses, B.WriteClasses, Classes);
+  for (unsigned Id : Classes)
+    C.Parts.push_back("class '" + effectClassName(M, Id) + "'");
+  if ((A.ArgMemWrite && (B.ArgMemRead || B.ArgMemWrite)) ||
+      (B.ArgMemWrite && (A.ArgMemRead || A.ArgMemWrite)))
+    C.Parts.push_back("argument memory");
+  if (A.World || B.World) {
+    C.Parts.push_back("undeclared (world) effects");
+    C.OnGlobals = true; // Cannot rule out interpreter state: treat as hard.
+  }
+  return C;
+}
+
+std::string joinParts(const std::vector<std::string> &Parts) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+/// What one endpoint of the pair touches, for the access-path report.
+std::string accessPath(const Module &M, const std::string &Name,
+                       const Instruction *Call, const EffectSummary &S) {
+  std::vector<std::string> Touches;
+  for (unsigned Slot : S.WriteGlobals)
+    Touches.push_back("writes global '" + globalName(M, Slot) + "'");
+  for (unsigned Slot : S.ReadGlobals)
+    if (!S.WriteGlobals.count(Slot))
+      Touches.push_back("reads global '" + globalName(M, Slot) + "'");
+  for (unsigned Id : S.WriteClasses)
+    Touches.push_back("writes class '" + effectClassName(M, Id) + "'");
+  for (unsigned Id : S.ReadClasses)
+    if (!S.WriteClasses.count(Id))
+      Touches.push_back("reads class '" + effectClassName(M, Id) + "'");
+  if (S.ArgMemWrite)
+    Touches.push_back("writes argument memory");
+  else if (S.ArgMemRead)
+    Touches.push_back("reads argument memory");
+  if (S.World)
+    Touches.push_back("has undeclared effects");
+  return formatString("'%s' at %s {%s}", Name.c_str(),
+                      Call->Loc.str().c_str(), joinParts(Touches).c_str());
+}
+
+const MemberSyncInfo *syncInfoFor(const ParallelPlan &Plan,
+                                  const std::string &Name) {
+  auto It = Plan.MemberSync.find(Name);
+  return It == Plan.MemberSync.end() ? nullptr : &It->second;
+}
+
+bool haveCommonRank(const MemberSyncInfo *A, const MemberSyncInfo *B) {
+  if (!A || !B)
+    return false;
+  std::vector<unsigned> Common;
+  std::set_intersection(A->LockRanks.begin(), A->LockRanks.end(),
+                        B->LockRanks.begin(), B->LockRanks.end(),
+                        std::back_inserter(Common));
+  return !Common.empty();
+}
+
+/// The protection witness for a concurrent pair, or a description of why
+/// none exists (returned through \p Why).
+bool pairProtected(const ParallelPlan &Plan, const std::string &NameA,
+                   const std::string &NameB, std::string &Why) {
+  const MemberSyncInfo *A = syncInfoFor(Plan, NameA);
+  const MemberSyncInfo *B = syncInfoFor(Plan, NameB);
+  switch (Plan.Sync) {
+  case SyncMode::None:
+    Why = "sync mode 'none' inserts no synchronization";
+    return false;
+  case SyncMode::Mutex:
+  case SyncMode::Spin:
+    if (haveCommonRank(A, B))
+      return true;
+    Why = "no common rank-ordered lock covers both calls";
+    return false;
+  case SyncMode::Tm: {
+    bool TmA = A && A->TmEligible;
+    bool TmB = B && B->TmEligible;
+    if (TmA && TmB)
+      return true; // Both run as transactions; STM orders the conflict.
+    if (!TmA && !TmB) {
+      if (haveCommonRank(A, B))
+        return true;
+      Why = "no common rank-ordered lock covers both calls (neither is "
+            "STM-eligible)";
+      return false;
+    }
+    Why = "one call runs inside STM while the other holds locks; the "
+          "transaction bypasses the lock";
+    return false;
+  }
+  }
+  Why = "unknown sync mode";
+  return false;
+}
+
+/// Pipeline stage owning a node, or -1 when replicated/unowned.
+int stageOf(const ParallelPlan &Plan, unsigned Node) {
+  for (size_t I = 0; I < Plan.Stages.size(); ++I)
+    if (Plan.Stages[I].OwnedNodes.count(Node))
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// May the two endpoint instances of \p E overlap in time under \p Plan?
+bool concurrentUnderPlan(const ParallelPlan &Plan, const PDGEdge &E) {
+  switch (Plan.Kind) {
+  case Strategy::Sequential:
+    return false;
+  case Strategy::Doall:
+    // One thread runs whole iterations in program order; only the carried
+    // instances of the pair land on different threads.
+    return E.LoopCarried;
+  case Strategy::Dswp:
+  case Strategy::PsDswp: {
+    int SA = stageOf(Plan, E.Src);
+    int SB = stageOf(Plan, E.Dst);
+    if (SA >= 0 && SA == SB) {
+      if (!Plan.Stages[SA].Parallel)
+        return false; // One sequential stage thread: iteration order holds.
+      return E.LoopCarried; // Replicas split iterations.
+    }
+    // Distinct stages (or replicated nodes) run decoupled: with the edge
+    // relaxed no queue token orders them, and different iterations overlap
+    // freely.
+    return true;
+  }
+  }
+  return true;
+}
+
+} // namespace
+
+void lint::checkRaces(const Compilation &C, const Compilation::LoopTarget &T,
+                      const ParallelPlan &Plan, LintResult &R) {
+  if (Plan.Kind == Strategy::Sequential)
+    return;
+  const Module &M = C.module();
+  const EffectAnalysis &EA = C.effects();
+
+  // One report per unordered node pair: carried conflicts appear as edge
+  // pairs in both directions.
+  std::set<std::pair<unsigned, unsigned>> Reported;
+
+  for (const PDGEdge &E : T.G.Edges) {
+    if (E.Kind != DepKind::Memory || E.Comm == CommAnnotation::None)
+      continue;
+    const Instruction *N1 = T.G.Nodes[E.Src];
+    const Instruction *N2 = T.G.Nodes[E.Dst];
+    if (!N1->isCall() || !N2->isCall())
+      continue;
+    if (!concurrentUnderPlan(Plan, E))
+      continue;
+
+    auto Key = std::minmax(E.Src, E.Dst);
+    if (!Reported.insert({Key.first, Key.second}).second)
+      continue;
+
+    const std::string &F = calleeName(N1);
+    const std::string &G = calleeName(N2);
+    std::string Why;
+    if (pairProtected(Plan, F, G, Why))
+      continue;
+
+    EffectSummary SA = EA.instructionEffects(N1);
+    EffectSummary SB = EA.instructionEffects(N2);
+    ConflictBasis Basis = conflictBasis(M, SA, SB);
+    if (!Basis.any())
+      continue; // Alias-class-only conflict with no shared named location.
+
+    const char *Code = Basis.OnGlobals ? "CL001" : "CL002";
+    LintSeverity Sev =
+        Basis.OnGlobals ? LintSeverity::Error : LintSeverity::Warning;
+    std::string Set = E.JustifyingSet < C.registry().sets().size()
+                          ? C.registry().set(E.JustifyingSet).Name
+                          : "?";
+    addDiag(R, Code, Sev, N1->Loc,
+            formatString(
+                "possible race on %s: ordering between '%s' and '%s' was "
+                "relaxed by COMMSET '%s' but the pair runs concurrently "
+                "under %s/%s and %s; access paths: %s; %s",
+                joinParts(Basis.Parts).c_str(), F.c_str(), G.c_str(),
+                Set.c_str(), strategyName(Plan.Kind),
+                syncModeName(Plan.Sync), Why.c_str(),
+                accessPath(M, F, N1, SA).c_str(),
+                accessPath(M, G, N2, SB).c_str()));
+  }
+}

@@ -6,6 +6,11 @@
 
 #include "commset/Check/CommCheck.h"
 
+#include "commset/Analysis/Lint.h"
+#include "commset/Check/CheckRuntime.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Support/Diagnostics.h"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,7 +24,17 @@ std::string check::renderArtifact(const GeneratedProgram &P,
   Os << "CommCheck failure artifact\n"
      << "==========================\n"
      << "seed: " << P.Seed << "\n"
-     << "replay: commcheck --seed " << P.Seed << " --iters 1\n"
+     << "replay: commcheck --seed " << P.Seed << " --iters 1";
+  // A single active policy is replayable exactly; pin it in the command.
+  if (Trial.SchedPolicies.size() == 1)
+    Os << " --sched " << schedPolicyName(Trial.SchedPolicies[0]);
+  Os << "\n"
+     << "sched policies:";
+  if (Trial.SchedPolicies.empty())
+    Os << " guided (default)";
+  for (SchedPolicy Sched : Trial.SchedPolicies)
+    Os << " " << schedPolicyName(Sched);
+  Os << "\n"
      << "shape: " << P.Shape << "\n"
      << "trip count: " << P.TripCount << "\n"
      << "lib-safe: " << (P.LibSafe ? "yes" : "no") << "\n"
@@ -34,12 +49,71 @@ std::string check::renderArtifact(const GeneratedProgram &P,
   return Os.str();
 }
 
+namespace {
+
+/// `--lint` negative control: lints every applicable parallel plan of a
+/// seeded-unsound program and reports whether any plan's result carries the
+/// code the generator planted. On a miss, \p Report describes what CommLint
+/// said instead.
+bool lintFlagsUnsound(const GeneratedProgram &P, const OracleOptions &Oracle,
+                      std::string &Report, unsigned &LintedPlans) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(P.Source, Diags);
+  if (!C) {
+    Report = "seeded-unsound program failed to compile (generator bug):\n" +
+             Diags.str();
+    return false;
+  }
+  auto T = C->analyzeLoop("main_loop", Diags);
+  if (!T) {
+    Report = "analyzeLoop(main_loop) failed on seeded-unsound program:\n" +
+             Diags.str();
+    return false;
+  }
+  PlanOptions PO;
+  PO.NumThreads = 4;
+  PO.Sync = SyncMode::Mutex;
+  PO.Sched = Oracle.SchedPolicies.empty() ? SchedPolicy::Guided
+                                          : Oracle.SchedPolicies.front();
+  PO.NativeCostHints = checkCostHints();
+  auto Schemes = buildAllSchemes(*C, *T, PO);
+  unsigned ParallelPlans = 0;
+  std::string Findings;
+  for (const SchemeReport &R : Schemes) {
+    if (!R.Applicable || !R.Plan || R.Plan->Kind == Strategy::Sequential)
+      continue;
+    ++ParallelPlans;
+    ++LintedPlans;
+    LintResult LR = runLint(*C, *T, *R.Plan);
+    if (LR.hasCode(P.ExpectedLintCode))
+      return true;
+    Findings += "  plan: " + R.Plan->describe() + "\n" + LR.str();
+  }
+  std::ostringstream Os;
+  Os << "CommLint failed to flag seeded-unsound annotation\n"
+     << "  planted: " << P.UnsoundKind << " (expected " << P.ExpectedLintCode
+     << ")\n";
+  if (!ParallelPlans)
+    Os << "  no parallel plan was applicable — the unsound template must "
+          "stay DOALL-able for the lint sweep to audit it\n";
+  else
+    Os << "  findings across " << ParallelPlans << " parallel plan(s):\n"
+       << Findings;
+  Report = Os.str();
+  return false;
+}
+
+} // namespace
+
 CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
   CommCheckSummary Sum;
+  OracleOptions Oracle = Opts.Oracle;
+  if (Opts.Lint)
+    Oracle.Lint = true; // --lint always validates the positive side too.
   for (unsigned K = 0; K < Opts.Iterations; ++K) {
     uint64_t IterSeed = Opts.Seed + K;
     GeneratedProgram P = generateProgram(IterSeed, Opts.Gen);
-    TrialResult Trial = runTrials(P, Opts.Oracle, IterSeed);
+    TrialResult Trial = runTrials(P, Oracle, IterSeed);
 
     ++Sum.Iterations;
     Sum.PlansRun += Trial.PlansRun;
@@ -48,8 +122,46 @@ CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
     Sum.FaultRuns += Trial.FaultRuns;
     Sum.DegradedRuns += Trial.DegradedRuns;
     Sum.FaultsInjected += Trial.FaultsInjected;
+    Sum.LintedPlans += Trial.LintedPlans;
     for (const std::string &Path : Trial.TracePaths)
       Sum.ArtifactPaths.push_back(Path);
+
+    // Negative control: the unsound twin for this seed must be flagged.
+    if (Opts.Lint) {
+      GenOptions UnsoundGen = Opts.Gen;
+      UnsoundGen.SeedUnsound = true;
+      GeneratedProgram UP = generateProgram(IterSeed, UnsoundGen);
+      ++Sum.UnsoundSeeded;
+      std::string UnsoundReport;
+      if (lintFlagsUnsound(UP, Oracle, UnsoundReport, Sum.LintedPlans)) {
+        ++Sum.UnsoundFlagged;
+        if (Opts.Verbose)
+          std::printf("commcheck: seed %llu lint flagged unsound twin "
+                      "(%s -> %s)\n",
+                      static_cast<unsigned long long>(IterSeed),
+                      UP.UnsoundKind.c_str(), UP.ExpectedLintCode.c_str());
+      } else {
+        ++Sum.Failures;
+        if (Sum.FirstFailure.empty())
+          Sum.FirstFailure = UnsoundReport;
+        if (Opts.Verbose)
+          std::printf("commcheck: seed %llu FAIL (unsound twin missed)\n",
+                      static_cast<unsigned long long>(IterSeed));
+        if (!Opts.DumpDir.empty()) {
+          TrialResult Missed;
+          Missed.Ok = false;
+          Missed.Report = UnsoundReport;
+          Missed.SchedPolicies = Oracle.SchedPolicies;
+          std::string Path = Opts.DumpDir + "/commcheck-" +
+                             std::to_string(IterSeed) + "-unsound.txt";
+          std::ofstream Out(Path);
+          if (Out) {
+            Out << renderArtifact(UP, Missed);
+            Sum.ArtifactPaths.push_back(Path);
+          }
+        }
+      }
+    }
 
     if (!Trial.PlanStats.empty())
       std::printf("commcheck: seed %llu plan stats:\n%s",

@@ -6,6 +6,7 @@
 
 #include "commset/Check/Oracle.h"
 
+#include "commset/Analysis/Lint.h"
 #include "commset/Check/CheckRuntime.h"
 #include "commset/Check/SchedulePlatform.h"
 #include "commset/Driver/Runner.h"
@@ -106,6 +107,7 @@ TrialResult check::runTrials(const GeneratedProgram &P,
                              const OracleOptions &Opts,
                              uint64_t ScheduleSeed) {
   TrialResult Res;
+  Res.SchedPolicies = Opts.SchedPolicies;
 
   DiagnosticEngine Diags;
   auto C = Compilation::fromSource(P.Source, Diags);
@@ -164,6 +166,20 @@ TrialResult check::runTrials(const GeneratedProgram &P,
         if (!R.Applicable || !R.Plan ||
             R.Plan->Kind == Strategy::Sequential)
           continue;
+        // Static verdict first: the sweep then validates it both ways.
+        bool LintRaceFree = true;
+        std::string LintFindings;
+        if (Opts.Lint) {
+          LintResult LR = runLint(*C, *T, *R.Plan);
+          ++Res.LintedPlans;
+          LintRaceFree = LR.raceFree();
+          LintFindings = LR.str();
+          if (!LintRaceFree)
+            fail(Res,
+                 "CommLint false positive: error-severity findings on a "
+                 "generator-sound program\n  " +
+                     planContext(*R.Plan, Threads, Sync) + LintFindings);
+        }
         const bool Stats = Opts.PlanStats && trace::compiledIn();
         if (Stats)
           armTrace(R.Plan->NumThreads);
@@ -201,6 +217,9 @@ TrialResult check::runTrials(const GeneratedProgram &P,
               Extra = "  trace dump failed: " + Err + "\n";
             }
           }
+          if (Opts.Lint && LintRaceFree)
+            Extra += "  commlint: verdict was race-free — the static "
+                     "analysis is UNSOUND for this plan\n";
           fail(Res, "differential mismatch vs sequential reference\n  " +
                         planContext(*R.Plan, Threads, Sync) + Extra + *Diff);
         }

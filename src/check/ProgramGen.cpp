@@ -331,10 +331,103 @@ struct Gen {
   }
 };
 
+/// Emits a small program with one deliberately wrong annotation. Each kind
+/// is kept minimal and fully annotated so every carried dependence relaxes
+/// and a parallel plan (DOALL) is always applicable — the lint sweep needs
+/// a plan to audit. Kind rotates with the seed; names and constants vary so
+/// the sweep does not lint one literal program 200 times.
+GeneratedProgram generateUnsoundProgram(uint64_t Seed) {
+  CheckRng Rng(Seed * 0x51ed2701db1f7c25ULL + 11);
+  GeneratedProgram P;
+  P.Seed = Seed;
+  P.LibSafe = false;
+  P.TripCount = 8 + static_cast<int>(Rng.range(8));
+  std::string G = "gu" + std::to_string(Rng.range(4));
+  int C1 = 1 + static_cast<int>(Rng.range(5));
+  int C2 = static_cast<int>(Rng.range(7));
+
+  std::ostringstream Src;
+  switch (Seed % 3) {
+  case 0: {
+    // A self-set member that OVERWRITES a global: instances do not
+    // commute (last writer wins), refutable from the effect summary.
+    P.UnsoundKind = "ordered-self-write";
+    P.ExpectedLintCode = "CL020";
+    Src << "// commcheck unsound seed " << Seed << ": " << P.UnsoundKind
+        << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "extern int work(int x);\n"
+        << "#pragma commset effects(work, pure)\n"
+        << "#pragma commset member(SELF)\n"
+        << "void clobber(int v) { " << G << " = v + " << C1 << "; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    int t = work(i + " << C2 << ");\n"
+        << "    clobber(t);\n"
+        << "  }\n"
+        << "  return " << G << ";\n}\n";
+    break;
+  }
+  case 1: {
+    // A NOSYNC self set whose member mutates an interpreter global: the
+    // thread-safety claim is false, so the relaxed pair races (no lock
+    // rank protects it under any sync mode).
+    P.UnsoundKind = "nosync-shared-write";
+    P.ExpectedLintCode = "CL001";
+    Src << "// commcheck unsound seed " << Seed << ": " << P.UnsoundKind
+        << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "extern int work(int x);\n"
+        << "#pragma commset effects(work, pure)\n"
+        << "#pragma commset decl(NS, self)\n"
+        << "#pragma commset nosync(NS)\n"
+        << "#pragma commset member(NS)\n"
+        << "void tally(int v) { " << G << " = " << G << " + v; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    int t = work(i);\n"
+        << "    tally(t + " << C1 << ");\n"
+        << "  }\n"
+        << "  return " << G << ";\n}\n";
+    break;
+  }
+  default: {
+    // A group pair where one member overwrites the shared global: the
+    // pair cannot commute. Both members also claim SELF so every carried
+    // dependence relaxes and DOALL stays applicable.
+    P.UnsoundKind = "ordered-group-write";
+    P.ExpectedLintCode = "CL021";
+    Src << "// commcheck unsound seed " << Seed << ": " << P.UnsoundKind
+        << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "extern int work(int x);\n"
+        << "#pragma commset effects(work, pure)\n"
+        << "#pragma commset decl(GRP)\n"
+        << "#pragma commset member(SELF, GRP)\n"
+        << "void acc(int v) { " << G << " = " << G << " + v; }\n"
+        << "#pragma commset member(SELF, GRP)\n"
+        << "void set_last(int v) { " << G << " = v; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    int t = work(i);\n"
+        << "    acc(t);\n"
+        << "    set_last(t + " << C1 << ");\n"
+        << "  }\n"
+        << "  return " << G << ";\n}\n";
+    break;
+  }
+  }
+  P.Source = Src.str();
+  P.Shape = "unsound:" + P.UnsoundKind;
+  return P;
+}
+
 } // namespace
 
 GeneratedProgram check::generateProgram(uint64_t Seed,
                                         const GenOptions &Opts) {
+  if (Opts.SeedUnsound)
+    return generateUnsoundProgram(Seed);
   Gen G(Seed, Opts);
   return G.run();
 }

@@ -169,11 +169,13 @@ commset::annotateCommutativity(PDG &G, const DomTree &DT,
     const std::string &F = calleeNameOf(N1);
     const std::string &Gn = calleeNameOf(N2);
     bool AnyUco = false, AnyIco = false;
+    unsigned UcoSet = ~0u, IcoSet = ~0u;
 
     for (unsigned SetId : Registry.commutingSets(F, Gn)) {
       const CommSetRegistry::SetInfo &S = Registry.set(SetId);
       if (!S.Pred) {
         AnyUco = true; // Lines 9-11.
+        UcoSet = SetId;
         break;
       }
 
@@ -220,12 +222,17 @@ commset::annotateCommutativity(PDG &G, const DomTree &DT,
       if (R != TriBool::True)
         continue;
       if (E.LoopCarried) {
-        if (DT.dominates(N2, N1)) // Lines 25-27.
+        if (DT.dominates(N2, N1)) { // Lines 25-27.
           AnyUco = true;
-        else // Lines 28-30.
+          UcoSet = SetId;
+        } else { // Lines 28-30.
           AnyIco = true;
+          if (IcoSet == ~0u)
+            IcoSet = SetId;
+        }
       } else { // Lines 32-36.
         AnyUco = true;
+        UcoSet = SetId;
       }
       if (AnyUco)
         break;
@@ -233,9 +240,11 @@ commset::annotateCommutativity(PDG &G, const DomTree &DT,
 
     if (AnyUco) {
       E.Comm = CommAnnotation::Uco;
+      E.JustifyingSet = UcoSet;
       ++Stats.UcoEdges;
     } else if (AnyIco) {
       E.Comm = CommAnnotation::Ico;
+      E.JustifyingSet = IcoSet;
       ++Stats.IcoEdges;
     }
   }

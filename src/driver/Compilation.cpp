@@ -41,7 +41,10 @@ Compilation::fromSource(const std::string &Source, DiagnosticEngine &Diags) {
   C->Mod = lowerProgram(*C->Prog, Diags);
   if (!C->Mod)
     return nullptr;
-  if (!verifyModule(*C->Mod, Diags))
+  std::set<std::string> DeclaredSets;
+  for (const SetDecl &D : C->Prog->SetDecls)
+    DeclaredSets.insert(D.Name);
+  if (!verifyModule(*C->Mod, Diags, &DeclaredSets))
     return nullptr;
 
   C->Registry = CommSetRegistry::build(*C->Prog, *C->Mod, Diags);

@@ -6,6 +6,7 @@
 
 #include "commset/IR/Verifier.h"
 
+#include "commset/Lang/CommSetAttrs.h"
 #include "commset/Support/StringUtils.h"
 
 #include <set>
@@ -13,10 +14,18 @@
 using namespace commset;
 
 namespace {
+
+/// True when \p MI names a declared set ("SELF" is implicit).
+bool memberSetDeclared(const MemberInstance &MI,
+                       const std::set<std::string> &DeclaredSets) {
+  return MI.SetName == SelfSetKeyword || DeclaredSets.count(MI.SetName) != 0;
+}
+
 class FunctionVerifier {
 public:
-  FunctionVerifier(const Function &F, DiagnosticEngine &Diags)
-      : F(F), Diags(Diags) {}
+  FunctionVerifier(const Function &F, DiagnosticEngine &Diags,
+                   const std::set<std::string> *DeclaredSets)
+      : F(F), Diags(Diags), DeclaredSets(DeclaredSets) {}
 
   bool run() {
     if (F.Blocks.empty()) {
@@ -30,11 +39,17 @@ public:
       Owned.insert(BB.get());
     for (const auto &BB : F.Blocks)
       verifyBlock(*BB, Owned);
-    for (const MemberInstance &MI : F.Members)
+    for (const MemberInstance &MI : F.Members) {
       for (unsigned Param : MI.ArgParams)
         if (Param >= F.NumParams)
           error(formatString("member of '%s' binds out-of-range parameter %u",
                              MI.SetName.c_str(), Param));
+      if (DeclaredSets && !memberSetDeclared(MI, *DeclaredSets))
+        error(formatString("%s references COMMSET '%s' which is not "
+                           "declared in any set",
+                           F.IsRegion ? "commutative region" : "member",
+                           MI.SetName.c_str()));
+    }
     return Ok;
   }
 
@@ -129,17 +144,31 @@ private:
 
   const Function &F;
   DiagnosticEngine &Diags;
+  const std::set<std::string> *DeclaredSets;
   bool Ok = true;
 };
 } // namespace
 
-bool commset::verifyFunction(const Function &F, DiagnosticEngine &Diags) {
-  return FunctionVerifier(F, Diags).run();
+bool commset::verifyFunction(const Function &F, DiagnosticEngine &Diags,
+                             const std::set<std::string> *DeclaredSets) {
+  return FunctionVerifier(F, Diags, DeclaredSets).run();
 }
 
-bool commset::verifyModule(const Module &M, DiagnosticEngine &Diags) {
+bool commset::verifyModule(const Module &M, DiagnosticEngine &Diags,
+                           const std::set<std::string> *DeclaredSets) {
   bool Ok = true;
   for (const auto &F : M.Functions)
-    Ok &= verifyFunction(*F, Diags);
+    Ok &= verifyFunction(*F, Diags, DeclaredSets);
+  if (DeclaredSets) {
+    for (const auto &N : M.Natives)
+      for (const MemberInstance &MI : N->Members)
+        if (!memberSetDeclared(MI, *DeclaredSets)) {
+          Diags.error(N->Loc,
+                      formatString("verifier: %s: member references COMMSET "
+                                   "'%s' which is not declared in any set",
+                                   N->Name.c_str(), MI.SetName.c_str()));
+          Ok = false;
+        }
+  }
   return Ok;
 }

@@ -247,6 +247,10 @@ void Parser::parsePragma(Program &P) {
     parsePredicateDecl(P);
   } else if (Directive == "nosync") {
     parseNoSyncDecl(P);
+  } else if (Directive == "sync") {
+    parseSyncDecl(P);
+  } else if (Directive == "lint_suppress") {
+    parseLintSuppress(P);
   } else if (Directive == "effects") {
     parseEffectsDecl(P);
   } else if (Directive == "member") {
@@ -318,6 +322,34 @@ void Parser::parseNoSyncDecl(Program &P) {
     Diags.error(current().Loc, "expected COMMSET name");
   expect(TokKind::RParen, "after nosync declaration");
   P.NoSyncs.push_back(std::move(D));
+}
+
+void Parser::parseSyncDecl(Program &P) {
+  SyncReqDecl D;
+  D.Loc = current().Loc;
+  if (!expect(TokKind::LParen, "after 'sync'"))
+    return;
+  if (check(TokKind::Identifier))
+    D.SetName = consume().Text;
+  else
+    Diags.error(current().Loc, "expected COMMSET name");
+  expect(TokKind::Comma, "after COMMSET name");
+  if (check(TokKind::Identifier))
+    D.Mode = consume().Text;
+  else
+    Diags.error(current().Loc, "expected sync mode (mutex, spin, or tm)");
+  expect(TokKind::RParen, "after sync declaration");
+  P.SyncReqs.push_back(std::move(D));
+}
+
+void Parser::parseLintSuppress(Program &P) {
+  if (!expect(TokKind::LParen, "after 'lint_suppress'"))
+    return;
+  if (check(TokKind::Identifier))
+    P.LintSuppressions.push_back(consume().Text);
+  else
+    Diags.error(current().Loc, "expected CommLint diagnostic code");
+  expect(TokKind::RParen, "after lint_suppress");
 }
 
 void Parser::parseEffectsDecl(Program &P) {

@@ -20,7 +20,40 @@ bool Sema::run() {
   checkNoSyncs();
   for (auto &F : P.Functions)
     checkFunction(*F);
+  checkSetOverlap();
   return !Diags.hasErrors();
+}
+
+/// Two group sets with identical member lists grant the same commuting
+/// pairs twice under different lock ranks: calls then take both locks where
+/// one suffices. Redundant, not unsound, hence a warning (CL014).
+void Sema::checkSetOverlap() {
+  std::map<std::string, std::set<std::string>> MembersOf;
+  for (const auto &F : P.Functions)
+    for (const MemberSpec &Spec : F->Members)
+      if (Spec.SetName != SelfSetKeyword)
+        MembersOf[Spec.SetName].insert(F->Name);
+  for (auto It1 = MembersOf.begin(); It1 != MembersOf.end(); ++It1) {
+    auto SetIt = Sets.find(It1->first);
+    if (SetIt == Sets.end() || SetIt->second->Kind != CommSetKind::Group)
+      continue;
+    if (It1->second.size() < 2)
+      continue;
+    for (auto It2 = std::next(It1); It2 != MembersOf.end(); ++It2) {
+      auto Set2It = Sets.find(It2->first);
+      if (Set2It == Sets.end() ||
+          Set2It->second->Kind != CommSetKind::Group)
+        continue;
+      if (It1->second != It2->second)
+        continue;
+      Diags.warning(Set2It->second->Loc,
+                    formatString("group COMMSETs '%s' and '%s' have "
+                                 "identical member lists; members acquire "
+                                 "both locks where one set suffices "
+                                 "[CL014]",
+                                 It1->first.c_str(), It2->first.c_str()));
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -114,6 +147,30 @@ void Sema::checkNoSyncs() {
                                       "COMMSET '%s'",
                                       D.SetName.c_str()));
 
+  for (const SyncReqDecl &D : P.SyncReqs) {
+    if (!Sets.count(D.SetName)) {
+      Diags.error(D.Loc, formatString("sync request references undeclared "
+                                      "COMMSET '%s'",
+                                      D.SetName.c_str()));
+      continue;
+    }
+    if (D.Mode != "mutex" && D.Mode != "spin" && D.Mode != "tm") {
+      Diags.error(D.Loc, formatString("unknown sync mode '%s' (expected "
+                                      "mutex, spin, or tm)",
+                                      D.Mode.c_str()));
+      continue;
+    }
+    bool NoSync = false;
+    for (const NoSyncDecl &N : P.NoSyncs)
+      NoSync |= N.SetName == D.SetName;
+    if (NoSync)
+      Diags.error(D.Loc,
+                  formatString("COMMSET '%s' is declared NOSYNC but requests "
+                               "'%s' synchronization; the declarations make "
+                               "contradictory thread-safety claims [CL012]",
+                               D.SetName.c_str(), D.Mode.c_str()));
+  }
+
   for (const EffectDecl &D : P.Effects) {
     FunctionDecl *F = P.findFunction(D.FunctionName);
     if (!F) {
@@ -159,9 +216,24 @@ void Sema::checkPredicatePurity(const Expr *E, SourceLoc Loc) {
     checkPredicatePurity(Bin->RHS.get(), Loc);
     return;
   }
-  case ExprKind::Call:
-    Diags.error(Loc, "COMMSETPREDICATE must be pure: calls are not allowed");
+  case ExprKind::Call: {
+    // No call is evaluable by the symbolic analyzer, but a side-effecting
+    // call additionally makes the predicate itself unsound to test at run
+    // time (CommCheck's predicate exerciser would perturb the state it
+    // observes), so it gets the dedicated CommLint code.
+    const auto *Call = cast<CallExpr>(E);
+    bool DeclaredPure = false;
+    for (const EffectDecl &D : P.Effects)
+      if (D.FunctionName == Call->Callee && D.Pure)
+        DeclaredPure = true;
+    if (DeclaredPure)
+      Diags.error(Loc, "COMMSETPREDICATE must be pure: calls are not allowed");
+    else
+      Diags.error(Loc, formatString("COMMSETPREDICATE must be pure: call to "
+                                    "'%s' has side effects [CL010]",
+                                    Call->Callee.c_str()));
     return;
+  }
   }
 }
 
@@ -503,6 +575,14 @@ TypeKind Sema::checkCall(CallExpr *Call) {
 
 void Sema::checkMemberSpecs(std::vector<MemberSpec> &Members, bool AtInterface,
                             const FunctionDecl *F) {
+  std::map<std::string, unsigned> SeenSets;
+  for (const MemberSpec &Spec : Members)
+    if (++SeenSets[Spec.SetName] == 2)
+      Diags.error(Spec.Loc,
+                  formatString("duplicate membership of '%s' in COMMSET "
+                               "'%s' [CL013]",
+                               F ? F->Name.c_str() : "<block>",
+                               Spec.SetName.c_str()));
   for (MemberSpec &Spec : Members) {
     if (Spec.SetName == SelfSetKeyword) {
       if (!Spec.Args.empty())

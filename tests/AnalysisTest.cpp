@@ -138,6 +138,78 @@ TEST(EffectsTest, UndeclaredNativeIsWorld) {
   EXPECT_TRUE(C->effects().summaryFor(F).World);
 }
 
+TEST(EffectsTest, WriteKindsPropagateTwoCallLevels) {
+  // The write-discipline map must survive a 2-deep call chain: `top` never
+  // touches either global directly, yet its summary proves `acc` is an
+  // add-reduction while `last`'s overwrite stays Ordered.
+  auto C = compileOk("int acc = 0;\n"
+                     "int last = 0;\n"
+                     "void leaf_add(int v) { acc = acc + v; }\n"
+                     "void leaf_set(int v) { last = v; }\n"
+                     "void mid(int v) { leaf_add(v); leaf_set(v); }\n"
+                     "void top(int v) { mid(v); }\n");
+  Module &M = C->module();
+  int AccSlot = M.findGlobal("acc");
+  int LastSlot = M.findGlobal("last");
+  ASSERT_GE(AccSlot, 0);
+  ASSERT_GE(LastSlot, 0);
+  const EffectSummary &S = C->effects().summaryFor(M.findFunction("top"));
+  ASSERT_EQ(S.GlobalWriteKinds.count(static_cast<unsigned>(AccSlot)), 1u);
+  EXPECT_EQ(S.GlobalWriteKinds.at(static_cast<unsigned>(AccSlot)),
+            GlobalWriteKind::AddReduction);
+  ASSERT_EQ(S.GlobalWriteKinds.count(static_cast<unsigned>(LastSlot)), 1u);
+  EXPECT_EQ(S.GlobalWriteKinds.at(static_cast<unsigned>(LastSlot)),
+            GlobalWriteKind::Ordered);
+}
+
+TEST(EffectsTest, RecursiveReductionReachesFixpoint) {
+  // Self-recursion puts the function's own (evolving) summary on its call
+  // edge; the fixpoint must converge without widening to World or demoting
+  // the reduction.
+  auto C = compileOk(
+      "int acc = 0;\n"
+      "void rec(int v) { if (v > 0) { acc = acc + v; rec(v - 1); } }\n");
+  Module &M = C->module();
+  int AccSlot = M.findGlobal("acc");
+  ASSERT_GE(AccSlot, 0);
+  const EffectSummary &S = C->effects().summaryFor(M.findFunction("rec"));
+  EXPECT_FALSE(S.World);
+  EXPECT_EQ(S.WriteGlobals.count(static_cast<unsigned>(AccSlot)), 1u);
+  ASSERT_EQ(S.GlobalWriteKinds.count(static_cast<unsigned>(AccSlot)), 1u);
+  EXPECT_EQ(S.GlobalWriteKinds.at(static_cast<unsigned>(AccSlot)),
+            GlobalWriteKind::AddReduction);
+  EXPECT_TRUE(S.BareReadGlobals.empty());
+}
+
+TEST(EffectsTest, ScaledUpdateIsOrderedAndBareRead) {
+  // `g = g * 2 + v` reads g outside an add-reduction: the store is Ordered
+  // and the load is a bare read (it observes intermediate state).
+  auto C = compileOk("int g = 0;\n"
+                     "void f(int v) { g = g * 2 + v; }\n");
+  Module &M = C->module();
+  int Slot = M.findGlobal("g");
+  ASSERT_GE(Slot, 0);
+  const EffectSummary &S = C->effects().summaryFor(M.findFunction("f"));
+  ASSERT_EQ(S.GlobalWriteKinds.count(static_cast<unsigned>(Slot)), 1u);
+  EXPECT_EQ(S.GlobalWriteKinds.at(static_cast<unsigned>(Slot)),
+            GlobalWriteKind::Ordered);
+  EXPECT_EQ(S.BareReadGlobals.count(static_cast<unsigned>(Slot)), 1u);
+}
+
+TEST(EffectsTest, ArgMemMapsPerParameter) {
+  // Parameter-granular argmem: `wrap` forwards only its second pointer to
+  // the argmem native, so param 0 must stay out of the write set even
+  // though the blanket ArgMemWrite flag is on.
+  auto C = compileOk("extern void touch(ptr p);\n"
+                     "#pragma commset effects(touch, argmem)\n"
+                     "void wrap(ptr a, ptr b) { touch(b); }\n");
+  const EffectSummary &S =
+      C->effects().summaryFor(C->module().findFunction("wrap"));
+  EXPECT_TRUE(S.ArgMemWrite);
+  EXPECT_EQ(S.ArgWriteParams, (std::set<unsigned>{1}));
+  EXPECT_EQ(S.ArgReadParams, (std::set<unsigned>{1}));
+}
+
 TEST(PtrOriginTest, FreshRootsDontAlias) {
   auto C = compileOk("extern ptr alloc(int n);\n"
                      "extern void use(ptr a, ptr b);\n"

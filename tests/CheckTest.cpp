@@ -90,6 +90,30 @@ TEST(OracleTest, ArtifactNamesReplaySeed) {
   EXPECT_NE(Artifact.find("synthetic failure"), std::string::npos);
 }
 
+TEST(OracleTest, ArtifactRecordsActiveSchedPolicies) {
+  GeneratedProgram P = generateProgram(4242);
+  TrialResult Trial;
+  Trial.Ok = false;
+  Trial.Report = "synthetic failure";
+
+  // Default rotation: all active policies listed, replay command unpinned.
+  Trial.SchedPolicies = {SchedPolicy::Static, SchedPolicy::Dynamic,
+                         SchedPolicy::Guided};
+  std::string Artifact = renderArtifact(P, Trial);
+  EXPECT_NE(Artifact.find("sched policies: static dynamic guided"),
+            std::string::npos);
+  EXPECT_EQ(Artifact.find("--sched"), std::string::npos);
+
+  // A single policy (commcheck --sched dynamic) is replayable exactly, so
+  // the replay command pins it.
+  Trial.SchedPolicies = {SchedPolicy::Dynamic};
+  Artifact = renderArtifact(P, Trial);
+  EXPECT_NE(
+      Artifact.find("commcheck --seed 4242 --iters 1 --sched dynamic"),
+      std::string::npos);
+  EXPECT_NE(Artifact.find("sched policies: dynamic"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Controlled scheduler + happens-before checker
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,279 @@
+//===- LintTest.cpp - CommLint checker unit tests -------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// One test per CommLint verdict class, each compiling a small CSet-C
+// program, planning its loop, and asserting the exact CL code (or its
+// absence) on the lowered plan. The plan-consistency cases (CL040/CL041)
+// corrupt the analysis results the way a buggy transform would, since the
+// pipeline itself never produces them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/Lint.h"
+#include "commset/Driver/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace commset;
+
+namespace {
+
+struct Planned {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  ParallelPlan Plan;
+  bool Ok = false;
+};
+
+/// Compiles \p Source, analyzes main_loop, and keeps the plan built by
+/// \p Want under \p Sync with 4 workers.
+Planned plan(const std::string &Source, Strategy Want,
+             SyncMode Sync = SyncMode::Mutex) {
+  Planned P;
+  DiagnosticEngine Diags;
+  P.C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(P.C, nullptr) << Diags.str();
+  if (!P.C)
+    return P;
+  P.T = P.C->analyzeLoop("main_loop", Diags);
+  EXPECT_NE(P.T, nullptr) << Diags.str();
+  if (!P.T)
+    return P;
+  PlanOptions PO;
+  PO.NumThreads = 4;
+  PO.Sync = Sync;
+  for (const SchemeReport &R : buildAllSchemes(*P.C, *P.T, PO))
+    if (R.Kind == Want && R.Applicable && R.Plan) {
+      P.Plan = *R.Plan;
+      P.Ok = true;
+      return P;
+    }
+  ADD_FAILURE() << "strategy " << strategyName(Want)
+                << " not applicable to the test loop";
+  return P;
+}
+
+TEST(LintTest, CleanSelfReductionIsRaceFree) {
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.raceFree()) << R.str();
+  EXPECT_EQ(R.errors(), 0u) << R.str();
+  EXPECT_EQ(R.exitCode(), 0) << R.str();
+}
+
+TEST(LintTest, NosyncMemberWritingGlobalIsCL001) {
+  // NOSYNC waives compiler locks, but the member mutates an interpreter
+  // global with no internal synchronization to fall back on: under a DOALL
+  // plan two workers race on `acc`.
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset decl(NS, self)
+#pragma commset nosync(NS)
+#pragma commset member(NS)
+void tally(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    tally(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL001")) << R.str();
+  EXPECT_FALSE(R.raceFree());
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, SuppressionPragmaSilencesCode) {
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset decl(NS, self)
+#pragma commset nosync(NS)
+#pragma commset lint_suppress(CL001)
+#pragma commset member(NS)
+void tally(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    tally(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_FALSE(R.hasCode("CL001")) << R.str();
+}
+
+TEST(LintTest, OrderedSelfWriteIsCL020) {
+  Planned P = plan(R"(
+int last = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void record(int v) { last = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    record(work(i));
+  }
+  return last;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL020")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, OrderedGroupPairWriteIsCL021) {
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset decl(G)
+#pragma commset member(SELF, G)
+void add(int v) { acc = acc + v; }
+#pragma commset member(SELF, G)
+void set_last(int v) { acc = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+    set_last(work(i + 1));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL021")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, UnannotatedReductionSuggestsCL030) {
+  // No parallel strategy applies (the carried dependence on `total` blocks
+  // DOALL), so the audit runs on the sequential plan and the suggestion is
+  // the only finding.
+  Planned P = plan(R"(
+int total = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    total = total + work(i);
+  }
+  return total;
+}
+)",
+                   Strategy::Sequential);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL030")) << R.str();
+  EXPECT_EQ(R.errors(), 0u) << R.str();
+  EXPECT_EQ(R.exitCode(), 0) << R.str();
+}
+
+TEST(LintTest, ClearedJustificationIsCL040) {
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  // Simulate a transform that relaxed an edge without recording (or while
+  // corrupting) the licensing declaration.
+  bool Cleared = false;
+  for (PDGEdge &E : P.T->G.Edges)
+    if (E.Kind == DepKind::Memory && E.Comm != CommAnnotation::None) {
+      E.JustifyingSet = ~0u;
+      Cleared = true;
+    }
+  ASSERT_TRUE(Cleared) << "expected at least one relaxed Memory edge";
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL040")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, NonAscendingLockRanksAreCL041) {
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  ASSERT_FALSE(P.Plan.MemberSync.empty());
+  // Corrupt the sync plan: a descending rank pair admits an acquisition
+  // cycle against any member taking the same locks in declared order.
+  P.Plan.MemberSync.begin()->second.LockRanks = {2, 1};
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL041")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, LintResultOrdersErrorsFirst) {
+  Planned P = plan(R"(
+int last = 0;
+int total = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void record(int v) { last = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    record(work(i));
+  }
+  return last;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  ASSERT_FALSE(R.Diags.empty());
+  for (size_t I = 0; I + 1 < R.Diags.size(); ++I)
+    EXPECT_GE(static_cast<int>(R.Diags[I].Severity),
+              static_cast<int>(R.Diags[I + 1].Severity));
+}
+
+} // namespace

@@ -245,4 +245,115 @@ int main_loop(int n) {
   EXPECT_EQ(D->Loc.Line, lineOf(Source, "step(i);"));
 }
 
+// A predicate call to a callee with *declared side effects* gets the
+// CL010-coded diagnostic (the generic purity message stays for declared-pure
+// callees, which are still rejected by the paper's inspection rule).
+TEST(SemaNegativeTest, PredicateCallingSideEffectingFunctionIsCL010) {
+  std::string Source = R"(
+extern int bump(int x);
+#pragma commset effects(bump, reads(b), writes(b))
+extern void touch(int k);
+#pragma commset effects(touch, reads(t), writes(t))
+#pragma commset decl(K)
+#pragma commset predicate(K, (int a), (int b), bump(a) != b)
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    #pragma commset member(K(i))
+    {
+      touch(i);
+    }
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "COMMSETPREDICATE must be pure: call to 'bump' has side effects "
+      "[CL010]",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "#pragma commset predicate"));
+}
+
+// NOSYNC promises the members are internally thread safe; a sync(...)
+// request for the same set claims the opposite. The contradiction is CL012.
+TEST(SemaNegativeTest, NosyncWithSyncRequestIsContradictory) {
+  std::string Source = R"(
+extern void stat_note(int v);
+#pragma commset effects(stat_note, reads(s), writes(s))
+#pragma commset decl(LOG, self)
+#pragma commset nosync(LOG)
+#pragma commset sync(LOG, tm)
+#pragma commset member(LOG)
+void note(int v) { stat_note(v); }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    note(i);
+  }
+  return 0;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "COMMSET 'LOG' is declared NOSYNC but requests 'tm' synchronization",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_NE(D->Message.find("[CL012]"), std::string::npos);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "#pragma commset sync"));
+}
+
+// Listing one set twice in a member clause is CL013: the duplicate either
+// double-acquires the set lock or silently means nothing, so reject it.
+TEST(SemaNegativeTest, DuplicateMembershipIsCL013) {
+  std::string Source = R"(
+int acc = 0;
+#pragma commset decl(S, self)
+#pragma commset member(S, S)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(i);
+  }
+  return acc;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source, "duplicate membership of 'add' in COMMSET 'S'", Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_NE(D->Message.find("[CL013]"), std::string::npos);
+}
+
+// Two group sets with identical member lists make every member acquire two
+// locks where one set would do. This is legal, so it warns (CL014) and the
+// program still compiles.
+TEST(SemaNegativeTest, IdenticalGroupSetsWarnCL014) {
+  std::string Source = R"(
+int acc = 0;
+#pragma commset decl(G1)
+#pragma commset decl(G2)
+#pragma commset member(SELF, G1, G2)
+void add(int v) { acc = acc + v; }
+#pragma commset member(SELF, G1, G2)
+void sub(int v) { acc = acc - v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(i);
+    sub(i);
+  }
+  return acc;
+}
+)";
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  ASSERT_NE(C, nullptr) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(Diags.contains(
+      "group COMMSETs 'G1' and 'G2' have identical member lists"))
+      << Diags.str();
+  EXPECT_TRUE(Diags.contains("[CL014]")) << Diags.str();
+}
+
 } // namespace

@@ -38,6 +38,11 @@ void usage(const char *Argv0) {
       "  --no-tm           skip SyncMode::Tm plans\n"
       "  --no-schedules    skip controlled-schedule exploration\n"
       "  --random-scheds N random schedule policies per plan (default 2)\n"
+      "  --lint            CommLint cross-validation: statically lint every\n"
+      "                    swept plan (an error on a sound program or a\n"
+      "                    divergence on a race-free verdict fails the\n"
+      "                    trial) and assert the seeded-unsound twin of\n"
+      "                    every seed is flagged with its expected CL code\n"
       "  --faults          fault sweep: re-run plans under seeded fault\n"
       "                    injection and assert the resilient engine still\n"
       "                    matches the sequential reference\n"
@@ -117,6 +122,9 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.Oracle.SchedPolicies = {Sched};
+    } else if (Arg == "--lint") {
+      Opts.Lint = true;
+      Opts.Oracle.Lint = true;
     } else if (Arg == "--no-tm") {
       Opts.Oracle.IncludeTm = false;
     } else if (Arg == "--no-schedules") {
@@ -181,6 +189,10 @@ int main(int argc, char **argv) {
                 "%u races, %u failures\n",
                 Sum.Iterations, Sum.PlansRun, Sum.SchedulesRun,
                 Sum.RacesReported, Sum.Failures);
+    if (Opts.Lint)
+      std::printf("commcheck: lint sweep: %u plans audited, %u unsound "
+                  "seeded, %u flagged\n",
+                  Sum.LintedPlans, Sum.UnsoundSeeded, Sum.UnsoundFlagged);
     if (Opts.Oracle.FaultSweep)
       std::printf("commcheck: fault sweep: %u runs, %u degraded to "
                   "sequential, %llu faults injected, %u divergences\n",

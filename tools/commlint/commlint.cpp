@@ -1,0 +1,246 @@
+//===- commlint.cpp - CommLint command-line driver ------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Static race and annotation-soundness analyzer over lowered parallel
+// plans. Compiles each input CSet-C file, plans the target loop under the
+// requested sync/thread/sched configuration, and audits every applicable
+// plan with CommLint (Analysis/Lint.h). Typical invocations:
+//
+//   commlint examples/csetc/histogram.csetc           # audit main_loop
+//   commlint --sync tm --threads 8 prog.csetc         # pin the plan config
+//   commlint --werror prog.csetc                      # warnings fail the run
+//
+// Exit code: 0 clean (or notes only), 1 warnings, 2 errors (or the input
+// failed to compile / the target loop is missing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/Lint.h"
+#include "commset/Driver/Runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace commset;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s [options] file.csetc [file2.csetc ...]\n"
+      "  --func NAME    function whose first top-level loop is audited\n"
+      "                 (default main_loop)\n"
+      "  --threads N    planned worker count (default 4)\n"
+      "  --sync MODE    sync engine to plan with: mutex | spin | tm | none\n"
+      "                 (default mutex)\n"
+      "  --sched P      iteration-scheduling policy: static | dynamic |\n"
+      "                 guided (default guided)\n"
+      "  --werror       treat warnings as errors (exit 2)\n"
+      "  --explain      append the CL-code registry description to each\n"
+      "                 finding\n"
+      "  -q, --quiet    suppress per-finding output; summary only\n"
+      "  -h, --help     this text\n"
+      "exit: 0 clean/notes, 1 warnings, 2 errors or compile failure\n",
+      Argv0);
+}
+
+bool syncModeFromString(const char *Name, SyncMode &Out) {
+  if (!std::strcmp(Name, "mutex"))
+    Out = SyncMode::Mutex;
+  else if (!std::strcmp(Name, "spin"))
+    Out = SyncMode::Spin;
+  else if (!std::strcmp(Name, "tm"))
+    Out = SyncMode::Tm;
+  else if (!std::strcmp(Name, "none"))
+    Out = SyncMode::None;
+  else
+    return false;
+  return true;
+}
+
+struct LintRun {
+  int ExitCode = 0;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  unsigned Notes = 0;
+  unsigned PlansAudited = 0;
+};
+
+/// Lints one file: every applicable plan (sequential included, so the
+/// annotation and consistency checkers run even when no parallelization
+/// applies) with findings deduplicated across plans.
+LintRun lintFile(const std::string &Path, const std::string &Func,
+                 const PlanOptions &PO, bool WError, bool Explain,
+                 bool Quiet) {
+  LintRun Run;
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "commlint: cannot read '%s'\n", Path.c_str());
+    Run.ExitCode = 2;
+    return Run;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Buf.str(), Diags);
+  if (!C) {
+    std::fprintf(stderr, "commlint: %s: compilation failed\n%s",
+                 Path.c_str(), Diags.str().c_str());
+    Run.ExitCode = 2;
+    return Run;
+  }
+  auto T = C->analyzeLoop(Func, Diags);
+  if (!T) {
+    std::fprintf(stderr, "commlint: %s: no loop target in '%s'\n%s",
+                 Path.c_str(), Func.c_str(), Diags.str().c_str());
+    Run.ExitCode = 2;
+    return Run;
+  }
+
+  // One lint pass per applicable scheme: what is concurrent (and therefore
+  // what races) depends on the plan, so DOALL and DSWP can yield different
+  // findings for the same loop.
+  std::vector<LintDiagnostic> Merged;
+  std::set<std::string> Seen;
+  for (const SchemeReport &R : buildAllSchemes(*C, *T, PO)) {
+    if (!R.Applicable || !R.Plan)
+      continue;
+    ++Run.PlansAudited;
+    LintResult LR = runLint(*C, *T, *R.Plan);
+    for (const LintDiagnostic &D : LR.Diags) {
+      std::string Key = D.Code + "|" + D.Loc.str() + "|" + D.Message;
+      if (Seen.insert(Key).second)
+        Merged.push_back(D);
+    }
+  }
+
+  std::stable_sort(Merged.begin(), Merged.end(),
+                   [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                     if (A.Severity != B.Severity)
+                       return static_cast<int>(A.Severity) >
+                              static_cast<int>(B.Severity);
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     return A.Code < B.Code;
+                   });
+
+  for (const LintDiagnostic &D : Merged) {
+    switch (D.Severity) {
+    case LintSeverity::Error:
+      ++Run.Errors;
+      break;
+    case LintSeverity::Warning:
+      ++Run.Warnings;
+      break;
+    case LintSeverity::Note:
+      ++Run.Notes;
+      break;
+    }
+    if (Quiet)
+      continue;
+    std::printf("%s: %s\n", Path.c_str(), D.str().c_str());
+    if (Explain) {
+      const char *Desc = lintCodeDescription(D.Code);
+      if (*Desc)
+        std::printf("%s:   %s: %s\n", Path.c_str(), D.Code.c_str(), Desc);
+    }
+  }
+
+  if (Run.Errors || (WError && Run.Warnings))
+    Run.ExitCode = 2;
+  else if (Run.Warnings)
+    Run.ExitCode = 1;
+  return Run;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Func = "main_loop";
+  PlanOptions PO;
+  PO.NumThreads = 4;
+  PO.Sync = SyncMode::Mutex;
+  PO.Sched = SchedPolicy::Guided;
+  bool WError = false;
+  bool Explain = false;
+  bool Quiet = false;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto needValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "commlint: %s requires a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--func") {
+      Func = needValue();
+    } else if (Arg == "--threads") {
+      int N = std::atoi(needValue());
+      if (N <= 0) {
+        std::fprintf(stderr, "commlint: bad --threads\n");
+        return 2;
+      }
+      PO.NumThreads = static_cast<unsigned>(N);
+    } else if (Arg == "--sync") {
+      if (!syncModeFromString(needValue(), PO.Sync)) {
+        std::fprintf(stderr, "commlint: bad --sync mode\n");
+        return 2;
+      }
+    } else if (Arg == "--sched") {
+      if (!schedPolicyFromString(needValue(), PO.Sched)) {
+        std::fprintf(stderr, "commlint: bad --sched policy\n");
+        return 2;
+      }
+    } else if (Arg == "--werror") {
+      WError = true;
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg == "-q" || Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "commlint: unknown option '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (Files.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  int Exit = 0;
+  unsigned Errors = 0, Warnings = 0, Notes = 0, Plans = 0;
+  for (const std::string &Path : Files) {
+    LintRun Run = lintFile(Path, Func, PO, WError, Explain, Quiet);
+    Errors += Run.Errors;
+    Warnings += Run.Warnings;
+    Notes += Run.Notes;
+    Plans += Run.PlansAudited;
+    Exit = std::max(Exit, Run.ExitCode);
+  }
+
+  std::printf("commlint: %zu file(s), %u plan(s) audited: %u error(s), "
+              "%u warning(s), %u note(s)\n",
+              Files.size(), Plans, Errors, Warnings, Notes);
+  return Exit;
+}
