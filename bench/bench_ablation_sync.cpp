@@ -21,6 +21,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
+#include <string>
 
 using namespace commset;
 using namespace commset::bench;
@@ -245,29 +247,146 @@ int runTraceOverheadGuard() {
   return 0;
 }
 
-void runAblation(const char *Workload) {
+/// Privatization speedup guard: on a contended histogram — every iteration
+/// enters the same SELF-set member to add into two shared counters — the
+/// mutex plan pays a lock handoff per call while the priv plan touches
+/// worker-local replicas and merges once at region exit. Under the
+/// simulator's cost model the priv plan must be at least 1.5x faster at 8
+/// threads, or the replica fast path has regressed into the lock path.
+int runPrivSpeedupGuard() {
+  const char *Src = "int hsum = 0;\n"
+                    "int hcount = 0;\n"
+                    "extern int key(int x);\n"
+                    "#pragma commset effects(key, pure)\n"
+                    "#pragma commset member(SELF)\n"
+                    "void bump(int v) {\n"
+                    "  hsum = hsum + v;\n"
+                    "  hcount = hcount + 1;\n"
+                    "}\n"
+                    "int run(int n) {\n"
+                    "  for (int i = 0; i < n; i++) {\n"
+                    "    bump(key(i));\n"
+                    "  }\n"
+                    "  return hsum + hcount;\n"
+                    "}\n";
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Src, Diags);
+  std::unique_ptr<Compilation::LoopTarget> T;
+  if (C)
+    T = C->analyzeLoop("run", Diags);
+  if (!C || !T) {
+    std::fprintf(stderr, "priv guard: compile failed:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+
+  auto planFor = [&](SyncMode Sync) -> std::optional<ParallelPlan> {
+    PlanOptions PO;
+    PO.NumThreads = 8;
+    PO.Sync = Sync;
+    PO.NativeCostHints = {{"key", 60.0}};
+    for (const SchemeReport &S : buildAllSchemes(*C, *T, PO))
+      if (S.Kind == Strategy::Doall && S.Applicable && S.Plan)
+        return S.Plan;
+    return std::nullopt;
+  };
+  auto Mutex = planFor(SyncMode::Mutex);
+  auto Priv = planFor(SyncMode::Priv);
+  if (!Mutex || !Priv) {
+    std::fprintf(stderr, "priv guard: DOALL not applicable\n");
+    return 1;
+  }
+  if (Priv->PrivGlobals.size() != 2) {
+    std::fprintf(stderr,
+                 "priv guard: planner failed to privatize the histogram "
+                 "(%zu slots)\n",
+                 Priv->PrivGlobals.size());
+    return 1;
+  }
+
+  NativeRegistry Natives;
+  Natives.add(
+      "key", [](const RtValue *Args, unsigned) { return Args[0]; },
+      /*FixedCostNs=*/60);
+
+  constexpr int64_t N = 4000;
+  auto virtualNs = [&](const ParallelPlan &Plan) -> uint64_t {
+    RunConfig Config;
+    Config.Plan = &Plan;
+    Config.Simulate = true; // virtual time: deterministic cost model
+    RunOutcome Out =
+        runScheme(*C, T->F, {RtValue::ofInt(N)}, Natives, Config);
+    if (Out.Status != RunStatus::Ok) {
+      std::fprintf(stderr, "priv guard: unexpected status %s: %s\n",
+                   runStatusName(Out.Status), Out.Diagnostic.c_str());
+      return 0;
+    }
+    if (Out.Result.I != N * (N - 1) / 2 + N) {
+      std::fprintf(stderr, "priv guard: wrong result %lld\n",
+                   static_cast<long long>(Out.Result.I));
+      return 0;
+    }
+    return Out.VirtualNs;
+  };
+
+  uint64_t MutexNs = virtualNs(*Mutex);
+  uint64_t PrivNs = virtualNs(*Priv);
+  if (!MutexNs || !PrivNs)
+    return 1;
+  double Ratio = static_cast<double>(MutexNs) / static_cast<double>(PrivNs);
+  std::printf("\nPrivatization speedup guard (contended histogram, DOALL "
+              "x8, n=%lld, simulated)\n"
+              "  mutex: %10.3f ms\n"
+              "  priv:  %10.3f ms   speedup %.2fx (bound >= 1.5x)\n\n",
+              static_cast<long long>(N), MutexNs / 1e6, PrivNs / 1e6, Ratio);
+  if (Ratio < 1.5) {
+    std::fprintf(stderr,
+                 "priv guard FAILED: priv is only %.2fx over mutex at 8 "
+                 "threads (bound: 1.5x)\n",
+                 Ratio);
+    return 1;
+  }
+  return 0;
+}
+
+void runAblation(const char *Workload, std::vector<BenchRecord> *Records) {
   std::vector<Series> SeriesList = {
       {"DOALL + Mutex", "", Strategy::Doall, SyncMode::Mutex},
       {"DOALL + Spin", "", Strategy::Doall, SyncMode::Spin},
       {"DOALL + TM", "", Strategy::Doall, SyncMode::Tm},
+      {"DOALL + Priv", "", Strategy::Doall, SyncMode::Priv},
       {"DOALL + Lib (nosync)", "", Strategy::Doall, SyncMode::None},
   };
-  printFigure(Workload, SeriesList, QuickThreads);
+  printFigure(Workload, SeriesList, QuickThreads, /*Scale=*/0, Records);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  // `--priv-guard` runs only the privatization speedup guard: the quick,
+  // deterministic flavor the priv-smoke ctest tier executes.
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]) == "--priv-guard")
+      return runPrivSpeedupGuard();
+
+  std::string JsonPath = extractJsonPath(argc, argv);
   if (int Rc = runFallbackOverheadGuard())
     return Rc;
   if (int Rc = runTraceOverheadGuard())
     return Rc;
-  runAblation("hmmer");
-  runAblation("kmeans");
-  runAblation("eclat");
+  if (int Rc = runPrivSpeedupGuard())
+    return Rc;
+  std::vector<BenchRecord> Records;
+  std::vector<BenchRecord> *RecPtr = JsonPath.empty() ? nullptr : &Records;
+  runAblation("hmmer", RecPtr);
+  runAblation("kmeans", RecPtr);
+  runAblation("eclat", RecPtr);
+  if (!maybeWriteJson(JsonPath, Records))
+    return 1;
 
   for (const char *Name : {"hmmer", "kmeans", "eclat"}) {
-    for (SyncMode Sync : {SyncMode::Mutex, SyncMode::Spin, SyncMode::Tm}) {
+    for (SyncMode Sync : {SyncMode::Mutex, SyncMode::Spin, SyncMode::Tm,
+                          SyncMode::Priv}) {
       Series S{std::string("DOALL+") + syncModeName(Sync), "",
                Strategy::Doall, Sync};
       registerSchemeBenchmark(Name, S, 8);

@@ -79,6 +79,27 @@ struct EffectSummary {
   }
 };
 
+/// The privatization proof obligation (SyncMode::Priv): a member may run
+/// against per-worker shadow replicas only when its entire transitive
+/// effect is add-reductions over module globals — every written global
+/// provably AddReduction, no bare reads (they would observe partial sums),
+/// and no other memory effects whose ordering a replica could not restore.
+inline bool privEligibleSummary(const EffectSummary &S) {
+  if (S.World || S.ArgMemRead || S.ArgMemWrite)
+    return false;
+  if (!S.ReadClasses.empty() || !S.WriteClasses.empty())
+    return false;
+  if (S.WriteGlobals.empty() || !S.BareReadGlobals.empty())
+    return false;
+  for (unsigned Slot : S.WriteGlobals) {
+    auto It = S.GlobalWriteKinds.find(Slot);
+    if (It == S.GlobalWriteKinds.end() ||
+        It->second != GlobalWriteKind::AddReduction)
+      return false;
+  }
+  return true;
+}
+
 /// Classifies one StoreGlobal instruction: AddReduction when the stored
 /// value is a sum with exactly one `load <same global>` leaf (the canonical
 /// `g = g + E` reduction). On success \p ReductionLoad (when non-null)

@@ -56,6 +56,8 @@ struct CommCheckSummary {
   unsigned DegradedRuns = 0;
   uint64_t FaultsInjected = 0;
   unsigned LintedPlans = 0;   ///< Plans audited by CommLint across trials.
+  unsigned PrivPlansRun = 0;    ///< Sweep plans run under SyncMode::Priv.
+  unsigned PrivatizedPlans = 0; ///< ... of which privatized >= 1 global.
   unsigned UnsoundSeeded = 0; ///< Seeded-unsound twin programs generated.
   unsigned UnsoundFlagged = 0; ///< ... of which CommLint flagged correctly.
   std::vector<std::string> ArtifactPaths;

@@ -24,6 +24,7 @@
 
 #include "commset/Check/ProgramGen.h"
 #include "commset/Runtime/Sched.h"
+#include "commset/Transform/ParallelPlan.h"
 
 #include <cstdint>
 #include <string>
@@ -43,6 +44,15 @@ struct OracleOptions {
       SchedPolicy::Static, SchedPolicy::Dynamic, SchedPolicy::Guided};
   /// Include SyncMode::Tm plans in the sweep.
   bool IncludeTm = true;
+  /// Include SyncMode::Priv plans in the sweep (and a privatized pass in
+  /// schedule exploration). Plans whose members fail the add-reduction
+  /// proof silently fall back to ranked mutexes — the sweep still runs
+  /// them; TrialResult::PrivatizedPlans counts how many actually
+  /// privatized at least one global.
+  bool IncludePriv = true;
+  /// When non-empty, replaces the sync-mode rotation of the free-running
+  /// and fault sweeps with exactly this list (commcheck --sync=MODE).
+  std::vector<SyncMode> SyncModes;
   /// Run the controlled-scheduler + happens-before pass.
   bool ExploreSchedules = true;
   /// Number of random schedule policies per explored plan.
@@ -84,6 +94,8 @@ struct TrialResult {
   unsigned DegradedRuns = 0; ///< ... of which fell back to sequential.
   uint64_t FaultsInjected = 0;
   unsigned LintedPlans = 0;  ///< Plans audited by CommLint (--lint).
+  unsigned PrivPlansRun = 0;    ///< Free-sweep plans run under Priv.
+  unsigned PrivatizedPlans = 0; ///< ... of which privatized >= 1 global.
   /// The iteration-scheduling policies the sweep rotated through, copied
   /// from OracleOptions so failure artifacts can record (and the replay
   /// command can pin) the active --sched configuration.

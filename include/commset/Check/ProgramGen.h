@@ -91,6 +91,12 @@ struct GenOptions {
   /// group pairs). Used by `commcheck --lint` to validate that CommLint
   /// flags every planted unsoundness with the expected code.
   bool SeedUnsound = false;
+  /// Bias programs toward privatizable shapes: at least one add-reduction
+  /// member (bump) always exists and is always called, and the direct
+  /// un-annotated global accumulation (which disqualifies its slot from
+  /// privatization) is suppressed. Used by `commcheck --reduction-heavy`
+  /// so a priv sweep actually exercises replica merges.
+  bool ReductionHeavy = false;
 };
 
 /// Generates the program for \p Seed. Pure function of its arguments.

@@ -44,6 +44,11 @@ public:
     /// Predicate declaration (owned by the Program); null if unpredicated.
     const PredicateDecl *Pred = nullptr;
     bool NoSync = false;
+    /// `#pragma commset sync(S, priv)`: the user demands privatized
+    /// replicas for this set's members. The driver verifies the
+    /// add-reduction proof after effect analysis and rejects the program
+    /// (CL050) when it fails.
+    bool ForcePriv = false;
     /// Global lock-acquisition rank.
     unsigned Rank = 0;
   };

@@ -144,6 +144,17 @@ public:
                            bool DeclaredSafe) {}
   virtual void memberExit(unsigned Thread) {}
 
+  /// Privatized-access hooks (SyncMode::Priv), fired *instead of*
+  /// onGlobalLoad/onGlobalStore when an access is served by the worker's
+  /// replica: the shared global is untouched, so the happens-before
+  /// checker must not see (and falsely race on) it. The simulator charges
+  /// the replica touch (a private cache line, far below a lock acquire)
+  /// and bills the merge to the master at region exit.
+  virtual void onPrivLoad(unsigned Thread, unsigned Slot) {}
+  virtual void onPrivStore(unsigned Thread, unsigned Slot) {}
+  virtual void onPrivMerge(unsigned MasterThread, uint64_t Slots,
+                           uint64_t Workers) {}
+
 protected:
   /// Shared iteration counter behind claimIterations/resetClaims.
   std::atomic<uint64_t> NextIter{0};

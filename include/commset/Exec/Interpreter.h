@@ -31,6 +31,8 @@
 
 namespace commset {
 
+class PrivatizationManager;
+
 /// Execution frame of one function activation.
 struct Frame {
   std::vector<RtValue> Locals;
@@ -49,6 +51,11 @@ struct SyncContext {
   /// Retry/timeout bounds and fault injection for this region; null means
   /// process defaults (defaultResilience()).
   const ResilienceConfig *Resilience = nullptr;
+  /// Replica manager for privatized globals (SyncMode::Priv). Non-null only
+  /// inside a parallel region whose plan privatized at least one slot;
+  /// global accesses to privatized slots are served by this thread's
+  /// replica instead of the shared image.
+  PrivatizationManager *Priv = nullptr;
 };
 
 class Interpreter {

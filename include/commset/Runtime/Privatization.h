@@ -1,0 +1,82 @@
+//===- Privatization.h - Per-worker shadow replicas for Priv sync -*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime half of the `priv` sync mode: each worker of a parallel region
+/// owns a shadow replica of every privatized global (a slot the planner
+/// proved is written only as an add-reduction inside the region). Member
+/// calls update the local replica lock free; at region exit the master
+/// merges the replicas into the shared globals in ascending worker order,
+/// so the merged value — and for floats even the rounding — is a
+/// deterministic function of the iteration→worker assignment.
+///
+/// Replica storage is leased from the persistent WorkerPool (one
+/// cache-line-padded row per logical worker, reused across regions) and
+/// reset to the additive identity when a manager is constructed, which is
+/// exactly once per region attempt. A region that faults simply never
+/// calls merge(): the partial sums die with the manager and the
+/// degraded-sequential re-execution starts from a fresh global image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_RUNTIME_PRIVATIZATION_H
+#define COMMSET_RUNTIME_PRIVATIZATION_H
+
+#include "commset/Exec/RtValue.h"
+#include "commset/Runtime/ThreadPool.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace commset {
+
+class PrivatizationManager {
+public:
+  /// \p PrivSlots are the privatized global slot ids; \p FloatSlot (indexed
+  /// by global slot, may be shorter than the module's slot count) marks
+  /// float-typed globals so the merge adds in the right domain. Rows for
+  /// workers [0, NumWorkers) are leased from \p Pool and zeroed here.
+  PrivatizationManager(const std::set<unsigned> &PrivSlots,
+                       unsigned NumWorkers,
+                       const std::vector<bool> &FloatSlot,
+                       WorkerPool &Pool = WorkerPool::global());
+
+  bool isPrivatized(unsigned Slot) const {
+    return Slot < DenseIdx.size() && DenseIdx[Slot] >= 0;
+  }
+
+  /// Worker-local replica cell; the hot path of privatized global access.
+  /// Only worker \p Worker may touch its row while the region runs.
+  RtValue &replica(unsigned Worker, unsigned Slot) {
+    return Rows[Worker][DenseIdx[Slot]];
+  }
+
+  /// Adds every replica into \p Globals in ascending worker order (worker
+  /// 0 first), ascending slot order within a worker. Emits one PrivMerge
+  /// trace event per (worker, slot) pair actually merged, attributed to
+  /// \p MasterTid. Call exactly once, after the region joined; a faulted
+  /// region skips it and the partial sums are discarded by construction.
+  void merge(RtValue *Globals, unsigned MasterTid);
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Rows.size()); }
+  size_t slotCount() const { return SlotList.size(); }
+  const std::vector<unsigned> &slots() const { return SlotList; }
+
+  /// True once merge() ran; pinned by tests to catch double merges.
+  bool merged() const { return Merged; }
+
+private:
+  std::vector<int> DenseIdx;       ///< Global slot -> dense index, -1 = no.
+  std::vector<unsigned> SlotList;  ///< Dense index -> global slot.
+  std::vector<bool> FloatSlots;    ///< Per dense index.
+  std::vector<RtValue *> Rows;     ///< Per worker, leased from the pool.
+  bool Merged = false;
+};
+
+} // namespace commset
+
+#endif // COMMSET_RUNTIME_PRIVATIZATION_H

@@ -35,6 +35,7 @@
 #ifndef COMMSET_RUNTIME_THREADPOOL_H
 #define COMMSET_RUNTIME_THREADPOOL_H
 
+#include "commset/Exec/RtValue.h"
 #include "commset/Runtime/FaultInjector.h"
 #include "commset/Trace/Trace.h"
 
@@ -148,6 +149,16 @@ public:
   /// threads are not waited for. Called by the destructor.
   void shutdown();
 
+  /// Leases worker \p Worker's replica row for a privatized region:
+  /// \p NumSlots RtValue cells, grow-only and persistent alongside the
+  /// worker's pool slot, so consecutive regions reuse the same storage
+  /// without reallocating. Rows are separate cache-line-aligned
+  /// allocations (capacity rounded to whole lines), so two workers'
+  /// replicas never false-share. The caller (PrivatizationManager) owns
+  /// resetting the cells — a leased row's previous contents are stale by
+  /// contract.
+  RtValue *leaseReplicaRow(unsigned Worker, size_t NumSlots);
+
   /// The process-wide pool used by runParallel/runParallelSupervised.
   static WorkerPool &global();
 
@@ -164,6 +175,18 @@ private:
   std::mutex PoolM;        ///< Serializes regions and slot mutation.
   std::vector<Slot> Slots; ///< Guarded by PoolM.
   std::atomic<uint64_t> Spawns{0};
+
+  /// One cache-line-aligned replica row per logical worker; grow-only.
+  /// Storage is over-allocated by one line and Aligned rounds the base up,
+  /// so rows never straddle into each other's lines regardless of what the
+  /// allocator returns.
+  struct ReplicaRow {
+    size_t Capacity = 0;
+    std::vector<RtValue> Storage;
+    RtValue *Aligned = nullptr;
+  };
+  std::mutex ReplicaM; ///< Guards the arena (not the leased cells).
+  std::vector<ReplicaRow> ReplicaRows;
 };
 
 /// Runs Tasks[i] on worker i of the global pool; returns after all

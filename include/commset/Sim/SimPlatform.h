@@ -67,6 +67,13 @@ struct SimParams {
   /// Cost of one dynamic-scheduling chunk claim (a fetch-add on a shared
   /// cache line plus the surrounding branchwork).
   uint64_t ChunkClaim = 40;
+  /// Privatized (SyncMode::Priv) replica access: a read-modify-write of a
+  /// worker-private cache line — no coherence traffic, no hand-off, far
+  /// below even an uncontended LockAcquire.
+  uint64_t PrivTouch = 4;
+  /// Per (slot, worker) contribution of the region-exit merge, charged to
+  /// the master: the replicas' lines migrate to the master's cache once.
+  uint64_t PrivMergeSlot = 30;
 };
 
 class SimPlatform : public ExecPlatform {
@@ -91,6 +98,21 @@ public:
   void regionBegin(unsigned MasterThread) override;
   void regionEnd(unsigned MasterThread) override;
   uint64_t elapsedNs() const override;
+
+  // Privatized accesses never enter the lock/TM gate: a replica touch is
+  // pure local compute, so charging it keeps the virtual clocks honest
+  // without serializing anything — that absence of serialization *is* the
+  // modeled win. The merge bills the whole fan-in to the master at exit.
+  void onPrivLoad(unsigned Thread, unsigned Slot) override {
+    charge(Thread, Params.PrivTouch);
+  }
+  void onPrivStore(unsigned Thread, unsigned Slot) override {
+    charge(Thread, Params.PrivTouch);
+  }
+  void onPrivMerge(unsigned MasterThread, uint64_t Slots,
+                   uint64_t Workers) override {
+    charge(MasterThread, Params.PrivMergeSlot * Slots * Workers);
+  }
 
   uint64_t threadTimeNs(unsigned Thread) const {
     return VTime[Thread].load(std::memory_order_relaxed);

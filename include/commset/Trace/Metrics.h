@@ -128,6 +128,15 @@ struct WorkerStats {
   uint64_t ClaimedIters = 0; ///< Iterations claimed from the counter.
   uint64_t Steals = 0;       ///< Steal events (this tid was the thief).
   uint64_t StolenIters = 0;  ///< Iterations taken from other deques.
+  // Privatized-region activity (SyncMode::Priv).
+  uint64_t PrivTouches = 0;  ///< Replica accesses served on this worker.
+};
+
+/// Replica/merge activity of one privatized global across the run.
+struct PrivSlotStats {
+  uint64_t Touches = 0; ///< Replica loads + stores, all workers.
+  uint64_t Stores = 0;  ///< Replica stores only.
+  uint64_t Merges = 0;  ///< Per-worker merge contributions at region exit.
 };
 
 /// Everything the profile report prints, in one drain.
@@ -158,6 +167,12 @@ struct TraceMetrics {
   uint64_t MemberCalls = 0;
   std::map<unsigned, uint64_t> FaultsInjected; ///< FaultKind -> count.
   std::vector<std::pair<unsigned, unsigned>> Degradations; ///< (kind, tid).
+
+  // Privatization (SyncMode::Priv): replica traffic and the merge fan-in.
+  uint64_t PrivTouches = 0;
+  uint64_t PrivStores = 0;
+  uint64_t PrivMerges = 0; ///< (worker, slot) merge contributions.
+  std::map<unsigned, PrivSlotStats> PrivSlots; ///< Keyed by global slot.
 
   uint64_t totalLockContentions() const {
     uint64_t N = 0;

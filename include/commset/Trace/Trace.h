@@ -78,9 +78,14 @@ enum class EventKind : uint32_t {
   ChunkClaim,    ///< A = first iteration claimed, B = iterations claimed
                  ///< (0 = the shared counter was already exhausted).
   Steal,         ///< A = victim worker tid, B = iterations stolen.
+  PrivTouch,     ///< A = global slot id, B = 1 for a store, 0 for a load.
+                 ///< A privatized access served by the worker's replica.
+  PrivMerge,     ///< A = global slot id, B = worker whose replica merged.
+                 ///< Emitted by the master at region exit, in merge order.
 };
 
-constexpr unsigned NumEventKinds = static_cast<unsigned>(EventKind::Steal) + 1;
+constexpr unsigned NumEventKinds =
+    static_cast<unsigned>(EventKind::PrivMerge) + 1;
 
 const char *eventKindName(EventKind K);
 

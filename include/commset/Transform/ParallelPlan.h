@@ -46,8 +46,11 @@ const char *strategyName(Strategy S);
 
 /// Synchronization mode for COMMSET members (paper §4.6). Lib means the
 /// members are already thread safe (COMMSETNOSYNC or thread-safe library)
-/// so the compiler inserts nothing for them.
-enum class SyncMode { Mutex, Spin, Tm, None };
+/// so the compiler inserts nothing for them. Priv privatizes provably
+/// add-reduction globals into per-worker replicas merged at region exit;
+/// members the privatization proof cannot cover fall back to rank-ordered
+/// mutexes.
+enum class SyncMode { Mutex, Spin, Tm, None, Priv };
 
 const char *syncModeName(SyncMode M);
 
@@ -58,6 +61,11 @@ struct MemberSyncInfo {
   /// Member may run as a transaction in TM mode (only touches interpreted
   /// global state).
   bool TmEligible = false;
+  /// Member runs lock free against per-worker shadow replicas: every global
+  /// it writes is in ParallelPlan::PrivGlobals (provably AddReduction, no
+  /// bare reads, no other memory effects). LockRanks stay populated for
+  /// calls outside privatized regions.
+  bool Privatized = false;
 };
 
 struct StagePlan {
@@ -106,6 +114,11 @@ struct ParallelPlan {
   // Synchronization.
   SyncMode Sync = SyncMode::Mutex;
   std::map<std::string, MemberSyncInfo> MemberSync;
+  /// Global slots privatized for this plan: the closed set of module
+  /// globals written only by Privatized members inside the loop, each
+  /// provably an add-reduction. Non-empty iff at least one member is
+  /// Privatized (a forced `sync(S, priv)` set privatizes under any Sync).
+  std::set<unsigned> PrivGlobals;
 
   /// Estimated speedup over sequential execution (used by the driver to
   /// pick a scheme; the simulator provides the real numbers).

@@ -98,6 +98,8 @@ const char *commset::lintCodeDescription(const std::string &Code) {
     return "relaxed dependence lacks a justifying COMMSET declaration";
   if (Code == "CL041")
     return "member lock acquisition violates the global rank order";
+  if (Code == "CL050")
+    return "privatized member lacks the add-reduction proof";
   return "";
 }
 
@@ -186,6 +188,32 @@ void lint::checkPlanConsistency(const Compilation &C,
                            "longer cycle-free",
                            Name.c_str(),
                            ranksToString(Info.LockRanks).c_str()));
+  }
+
+  // A privatized member runs lock free on per-worker replicas; that is only
+  // sound under the add-reduction proof, and only for slots the plan
+  // actually privatized. An unprovable or uncovered privatization would
+  // merge replicas into a value the sequential program never computes.
+  const EffectAnalysis &EA = C.effects();
+  for (const auto &[Name, Info] : Plan.MemberSync) {
+    if (!Info.Privatized)
+      continue;
+    Function *F = C.module().findFunction(Name);
+    if (!F || !privEligibleSummary(EA.summaryFor(F))) {
+      addDiag(R, "CL050", LintSeverity::Error, F ? F->Loc : T.F->Loc,
+              formatString("member '%s' is privatized but is not a provable "
+                           "add-reduction; per-worker replicas would not "
+                           "merge to the sequential result",
+                           Name.c_str()));
+      continue;
+    }
+    for (unsigned Slot : EA.summaryFor(F).WriteGlobals)
+      if (!Plan.PrivGlobals.count(Slot))
+        addDiag(R, "CL050", LintSeverity::Error, F->Loc,
+                formatString("privatized member '%s' writes global '%s' "
+                             "outside the plan's privatized slot set",
+                             Name.c_str(),
+                             globalName(C.module(), Slot).c_str()));
   }
 }
 

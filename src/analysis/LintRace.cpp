@@ -134,6 +134,21 @@ bool pairProtected(const ParallelPlan &Plan, const std::string &NameA,
                    const std::string &NameB, std::string &Why) {
   const MemberSyncInfo *A = syncInfoFor(Plan, NameA);
   const MemberSyncInfo *B = syncInfoFor(Plan, NameB);
+  // Privatization discharges the pair outright: both calls route every
+  // global they write to per-worker replicas, so no shared word is touched
+  // until the single-threaded merge at region exit.
+  bool PrivA = A && A->Privatized;
+  bool PrivB = B && B->Privatized;
+  if (PrivA && PrivB)
+    return true;
+  if (PrivA || PrivB) {
+    // Cannot happen for a real conflict (the planner's fixpoint disqualifies
+    // slots a non-candidate touches), but if a plan is hand-built: the
+    // replica side holds no lock, so nothing covers the pair.
+    Why = "one call runs on private replicas while the other touches the "
+          "shared location; the replica side holds no lock";
+    return false;
+  }
   switch (Plan.Sync) {
   case SyncMode::None:
     Why = "sync mode 'none' inserts no synchronization";
@@ -160,6 +175,13 @@ bool pairProtected(const ParallelPlan &Plan, const std::string &NameA,
           "transaction bypasses the lock";
     return false;
   }
+  case SyncMode::Priv:
+    // Non-privatized members under a Priv plan fall back to ranked mutexes.
+    if (haveCommonRank(A, B))
+      return true;
+    Why = "no common rank-ordered lock covers both calls (neither member "
+          "was privatized)";
+    return false;
   }
   Why = "unknown sync mode";
   return false;

@@ -37,8 +37,11 @@ std::string check::renderArtifact(const GeneratedProgram &P,
   Os << "\n"
      << "shape: " << P.Shape << "\n"
      << "trip count: " << P.TripCount << "\n"
-     << "lib-safe: " << (P.LibSafe ? "yes" : "no") << "\n"
-     << "\n--- report ---\n"
+     << "lib-safe: " << (P.LibSafe ? "yes" : "no") << "\n";
+  if (Trial.PrivPlansRun)
+    Os << "priv plans: " << Trial.PrivPlansRun << " run, "
+       << Trial.PrivatizedPlans << " privatized\n";
+  Os << "\n--- report ---\n"
      << Trial.Report;
   if (!Trial.TracePaths.empty()) {
     Os << "\n--- traces ---\n";
@@ -123,6 +126,8 @@ CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
     Sum.DegradedRuns += Trial.DegradedRuns;
     Sum.FaultsInjected += Trial.FaultsInjected;
     Sum.LintedPlans += Trial.LintedPlans;
+    Sum.PrivPlansRun += Trial.PrivPlansRun;
+    Sum.PrivatizedPlans += Trial.PrivatizedPlans;
     for (const std::string &Path : Trial.TracePaths)
       Sum.ArtifactPaths.push_back(Path);
 

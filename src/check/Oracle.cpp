@@ -150,8 +150,12 @@ TrialResult check::runTrials(const GeneratedProgram &P,
   std::vector<SyncMode> Syncs = {SyncMode::Mutex, SyncMode::Spin};
   if (Opts.IncludeTm)
     Syncs.push_back(SyncMode::Tm);
+  if (Opts.IncludePriv)
+    Syncs.push_back(SyncMode::Priv);
   if (P.LibSafe)
     Syncs.push_back(SyncMode::None);
+  if (!Opts.SyncModes.empty())
+    Syncs = Opts.SyncModes;
 
   for (size_t TIdx = 0; TIdx < Opts.Threads.size(); ++TIdx) {
     unsigned Threads = Opts.Threads[TIdx];
@@ -192,6 +196,11 @@ TrialResult check::runTrials(const GeneratedProgram &P,
           Res.PlanStats += planStatsLine(*R.Plan, Threads, Sync,
                                          drainTrace());
         ++Res.PlansRun;
+        if (Sync == SyncMode::Priv) {
+          ++Res.PrivPlansRun;
+          if (!R.Plan->PrivGlobals.empty())
+            ++Res.PrivatizedPlans;
+        }
         if (auto Diff = compareSnapshots(Ref, Got, P.Output)) {
           std::string Extra;
           // Re-run the diverging plan traced and dump a Chrome trace so the
@@ -237,6 +246,10 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     std::vector<SyncMode> FaultSyncs = {SyncMode::Mutex, SyncMode::Spin};
     if (Opts.IncludeTm)
       FaultSyncs.push_back(SyncMode::Tm);
+    if (Opts.IncludePriv)
+      FaultSyncs.push_back(SyncMode::Priv);
+    if (!Opts.SyncModes.empty())
+      FaultSyncs = Opts.SyncModes;
     for (size_t SIdx = 0; SIdx < FaultSyncs.size(); ++SIdx) {
       SyncMode Sync = FaultSyncs[SIdx];
       PlanOptions PO;
@@ -320,13 +333,11 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     return Res;
 
   // Schedule exploration + happens-before checking at two threads, where
-  // interleavings are densest relative to runtime.
-  PlanOptions PO;
-  PO.NumThreads = 2;
-  PO.Sync = SyncMode::Mutex;
-  PO.NativeCostHints = checkCostHints();
-  auto Schemes = buildAllSchemes(*C, *T, PO);
-
+  // interleavings are densest relative to runtime. Runs once under ranked
+  // mutexes and once privatized: replica accesses bypass the HB checker's
+  // global instrumentation by design, so a priv pass both exercises the
+  // merge under adversarial interleavings and asserts no *shared* access
+  // escaped privatization unprotected.
   std::vector<SchedulePolicy> Policies;
   for (unsigned K = 0; K < Opts.RandomSchedules; ++K)
     Policies.push_back(
@@ -334,39 +345,55 @@ TrialResult check::runTrials(const GeneratedProgram &P,
   for (unsigned Interval : Opts.RoundRobinIntervals)
     Policies.push_back(SchedulePolicy::roundRobin(Interval));
 
-  unsigned Explored = 0;
-  for (const SchemeReport &R : Schemes) {
-    if (!R.Applicable || !R.Plan || R.Plan->Kind == Strategy::Sequential)
-      continue;
-    if (Explored >= Opts.MaxPlansToExplore)
-      break;
-    // The sched policy only parameterizes execution (iteration->thread
-    // assignment), not plan structure, so rotating it on a copy is sound.
-    ParallelPlan Plan = *R.Plan;
-    Plan.Sched = schedAt(Explored);
-    ++Explored;
-    for (const SchedulePolicy &Policy : Policies) {
-      SchedulePlatform Platform(std::max(1u, Plan.NumThreads), Policy, &M);
-      Snapshot Got = runOnce(M, T->F, Plan, P.TripCount, Platform);
-      ++Res.SchedulesRun;
-      const auto &Races = Platform.checker()->races();
-      Res.RacesReported += static_cast<unsigned>(Races.size());
-      if (!Races.empty()) {
-        std::ostringstream Os;
-        Os << "happens-before violation under sync-enabled plan\n  "
-           << planContext(Plan, 2, SyncMode::Mutex)
-           << "  schedule policy: " << Policy.describe() << "\n";
-        for (const RaceReport &Race : Races)
-          Os << "  " << Race.describe() << "\n";
-        fail(Res, Os.str());
+  std::vector<SyncMode> ExploreSyncs = {SyncMode::Mutex};
+  if (Opts.IncludePriv)
+    ExploreSyncs.push_back(SyncMode::Priv);
+  if (!Opts.SyncModes.empty())
+    ExploreSyncs = Opts.SyncModes;
+
+  for (SyncMode Sync : ExploreSyncs) {
+    if (Sync == SyncMode::None)
+      continue; // Nosync plans have no protection promise to replay.
+    PlanOptions PO;
+    PO.NumThreads = 2;
+    PO.Sync = Sync;
+    PO.NativeCostHints = checkCostHints();
+    auto Schemes = buildAllSchemes(*C, *T, PO);
+
+    unsigned Explored = 0;
+    for (const SchemeReport &R : Schemes) {
+      if (!R.Applicable || !R.Plan || R.Plan->Kind == Strategy::Sequential)
+        continue;
+      if (Explored >= Opts.MaxPlansToExplore)
+        break;
+      // The sched policy only parameterizes execution (iteration->thread
+      // assignment), not plan structure, so rotating it on a copy is sound.
+      ParallelPlan Plan = *R.Plan;
+      Plan.Sched = schedAt(Explored);
+      ++Explored;
+      for (const SchedulePolicy &Policy : Policies) {
+        SchedulePlatform Platform(std::max(1u, Plan.NumThreads), Policy, &M);
+        Snapshot Got = runOnce(M, T->F, Plan, P.TripCount, Platform);
+        ++Res.SchedulesRun;
+        const auto &Races = Platform.checker()->races();
+        Res.RacesReported += static_cast<unsigned>(Races.size());
+        if (!Races.empty()) {
+          std::ostringstream Os;
+          Os << "happens-before violation under sync-enabled plan\n  "
+             << planContext(Plan, 2, Sync)
+             << "  schedule policy: " << Policy.describe() << "\n";
+          for (const RaceReport &Race : Races)
+            Os << "  " << Race.describe() << "\n";
+          fail(Res, Os.str());
+        }
+        if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+          fail(Res, "divergence under controlled schedule\n  " +
+                        planContext(Plan, 2, Sync) +
+                        "  schedule policy: " + Policy.describe() + "\n" +
+                        *Diff);
+        if (!Res.Ok)
+          return Res;
       }
-      if (auto Diff = compareSnapshots(Ref, Got, P.Output))
-        fail(Res, "divergence under controlled schedule\n  " +
-                      planContext(Plan, 2, SyncMode::Mutex) +
-                      "  schedule policy: " + Policy.describe() + "\n" +
-                      *Diff);
-      if (!Res.Ok)
-        return Res;
     }
   }
   return Res;

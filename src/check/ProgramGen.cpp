@@ -120,6 +120,16 @@ struct Gen {
     UseDirectAcc = Rng.chance(30);
     UseSubloop = Rng.chance(25);
     UseCellGet = Rng.chance(15);
+    // Reduction-heavy bias (applied after the draws so the Rng stream —
+    // and therefore every other structure choice for a seed — is identical
+    // with and without the flag).
+    if (Opts.ReductionHeavy) {
+      if (NumBump == 0)
+        NumBump = 1;
+      if (NumBump > NumGlobals)
+        NumBump = NumGlobals;
+      UseDirectAcc = false;
+    }
     // User-defined members mutate interpreter globals, so disabling
     // compiler synchronization (Lib mode) is only legal without them.
     P.LibSafe = NumBump == 0;
@@ -270,9 +280,13 @@ struct Gen {
   void emitBody() {
     emitValueOps();
 
-    for (int B = 0; B < NumBump; ++B)
-      if (Rng.chance(80))
+    for (int B = 0; B < NumBump; ++B) {
+      bool Do = Rng.chance(80);
+      if (Opts.ReductionHeavy)
+        Do = true;
+      if (Do)
         maybeIf("bump" + std::to_string(B) + "(" + pickVal() + ");");
+    }
 
     unsigned Cells = 1 + static_cast<unsigned>(Rng.range(2));
     for (unsigned K = 0; K < Cells; ++K)

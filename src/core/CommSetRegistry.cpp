@@ -47,6 +47,13 @@ CommSetRegistry CommSetRegistry::build(const Program &P, const Module &M,
     if (Id >= 0)
       R.Sets[Id].NoSync = true;
   }
+  for (const SyncReqDecl &D : P.SyncReqs) {
+    if (D.Mode != "priv")
+      continue;
+    int Id = R.findSet(D.SetName);
+    if (Id >= 0)
+      R.Sets[Id].ForcePriv = true;
+  }
 
   // Memberships from module metadata; implicit SELF expands to a singleton
   // self set unique to the member.

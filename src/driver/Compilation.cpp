@@ -52,6 +52,34 @@ Compilation::fromSource(const std::string &Source, DiagnosticEngine &Diags) {
   if (!checkWellFormed(*C->Mod, C->Registry, C->CG, Diags))
     return nullptr;
   C->Effects = EffectAnalysis::compute(*C->Mod);
+
+  // `sync(S, priv)` is a demand, not a hint: every member of a ForcePriv
+  // set must satisfy the privatization proof (all written globals provably
+  // add-reductions, no other effects), or the program is rejected here —
+  // the planner must never be forced into an unsound replica plan.
+  for (const CommSetRegistry::SetInfo &S : C->Registry.sets()) {
+    if (!S.ForcePriv)
+      continue;
+    for (const std::string &Callee : C->Registry.memberCallees()) {
+      bool InSet = false;
+      for (const auto &MI : C->Registry.membershipsOf(Callee))
+        InSet |= MI.SetId == S.Id;
+      if (!InSet)
+        continue;
+      Function *F = C->Mod->findFunction(Callee);
+      if (F && privEligibleSummary(C->Effects.summaryFor(F)))
+        continue;
+      Diags.error(F ? F->Loc : SourceLoc(),
+                  formatString("COMMSET '%s' requests 'priv' "
+                               "synchronization but member '%s' is not a "
+                               "provable add-reduction; privatized replicas "
+                               "would not merge to the sequential result "
+                               "[CL050]",
+                               S.Name.c_str(), Callee.c_str()));
+    }
+  }
+  if (Diags.hasErrors())
+    return nullptr;
   return C;
 }
 

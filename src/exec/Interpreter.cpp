@@ -6,6 +6,7 @@
 
 #include "commset/Exec/Interpreter.h"
 
+#include "commset/Runtime/Privatization.h"
 #include "commset/Trace/Trace.h"
 
 #include <cassert>
@@ -293,6 +294,18 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
     Fr.Locals[Instr->SlotId] = evalOperand(Fr, Instr->Operands[0]);
     return;
   case Opcode::LoadGlobal:
+    // Privatized slot: serve from this worker's replica. Fires the priv
+    // hooks *instead of* onGlobalLoad — the shared global is untouched, so
+    // the happens-before checker must not see the access.
+    if (Sync.Priv && Sync.Priv->isPrivatized(Instr->SlotId)) {
+      if (Platform) {
+        Platform->charge(ThreadId, opCost(Instr));
+        Platform->onPrivLoad(ThreadId, Instr->SlotId);
+      }
+      trace::emit(trace::EventKind::PrivTouch, ThreadId, Instr->SlotId, 0);
+      Dest = Sync.Priv->replica(ThreadId, Instr->SlotId);
+      return;
+    }
     if (Platform) {
       Platform->charge(ThreadId, opCost(Instr));
       Platform->onGlobalLoad(ThreadId, Instr->SlotId);
@@ -304,6 +317,16 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
     Dest = Globals[Instr->SlotId];
     return;
   case Opcode::StoreGlobal: {
+    if (Sync.Priv && Sync.Priv->isPrivatized(Instr->SlotId)) {
+      if (Platform) {
+        Platform->charge(ThreadId, opCost(Instr));
+        Platform->onPrivStore(ThreadId, Instr->SlotId);
+      }
+      trace::emit(trace::EventKind::PrivTouch, ThreadId, Instr->SlotId, 1);
+      Sync.Priv->replica(ThreadId, Instr->SlotId) =
+          evalOperand(Fr, Instr->Operands[0]);
+      return;
+    }
     if (Platform) {
       Platform->charge(ThreadId, opCost(Instr));
       Platform->onGlobalStore(ThreadId, Instr->SlotId);
@@ -367,6 +390,19 @@ RtValue Interpreter::invokeMember(const Instruction *Instr,
   const bool Traced = trace::enabled();
   const uint64_t TraceName = Traced ? traceMemberId(Info, MemberName) : 0;
   MemberTraceScope TraceScope(ThreadId, TraceName, Traced);
+
+  // Privatized member: every global it writes is served by this worker's
+  // replica (execInstr reroutes the accesses), so the call needs neither
+  // locks nor a transaction. DeclaredSafe — the compiler proved the
+  // add-reduction and the merge restores sequential semantics.
+  if (Info.Privatized && Sync.Priv && Instr->op() == Opcode::Call) {
+    if (!Platform)
+      return invokeDirect(Instr, Args);
+    Platform->memberEnter(ThreadId, MemberName, /*DeclaredSafe=*/true);
+    RtValue Result = invokeDirect(Instr, Args);
+    Platform->memberExit(ThreadId);
+    return Result;
+  }
 
   // TM mode: optimistic execution for eligible members; everything else
   // falls back to the pessimistic ranked locks (paper §4.6).

@@ -6,6 +6,7 @@
 
 #include "commset/Exec/LoopExecutors.h"
 
+#include "commset/Runtime/Privatization.h"
 #include "commset/Runtime/Sched.h"
 #include "commset/Runtime/StealDeque.h"
 #include "commset/Runtime/ThreadPool.h"
@@ -50,6 +51,10 @@ struct ParallelRegion {
   CommSetLockManager Locks;
   StmSpace StmState;
   RegionControl Control;
+  /// Replica manager for privatized globals; recreated (= replicas zeroed)
+  /// at every region entry, so a re-entered loop and a post-fault retry
+  /// both start from the additive identity.
+  std::unique_ptr<PrivatizationManager> Priv;
 
   ParallelRegion(const Module &M, const NativeRegistry &Natives,
                  RtValue *Globals, const ParallelPlan &Plan,
@@ -67,6 +72,37 @@ struct ParallelRegion {
     Sync.StmState = &StmState;
     Sync.Resilience = &Resilience;
     return Sync;
+  }
+
+  /// Sync context for region workers: like syncFor(), plus replica routing
+  /// for privatized globals. The main thread keeps syncFor() — its pre- and
+  /// post-loop member calls run outside the region and use the locks.
+  SyncContext workerSyncFor() {
+    SyncContext Sync = syncFor();
+    Sync.Priv = Priv.get();
+    return Sync;
+  }
+
+  /// Leases and zeroes the replica rows for one region attempt. Called
+  /// before the workers are constructed (they capture Priv via
+  /// workerSyncFor()).
+  void beginPrivRegion() {
+    if (Plan.PrivGlobals.empty())
+      return;
+    std::vector<bool> FloatSlot(M.Globals.size());
+    for (size_t I = 0; I < M.Globals.size(); ++I)
+      FloatSlot[I] = M.Globals[I].Type == IRType::F64;
+    Priv = std::make_unique<PrivatizationManager>(Plan.PrivGlobals,
+                                                  Plan.NumThreads, FloatSlot);
+  }
+
+  /// Merges the replicas into the shared globals after a clean join. A
+  /// faulted region unwinds past this, discarding the partial sums.
+  void mergePriv() {
+    if (!Priv)
+      return;
+    Priv->merge(Globals, /*MasterTid=*/0);
+    Platform.onPrivMerge(0, Priv->slotCount(), Priv->numWorkers());
   }
 
   /// Worker progress checkpoint at iteration boundaries: heartbeats the
@@ -125,6 +161,9 @@ struct ParallelRegion {
     case SyncMode::Tm:
       // Ineligible members fall back to mutexes in TM mode.
       return LockMode::Mutex;
+    case SyncMode::Priv:
+      // Members that failed the add-reduction proof fall back to mutexes.
+      return LockMode::Mutex;
     case SyncMode::None:
       return LockMode::None;
     }
@@ -167,8 +206,8 @@ public:
   DoallWorker(ParallelRegion &Region, const Frame &EntryFrame,
               unsigned ThreadId)
       : Region(Region), Plan(Region.Plan), L(*Plan.L),
-        Interp(Region.M, Region.Natives, Region.Globals, Region.syncFor(),
-               &Region.Platform, ThreadId),
+        Interp(Region.M, Region.Natives, Region.Globals,
+               Region.workerSyncFor(), &Region.Platform, ThreadId),
         Fr(EntryFrame), ThreadId(ThreadId) {}
 
   /// Static round-robin assignment: thread t runs iterations t, t+T,
@@ -386,6 +425,7 @@ const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
   if (Dynamic && Region.Platform.supportsWorkStealing())
     Deques = std::make_unique<std::vector<StealDeque>>(T);
 
+  Region.beginPrivRegion();
   std::vector<uint64_t> Iterations(T, 0);
   std::vector<std::function<void()>> Tasks;
   for (unsigned Tid = 0; Tid < T; ++Tid)
@@ -399,6 +439,7 @@ const BasicBlock *runDoall(ParallelRegion &Region, Frame &MainFrame,
   Region.Platform.regionBegin(0);
   Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
+  Region.mergePriv();
 
   uint64_t Total = 0;
   for (uint64_t N : Iterations)
@@ -625,8 +666,8 @@ public:
   PipelineWorker(ParallelRegion &Region, const PipelineTables &T,
                  const Frame &EntryFrame, unsigned ThreadId)
       : Region(Region), Plan(Region.Plan), L(*Plan.L), T(T),
-        Interp(Region.M, Region.Natives, Region.Globals, Region.syncFor(),
-               &Region.Platform, ThreadId),
+        Interp(Region.M, Region.Natives, Region.Globals,
+               Region.workerSyncFor(), &Region.Platform, ThreadId),
         Fr(EntryFrame), ThreadId(ThreadId),
         MyStage(T.ThreadStage[ThreadId]),
         MyReplica(T.ThreadReplica[ThreadId]),
@@ -809,6 +850,7 @@ const BasicBlock *runPipeline(ParallelRegion &Region, Frame &MainFrame,
                               LoopRunStats *Stats) {
   PipelineTables T = buildTables(Region.Plan);
 
+  Region.beginPrivRegion();
   std::vector<std::unique_ptr<PipelineWorker>> Workers(T.NumThreads);
   for (unsigned Tid = 0; Tid < T.NumThreads; ++Tid)
     Workers[Tid] =
@@ -823,6 +865,7 @@ const BasicBlock *runPipeline(ParallelRegion &Region, Frame &MainFrame,
   Region.Platform.regionBegin(0);
   Region.runRegion(Tasks);
   Region.Platform.regionEnd(0);
+  Region.mergePriv();
 
   // All threads observed the same control flow.
   for (unsigned Tid = 1; Tid < T.NumThreads; ++Tid)

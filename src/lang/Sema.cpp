@@ -154,9 +154,10 @@ void Sema::checkNoSyncs() {
                                       D.SetName.c_str()));
       continue;
     }
-    if (D.Mode != "mutex" && D.Mode != "spin" && D.Mode != "tm") {
+    if (D.Mode != "mutex" && D.Mode != "spin" && D.Mode != "tm" &&
+        D.Mode != "priv") {
       Diags.error(D.Loc, formatString("unknown sync mode '%s' (expected "
-                                      "mutex, spin, or tm)",
+                                      "mutex, spin, tm, or priv)",
                                       D.Mode.c_str()));
       continue;
     }

@@ -1,0 +1,55 @@
+//===- Privatization.cpp - Per-worker shadow replicas for Priv sync -------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Runtime/Privatization.h"
+
+#include "commset/Trace/Trace.h"
+
+#include <algorithm>
+
+using namespace commset;
+
+PrivatizationManager::PrivatizationManager(
+    const std::set<unsigned> &PrivSlots, unsigned NumWorkers,
+    const std::vector<bool> &FloatSlot, WorkerPool &Pool) {
+  unsigned MaxSlot = 0;
+  for (unsigned Slot : PrivSlots)
+    MaxSlot = std::max(MaxSlot, Slot);
+  DenseIdx.assign(PrivSlots.empty() ? 0 : MaxSlot + 1, -1);
+  for (unsigned Slot : PrivSlots) {
+    DenseIdx[Slot] = static_cast<int>(SlotList.size());
+    SlotList.push_back(Slot);
+    FloatSlots.push_back(Slot < FloatSlot.size() && FloatSlot[Slot]);
+  }
+
+  Rows.resize(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    Rows[W] = Pool.leaseReplicaRow(W, SlotList.size());
+    // Reset to the additive identity: a leased row still holds the sums of
+    // whatever region last used this worker slot (the reuse the PrivTest
+    // reset case pins). All-zero bits are 0 for ints and 0.0 for doubles.
+    for (size_t I = 0; I < SlotList.size(); ++I)
+      Rows[W][I] = RtValue();
+  }
+}
+
+void PrivatizationManager::merge(RtValue *Globals, unsigned MasterTid) {
+  // Fixed worker-major, slot-minor order: the merged value (including
+  // float rounding) depends only on the plan's iteration assignment, never
+  // on which worker finished last.
+  for (unsigned W = 0; W < Rows.size(); ++W) {
+    for (size_t I = 0; I < SlotList.size(); ++I) {
+      RtValue Part = Rows[W][I];
+      RtValue &Shared = Globals[SlotList[I]];
+      if (FloatSlots[I])
+        Shared.D += Part.D;
+      else
+        Shared.I += Part.I;
+      trace::emit(trace::EventKind::PrivMerge, MasterTid, SlotList[I], W);
+    }
+  }
+  Merged = true;
+}

@@ -154,6 +154,26 @@ void WorkerPool::shutdown() {
   }
 }
 
+RtValue *WorkerPool::leaseReplicaRow(unsigned Worker, size_t NumSlots) {
+  std::lock_guard<std::mutex> G(ReplicaM);
+  if (ReplicaRows.size() <= Worker)
+    ReplicaRows.resize(static_cast<size_t>(Worker) + 1);
+  ReplicaRow &Row = ReplicaRows[Worker];
+  // Round the row up to whole 64-byte cache lines so adjacent workers'
+  // rows (separate allocations anyway) never share a line and reuse
+  // across regions with slightly different slot counts skips the realloc.
+  constexpr size_t CellsPerLine = 64 / sizeof(RtValue);
+  size_t Want = (NumSlots + CellsPerLine - 1) / CellsPerLine * CellsPerLine;
+  if (Row.Capacity < Want) {
+    Row.Storage.assign(Want + CellsPerLine, RtValue());
+    uintptr_t Base = reinterpret_cast<uintptr_t>(Row.Storage.data());
+    uintptr_t Up = (Base + 63) & ~static_cast<uintptr_t>(63);
+    Row.Aligned = reinterpret_cast<RtValue *>(Up);
+    Row.Capacity = Want;
+  }
+  return Row.Aligned;
+}
+
 void WorkerPool::dispatch(unsigned I, std::function<void()> Job) {
   Slot &Sl = Slots[I];
   if (!Sl.Sh) {

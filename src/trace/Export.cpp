@@ -242,6 +242,15 @@ std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
       appendEvent(Os, First, "i", "steal", E.TsNs, E.Tid, Args.str());
       break;
 
+    case EventKind::PrivTouch:
+      Args << "\"slot\":" << E.A << ",\"store\":" << (E.B ? "true" : "false");
+      appendEvent(Os, First, "i", "priv-touch", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::PrivMerge:
+      Args << "\"slot\":" << E.A << ",\"worker\":" << E.B;
+      appendEvent(Os, First, "i", "priv-merge", E.TsNs, E.Tid, Args.str());
+      break;
+
     case EventKind::FaultInject:
       Args << "\"fault\":\""
            << faultKindName(static_cast<FaultKind>(E.A)) << "\"";
@@ -691,6 +700,21 @@ void writeProfileReport(const TraceMetrics &M, std::ostream &Os) {
         Os << ", poisoned";
       Os << "\n";
     }
+  }
+
+  Os << "privatization:";
+  if (!M.PrivTouches && !M.PrivMerges)
+    Os << " none\n";
+  else {
+    Os << "\n";
+    for (const auto &KV : M.PrivSlots) {
+      const PrivSlotStats &P = KV.second;
+      Os << "  slot " << KV.first << ": " << P.Touches
+         << " replica touch(es) (" << P.Stores << " stores), " << P.Merges
+         << " merge contribution(s)\n";
+    }
+    Os << "  total: " << M.PrivTouches << " touches, " << M.PrivMerges
+       << " merges\n";
   }
 
   Os << "member calls: " << M.MemberCalls << "\n";

@@ -138,6 +138,22 @@ TraceMetrics aggregateMetrics(const std::vector<TraceEvent> &Events,
       break;
     }
 
+    case EventKind::PrivTouch: {
+      ++M.PrivTouches;
+      M.Workers[E.Tid].PrivTouches++;
+      PrivSlotStats &P = M.PrivSlots[static_cast<unsigned>(E.A)];
+      P.Touches++;
+      if (E.B) {
+        ++M.PrivStores;
+        P.Stores++;
+      }
+      break;
+    }
+    case EventKind::PrivMerge:
+      ++M.PrivMerges;
+      M.PrivSlots[static_cast<unsigned>(E.A)].Merges++;
+      break;
+
     case EventKind::FaultInject:
       M.FaultsInjected[static_cast<unsigned>(E.A)]++;
       break;

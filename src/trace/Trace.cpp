@@ -66,6 +66,10 @@ const char *eventKindName(EventKind K) {
     return "chunk-claim";
   case EventKind::Steal:
     return "steal";
+  case EventKind::PrivTouch:
+    return "priv-touch";
+  case EventKind::PrivMerge:
+    return "priv-merge";
   }
   return "unknown";
 }

@@ -34,6 +34,8 @@ const char *commset::syncModeName(SyncMode M) {
     return "TM";
   case SyncMode::None:
     return "Lib";
+  case SyncMode::Priv:
+    return "Priv";
   }
   return "?";
 }

@@ -197,6 +197,89 @@ void commset::attachSynchronization(ParallelPlan &Plan, const Module &M,
     }
     Plan.MemberSync[Callee] = std::move(Info);
   }
+
+  // Privatization selection. Candidates are members that *want* replicas —
+  // every member under a Priv plan, plus members of `sync(S, priv)` sets
+  // under any plan — and individually pass the add-reduction proof
+  // (privEligibleSummary). The slot set must then be *closed*: a slot also
+  // touched by direct loop-body accesses, or by loop calls outside the
+  // candidate set, cannot be privatized (the replica and the shared global
+  // would diverge mid-region), and a candidate writing a disqualified slot
+  // falls back to locks — which can disqualify further slots, hence the
+  // fixpoint. Natives never privatize (their effects bypass the
+  // interpreter's global image).
+  Plan.PrivGlobals.clear();
+  bool AnyForce = false;
+  for (const auto &S : Registry.sets())
+    AnyForce |= S.ForcePriv;
+  if (Plan.Sync != SyncMode::Priv && !AnyForce)
+    return;
+
+  std::set<std::string> Cand;
+  for (const auto &[Callee, Info] : Plan.MemberSync) {
+    bool Wants = Plan.Sync == SyncMode::Priv;
+    for (const auto &Membership : Registry.membershipsOf(Callee))
+      Wants |= Registry.set(Membership.SetId).ForcePriv;
+    if (!Wants)
+      continue;
+    Function *F = M.findFunction(Callee);
+    if (F && privEligibleSummary(EA.summaryFor(F)))
+      Cand.insert(Callee);
+  }
+
+  for (;;) {
+    std::set<unsigned> Slots;
+    for (const std::string &Name : Cand)
+      for (unsigned Slot : EA.summaryFor(M.findFunction(Name)).WriteGlobals)
+        Slots.insert(Slot);
+
+    if (Plan.L && Plan.F) {
+      for (unsigned BlockId : Plan.L->BlockIds) {
+        for (const auto &Instr : Plan.F->Blocks[BlockId]->Instrs) {
+          if (Instr->op() == Opcode::LoadGlobal ||
+              Instr->op() == Opcode::StoreGlobal) {
+            Slots.erase(Instr->SlotId);
+            continue;
+          }
+          if (!Instr->isCall())
+            continue;
+          const std::string &Name = Instr->op() == Opcode::Call
+                                        ? Instr->Callee->Name
+                                        : Instr->Native->Name;
+          if (Cand.count(Name))
+            continue;
+          EffectSummary S = EA.instructionEffects(Instr.get());
+          for (unsigned Slot : S.ReadGlobals)
+            Slots.erase(Slot);
+          for (unsigned Slot : S.WriteGlobals)
+            Slots.erase(Slot);
+        }
+      }
+    }
+
+    bool Changed = false;
+    for (auto It = Cand.begin(); It != Cand.end();) {
+      const EffectSummary &S = EA.summaryFor(M.findFunction(*It));
+      bool Covered = true;
+      for (unsigned Slot : S.WriteGlobals)
+        Covered &= Slots.count(Slot) != 0;
+      if (Covered) {
+        ++It;
+      } else {
+        It = Cand.erase(It);
+        Changed = true;
+      }
+    }
+    if (!Changed) {
+      for (const std::string &Name : Cand) {
+        Plan.MemberSync[Name].Privatized = true;
+        for (unsigned Slot :
+             EA.summaryFor(M.findFunction(Name)).WriteGlobals)
+          Plan.PrivGlobals.insert(Slot);
+      }
+      break;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -264,7 +347,8 @@ double lockedMemberCost(const PDG &G, const ParallelPlan &Plan,
                                   ? Instr->Callee->Name
                                   : Instr->Native->Name;
     auto It = Plan.MemberSync.find(Name);
-    if (It != Plan.MemberSync.end() && !It->second.LockRanks.empty())
+    if (It != Plan.MemberSync.end() && !It->second.LockRanks.empty() &&
+        !It->second.Privatized)
       Locked += Cost.nodeCost(Instr);
   }
   return Locked;

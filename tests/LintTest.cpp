@@ -252,6 +252,92 @@ int main_loop(int n) {
   EXPECT_EQ(R.exitCode(), 2);
 }
 
+TEST(LintTest, PrivatizedReductionDischargesCL001) {
+  // The same NOSYNC-free reduction races (CL001) when the plan holds no
+  // lock, but privatizing the member moves its writes onto per-worker
+  // replicas: the shared global is never touched concurrently and the
+  // race finding must vanish — without tripping the CL050 proof audit.
+  const char *Source = R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+  }
+  return acc;
+}
+)";
+  Planned Unlocked = plan(Source, Strategy::Doall, SyncMode::None);
+  ASSERT_TRUE(Unlocked.Ok);
+  LintResult RU = runLint(*Unlocked.C, *Unlocked.T, Unlocked.Plan);
+  EXPECT_TRUE(RU.hasCode("CL001")) << RU.str();
+
+  Planned Priv = plan(Source, Strategy::Doall, SyncMode::Priv);
+  ASSERT_TRUE(Priv.Ok);
+  ASSERT_FALSE(Priv.Plan.PrivGlobals.empty())
+      << "the planner must privatize the provable reduction";
+  LintResult RP = runLint(*Priv.C, *Priv.T, Priv.Plan);
+  EXPECT_FALSE(RP.hasCode("CL001")) << RP.str();
+  EXPECT_FALSE(RP.hasCode("CL050")) << RP.str();
+  EXPECT_TRUE(RP.raceFree()) << RP.str();
+}
+
+TEST(LintTest, PrivatizedMemberWithoutProofIsCL050) {
+  // Corrupt the plan the way a buggy planner would: mark a member whose
+  // write is an overwrite (not an add-reduction) as privatized. Replica
+  // merging would not reproduce the sequential result, so the consistency
+  // audit must flag it.
+  Planned P = plan(R"(
+int last = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void record(int v) { last = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    record(work(i));
+  }
+  return last;
+}
+)",
+                   Strategy::Doall);
+  ASSERT_TRUE(P.Ok);
+  ASSERT_TRUE(P.Plan.MemberSync.count("record"));
+  P.Plan.MemberSync["record"].Privatized = true;
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL050")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
+TEST(LintTest, PrivatizedWriteOutsidePlanSlotSetIsCL050) {
+  // A privatized member whose written global is missing from the plan's
+  // replica slot set would update the shared location lock free: the
+  // second CL050 variant.
+  Planned P = plan(R"(
+int acc = 0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset member(SELF)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(work(i));
+  }
+  return acc;
+}
+)",
+                   Strategy::Doall, SyncMode::Priv);
+  ASSERT_TRUE(P.Ok);
+  ASSERT_FALSE(P.Plan.PrivGlobals.empty());
+  P.Plan.PrivGlobals.clear();
+  LintResult R = runLint(*P.C, *P.T, P.Plan);
+  EXPECT_TRUE(R.hasCode("CL050")) << R.str();
+  EXPECT_EQ(R.exitCode(), 2);
+}
+
 TEST(LintTest, LintResultOrdersErrorsFirst) {
   Planned P = plan(R"(
 int last = 0;

@@ -1,0 +1,338 @@
+//===- PrivTest.cpp - Privatization (`priv` sync mode) tests --------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `priv` sync mode replaces locks on add-reduction members with
+// per-worker shadow replicas merged at region exit. These tests pin the
+// contract end to end: the planner's eligibility proof, deterministic
+// merge order across thread counts (including float rounding), replica
+// reset across reused WorkerPool regions, replica discard when a region
+// faults before merging, the frontend rejection of a forced-priv request
+// the proof cannot discharge, and race-freedom of concurrent replica
+// updates (meaningful under TSan).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Runtime/FaultInjector.h"
+#include "commset/Runtime/Privatization.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace commset;
+
+namespace {
+
+/// Privatizable histogram: both written globals are provable add-reductions
+/// (one int, one double, so the merge runs in both domains) and the loop
+/// touches them only through the member.
+const char *privSource() {
+  return R"(
+int total = 0;
+double scale = 0.0;
+extern int work(int x);
+#pragma commset effects(work, pure)
+#pragma commset decl(HIST, self)
+#pragma commset member(HIST)
+void bump(int v) {
+  total = total + v;
+  scale = scale + 0.25;
+}
+double run(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    bump(work(i));
+  }
+  return scale + total;
+}
+)";
+}
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+NativeRegistry privNatives() {
+  NativeRegistry Natives;
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) { return RtValue::ofInt(Args[0].I); },
+      /*FixedCostNs=*/2000);
+  return Natives;
+}
+
+const SchemeReport *findScheme(const std::vector<SchemeReport> &Schemes,
+                               Strategy Kind) {
+  for (const SchemeReport &R : Schemes)
+    if (R.Kind == Kind)
+      return &R;
+  return nullptr;
+}
+
+/// Builds the privatized DOALL plan for privSource() at \p Threads,
+/// asserting the planner actually proved and privatized the member.
+struct PrivPlan {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  ParallelPlan Plan;
+};
+
+PrivPlan buildPrivPlan(unsigned Threads) {
+  PrivPlan R;
+  R.C = compileOk(privSource());
+  DiagnosticEngine Diags;
+  R.T = R.C->analyzeLoop("run", Diags);
+  EXPECT_NE(R.T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.Sync = SyncMode::Priv;
+  auto Schemes = buildAllSchemes(*R.C, *R.T, Opts);
+  const SchemeReport *Doall = findScheme(Schemes, Strategy::Doall);
+  EXPECT_TRUE(Doall && Doall->Applicable && Doall->Plan)
+      << (Doall ? Doall->WhyNot : "no DOALL report");
+  R.Plan = *Doall->Plan;
+  return R;
+}
+
+/// Sequential reference for privSource() with work(i) = i.
+double privReference(int64_t N) {
+  return 0.25 * static_cast<double>(N) +
+         static_cast<double>(N * (N - 1) / 2);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Planner eligibility
+//===----------------------------------------------------------------------===//
+
+TEST(PrivPlanTest, PlannerPrivatizesProvableAddReduction) {
+  PrivPlan P = buildPrivPlan(4);
+  ASSERT_EQ(P.Plan.Sync, SyncMode::Priv);
+  auto It = P.Plan.MemberSync.find("bump");
+  ASSERT_NE(It, P.Plan.MemberSync.end());
+  EXPECT_TRUE(It->second.Privatized)
+      << "bump writes only add-reductions; the proof must go through";
+  EXPECT_EQ(P.Plan.PrivGlobals.size(), 2u)
+      << "both written globals (total, scale) must be replica slots";
+}
+
+TEST(PrivPlanTest, DirectLoopAccessDisqualifiesTheSlot) {
+  // The loop reads `total` directly every iteration, so replicating it
+  // would let the bare read observe partial sums: the planner must demote
+  // the member to the ranked-mutex fallback instead of privatizing.
+  auto C = compileOk(R"(
+int total = 0;
+extern void sink(int v);
+#pragma commset effects(sink, pure)
+#pragma commset decl(S, self)
+#pragma commset member(S)
+void bump(int v) { total = total + v; }
+int run(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    bump(i);
+    sink(total);
+  }
+  return total;
+}
+)");
+  DiagnosticEngine Diags;
+  auto T = C->analyzeLoop("run", Diags);
+  ASSERT_NE(T.get(), nullptr) << Diags.str();
+  PlanOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.Sync = SyncMode::Priv;
+  auto Schemes = buildAllSchemes(*C, *T, Opts);
+  for (const SchemeReport &R : Schemes) {
+    if (!R.Plan)
+      continue;
+    EXPECT_TRUE(R.Plan->PrivGlobals.empty())
+        << "a slot read directly by the loop must never be privatized";
+    auto It = R.Plan->MemberSync.find("bump");
+    if (It != R.Plan->MemberSync.end())
+      EXPECT_FALSE(It->second.Privatized);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution: deterministic merge, replica reuse, fault discard
+//===----------------------------------------------------------------------===//
+
+TEST(PrivExecTest, MergeMatchesSequentialAcrossThreadCounts) {
+  constexpr int64_t N = 240;
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    PrivPlan P = buildPrivPlan(Threads);
+    NativeRegistry Natives = privNatives();
+    RunConfig Config;
+    Config.Plan = &P.Plan;
+    Config.Simulate = false;
+    RunOutcome Out = runScheme(*P.C, P.T->F, {RtValue::ofInt(N)}, Natives,
+                               Config);
+    EXPECT_EQ(Out.Status, RunStatus::Ok) << Out.Diagnostic;
+    EXPECT_DOUBLE_EQ(Out.Result.D, privReference(N))
+        << "threads=" << Threads;
+
+    // Merge order is worker-major and fixed, so even the float rounding
+    // must be bit-for-bit reproducible run over run at a fixed count.
+    RunOutcome Again = runScheme(*P.C, P.T->F, {RtValue::ofInt(N)}, Natives,
+                                 Config);
+    EXPECT_EQ(Again.Status, RunStatus::Ok) << Again.Diagnostic;
+    EXPECT_EQ(Out.Result.D, Again.Result.D)
+        << "merge must be deterministic at threads=" << Threads;
+  }
+}
+
+TEST(PrivExecTest, BackToBackRegionsReuseRowsCorrectly) {
+  // The WorkerPool leases the same replica rows to consecutive regions;
+  // each region's manager must start from the additive identity or the
+  // second run double-counts the first.
+  constexpr int64_t N = 96;
+  PrivPlan P = buildPrivPlan(4);
+  NativeRegistry Natives = privNatives();
+  RunConfig Config;
+  Config.Plan = &P.Plan;
+  Config.Simulate = false;
+  for (int Round = 0; Round < 3; ++Round) {
+    RunOutcome Out = runScheme(*P.C, P.T->F, {RtValue::ofInt(N)}, Natives,
+                               Config);
+    EXPECT_EQ(Out.Status, RunStatus::Ok) << Out.Diagnostic;
+    EXPECT_DOUBLE_EQ(Out.Result.D, privReference(N)) << "round " << Round;
+  }
+}
+
+TEST(PrivExecTest, FaultMidRegionDiscardsReplicas) {
+  // Every worker dies at its first checkpoint, so replicas hold partial
+  // sums when the region unwinds. The resilient wrapper must discard them
+  // (no merge) and the sequential re-execution must still produce the
+  // exact reference — a leaked merge would double-count.
+  constexpr int64_t N = 200;
+  PrivPlan P = buildPrivPlan(4);
+  NativeRegistry Natives = privNatives();
+
+  FaultPolicy Policy;
+  Policy.Seed = 11;
+  Policy.Name = "kill-all-workers";
+  Policy.TaskFailurePerMille = 1000;
+  FaultInjector FI(Policy);
+  ResilienceConfig RC;
+  RC.Faults = &FI;
+
+  RunConfig Config;
+  Config.Plan = &P.Plan;
+  Config.Simulate = false;
+  Config.Resilience = &RC;
+  RunOutcome Out =
+      runScheme(*P.C, P.T->F, {RtValue::ofInt(N)}, Natives, Config);
+  EXPECT_EQ(Out.Status, RunStatus::DegradedSequential) << Out.Diagnostic;
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::TaskFailure);
+  EXPECT_DOUBLE_EQ(Out.Result.D, privReference(N))
+      << "partial replica sums must not leak into the fallback run";
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend: forced priv without the proof
+//===----------------------------------------------------------------------===//
+
+TEST(PrivSemaTest, ForcedPrivOnNonReductionIsRejected) {
+  std::string Source = R"(
+int last = 0;
+#pragma commset decl(S, self)
+#pragma commset sync(S, priv)
+#pragma commset member(S)
+void put(int v) { last = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    put(i);
+  }
+  return last;
+}
+)";
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_EQ(C.get(), nullptr);
+  EXPECT_TRUE(Diags.contains(
+      "COMMSET 'S' requests 'priv' synchronization but member 'put' is not "
+      "a provable add-reduction"))
+      << Diags.str();
+  EXPECT_TRUE(Diags.contains("[CL050]")) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// PrivatizationManager unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(PrivRuntimeTest, StaleRowsAreZeroedOnReLease) {
+  std::set<unsigned> Slots = {1};
+  std::vector<bool> FloatSlot = {false, false};
+  {
+    // A "faulted" region: rows written, manager destroyed without merge.
+    PrivatizationManager PM(Slots, 4, FloatSlot);
+    for (unsigned W = 0; W < 4; ++W)
+      PM.replica(W, 1) = RtValue::ofInt(99);
+    EXPECT_FALSE(PM.merged());
+  }
+  PrivatizationManager PM(Slots, 4, FloatSlot);
+  for (unsigned W = 0; W < 4; ++W)
+    EXPECT_EQ(PM.replica(W, 1).I, 0)
+        << "stale partial sums must not survive the re-lease";
+}
+
+TEST(PrivRuntimeTest, MergeOrderIsWorkerMajorAndReproducible) {
+  // Two managers fed identical replica values must merge to bit-identical
+  // float results: the worker-major order pins the rounding sequence.
+  std::set<unsigned> Slots = {0};
+  std::vector<bool> FloatSlot = {true};
+  auto RunOnce = [&] {
+    PrivatizationManager PM(Slots, 3, FloatSlot);
+    PM.replica(0, 0) = RtValue::ofDouble(0.1);
+    PM.replica(1, 0) = RtValue::ofDouble(1e16);
+    PM.replica(2, 0) = RtValue::ofDouble(-1e16);
+    std::vector<RtValue> Globals(1);
+    Globals[0] = RtValue::ofDouble(0.0);
+    PM.merge(Globals.data(), /*MasterTid=*/0);
+    EXPECT_TRUE(PM.merged());
+    return Globals[0].D;
+  };
+  double First = RunOnce();
+  double Second = RunOnce();
+  EXPECT_EQ(First, Second);
+  // (0.0 + 0.1 + 1e16) - 1e16 loses the 0.1: the value itself witnesses
+  // that worker 1 merged before worker 2, not just that both merged.
+  EXPECT_EQ(First, (0.0 + 0.1 + 1e16) - 1e16);
+}
+
+TEST(PrivRuntimeTest, ConcurrentReplicaUpdatesAreRaceFree) {
+  // Each worker hammers only its own row; under TSan this run must be
+  // clean, and the merged totals prove no update was lost.
+  constexpr unsigned Workers = 8;
+  constexpr int64_t Iters = 20000;
+  std::set<unsigned> Slots = {0, 2};
+  std::vector<bool> FloatSlot = {false, false, false};
+  PrivatizationManager PM(Slots, Workers, FloatSlot);
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([&PM, W] {
+      for (int64_t I = 0; I < Iters; ++I) {
+        PM.replica(W, 0).I += 1;
+        PM.replica(W, 2).I += 2;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  std::vector<RtValue> Globals(3);
+  Globals[0] = RtValue::ofInt(5);
+  Globals[2] = RtValue::ofInt(7);
+  PM.merge(Globals.data(), /*MasterTid=*/0);
+  EXPECT_EQ(Globals[0].I, 5 + static_cast<int64_t>(Workers) * Iters);
+  EXPECT_EQ(Globals[2].I, 7 + 2 * static_cast<int64_t>(Workers) * Iters);
+}

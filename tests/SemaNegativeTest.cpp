@@ -356,4 +356,56 @@ int main_loop(int n) {
   EXPECT_TRUE(Diags.contains("[CL014]")) << Diags.str();
 }
 
+// sync(S, priv) is a demand, not a hint: a member whose global write is an
+// overwrite cannot be replicated-and-merged, so the frontend rejects the
+// program with CL050 pointing at the offending member.
+TEST(SemaNegativeTest, ForcedPrivWithoutReductionProofIsCL050) {
+  std::string Source = R"(
+int last = 0;
+#pragma commset decl(S, self)
+#pragma commset sync(S, priv)
+#pragma commset member(S)
+void put(int v) { last = v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    put(i);
+  }
+  return last;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source,
+      "COMMSET 'S' requests 'priv' synchronization but member 'put' is not "
+      "a provable add-reduction",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_NE(D->Message.find("[CL050]"), std::string::npos);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "void put"));
+}
+
+// The sync-mode vocabulary now includes priv; the rejection for a bogus
+// mode must advertise it.
+TEST(SemaNegativeTest, UnknownSyncModeListsPriv) {
+  std::string Source = R"(
+int acc = 0;
+#pragma commset decl(S, self)
+#pragma commset sync(S, turbo)
+#pragma commset member(S)
+void add(int v) { acc = acc + v; }
+int main_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    add(i);
+  }
+  return acc;
+}
+)";
+  DiagnosticEngine Diags;
+  const Diagnostic *D = expectRejected(
+      Source, "unknown sync mode 'turbo' (expected mutex, spin, tm, or priv)",
+      Diags);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, lineOf(Source, "#pragma commset sync"));
+}
+
 } // namespace

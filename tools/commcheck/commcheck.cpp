@@ -36,6 +36,13 @@ void usage(const char *Argv0) {
       "  --sched P         pin the iteration-scheduling policy: static |\n"
       "                    dynamic | guided (default: rotate all three)\n"
       "  --no-tm           skip SyncMode::Tm plans\n"
+      "  --no-priv         skip SyncMode::Priv plans\n"
+      "  --sync M          restrict the sweep to one sync mode: mutex |\n"
+      "                    spin | tm | none | priv\n"
+      "  --reduction-heavy bias generated programs toward privatizable\n"
+      "                    add-reduction members\n"
+      "  --min-priv-pct N  fail (exit 1) unless at least N%% of the plans\n"
+      "                    swept under priv actually privatized a global\n"
       "  --no-schedules    skip controlled-schedule exploration\n"
       "  --random-scheds N random schedule policies per plan (default 2)\n"
       "  --lint            CommLint cross-validation: statically lint every\n"
@@ -64,6 +71,22 @@ bool parseU64(const char *S, uint64_t &Out) {
   return End && *End == '\0' && End != S;
 }
 
+bool parseSyncMode(const std::string &S, commset::SyncMode &Out) {
+  if (S == "mutex")
+    Out = commset::SyncMode::Mutex;
+  else if (S == "spin")
+    Out = commset::SyncMode::Spin;
+  else if (S == "tm")
+    Out = commset::SyncMode::Tm;
+  else if (S == "none")
+    Out = commset::SyncMode::None;
+  else if (S == "priv")
+    Out = commset::SyncMode::Priv;
+  else
+    return false;
+  return true;
+}
+
 bool parseThreadList(const std::string &S, std::vector<unsigned> &Out) {
   Out.clear();
   size_t Pos = 0;
@@ -87,6 +110,7 @@ int main(int argc, char **argv) {
   bool DumpOnly = false;
   bool TraceOnDivergence = false;
   uint64_t DumpSeed = 0;
+  int MinPrivPct = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -127,6 +151,23 @@ int main(int argc, char **argv) {
       Opts.Oracle.Lint = true;
     } else if (Arg == "--no-tm") {
       Opts.Oracle.IncludeTm = false;
+    } else if (Arg == "--no-priv") {
+      Opts.Oracle.IncludePriv = false;
+    } else if (Arg == "--sync") {
+      commset::SyncMode Mode;
+      if (!parseSyncMode(needValue(), Mode)) {
+        std::fprintf(stderr, "commcheck: bad --sync mode\n");
+        return 2;
+      }
+      Opts.Oracle.SyncModes = {Mode};
+    } else if (Arg == "--reduction-heavy") {
+      Opts.Gen.ReductionHeavy = true;
+    } else if (Arg == "--min-priv-pct") {
+      if (!parseU64(needValue(), V) || V > 100) {
+        std::fprintf(stderr, "commcheck: bad --min-priv-pct\n");
+        return 2;
+      }
+      MinPrivPct = static_cast<int>(V);
     } else if (Arg == "--no-schedules") {
       Opts.Oracle.ExploreSchedules = false;
     } else if (Arg == "--faults") {
@@ -199,6 +240,20 @@ int main(int argc, char **argv) {
                   Sum.FaultRuns, Sum.DegradedRuns,
                   static_cast<unsigned long long>(Sum.FaultsInjected),
                   Sum.Failures);
+    if (Sum.PrivPlansRun || MinPrivPct >= 0) {
+      unsigned Pct = Sum.PrivPlansRun
+                         ? Sum.PrivatizedPlans * 100 / Sum.PrivPlansRun
+                         : 0;
+      std::printf("commcheck: priv sweep: %u plans run under priv, "
+                  "%u privatized (%u%%)\n",
+                  Sum.PrivPlansRun, Sum.PrivatizedPlans, Pct);
+      if (MinPrivPct >= 0 && Pct < static_cast<unsigned>(MinPrivPct)) {
+        std::fprintf(stderr,
+                     "commcheck: priv coverage %u%% below required %d%%\n",
+                     Pct, MinPrivPct);
+        return 1;
+      }
+    }
     if (Sum.Failures) {
       std::printf("first failure:\n%s\n", Sum.FirstFailure.c_str());
       for (const std::string &Path : Sum.ArtifactPaths)

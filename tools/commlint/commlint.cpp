@@ -41,7 +41,7 @@ void usage(const char *Argv0) {
       "                 (default main_loop)\n"
       "  --threads N    planned worker count (default 4)\n"
       "  --sync MODE    sync engine to plan with: mutex | spin | tm | none\n"
-      "                 (default mutex)\n"
+      "                 | priv (default mutex)\n"
       "  --sched P      iteration-scheduling policy: static | dynamic |\n"
       "                 guided (default guided)\n"
       "  --werror       treat warnings as errors (exit 2)\n"
@@ -62,6 +62,8 @@ bool syncModeFromString(const char *Name, SyncMode &Out) {
     Out = SyncMode::Tm;
   else if (!std::strcmp(Name, "none"))
     Out = SyncMode::None;
+  else if (!std::strcmp(Name, "priv"))
+    Out = SyncMode::Priv;
   else
     return false;
   return true;

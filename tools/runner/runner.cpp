@@ -35,7 +35,7 @@ int usage(const char *Argv0) {
       "\n"
       "options:\n"
       "  --scheme=S        doall | dswp | psdswp | seq | best (default best)\n"
-      "  --sync=M          mutex | spin | tm | none (default mutex)\n"
+      "  --sync=M          mutex | spin | tm | none | priv (default mutex)\n"
       "  --sched=P         static | dynamic | guided iteration scheduling\n"
       "                    (default guided)\n"
       "  --threads=N       worker threads (default 4)\n"
@@ -62,6 +62,8 @@ bool parseSync(const std::string &S, SyncMode &Out) {
     Out = SyncMode::Tm;
   else if (S == "none" || S == "lib")
     Out = SyncMode::None;
+  else if (S == "priv")
+    Out = SyncMode::Priv;
   else
     return false;
   return true;
