@@ -1,0 +1,295 @@
+//===- bench_serve_load.cpp - commsetd overload behavior guard ------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// Closed-loop load generator against an in-process commsetd. Two phases,
+// each against a fresh server:
+//
+//  - uncontended: one client, no admission limits. Establishes the
+//    baseline throughput (capacity of the single executor) and the
+//    uncontended latency percentiles.
+//
+//  - overload: admission rate pinned to the measured capacity, queue
+//    depth capped, then ~2x that load offered from many concurrent
+//    closed-loop clients. A robust server sheds the excess explicitly
+//    (REJECTED_OVERLOAD) and keeps the latency of the jobs it does accept
+//    bounded: the guard requires sheds > 0 and accepted p99 within 5x of
+//    the uncontended p99 (goodput protected, no collapse).
+//
+// The request mix is Zipf-flavored over the eight fig6 workloads (hot
+// md5sum/kmeans head, long tail), so the plan cache sees both hits and
+// evictions. --json=FILE emits one BenchRecord per phase with throughput,
+// accept/shed counts and p50/p95/p99 as Extra columns; --guard exits
+// non-zero on violation (wired into ctest's serve-smoke tier).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Server.h"
+#include "commset/Workloads/BenchHarness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace commset;
+using namespace commset::serve;
+using commset::bench::BenchRecord;
+
+namespace {
+
+const struct {
+  const char *Name;
+  int Scale;
+  unsigned Weight;
+} Mix[] = {
+    {"md5sum", 48, 8}, {"kmeans", 96, 4},  {"eclat", 32, 2},
+    {"url", 64, 2},    {"em3d", 48, 1},    {"geti", 48, 1},
+    {"hmmer", 32, 1},  {"potrace", 32, 1},
+};
+
+struct PhaseResult {
+  uint64_t Sent = 0;
+  uint64_t Completed = 0; ///< OK or DEGRADED.
+  uint64_t Shed = 0;
+  uint64_t Deadline = 0;
+  uint64_t Errors = 0; ///< Transport/protocol/internal failures.
+  double Rps = 0.0;    ///< Completed jobs per second.
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0; ///< Accepted, server-side.
+};
+
+/// Drives \p Clients closed-loop client threads for \p DurationMs against
+/// \p S; latency percentiles come from the server's admitted-request
+/// histogram afterwards.
+PhaseResult drive(Server &S, unsigned Clients, uint64_t DurationMs,
+                  uint64_t Seed) {
+  unsigned TotalWeight = 0;
+  for (const auto &M : Mix)
+    TotalWeight += M.Weight;
+
+  std::atomic<uint64_t> Sent{0}, Completed{0}, Shed{0}, Deadline{0},
+      Errors{0};
+  const uint64_t EndNs = steadyNowNs() + DurationMs * 1000000ull;
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Clients; ++T) {
+    Threads.emplace_back([&, T] {
+      std::mt19937_64 Rng(faultMix(Seed ^ (uint64_t(T) << 32)));
+      SyncClient Client;
+      while (steadyNowNs() < EndNs) {
+        if (!Client.connected() && !Client.connect(S.port())) {
+          Errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        unsigned Pick = static_cast<unsigned>(Rng() % TotalWeight);
+        unsigned Idx = 0;
+        for (; Idx + 1 < std::size(Mix) && Pick >= Mix[Idx].Weight; ++Idx)
+          Pick -= Mix[Idx].Weight;
+        RunRequest Req;
+        Req.WorkloadName = Mix[Idx].Name;
+        Req.Scale = Mix[Idx].Scale;
+        Req.Threads = 4;
+        Req.DeadlineMs = 8000;
+        RespStatus St;
+        std::string Body;
+        Sent.fetch_add(1, std::memory_order_relaxed);
+        if (!Client.request(MsgType::Run, formatRunRequest(Req), St, Body,
+                            nullptr, /*TimeoutMs=*/30000)) {
+          Errors.fetch_add(1, std::memory_order_relaxed);
+          Client.close();
+          continue;
+        }
+        switch (St) {
+        case RespStatus::Ok:
+        case RespStatus::Degraded:
+          Completed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RespStatus::RejectedOverload:
+          Shed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RespStatus::DeadlineExceeded:
+          Deadline.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          Errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  PhaseResult R;
+  R.Sent = Sent.load();
+  R.Completed = Completed.load();
+  R.Shed = Shed.load();
+  R.Deadline = Deadline.load();
+  R.Errors = Errors.load();
+  R.Rps = static_cast<double>(R.Completed) * 1000.0 /
+          static_cast<double>(DurationMs);
+  ServerStats Stats = S.stats();
+  R.P50Ms = static_cast<double>(Stats.LatencyP50Ns) / 1e6;
+  R.P95Ms = static_cast<double>(Stats.LatencyP95Ns) / 1e6;
+  R.P99Ms = static_cast<double>(Stats.LatencyP99Ns) / 1e6;
+  return R;
+}
+
+BenchRecord toRecord(const char *Label, unsigned Clients,
+                     const PhaseResult &R) {
+  BenchRecord Rec;
+  Rec.Workload = "serve-mix";
+  Rec.Label = Label;
+  Rec.Scheme = "best";
+  Rec.Sync = "Mutex";
+  Rec.Threads = Clients;
+  Rec.Applicable = true;
+  Rec.Extra = {
+      {"rps", R.Rps},
+      {"sent", static_cast<double>(R.Sent)},
+      {"completed", static_cast<double>(R.Completed)},
+      {"shed", static_cast<double>(R.Shed)},
+      {"deadline_exceeded", static_cast<double>(R.Deadline)},
+      {"errors", static_cast<double>(R.Errors)},
+      {"p50_ms", R.P50Ms},
+      {"p95_ms", R.P95Ms},
+      {"p99_ms", R.P99Ms},
+  };
+  return Rec;
+}
+
+void printPhase(const char *Label, const PhaseResult &R) {
+  std::printf("%-14s sent=%-6llu completed=%-6llu shed=%-5llu "
+              "deadline=%-4llu errors=%-3llu rps=%-8.1f "
+              "p50=%.2fms p95=%.2fms p99=%.2fms\n",
+              Label, (unsigned long long)R.Sent,
+              (unsigned long long)R.Completed, (unsigned long long)R.Shed,
+              (unsigned long long)R.Deadline, (unsigned long long)R.Errors,
+              R.Rps, R.P50Ms, R.P95Ms, R.P99Ms);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  bool Guard = false;
+  uint64_t DurationMs = 3000;
+  unsigned Clients = 8;
+  uint64_t Seed = 1;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(7);
+    else if (Arg == "--guard")
+      Guard = true;
+    else if (Arg.rfind("--duration-ms=", 0) == 0)
+      DurationMs = std::strtoull(Arg.c_str() + 14, nullptr, 10);
+    else if (Arg.rfind("--clients=", 0) == 0)
+      Clients = static_cast<unsigned>(std::strtoul(Arg.c_str() + 10,
+                                                   nullptr, 10));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_load [--duration-ms=N] "
+                   "[--clients=N] [--seed=N] [--json=FILE] [--guard]\n");
+      return 64;
+    }
+  }
+
+  // Phase 1: uncontended baseline — one client, no admission limits.
+  PhaseResult Base;
+  {
+    ServerConfig Config;
+    Config.CacheCapacity = 16;
+    Config.Admission.MaxQueueDepth = 1u << 20; // Effectively unlimited.
+    Config.DefaultDeadlineMs = 8000;
+    Config.MaxDeadlineMs = 10000;
+    Server S(Config);
+    std::string Err;
+    if (!S.start(&Err)) {
+      std::fprintf(stderr, "bench_serve_load: %s\n", Err.c_str());
+      return 1;
+    }
+    Base = drive(S, 1, DurationMs, Seed);
+    S.stop();
+  }
+  printPhase("uncontended", Base);
+  if (!Base.Completed || Base.Errors) {
+    std::fprintf(stderr,
+                 "bench_serve_load: baseline phase unhealthy (completed="
+                 "%llu errors=%llu)\n",
+                 (unsigned long long)Base.Completed,
+                 (unsigned long long)Base.Errors);
+    return 1;
+  }
+
+  // Phase 2: overload — admission pinned to measured capacity, ~2x that
+  // offered from closed-loop concurrent clients.
+  PhaseResult Over;
+  {
+    ServerConfig Config;
+    Config.CacheCapacity = 16;
+    Config.Admission.RatePerSec = Base.Rps; // Capacity from phase 1.
+    Config.Admission.Burst = 8;
+    Config.Admission.MaxQueueDepth = 8;
+    Config.DefaultDeadlineMs = 8000;
+    Config.MaxDeadlineMs = 10000;
+    Server S(Config);
+    std::string Err;
+    if (!S.start(&Err)) {
+      std::fprintf(stderr, "bench_serve_load: %s\n", Err.c_str());
+      return 1;
+    }
+    Over = drive(S, Clients, DurationMs, Seed + 1);
+    S.stop();
+  }
+  printPhase("overload", Over);
+
+  std::vector<BenchRecord> Records = {toRecord("serve-uncontended", 1, Base),
+                                      toRecord("serve-overload", Clients,
+                                               Over)};
+  if (!JsonPath.empty()) {
+    std::string Err;
+    if (!commset::bench::writeBenchJson(JsonPath, Records, &Err)) {
+      std::fprintf(stderr, "bench_serve_load: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  if (Guard) {
+    bool Ok = true;
+    if (Over.Shed == 0) {
+      std::fprintf(stderr, "GUARD: overload phase shed nothing — "
+                           "admission control is not engaging\n");
+      Ok = false;
+    }
+    if (Over.Completed == 0) {
+      std::fprintf(stderr, "GUARD: overload phase completed nothing — "
+                           "goodput collapsed\n");
+      Ok = false;
+    }
+    if (Base.P99Ms > 0 && Over.P99Ms > 5.0 * Base.P99Ms) {
+      std::fprintf(stderr,
+                   "GUARD: accepted p99 under overload %.2fms exceeds "
+                   "5x uncontended p99 %.2fms\n",
+                   Over.P99Ms, Base.P99Ms);
+      Ok = false;
+    }
+    if (Over.Errors) {
+      std::fprintf(stderr, "GUARD: %llu transport/internal errors under "
+                           "overload\n",
+                   (unsigned long long)Over.Errors);
+      Ok = false;
+    }
+    if (!Ok)
+      return 1;
+    std::printf("GUARD: ok (shed=%llu, p99 %.2fms <= 5x %.2fms)\n",
+                (unsigned long long)Over.Shed, Over.P99Ms, Base.P99Ms);
+  }
+  return 0;
+}

@@ -52,12 +52,15 @@ enum class RunStatus : int {
   DegradedSequential = 1, ///< Parallel plan failed; sequential fallback
                           ///< produced the (correct) result.
   InternalError = 2,      ///< Unrecoverable failure; no trustworthy result.
+  DeadlineExceeded = 3,   ///< Wall-clock budget ran out; the region was
+                          ///< cancelled and NOT re-executed (no result).
 };
 
 const char *runStatusName(RunStatus Status);
 
 /// Process exit code for each status: 0 (ok), 10 (degraded), 70 (internal
-/// error, mirroring BSD EX_SOFTWARE).
+/// error, mirroring BSD EX_SOFTWARE), 75 (deadline exceeded, mirroring
+/// BSD EX_TEMPFAIL: retry with a bigger budget).
 int exitCodeFor(RunStatus Status);
 
 struct RunConfig {
@@ -69,6 +72,11 @@ struct RunConfig {
   SimParams Sim;
   /// Retry/timeout bounds + fault injection; null = process defaults.
   const ResilienceConfig *Resilience = nullptr;
+  /// Wall-clock budget for the whole run, enforced at region checkpoints
+  /// (commset-run --deadline-ms, commsetd per-request deadlines). 0 = no
+  /// deadline. Layered on top of Resilience: runScheme copies the config
+  /// and stamps Resilience.DeadlineAtMonoNs = now + DeadlineMs.
+  uint64_t DeadlineMs = 0;
   /// Reverts caller-side native state (e.g. a recorder) before a
   /// sequential fallback re-execution.
   std::function<void()> ResetState;

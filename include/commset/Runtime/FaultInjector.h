@@ -27,7 +27,7 @@
 
 namespace commset {
 
-/// Fault taxonomy. The first group (WorkerDelay..TaskFailure) is
+/// Fault taxonomy. The first group (WorkerDelay..CompileFail) is
 /// injectable by the FaultInjector; the second group (StmExhausted..
 /// Internal) names escalation reasons carried by RegionFault.
 enum class FaultKind : unsigned {
@@ -38,16 +38,23 @@ enum class FaultKind : unsigned {
   LockDelay,    ///< Injected delay before a ranked-lock acquisition.
   QueueStall,   ///< Slow-consumer stall before an SPSC pop.
   TaskFailure,  ///< Spurious worker task failure.
+  SlowClient,   ///< commsetd: stall while servicing a connection (a client
+                ///< that trickles its request bytes / drains its reply
+                ///< slowly). Fired on the serving path, never in regions.
+  ClientDisconnect, ///< commsetd: the connection drops mid-request.
+  CompileFail,  ///< commsetd: a job's compile is forced to fail (the reply
+                ///< path must report COMPILE_ERROR without caching it).
   StmExhausted, ///< Bounded STM retries ran out.
   LockTimeout,  ///< Ranked-lock acquisition timed out.
   WatchdogStall,///< Watchdog declared the region stalled.
+  DeadlineExceeded, ///< The region outlived its wall-clock deadline budget.
   Cancelled,    ///< Worker unwound because the region was cancelled.
   Internal,     ///< Unexpected error escaped a worker.
 };
 
 /// Number of FaultKind values the injector can fire (WorkerDelay..
-/// TaskFailure).
-constexpr unsigned NumInjectableFaultKinds = 6;
+/// CompileFail).
+constexpr unsigned NumInjectableFaultKinds = 9;
 
 const char *faultKindName(FaultKind Kind);
 
@@ -67,6 +74,11 @@ struct FaultPolicy {
   unsigned QueueStallPerMille = 0;
   uint64_t QueueStallUs = 200;
   unsigned TaskFailurePerMille = 0;
+  // Serving-path kinds (commsetd); inert for in-region execution.
+  unsigned SlowClientPerMille = 0;
+  uint64_t SlowClientUs = 2000;
+  unsigned ClientDisconnectPerMille = 0;
+  unsigned CompileFailPerMille = 0;
 
   /// One-line description naming the policy and its nonzero rates.
   std::string describe() const;
@@ -74,10 +86,20 @@ struct FaultPolicy {
   /// Canned sweep policies (abort-storm, stall, task-failure, mixed),
   /// cycled by \p Index and seeded deterministically.
   static FaultPolicy preset(unsigned Index, uint64_t Seed);
+
+  /// Canned serving-path sweep policies for commsetd --faults
+  /// (slow-client, disconnect, compile-fail, server-mixed — the mixed one
+  /// also fires in-region worker faults so degradation shows up under
+  /// load). Cycled by \p Index and seeded deterministically like preset().
+  static FaultPolicy servePreset(unsigned Index, uint64_t Seed);
 };
 
 /// SplitMix64 finalizer used for all deterministic fault/jitter decisions.
 uint64_t faultMix(uint64_t X);
+
+/// Monotonic now in nanoseconds (std::chrono::steady_clock), the unit of
+/// ResilienceConfig::DeadlineAtMonoNs and the serve-path deadline budgets.
+uint64_t steadyNowNs();
 
 /// Seeded, policy-driven fault shim. Thread safe; decisions for a given
 /// (kind, thread) stream depend only on the policy seed and the call
@@ -147,6 +169,16 @@ struct ResilienceConfig {
   /// Extra time after cancellation for workers to unwind and join before
   /// they are abandoned (reported, not hung on).
   uint64_t JoinGraceMs = 5000;
+
+  /// Wall-clock deadline budget for the region, as an absolute
+  /// steady-clock instant (steadyNowNs() units); 0 = no deadline. Workers
+  /// observe it at their iteration checkpoints: the first one past the
+  /// instant raises RegionFault(DeadlineExceeded), which cancels the
+  /// region through the same path as a watchdog trip. Unlike every other
+  /// fault, runFunctionResilient does NOT re-execute sequentially after a
+  /// deadline fault — the budget is already spent, so it discards the
+  /// partial state and reports DeadlineExceeded instead.
+  uint64_t DeadlineAtMonoNs = 0;
 
   /// Optional fault injection shim; null in production.
   FaultInjector *Faults = nullptr;

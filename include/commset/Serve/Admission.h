@@ -1,0 +1,71 @@
+//===- Admission.h - commsetd overload admission control --------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Admission control for commsetd: a token bucket bounding sustained
+/// request rate plus a queue-depth gate bounding in-flight work. Requests
+/// past either limit are shed *explicitly* (REJECTED_OVERLOAD) at the edge
+/// instead of queueing without bound — under overload the server's p99 for
+/// accepted jobs stays near the uncontended p99 because the queue can
+/// never grow past MaxQueueDepth (the robustness headline of DESIGN.md §7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SERVE_ADMISSION_H
+#define COMMSET_SERVE_ADMISSION_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace commset {
+namespace serve {
+
+struct AdmissionConfig {
+  /// Sustained RUN-requests/second refill rate. 0 disables the bucket
+  /// (queue depth still gates).
+  double RatePerSec = 0.0;
+  /// Bucket capacity: how far a burst may overshoot the sustained rate.
+  double Burst = 16.0;
+  /// Maximum jobs queued for execution; a request arriving at a full
+  /// queue is shed regardless of tokens.
+  size_t MaxQueueDepth = 32;
+};
+
+class AdmissionController {
+public:
+  explicit AdmissionController(const AdmissionConfig &Config);
+
+  /// Decision for one RUN request given the execution queue's current
+  /// depth. Thread-safe; counts every decision.
+  bool admit(size_t QueueDepth);
+
+  uint64_t admitted() const {
+    return Admitted.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return Shed.load(std::memory_order_relaxed); }
+  /// Sheds attributed to a full queue (the rest were an empty bucket).
+  uint64_t shedQueueFull() const {
+    return ShedQueue.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionConfig &config() const { return Config; }
+
+private:
+  AdmissionConfig Config;
+  std::mutex M;           ///< Guards the bucket state below.
+  double Tokens;          ///< Current bucket level.
+  uint64_t LastRefillNs;  ///< steadyNowNs() of the last refill.
+  std::atomic<uint64_t> Admitted{0};
+  std::atomic<uint64_t> Shed{0};
+  std::atomic<uint64_t> ShedQueue{0};
+};
+
+} // namespace serve
+} // namespace commset
+
+#endif // COMMSET_SERVE_ADMISSION_H

@@ -1,0 +1,153 @@
+//===- PlanCache.h - Compiled-plan LRU with single-flight -------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// commsetd's compiled-plan cache. A job (source or workload + plan
+/// options) is parsed, analyzed and planned once per unique cache key;
+/// concurrent identical jobs collapse onto one compile (single-flight) and
+/// the rest wait for its result. Ready entries live in a bounded LRU;
+/// compile *failures* are never cached, so a transient failure (e.g. an
+/// injected CompileFail) cannot poison future requests.
+///
+/// Each entry carries a CircuitBreaker: a plan that keeps faulting at run
+/// time is quarantined (requests run the always-applicable sequential
+/// scheme, reported DEGRADED) until a periodic probe succeeds. Breaker
+/// decisions are count-based, not clock-based, so fault sweeps replay
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SERVE_PLANCACHE_H
+#define COMMSET_SERVE_PLANCACHE_H
+
+#include "commset/Driver/Runner.h"
+#include "commset/Serve/Protocol.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace commset {
+namespace serve {
+
+/// Count-based circuit breaker over one compiled plan.
+///
+/// Closed: parallel runs allowed. After FailThreshold *consecutive*
+/// parallel faults the breaker Opens: requests are served by the
+/// sequential scheme without touching the faulting plan. Every
+/// ProbeAfterSkips-th Open request is let through as a HalfOpen probe;
+/// a successful probe Closes the breaker, a faulting one re-Opens it.
+class CircuitBreaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(unsigned FailThreshold = 3,
+                          unsigned ProbeAfterSkips = 4)
+      : FailThreshold(FailThreshold ? FailThreshold : 1),
+        ProbeAfterSkips(ProbeAfterSkips ? ProbeAfterSkips : 1) {}
+
+  /// One request's routing decision: true = run the parallel plan (and
+  /// report the outcome back), false = quarantined, run sequential.
+  bool allowParallel();
+  void onParallelSuccess();
+  void onParallelFault();
+
+  State state() const;
+  uint64_t trips() const;    ///< Closed->Open transitions.
+  uint64_t skips() const;    ///< Requests routed sequential while Open.
+
+private:
+  const unsigned FailThreshold;
+  const unsigned ProbeAfterSkips;
+  mutable std::mutex M;
+  State St = State::Closed;
+  unsigned ConsecutiveFaults = 0;
+  unsigned SkipsSinceOpen = 0;
+  uint64_t Trips = 0;
+  uint64_t Skips = 0;
+};
+
+/// One compiled + planned job, shared by every request that hits its key.
+/// Immutable after construction except for the breaker (its own lock).
+struct CompiledJob {
+  std::unique_ptr<Compilation> C;
+  std::unique_ptr<Compilation::LoopTarget> T;
+  std::vector<SchemeReport> Schemes;
+  const SchemeReport *Chosen = nullptr;     ///< The requested scheme.
+  const SchemeReport *Sequential = nullptr; ///< Always-applicable fallback.
+  CircuitBreaker Breaker;
+
+  CompiledJob(unsigned BreakerFailThreshold, unsigned BreakerProbeAfterSkips)
+      : Breaker(BreakerFailThreshold, BreakerProbeAfterSkips) {}
+};
+
+class PlanCache {
+public:
+  struct Result {
+    std::shared_ptr<CompiledJob> Job; ///< Null on failure.
+    bool CacheHit = false;            ///< True also for single-flight waiters.
+    std::string Error;                ///< Compile/analyze/plan failure text.
+  };
+
+  struct Stats {
+    uint64_t Hits = 0;     ///< Ready hits + single-flight waits.
+    uint64_t Misses = 0;   ///< Lookups that started a compile.
+    uint64_t Compiles = 0; ///< Compiles that ran (== Misses).
+    uint64_t CompileFailures = 0;
+    uint64_t Evictions = 0;
+    uint64_t BreakerTrips = 0; ///< Summed over live entries.
+    uint64_t BreakerSkips = 0; ///< Summed over live entries.
+    size_t Size = 0;           ///< Ready entries currently cached.
+  };
+
+  /// \p Capacity bounds Ready entries (>= 1). Breaker thresholds seed
+  /// every entry's CircuitBreaker.
+  explicit PlanCache(size_t Capacity, unsigned BreakerFailThreshold = 3,
+                     unsigned BreakerProbeAfterSkips = 4);
+
+  /// Looks up \p R's cache key, compiling on miss (single-flight: one
+  /// compile per key, concurrent requesters block until it resolves).
+  /// \p Faults may inject FaultKind::CompileFail (transient; not cached).
+  Result getOrCompile(const RunRequest &R, FaultInjector *Faults = nullptr);
+
+  Stats stats() const;
+
+private:
+  struct Node {
+    enum class St { Compiling, Ready, Failed };
+    St State = St::Compiling;
+    std::shared_ptr<CompiledJob> Job;
+    std::string Error;
+    std::condition_variable Cv; ///< Waited with the cache mutex.
+    std::list<std::string>::iterator LruIt;
+    bool InLru = false;
+  };
+
+  /// The actual compile (no cache lock held).
+  static Result compileJob(const RunRequest &R, FaultInjector *Faults,
+                           unsigned BreakerFailThreshold,
+                           unsigned BreakerProbeAfterSkips);
+
+  const size_t Capacity;
+  const unsigned BreakerFailThreshold;
+  const unsigned BreakerProbeAfterSkips;
+  mutable std::mutex M;
+  std::unordered_map<std::string, std::shared_ptr<Node>> Map;
+  std::list<std::string> Lru; ///< Front = most recently used key.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t CompileFailures = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace serve
+} // namespace commset
+
+#endif // COMMSET_SERVE_PLANCACHE_H

@@ -1,0 +1,146 @@
+//===- Protocol.h - commsetd wire protocol (CSD1) ---------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commsetd wire protocol. One frame per message, both directions:
+///
+///   CSD1 <KIND> <BODYLEN>\n
+///   <BODYLEN body bytes>
+///
+/// Client->server KIND is a request type (RUN, STATS, PING); server->client
+/// KIND is a response status (OK, DEGRADED, REJECTED_OVERLOAD,
+/// DEADLINE_EXCEEDED, BAD_REQUEST, COMPILE_ERROR, INTERNAL_ERROR). Bodies
+/// are "key:value" lines; a RUN body may end with a "source:" line after
+/// which the remainder of the body is raw CSet-C text.
+///
+/// Everything in this header is socket-free and allocation-bounded so the
+/// decoder can be driven byte-by-byte by tests and the commsetd --fuzz
+/// harness: a hostile peer can produce a ParseError, never a crash or an
+/// unbounded buffer (MaxBodyBytes caps every frame).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SERVE_PROTOCOL_H
+#define COMMSET_SERVE_PROTOCOL_H
+
+#include "commset/Runtime/Sched.h"
+#include "commset/Transform/Planner.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace commset {
+namespace serve {
+
+/// Hard cap on one frame's body; a header announcing more is a protocol
+/// error (shed before buffering, so hostile lengths cannot balloon memory).
+constexpr size_t MaxBodyBytes = size_t(1) << 20;
+/// Hard cap on the header line (magic + kind + length + newline).
+constexpr size_t MaxHeaderBytes = 96;
+
+enum class MsgType { Run, Stats, Ping };
+
+enum class RespStatus : unsigned {
+  Ok = 0,            ///< Requested plan ran to completion.
+  Degraded,          ///< Sequential fallback / open breaker; result valid.
+  RejectedOverload,  ///< Shed by the admission controller; not executed.
+  DeadlineExceeded,  ///< Budget ran out (queued or mid-region); no result.
+  BadRequest,        ///< Malformed frame or RUN body.
+  CompileError,      ///< Parse/sema/plan failure for the submitted job.
+  InternalError,     ///< Server-side failure; no trustworthy result.
+};
+constexpr unsigned NumRespStatuses =
+    static_cast<unsigned>(RespStatus::InternalError) + 1;
+
+const char *msgTypeName(MsgType T);
+bool msgTypeFromName(const std::string &Name, MsgType &Out);
+const char *respStatusName(RespStatus S);
+bool respStatusFromName(const std::string &Name, RespStatus &Out);
+
+/// One decoded RUN body. Exactly one of WorkloadName / Source is set.
+struct RunRequest {
+  std::string WorkloadName; ///< One of the eight fig6 workloads.
+  std::string Variant;      ///< Workload source variant ("", noself, plain).
+  std::string Source;       ///< Inline CSet-C program (alternative to the
+                            ///< workload form; executed with the standard
+                            ///< serve natives work/record).
+  std::string Entry = "run";    ///< Loop function for inline source.
+  std::string Scheme = "best";  ///< best | doall | dswp | psdswp | seq.
+  SyncMode Sync = SyncMode::Mutex;
+  SchedPolicy Sched = SchedPolicy::Guided;
+  unsigned Threads = 4;
+  int Scale = 0;           ///< 0 = workload default.
+  uint64_t DeadlineMs = 0; ///< 0 = server default budget.
+
+  /// Stable plan-cache key: everything compilation/planning depends on
+  /// (job identity, scheme, sync, sched, threads) and nothing execution-
+  /// only (scale, deadline).
+  std::string cacheKey() const;
+};
+
+/// 64-bit FNV-1a, the source-hash half of RunRequest::cacheKey().
+uint64_t fnv1a64(const std::string &S);
+
+/// One decoded frame. Kind is the raw token from the header ("RUN",
+/// "OK", ...); callers map it with msgTypeFromName / respStatusFromName.
+struct Frame {
+  std::string Kind;
+  std::string Body;
+};
+
+/// Incremental frame decoder. Feed arbitrary byte chunks; poll next().
+/// After an Error the reader is poisoned (the stream has lost framing) and
+/// every further next() reports the same error; the connection must close.
+class FrameReader {
+public:
+  enum class Status { NeedMore, Ready, Error };
+
+  void feed(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// Extracts the next complete frame into \p Out. On Error, \p ErrOut
+  /// (optional) receives a one-line reason.
+  Status next(Frame &Out, std::string *ErrOut = nullptr);
+
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+  bool Poisoned = false;
+  std::string ErrText;
+};
+
+/// Parses one "CSD1 <KIND> <LEN>" header line (no trailing newline).
+bool parseFrameHeader(const std::string &Line, std::string &KindOut,
+                      size_t &LenOut, std::string *ErrOut = nullptr);
+
+/// Parses a RUN body into \p Out. Unknown keys are errors (catching client
+/// typos beats silently running the wrong job).
+bool parseRunRequest(const std::string &Body, RunRequest &Out,
+                     std::string *ErrOut = nullptr);
+
+/// Serializes one frame: header line + body.
+std::string formatFrame(const std::string &Kind, const std::string &Body);
+
+/// Serializes a RUN request body (the inverse of parseRunRequest).
+std::string formatRunRequest(const RunRequest &R);
+
+/// Serializes a response frame whose body is "key:value" lines. Values are
+/// newline-sanitized so one pair can never smuggle extra lines.
+std::string
+formatResponse(RespStatus S,
+               const std::vector<std::pair<std::string, std::string>> &Kv);
+
+/// Parses a "key:value"-lines body (responses, STATS) into pairs.
+std::vector<std::pair<std::string, std::string>>
+parseKvBody(const std::string &Body);
+
+} // namespace serve
+} // namespace commset
+
+#endif // COMMSET_SERVE_PROTOCOL_H

@@ -1,0 +1,151 @@
+//===- Server.h - commsetd compile-and-execute service ----------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commsetd server: a long-running plain-TCP (loopback) service that
+/// accepts CSD1-framed CSet-C jobs from many concurrent clients, compiles
+/// each unique job once through the PlanCache, and executes on the
+/// process-wide persistent WorkerPool. Designed crash-only around hostile
+/// input and overload:
+///
+///  - Admission first: every RUN passes the token-bucket + queue-depth
+///    controller; overflow is shed with an explicit REJECTED_OVERLOAD
+///    reply, never an unbounded queue.
+///  - Deadlines: every admitted job carries a wall-clock budget. A job
+///    still queued at its deadline is expired without executing; one
+///    mid-region rides the resilience cancellation path (RunStatus::
+///    DeadlineExceeded). Either way the client gets DEADLINE_EXCEEDED.
+///  - Degradation: worker faults reuse runFunctionResilient's sequential
+///    fallback (DEGRADED, result still correct); repeatedly-faulting
+///    plans are quarantined by the per-plan circuit breaker.
+///  - Crash-only connections: malformed or truncated frames, oversize
+///    bodies, slow clients and mid-request disconnects are confined to
+///    their connection handler; the listener and executor never die.
+///
+/// One executor thread drains the job queue: the WorkerPool serializes
+/// parallel regions anyway, so more executors would only add queueing
+/// ambiguity. Concurrency lives in the connection handlers (parsing,
+/// cache waits, replies) and inside each region's workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_SERVE_SERVER_H
+#define COMMSET_SERVE_SERVER_H
+
+#include "commset/Serve/Admission.h"
+#include "commset/Serve/PlanCache.h"
+#include "commset/Serve/Protocol.h"
+#include "commset/Trace/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace commset {
+namespace serve {
+
+struct ServerConfig {
+  uint16_t Port = 0;          ///< 0 = ephemeral (read back via port()).
+  unsigned MaxConnections = 64;
+  size_t CacheCapacity = 16;
+  AdmissionConfig Admission;
+  uint64_t DefaultDeadlineMs = 2000; ///< Budget when the request has none.
+  uint64_t MaxDeadlineMs = 10000;    ///< Requested budgets are clamped.
+  uint64_t RecvTimeoutMs = 2000;     ///< Idle-read cutoff per connection
+                                     ///< (slow-client guard).
+  unsigned BreakerFailThreshold = 3;
+  unsigned BreakerProbeAfterSkips = 4;
+  FaultInjector *Faults = nullptr;   ///< Server-path fault injection.
+};
+
+/// Monotonic counters + latency percentiles, snapshotted for /stats.
+struct ServerStats {
+  uint64_t Connections = 0;      ///< Accepted sockets.
+  uint64_t ConnectionsShed = 0;  ///< Closed at accept (handler limit).
+  uint64_t Requests = 0;         ///< Frames that parsed as a request.
+  uint64_t BadFrames = 0;        ///< Protocol errors (connection closed).
+  uint64_t Replies[NumRespStatuses] = {}; ///< By RespStatus.
+  uint64_t ExpiredInQueue = 0;   ///< Deadline hit before execution began.
+  uint64_t InjectedDisconnects = 0;
+  uint64_t InjectedSlowClient = 0;
+  PlanCache::Stats Cache;
+  uint64_t Admitted = 0;
+  uint64_t Shed = 0;
+  uint64_t ShedQueueFull = 0;
+  size_t QueueDepth = 0;     ///< At snapshot time.
+  size_t MaxQueueDepth = 0;  ///< High-water mark.
+  /// Admission-to-reply latency of admitted requests, ns.
+  uint64_t LatencyCount = 0;
+  uint64_t LatencyP50Ns = 0;
+  uint64_t LatencyP95Ns = 0;
+  uint64_t LatencyP99Ns = 0;
+  uint64_t LatencyMaxNs = 0;
+};
+
+class Server {
+public:
+  explicit Server(const ServerConfig &Config);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds 127.0.0.1:<Port>, spawns the listener and executor. False (and
+  /// \p Err) on socket failure.
+  bool start(std::string *Err = nullptr);
+
+  /// Stops accepting, fails pending jobs, joins every thread. Idempotent.
+  void stop();
+
+  uint16_t port() const { return BoundPort; }
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+  /// The STATS response body: stats() as "key:value" lines.
+  std::string statsText() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  std::atomic<bool> Running{false};
+  uint16_t BoundPort = 0;
+};
+
+/// Minimal blocking client for tools, benches and tests. Not thread-safe.
+class SyncClient {
+public:
+  SyncClient() = default;
+  ~SyncClient();
+  SyncClient(const SyncClient &) = delete;
+  SyncClient &operator=(const SyncClient &) = delete;
+
+  bool connect(uint16_t Port, std::string *Err = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request frame and blocks for the response frame.
+  bool request(MsgType Type, const std::string &Body, RespStatus &StatusOut,
+               std::string &BodyOut, std::string *Err = nullptr,
+               uint64_t TimeoutMs = 30000);
+
+  /// Writes raw bytes (malformed-input tests). Returns false on error.
+  bool sendRaw(const std::string &Bytes);
+
+  /// Reads one response frame (after sendRaw of a valid request).
+  bool recvResponse(RespStatus &StatusOut, std::string &BodyOut,
+                    std::string *Err = nullptr, uint64_t TimeoutMs = 30000);
+
+private:
+  int Fd = -1;
+  FrameReader Reader;
+};
+
+} // namespace serve
+} // namespace commset
+
+#endif // COMMSET_SERVE_SERVER_H

@@ -174,6 +174,12 @@ struct TraceMetrics {
   uint64_t PrivMerges = 0; ///< (worker, slot) merge contributions.
   std::map<unsigned, PrivSlotStats> PrivSlots; ///< Keyed by global slot.
 
+  // commsetd serving activity (traces taken inside the server).
+  uint64_t ServeAdmits = 0;  ///< Requests past the admission controller.
+  uint64_t ServeSheds = 0;   ///< Requests shed with REJECTED_OVERLOAD.
+  uint64_t ServeReplies = 0; ///< Replies written (all statuses).
+  LogHistogram ServeLatencyNs; ///< Admission-to-reply latency.
+
   uint64_t totalLockContentions() const {
     uint64_t N = 0;
     for (const auto &KV : Locks)

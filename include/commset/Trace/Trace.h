@@ -82,10 +82,14 @@ enum class EventKind : uint32_t {
                  ///< A privatized access served by the worker's replica.
   PrivMerge,     ///< A = global slot id, B = worker whose replica merged.
                  ///< Emitted by the master at region exit, in merge order.
+  ServeAdmit,    ///< commsetd admission decision. A = 1 admitted / 0 shed,
+                 ///< B = execution queue depth at the decision.
+  ServeReply,    ///< commsetd reply sent. A = serve::RespStatus code,
+                 ///< B = request latency in ns (admission to reply).
 };
 
 constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::PrivMerge) + 1;
+    static_cast<unsigned>(EventKind::ServeReply) + 1;
 
 const char *eventKindName(EventKind K);
 

@@ -82,6 +82,15 @@ private:
   std::map<std::string, std::unique_ptr<VariantState>> Variants;
 };
 
+/// Version of the bench JSON record layout. Bump when a key is renamed or
+/// its meaning changes; adding Extra keys is not a schema change.
+constexpr unsigned BenchJsonSchemaVersion = 2;
+
+/// `git describe` of the tree this binary was built from ("unknown" when
+/// built outside a checkout). Stamped into every bench record so a stray
+/// JSON file is traceable to the code that produced it.
+const char *benchGitDescribe();
+
 /// One machine-readable measurement row; the bench binaries' --json=FILE
 /// flag emits an array of these.
 struct BenchRecord {
@@ -95,6 +104,9 @@ struct BenchRecord {
   double Speedup = 0.0;       ///< Over same-variant sequential baseline.
   uint64_t VirtualNs = 0;     ///< Simulated parallel time.
   uint64_t SeqVirtualNs = 0;  ///< Simulated sequential baseline.
+  /// Bench-specific numeric columns (e.g. serve-load percentiles),
+  /// appended to the record as additional "key": value pairs.
+  std::vector<std::pair<std::string, double>> Extra;
 };
 
 /// Renders \p Records as a JSON array (stable key order, no trailing

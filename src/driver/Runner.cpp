@@ -82,6 +82,8 @@ const char *commset::runStatusName(RunStatus Status) {
     return "degraded-to-sequential";
   case RunStatus::InternalError:
     return "internal-error";
+  case RunStatus::DeadlineExceeded:
+    return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -94,6 +96,8 @@ int commset::exitCodeFor(RunStatus Status) {
     return 10;
   case RunStatus::InternalError:
     return 70;
+  case RunStatus::DeadlineExceeded:
+    return 75;
   }
   return 70;
 }
@@ -109,8 +113,18 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
   SeqPlan.Kind = Strategy::Sequential;
   const ParallelPlan &Plan = Config.Plan ? *Config.Plan : SeqPlan;
 
-  FaultInjector *Faults =
-      Config.Resilience ? Config.Resilience->Faults : nullptr;
+  // Deadline budgets layer on whatever resilience config the caller chose:
+  // copy it (or the defaults) and stamp the absolute cutoff instant.
+  const ResilienceConfig *Resilience = Config.Resilience;
+  ResilienceConfig DeadlineRes;
+  if (Config.DeadlineMs) {
+    DeadlineRes = Resilience ? *Resilience : defaultResilience();
+    DeadlineRes.DeadlineAtMonoNs =
+        steadyNowNs() + Config.DeadlineMs * 1000000ull;
+    Resilience = &DeadlineRes;
+  }
+
+  FaultInjector *Faults = Resilience ? Resilience->Faults : nullptr;
   PlatformFactory MakePlatform;
   if (Config.Simulate) {
     SyncMode Sync = Plan.Sync;
@@ -140,7 +154,7 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
   auto Start = std::chrono::steady_clock::now();
   try {
     ResilientOutcome R = runFunctionResilient(
-        M, Natives, Globals, Plan, F, Args, MakePlatform, Config.Resilience,
+        M, Natives, Globals, Plan, F, Args, MakePlatform, Resilience,
         Config.ResetState,
         [&](ExecPlatform &Platform, bool Degraded) {
           if (auto *Sim = dynamic_cast<SimPlatform *>(&Platform)) {
@@ -151,7 +165,12 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
         });
     Out.Result = R.Result;
     Out.Iterations = R.Stats.Iterations;
-    if (R.Degraded) {
+    if (R.Degraded && R.Why == FaultKind::DeadlineExceeded) {
+      Out.Status = RunStatus::DeadlineExceeded;
+      Out.DegradedWhy = R.Why;
+      Out.Diagnostic = "plan '" + Plan.describe() +
+                       "' cancelled: " + R.Diagnostic;
+    } else if (R.Degraded) {
       Out.Status = RunStatus::DegradedSequential;
       Out.DegradedWhy = R.Why;
       Out.Diagnostic = "plan '" + Plan.describe() + "' degraded: " +

@@ -114,6 +114,10 @@ struct ParallelRegion {
     Control.heartbeat(Tid);
     if (Control.cancelled())
       throw RegionFault(FaultKind::Cancelled, Tid, "region cancelled");
+    if (Resilience.DeadlineAtMonoNs &&
+        steadyNowNs() >= Resilience.DeadlineAtMonoNs)
+      throw RegionFault(FaultKind::DeadlineExceeded, Tid,
+                        "wall-clock deadline budget exhausted mid-region");
     if (FaultInjector *FI = Resilience.Faults) {
       FI->maybeDelay(FaultKind::WorkerDelay, Tid);
       FI->maybeDelay(FaultKind::WorkerStall, Tid);
@@ -967,6 +971,20 @@ ResilientOutcome commset::runFunctionResilient(
     Out.Diagnostic = Fault.what();
     trace::emit(trace::EventKind::Degrade, Fault.Thread,
                 static_cast<uint64_t>(Fault.Kind));
+  }
+
+  // Deadline faults skip the sequential re-execution: the wall-clock
+  // budget is already spent, so re-running would only double the damage
+  // under overload. Partial state is still discarded (fresh globals,
+  // caller reset) so the process stays clean; the result slot is the
+  // default RtValue and callers must treat it as untrustworthy.
+  if (Out.Why == FaultKind::DeadlineExceeded) {
+    if (ResetState)
+      ResetState();
+    Globals = makeGlobalImage(M);
+    Out.Stats = {};
+    Out.Result = RtValue();
+    return Out;
   }
 
   // Guaranteed fallback: every scrap of partial parallel state is

@@ -30,18 +30,33 @@ const char *commset::faultKindName(FaultKind Kind) {
     return "queue-stall";
   case FaultKind::TaskFailure:
     return "task-failure";
+  case FaultKind::SlowClient:
+    return "slow-client";
+  case FaultKind::ClientDisconnect:
+    return "client-disconnect";
+  case FaultKind::CompileFail:
+    return "compile-fail";
   case FaultKind::StmExhausted:
     return "stm-exhausted";
   case FaultKind::LockTimeout:
     return "lock-timeout";
   case FaultKind::WatchdogStall:
     return "watchdog-stall";
+  case FaultKind::DeadlineExceeded:
+    return "deadline-exceeded";
   case FaultKind::Cancelled:
     return "cancelled";
   case FaultKind::Internal:
     return "internal-error";
   }
   return "unknown";
+}
+
+uint64_t commset::steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 uint64_t commset::faultMix(uint64_t X) {
@@ -67,6 +82,9 @@ std::string FaultPolicy::describe() const {
   rate("lock-delay", LockDelayPerMille, LockDelayUs);
   rate("queue-stall", QueueStallPerMille, QueueStallUs);
   rate("task-failure", TaskFailurePerMille, 0);
+  rate("slow-client", SlowClientPerMille, SlowClientUs);
+  rate("client-disconnect", ClientDisconnectPerMille, 0);
+  rate("compile-fail", CompileFailPerMille, 0);
   return Os.str();
 }
 
@@ -106,6 +124,39 @@ FaultPolicy FaultPolicy::preset(unsigned Index, uint64_t Seed) {
   return P;
 }
 
+FaultPolicy FaultPolicy::servePreset(unsigned Index, uint64_t Seed) {
+  FaultPolicy P;
+  P.Seed = Seed;
+  switch (Index % 4) {
+  case 0: // Clients that trickle bytes; the listener must stay responsive.
+    P.Name = "slow-client";
+    P.SlowClientPerMille = 200;
+    P.SlowClientUs = 5000;
+    break;
+  case 1: // Connections dropping mid-request / mid-reply.
+    P.Name = "disconnect";
+    P.ClientDisconnectPerMille = 120;
+    P.SlowClientPerMille = 60;
+    P.SlowClientUs = 1500;
+    break;
+  case 2: // Forced compile failures; replies must say so, cache stays clean.
+    P.Name = "compile-fail";
+    P.CompileFailPerMille = 250;
+    break;
+  default: // Serving noise plus in-region worker faults, so degradation
+           // and the circuit breaker fire under live traffic.
+    P.Name = "server-mixed";
+    P.SlowClientPerMille = 80;
+    P.SlowClientUs = 2000;
+    P.ClientDisconnectPerMille = 40;
+    P.CompileFailPerMille = 40;
+    P.TaskFailurePerMille = 20;
+    P.StmAbortPerMille = 100;
+    break;
+  }
+  return P;
+}
+
 unsigned FaultInjector::rateOf(FaultKind Kind) const {
   switch (Kind) {
   case FaultKind::WorkerDelay:
@@ -120,6 +171,12 @@ unsigned FaultInjector::rateOf(FaultKind Kind) const {
     return P.QueueStallPerMille;
   case FaultKind::TaskFailure:
     return P.TaskFailurePerMille;
+  case FaultKind::SlowClient:
+    return P.SlowClientPerMille;
+  case FaultKind::ClientDisconnect:
+    return P.ClientDisconnectPerMille;
+  case FaultKind::CompileFail:
+    return P.CompileFailPerMille;
   default:
     return 0;
   }
@@ -135,6 +192,8 @@ uint64_t FaultInjector::delayUsOf(FaultKind Kind) const {
     return P.LockDelayUs;
   case FaultKind::QueueStall:
     return P.QueueStallUs;
+  case FaultKind::SlowClient:
+    return P.SlowClientUs;
   default:
     return 0;
   }

@@ -55,6 +55,17 @@ struct JoinState {
   unsigned FaultThread = 0;
   std::string Detail;
 
+  /// Cancellation plumbing for the region, valid only while the
+  /// supervising call is alive. The supervisor nulls both (and sets
+  /// RegionClosed) under M before returning, so an abandoned worker that
+  /// faults *after* the region's frames are destroyed finds nothing
+  /// dangling to poke. Abandonment is only reachable after the watchdog
+  /// already cancelled the region, so the late cancel it skips is
+  /// redundant by construction.
+  RegionControl *Control = nullptr;
+  std::function<void()> CancelAll;
+  bool RegionClosed = false;
+
   /// Records a worker fault. A real fault always displaces a Cancelled
   /// unwind: workers cancelled *because* of the first fault are collateral,
   /// not the cause.
@@ -69,32 +80,53 @@ struct JoinState {
       Detail = std::move(D);
     }
   }
+
+  /// Worker-side cancel-the-siblings. Runs the hooks while holding M so
+  /// the supervisor's close (same lock) strictly orders with them: either
+  /// the worker sees RegionClosed and does nothing, or the supervisor is
+  /// still inside runSupervised and the region state is alive. The hooks
+  /// never touch M themselves (RegionControl is lock-free; CancelAll only
+  /// poisons platform queues), so holding it here cannot deadlock.
+  void cancelRegion() {
+    std::lock_guard<std::mutex> G(M);
+    if (RegionClosed)
+      return;
+    if (Control)
+      Control->cancel();
+    if (CancelAll)
+      CancelAll();
+  }
+
+  /// Supervisor-side: detach the region before returning. Also drops the
+  /// CancelAll closure so any state it captured is released with the
+  /// region instead of living as long as the last abandoned worker.
+  void closeRegion() {
+    std::lock_guard<std::mutex> G(M);
+    RegionClosed = true;
+    Control = nullptr;
+    CancelAll = nullptr;
+  }
 };
 
 /// Wraps one region task into a pool job: catch worker faults, cancel the
-/// siblings, mark the task done. The task and CancelAll hook are captured
-/// by value so the job owns everything it calls even if the region's
-/// frames are long gone by the time an abandoned worker finishes (the
-/// *captured state inside* those functions is still the caller's problem,
-/// which is why an abandonment is reported unrecoverable).
-std::function<void()>
-makeSupervisedJob(std::function<void()> Task, RegionControl &Control,
-                  std::function<void()> CancelAll,
-                  std::shared_ptr<JoinState> S, size_t I) {
-  return [Task = std::move(Task), &Control, CancelAll = std::move(CancelAll),
-          S = std::move(S), I] {
+/// siblings, mark the task done. Everything the job touches after the
+/// Task body is owned by (or routed through) the shared JoinState, so the
+/// job stays safe to finish even if the region's frames are long gone by
+/// the time an abandoned worker gets around to it. The *captured state
+/// inside Task* is still the caller's problem, which is why an
+/// abandonment is reported unrecoverable.
+std::function<void()> makeSupervisedJob(std::function<void()> Task,
+                                        std::shared_ptr<JoinState> S,
+                                        size_t I) {
+  return [Task = std::move(Task), S = std::move(S), I] {
     try {
       Task();
     } catch (const RegionFault &F) {
       S->recordFault(F.Kind, F.Thread, F.Detail);
-      Control.cancel();
-      if (CancelAll)
-        CancelAll();
+      S->cancelRegion();
     } catch (const std::exception &E) {
       S->recordFault(FaultKind::Internal, static_cast<unsigned>(I), E.what());
-      Control.cancel();
-      if (CancelAll)
-        CancelAll();
+      S->cancelRegion();
     }
     {
       std::lock_guard<std::mutex> G(S->M);
@@ -266,6 +298,8 @@ SupervisedReport WorkerPool::runSupervised(
 
   auto S = std::make_shared<JoinState>();
   S->Done.assign(N, 0);
+  S->Control = &Control;
+  S->CancelAll = CancelAll;
 
   std::unique_lock<std::mutex> PoolLk(PoolM, std::defer_lock);
   const bool Pooled = !InPoolWorker;
@@ -275,14 +309,13 @@ SupervisedReport WorkerPool::runSupervised(
     if (Slots.size() < N)
       Slots.resize(N);
     for (size_t I = 0; I < N; ++I)
-      dispatch(static_cast<unsigned>(I),
-               makeSupervisedJob(Tasks[I], Control, CancelAll, S, I));
+      dispatch(static_cast<unsigned>(I), makeSupervisedJob(Tasks[I], S, I));
   } else {
     // Nested-region fallback: dedicated threads, joined/detached below.
     FallbackThreads.reserve(N);
     for (size_t I = 0; I < N; ++I)
       FallbackThreads.emplace_back(
-          [Job = makeSupervisedJob(Tasks[I], Control, CancelAll, S, I), I] {
+          [Job = makeSupervisedJob(Tasks[I], S, I), I] {
             setCurrentWorkerThreadName(static_cast<unsigned>(I));
             Job();
           });
@@ -388,6 +421,11 @@ SupervisedReport WorkerPool::runSupervised(
       }
     }
   }
+
+  // Detach the region from the join state before the caller can destroy
+  // it: an abandoned worker that faults later must find nothing to cancel
+  // rather than dangling references into this frame.
+  S->closeRegion();
 
   {
     std::lock_guard<std::mutex> G(S->M);

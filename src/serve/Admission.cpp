@@ -1,0 +1,50 @@
+//===- Admission.cpp - commsetd overload admission control ----------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Admission.h"
+
+#include "commset/Runtime/FaultInjector.h"
+#include "commset/Trace/Trace.h"
+
+using namespace commset;
+using namespace commset::serve;
+
+AdmissionController::AdmissionController(const AdmissionConfig &Config)
+    : Config(Config), Tokens(Config.Burst), LastRefillNs(steadyNowNs()) {}
+
+bool AdmissionController::admit(size_t QueueDepth) {
+  bool Ok = true;
+  bool QueueFull = false;
+  if (QueueDepth >= Config.MaxQueueDepth) {
+    Ok = false;
+    QueueFull = true;
+  } else if (Config.RatePerSec > 0.0) {
+    std::lock_guard<std::mutex> G(M);
+    uint64_t Now = steadyNowNs();
+    // Refill lazily from elapsed wall time; cap at the burst size so idle
+    // periods cannot bank unbounded credit.
+    double Refill =
+        static_cast<double>(Now - LastRefillNs) * Config.RatePerSec / 1e9;
+    LastRefillNs = Now;
+    Tokens = Tokens + Refill;
+    if (Tokens > Config.Burst)
+      Tokens = Config.Burst;
+    if (Tokens >= 1.0)
+      Tokens -= 1.0;
+    else
+      Ok = false;
+  }
+  if (Ok)
+    Admitted.fetch_add(1, std::memory_order_relaxed);
+  else {
+    Shed.fetch_add(1, std::memory_order_relaxed);
+    if (QueueFull)
+      ShedQueue.fetch_add(1, std::memory_order_relaxed);
+  }
+  trace::emit(trace::EventKind::ServeAdmit, /*Tid=*/0, Ok ? 1 : 0,
+              static_cast<uint64_t>(QueueDepth));
+  return Ok;
+}

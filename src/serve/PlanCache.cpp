@@ -1,0 +1,242 @@
+//===- PlanCache.cpp - Compiled-plan LRU with single-flight ---------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/PlanCache.h"
+
+#include "commset/Workloads/Workload.h"
+
+using namespace commset;
+using namespace commset::serve;
+
+//===----------------------------------------------------------------------===//
+// CircuitBreaker
+//===----------------------------------------------------------------------===//
+
+bool CircuitBreaker::allowParallel() {
+  std::lock_guard<std::mutex> G(M);
+  switch (St) {
+  case State::Closed:
+  case State::HalfOpen: // A probe is already out; keep probing until it
+                        // resolves (single executor => no probe storm).
+    return true;
+  case State::Open:
+    if (++SkipsSinceOpen >= ProbeAfterSkips) {
+      St = State::HalfOpen;
+      SkipsSinceOpen = 0;
+      return true;
+    }
+    ++Skips;
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::onParallelSuccess() {
+  std::lock_guard<std::mutex> G(M);
+  St = State::Closed;
+  ConsecutiveFaults = 0;
+  SkipsSinceOpen = 0;
+}
+
+void CircuitBreaker::onParallelFault() {
+  std::lock_guard<std::mutex> G(M);
+  if (St == State::HalfOpen) {
+    // Failed probe: straight back to quarantine.
+    St = State::Open;
+    SkipsSinceOpen = 0;
+    ++Trips;
+    return;
+  }
+  if (++ConsecutiveFaults >= FailThreshold && St == State::Closed) {
+    St = State::Open;
+    SkipsSinceOpen = 0;
+    ++Trips;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> G(M);
+  return St;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> G(M);
+  return Trips;
+}
+
+uint64_t CircuitBreaker::skips() const {
+  std::lock_guard<std::mutex> G(M);
+  return Skips;
+}
+
+//===----------------------------------------------------------------------===//
+// PlanCache
+//===----------------------------------------------------------------------===//
+
+PlanCache::PlanCache(size_t Capacity, unsigned BreakerFailThreshold,
+                     unsigned BreakerProbeAfterSkips)
+    : Capacity(Capacity ? Capacity : 1),
+      BreakerFailThreshold(BreakerFailThreshold),
+      BreakerProbeAfterSkips(BreakerProbeAfterSkips) {}
+
+PlanCache::Result PlanCache::compileJob(const RunRequest &R,
+                                        FaultInjector *Faults,
+                                        unsigned BreakerFailThreshold,
+                                        unsigned BreakerProbeAfterSkips) {
+  Result Out;
+  // Injected transient compile failure (FaultPolicy::CompileFailPerMille):
+  // must surface as COMPILE_ERROR and must NOT be cached.
+  if (Faults && Faults->fires(FaultKind::CompileFail, /*Thread=*/0)) {
+    Out.Error = "injected transient compile failure";
+    return Out;
+  }
+
+  std::string Source = R.Source;
+  std::string Entry = R.Entry;
+  std::map<std::string, double> CostHints;
+  if (!R.WorkloadName.empty()) {
+    std::unique_ptr<Workload> W = makeWorkload(R.WorkloadName);
+    if (!W) {
+      Out.Error = "unknown workload '" + R.WorkloadName + "'";
+      return Out;
+    }
+    Source = W->source(R.Variant);
+    Entry = W->entry();
+    CostHints = W->costHints();
+  }
+
+  auto Job = std::make_shared<CompiledJob>(BreakerFailThreshold,
+                                           BreakerProbeAfterSkips);
+  DiagnosticEngine Diags;
+  Job->C = Compilation::fromSource(Source, Diags);
+  if (!Job->C) {
+    Out.Error = "compile failed: " + Diags.str();
+    return Out;
+  }
+  Job->T = Job->C->analyzeLoop(Entry, Diags);
+  if (!Job->T) {
+    Out.Error = "loop analysis failed for entry '" + Entry +
+                "': " + Diags.str();
+    return Out;
+  }
+
+  PlanOptions Opts;
+  Opts.NumThreads = R.Threads;
+  Opts.Sync = R.Sync;
+  Opts.Sched = R.Sched;
+  for (auto &[K, Cost] : CostHints)
+    Opts.NativeCostHints[K] = Cost;
+  Job->Schemes = buildAllSchemes(*Job->C, *Job->T, Opts);
+
+  for (const SchemeReport &S : Job->Schemes)
+    if (S.Kind == Strategy::Sequential)
+      Job->Sequential = &S;
+  if (R.Scheme == "best") {
+    Job->Chosen = bestScheme(Job->Schemes);
+  } else {
+    Strategy Want = Strategy::Sequential;
+    if (R.Scheme == "doall")
+      Want = Strategy::Doall;
+    else if (R.Scheme == "dswp")
+      Want = Strategy::Dswp;
+    else if (R.Scheme == "psdswp")
+      Want = Strategy::PsDswp;
+    for (const SchemeReport &S : Job->Schemes)
+      if (S.Kind == Want)
+        Job->Chosen = &S;
+  }
+  if (!Job->Chosen || !Job->Chosen->Applicable || !Job->Chosen->Plan) {
+    Out.Error = "scheme '" + R.Scheme + "' not applicable: " +
+                (Job->Chosen ? Job->Chosen->WhyNot : "no scheme");
+    return Out;
+  }
+  Out.Job = std::move(Job);
+  return Out;
+}
+
+PlanCache::Result PlanCache::getOrCompile(const RunRequest &R,
+                                          FaultInjector *Faults) {
+  const std::string Key = R.cacheKey();
+  std::shared_ptr<Node> N;
+  {
+    std::unique_lock<std::mutex> Lk(M);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      N = It->second;
+      // Single-flight: wait out a concurrent compile of the same key.
+      while (N->State == Node::St::Compiling)
+        N->Cv.wait(Lk);
+      if (N->State == Node::St::Ready) {
+        ++Hits;
+        if (N->InLru)
+          Lru.splice(Lru.begin(), Lru, N->LruIt);
+        Result Out;
+        Out.Job = N->Job;
+        Out.CacheHit = true;
+        return Out;
+      }
+      // Failed flight we were waiting on: report its error; the node is
+      // already gone from the map, so the next request recompiles.
+      Result Out;
+      Out.Error = N->Error;
+      return Out;
+    }
+    N = std::make_shared<Node>();
+    Map.emplace(Key, N);
+    ++Misses;
+  }
+
+  Result Compiled =
+      compileJob(R, Faults, BreakerFailThreshold, BreakerProbeAfterSkips);
+
+  std::unique_lock<std::mutex> Lk(M);
+  if (Compiled.Job) {
+    N->State = Node::St::Ready;
+    N->Job = Compiled.Job;
+    Lru.push_front(Key);
+    N->LruIt = Lru.begin();
+    N->InLru = true;
+    // Evict beyond capacity, oldest first. Compiling nodes are never in
+    // the LRU list, so an in-flight compile cannot be evicted.
+    while (Lru.size() > Capacity) {
+      const std::string &Victim = Lru.back();
+      auto VIt = Map.find(Victim);
+      if (VIt != Map.end()) {
+        VIt->second->InLru = false;
+        Map.erase(VIt);
+      }
+      Lru.pop_back();
+      ++Evictions;
+    }
+  } else {
+    // Failures are not cached: drop the node so the key stays cold.
+    N->State = Node::St::Failed;
+    N->Error = Compiled.Error;
+    ++CompileFailures;
+    Map.erase(Key);
+  }
+  Lk.unlock();
+  N->Cv.notify_all();
+  return Compiled;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  Stats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Compiles = Misses;
+  S.CompileFailures = CompileFailures;
+  S.Evictions = Evictions;
+  S.Size = Lru.size();
+  for (const auto &KV : Map) {
+    if (KV.second->State != Node::St::Ready || !KV.second->Job)
+      continue;
+    S.BreakerTrips += KV.second->Job->Breaker.trips();
+    S.BreakerSkips += KV.second->Job->Breaker.skips();
+  }
+  return S;
+}

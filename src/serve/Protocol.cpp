@@ -1,0 +1,351 @@
+//===- Protocol.cpp - commsetd wire protocol (CSD1) -----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Protocol.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace commset;
+using namespace commset::serve;
+
+const char *commset::serve::msgTypeName(MsgType T) {
+  switch (T) {
+  case MsgType::Run:
+    return "RUN";
+  case MsgType::Stats:
+    return "STATS";
+  case MsgType::Ping:
+    return "PING";
+  }
+  return "UNKNOWN";
+}
+
+bool commset::serve::msgTypeFromName(const std::string &Name, MsgType &Out) {
+  if (Name == "RUN")
+    Out = MsgType::Run;
+  else if (Name == "STATS")
+    Out = MsgType::Stats;
+  else if (Name == "PING")
+    Out = MsgType::Ping;
+  else
+    return false;
+  return true;
+}
+
+const char *commset::serve::respStatusName(RespStatus S) {
+  switch (S) {
+  case RespStatus::Ok:
+    return "OK";
+  case RespStatus::Degraded:
+    return "DEGRADED";
+  case RespStatus::RejectedOverload:
+    return "REJECTED_OVERLOAD";
+  case RespStatus::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
+  case RespStatus::BadRequest:
+    return "BAD_REQUEST";
+  case RespStatus::CompileError:
+    return "COMPILE_ERROR";
+  case RespStatus::InternalError:
+    return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool commset::serve::respStatusFromName(const std::string &Name,
+                                        RespStatus &Out) {
+  for (unsigned I = 0; I < NumRespStatuses; ++I) {
+    RespStatus S = static_cast<RespStatus>(I);
+    if (Name == respStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t commset::serve::fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string RunRequest::cacheKey() const {
+  std::ostringstream Os;
+  if (!WorkloadName.empty())
+    Os << "wl=" << WorkloadName << "|var=" << Variant;
+  else
+    Os << "src=" << std::hex << fnv1a64(Source) << std::dec
+       << "|len=" << Source.size() << "|entry=" << Entry;
+  Os << "|scheme=" << Scheme << "|sync=" << syncModeName(Sync)
+     << "|sched=" << schedPolicyName(Sched) << "|threads=" << Threads;
+  return Os.str();
+}
+
+bool commset::serve::parseFrameHeader(const std::string &Line,
+                                      std::string &KindOut, size_t &LenOut,
+                                      std::string *ErrOut) {
+  auto fail = [&](const char *Why) {
+    if (ErrOut)
+      *ErrOut = Why;
+    return false;
+  };
+  if (Line.size() > MaxHeaderBytes)
+    return fail("header line too long");
+  if (Line.rfind("CSD1 ", 0) != 0)
+    return fail("bad magic (expected CSD1)");
+  size_t KindEnd = Line.find(' ', 5);
+  if (KindEnd == std::string::npos || KindEnd == 5)
+    return fail("missing frame kind");
+  KindOut = Line.substr(5, KindEnd - 5);
+  for (char C : KindOut)
+    if (!std::isupper(static_cast<unsigned char>(C)) && C != '_')
+      return fail("frame kind must be upper-case tokens");
+  std::string LenStr = Line.substr(KindEnd + 1);
+  if (LenStr.empty() || LenStr.size() > 8)
+    return fail("bad body length");
+  size_t Len = 0;
+  for (char C : LenStr) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return fail("body length is not a number");
+    Len = Len * 10 + static_cast<size_t>(C - '0');
+  }
+  if (Len > MaxBodyBytes)
+    return fail("body length exceeds 1MB cap");
+  LenOut = Len;
+  return true;
+}
+
+FrameReader::Status FrameReader::next(Frame &Out, std::string *ErrOut) {
+  if (Poisoned) {
+    if (ErrOut)
+      *ErrOut = ErrText;
+    return Status::Error;
+  }
+  size_t Eol = Buf.find('\n');
+  if (Eol == std::string::npos) {
+    // No header yet; a peer streaming garbage without a newline must not
+    // buffer without bound.
+    if (Buf.size() > MaxHeaderBytes) {
+      Poisoned = true;
+      ErrText = "header line too long";
+      if (ErrOut)
+        *ErrOut = ErrText;
+      return Status::Error;
+    }
+    return Status::NeedMore;
+  }
+  std::string Kind;
+  size_t Len = 0;
+  std::string Err;
+  if (!parseFrameHeader(Buf.substr(0, Eol), Kind, Len, &Err)) {
+    Poisoned = true;
+    ErrText = Err;
+    if (ErrOut)
+      *ErrOut = ErrText;
+    return Status::Error;
+  }
+  if (Buf.size() - Eol - 1 < Len)
+    return Status::NeedMore;
+  Out.Kind = std::move(Kind);
+  Out.Body = Buf.substr(Eol + 1, Len);
+  Buf.erase(0, Eol + 1 + Len);
+  return Status::Ready;
+}
+
+namespace {
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool parseUnsigned(const std::string &S, uint64_t Max, uint64_t &Out) {
+  if (S.empty() || S.size() > 12)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (V > Max)
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool commset::serve::parseRunRequest(const std::string &Body, RunRequest &Out,
+                                     std::string *ErrOut) {
+  auto fail = [&](const std::string &Why) {
+    if (ErrOut)
+      *ErrOut = Why;
+    return false;
+  };
+  Out = RunRequest();
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t Eol = Body.find('\n', Pos);
+    std::string Line = Body.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    Pos = Eol == std::string::npos ? Body.size() : Eol + 1;
+    if (trim(Line).empty())
+      continue;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return fail("line without ':' separator: " + Line.substr(0, 40));
+    std::string Key = trim(Line.substr(0, Colon));
+    std::string Value = trim(Line.substr(Colon + 1));
+    if (Key == "source") {
+      // Everything after this line is the raw program text.
+      Out.Source = Body.substr(Pos);
+      if (trim(Out.Source).empty())
+        return fail("source: marker with empty program");
+      break;
+    } else if (Key == "workload") {
+      Out.WorkloadName = Value;
+    } else if (Key == "variant") {
+      Out.Variant = Value;
+    } else if (Key == "entry") {
+      if (Value.empty())
+        return fail("entry: must name a function");
+      Out.Entry = Value;
+    } else if (Key == "scheme") {
+      if (Value != "best" && Value != "doall" && Value != "dswp" &&
+          Value != "psdswp" && Value != "seq")
+        return fail("bad scheme: " + Value);
+      Out.Scheme = Value;
+    } else if (Key == "sync") {
+      if (Value == "mutex")
+        Out.Sync = SyncMode::Mutex;
+      else if (Value == "spin")
+        Out.Sync = SyncMode::Spin;
+      else if (Value == "tm")
+        Out.Sync = SyncMode::Tm;
+      else if (Value == "none" || Value == "lib")
+        Out.Sync = SyncMode::None;
+      else if (Value == "priv")
+        Out.Sync = SyncMode::Priv;
+      else
+        return fail("bad sync: " + Value);
+    } else if (Key == "sched") {
+      SchedPolicy P;
+      if (!schedPolicyFromString(Value.c_str(), P))
+        return fail("bad sched: " + Value);
+      Out.Sched = P;
+    } else if (Key == "threads") {
+      uint64_t V;
+      if (!parseUnsigned(Value, 64, V) || V == 0)
+        return fail("threads must be in 1..64");
+      Out.Threads = static_cast<unsigned>(V);
+    } else if (Key == "scale") {
+      uint64_t V;
+      if (!parseUnsigned(Value, 1u << 26, V))
+        return fail("bad scale");
+      Out.Scale = static_cast<int>(V);
+    } else if (Key == "deadline_ms") {
+      uint64_t V;
+      if (!parseUnsigned(Value, 3600000, V))
+        return fail("bad deadline_ms");
+      Out.DeadlineMs = V;
+    } else {
+      return fail("unknown key: " + Key.substr(0, 40));
+    }
+  }
+  if (Out.WorkloadName.empty() == Out.Source.empty())
+    return fail("exactly one of workload: / source: is required");
+  return true;
+}
+
+std::string commset::serve::formatFrame(const std::string &Kind,
+                                        const std::string &Body) {
+  std::ostringstream Os;
+  Os << "CSD1 " << Kind << " " << Body.size() << "\n" << Body;
+  return Os.str();
+}
+
+std::string commset::serve::formatRunRequest(const RunRequest &R) {
+  std::ostringstream Os;
+  if (!R.WorkloadName.empty()) {
+    Os << "workload:" << R.WorkloadName << "\n";
+    if (!R.Variant.empty())
+      Os << "variant:" << R.Variant << "\n";
+  }
+  Os << "scheme:" << R.Scheme << "\n";
+  const char *Sync = "mutex";
+  switch (R.Sync) {
+  case SyncMode::Mutex:
+    Sync = "mutex";
+    break;
+  case SyncMode::Spin:
+    Sync = "spin";
+    break;
+  case SyncMode::Tm:
+    Sync = "tm";
+    break;
+  case SyncMode::None:
+    Sync = "none";
+    break;
+  case SyncMode::Priv:
+    Sync = "priv";
+    break;
+  }
+  Os << "sync:" << Sync << "\n";
+  Os << "sched:" << schedPolicyName(R.Sched) << "\n";
+  Os << "threads:" << R.Threads << "\n";
+  if (R.Scale)
+    Os << "scale:" << R.Scale << "\n";
+  if (R.DeadlineMs)
+    Os << "deadline_ms:" << R.DeadlineMs << "\n";
+  if (R.WorkloadName.empty()) {
+    if (R.Entry != "run")
+      Os << "entry:" << R.Entry << "\n";
+    Os << "source:\n" << R.Source;
+  }
+  return Os.str();
+}
+
+std::string commset::serve::formatResponse(
+    RespStatus S,
+    const std::vector<std::pair<std::string, std::string>> &Kv) {
+  std::ostringstream Body;
+  for (const auto &[K, V] : Kv) {
+    Body << K << ":";
+    for (char C : V)
+      Body << (C == '\n' ? ' ' : C);
+    Body << "\n";
+  }
+  return formatFrame(respStatusName(S), Body.str());
+}
+
+std::vector<std::pair<std::string, std::string>>
+commset::serve::parseKvBody(const std::string &Body) {
+  std::vector<std::pair<std::string, std::string>> Out;
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t Eol = Body.find('\n', Pos);
+    std::string Line = Body.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    Pos = Eol == std::string::npos ? Body.size() : Eol + 1;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    Out.emplace_back(trim(Line.substr(0, Colon)),
+                     trim(Line.substr(Colon + 1)));
+  }
+  return Out;
+}

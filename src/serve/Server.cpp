@@ -1,0 +1,883 @@
+//===- Server.cpp - commsetd compile-and-execute service ------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Threading model (see Server.h): one listener thread accepting loopback
+// TCP connections, one handler thread per live connection (parse, admit,
+// wait, reply), one executor thread draining the admitted-job queue onto
+// the process-wide WorkerPool. Connection handlers never execute jobs and
+// the executor never touches sockets, so a hostile peer can only ever hurt
+// its own connection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Server.h"
+
+#include "commset/Workloads/Workload.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+using namespace commset;
+using namespace commset::serve;
+
+namespace {
+
+/// Order-insensitive output digest for inline-source jobs (mirrors the
+/// workloads' checksum contract: DOALL may reorder record() calls).
+struct ServeRecorder {
+  std::mutex M;
+  uint64_t Sum = 0;
+  uint64_t Count = 0;
+
+  void add(int64_t I, int64_t V) {
+    std::lock_guard<std::mutex> G(M);
+    Sum += faultMix(static_cast<uint64_t>(I) ^
+                    (static_cast<uint64_t>(V) << 1));
+    ++Count;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> G(M);
+    Sum = 0;
+    Count = 0;
+  }
+  uint64_t digest() {
+    std::lock_guard<std::mutex> G(M);
+    return Sum ^ faultMix(Count);
+  }
+};
+
+/// The standard natives available to inline-source jobs: a pure kernel and
+/// a commutative recorder, matching the annotations clients are expected
+/// to declare (extern + effects pragmas) in submitted programs.
+void registerServeNatives(NativeRegistry &Natives, ServeRecorder &Rec) {
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+      },
+      /*FixedCostNs=*/20000);
+  Natives.add(
+      "record",
+      [&Rec](const RtValue *Args, unsigned) {
+        Rec.add(Args[0].I, Args[1].I);
+        return RtValue();
+      },
+      /*FixedCostNs=*/400);
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// One admitted job's shared state between its connection handler and the
+/// executor. shared_ptr-held by both, so either side may outlive the other
+/// (abandoned waits, disconnected clients).
+struct ExecJob {
+  RunRequest Req;
+  std::shared_ptr<CompiledJob> Compiled;
+  bool CacheHit = false;
+  uint64_t AdmitNs = 0;
+  uint64_t DeadlineAtNs = 0;
+
+  /// Queued -> Running -> Done, or Queued -> Expired (deadline passed
+  /// before the executor got to it; the handler already replied).
+  enum : int { Queued = 0, Running = 1, Done = 2, Expired = 3 };
+  std::atomic<int> State{Queued};
+
+  std::mutex M; ///< Guards the reply fields; pairs with Cv.
+  std::condition_variable Cv;
+  RespStatus Status = RespStatus::InternalError;
+  std::vector<std::pair<std::string, std::string>> Kv;
+};
+
+} // namespace
+
+struct Server::Impl {
+  ServerConfig Config;
+  AdmissionController Admission;
+  PlanCache Cache;
+
+  int ListenFd = -1;
+  std::atomic<bool> Stop{false};
+  std::thread Listener;
+  std::thread Executor;
+
+  // Live connection bookkeeping: fds for shutdown(), threads for join.
+  std::mutex ConnM;
+  std::set<int> ConnFds;
+  struct ConnThread {
+    std::thread Th;
+    std::shared_ptr<std::atomic<bool>> DoneFlag;
+  };
+  std::list<ConnThread> ConnThreads;
+  std::atomic<unsigned> ActiveConns{0};
+  std::atomic<unsigned> NextConnId{0};
+
+  // Admitted-job queue (executor input).
+  std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::deque<std::shared_ptr<ExecJob>> Queue;
+  std::atomic<size_t> Depth{0};
+
+  // Counters + latency histogram behind one mutex (reply-rate traffic).
+  mutable std::mutex StatsM;
+  uint64_t Connections = 0;
+  uint64_t ConnectionsShed = 0;
+  uint64_t Requests = 0;
+  uint64_t BadFrames = 0;
+  uint64_t Replies[NumRespStatuses] = {};
+  uint64_t ExpiredInQueue = 0;
+  uint64_t InjectedDisconnects = 0;
+  uint64_t InjectedSlowClient = 0;
+  size_t MaxDepthSeen = 0;
+  trace::LogHistogram LatencyNs;
+
+  explicit Impl(const ServerConfig &C)
+      : Config(C), Admission(C.Admission),
+        Cache(C.CacheCapacity, C.BreakerFailThreshold,
+              C.BreakerProbeAfterSkips) {}
+
+  void countReply(RespStatus S, uint64_t LatNs, bool Admitted) {
+    {
+      std::lock_guard<std::mutex> G(StatsM);
+      ++Replies[static_cast<unsigned>(S)];
+      if (Admitted)
+        LatencyNs.add(LatNs);
+    }
+    trace::emit(trace::EventKind::ServeReply, /*Tid=*/0,
+                static_cast<uint64_t>(S), LatNs);
+  }
+
+  bool sendAll(int Fd, const std::string &Bytes) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                         MSG_NOSIGNAL);
+      if (N <= 0)
+        return false; // Peer gone; the caller closes the connection.
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  bool sendResponse(int Fd, RespStatus S,
+                    const std::vector<std::pair<std::string, std::string>> &Kv,
+                    uint64_t LatNs, bool Admitted) {
+    countReply(S, LatNs, Admitted);
+    return sendAll(Fd, formatResponse(S, Kv));
+  }
+
+  void listenLoop();
+  void handleConnection(int Fd, unsigned ConnId);
+  /// Returns false when the connection must close.
+  bool handleFrame(int Fd, unsigned ConnId, const Frame &F);
+  bool handleRun(int Fd, unsigned ConnId, const RunRequest &Req);
+  void execLoop();
+  void executeJob(const std::shared_ptr<ExecJob> &J);
+  void failJob(const std::shared_ptr<ExecJob> &J, RespStatus S,
+               const std::string &Why);
+  std::string statsText() const;
+  ServerStats snapshot() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Listener + connection handling
+//===----------------------------------------------------------------------===//
+
+void Server::Impl::listenLoop() {
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (R <= 0 || !(P.revents & POLLIN))
+      continue;
+    int C = ::accept(ListenFd, nullptr, nullptr);
+    if (C < 0)
+      continue;
+    {
+      std::lock_guard<std::mutex> G(StatsM);
+      ++Connections;
+    }
+    if (ActiveConns.load(std::memory_order_relaxed) >=
+        Config.MaxConnections) {
+      // Connection-level shedding: tell the peer why, then close.
+      sendResponse(C, RespStatus::RejectedOverload,
+                   {{"error", "connection limit reached"}}, 0,
+                   /*Admitted=*/false);
+      ::close(C);
+      std::lock_guard<std::mutex> G(StatsM);
+      ++ConnectionsShed;
+      continue;
+    }
+    ActiveConns.fetch_add(1, std::memory_order_relaxed);
+    unsigned ConnId = NextConnId.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> G(ConnM);
+    ConnFds.insert(C);
+    // Reap finished handlers so a long-lived server does not accumulate
+    // one zombie std::thread per past connection.
+    for (auto It = ConnThreads.begin(); It != ConnThreads.end();) {
+      if (It->DoneFlag->load(std::memory_order_acquire)) {
+        It->Th.join();
+        It = ConnThreads.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    auto Done = std::make_shared<std::atomic<bool>>(false);
+    ConnThreads.push_back(
+        {std::thread([this, C, ConnId, Done] {
+           handleConnection(C, ConnId);
+           Done->store(true, std::memory_order_release);
+         }),
+         Done});
+  }
+}
+
+void Server::Impl::handleConnection(int Fd, unsigned ConnId) {
+  FrameReader Reader;
+  char Buf[4096];
+  bool Alive = true;
+  while (Alive && !Stop.load(std::memory_order_acquire)) {
+    Frame F;
+    std::string Err;
+    FrameReader::Status St = Reader.next(F, &Err);
+    if (St == FrameReader::Status::Error) {
+      // Framing is gone; one BAD_REQUEST best-effort reply, then close.
+      {
+        std::lock_guard<std::mutex> G(StatsM);
+        ++BadFrames;
+      }
+      sendResponse(Fd, RespStatus::BadRequest, {{"error", Err}}, 0, false);
+      break;
+    }
+    if (St == FrameReader::Status::Ready) {
+      Alive = handleFrame(Fd, ConnId, F);
+      continue;
+    }
+    // NeedMore: wait for bytes, bounded by the slow-client cutoff.
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, static_cast<int>(Config.RecvTimeoutMs));
+    if (R <= 0)
+      break; // Idle past the cutoff (or poll error): drop the connection.
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break; // Peer closed / reset mid-request: just unwind.
+    Reader.feed(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  {
+    std::lock_guard<std::mutex> G(ConnM);
+    ConnFds.erase(Fd);
+  }
+  ActiveConns.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::Impl::handleFrame(int Fd, unsigned ConnId, const Frame &F) {
+  MsgType T;
+  if (!msgTypeFromName(F.Kind, T)) {
+    {
+      std::lock_guard<std::mutex> G(StatsM);
+      ++BadFrames;
+    }
+    sendResponse(Fd, RespStatus::BadRequest,
+                 {{"error", "unknown request kind " + F.Kind}}, 0, false);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> G(StatsM);
+    ++Requests;
+  }
+  switch (T) {
+  case MsgType::Ping:
+    countReply(RespStatus::Ok, 0, /*Admitted=*/false);
+    return sendAll(Fd, formatResponse(RespStatus::Ok, {{"pong", "1"}}));
+  case MsgType::Stats: {
+    // Snapshot first, then count: the reply itself is not in its own body.
+    std::string Text = statsText();
+    countReply(RespStatus::Ok, 0, /*Admitted=*/false);
+    return sendAll(Fd, formatFrame("OK", Text));
+  }
+  case MsgType::Run: {
+    RunRequest Req;
+    std::string Err;
+    if (!parseRunRequest(F.Body, Req, &Err)) {
+      // The frame itself was well-formed, so the stream is still in sync:
+      // reply and keep the connection.
+      sendResponse(Fd, RespStatus::BadRequest, {{"error", Err}}, 0, false);
+      return true;
+    }
+    return handleRun(Fd, ConnId, Req);
+  }
+  }
+  return false;
+}
+
+bool Server::Impl::handleRun(int Fd, unsigned ConnId, const RunRequest &Req) {
+  FaultInjector *Faults = Config.Faults;
+  // Injected slow client: the handler stalls, proving one trickling
+  // connection cannot stall the listener or its peers.
+  if (Faults && Faults->maybeDelay(FaultKind::SlowClient, ConnId)) {
+    std::lock_guard<std::mutex> G(StatsM);
+    ++InjectedSlowClient;
+  }
+
+  const uint64_t AdmitNs = steadyNowNs();
+  size_t DepthNow = Depth.load(std::memory_order_relaxed);
+  if (!Admission.admit(DepthNow)) {
+    sendResponse(Fd, RespStatus::RejectedOverload,
+                 {{"queue_depth", std::to_string(DepthNow)},
+                  {"error", "admission control shed this request"}},
+                 steadyNowNs() - AdmitNs, /*Admitted=*/false);
+    return true;
+  }
+
+  uint64_t DeadlineMs = Req.DeadlineMs ? Req.DeadlineMs
+                                       : Config.DefaultDeadlineMs;
+  if (DeadlineMs > Config.MaxDeadlineMs)
+    DeadlineMs = Config.MaxDeadlineMs;
+  const uint64_t DeadlineAtNs = AdmitNs + DeadlineMs * 1000000ull;
+
+  // Compile (or hit the cache) on the connection thread: distinct jobs
+  // compile in parallel, identical concurrent jobs single-flight.
+  PlanCache::Result Compiled = Cache.getOrCompile(Req, Faults);
+  if (!Compiled.Job) {
+    sendResponse(Fd, RespStatus::CompileError,
+                 {{"error", Compiled.Error}}, steadyNowNs() - AdmitNs,
+                 /*Admitted=*/true);
+    return true;
+  }
+  if (steadyNowNs() >= DeadlineAtNs) {
+    sendResponse(Fd, RespStatus::DeadlineExceeded,
+                 {{"error", "budget exhausted during compilation"},
+                  {"stage", "compile"}},
+                 steadyNowNs() - AdmitNs, /*Admitted=*/true);
+    return true;
+  }
+
+  auto J = std::make_shared<ExecJob>();
+  J->Req = Req;
+  J->Compiled = Compiled.Job;
+  J->CacheHit = Compiled.CacheHit;
+  J->AdmitNs = AdmitNs;
+  J->DeadlineAtNs = DeadlineAtNs;
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    Queue.push_back(J);
+    size_t D = Depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> SG(StatsM);
+    if (D > MaxDepthSeen)
+      MaxDepthSeen = D;
+  }
+  QueueCv.notify_one();
+
+  // Wait for the executor, expiring the job ourselves if its budget runs
+  // out while still queued. A Running job is waited out: the in-region
+  // deadline path bounds it, plus a generous hard cap as the last resort.
+  RespStatus Status = RespStatus::InternalError;
+  std::vector<std::pair<std::string, std::string>> Kv;
+  const uint64_t HardCapNs =
+      DeadlineAtNs + (Config.MaxDeadlineMs + 30000) * 1000000ull;
+  {
+    std::unique_lock<std::mutex> Lk(J->M);
+    for (;;) {
+      int S = J->State.load(std::memory_order_acquire);
+      if (S == ExecJob::Done) {
+        Status = J->Status;
+        Kv = J->Kv;
+        break;
+      }
+      uint64_t Now = steadyNowNs();
+      if (S == ExecJob::Queued && Now >= J->DeadlineAtNs) {
+        int Expected = ExecJob::Queued;
+        if (J->State.compare_exchange_strong(Expected, ExecJob::Expired)) {
+          Status = RespStatus::DeadlineExceeded;
+          Kv = {{"error", "budget exhausted while queued"},
+                {"stage", "queue"}};
+          std::lock_guard<std::mutex> G(StatsM);
+          ++ExpiredInQueue;
+          break;
+        }
+        continue; // Raced with the executor claiming it; re-check.
+      }
+      if (Now >= HardCapNs) {
+        Status = RespStatus::InternalError;
+        Kv = {{"error", "gave up waiting for the executor"}};
+        break;
+      }
+      if (Stop.load(std::memory_order_acquire)) {
+        Status = RespStatus::InternalError;
+        Kv = {{"error", "server stopping"}};
+        break;
+      }
+      J->Cv.wait_for(Lk, std::chrono::milliseconds(10));
+    }
+  }
+
+  // Injected mid-request disconnect: vanish without a reply. The executor
+  // (if still running the job) finishes into the shared state and nobody
+  // reads it — exactly what a real flaky client causes.
+  if (Faults && Faults->fires(FaultKind::ClientDisconnect, ConnId)) {
+    std::lock_guard<std::mutex> G(StatsM);
+    ++InjectedDisconnects;
+    return false;
+  }
+  return sendResponse(Fd, Status, Kv, steadyNowNs() - AdmitNs,
+                      /*Admitted=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+void Server::Impl::failJob(const std::shared_ptr<ExecJob> &J, RespStatus S,
+                           const std::string &Why) {
+  {
+    std::lock_guard<std::mutex> G(J->M);
+    J->Status = S;
+    J->Kv = {{"error", Why}};
+    J->State.store(ExecJob::Done, std::memory_order_release);
+  }
+  J->Cv.notify_all();
+}
+
+void Server::Impl::execLoop() {
+  for (;;) {
+    std::shared_ptr<ExecJob> J;
+    {
+      std::unique_lock<std::mutex> Lk(QueueM);
+      QueueCv.wait(Lk, [this] {
+        return Stop.load(std::memory_order_acquire) || !Queue.empty();
+      });
+      if (Stop.load(std::memory_order_acquire)) {
+        // Fail whatever is still queued so waiting handlers unblock now.
+        while (!Queue.empty()) {
+          auto Pending = Queue.front();
+          Queue.pop_front();
+          Depth.fetch_sub(1, std::memory_order_relaxed);
+          int Expected = ExecJob::Queued;
+          if (Pending->State.compare_exchange_strong(Expected,
+                                                     ExecJob::Running))
+            failJob(Pending, RespStatus::InternalError, "server stopping");
+        }
+        return;
+      }
+      J = Queue.front();
+      Queue.pop_front();
+      Depth.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    int Expected = ExecJob::Queued;
+    if (!J->State.compare_exchange_strong(Expected, ExecJob::Running))
+      continue; // Expired by its handler; the reply already went out.
+    try {
+      executeJob(J);
+    } catch (const std::exception &E) {
+      failJob(J, RespStatus::InternalError,
+              std::string("executor exception: ") + E.what());
+    } catch (...) {
+      failJob(J, RespStatus::InternalError, "executor exception");
+    }
+  }
+}
+
+void Server::Impl::executeJob(const std::shared_ptr<ExecJob> &J) {
+  const uint64_t Now = steadyNowNs();
+  if (Now >= J->DeadlineAtNs) {
+    {
+      std::lock_guard<std::mutex> G(StatsM);
+      ++ExpiredInQueue;
+    }
+    failJob(J, RespStatus::DeadlineExceeded,
+            "budget exhausted while queued");
+    return;
+  }
+
+  // Per-execution program state: a fresh workload instance (private
+  // synthetic inputs + outputs) or the serve recorder for inline source.
+  std::unique_ptr<Workload> W;
+  ServeRecorder Rec;
+  NativeRegistry Natives;
+  std::vector<RtValue> Args;
+  if (!J->Req.WorkloadName.empty()) {
+    W = makeWorkload(J->Req.WorkloadName);
+    if (!W) {
+      failJob(J, RespStatus::InternalError,
+              "workload vanished between compile and execute");
+      return;
+    }
+    W->reset();
+    W->registerNatives(Natives);
+    int Scale = J->Req.Scale ? J->Req.Scale : W->defaultScale();
+    Args = W->args(Scale);
+  } else {
+    registerServeNatives(Natives, Rec);
+    Args = {RtValue::ofInt(J->Req.Scale ? J->Req.Scale : 100)};
+  }
+
+  // Circuit breaker: a quarantined plan is bypassed for the sequential
+  // scheme — still a correct answer, reported DEGRADED.
+  const SchemeReport *Use = J->Compiled->Chosen;
+  const bool WantedParallel = Use->Kind != Strategy::Sequential;
+  bool BreakerBypassed = false;
+  if (WantedParallel && !J->Compiled->Breaker.allowParallel()) {
+    Use = J->Compiled->Sequential;
+    BreakerBypassed = true;
+  }
+  const bool RanParallel = Use->Kind != Strategy::Sequential;
+
+  RunConfig Config;
+  Config.Plan = RanParallel ? &*Use->Plan : nullptr;
+  Config.Simulate = false;
+  // Route the server's injector into the region so the mixed fault preset
+  // exercises in-region degradation, not just the serving path.
+  ResilienceConfig Resilience = defaultResilience();
+  if (this->Config.Faults) {
+    Resilience.Faults = this->Config.Faults;
+    Config.Resilience = &Resilience;
+  }
+  uint64_t RemainingMs = (J->DeadlineAtNs - Now) / 1000000ull;
+  Config.DeadlineMs = RemainingMs ? RemainingMs : 1;
+  Workload *WPtr = W.get();
+  ServeRecorder *RecPtr = &Rec;
+  Config.ResetState = [WPtr, RecPtr] {
+    if (WPtr)
+      WPtr->reset();
+    else
+      RecPtr->reset();
+  };
+
+  RunOutcome Out = runScheme(*J->Compiled->C, J->Compiled->T->F, Args,
+                             Natives, Config);
+
+  // Breaker feedback only when the parallel plan actually ran. A blown
+  // deadline is the client's budget, not evidence the plan is broken.
+  if (RanParallel) {
+    if (Out.Status == RunStatus::Ok)
+      J->Compiled->Breaker.onParallelSuccess();
+    else if (Out.Status == RunStatus::DegradedSequential ||
+             Out.Status == RunStatus::InternalError)
+      J->Compiled->Breaker.onParallelFault();
+  }
+
+  RespStatus S = RespStatus::InternalError;
+  switch (Out.Status) {
+  case RunStatus::Ok:
+    S = BreakerBypassed ? RespStatus::Degraded : RespStatus::Ok;
+    break;
+  case RunStatus::DegradedSequential:
+    S = RespStatus::Degraded;
+    break;
+  case RunStatus::DeadlineExceeded:
+    S = RespStatus::DeadlineExceeded;
+    break;
+  case RunStatus::InternalError:
+    S = RespStatus::InternalError;
+    break;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Kv;
+  if (S == RespStatus::Ok || S == RespStatus::Degraded) {
+    uint64_t Digest = W ? W->checksum() : Rec.digest();
+    Kv.emplace_back("checksum", hex64(Digest));
+    Kv.emplace_back("result", std::to_string(Out.Result.I));
+    Kv.emplace_back("iterations", std::to_string(Out.Iterations));
+  }
+  Kv.emplace_back("wall_ns", std::to_string(Out.WallNs));
+  Kv.emplace_back("scheme", Use->Plan ? Use->Plan->describe() : "sequential");
+  Kv.emplace_back("cached", J->CacheHit ? "1" : "0");
+  if (BreakerBypassed)
+    Kv.emplace_back("breaker", "open");
+  if (Out.DegradedWhy != FaultKind::None)
+    Kv.emplace_back("degraded_why", faultKindName(Out.DegradedWhy));
+  if (!Out.Diagnostic.empty())
+    Kv.emplace_back("diagnostic", Out.Diagnostic);
+
+  {
+    std::lock_guard<std::mutex> G(J->M);
+    J->Status = S;
+    J->Kv = std::move(Kv);
+    J->State.store(ExecJob::Done, std::memory_order_release);
+  }
+  J->Cv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+ServerStats Server::Impl::snapshot() const {
+  ServerStats S;
+  {
+    std::lock_guard<std::mutex> G(StatsM);
+    S.Connections = Connections;
+    S.ConnectionsShed = ConnectionsShed;
+    S.Requests = Requests;
+    S.BadFrames = BadFrames;
+    for (unsigned I = 0; I < NumRespStatuses; ++I)
+      S.Replies[I] = Replies[I];
+    S.ExpiredInQueue = ExpiredInQueue;
+    S.InjectedDisconnects = InjectedDisconnects;
+    S.InjectedSlowClient = InjectedSlowClient;
+    S.MaxQueueDepth = MaxDepthSeen;
+    S.LatencyCount = LatencyNs.count();
+    S.LatencyP50Ns = LatencyNs.percentileUpperBound(50);
+    S.LatencyP95Ns = LatencyNs.percentileUpperBound(95);
+    S.LatencyP99Ns = LatencyNs.percentileUpperBound(99);
+    S.LatencyMaxNs = LatencyNs.max();
+  }
+  S.Cache = Cache.stats();
+  S.Admitted = Admission.admitted();
+  S.Shed = Admission.shed();
+  S.ShedQueueFull = Admission.shedQueueFull();
+  S.QueueDepth = Depth.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string Server::Impl::statsText() const {
+  ServerStats S = snapshot();
+  std::ostringstream Os;
+  Os << "connections:" << S.Connections << "\n"
+     << "connections_shed:" << S.ConnectionsShed << "\n"
+     << "requests:" << S.Requests << "\n"
+     << "bad_frames:" << S.BadFrames << "\n";
+  for (unsigned I = 0; I < NumRespStatuses; ++I) {
+    std::string Key = respStatusName(static_cast<RespStatus>(I));
+    for (char &C : Key)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    Os << "replies_" << Key << ":" << S.Replies[I] << "\n";
+  }
+  Os << "expired_in_queue:" << S.ExpiredInQueue << "\n"
+     << "injected_disconnects:" << S.InjectedDisconnects << "\n"
+     << "injected_slow_client:" << S.InjectedSlowClient << "\n"
+     << "admitted:" << S.Admitted << "\n"
+     << "shed:" << S.Shed << "\n"
+     << "shed_queue_full:" << S.ShedQueueFull << "\n"
+     << "queue_depth:" << S.QueueDepth << "\n"
+     << "queue_depth_max:" << S.MaxQueueDepth << "\n"
+     << "cache_hits:" << S.Cache.Hits << "\n"
+     << "cache_misses:" << S.Cache.Misses << "\n"
+     << "cache_compiles:" << S.Cache.Compiles << "\n"
+     << "cache_compile_failures:" << S.Cache.CompileFailures << "\n"
+     << "cache_evictions:" << S.Cache.Evictions << "\n"
+     << "cache_size:" << S.Cache.Size << "\n"
+     << "breaker_trips:" << S.Cache.BreakerTrips << "\n"
+     << "breaker_skips:" << S.Cache.BreakerSkips << "\n"
+     << "latency_count:" << S.LatencyCount << "\n"
+     << "latency_p50_ns:" << S.LatencyP50Ns << "\n"
+     << "latency_p95_ns:" << S.LatencyP95Ns << "\n"
+     << "latency_p99_ns:" << S.LatencyP99Ns << "\n"
+     << "latency_max_ns:" << S.LatencyMaxNs << "\n";
+  return Os.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Server lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(const ServerConfig &Config) : I(new Impl(Config)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  auto fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why + ": " + std::strerror(errno);
+    if (I->ListenFd >= 0) {
+      ::close(I->ListenFd);
+      I->ListenFd = -1;
+    }
+    return false;
+  };
+  if (Running.load(std::memory_order_acquire))
+    return true;
+  I->ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (I->ListenFd < 0)
+    return fail("socket");
+  int One = 1;
+  ::setsockopt(I->ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(I->Config.Port);
+  if (::bind(I->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0)
+    return fail("bind");
+  if (::listen(I->ListenFd, 128) < 0)
+    return fail("listen");
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(I->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                    &Len) < 0)
+    return fail("getsockname");
+  BoundPort = ntohs(Addr.sin_port);
+
+  I->Stop.store(false, std::memory_order_release);
+  I->Listener = std::thread([this] { I->listenLoop(); });
+  I->Executor = std::thread([this] { I->execLoop(); });
+  Running.store(true, std::memory_order_release);
+  return true;
+}
+
+void Server::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  I->Stop.store(true, std::memory_order_release);
+  // Listener: unblock poll by closing the socket, then join.
+  if (I->Listener.joinable())
+    I->Listener.join();
+  if (I->ListenFd >= 0) {
+    ::close(I->ListenFd);
+    I->ListenFd = -1;
+  }
+  // Executor: fails all queued jobs and exits; waiting handlers notice
+  // Stop within one wait tick.
+  I->QueueCv.notify_all();
+  if (I->Executor.joinable())
+    I->Executor.join();
+  // Connections: shutdown wakes blocked recv/poll; handlers unwind.
+  {
+    std::lock_guard<std::mutex> G(I->ConnM);
+    for (int Fd : I->ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::list<Impl::ConnThread> ToJoin;
+    {
+      std::lock_guard<std::mutex> G(I->ConnM);
+      ToJoin.splice(ToJoin.begin(), I->ConnThreads);
+    }
+    if (ToJoin.empty())
+      break;
+    for (auto &CT : ToJoin)
+      CT.Th.join();
+  }
+}
+
+ServerStats Server::stats() const { return I->snapshot(); }
+
+std::string Server::statsText() const { return I->statsText(); }
+
+//===----------------------------------------------------------------------===//
+// SyncClient
+//===----------------------------------------------------------------------===//
+
+SyncClient::~SyncClient() { close(); }
+
+bool SyncClient::connect(uint16_t Port, std::string *Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  Reader = FrameReader();
+  return true;
+}
+
+void SyncClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool SyncClient::sendRaw(const std::string &Bytes) {
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool SyncClient::recvResponse(RespStatus &StatusOut, std::string &BodyOut,
+                              std::string *Err, uint64_t TimeoutMs) {
+  if (Fd < 0)
+    return false;
+  const uint64_t DeadlineNs = steadyNowNs() + TimeoutMs * 1000000ull;
+  char Buf[4096];
+  for (;;) {
+    Frame F;
+    std::string PErr;
+    FrameReader::Status St = Reader.next(F, &PErr);
+    if (St == FrameReader::Status::Error) {
+      if (Err)
+        *Err = "protocol error: " + PErr;
+      return false;
+    }
+    if (St == FrameReader::Status::Ready) {
+      if (!respStatusFromName(F.Kind, StatusOut)) {
+        if (Err)
+          *Err = "unknown response status " + F.Kind;
+        return false;
+      }
+      BodyOut = std::move(F.Body);
+      return true;
+    }
+    uint64_t Now = steadyNowNs();
+    if (Now >= DeadlineNs) {
+      if (Err)
+        *Err = "timed out waiting for response";
+      return false;
+    }
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1,
+                   static_cast<int>((DeadlineNs - Now) / 1000000ull) + 1);
+    if (R <= 0) {
+      if (Err)
+        *Err = "timed out waiting for response";
+      return false;
+    }
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0) {
+      if (Err)
+        *Err = "connection closed by server";
+      return false;
+    }
+    Reader.feed(Buf, static_cast<size_t>(N));
+  }
+}
+
+bool SyncClient::request(MsgType Type, const std::string &Body,
+                         RespStatus &StatusOut, std::string &BodyOut,
+                         std::string *Err, uint64_t TimeoutMs) {
+  if (!sendRaw(formatFrame(msgTypeName(Type), Body))) {
+    if (Err)
+      *Err = "send failed";
+    return false;
+  }
+  return recvResponse(StatusOut, BodyOut, Err, TimeoutMs);
+}

@@ -251,6 +251,16 @@ std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
       appendEvent(Os, First, "i", "priv-merge", E.TsNs, E.Tid, Args.str());
       break;
 
+    case EventKind::ServeAdmit:
+      Args << "\"admitted\":" << (E.A ? "true" : "false")
+           << ",\"queueDepth\":" << E.B;
+      appendEvent(Os, First, "i", "serve-admit", E.TsNs, E.Tid, Args.str());
+      break;
+    case EventKind::ServeReply:
+      Args << "\"status\":" << E.A << ",\"latencyNs\":" << E.B;
+      appendEvent(Os, First, "i", "serve-reply", E.TsNs, E.Tid, Args.str());
+      break;
+
     case EventKind::FaultInject:
       Args << "\"fault\":\""
            << faultKindName(static_cast<FaultKind>(E.A)) << "\"";

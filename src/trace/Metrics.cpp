@@ -154,6 +154,17 @@ TraceMetrics aggregateMetrics(const std::vector<TraceEvent> &Events,
       M.PrivSlots[static_cast<unsigned>(E.A)].Merges++;
       break;
 
+    case EventKind::ServeAdmit:
+      if (E.A)
+        ++M.ServeAdmits;
+      else
+        ++M.ServeSheds;
+      break;
+    case EventKind::ServeReply:
+      ++M.ServeReplies;
+      M.ServeLatencyNs.add(E.B);
+      break;
+
     case EventKind::FaultInject:
       M.FaultsInjected[static_cast<unsigned>(E.A)]++;
       break;

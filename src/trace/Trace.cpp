@@ -70,6 +70,10 @@ const char *eventKindName(EventKind K) {
     return "priv-touch";
   case EventKind::PrivMerge:
     return "priv-merge";
+  case EventKind::ServeAdmit:
+    return "serve-admit";
+  case EventKind::ServeReply:
+    return "serve-reply";
   }
   return "unknown";
 }

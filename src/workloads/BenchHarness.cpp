@@ -155,13 +155,24 @@ void appendJsonString(std::ostringstream &Os, const std::string &S) {
 
 } // namespace
 
+#ifndef COMMSET_GIT_DESCRIBE
+#define COMMSET_GIT_DESCRIBE "unknown"
+#endif
+
+const char *commset::bench::benchGitDescribe() {
+  return COMMSET_GIT_DESCRIBE;
+}
+
 std::string
 commset::bench::benchRecordsJson(const std::vector<BenchRecord> &Records) {
   std::ostringstream Os;
   Os << "[\n";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
-    Os << "  {\"workload\": ";
+    Os << "  {\"schema_version\": " << BenchJsonSchemaVersion
+       << ", \"git_describe\": ";
+    appendJsonString(Os, benchGitDescribe());
+    Os << ", \"workload\": ";
     appendJsonString(Os, R.Workload);
     Os << ", \"label\": ";
     appendJsonString(Os, R.Label);
@@ -176,8 +187,14 @@ commset::bench::benchRecordsJson(const std::vector<BenchRecord> &Records) {
     char Buf[64];
     std::snprintf(Buf, sizeof(Buf), "%.6g", R.Speedup);
     Os << ", \"speedup\": " << Buf << ", \"virtual_ns\": " << R.VirtualNs
-       << ", \"seq_virtual_ns\": " << R.SeqVirtualNs << "}";
-    Os << (I + 1 < Records.size() ? ",\n" : "\n");
+       << ", \"seq_virtual_ns\": " << R.SeqVirtualNs;
+    for (const auto &[K, V] : R.Extra) {
+      Os << ", ";
+      appendJsonString(Os, K);
+      std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+      Os << ": " << Buf;
+    }
+    Os << "}" << (I + 1 < Records.size() ? ",\n" : "\n");
   }
   Os << "]\n";
   return Os.str();

@@ -483,6 +483,79 @@ TEST(SupervisedPoolTest, WorkerFaultCancelsSiblings) {
   EXPECT_TRUE(ExternallyCancelled.load()) << "CancelAll hook must fire";
 }
 
+TEST(SupervisedPoolTest, AbandonedWorkerLateFaultTouchesNoRegionState) {
+  // Regression: an abandoned worker used to cancel the region through a
+  // captured RegionControl& and CancelAll hook when it finally faulted —
+  // dangling references once runParallelSupervised had returned and the
+  // caller destroyed the region. Late faults must be absorbed by the
+  // shared join state instead.
+  auto Release = std::make_shared<std::atomic<bool>>(false);
+  auto CancelCalls = std::make_shared<std::atomic<int>>(0);
+  auto Control = std::make_unique<RegionControl>();
+  RegionControl *Ctl = Control.get();
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([Ctl] { Ctl->heartbeat(0); });
+  Tasks.push_back([Release] {
+    while (!Release->load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    throw RegionFault(FaultKind::TaskFailure, 1, "fault after abandonment");
+  });
+  SupervisedReport Rep = runParallelSupervised(
+      Tasks, *Control, /*WatchdogStallMs=*/30, /*JoinGraceMs=*/60,
+      [CancelCalls] { CancelCalls->fetch_add(1); });
+  EXPECT_TRUE(Rep.WatchdogTripped);
+  EXPECT_FALSE(Rep.AllJoined);
+  int CallsAtReturn = CancelCalls->load();
+  EXPECT_GE(CallsAtReturn, 1) << "the watchdog trip runs the CancelAll hook";
+  // Destroy the region state, then let the abandoned worker fault. The
+  // closed join state must swallow its cancel instead of dereferencing
+  // the freed RegionControl (sanitized builds catch the dereference).
+  Control.reset();
+  Release->store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(CancelCalls->load(), CallsAtReturn)
+      << "a late fault must not re-run the region's CancelAll hook";
+}
+
+TEST(SupervisedPoolTest, RetiredSlotRespawnsExactlyOnceOnNextRegion) {
+  // Satellite audit: after an abandonment retires a slot, the next region
+  // must respawn that slot exactly once (and only that slot — the
+  // surviving worker is reused), run cleanly, and never double-retire.
+  WorkerPool &Pool = WorkerPool::global();
+  auto Gate = std::make_shared<std::atomic<bool>>(false);
+  {
+    RegionControl Control;
+    std::vector<std::function<void()>> Tasks;
+    Tasks.push_back([&Control] { Control.heartbeat(0); });
+    Tasks.push_back([Gate] {
+      while (!Gate->load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    SupervisedReport Rep = runParallelSupervised(
+        Tasks, Control, /*WatchdogStallMs=*/30, /*JoinGraceMs=*/60, {});
+    ASSERT_TRUE(Rep.WatchdogTripped);
+    ASSERT_FALSE(Rep.AllJoined) << "the gated worker must be abandoned";
+  }
+  uint64_t SpawnsAfterAbandon = Pool.spawnCount();
+
+  std::atomic<int> Ran{0};
+  RegionControl Control2;
+  std::vector<std::function<void()>> Tasks2;
+  for (unsigned I = 0; I < 2; ++I)
+    Tasks2.push_back([&Ran, &Control2, I] {
+      Control2.heartbeat(I);
+      Ran.fetch_add(1);
+    });
+  SupervisedReport Rep2 = runParallelSupervised(
+      Tasks2, Control2, /*WatchdogStallMs=*/5000, /*JoinGraceMs=*/5000, {});
+  EXPECT_FALSE(Rep2.Faulted) << Rep2.Detail;
+  EXPECT_TRUE(Rep2.AllJoined);
+  EXPECT_EQ(Ran.load(), 2);
+  EXPECT_EQ(Pool.spawnCount(), SpawnsAfterAbandon + 1)
+      << "exactly the retired slot respawns; the survivor is reused";
+  Gate->store(true); // let the wedged thread drain and exit
+}
+
 //===----------------------------------------------------------------------===//
 // Engine-level degradation: parallel plan fails, sequential fallback wins
 //===----------------------------------------------------------------------===//
@@ -611,6 +684,58 @@ TEST(FaultExecTest, WatchdogTripOnStalledDswpStage) {
   verifyCompleteness(Rec, N);
 }
 
+TEST(FaultExecTest, DeadlineExceededCancelsWithoutSequentialRerun) {
+  // A wall-clock budget (commset-run --deadline-ms, commsetd per-request
+  // deadlines) cancels the region at the first checkpoint past the cutoff
+  // and does NOT re-execute sequentially: the budget is already spent, so
+  // a fallback rerun would blow through it again.
+  constexpr int64_t N = 400;
+  auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
+  auto *Doall = findScheme(Toy.Schemes, Strategy::Doall);
+  ASSERT_TRUE(Doall && Doall->Applicable) << Doall->WhyNot;
+
+  Recorder Rec;
+  NativeRegistry Natives;
+  Natives.add(
+      "work",
+      [](const RtValue *Args, unsigned) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return RtValue::ofInt(Args[0].I * Args[0].I + 1);
+      },
+      /*FixedCostNs=*/20000);
+  Natives.add(
+      "record",
+      [&Rec](const RtValue *Args, unsigned) {
+        Rec.add(Args[0].I, Args[1].I);
+        return RtValue();
+      },
+      /*FixedCostNs=*/400);
+
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = false;
+  Config.DeadlineMs = 15; // 400 iterations x 1ms of work >> 15ms budget
+  Config.ResetState = [&Rec] { Rec.clear(); };
+  auto Start = std::chrono::steady_clock::now();
+  RunOutcome Out =
+      runScheme(*Toy.C, Toy.T->F, {RtValue::ofInt(N)}, Natives, Config);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  EXPECT_EQ(Out.Status, RunStatus::DeadlineExceeded);
+  EXPECT_EQ(Out.DegradedWhy, FaultKind::DeadlineExceeded);
+  EXPECT_NE(Out.Diagnostic.find("cancelled"), std::string::npos)
+      << Out.Diagnostic;
+  EXPECT_NE(Out.Diagnostic.find("deadline"), std::string::npos)
+      << Out.Diagnostic;
+  EXPECT_EQ(Out.Iterations, 0u) << "no trustworthy stats from a cancelled run";
+  EXPECT_TRUE(Rec.Entries.empty())
+      << "partial effects must be discarded, not completed by a rerun";
+  EXPECT_LT(ElapsedMs, 2000) << "cancel must not wait out all " << N
+                             << " iterations";
+}
+
 TEST(FaultExecTest, NoFaultsMeansNoDegradation) {
   constexpr int64_t N = 100;
   auto Toy = analyzeToy(true, 4, SyncMode::Mutex);
@@ -640,9 +765,12 @@ TEST(RunStatusTest, NamesAndExitCodesAreDistinct) {
   EXPECT_STREQ(runStatusName(RunStatus::DegradedSequential),
                "degraded-to-sequential");
   EXPECT_STREQ(runStatusName(RunStatus::InternalError), "internal-error");
+  EXPECT_STREQ(runStatusName(RunStatus::DeadlineExceeded),
+               "deadline-exceeded");
   EXPECT_EQ(exitCodeFor(RunStatus::Ok), 0);
   EXPECT_EQ(exitCodeFor(RunStatus::DegradedSequential), 10);
   EXPECT_EQ(exitCodeFor(RunStatus::InternalError), 70);
+  EXPECT_EQ(exitCodeFor(RunStatus::DeadlineExceeded), 75);
 }
 
 } // namespace

@@ -1,0 +1,565 @@
+//===- ServeTest.cpp - commsetd protocol, cache, admission, e2e -----------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+// TESTING.md tier 2g: the serving subsystem. Protocol framing (including
+// hostile input), the admission controller, the per-plan circuit breaker,
+// the compiled-plan cache (LRU eviction, single-flight dedup, cache-key
+// sensitivity), the bench JSON schema stamp, and end-to-end server
+// behavior over real sockets: valid jobs, malformed frames, explicit
+// overload shedding, deadlines, breaker quarantine, and clean shutdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Server.h"
+#include "commset/Workloads/BenchHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace commset;
+using namespace commset::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, FrameRoundTripInArbitraryChunks) {
+  std::string Wire = formatFrame("RUN", "workload:md5sum\nthreads:4\n") +
+                     formatFrame("PING", "");
+  for (size_t Chunk : {size_t(1), size_t(3), size_t(7), Wire.size()}) {
+    FrameReader Reader;
+    std::vector<serve::Frame> Got;
+    size_t Off = 0;
+    while (Off < Wire.size()) {
+      size_t N = std::min(Chunk, Wire.size() - Off);
+      Reader.feed(Wire.data() + Off, N);
+      Off += N;
+      serve::Frame F;
+      while (Reader.next(F) == FrameReader::Status::Ready)
+        Got.push_back(F);
+    }
+    ASSERT_EQ(Got.size(), 2u) << "chunk=" << Chunk;
+    EXPECT_EQ(Got[0].Kind, "RUN");
+    EXPECT_EQ(Got[0].Body, "workload:md5sum\nthreads:4\n");
+    EXPECT_EQ(Got[1].Kind, "PING");
+    EXPECT_TRUE(Got[1].Body.empty());
+  }
+}
+
+TEST(ServeProtocolTest, HeaderRejectsHostileInput) {
+  std::string Kind;
+  size_t Len = 0;
+  EXPECT_FALSE(parseFrameHeader("XSD1 RUN 5", Kind, Len));
+  EXPECT_FALSE(parseFrameHeader("CSD1 run 5", Kind, Len));
+  EXPECT_FALSE(parseFrameHeader("CSD1 RUN", Kind, Len));
+  EXPECT_FALSE(parseFrameHeader("CSD1 RUN -1", Kind, Len));
+  EXPECT_FALSE(parseFrameHeader("CSD1 RUN 999999999", Kind, Len));
+  EXPECT_FALSE(parseFrameHeader(
+      "CSD1 RUN " + std::to_string(MaxBodyBytes + 1), Kind, Len));
+  EXPECT_TRUE(parseFrameHeader("CSD1 STATS 0", Kind, Len));
+  EXPECT_EQ(Kind, "STATS");
+  EXPECT_EQ(Len, 0u);
+}
+
+TEST(ServeProtocolTest, ReaderPoisonsPermanently) {
+  FrameReader Reader;
+  std::string Garbage = "GARBAGE WITHOUT MEANING\n";
+  Reader.feed(Garbage.data(), Garbage.size());
+  serve::Frame F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Error);
+  // A valid frame after the poison must not resurrect the stream.
+  std::string Valid = formatFrame("PING", "");
+  Reader.feed(Valid.data(), Valid.size());
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Error);
+}
+
+TEST(ServeProtocolTest, ReaderBoundsHeaderBuffering) {
+  FrameReader Reader;
+  std::string NoNewline(MaxHeaderBytes + 10, 'A');
+  Reader.feed(NoNewline.data(), NoNewline.size());
+  serve::Frame F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Error);
+}
+
+TEST(ServeProtocolTest, RunRequestRoundTrip) {
+  RunRequest R;
+  R.WorkloadName = "kmeans";
+  R.Scheme = "doall";
+  R.Sync = SyncMode::Priv;
+  R.Sched = SchedPolicy::Dynamic;
+  R.Threads = 8;
+  R.Scale = 128;
+  R.DeadlineMs = 750;
+  RunRequest Parsed;
+  std::string Err;
+  ASSERT_TRUE(parseRunRequest(formatRunRequest(R), Parsed, &Err)) << Err;
+  EXPECT_EQ(Parsed.WorkloadName, "kmeans");
+  EXPECT_EQ(Parsed.Scheme, "doall");
+  EXPECT_EQ(Parsed.Sync, SyncMode::Priv);
+  EXPECT_EQ(Parsed.Sched, SchedPolicy::Dynamic);
+  EXPECT_EQ(Parsed.Threads, 8u);
+  EXPECT_EQ(Parsed.Scale, 128);
+  EXPECT_EQ(Parsed.DeadlineMs, 750u);
+  EXPECT_EQ(Parsed.cacheKey(), R.cacheKey());
+}
+
+TEST(ServeProtocolTest, RunRequestValidation) {
+  RunRequest R;
+  // Exactly one of workload:/source:.
+  EXPECT_FALSE(parseRunRequest("threads:4\n", R, nullptr));
+  EXPECT_FALSE(parseRunRequest(
+      "workload:md5sum\nsource:\nvoid run(int n) {}\n", R, nullptr));
+  EXPECT_FALSE(parseRunRequest("workload:md5sum\nthreads:0\n", R, nullptr));
+  EXPECT_FALSE(parseRunRequest("workload:md5sum\nthreads:65\n", R, nullptr));
+  EXPECT_FALSE(parseRunRequest("workload:md5sum\nbogus:1\n", R, nullptr));
+  EXPECT_FALSE(parseRunRequest("workload:md5sum\nsched:banana\n", R,
+                               nullptr));
+  EXPECT_FALSE(parseRunRequest("workload:md5sum\nno separator here", R,
+                               nullptr));
+  EXPECT_TRUE(parseRunRequest("workload:md5sum\n", R, nullptr));
+}
+
+TEST(ServeProtocolTest, CacheKeyIsSensitiveToPlanOptions) {
+  RunRequest Base;
+  Base.WorkloadName = "md5sum";
+  RunRequest B = Base;
+  B.Scheme = "doall";
+  EXPECT_NE(Base.cacheKey(), B.cacheKey());
+  B = Base;
+  B.Sync = SyncMode::Tm;
+  EXPECT_NE(Base.cacheKey(), B.cacheKey());
+  B = Base;
+  B.Sched = SchedPolicy::Static;
+  EXPECT_NE(Base.cacheKey(), B.cacheKey());
+  B = Base;
+  B.Threads = 8;
+  EXPECT_NE(Base.cacheKey(), B.cacheKey());
+  // Scale and deadline are execution inputs, not plan inputs: same key.
+  B = Base;
+  B.Scale = 999;
+  B.DeadlineMs = 5;
+  EXPECT_EQ(Base.cacheKey(), B.cacheKey());
+  // Inline source keys differ from workload keys and from other sources.
+  RunRequest S1;
+  S1.Source = "void run(int n) {}";
+  RunRequest S2;
+  S2.Source = "void run(int m) {}";
+  EXPECT_NE(S1.cacheKey(), Base.cacheKey());
+  EXPECT_NE(S1.cacheKey(), S2.cacheKey());
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+TEST(ServeAdmissionTest, QueueDepthGateSheds) {
+  AdmissionConfig C;
+  C.MaxQueueDepth = 4;
+  AdmissionController A(C);
+  EXPECT_TRUE(A.admit(0));
+  EXPECT_TRUE(A.admit(3));
+  EXPECT_FALSE(A.admit(4));
+  EXPECT_FALSE(A.admit(100));
+  EXPECT_EQ(A.admitted(), 2u);
+  EXPECT_EQ(A.shed(), 2u);
+  EXPECT_EQ(A.shedQueueFull(), 2u);
+}
+
+TEST(ServeAdmissionTest, TokenBucketShedsBeyondBurst) {
+  AdmissionConfig C;
+  C.RatePerSec = 0.001; // Refill is negligible within the test.
+  C.Burst = 3;
+  AdmissionController A(C);
+  EXPECT_TRUE(A.admit(0));
+  EXPECT_TRUE(A.admit(0));
+  EXPECT_TRUE(A.admit(0));
+  EXPECT_FALSE(A.admit(0));
+  EXPECT_FALSE(A.admit(0));
+  EXPECT_EQ(A.admitted(), 3u);
+  EXPECT_EQ(A.shed(), 2u);
+  EXPECT_EQ(A.shedQueueFull(), 0u);
+}
+
+TEST(ServeAdmissionTest, ZeroRateMeansUnlimited) {
+  AdmissionController A(AdmissionConfig{});
+  for (int I = 0; I < 100; ++I)
+    EXPECT_TRUE(A.admit(0));
+  EXPECT_EQ(A.shed(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBreakerTest, TripsProbesAndRecovers) {
+  CircuitBreaker B(/*FailThreshold=*/3, /*ProbeAfterSkips=*/4);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  // Two faults + a success: consecutive counter resets, still closed.
+  B.onParallelFault();
+  B.onParallelFault();
+  B.onParallelSuccess();
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  // Three consecutive faults trip it open.
+  B.onParallelFault();
+  B.onParallelFault();
+  B.onParallelFault();
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(B.trips(), 1u);
+  // Open: skips until the probe slot comes around.
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_TRUE(B.allowParallel()); // The probe.
+  EXPECT_EQ(B.state(), CircuitBreaker::State::HalfOpen);
+  // Failed probe: straight back to open.
+  B.onParallelFault();
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(B.trips(), 2u);
+  // Next probe succeeds: closed again, parallel flows freely.
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_FALSE(B.allowParallel());
+  EXPECT_TRUE(B.allowParallel());
+  B.onParallelSuccess();
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(B.allowParallel());
+  EXPECT_GE(B.skips(), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Plan cache
+//===----------------------------------------------------------------------===//
+
+RunRequest workloadRequest(const std::string &Name, unsigned Threads = 4) {
+  RunRequest R;
+  R.WorkloadName = Name;
+  R.Threads = Threads;
+  return R;
+}
+
+TEST(ServePlanCacheTest, HitsAndLruEviction) {
+  PlanCache Cache(/*Capacity=*/2);
+  // Three distinct keys through a capacity-2 cache: the coldest falls out.
+  auto R1 = Cache.getOrCompile(workloadRequest("md5sum", 2));
+  ASSERT_TRUE(R1.Job) << R1.Error;
+  EXPECT_FALSE(R1.CacheHit);
+  auto R2 = Cache.getOrCompile(workloadRequest("md5sum", 4));
+  ASSERT_TRUE(R2.Job) << R2.Error;
+  auto R1Again = Cache.getOrCompile(workloadRequest("md5sum", 2));
+  ASSERT_TRUE(R1Again.Job);
+  EXPECT_TRUE(R1Again.CacheHit);
+  EXPECT_EQ(R1Again.Job.get(), R1.Job.get()); // Same compiled artifact.
+  // Inserting a third evicts threads=4 (LRU; threads=2 was just touched).
+  auto R3 = Cache.getOrCompile(workloadRequest("md5sum", 8));
+  ASSERT_TRUE(R3.Job) << R3.Error;
+  PlanCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Size, 2u);
+  EXPECT_TRUE(Cache.getOrCompile(workloadRequest("md5sum", 2)).CacheHit);
+  auto R2Again = Cache.getOrCompile(workloadRequest("md5sum", 4));
+  ASSERT_TRUE(R2Again.Job);
+  EXPECT_FALSE(R2Again.CacheHit); // Was evicted: recompiled.
+}
+
+TEST(ServePlanCacheTest, SingleFlightDedupsConcurrentIdenticalJobs) {
+  PlanCache Cache(/*Capacity=*/8);
+  constexpr unsigned N = 8;
+  std::vector<std::thread> Threads;
+  std::vector<std::shared_ptr<CompiledJob>> Jobs(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&Cache, &Jobs, I] {
+      Jobs[I] = Cache.getOrCompile(workloadRequest("kmeans")).Job;
+    });
+  for (auto &T : Threads)
+    T.join();
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_TRUE(Jobs[I]);
+    EXPECT_EQ(Jobs[I].get(), Jobs[0].get());
+  }
+  PlanCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u) << "identical concurrent jobs must compile once";
+  EXPECT_EQ(S.Hits, N - 1);
+}
+
+TEST(ServePlanCacheTest, DistinctPlanOptionsCompileSeparately) {
+  PlanCache Cache(/*Capacity=*/8);
+  RunRequest A = workloadRequest("md5sum");
+  RunRequest B = A;
+  B.Sync = SyncMode::Spin;
+  RunRequest C = A;
+  C.Sched = SchedPolicy::Static;
+  RunRequest D = A;
+  D.Scheme = "doall";
+  for (const RunRequest &R : {A, B, C, D}) {
+    auto Res = Cache.getOrCompile(R);
+    ASSERT_TRUE(Res.Job) << Res.Error;
+    EXPECT_FALSE(Res.CacheHit);
+  }
+  EXPECT_EQ(Cache.stats().Misses, 4u);
+}
+
+TEST(ServePlanCacheTest, CompileFailureIsSurfacedAndNotCached) {
+  PlanCache Cache(/*Capacity=*/4);
+  FaultPolicy Policy;
+  Policy.Seed = 1;
+  Policy.CompileFailPerMille = 1000; // Every compile attempt fails.
+  FaultInjector Faults(Policy);
+  auto Bad = Cache.getOrCompile(workloadRequest("md5sum"), &Faults);
+  EXPECT_FALSE(Bad.Job);
+  EXPECT_NE(Bad.Error.find("injected"), std::string::npos);
+  // The failure must not be cached: the same key compiles fine next time.
+  auto Good = Cache.getOrCompile(workloadRequest("md5sum"));
+  ASSERT_TRUE(Good.Job) << Good.Error;
+  EXPECT_FALSE(Good.CacheHit);
+  PlanCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.CompileFailures, 1u);
+  EXPECT_EQ(S.Size, 1u);
+  // Unknown workloads are a compile error too, also uncached.
+  auto Unknown = Cache.getOrCompile(workloadRequest("blackscholes"));
+  EXPECT_FALSE(Unknown.Job);
+  EXPECT_NE(Unknown.Error.find("unknown workload"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Bench JSON schema (satellite: provenance stamping)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBenchJsonTest, RecordsCarrySchemaVersionDescribeAndExtras) {
+  bench::BenchRecord R;
+  R.Workload = "serve-mix";
+  R.Label = "serve-overload";
+  R.Threads = 8;
+  R.Applicable = true;
+  R.Extra = {{"rps", 123.5}, {"p99_ms", 42.25}};
+  std::string Json = bench::benchRecordsJson({R});
+  EXPECT_NE(Json.find("\"schema_version\": " +
+                      std::to_string(bench::BenchJsonSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"git_describe\": \""), std::string::npos);
+  EXPECT_NE(Json.find(std::string("\"") + bench::benchGitDescribe() +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"rps\": 123.5"), std::string::npos);
+  EXPECT_NE(Json.find("\"p99_ms\": 42.25"), std::string::npos);
+  EXPECT_STRNE(bench::benchGitDescribe(), "");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end server
+//===----------------------------------------------------------------------===//
+
+class ServeServerTest : public ::testing::Test {
+protected:
+  std::unique_ptr<Server> startServer(ServerConfig Config) {
+    auto S = std::make_unique<Server>(Config);
+    std::string Err;
+    if (!S->start(&Err)) {
+      ADD_FAILURE() << "server start failed: " << Err;
+      return nullptr;
+    }
+    return S;
+  }
+
+  std::string kvOf(const std::string &Body, const std::string &Key) {
+    for (auto &[K, V] : parseKvBody(Body))
+      if (K == Key)
+        return V;
+    return {};
+  }
+};
+
+TEST_F(ServeServerTest, PingRunAndStats) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+
+  RespStatus St;
+  std::string Body;
+  ASSERT_TRUE(Client.request(MsgType::Ping, "", St, Body));
+  EXPECT_EQ(St, RespStatus::Ok);
+
+  RunRequest Req;
+  Req.WorkloadName = "md5sum";
+  Req.Scale = 32;
+  Req.DeadlineMs = 8000;
+  ASSERT_TRUE(
+      Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+  EXPECT_EQ(St, RespStatus::Ok) << Body;
+  EXPECT_FALSE(kvOf(Body, "checksum").empty());
+  EXPECT_EQ(kvOf(Body, "cached"), "0");
+
+  // Same job again: served from the plan cache.
+  ASSERT_TRUE(
+      Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+  EXPECT_EQ(St, RespStatus::Ok) << Body;
+  EXPECT_EQ(kvOf(Body, "cached"), "1");
+
+  ASSERT_TRUE(Client.request(MsgType::Stats, "", St, Body));
+  EXPECT_EQ(St, RespStatus::Ok);
+  EXPECT_NE(Body.find("requests:"), std::string::npos);
+  EXPECT_NE(Body.find("cache_hits:1"), std::string::npos);
+
+  ServerStats Stats = S->stats();
+  EXPECT_EQ(Stats.Replies[static_cast<unsigned>(RespStatus::Ok)], 4u);
+  EXPECT_EQ(Stats.Cache.Hits, 1u);
+  EXPECT_EQ(Stats.BadFrames, 0u);
+  S->stop();
+}
+
+TEST_F(ServeServerTest, InlineSourceJobRuns) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  RunRequest Req;
+  Req.Source = "extern int work(int x);\n"
+               "#pragma commset member(SELF)\n"
+               "extern void record(int i, int v);\n"
+               "#pragma commset effects(work, pure)\n"
+               "#pragma commset effects(record, reads(out), writes(out))\n"
+               "void run(int n) {\n"
+               "  for (int i = 0; i < n; i++) {\n"
+               "    record(i, work(i));\n"
+               "  }\n"
+               "}\n";
+  Req.Scheme = "doall";
+  Req.Scale = 64;
+  Req.DeadlineMs = 8000;
+  RespStatus St;
+  std::string Body;
+  ASSERT_TRUE(
+      Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+  EXPECT_EQ(St, RespStatus::Ok) << Body;
+  EXPECT_FALSE(kvOf(Body, "checksum").empty());
+  EXPECT_EQ(kvOf(Body, "iterations"), "64");
+  S->stop();
+}
+
+TEST_F(ServeServerTest, MalformedFrameIsConfinedToItsConnection) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Hostile;
+  ASSERT_TRUE(Hostile.connect(S->port()));
+  ASSERT_TRUE(Hostile.sendRaw("THIS IS NOT A FRAME\n"));
+  RespStatus St;
+  std::string Body;
+  ASSERT_TRUE(Hostile.recvResponse(St, Body, nullptr, 5000));
+  EXPECT_EQ(St, RespStatus::BadRequest);
+
+  // The listener survived: a fresh connection works normally.
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  ASSERT_TRUE(Client.request(MsgType::Ping, "", St, Body));
+  EXPECT_EQ(St, RespStatus::Ok);
+  EXPECT_GE(S->stats().BadFrames, 1u);
+  S->stop();
+}
+
+TEST_F(ServeServerTest, MalformedRunBodyKeepsConnectionUsable) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  RespStatus St;
+  std::string Body;
+  // Well-framed but semantically invalid: BAD_REQUEST, stream stays good.
+  ASSERT_TRUE(Client.request(MsgType::Run, "bogus_key:1\n", St, Body));
+  EXPECT_EQ(St, RespStatus::BadRequest);
+  ASSERT_TRUE(Client.request(MsgType::Ping, "", St, Body));
+  EXPECT_EQ(St, RespStatus::Ok);
+  S->stop();
+}
+
+TEST_F(ServeServerTest, OverloadShedsExplicitly) {
+  ServerConfig Config;
+  Config.Admission.MaxQueueDepth = 0; // Everything sheds, deterministically.
+  auto S = startServer(Config);
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  RunRequest Req;
+  Req.WorkloadName = "md5sum";
+  Req.Scale = 16;
+  RespStatus St;
+  std::string Body;
+  ASSERT_TRUE(
+      Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+  EXPECT_EQ(St, RespStatus::RejectedOverload);
+  ServerStats Stats = S->stats();
+  EXPECT_EQ(Stats.Shed, 1u);
+  EXPECT_EQ(Stats.ShedQueueFull, 1u);
+  EXPECT_EQ(Stats.Admitted, 0u);
+  S->stop();
+}
+
+TEST_F(ServeServerTest, TinyDeadlineRepliesDeadlineExceeded) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  RunRequest Req;
+  Req.WorkloadName = "kmeans";
+  Req.Scale = 4096;
+  Req.DeadlineMs = 1; // Gone before (or moments after) execution starts.
+  RespStatus St;
+  std::string Body;
+  ASSERT_TRUE(
+      Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+  EXPECT_EQ(St, RespStatus::DeadlineExceeded) << Body;
+  S->stop();
+}
+
+TEST_F(ServeServerTest, BreakerQuarantinesRepeatedlyFaultingPlan) {
+  FaultPolicy Policy;
+  Policy.Seed = 1;
+  Policy.Name = "task-failure-storm";
+  Policy.TaskFailurePerMille = 1000; // Every parallel region faults.
+  FaultInjector Faults(Policy);
+  ServerConfig Config;
+  Config.BreakerFailThreshold = 2;
+  Config.BreakerProbeAfterSkips = 100; // Keep it open for the test.
+  Config.Faults = &Faults;
+  auto S = startServer(Config);
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  RunRequest Req;
+  Req.WorkloadName = "md5sum";
+  Req.Scale = 32;
+  Req.DeadlineMs = 8000;
+  RespStatus St;
+  std::string Body;
+  bool SawBreakerBypass = false;
+  for (int I = 0; I < 6; ++I) {
+    ASSERT_TRUE(
+        Client.request(MsgType::Run, formatRunRequest(Req), St, Body));
+    // Every reply is still a correct answer: degraded, never wrong.
+    EXPECT_EQ(St, RespStatus::Degraded) << Body;
+    EXPECT_FALSE(kvOf(Body, "checksum").empty());
+    if (kvOf(Body, "breaker") == "open")
+      SawBreakerBypass = true;
+  }
+  EXPECT_TRUE(SawBreakerBypass)
+      << "after repeated faults the plan must be quarantined";
+  EXPECT_GE(S->stats().Cache.BreakerTrips, 1u);
+  S->stop();
+}
+
+TEST_F(ServeServerTest, StopIsIdempotentAndDoesNotHang) {
+  auto S = startServer(ServerConfig{});
+  ASSERT_TRUE(S);
+  SyncClient Client;
+  ASSERT_TRUE(Client.connect(S->port()));
+  uint64_t T0 = steadyNowNs();
+  S->stop();
+  S->stop(); // Second stop is a no-op.
+  EXPECT_FALSE(S->running());
+  EXPECT_LT((steadyNowNs() - T0) / 1000000ull, 10000u);
+}
+
+} // namespace

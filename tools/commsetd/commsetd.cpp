@@ -1,0 +1,577 @@
+//===- commsetd.cpp - overload-robust compile-and-execute daemon ----------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Three modes:
+//
+//   commsetd [--port=N] [admission/deadline flags]
+//     Serve CSD1 jobs on 127.0.0.1 until SIGINT/SIGTERM.
+//
+//   commsetd --faults [--iters=N] [--seed=N]
+//     Seeded robustness sweep: each iteration brings up an in-process
+//     server under one of the serving-path fault presets (slow clients,
+//     mid-request disconnects, forced compile failures, server-mixed) and
+//     drives it with concurrent clients mixing valid jobs, malformed
+//     frames, truncated requests and control traffic. Every completed
+//     job's checksum is compared against an in-process sequential
+//     reference; any divergence, crash or hang fails the sweep.
+//
+//   commsetd --fuzz [--iters=N] [--seed=N]
+//     Seeded protocol fuzz: random and mutated frames through FrameReader
+//     and parseRunRequest. Invariant violations (throw, Ready after
+//     poison, oversize body accepted) fail the run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Serve/Server.h"
+#include "commset/Workloads/Workload.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <thread>
+
+using namespace commset;
+using namespace commset::serve;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: commsetd [mode] [options]\n"
+      "\n"
+      "serve mode (default):\n"
+      "  --port=N              listen port (default 0 = ephemeral)\n"
+      "  --max-conns=N         concurrent connection cap (default 64)\n"
+      "  --cache-cap=N         compiled-plan LRU capacity (default 16)\n"
+      "  --rate=R              admitted requests/sec, 0 = unlimited\n"
+      "  --burst=N             admission token-bucket burst (default 16)\n"
+      "  --max-queue=N         executor queue depth cap (default 32)\n"
+      "  --default-deadline-ms=N  budget for requests without one\n"
+      "  --max-deadline-ms=N   clamp for requested budgets\n"
+      "  --recv-timeout-ms=N   idle-read cutoff per connection\n"
+      "  --faults-preset=I --faults-seed=S  serve under fault injection\n"
+      "\n"
+      "sweep modes:\n"
+      "  --faults              seeded fault sweep (see --iters, --seed)\n"
+      "  --fuzz                seeded protocol fuzz\n"
+      "  --iters=N             sweep iterations (default 40 / 5000 fuzz)\n"
+      "  --seed=N              sweep seed (default 1)\n"
+      "\n"
+      "exit: 0 ok, 1 sweep failure, 64 usage\n");
+}
+
+volatile std::sig_atomic_t GotSignal = 0;
+void onSignal(int) { GotSignal = 1; }
+
+//===----------------------------------------------------------------------===//
+// Sequential reference checksums
+//===----------------------------------------------------------------------===//
+
+/// Computes (and memoizes) the sequential-execution checksum for one
+/// (workload, scale) pair — the oracle every served result is judged
+/// against.
+class ReferenceBank {
+public:
+  bool lookup(const std::string &Wl, int Scale, uint64_t &Out,
+              std::string *Err) {
+    auto Key = std::make_pair(Wl, Scale);
+    auto It = Refs.find(Key);
+    if (It != Refs.end()) {
+      Out = It->second;
+      return true;
+    }
+    std::unique_ptr<Workload> W = makeWorkload(Wl);
+    if (!W) {
+      if (Err)
+        *Err = "unknown workload " + Wl;
+      return false;
+    }
+    DiagnosticEngine Diags;
+    auto C = Compilation::fromSource(W->source(), Diags);
+    if (!C) {
+      if (Err)
+        *Err = "reference compile failed: " + Diags.str();
+      return false;
+    }
+    auto T = C->analyzeLoop(W->entry(), Diags);
+    if (!T) {
+      if (Err)
+        *Err = "reference analysis failed: " + Diags.str();
+      return false;
+    }
+    W->reset();
+    NativeRegistry Natives;
+    W->registerNatives(Natives);
+    RunConfig Config;
+    Config.Plan = nullptr; // Sequential.
+    Config.Simulate = false;
+    RunOutcome O = runScheme(*C, T->F, W->args(Scale), Natives, Config);
+    if (O.Status != RunStatus::Ok) {
+      if (Err)
+        *Err = "reference run failed: " + O.Diagnostic;
+      return false;
+    }
+    Out = W->checksum();
+    Refs.emplace(Key, Out);
+    return true;
+  }
+
+private:
+  std::map<std::pair<std::string, int>, uint64_t> Refs;
+};
+
+//===----------------------------------------------------------------------===//
+// --faults sweep
+//===----------------------------------------------------------------------===//
+
+struct SweepTotals {
+  uint64_t Requests = 0;
+  uint64_t Ok = 0;
+  uint64_t Degraded = 0;
+  uint64_t Deadline = 0;
+  uint64_t Shed = 0;
+  uint64_t CompileErrors = 0;
+  uint64_t BadRequests = 0;
+  uint64_t Disconnects = 0; ///< Transport errors seen by clients.
+  uint64_t Divergences = 0;
+  uint64_t Internal = 0;
+  std::string FirstFailure;
+
+  void mergeFailure(const std::string &Why) {
+    if (FirstFailure.empty())
+      FirstFailure = Why;
+  }
+};
+
+/// One client worker for one sweep iteration: a deterministic mix of
+/// valid jobs, hostile bytes and control frames against the server.
+void sweepClient(uint16_t Port, uint64_t Seed, unsigned Iter, unsigned Tid,
+                 ReferenceBank &Refs, std::mutex &RefsM, SweepTotals &Tot,
+                 std::mutex &TotM) {
+  std::mt19937_64 Rng(faultMix(Seed ^ (uint64_t(Iter) << 20) ^ Tid));
+  // Zipf-flavored mix: a couple of hot workloads, a long cold tail, all at
+  // scales small enough to keep 200-iteration sweeps snappy.
+  const struct {
+    const char *Name;
+    int Scale;
+    unsigned Weight;
+  } Mix[] = {
+      {"md5sum", 48, 8}, {"kmeans", 96, 4},  {"eclat", 32, 2},
+      {"url", 64, 2},    {"em3d", 48, 1},    {"geti", 48, 1},
+      {"hmmer", 32, 1},  {"potrace", 32, 1},
+  };
+  unsigned TotalWeight = 0;
+  for (const auto &M : Mix)
+    TotalWeight += M.Weight;
+
+  SyncClient Client;
+  for (unsigned R = 0; R < 6; ++R) {
+    if (!Client.connected() && !Client.connect(Port)) {
+      std::lock_guard<std::mutex> G(TotM);
+      ++Tot.Disconnects;
+      return;
+    }
+    unsigned Dice = static_cast<unsigned>(Rng() % 100);
+    if (Dice < 64) {
+      // Valid job.
+      unsigned Pick = static_cast<unsigned>(Rng() % TotalWeight);
+      unsigned Idx = 0;
+      for (; Idx + 1 < std::size(Mix) && Pick >= Mix[Idx].Weight; ++Idx)
+        Pick -= Mix[Idx].Weight;
+      RunRequest Req;
+      Req.WorkloadName = Mix[Idx].Name;
+      Req.Scale = Mix[Idx].Scale;
+      Req.Threads = 4;
+      Req.DeadlineMs = 5000;
+      RespStatus S;
+      std::string Body, Err;
+      if (!Client.request(MsgType::Run, formatRunRequest(Req), S, Body,
+                          &Err, /*TimeoutMs=*/60000)) {
+        // Transport failure: legitimate under disconnect/slow presets as
+        // long as the server itself stays up (verified by reconnecting).
+        Client.close();
+        std::lock_guard<std::mutex> G(TotM);
+        ++Tot.Disconnects;
+        continue;
+      }
+      std::lock_guard<std::mutex> G(TotM);
+      ++Tot.Requests;
+      switch (S) {
+      case RespStatus::Ok:
+      case RespStatus::Degraded: {
+        S == RespStatus::Ok ? ++Tot.Ok : ++Tot.Degraded;
+        uint64_t Want = 0;
+        std::string RefErr;
+        {
+          std::lock_guard<std::mutex> RG(RefsM);
+          if (!Refs.lookup(Req.WorkloadName, Req.Scale, Want, &RefErr)) {
+            ++Tot.Divergences;
+            Tot.mergeFailure("reference unavailable: " + RefErr);
+            break;
+          }
+        }
+        std::string Got;
+        for (auto &[K, V] : parseKvBody(Body))
+          if (K == "checksum")
+            Got = V;
+        char Buf[19];
+        std::snprintf(Buf, sizeof(Buf), "%016llx",
+                      static_cast<unsigned long long>(Want));
+        if (Got != Buf) {
+          ++Tot.Divergences;
+          Tot.mergeFailure("checksum divergence on " + Req.WorkloadName +
+                           ": got " + Got + " want " + Buf);
+        }
+        break;
+      }
+      case RespStatus::DeadlineExceeded:
+        ++Tot.Deadline;
+        break;
+      case RespStatus::RejectedOverload:
+        ++Tot.Shed;
+        break;
+      case RespStatus::CompileError:
+        ++Tot.CompileErrors;
+        break;
+      case RespStatus::BadRequest:
+        ++Tot.BadRequests;
+        Tot.mergeFailure("valid job answered BAD_REQUEST");
+        ++Tot.Divergences;
+        break;
+      case RespStatus::InternalError:
+        ++Tot.Internal;
+        Tot.mergeFailure("INTERNAL_ERROR from server");
+        break;
+      }
+    } else if (Dice < 76) {
+      // Malformed frame: the server must reply BAD_REQUEST (or drop the
+      // connection), never die.
+      static const char *Garbage[] = {
+          "XXXX RUN 5\nhello",       "CSD1 run 5\nhello",
+          "CSD1 RUN notanumber\nxx", "CSD1 RUN 99999999999\n",
+          "CSD1  \n",                "\n\n\n",
+      };
+      Client.sendRaw(Garbage[Rng() % std::size(Garbage)]);
+      RespStatus S;
+      std::string Body;
+      if (Client.recvResponse(S, Body, nullptr, 5000) &&
+          S != RespStatus::BadRequest) {
+        std::lock_guard<std::mutex> G(TotM);
+        Tot.mergeFailure("garbage frame not answered with BAD_REQUEST");
+        ++Tot.Divergences;
+      }
+      Client.close(); // Stream state is undefined now either way.
+    } else if (Dice < 88) {
+      // Truncated request: promise bytes, hang up instead.
+      Client.sendRaw("CSD1 RUN 500\nworkload:md5sum\n");
+      Client.close();
+    } else {
+      // Control traffic.
+      RespStatus S;
+      std::string Body, Err;
+      MsgType T = (Rng() & 1) ? MsgType::Ping : MsgType::Stats;
+      if (Client.request(T, "", S, Body, &Err, 10000)) {
+        if (S != RespStatus::Ok) {
+          std::lock_guard<std::mutex> G(TotM);
+          Tot.mergeFailure("control frame not answered OK");
+          ++Tot.Divergences;
+        }
+      } else {
+        Client.close();
+        std::lock_guard<std::mutex> G(TotM);
+        ++Tot.Disconnects;
+      }
+    }
+  }
+}
+
+int runFaultSweep(uint64_t Seed, unsigned Iters) {
+  ReferenceBank Refs;
+  std::mutex RefsM;
+  SweepTotals Tot;
+  std::mutex TotM;
+  // Warm the references up front so sweep latency is all serving-path.
+  {
+    std::string Err;
+    uint64_t Dummy;
+    for (const char *Wl : {"md5sum", "kmeans", "eclat", "url", "em3d",
+                           "geti", "hmmer", "potrace"}) {
+      int Scale = std::map<std::string, int>{
+          {"md5sum", 48}, {"kmeans", 96}, {"eclat", 32}, {"url", 64},
+          {"em3d", 48},   {"geti", 48},   {"hmmer", 32}, {"potrace", 32},
+      }[Wl];
+      if (!Refs.lookup(Wl, Scale, Dummy, &Err)) {
+        std::fprintf(stderr, "commsetd --faults: %s\n", Err.c_str());
+        return 1;
+      }
+    }
+  }
+
+  for (unsigned I = 0; I < Iters; ++I) {
+    FaultPolicy Policy = FaultPolicy::servePreset(I, Seed);
+    FaultInjector Faults(Policy);
+    ServerConfig Config;
+    Config.CacheCapacity = 4; // Small on purpose: exercise eviction.
+    Config.Admission.MaxQueueDepth = 16;
+    Config.DefaultDeadlineMs = 5000;
+    Config.MaxDeadlineMs = 10000;
+    Config.RecvTimeoutMs = 1000;
+    Config.BreakerFailThreshold = 2; // Trip readily under fault storms.
+    Config.Faults = &Faults;
+    Server S(Config);
+    std::string Err;
+    if (!S.start(&Err)) {
+      std::fprintf(stderr, "iter %u: server start failed: %s\n", I,
+                   Err.c_str());
+      return 1;
+    }
+    std::vector<std::thread> Clients;
+    for (unsigned T = 0; T < 4; ++T)
+      Clients.emplace_back(sweepClient, S.port(), Seed, I, T,
+                           std::ref(Refs), std::ref(RefsM), std::ref(Tot),
+                           std::ref(TotM));
+    for (auto &C : Clients)
+      C.join();
+    S.stop();
+    if ((I + 1) % 25 == 0 || I + 1 == Iters)
+      std::fprintf(stderr,
+                   "[%u/%u] policy=%s jobs=%llu ok=%llu degraded=%llu "
+                   "deadline=%llu shed=%llu compile_err=%llu "
+                   "disconnects=%llu divergences=%llu\n",
+                   I + 1, Iters, Policy.Name.c_str(),
+                   (unsigned long long)Tot.Requests,
+                   (unsigned long long)Tot.Ok,
+                   (unsigned long long)Tot.Degraded,
+                   (unsigned long long)Tot.Deadline,
+                   (unsigned long long)Tot.Shed,
+                   (unsigned long long)Tot.CompileErrors,
+                   (unsigned long long)Tot.Disconnects,
+                   (unsigned long long)Tot.Divergences);
+  }
+
+  if (Tot.Divergences || Tot.Internal || !Tot.FirstFailure.empty()) {
+    std::fprintf(stderr, "commsetd --faults: FAILED: %s\n",
+                 Tot.FirstFailure.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "commsetd --faults: PASS (%llu completed jobs, zero "
+               "divergences, zero internal errors)\n",
+               (unsigned long long)(Tot.Ok + Tot.Degraded));
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --fuzz
+//===----------------------------------------------------------------------===//
+
+int runFuzz(uint64_t Seed, unsigned Iters) {
+  std::mt19937_64 Rng(faultMix(Seed ? Seed : 1));
+  auto randomBytes = [&](size_t Len) {
+    std::string S(Len, '\0');
+    for (char &C : S)
+      C = static_cast<char>(Rng() & 0xff);
+    return S;
+  };
+  const char *Kinds[] = {"RUN", "STATS", "PING", "NOPE", "R_UN"};
+  const char *Keys[] = {"workload", "variant", "entry",    "scheme",
+                        "sync",     "sched",   "threads",  "scale",
+                        "deadline_ms", "source", "bogus",  ""};
+  const char *Vals[] = {"md5sum", "best", "doall", "mutex", "priv",
+                        "static", "4",    "0",     "999999999",
+                        "-3",     "x y z", ""};
+
+  uint64_t Frames = 0, Errors = 0, Parsed = 0;
+  for (unsigned I = 0; I < Iters; ++I) {
+    std::string Wire;
+    switch (Rng() % 4) {
+    case 0: // Pure noise.
+      Wire = randomBytes(Rng() % 200);
+      break;
+    case 1: { // Valid frame, one byte mutated.
+      std::string Body;
+      unsigned Lines = Rng() % 6;
+      for (unsigned L = 0; L < Lines; ++L)
+        Body += std::string(Keys[Rng() % std::size(Keys)]) + ":" +
+                Vals[Rng() % std::size(Vals)] + "\n";
+      Wire = formatFrame(Kinds[Rng() % std::size(Kinds)], Body);
+      if (!Wire.empty())
+        Wire[Rng() % Wire.size()] = static_cast<char>(Rng() & 0xff);
+      break;
+    }
+    case 2: { // Structurally valid RUN with a random kv body.
+      std::string Body;
+      unsigned Lines = 1 + Rng() % 8;
+      for (unsigned L = 0; L < Lines; ++L)
+        Body += std::string(Keys[Rng() % std::size(Keys)]) + ":" +
+                Vals[Rng() % std::size(Vals)] + "\n";
+      Wire = formatFrame("RUN", Body);
+      break;
+    }
+    case 3: // Oversize / lying length claims.
+      Wire = "CSD1 RUN " + std::to_string(1 + (Rng() % 4) * MaxBodyBytes) +
+             "\n" + randomBytes(Rng() % 64);
+      break;
+    }
+
+    FrameReader Reader;
+    size_t Off = 0;
+    bool Poisoned = false;
+    while (true) {
+      serve::Frame F;
+      std::string Err;
+      FrameReader::Status St = Reader.next(F, &Err);
+      if (St == FrameReader::Status::Error) {
+        ++Errors;
+        if (Poisoned) {
+          // Fine: poison is sticky. One extra probe then stop.
+          break;
+        }
+        Poisoned = true;
+        continue; // Re-poll once to assert stickiness.
+      }
+      if (Poisoned) {
+        std::fprintf(stderr, "fuzz: reader un-poisoned itself (iter %u)\n",
+                     I);
+        return 1;
+      }
+      if (St == FrameReader::Status::Ready) {
+        ++Frames;
+        if (F.Body.size() > MaxBodyBytes) {
+          std::fprintf(stderr, "fuzz: oversize body accepted (iter %u)\n",
+                       I);
+          return 1;
+        }
+        RunRequest Req;
+        std::string PErr;
+        if (parseRunRequest(F.Body, Req, &PErr))
+          ++Parsed;
+        continue;
+      }
+      // NeedMore: feed the next chunk, or stop when input is exhausted.
+      if (Off >= Wire.size())
+        break;
+      size_t Chunk = 1 + Rng() % 37;
+      if (Chunk > Wire.size() - Off)
+        Chunk = Wire.size() - Off;
+      Reader.feed(Wire.data() + Off, Chunk);
+      Off += Chunk;
+    }
+    if (Reader.buffered() > MaxBodyBytes + MaxHeaderBytes + 1) {
+      std::fprintf(stderr, "fuzz: unbounded buffering (iter %u)\n", I);
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "commsetd --fuzz: PASS (%u iters, %llu frames, %llu "
+               "errors, %llu parsed)\n",
+               Iters, (unsigned long long)Frames,
+               (unsigned long long)Errors, (unsigned long long)Parsed);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// serve mode
+//===----------------------------------------------------------------------===//
+
+int runServe(const ServerConfig &Config, FaultInjector *Faults) {
+  ServerConfig C = Config;
+  C.Faults = Faults;
+  Server S(C);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "commsetd: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("commsetd listening on 127.0.0.1:%u\n", S.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!GotSignal)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::fprintf(stderr, "commsetd: shutting down\n%s",
+               S.statsText().c_str());
+  S.stop();
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ModeFaults = false, ModeFuzz = false;
+  uint64_t Seed = 1;
+  unsigned Iters = 0;
+  ServerConfig Config;
+  int FaultPreset = -1;
+  uint64_t FaultSeed = 1;
+
+  auto numOf = [](const std::string &Arg, const char *Flag) {
+    return std::strtoull(Arg.c_str() + std::strlen(Flag), nullptr, 10);
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto has = [&](const char *Flag) { return Arg.rfind(Flag, 0) == 0; };
+    if (Arg == "--faults")
+      ModeFaults = true;
+    else if (Arg == "--fuzz")
+      ModeFuzz = true;
+    else if (has("--iters="))
+      Iters = static_cast<unsigned>(numOf(Arg, "--iters="));
+    else if (has("--seed="))
+      Seed = numOf(Arg, "--seed=");
+    else if (has("--port="))
+      Config.Port = static_cast<uint16_t>(numOf(Arg, "--port="));
+    else if (has("--max-conns="))
+      Config.MaxConnections =
+          static_cast<unsigned>(numOf(Arg, "--max-conns="));
+    else if (has("--cache-cap="))
+      Config.CacheCapacity = numOf(Arg, "--cache-cap=");
+    else if (has("--rate="))
+      Config.Admission.RatePerSec = std::atof(Arg.c_str() + 7);
+    else if (has("--burst="))
+      Config.Admission.Burst = static_cast<double>(numOf(Arg, "--burst="));
+    else if (has("--max-queue="))
+      Config.Admission.MaxQueueDepth = numOf(Arg, "--max-queue=");
+    else if (has("--default-deadline-ms="))
+      Config.DefaultDeadlineMs = numOf(Arg, "--default-deadline-ms=");
+    else if (has("--max-deadline-ms="))
+      Config.MaxDeadlineMs = numOf(Arg, "--max-deadline-ms=");
+    else if (has("--recv-timeout-ms="))
+      Config.RecvTimeoutMs = numOf(Arg, "--recv-timeout-ms=");
+    else if (has("--faults-preset="))
+      FaultPreset = static_cast<int>(numOf(Arg, "--faults-preset="));
+    else if (has("--faults-seed="))
+      FaultSeed = numOf(Arg, "--faults-seed=");
+    else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "commsetd: unknown option %s\n", Arg.c_str());
+      usage();
+      return 64;
+    }
+  }
+
+  if (ModeFaults && ModeFuzz) {
+    std::fprintf(stderr, "commsetd: --faults and --fuzz are exclusive\n");
+    return 64;
+  }
+  if (ModeFaults)
+    return runFaultSweep(Seed, Iters ? Iters : 40);
+  if (ModeFuzz)
+    return runFuzz(Seed, Iters ? Iters : 5000);
+
+  std::unique_ptr<FaultInjector> Faults;
+  if (FaultPreset >= 0)
+    Faults = std::make_unique<FaultInjector>(
+        FaultPolicy::servePreset(static_cast<unsigned>(FaultPreset),
+                                 FaultSeed));
+  return runServe(Config, Faults.get());
+}

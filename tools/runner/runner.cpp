@@ -41,6 +41,8 @@ int usage(const char *Argv0) {
       "  --threads=N       worker threads (default 4)\n"
       "  --scale=N         iteration count (default: workload default)\n"
       "  --variant=V       source variant: '', noself, plain\n"
+      "  --deadline-ms=N   wall-clock budget; the run is cancelled at the\n"
+      "                    first region checkpoint past it (exit code 75)\n"
       "  --simulate        run under the multicore simulator (default: real\n"
       "                    threads)\n"
       "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
@@ -48,7 +50,7 @@ int usage(const char *Argv0) {
       "  --validate-trace  validate the exported trace; fail if malformed\n"
       "\n"
       "exit codes: 0 ok, 10 degraded-to-sequential, 70 internal error,\n"
-      "            64 usage, 65 invalid trace\n",
+      "            75 deadline-exceeded, 64 usage, 65 invalid trace\n",
       Argv0, Argv0);
   return 64;
 }
@@ -80,6 +82,7 @@ int main(int argc, char **argv) {
   std::string TraceOut;
   unsigned Threads = 4;
   int Scale = 0;
+  uint64_t DeadlineMs = 0;
   bool Simulate = false;
   bool Profile = false;
   bool ValidateTrace = false;
@@ -103,6 +106,9 @@ int main(int argc, char **argv) {
       Threads = static_cast<unsigned>(std::atoi(valueOf("--threads=").c_str()));
     } else if (Arg.rfind("--scale=", 0) == 0) {
       Scale = std::atoi(valueOf("--scale=").c_str());
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      DeadlineMs = static_cast<uint64_t>(
+          std::atoll(valueOf("--deadline-ms=").c_str()));
     } else if (Arg.rfind("--variant=", 0) == 0) {
       Variant = valueOf("--variant=");
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
@@ -208,6 +214,7 @@ int main(int argc, char **argv) {
   Config.Plan = Chosen->Kind == Strategy::Sequential ? nullptr
                                                      : &*Chosen->Plan;
   Config.Simulate = Simulate;
+  Config.DeadlineMs = DeadlineMs;
   Config.ResetState = [&W] { W->reset(); };
   Config.TraceOutPath = TraceOut;
   Config.TraceProfileStderr = Profile;
