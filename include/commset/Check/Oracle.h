@@ -23,6 +23,7 @@
 #define COMMSET_CHECK_ORACLE_H
 
 #include "commset/Check/ProgramGen.h"
+#include "commset/Exec/ExecPlatform.h"
 #include "commset/Runtime/Sched.h"
 #include "commset/Transform/ParallelPlan.h"
 
@@ -83,6 +84,13 @@ struct OracleOptions {
   /// program fails the trial (lint false positive); a divergence on a plan
   /// lint called race-free fails with an unsound-verdict report.
   bool Lint = false;
+  /// Execution backend for the free-running and fault sweeps (commcheck
+  /// --backend). Jit additionally runs a native-sequential differential
+  /// against the interpreted reference, so the code generator itself is
+  /// under test, not just the parallel schedules. Schedule exploration
+  /// always interprets (the controlled scheduler needs per-instruction
+  /// yield points that native code does not have).
+  ExecBackendKind Backend = ExecBackendKind::Interp;
 };
 
 struct TrialResult {

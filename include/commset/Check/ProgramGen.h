@@ -97,6 +97,15 @@ struct GenOptions {
   /// privatization) is suppressed. Used by `commcheck --reduction-heavy`
   /// so a priv sweep actually exercises replica merges.
   bool ReductionHeavy = false;
+  /// Bias arithmetic toward overflow/edge operands: every program gets 1-3
+  /// statements computing with INT64_MIN / INT64_MAX / -1 / 0 (INT64_MIN
+  /// division and remainder, wrapping add/sub/mul, 0 - INT64_MIN), whose
+  /// tamed remainders then feed the effect operand pool. On by default so
+  /// every soak exercises the defined-overflow semantics (DESIGN.md §8) on
+  /// both backends; `commcheck --no-edge-ops` turns it off. The edge draws
+  /// happen last and unconditionally, so the same seed generates the same
+  /// program minus the edge statements when disabled.
+  bool EdgeOps = true;
 };
 
 /// Generates the program for \p Seed. Pure function of its arguments.

@@ -81,6 +81,12 @@ struct RunConfig {
   /// sequential fallback re-execution.
   std::function<void()> ResetState;
 
+  /// Native-code backend for this run (DESIGN.md §8); non-owning, null =
+  /// interpret. Only valid on real threads: runScheme reports
+  /// InternalError for Backend + Simulate, because native code has no
+  /// virtual-time charge points.
+  const ExecBackend *Backend = nullptr;
+
   /// CommTrace: arm the tracer for this run (implied by TraceOutPath /
   /// TraceProfileStderr). No-op when tracing is compiled out.
   bool Trace = false;

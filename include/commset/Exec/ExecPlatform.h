@@ -35,6 +35,51 @@
 
 namespace commset {
 
+class Function;
+class Interpreter;
+struct Frame;
+
+/// Which execution backend runs function bodies. The interpreter is always
+/// present; Jit layers native code generation on top of it (unsupported
+/// constructs fall back per function).
+enum class ExecBackendKind { Interp, Jit };
+
+const char *execBackendName(ExecBackendKind K);
+bool execBackendFromString(const char *S, ExecBackendKind &Out);
+
+/// Call context a backend-native entry point receives. Plain pointers only
+/// (the JIT bakes the field offsets into generated code); Exc points to a
+/// std::exception_ptr owned by the caller, filled by the escape helpers
+/// when an interpreted instruction throws so the exception can be rethrown
+/// once native code has unwound its own frame.
+struct ExecBackendCtx {
+  Interpreter *Interp;
+  Frame *Fr;
+  RtValue *Regs;   // == Fr->Regs.data(), indexed by instruction id
+  RtValue *Locals; // == Fr->Locals.data(), indexed by slot id
+  void *Exc;       // std::exception_ptr *
+};
+
+/// Backend boundary: the interpreter, the JIT and the simulator are peers
+/// behind this interface. A backend maps functions to native entry points;
+/// entryFor returning null means "interpret this one" (the universal
+/// fallback). Implementations are immutable after construction so one
+/// instance can be shared by every worker of a region without locking.
+class ExecBackend {
+public:
+  using NativeEntry = uint64_t (*)(ExecBackendCtx *);
+
+  virtual ~ExecBackend() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Native entry for \p F, or null to run it through the interpreter.
+  virtual NativeEntry entryFor(const Function *F) const = 0;
+
+  /// Bytes of executable code owned by this backend (0 for pure fallback).
+  virtual size_t codeBytes() const { return 0; }
+};
+
 class ExecPlatform {
 public:
   virtual ~ExecPlatform() = default;

@@ -62,9 +62,10 @@ class Interpreter {
 public:
   Interpreter(const Module &M, const NativeRegistry &Natives,
               RtValue *Globals, SyncContext Sync = {},
-              ExecPlatform *Platform = nullptr, unsigned ThreadId = 0)
+              ExecPlatform *Platform = nullptr, unsigned ThreadId = 0,
+              const ExecBackend *Backend = nullptr)
       : M(M), Natives(Natives), Globals(Globals), Sync(Sync),
-        Platform(Platform), ThreadId(ThreadId) {}
+        Platform(Platform), ThreadId(ThreadId), Backend(Backend) {}
 
   /// Calls \p F with \p Args; runs to completion.
   RtValue call(const Function *F, const std::vector<RtValue> &Args);
@@ -87,8 +88,14 @@ public:
   unsigned threadId() const { return ThreadId; }
   ExecPlatform *platform() const { return Platform; }
   const NativeRegistry &natives() const { return Natives; }
+  const ExecBackend *backend() const { return Backend; }
 
 private:
+  /// Runs \p F's body: dispatches to the attached backend's native entry
+  /// when one exists and no transaction is active (native code has no STM
+  /// redirection or abort checks), otherwise interprets.
+  RtValue runBody(const Function *F, Frame &Fr);
+  RtValue runNative(ExecBackend::NativeEntry Entry, Frame &Fr);
   RtValue execBody(const Function *F, Frame &Fr);
   RtValue execCall(Frame &Fr, const Instruction *Instr);
   RtValue execCallNative(Frame &Fr, const Instruction *Instr);
@@ -110,6 +117,7 @@ private:
   SyncContext Sync;
   ExecPlatform *Platform;
   unsigned ThreadId;
+  const ExecBackend *Backend;
 
   /// Active transaction (TM mode member execution); global accesses are
   /// redirected through it.

@@ -1,0 +1,89 @@
+//===- JitBackend.h - Baseline x86-64 template JIT ---------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline template JIT for the typed register IR (DESIGN.md §8). Every
+/// function of a module is compiled eagerly to x86-64 at backend creation:
+/// one stencil per opcode, operands and frame offsets patched in, register
+/// file and locals addressed directly off the interpreter Frame
+/// (Regs[id] at byte offset 8*id). Opcodes with runtime-visible side
+/// effects beyond the frame — Call, CallNative, LoadGlobal, StoreGlobal —
+/// escape through a trampoline back into Interpreter::execInstr, which
+/// preserves member synchronization (mutex/spin/tm/lib/priv), platform
+/// hooks, tracing, fault injection and deadline cancellation unchanged.
+///
+/// The backend is immutable after create() and holds a single W^X code
+/// region (mapped RW, filled, then flipped to RX), so one instance is
+/// shared by all workers of a region. Functions the compiler declines
+/// (deny-listed, oversized, malformed) simply have no entry: the
+/// interpreter is the universal fallback, per function, with no mode
+/// switches mid-body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_JITBACKEND_H
+#define COMMSET_EXEC_JITBACKEND_H
+
+#include "commset/Exec/ExecPlatform.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace commset {
+
+class Module;
+
+namespace jit {
+class ExecMem;
+}
+
+struct JitOptions {
+  /// Functions never compiled (forced interpreter fallback); exercised by
+  /// the boundary tests.
+  std::vector<std::string> DenyFunctions;
+  /// Per-function machine-code cap; a body blowing past it falls back.
+  size_t MaxFunctionBytes = 1u << 20;
+};
+
+class JitBackend : public ExecBackend {
+public:
+  /// True when this build can emit native code (x86-64 and COMMSET_JIT not
+  /// compiled out). When false, create() returns null.
+  static bool supported();
+
+  /// Compiles every function of \p M. Returns null when unsupported, when
+  /// the executable mapping is refused, or when no function compiled at
+  /// all (callers then run fully interpreted instead of holding an empty
+  /// backend). \p M must outlive the backend (entries read its instruction
+  /// objects and string table).
+  static std::unique_ptr<JitBackend> create(const Module &M,
+                                            const JitOptions &Opts = {});
+
+  ~JitBackend() override;
+
+  const char *name() const override { return "jit"; }
+  NativeEntry entryFor(const Function *F) const override;
+  size_t codeBytes() const override;
+
+  /// Compilation census for tests and diagnostics.
+  unsigned compiledCount() const { return Compiled; }
+  unsigned fallbackCount() const { return Fallbacks; }
+
+private:
+  JitBackend();
+
+  std::unique_ptr<jit::ExecMem> Mem;
+  /// Immutable after create(); read concurrently by every worker.
+  std::unordered_map<const Function *, NativeEntry> Entries;
+  unsigned Compiled = 0;
+  unsigned Fallbacks = 0;
+};
+
+} // namespace commset
+
+#endif // COMMSET_EXEC_JITBACKEND_H

@@ -53,13 +53,21 @@ struct LoopRunStats {
 /// joining its workers; partial effects on \p Globals and native state are
 /// unspecified, which is why callers wanting the sequential-fallback
 /// guarantee go through runFunctionResilient instead.
+///
+/// \p Backend optionally attaches a native-code backend (DESIGN.md §8):
+/// every worker's interpreter dispatches function bodies through it, so
+/// COMMSET members called from the loop run native inside the worker pool,
+/// and a Sequential plan runs the whole function native. Must be null when
+/// \p Platform is a simulator or controlled-schedule platform — native code
+/// has no charge/preemption points.
 RtValue runFunctionWithPlan(const Module &M, const NativeRegistry &Natives,
                             RtValue *Globals, const ParallelPlan &Plan,
                             const Function *F,
                             const std::vector<RtValue> &Args,
                             ExecPlatform &Platform,
                             LoopRunStats *Stats = nullptr,
-                            const ResilienceConfig *Resilience = nullptr);
+                            const ResilienceConfig *Resilience = nullptr,
+                            const ExecBackend *Backend = nullptr);
 
 /// Initializes a fresh global image from the module's initializers.
 std::vector<RtValue> makeGlobalImage(const Module &M);
@@ -96,7 +104,8 @@ ResilientOutcome runFunctionResilient(
     const PlatformFactory &MakePlatform,
     const ResilienceConfig *Resilience = nullptr,
     const std::function<void()> &ResetState = {},
-    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone = {});
+    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone = {},
+    const ExecBackend *Backend = nullptr);
 
 } // namespace commset
 

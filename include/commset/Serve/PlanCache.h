@@ -24,6 +24,7 @@
 #define COMMSET_SERVE_PLANCACHE_H
 
 #include "commset/Driver/Runner.h"
+#include "commset/Exec/JitBackend.h"
 #include "commset/Serve/Protocol.h"
 
 #include <condition_variable>
@@ -82,6 +83,10 @@ struct CompiledJob {
   std::vector<SchemeReport> Schemes;
   const SchemeReport *Chosen = nullptr;     ///< The requested scheme.
   const SchemeReport *Sequential = nullptr; ///< Always-applicable fallback.
+  /// Native code for the job's module when the request asked for
+  /// backend:jit (null otherwise). Owned here so the code pages live
+  /// exactly as long as the cached plan that runs them.
+  std::unique_ptr<JitBackend> Jit;
   CircuitBreaker Breaker;
 
   CompiledJob(unsigned BreakerFailThreshold, unsigned BreakerProbeAfterSkips)

@@ -26,6 +26,7 @@
 #ifndef COMMSET_SERVE_PROTOCOL_H
 #define COMMSET_SERVE_PROTOCOL_H
 
+#include "commset/Exec/ExecPlatform.h"
 #include "commset/Runtime/Sched.h"
 #include "commset/Transform/Planner.h"
 
@@ -77,10 +78,14 @@ struct RunRequest {
   unsigned Threads = 4;
   int Scale = 0;           ///< 0 = workload default.
   uint64_t DeadlineMs = 0; ///< 0 = server default budget.
+  /// Execution backend ("backend:" key, interp | jit). Jit entries carry
+  /// the compiled code in their CompiledJob, so the backend is part of the
+  /// cache key.
+  ExecBackendKind Backend = ExecBackendKind::Interp;
 
   /// Stable plan-cache key: everything compilation/planning depends on
-  /// (job identity, scheme, sync, sched, threads) and nothing execution-
-  /// only (scale, deadline).
+  /// (job identity, scheme, sync, sched, threads, backend) and nothing
+  /// execution-only (scale, deadline).
   std::string cacheKey() const;
 };
 

@@ -10,6 +10,7 @@
 #include "commset/Check/CheckRuntime.h"
 #include "commset/Check/SchedulePlatform.h"
 #include "commset/Driver/Runner.h"
+#include "commset/Exec/JitBackend.h"
 #include "commset/Exec/ThreadedPlatform.h"
 #include "commset/Trace/Export.h"
 #include "commset/Trace/Metrics.h"
@@ -25,7 +26,8 @@ namespace {
 /// One execution of \p F under \p Plan with fresh harness state and a
 /// fresh global image, snapshotted afterwards.
 Snapshot runOnce(const Module &M, const Function *F, const ParallelPlan &Plan,
-                 int TripCount, ExecPlatform &Platform) {
+                 int TripCount, ExecPlatform &Platform,
+                 const ExecBackend *Backend = nullptr) {
   CheckState State;
   NativeRegistry Natives;
   registerCheckNatives(Natives, State);
@@ -33,7 +35,8 @@ Snapshot runOnce(const Module &M, const Function *F, const ParallelPlan &Plan,
   LoopRunStats Stats;
   RtValue Result =
       runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
-                          {RtValue::ofInt(TripCount)}, Platform, &Stats);
+                          {RtValue::ofInt(TripCount)}, Platform, &Stats,
+                          /*Resilience=*/nullptr, Backend);
   std::vector<int64_t> GlobalInts;
   GlobalInts.reserve(Globals.size());
   for (const RtValue &V : Globals)
@@ -136,6 +139,38 @@ TrialResult check::runTrials(const GeneratedProgram &P,
     Ref = runOnce(M, T->F, SeqPlan, P.TripCount, Platform);
   }
 
+  // Native backend: compile once per trial. The interpreted reference above
+  // stays interpreted regardless, so a jit trial is a true cross-backend
+  // differential — first sequentially (the code generator alone is under
+  // test), then through the parallel sweeps below.
+  std::unique_ptr<JitBackend> Jit;
+  const ExecBackend *Backend = nullptr;
+  if (Opts.Backend == ExecBackendKind::Jit) {
+    if (!JitBackend::supported()) {
+      fail(Res, "backend 'jit' is not supported on this host/build "
+                "(x86-64 + COMMSET_JIT=ON required)");
+      return Res;
+    }
+    Jit = JitBackend::create(M);
+    if (!Jit) {
+      fail(Res, "jit backend failed to compile the generated module");
+      return Res;
+    }
+    Backend = Jit.get();
+    Snapshot Got;
+    {
+      ThreadedPlatform Platform(1);
+      Got = runOnce(M, T->F, SeqPlan, P.TripCount, Platform, Backend);
+    }
+    ++Res.PlansRun;
+    if (auto Diff = compareSnapshots(Ref, Got, P.Output))
+      fail(Res, "native-sequential divergence vs interpreted reference "
+                "(code generator bug)\n  " +
+                    planContext(SeqPlan, 1, SyncMode::Mutex) + *Diff);
+    if (!Res.Ok)
+      return Res;
+  }
+
   // Iteration-scheduling rotation: index I picks the I-th policy from the
   // option list (guided when the list is empty, matching PlanOptions).
   auto schedAt = [&Opts](size_t I) {
@@ -190,7 +225,7 @@ TrialResult check::runTrials(const GeneratedProgram &P,
         Snapshot Got;
         {
           ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
-          Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+          Got = runOnce(M, T->F, *R.Plan, P.TripCount, Platform, Backend);
         }
         if (Stats)
           Res.PlanStats += planStatsLine(*R.Plan, Threads, Sync,
@@ -211,7 +246,7 @@ TrialResult check::runTrials(const GeneratedProgram &P,
             armTrace(R.Plan->NumThreads);
             {
               ThreadedPlatform Platform(std::max(1u, R.Plan->NumThreads));
-              runOnce(M, T->F, *R.Plan, P.TripCount, Platform);
+              runOnce(M, T->F, *R.Plan, P.TripCount, Platform, Backend);
             }
             std::vector<trace::TraceEvent> Events = drainTrace();
             std::string Path =
@@ -298,7 +333,7 @@ TrialResult check::runTrials(const GeneratedProgram &P,
                   return std::unique_ptr<ExecPlatform>(
                       new ThreadedPlatform(std::max(1u, Th), &FI));
                 },
-                &RC, [&State] { State.reset(); });
+                &RC, [&State] { State.reset(); }, /*OnRunDone=*/{}, Backend);
             if (Out.Degraded)
               ++Res.DegradedRuns;
             std::vector<int64_t> GlobalInts;

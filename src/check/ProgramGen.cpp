@@ -40,6 +40,8 @@ struct Gen {
   bool UseDirectAcc = false;
   bool UseSubloop = false;
   bool UseCellGet = false;
+  int NumEdge = 0;
+  std::vector<int> EdgeKinds;
 
   std::vector<std::string> Locals; // int-valued locals usable as operands.
   std::ostringstream Body;
@@ -134,12 +136,22 @@ struct Gen {
     // compiler synchronization (Lib mode) is only legal without them.
     P.LibSafe = NumBump == 0;
 
+    // Edge-operand draws come last and run unconditionally, so every
+    // pre-existing structure choice for a seed is independent of the
+    // EdgeOps flag and --no-edge-ops reproduces the same program minus
+    // the edge statements.
+    NumEdge = 1 + static_cast<int>(Rng.range(3));
+    for (int K = 0; K < NumEdge; ++K)
+      EdgeKinds.push_back(static_cast<int>(Rng.range(6)));
+
     std::ostringstream Shape;
     Shape << "globals=" << NumGlobals << " bump=" << NumBump
           << (UsePred ? " pred" : "") << (UseNosync ? " nosync" : "")
           << (CellAddSelf ? " cell-self" : "") << (UseNamed ? " named" : "")
           << (UseSource ? " source" : "") << (UseDirectAcc ? " acc" : "")
           << (UseSubloop ? " subloop" : "") << (UseCellGet ? " get" : "");
+    if (Opts.EdgeOps)
+      Shape << " edge=" << NumEdge;
     if (UseEmit)
       Shape << " emit="
             << (P.Output == OutputOrder::Exact
@@ -242,6 +254,50 @@ struct Gen {
     }
   }
 
+  /// Overflow/edge-operand statements (the arithmetic semantics pinned in
+  /// DESIGN.md §8): raw INT64_MIN / INT64_MAX / -1 / 0 operands flow
+  /// through Div / Rem / Add / Sub / Mul, then a tamed remainder joins the
+  /// effect operand pool so edge-derived values reach members and the
+  /// output stream without overflowing the harness's own accumulators.
+  /// The divisor expressions sweep {-1, 0, 1} with the induction variable,
+  /// hitting INT64_MIN/-1 and x/0 on every trip through the loop.
+  void emitEdgeOps() {
+    if (!Opts.EdgeOps)
+      return;
+    // The lexer reads literals with strtoll, so INT64_MIN must be spelled
+    // as an expression.
+    const std::string Imin = "(-9223372036854775807 - 1)";
+    const std::string Imax = "9223372036854775807";
+    for (int K = 0; K < NumEdge; ++K) {
+      std::string E = "e" + std::to_string(K);
+      std::string Expr;
+      switch (EdgeKinds[static_cast<size_t>(K)]) {
+      case 0:
+        Expr = Imin + " / (i % 3 - 1)";
+        break;
+      case 1:
+        Expr = Imin + " % (i % 3 - 1)";
+        break;
+      case 2:
+        Expr = Imax + " + i + 1";
+        break;
+      case 3:
+        Expr = Imin + " - i - 1";
+        break;
+      case 4:
+        Expr = "(" + Imax + " / 3 + i) * (i % 5 - 2)";
+        break;
+      default:
+        Expr = "(i - i) - " + Imin;
+        break;
+      }
+      stmt("int " + E + " = " + Expr + ";");
+      std::string T = "t" + std::to_string(Locals.size());
+      stmt("int " + T + " = " + E + " % 97;");
+      Locals.push_back(T);
+    }
+  }
+
   void emitCellOp() {
     std::string Call = "cell_add(" + pickKey() + ", " + pickVal() + ");";
     if (CellAddSelf) {
@@ -279,6 +335,7 @@ struct Gen {
 
   void emitBody() {
     emitValueOps();
+    emitEdgeOps();
 
     for (int B = 0; B < NumBump; ++B) {
       bool Do = Rng.chance(80);

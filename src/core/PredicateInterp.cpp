@@ -8,6 +8,8 @@
 
 #include "commset/Support/Casting.h"
 
+#include <cstdint>
+
 using namespace commset;
 
 namespace {
@@ -225,19 +227,28 @@ SymValue evalValue(const Expr *E, const std::map<std::string, SymValue> &Env,
     SymValue R = evalValue(B->RHS.get(), Env, Facts);
     using K = SymValue::Kind;
     if (L.K == K::ConstInt && R.K == K::ConstInt) {
+      // Fold with wrap semantics (unsigned arithmetic — signed overflow is
+      // UB in the folder itself), mirroring the runtime's defined I64
+      // wrap-around. Division at its two trap points (x/0, INT64_MIN/-1)
+      // stays opaque: conservative, and never contradicts the runtime.
       switch (B->Op) {
       case BinaryOp::Add:
-        return SymValue::constInt(L.Offset + R.Offset);
+        return SymValue::constInt(static_cast<int64_t>(
+            static_cast<uint64_t>(L.Offset) + static_cast<uint64_t>(R.Offset)));
       case BinaryOp::Sub:
-        return SymValue::constInt(L.Offset - R.Offset);
+        return SymValue::constInt(static_cast<int64_t>(
+            static_cast<uint64_t>(L.Offset) - static_cast<uint64_t>(R.Offset)));
       case BinaryOp::Mul:
-        return SymValue::constInt(L.Offset * R.Offset);
+        return SymValue::constInt(static_cast<int64_t>(
+            static_cast<uint64_t>(L.Offset) * static_cast<uint64_t>(R.Offset)));
       case BinaryOp::Div:
-        return R.Offset ? SymValue::constInt(L.Offset / R.Offset)
-                        : SymValue::opaque();
+        return R.Offset && !(L.Offset == INT64_MIN && R.Offset == -1)
+                   ? SymValue::constInt(L.Offset / R.Offset)
+                   : SymValue::opaque();
       case BinaryOp::Rem:
-        return R.Offset ? SymValue::constInt(L.Offset % R.Offset)
-                        : SymValue::opaque();
+        return R.Offset && !(L.Offset == INT64_MIN && R.Offset == -1)
+                   ? SymValue::constInt(L.Offset % R.Offset)
+                   : SymValue::opaque();
       default:
         return SymValue::opaque();
       }

@@ -113,6 +113,17 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
   SeqPlan.Kind = Strategy::Sequential;
   const ParallelPlan &Plan = Config.Plan ? *Config.Plan : SeqPlan;
 
+  // Native code charges no virtual time, so it would corrupt the
+  // simulator's clocks; reject the combination instead of silently
+  // ignoring either flag.
+  if (Config.Backend && Config.Simulate) {
+    RunOutcome Out;
+    Out.Status = RunStatus::InternalError;
+    Out.Diagnostic = "backend '" + std::string(Config.Backend->name()) +
+                     "' requires real threads (--simulate is interpreter-only)";
+    return Out;
+  }
+
   // Deadline budgets layer on whatever resilience config the caller chose:
   // copy it (or the defaults) and stamp the absolute cutoff instant.
   const ResilienceConfig *Resilience = Config.Resilience;
@@ -162,7 +173,8 @@ RunOutcome commset::runScheme(Compilation &C, const Function *F,
             Out.TmAborts = Sim->tmAborts();
             Out.LockContentions = Sim->lockContentions();
           }
-        });
+        },
+        Config.Backend);
     Out.Result = R.Result;
     Out.Iterations = R.Stats.Iterations;
     if (R.Degraded && R.Why == FaultKind::DeadlineExceeded) {

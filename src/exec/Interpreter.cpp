@@ -11,8 +11,27 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <exception>
 
 using namespace commset;
+
+const char *commset::execBackendName(ExecBackendKind K) {
+  return K == ExecBackendKind::Jit ? "jit" : "interp";
+}
+
+bool commset::execBackendFromString(const char *S, ExecBackendKind &Out) {
+  if (std::strcmp(S, "interp") == 0 || std::strcmp(S, "interpreter") == 0) {
+    Out = ExecBackendKind::Interp;
+    return true;
+  }
+  if (std::strcmp(S, "jit") == 0) {
+    Out = ExecBackendKind::Jit;
+    return true;
+  }
+  return false;
+}
 
 namespace {
 
@@ -95,7 +114,31 @@ RtValue Interpreter::evalOperand(const Frame &Fr, const Operand &Op) const {
 RtValue Interpreter::call(const Function *F,
                           const std::vector<RtValue> &Args) {
   Frame Fr = makeFrame(F, Args);
+  return runBody(F, Fr);
+}
+
+RtValue Interpreter::runBody(const Function *F, Frame &Fr) {
+  // Native code has no STM redirection and no abort polling, so a body
+  // reached inside an active transaction always interprets; the backend
+  // returning null for F is the per-function fallback.
+  if (Backend && !CurrentTx)
+    if (ExecBackend::NativeEntry Entry = Backend->entryFor(F))
+      return runNative(Entry, Fr);
   return execBody(F, Fr);
+}
+
+RtValue Interpreter::runNative(ExecBackend::NativeEntry Entry, Frame &Fr) {
+  std::exception_ptr Exc;
+  ExecBackendCtx Ctx{this, &Fr, Fr.Regs.data(), Fr.Locals.data(), &Exc};
+  uint64_t Bits = Entry(&Ctx);
+  // Escape helpers stash exceptions (lock timeouts, cancellation, native
+  // failures) instead of unwinding through frames with no unwind tables;
+  // resurface them here, after native code has returned normally.
+  if (Exc)
+    std::rethrow_exception(Exc);
+  RtValue R;
+  R.Bits = Bits;
+  return R;
 }
 
 RtValue Interpreter::execBody(const Function *F, Frame &Fr) {
@@ -159,28 +202,49 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
         Dest.D = L.D * R.D;
         break;
       case Opcode::Div:
-        Dest.D = R.D != 0.0 ? L.D / R.D : 0.0;
+        // IEEE-754 semantics (DESIGN.md §8): x/0 is ±inf, 0/0 is NaN —
+        // exactly what divsd produces in the JIT backend.
+        Dest.D = L.D / R.D;
         break;
       default:
-        Dest.D = R.D != 0.0 ? std::fmod(L.D, R.D) : 0.0;
+        // IEEE fmod: fmod(x, 0) is NaN, matching the JIT's libm call.
+        Dest.D = std::fmod(L.D, R.D);
         break;
       }
     } else {
+      // I64 arithmetic is defined to wrap (two's complement); compute in
+      // uint64_t because signed overflow is UB in C++. Matches the JIT's
+      // add/sub/imul, which wrap natively.
+      uint64_t UL = static_cast<uint64_t>(L.I);
+      uint64_t UR = static_cast<uint64_t>(R.I);
       switch (Instr->op()) {
       case Opcode::Add:
-        Dest.I = L.I + R.I;
+        Dest.I = static_cast<int64_t>(UL + UR);
         break;
       case Opcode::Sub:
-        Dest.I = L.I - R.I;
+        Dest.I = static_cast<int64_t>(UL - UR);
         break;
       case Opcode::Mul:
-        Dest.I = L.I * R.I;
+        Dest.I = static_cast<int64_t>(UL * UR);
         break;
       case Opcode::Div:
-        Dest.I = R.I != 0 ? L.I / R.I : 0;
+        // Defined at the two idiv trap points: x/0 == 0 and
+        // INT64_MIN / -1 wraps to INT64_MIN. The JIT guards its idiv
+        // stencil identically.
+        if (R.I == 0)
+          Dest.I = 0;
+        else if (L.I == INT64_MIN && R.I == -1)
+          Dest.I = INT64_MIN;
+        else
+          Dest.I = L.I / R.I;
         break;
       default:
-        Dest.I = R.I != 0 ? L.I % R.I : 0;
+        // x%0 == 0 and INT64_MIN % -1 == 0 (consistent with the wrapped
+        // quotient: INT64_MIN - (INT64_MIN * -1) would be 0).
+        if (R.I == 0 || (L.I == INT64_MIN && R.I == -1))
+          Dest.I = 0;
+        else
+          Dest.I = L.I % R.I;
         break;
       }
     }
@@ -264,7 +328,8 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
     if (Instr->type() == IRType::F64)
       Dest.D = -V.D;
     else
-      Dest.I = -V.I;
+      // Wraps: -INT64_MIN stays INT64_MIN (matches the JIT's neg).
+      Dest.I = static_cast<int64_t>(0 - static_cast<uint64_t>(V.I));
     return;
   }
   case Opcode::Not: {
@@ -278,11 +343,20 @@ void Interpreter::execInstr(Frame &Fr, const Instruction *Instr) {
       Platform->charge(ThreadId, opCost(Instr));
     Dest.D = static_cast<double>(evalOperand(Fr, Instr->Operands[0]).I);
     return;
-  case Opcode::FpToInt:
+  case Opcode::FpToInt: {
     if (Platform)
       Platform->charge(ThreadId, opCost(Instr));
-    Dest.I = static_cast<int64_t>(evalOperand(Fr, Instr->Operands[0]).D);
+    // Out-of-range and NaN conversions are UB in C++ but produce the
+    // 0x8000...0 "integer indefinite" under cvttsd2si; define the opcode to
+    // that value so both backends agree. [-2^63, 2^63) is the exactly
+    // representable in-range window.
+    double D = evalOperand(Fr, Instr->Operands[0]).D;
+    if (D >= -9223372036854775808.0 && D < 9223372036854775808.0)
+      Dest.I = static_cast<int64_t>(D);
+    else
+      Dest.I = INT64_MIN;
     return;
+  }
   case Opcode::LoadLocal:
     if (Platform)
       Platform->charge(ThreadId, opCost(Instr));
@@ -357,7 +431,7 @@ RtValue Interpreter::invokeDirect(const Instruction *Instr,
                                   const std::vector<RtValue> &Args) {
   if (Instr->op() == Opcode::Call) {
     Frame Callee = makeFrame(Instr->Callee, Args);
-    return execBody(Instr->Callee, Callee);
+    return runBody(Instr->Callee, Callee);
   }
   const NativeDecl *N = Instr->Native;
   const std::string Resource =

@@ -56,13 +56,18 @@ struct ParallelRegion {
   /// both start from the additive identity.
   std::unique_ptr<PrivatizationManager> Priv;
 
+  /// Native-code backend shared by every worker's interpreter (null =
+  /// interpret everything).
+  const ExecBackend *Backend;
+
   ParallelRegion(const Module &M, const NativeRegistry &Natives,
                  RtValue *Globals, const ParallelPlan &Plan,
-                 ExecPlatform &Platform, const ResilienceConfig *Res)
+                 ExecPlatform &Platform, const ResilienceConfig *Res,
+                 const ExecBackend *Backend = nullptr)
       : M(M), Natives(Natives), Globals(Globals), Plan(Plan),
         Platform(Platform),
         Resilience(Res ? *Res : defaultResilience()),
-        Locks(lockCount(Plan), realLockMode(Plan)) {}
+        Locks(lockCount(Plan), realLockMode(Plan)), Backend(Backend) {}
 
   SyncContext syncFor() {
     SyncContext Sync;
@@ -211,7 +216,8 @@ public:
               unsigned ThreadId)
       : Region(Region), Plan(Region.Plan), L(*Plan.L),
         Interp(Region.M, Region.Natives, Region.Globals,
-               Region.workerSyncFor(), &Region.Platform, ThreadId),
+               Region.workerSyncFor(), &Region.Platform, ThreadId,
+               Region.Backend),
         Fr(EntryFrame), ThreadId(ThreadId) {}
 
   /// Static round-robin assignment: thread t runs iterations t, t+T,
@@ -671,7 +677,8 @@ public:
                  const Frame &EntryFrame, unsigned ThreadId)
       : Region(Region), Plan(Region.Plan), L(*Plan.L), T(T),
         Interp(Region.M, Region.Natives, Region.Globals,
-               Region.workerSyncFor(), &Region.Platform, ThreadId),
+               Region.workerSyncFor(), &Region.Platform, ThreadId,
+               Region.Backend),
         Fr(EntryFrame), ThreadId(ThreadId),
         MyStage(T.ThreadStage[ThreadId]),
         MyReplica(T.ThreadReplica[ThreadId]),
@@ -899,12 +906,24 @@ RtValue commset::runFunctionWithPlan(const Module &M,
                                      const std::vector<RtValue> &Args,
                                      ExecPlatform &Platform,
                                      LoopRunStats *Stats,
-                                     const ResilienceConfig *Resilience) {
-  ParallelRegion Region(M, Natives, Globals, Plan, Platform, Resilience);
+                                     const ResilienceConfig *Resilience,
+                                     const ExecBackend *Backend) {
+  ParallelRegion Region(M, Natives, Globals, Plan, Platform, Resilience,
+                        Backend);
   Interpreter Main(M, Natives, Globals,
                    Plan.Kind == Strategy::Sequential ? SyncContext()
                                                      : Region.syncFor(),
-                   &Platform, /*ThreadId=*/0);
+                   &Platform, /*ThreadId=*/0, Backend);
+
+  // Sequential plan + native entry for the whole function: run it native
+  // end to end instead of stepping the driver loop below (the per-
+  // instruction walk exists to intercept the parallel loop's header, which
+  // a sequential plan never needs).
+  if (Backend && Plan.Kind == Strategy::Sequential && Backend->entryFor(F)) {
+    RtValue R = Main.call(F, Args);
+    Platform.threadDone(0);
+    return R;
+  }
 
   Frame Fr = Main.makeFrame(F, Args);
   const BasicBlock *BB = F->entry();
@@ -955,12 +974,14 @@ ResilientOutcome commset::runFunctionResilient(
     const Function *F, const std::vector<RtValue> &Args,
     const PlatformFactory &MakePlatform, const ResilienceConfig *Resilience,
     const std::function<void()> &ResetState,
-    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone) {
+    const std::function<void(ExecPlatform &, bool Degraded)> &OnRunDone,
+    const ExecBackend *Backend) {
   ResilientOutcome Out;
   try {
     std::unique_ptr<ExecPlatform> Platform = MakePlatform(Plan.NumThreads);
     Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Plan, F,
-                                     Args, *Platform, &Out.Stats, Resilience);
+                                     Args, *Platform, &Out.Stats, Resilience,
+                                     Backend);
     if (OnRunDone)
       OnRunDone(*Platform, /*Degraded=*/false);
     return Out;
@@ -1001,9 +1022,12 @@ ResilientOutcome commset::runFunctionResilient(
   Seq.NumThreads = 1;
   Out.Stats = {};
   std::unique_ptr<ExecPlatform> Platform = MakePlatform(1);
+  // The fallback stays on the backend: native sequential execution is
+  // semantically identical to interpretation (that is the differential
+  // oracle's invariant), just faster.
   Out.Result = runFunctionWithPlan(M, Natives, Globals.data(), Seq, F, Args,
                                    *Platform, &Out.Stats,
-                                   /*Resilience=*/nullptr);
+                                   /*Resilience=*/nullptr, Backend);
   if (OnRunDone)
     OnRunDone(*Platform, /*Degraded=*/true);
   return Out;

@@ -1,0 +1,51 @@
+//===- ExecMem.cpp --------------------------------------------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExecMem.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define COMMSET_JIT_HAVE_MMAP 1
+#else
+#define COMMSET_JIT_HAVE_MMAP 0
+#endif
+
+using namespace commset;
+using namespace commset::jit;
+
+std::unique_ptr<ExecMem> ExecMem::seal(const std::vector<uint8_t> &Code) {
+#if COMMSET_JIT_HAVE_MMAP
+  if (Code.empty())
+    return nullptr;
+  long Page = sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  size_t Len = (Code.size() + static_cast<size_t>(Page) - 1) &
+               ~(static_cast<size_t>(Page) - 1);
+  void *P = mmap(nullptr, Len, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  std::memcpy(P, Code.data(), Code.size());
+  if (mprotect(P, Len, PROT_READ | PROT_EXEC) != 0) {
+    munmap(P, Len);
+    return nullptr;
+  }
+  return std::unique_ptr<ExecMem>(new ExecMem(P, Len));
+#else
+  (void)Code;
+  return nullptr;
+#endif
+}
+
+ExecMem::~ExecMem() {
+#if COMMSET_JIT_HAVE_MMAP
+  munmap(Base, Size);
+#endif
+}

@@ -1,0 +1,50 @@
+//===- ExecMem.h - W^X executable code region --------------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One mmap'd code region per JitBackend. The lifecycle never holds a
+/// writable+executable mapping: the region is mapped RW, the finished code
+/// buffer is copied in, and the whole region is flipped to RX before any
+/// entry pointer escapes. Destruction munmaps, so backends can be created
+/// and destroyed in a loop without leaking mappings (the page-lifecycle
+/// test pins this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_JIT_EXECMEM_H
+#define COMMSET_EXEC_JIT_EXECMEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace commset {
+namespace jit {
+
+class ExecMem {
+public:
+  /// Maps a fresh region, copies \p Code into it and seals it RX.
+  /// Returns null on mmap/mprotect failure or empty input.
+  static std::unique_ptr<ExecMem> seal(const std::vector<uint8_t> &Code);
+
+  ~ExecMem();
+  ExecMem(const ExecMem &) = delete;
+  ExecMem &operator=(const ExecMem &) = delete;
+
+  const uint8_t *base() const { return static_cast<const uint8_t *>(Base); }
+  size_t size() const { return Size; }
+
+private:
+  ExecMem(void *Base, size_t Size) : Base(Base), Size(Size) {}
+  void *Base;
+  size_t Size; // Page-rounded mapping length.
+};
+
+} // namespace jit
+} // namespace commset
+
+#endif // COMMSET_EXEC_JIT_EXECMEM_H

@@ -1,0 +1,537 @@
+//===- JitBackend.cpp - Baseline x86-64 template JIT ----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Code generation model (DESIGN.md §8):
+//
+//   * Registers: r12 = &Frame.Regs[0], r13 = &Frame.Locals[0],
+//     r14 = ExecBackendCtx*. rax/rcx/rdx and xmm0/xmm1 are stencil
+//     scratch. Every instruction result is stored to Regs[id] (byte offset
+//     8*id) — a memory-to-memory baseline, no register allocation.
+//   * Escape opcodes (Call, CallNative, LoadGlobal, StoreGlobal) trampoline
+//     into Interpreter::execInstr, which keeps member synchronization,
+//     privatization replicas, STM, platform hooks, tracing and fault
+//     injection byte-identical to interpreted execution. The helper
+//     catches C++ exceptions (native frames carry no unwind tables),
+//     parks them in the context and returns a flag; the stencil tests the
+//     flag and jumps to the epilogue.
+//   * I64 division is guarded at both idiv trap points: divisor 0 -> 0,
+//     INT64_MIN / -1 -> INT64_MIN (rem 0), matching the interpreter's
+//     defined wrap semantics. F64 follows IEEE-754 (divsd / libm fmod).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Exec/JitBackend.h"
+
+#include "commset/Exec/Interpreter.h"
+#include "commset/IR/IR.h"
+
+#include "ExecMem.h"
+
+#ifndef COMMSET_JIT
+#if defined(__x86_64__) || defined(_M_X64)
+#define COMMSET_JIT 1
+#else
+#define COMMSET_JIT 0
+#endif
+#endif
+
+#if COMMSET_JIT
+#include "X64Emitter.h"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+
+using namespace commset;
+
+static_assert(sizeof(RtValue) == 8,
+              "JIT addresses Frame.Regs as an array of 8-byte cells");
+static_assert(offsetof(ExecBackendCtx, Regs) == 16 &&
+                  offsetof(ExecBackendCtx, Locals) == 24,
+              "prologue bakes in ExecBackendCtx field offsets");
+
+#if COMMSET_JIT
+
+namespace {
+
+/// Trampoline for escape opcodes. Returns nonzero when the interpreted
+/// instruction threw; the exception is parked in Ctx->Exc and rethrown by
+/// Interpreter::runNative after native code unwinds its own frame.
+extern "C" uint64_t commsetJitExecInstr(ExecBackendCtx *Ctx,
+                                        const Instruction *Instr) {
+  try {
+    Ctx->Interp->execInstr(*Ctx->Fr, Instr);
+    return 0;
+  } catch (...) {
+    *static_cast<std::exception_ptr *>(Ctx->Exc) = std::current_exception();
+    return 1;
+  }
+}
+
+/// F64 Rem: IEEE remainder via libm, through a fixed-ABI shim so the
+/// stencil can movabs its address.
+extern "C" double commsetJitFmod(double A, double B) {
+  return std::fmod(A, B);
+}
+
+} // namespace
+
+using namespace commset::jit;
+
+namespace {
+
+/// Compiles one function into \p Code. Returns false (and the caller
+/// truncates) when the body uses something the baseline declines.
+class FnCompiler {
+public:
+  FnCompiler(const Function &F, const Module &M, std::vector<uint8_t> &Code,
+             const JitOptions &Opts)
+      : F(F), M(M), Start(Code.size()), E(Code), Opts(Opts) {}
+
+  bool run() {
+    for (const auto &BB : F.Blocks)
+      Labels[BB.get()];
+    prologue();
+    // entry() is Blocks.front(), so control falls from the prologue into
+    // the entry block.
+    for (const auto &BB : F.Blocks) {
+      E.bind(Labels[BB.get()]);
+      for (const auto &Instr : BB->Instrs) {
+        emitInstr(Instr.get());
+        if (!OK)
+          return false;
+        if (E.here() - Start > Opts.MaxFunctionBytes)
+          return false;
+      }
+      // An unterminated block would fall through into an unrelated block;
+      // the verifier forbids it, but decline rather than trust.
+      if (!BB->terminator())
+        return false;
+    }
+    epilogue();
+    // All labels must have bound (every Succ points at a block of F).
+    return OK;
+  }
+
+private:
+  void prologue() {
+    E.push(RBP);
+    E.movRR(RBP, RSP);
+    E.push(RBX);
+    E.push(R12);
+    E.push(R13);
+    E.push(R14);
+    // 5 pushes: entry rsp was 8 mod 16, so rsp is now 16-byte aligned for
+    // the helper calls below.
+    E.movRR(R14, RDI);
+    E.load(R12, RDI, 16); // Ctx->Regs
+    E.load(R13, RDI, 24); // Ctx->Locals
+  }
+
+  void epilogue() {
+    E.bind(Epilogue);
+    E.pop(R14);
+    E.pop(R13);
+    E.pop(R12);
+    E.pop(RBX);
+    E.pop(RBP);
+    E.ret();
+  }
+
+  int32_t regOff(const Instruction *Instr) {
+    if (Instr->Id == ~0u || Instr->Id > (1u << 24)) {
+      OK = false;
+      return 0;
+    }
+    return static_cast<int32_t>(8 * Instr->Id);
+  }
+
+  int32_t slotOff(unsigned Slot) {
+    if (Slot > (1u << 24)) {
+      OK = false;
+      return 0;
+    }
+    return static_cast<int32_t>(8 * Slot);
+  }
+
+  /// Loads an operand's 8-byte bit pattern into a GPR (doubles travel as
+  /// bits; movq moves them into xmm where needed).
+  void loadOp(unsigned Dst, const Operand &Op) {
+    switch (Op.K) {
+    case Operand::Kind::Instr:
+      E.load(Dst, R12, regOff(Op.Def));
+      return;
+    case Operand::Kind::ConstInt:
+      E.movImm64(Dst, static_cast<uint64_t>(Op.IntVal));
+      return;
+    case Operand::Kind::ConstFloat: {
+      uint64_t Bits;
+      std::memcpy(&Bits, &Op.FloatVal, sizeof(Bits));
+      E.movImm64(Dst, Bits);
+      return;
+    }
+    case Operand::Kind::ConstStr:
+      // The module outlives the backend; the table entry's buffer is
+      // stable, so bake the pointer (same value evalOperand produces).
+      E.movImm64(Dst, reinterpret_cast<uint64_t>(
+                          M.StringTable[Op.StrId].c_str()));
+      return;
+    case Operand::Kind::ConstNull:
+      E.movImm64(Dst, 0);
+      return;
+    case Operand::Kind::None:
+      break;
+    }
+    OK = false;
+  }
+
+  void storeResult(const Instruction *Instr) {
+    E.store(RAX, R12, regOff(Instr));
+  }
+
+  /// rdi = ctx, rsi = instr, call the trampoline, bail to the epilogue on
+  /// a parked exception.
+  void emitEscape(const Instruction *Instr) {
+    E.movRR(RDI, R14);
+    E.movImm64(RSI, reinterpret_cast<uint64_t>(Instr));
+    E.movImm64(RAX, reinterpret_cast<uint64_t>(&commsetJitExecInstr));
+    E.callR(RAX);
+    E.testRR(RAX, RAX);
+    E.jcc(CcNe, Epilogue);
+  }
+
+  void emitIntDivRem(const Instruction *Instr, bool IsRem) {
+    Emitter::Label Zero, DoDiv, Done;
+    loadOp(RAX, Instr->Operands[0]);
+    loadOp(RCX, Instr->Operands[1]);
+    E.testRR(RCX, RCX);
+    E.jcc(CcE, Zero);
+    E.cmpImm8(RCX, -1);
+    E.jcc(CcNe, DoDiv);
+    E.movImm64(RDX, static_cast<uint64_t>(INT64_MIN));
+    E.cmpRR(RAX, RDX);
+    E.jcc(CcNe, DoDiv);
+    // INT64_MIN / -1: quotient wraps to INT64_MIN (already in rax),
+    // remainder is 0.
+    if (IsRem)
+      E.zeroR(RAX);
+    E.jmp(Done);
+    E.bind(DoDiv);
+    E.cqo();
+    E.idivR(RCX);
+    if (IsRem)
+      E.movRR(RAX, RDX);
+    E.jmp(Done);
+    E.bind(Zero);
+    E.zeroR(RAX);
+    E.bind(Done);
+    storeResult(Instr);
+  }
+
+  void emitBinArith(const Instruction *Instr) {
+    if (Instr->type() == IRType::F64) {
+      loadOp(RAX, Instr->Operands[0]);
+      E.movqXG(XMM0, RAX);
+      loadOp(RCX, Instr->Operands[1]);
+      E.movqXG(XMM1, RCX);
+      switch (Instr->op()) {
+      case Opcode::Add:
+        E.addsd(XMM0, XMM1);
+        break;
+      case Opcode::Sub:
+        E.subsd(XMM0, XMM1);
+        break;
+      case Opcode::Mul:
+        E.mulsd(XMM0, XMM1);
+        break;
+      case Opcode::Div:
+        E.divsd(XMM0, XMM1);
+        break;
+      default: // Rem: args already in xmm0/xmm1, SysV-ready.
+        E.movImm64(RAX, reinterpret_cast<uint64_t>(&commsetJitFmod));
+        E.callR(RAX);
+        break;
+      }
+      E.movqGX(RAX, XMM0);
+      storeResult(Instr);
+      return;
+    }
+    if (Instr->op() == Opcode::Div || Instr->op() == Opcode::Rem) {
+      emitIntDivRem(Instr, Instr->op() == Opcode::Rem);
+      return;
+    }
+    loadOp(RAX, Instr->Operands[0]);
+    loadOp(RCX, Instr->Operands[1]);
+    switch (Instr->op()) {
+    case Opcode::Add:
+      E.addRR(RAX, RCX);
+      break;
+    case Opcode::Sub:
+      E.subRR(RAX, RCX);
+      break;
+    default:
+      E.imulRR(RAX, RCX);
+      break;
+    }
+    storeResult(Instr);
+  }
+
+  void emitCompare(const Instruction *Instr) {
+    // Operand type detection mirrors Interpreter::execInstr exactly.
+    const Operand &Op0 = Instr->Operands[0];
+    bool IsFloat, IsPtr;
+    if (Op0.isInstr()) {
+      IsFloat = Op0.Def->type() == IRType::F64;
+      IsPtr = Op0.Def->type() == IRType::Ptr;
+    } else {
+      IsFloat = Op0.K == Operand::Kind::ConstFloat;
+      IsPtr = Op0.K == Operand::Kind::ConstNull ||
+              Op0.K == Operand::Kind::ConstStr;
+    }
+    loadOp(RAX, Instr->Operands[0]);
+    loadOp(RCX, Instr->Operands[1]);
+    if (IsFloat) {
+      E.movqXG(XMM0, RAX);
+      E.movqXG(XMM1, RCX);
+      // NaN-correct scalar compares: ucomisd sets ZF/PF/CF; unordered sets
+      // all three. Eq must also check !PF, Ne must or in PF, and the
+      // ordered relations use the unsigned-style conditions (CF-based)
+      // with operands swapped for Lt/Le so unordered falls out false.
+      switch (Instr->op()) {
+      case Opcode::Eq:
+        E.ucomisd(XMM0, XMM1);
+        E.setcc(CcE, RAX);
+        E.setcc(CcNp, RCX);
+        E.andB(RAX, RCX);
+        break;
+      case Opcode::Ne:
+        E.ucomisd(XMM0, XMM1);
+        E.setcc(CcNe, RAX);
+        E.setcc(CcP, RCX);
+        E.orB(RAX, RCX);
+        break;
+      case Opcode::Lt:
+        E.ucomisd(XMM1, XMM0);
+        E.setcc(CcA, RAX);
+        break;
+      case Opcode::Le:
+        E.ucomisd(XMM1, XMM0);
+        E.setcc(CcAe, RAX);
+        break;
+      case Opcode::Gt:
+        E.ucomisd(XMM0, XMM1);
+        E.setcc(CcA, RAX);
+        break;
+      default: // Ge
+        E.ucomisd(XMM0, XMM1);
+        E.setcc(CcAe, RAX);
+        break;
+      }
+    } else if (IsPtr) {
+      // Interpreter semantics: pointers only distinguish Eq; every other
+      // comparison opcode behaves as Ne.
+      E.cmpRR(RAX, RCX);
+      E.setcc(Instr->op() == Opcode::Eq ? CcE : CcNe, RAX);
+    } else {
+      E.cmpRR(RAX, RCX);
+      Cc C;
+      switch (Instr->op()) {
+      case Opcode::Eq:
+        C = CcE;
+        break;
+      case Opcode::Ne:
+        C = CcNe;
+        break;
+      case Opcode::Lt:
+        C = CcL;
+        break;
+      case Opcode::Le:
+        C = CcLe;
+        break;
+      case Opcode::Gt:
+        C = CcG;
+        break;
+      default:
+        C = CcGe;
+        break;
+      }
+      E.setcc(C, RAX);
+    }
+    E.movzxB(RAX, RAX);
+    storeResult(Instr);
+  }
+
+  void emitInstr(const Instruction *Instr) {
+    switch (Instr->op()) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+      emitBinArith(Instr);
+      return;
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge:
+      emitCompare(Instr);
+      return;
+    case Opcode::Neg:
+      loadOp(RAX, Instr->Operands[0]);
+      if (Instr->type() == IRType::F64) {
+        E.movImm64(RCX, 0x8000000000000000ULL); // flip the sign bit
+        E.xorRR(RAX, RCX);
+      } else {
+        E.negR(RAX); // wraps: -INT64_MIN == INT64_MIN
+      }
+      storeResult(Instr);
+      return;
+    case Opcode::Not:
+      loadOp(RAX, Instr->Operands[0]);
+      E.testRR(RAX, RAX);
+      E.setcc(CcE, RAX);
+      E.movzxB(RAX, RAX);
+      storeResult(Instr);
+      return;
+    case Opcode::IntToFp:
+      loadOp(RAX, Instr->Operands[0]);
+      E.cvtsi2sd(XMM0, RAX);
+      E.movqGX(RAX, XMM0);
+      storeResult(Instr);
+      return;
+    case Opcode::FpToInt:
+      // cvttsd2si's out-of-range/NaN result (0x8000...0) is the opcode's
+      // defined value; the interpreter range-checks to the same answer.
+      loadOp(RAX, Instr->Operands[0]);
+      E.movqXG(XMM0, RAX);
+      E.cvttsd2si(RAX, XMM0);
+      storeResult(Instr);
+      return;
+    case Opcode::LoadLocal:
+      E.load(RAX, R13, slotOff(Instr->SlotId));
+      storeResult(Instr);
+      return;
+    case Opcode::StoreLocal:
+      loadOp(RAX, Instr->Operands[0]);
+      E.store(RAX, R13, slotOff(Instr->SlotId));
+      return;
+    case Opcode::LoadGlobal:
+    case Opcode::StoreGlobal:
+    case Opcode::Call:
+    case Opcode::CallNative:
+      // Full-effects path (sync, priv replicas, STM, hooks, tracing,
+      // faults): trampoline into the interpreter.
+      emitEscape(Instr);
+      return;
+    case Opcode::Br:
+      E.jmp(labelOf(Instr->Succ0));
+      return;
+    case Opcode::CondBr:
+      loadOp(RAX, Instr->Operands[0]);
+      E.testRR(RAX, RAX);
+      E.jcc(CcNe, labelOf(Instr->Succ0));
+      E.jmp(labelOf(Instr->Succ1));
+      return;
+    case Opcode::Ret:
+      if (!Instr->Operands.empty())
+        loadOp(RAX, Instr->Operands[0]);
+      else
+        E.zeroR(RAX);
+      E.jmp(Epilogue);
+      return;
+    }
+    OK = false;
+  }
+
+  Emitter::Label &labelOf(const BasicBlock *BB) {
+    auto It = Labels.find(BB);
+    if (It == Labels.end()) {
+      OK = false;
+      return Epilogue;
+    }
+    return It->second;
+  }
+
+  const Function &F;
+  const Module &M;
+  size_t Start;
+  Emitter E;
+  const JitOptions &Opts;
+  std::unordered_map<const BasicBlock *, Emitter::Label> Labels;
+  Emitter::Label Epilogue;
+  bool OK = true;
+};
+
+} // namespace
+
+#endif // COMMSET_JIT
+
+JitBackend::JitBackend() = default;
+JitBackend::~JitBackend() = default;
+
+bool JitBackend::supported() {
+#if COMMSET_JIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+size_t JitBackend::codeBytes() const { return Mem ? Mem->size() : 0; }
+
+ExecBackend::NativeEntry JitBackend::entryFor(const Function *F) const {
+  auto It = Entries.find(F);
+  return It == Entries.end() ? nullptr : It->second;
+}
+
+std::unique_ptr<JitBackend> JitBackend::create(const Module &M,
+                                               const JitOptions &Opts) {
+#if COMMSET_JIT
+  std::unique_ptr<JitBackend> B(new JitBackend());
+  std::vector<uint8_t> Code;
+  std::vector<std::pair<const Function *, size_t>> Offsets;
+  for (const auto &FPtr : M.Functions) {
+    const Function *F = FPtr.get();
+    if (F->Blocks.empty() || F->NumInstrs == 0 ||
+        std::find(Opts.DenyFunctions.begin(), Opts.DenyFunctions.end(),
+                  F->Name) != Opts.DenyFunctions.end()) {
+      ++B->Fallbacks;
+      continue;
+    }
+    // 16-byte entry alignment; int3 padding so a stray fall-through traps.
+    while (Code.size() % 16 != 0)
+      Code.push_back(0xCC);
+    size_t Start = Code.size();
+    FnCompiler C(*F, M, Code, Opts);
+    if (!C.run()) {
+      Code.resize(Start);
+      ++B->Fallbacks;
+      continue;
+    }
+    Offsets.emplace_back(F, Start);
+    ++B->Compiled;
+  }
+  if (Offsets.empty())
+    return nullptr; // nothing compiled; run interpreted, no empty page
+  B->Mem = jit::ExecMem::seal(Code);
+  if (!B->Mem)
+    return nullptr; // mmap/mprotect refused; caller reports, not UB
+  for (const auto &[F, Off] : Offsets)
+    B->Entries[F] = reinterpret_cast<NativeEntry>(
+        const_cast<uint8_t *>(B->Mem->base() + Off));
+  return B;
+#else
+  (void)M;
+  (void)Opts;
+  return nullptr;
+#endif
+}

@@ -1,0 +1,310 @@
+//===- X64Emitter.h - Minimal x86-64 instruction emitter --------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough of an x86-64 encoder for the template JIT: 64-bit ALU ops,
+/// scalar-double SSE2, movabs, setcc, and rel32 branches with back-patched
+/// labels. Memory operands are always [base + disp32] (mod=10), which
+/// sidesteps the RBP/R13 zero-displacement and keeps every stencil one
+/// shape. Emits into a caller-owned byte buffer; the buffer is copied into
+/// an ExecMem region once a module is fully compiled, so everything emitted
+/// here must be position-independent except movabs absolutes (which are).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_EXEC_JIT_X64EMITTER_H
+#define COMMSET_EXEC_JIT_X64EMITTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace commset {
+namespace jit {
+
+enum Gpr : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+};
+
+enum XmmReg : unsigned { XMM0 = 0, XMM1 = 1 };
+
+/// Condition codes (low nibble of the 0F 8x / 0F 9x opcodes).
+enum Cc : uint8_t {
+  CcB = 0x2,  // below (CF)
+  CcAe = 0x3, // above-or-equal (!CF)
+  CcE = 0x4,  // equal (ZF)
+  CcNe = 0x5, // not equal (!ZF)
+  CcA = 0x7,  // above (!CF && !ZF)
+  CcP = 0xA,  // parity (unordered after ucomisd)
+  CcNp = 0xB, // no parity
+  CcL = 0xC,  // less (signed)
+  CcGe = 0xD,
+  CcLe = 0xE,
+  CcG = 0xF,
+};
+
+class Emitter {
+public:
+  explicit Emitter(std::vector<uint8_t> &Buf) : Buf(Buf) {}
+
+  /// Branch target; lives with the caller. Forward references are recorded
+  /// and patched when the label binds.
+  struct Label {
+    ptrdiff_t Pos = -1;
+    std::vector<size_t> Refs; // Offsets of unpatched rel32 fields.
+  };
+
+  size_t here() const { return Buf.size(); }
+
+  void bind(Label &L) {
+    L.Pos = static_cast<ptrdiff_t>(Buf.size());
+    for (size_t At : L.Refs)
+      patchRel32(At, L.Pos);
+    L.Refs.clear();
+  }
+
+  void jmp(Label &L) {
+    u8(0xE9);
+    rel32(L);
+  }
+
+  void jcc(Cc C, Label &L) {
+    u8(0x0F);
+    u8(0x80 + C);
+    rel32(L);
+  }
+
+  /// movabs reg, imm64.
+  void movImm64(unsigned R, uint64_t V) {
+    u8(0x48 | (R >> 3));
+    u8(0xB8 + (R & 7));
+    u64(V);
+  }
+
+  /// mov dst, [base + disp] (64-bit load).
+  void load(unsigned Dst, unsigned Base, int32_t Disp) {
+    memOp(0x8B, Dst, Base, Disp);
+  }
+
+  /// mov [base + disp], src (64-bit store).
+  void store(unsigned Src, unsigned Base, int32_t Disp) {
+    memOp(0x89, Src, Base, Disp);
+  }
+
+  void movRR(unsigned Dst, unsigned Src) { aluRR(0x89, Dst, Src); }
+  void addRR(unsigned Dst, unsigned Src) { aluRR(0x01, Dst, Src); }
+  void subRR(unsigned Dst, unsigned Src) { aluRR(0x29, Dst, Src); }
+  void xorRR(unsigned Dst, unsigned Src) { aluRR(0x31, Dst, Src); }
+  void cmpRR(unsigned Dst, unsigned Src) { aluRR(0x39, Dst, Src); }
+  void testRR(unsigned Dst, unsigned Src) { aluRR(0x85, Dst, Src); }
+
+  void imulRR(unsigned Dst, unsigned Src) {
+    u8(0x48 | ((Dst >> 3) << 2) | (Src >> 3));
+    u8(0x0F);
+    u8(0xAF);
+    u8(0xC0 | ((Dst & 7) << 3) | (Src & 7));
+  }
+
+  void negR(unsigned R) {
+    u8(0x48 | (R >> 3));
+    u8(0xF7);
+    u8(0xD8 | (R & 7));
+  }
+
+  /// cmp reg, imm8 (sign-extended).
+  void cmpImm8(unsigned R, int8_t Imm) {
+    u8(0x48 | (R >> 3));
+    u8(0x83);
+    u8(0xF8 | (R & 7));
+    u8(static_cast<uint8_t>(Imm));
+  }
+
+  void cqo() {
+    u8(0x48);
+    u8(0x99);
+  }
+
+  void idivR(unsigned R) {
+    u8(0x48 | (R >> 3));
+    u8(0xF7);
+    u8(0xF8 | (R & 7));
+  }
+
+  /// xor r32, r32 — canonical 64-bit zeroing (low GPRs only).
+  void zeroR(unsigned R) {
+    u8(0x31);
+    u8(0xC0 | ((R & 7) << 3) | (R & 7));
+  }
+
+  /// setcc on a low byte register (AL/CL/DL/BL only — no REX emitted).
+  void setcc(Cc C, unsigned R8) {
+    u8(0x0F);
+    u8(0x90 + C);
+    u8(0xC0 | (R8 & 7));
+  }
+
+  /// movzx dst64, src8 (low byte regs).
+  void movzxB(unsigned Dst, unsigned Src8) {
+    u8(0x48 | ((Dst >> 3) << 2));
+    u8(0x0F);
+    u8(0xB6);
+    u8(0xC0 | ((Dst & 7) << 3) | (Src8 & 7));
+  }
+
+  void andB(unsigned Dst8, unsigned Src8) {
+    u8(0x20);
+    u8(0xC0 | ((Src8 & 7) << 3) | (Dst8 & 7));
+  }
+
+  void orB(unsigned Dst8, unsigned Src8) {
+    u8(0x08);
+    u8(0xC0 | ((Src8 & 7) << 3) | (Dst8 & 7));
+  }
+
+  /// movq xmm, gpr.
+  void movqXG(unsigned X, unsigned R) {
+    u8(0x66);
+    u8(0x48 | ((X >> 3) << 2) | (R >> 3));
+    u8(0x0F);
+    u8(0x6E);
+    u8(0xC0 | ((X & 7) << 3) | (R & 7));
+  }
+
+  /// movq gpr, xmm.
+  void movqGX(unsigned R, unsigned X) {
+    u8(0x66);
+    u8(0x48 | ((X >> 3) << 2) | (R >> 3));
+    u8(0x0F);
+    u8(0x7E);
+    u8(0xC0 | ((X & 7) << 3) | (R & 7));
+  }
+
+  void addsd(unsigned Dst, unsigned Src) { sse(0x58, Dst, Src); }
+  void subsd(unsigned Dst, unsigned Src) { sse(0x5C, Dst, Src); }
+  void mulsd(unsigned Dst, unsigned Src) { sse(0x59, Dst, Src); }
+  void divsd(unsigned Dst, unsigned Src) { sse(0x5E, Dst, Src); }
+
+  void ucomisd(unsigned A, unsigned B) {
+    u8(0x66);
+    u8(0x0F);
+    u8(0x2E);
+    u8(0xC0 | ((A & 7) << 3) | (B & 7));
+  }
+
+  void cvtsi2sd(unsigned X, unsigned R) {
+    u8(0xF2);
+    u8(0x48 | ((X >> 3) << 2) | (R >> 3));
+    u8(0x0F);
+    u8(0x2A);
+    u8(0xC0 | ((X & 7) << 3) | (R & 7));
+  }
+
+  void cvttsd2si(unsigned R, unsigned X) {
+    u8(0xF2);
+    u8(0x48 | ((R >> 3) << 2) | (X >> 3));
+    u8(0x0F);
+    u8(0x2C);
+    u8(0xC0 | ((R & 7) << 3) | (X & 7));
+  }
+
+  void callR(unsigned R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0xFF);
+    u8(0xD0 | (R & 7));
+  }
+
+  void push(unsigned R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0x50 + (R & 7));
+  }
+
+  void pop(unsigned R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0x58 + (R & 7));
+  }
+
+  void ret() { u8(0xC3); }
+
+  void int3() { u8(0xCC); }
+
+private:
+  void u8(uint8_t V) { Buf.push_back(V); }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  /// Two-operand 64-bit ALU form "op r/m64, r64": Dst in r/m, Src in reg.
+  void aluRR(uint8_t Op, unsigned Dst, unsigned Src) {
+    u8(0x48 | ((Src >> 3) << 2) | (Dst >> 3));
+    u8(Op);
+    u8(0xC0 | ((Src & 7) << 3) | (Dst & 7));
+  }
+
+  /// [base + disp32] memory form; SIB byte when base is RSP/R12-encoded.
+  void memOp(uint8_t Op, unsigned Reg, unsigned Base, int32_t Disp) {
+    u8(0x48 | ((Reg >> 3) << 2) | (Base >> 3));
+    u8(Op);
+    if ((Base & 7) == 4) {
+      u8(0x84 | ((Reg & 7) << 3));
+      u8(0x24);
+    } else {
+      u8(0x80 | ((Reg & 7) << 3) | (Base & 7));
+    }
+    u32(static_cast<uint32_t>(Disp));
+  }
+
+  /// Scalar-double SSE op (xmm0/xmm1 only — no REX emitted).
+  void sse(uint8_t Op, unsigned Dst, unsigned Src) {
+    u8(0xF2);
+    u8(0x0F);
+    u8(Op);
+    u8(0xC0 | ((Dst & 7) << 3) | (Src & 7));
+  }
+
+  void rel32(Label &L) {
+    if (L.Pos >= 0) {
+      u32(static_cast<uint32_t>(L.Pos -
+                                static_cast<ptrdiff_t>(Buf.size() + 4)));
+    } else {
+      L.Refs.push_back(Buf.size());
+      u32(0);
+    }
+  }
+
+  void patchRel32(size_t At, ptrdiff_t Target) {
+    int32_t Rel = static_cast<int32_t>(Target -
+                                       static_cast<ptrdiff_t>(At + 4));
+    std::memcpy(&Buf[At], &Rel, sizeof(Rel));
+  }
+
+  std::vector<uint8_t> &Buf;
+};
+
+} // namespace jit
+} // namespace commset
+
+#endif // COMMSET_EXEC_JIT_X64EMITTER_H

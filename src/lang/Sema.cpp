@@ -517,10 +517,10 @@ TypeKind Sema::checkExpr(Expr *E) {
         Diags.error(B->loc(), "invalid operand types for comparison");
       return E->Type = TypeKind::Int;
     }
-    case BinaryOp::Rem:
-      requireConvertible(L, TypeKind::Int, B->loc(), "remainder operand");
-      requireConvertible(R, TypeKind::Int, B->loc(), "remainder operand");
-      return E->Type = TypeKind::Int;
+    // Rem promotes like the other arithmetic ops: % on doubles is IEEE
+    // fmod (DESIGN.md §8). The lowering already promoted the Rem
+    // instruction to F64 for double operands; typing the expression Int
+    // here would make later conversions reinterpret the F64 bits.
     default: {
       bool LNum = L == TypeKind::Int || L == TypeKind::Double;
       bool RNum = R == TypeKind::Int || R == TypeKind::Double;

@@ -153,6 +153,17 @@ PlanCache::Result PlanCache::compileJob(const RunRequest &R,
                 (Job->Chosen ? Job->Chosen->WhyNot : "no scheme");
     return Out;
   }
+  if (R.Backend == ExecBackendKind::Jit) {
+    if (!JitBackend::supported()) {
+      Out.Error = "backend 'jit' is not supported on this host/build";
+      return Out;
+    }
+    Job->Jit = JitBackend::create(Job->C->module());
+    if (!Job->Jit) {
+      Out.Error = "jit backend failed to compile the module";
+      return Out;
+    }
+  }
   Out.Job = std::move(Job);
   return Out;
 }

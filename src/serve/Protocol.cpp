@@ -85,7 +85,8 @@ std::string RunRequest::cacheKey() const {
     Os << "src=" << std::hex << fnv1a64(Source) << std::dec
        << "|len=" << Source.size() << "|entry=" << Entry;
   Os << "|scheme=" << Scheme << "|sync=" << syncModeName(Sync)
-     << "|sched=" << schedPolicyName(Sched) << "|threads=" << Threads;
+     << "|sched=" << schedPolicyName(Sched) << "|threads=" << Threads
+     << "|backend=" << execBackendName(Backend);
   return Os.str();
 }
 
@@ -262,6 +263,11 @@ bool commset::serve::parseRunRequest(const std::string &Body, RunRequest &Out,
       if (!parseUnsigned(Value, 3600000, V))
         return fail("bad deadline_ms");
       Out.DeadlineMs = V;
+    } else if (Key == "backend") {
+      ExecBackendKind Kind;
+      if (!execBackendFromString(Value.c_str(), Kind))
+        return fail("bad backend: " + Value);
+      Out.Backend = Kind;
     } else {
       return fail("unknown key: " + Key.substr(0, 40));
     }
@@ -307,6 +313,8 @@ std::string commset::serve::formatRunRequest(const RunRequest &R) {
   Os << "sync:" << Sync << "\n";
   Os << "sched:" << schedPolicyName(R.Sched) << "\n";
   Os << "threads:" << R.Threads << "\n";
+  if (R.Backend != ExecBackendKind::Interp)
+    Os << "backend:" << execBackendName(R.Backend) << "\n";
   if (R.Scale)
     Os << "scale:" << R.Scale << "\n";
   if (R.DeadlineMs)

@@ -545,6 +545,9 @@ void Server::Impl::executeJob(const std::shared_ptr<ExecJob> &J) {
   RunConfig Config;
   Config.Plan = RanParallel ? &*Use->Plan : nullptr;
   Config.Simulate = false;
+  // Cached native code (backend:jit requests); breaker-bypassed sequential
+  // runs still use it — quarantine is about the parallel plan, not codegen.
+  Config.Backend = J->Compiled->Jit.get();
   // Route the server's injector into the region so the mixed fault preset
   // exercises in-region degradation, not just the serving path.
   ResilienceConfig Resilience = defaultResilience();
@@ -602,6 +605,8 @@ void Server::Impl::executeJob(const std::shared_ptr<ExecJob> &J) {
   Kv.emplace_back("wall_ns", std::to_string(Out.WallNs));
   Kv.emplace_back("scheme", Use->Plan ? Use->Plan->describe() : "sequential");
   Kv.emplace_back("cached", J->CacheHit ? "1" : "0");
+  if (J->Compiled->Jit)
+    Kv.emplace_back("backend", J->Compiled->Jit->name());
   if (BreakerBypassed)
     Kv.emplace_back("breaker", "open");
   if (Out.DegradedWhy != FaultKind::None)

@@ -1,0 +1,413 @@
+//===- JitTest.cpp - Native backend and arithmetic-edge tests -------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the DESIGN.md §8 contract from both sides:
+//
+//  * the interpreter's defined arithmetic-edge semantics (INT64_MIN / -1,
+//    x / 0, wrapping add/sub/mul/neg, IEEE float div/rem) — these tests run
+//    on every host, JIT or not;
+//  * the x86-64 backend producing bit-identical results for the same edge
+//    matrix, the unsupported-function interpreter fallback, the W^X page
+//    lifecycle, and backend-attached parallel execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "commset/Driver/Compilation.h"
+#include "commset/Driver/Runner.h"
+#include "commset/Exec/Interpreter.h"
+#include "commset/Exec/JitBackend.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Exec/ThreadedPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+using namespace commset;
+
+namespace {
+
+std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(Source, Diags);
+  EXPECT_NE(C.get(), nullptr) << Diags.str();
+  return C;
+}
+
+/// Runs \p Fn sequentially, optionally through \p Backend.
+RtValue runWith(Compilation &C, const std::string &Fn,
+                std::vector<RtValue> Args,
+                const ExecBackend *Backend = nullptr) {
+  NativeRegistry Natives;
+  auto Globals = makeGlobalImage(C.module());
+  Interpreter Interp(C.module(), Natives, Globals.data(), {}, nullptr, 0,
+                     Backend);
+  Function *F = C.module().findFunction(Fn);
+  EXPECT_NE(F, nullptr);
+  return Interp.call(F, Args);
+}
+
+constexpr int64_t IMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t IMax = std::numeric_limits<int64_t>::max();
+
+/// Two-operand integer kernels, one per opcode under test. The operands
+/// arrive as arguments so neither the front end nor the predicate
+/// const-folder can pre-compute the edge case away.
+const char *IntKernels = "int kdiv(int a, int b) { return a / b; }\n"
+                         "int krem(int a, int b) { return a % b; }\n"
+                         "int kadd(int a, int b) { return a + b; }\n"
+                         "int ksub(int a, int b) { return a - b; }\n"
+                         "int kmul(int a, int b) { return a * b; }\n"
+                         "int kneg(int a, int b) { return -a + b * 0; }\n";
+
+struct IntCase {
+  const char *Fn;
+  int64_t A, B, Want;
+};
+
+const IntCase IntEdgeCases[] = {
+    // The regression at the heart of this PR: INT64_MIN / -1 used to trap
+    // (SIGFPE on x86, UB in C++); it is now defined to wrap to INT64_MIN,
+    // and INT64_MIN % -1 is 0.
+    {"kdiv", IMin, -1, IMin},
+    {"krem", IMin, -1, 0},
+    // Division by zero yields 0 (both quotient and remainder).
+    {"kdiv", 7, 0, 0},
+    {"krem", 7, 0, 0},
+    {"kdiv", IMin, 0, 0},
+    {"krem", IMin, 0, 0},
+    // Ordinary signed division still truncates toward zero.
+    {"kdiv", -7, 2, -3},
+    {"krem", -7, 2, -1},
+    {"kdiv", 7, -2, -3},
+    {"krem", 7, -2, 1},
+    // Two's-complement wraparound on the open arithmetic ops.
+    {"kadd", IMax, 1, IMin},
+    {"kadd", IMin, -1, IMax},
+    {"ksub", IMin, 1, IMax},
+    {"ksub", 0, IMin, IMin},
+    {"kmul", IMax, 2, -2},
+    {"kmul", IMin, -1, IMin},
+    {"kneg", IMin, 0, IMin},
+    {"kneg", IMax, 0, IMin + 1},
+};
+
+TEST(ArithEdgeTest, IntEdgeCasesInterp) {
+  auto C = compileOk(IntKernels);
+  for (const IntCase &TC : IntEdgeCases) {
+    RtValue R = runWith(*C, TC.Fn,
+                        {RtValue::ofInt(TC.A), RtValue::ofInt(TC.B)});
+    EXPECT_EQ(R.I, TC.Want) << TC.Fn << "(" << TC.A << ", " << TC.B << ")";
+  }
+}
+
+/// Float kernels; the result is returned as raw bits via the frame so NaN
+/// payloads compare exactly.
+const char *FloatKernels =
+    "double fdiv(double a, double b) { return a / b; }\n"
+    "double frem(double a, double b) { return a % b; }\n"
+    "int flt(double a, double b) { return a < b; }\n"
+    "int fle(double a, double b) { return a <= b; }\n"
+    "int feq(double a, double b) { return a == b; }\n"
+    "int fne(double a, double b) { return a != b; }\n"
+    "int fgt(double a, double b) { return a > b; }\n"
+    "int fge(double a, double b) { return a >= b; }\n";
+
+const double FloatEdgeOperands[] = {
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+    std::numeric_limits<double>::quiet_NaN(),
+    std::numeric_limits<double>::denorm_min(),
+    std::numeric_limits<double>::max(),
+};
+
+TEST(ArithEdgeTest, FloatDivRemAreIeeeInterp) {
+  auto C = compileOk(FloatKernels);
+  for (double A : FloatEdgeOperands) {
+    for (double B : FloatEdgeOperands) {
+      RtValue Div = runWith(*C, "fdiv",
+                            {RtValue::ofDouble(A), RtValue::ofDouble(B)});
+      double WantDiv = A / B;
+      if (std::isnan(WantDiv))
+        EXPECT_TRUE(std::isnan(Div.D)) << A << " / " << B;
+      else
+        EXPECT_EQ(Div.D, WantDiv) << A << " / " << B;
+      RtValue Rem = runWith(*C, "frem",
+                            {RtValue::ofDouble(A), RtValue::ofDouble(B)});
+      double WantRem = std::fmod(A, B);
+      if (std::isnan(WantRem))
+        EXPECT_TRUE(std::isnan(Rem.D)) << A << " % " << B;
+      else
+        EXPECT_EQ(Rem.D, WantRem) << A << " % " << B;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JIT backend (x86-64 hosts with COMMSET_JIT compiled in)
+//===----------------------------------------------------------------------===//
+
+#define SKIP_WITHOUT_JIT()                                                     \
+  do {                                                                         \
+    if (!JitBackend::supported())                                              \
+      GTEST_SKIP() << "jit backend not supported on this host/build";          \
+  } while (0)
+
+TEST(JitTest, IntEdgeCasesMatchInterp) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(IntKernels);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  EXPECT_EQ(Jit->fallbackCount(), 0u);
+  for (const IntCase &TC : IntEdgeCases) {
+    std::vector<RtValue> Args = {RtValue::ofInt(TC.A), RtValue::ofInt(TC.B)};
+    RtValue Native = runWith(*C, TC.Fn, Args, Jit.get());
+    RtValue Interp = runWith(*C, TC.Fn, Args);
+    EXPECT_EQ(Native.I, TC.Want) << TC.Fn << "(" << TC.A << ", " << TC.B
+                                 << ") native";
+    EXPECT_EQ(Native.I, Interp.I) << TC.Fn << "(" << TC.A << ", " << TC.B
+                                  << ") differential";
+  }
+}
+
+TEST(JitTest, FloatEdgeMatrixMatchesInterpBitForBit) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(FloatKernels);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  const char *Fns[] = {"fdiv", "frem", "flt", "fle", "feq",
+                       "fne",  "fgt",  "fge"};
+  for (const char *Fn : Fns) {
+    for (double A : FloatEdgeOperands) {
+      for (double B : FloatEdgeOperands) {
+        std::vector<RtValue> Args = {RtValue::ofDouble(A),
+                                     RtValue::ofDouble(B)};
+        RtValue Native = runWith(*C, Fn, Args, Jit.get());
+        RtValue Interp = runWith(*C, Fn, Args);
+        // Bit compare covers NaN-result cases and the sign of zero at once.
+        EXPECT_EQ(Native.Bits, Interp.Bits)
+            << Fn << "(" << A << ", " << B << ")";
+      }
+    }
+  }
+}
+
+TEST(JitTest, NanComparisonsAreUnordered) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(FloatKernels);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  auto run = [&](const char *Fn, double A, double B) {
+    return runWith(*C, Fn, {RtValue::ofDouble(A), RtValue::ofDouble(B)},
+                   Jit.get())
+        .I;
+  };
+  EXPECT_EQ(run("feq", NaN, NaN), 0);
+  EXPECT_EQ(run("fne", NaN, NaN), 1);
+  EXPECT_EQ(run("flt", NaN, 1.0), 0);
+  EXPECT_EQ(run("fle", 1.0, NaN), 0);
+  EXPECT_EQ(run("fgt", NaN, NaN), 0);
+  EXPECT_EQ(run("fge", NaN, 0.0), 0);
+}
+
+TEST(JitTest, DenyListedFunctionFallsBackToInterpreter) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk("int helper(int x) { return x * 3 + 1; }\n"
+                     "int caller(int n) {\n"
+                     "  int sum = 0;\n"
+                     "  for (int i = 0; i < n; i = i + 1) sum += helper(i);\n"
+                     "  return sum;\n"
+                     "}\n");
+  JitOptions Opts;
+  Opts.DenyFunctions = {"helper"};
+  auto Jit = JitBackend::create(C->module(), Opts);
+  ASSERT_NE(Jit.get(), nullptr);
+  const Function *Helper = C->module().findFunction("helper");
+  const Function *Caller = C->module().findFunction("caller");
+  ASSERT_NE(Helper, nullptr);
+  ASSERT_NE(Caller, nullptr);
+  // The denied function has no native entry; its caller does. The native
+  // caller's Call instruction escapes to the runtime, which interprets the
+  // callee — the mixed-mode chain must still be exact.
+  EXPECT_EQ(Jit->entryFor(Helper), nullptr);
+  EXPECT_NE(Jit->entryFor(Caller), nullptr);
+  EXPECT_GE(Jit->fallbackCount(), 1u);
+  RtValue Native = runWith(*C, "caller", {RtValue::ofInt(10)}, Jit.get());
+  RtValue Interp = runWith(*C, "caller", {RtValue::ofInt(10)});
+  EXPECT_EQ(Native.I, Interp.I);
+  EXPECT_EQ(Native.I, 3 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9) + 10);
+}
+
+/// Counts writable+executable and executable mappings in /proc/self/maps.
+/// Returns false if the file is unavailable (non-Linux).
+bool scanMaps(unsigned &RwxOut, unsigned &ExecOut) {
+  std::ifstream Maps("/proc/self/maps");
+  if (!Maps.is_open())
+    return false;
+  RwxOut = ExecOut = 0;
+  std::string Line;
+  while (std::getline(Maps, Line)) {
+    // Address perms offset ... ; perms is the second field, e.g. "r-xp".
+    size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos || Sp + 4 > Line.size())
+      continue;
+    std::string Perms = Line.substr(Sp + 1, 4);
+    if (Perms.size() == 4 && Perms[2] == 'x') {
+      ++ExecOut;
+      if (Perms[1] == 'w')
+        ++RwxOut;
+    }
+  }
+  return true;
+}
+
+TEST(JitTest, PageLifecycleIsWxorXAndLeakFree) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(IntKernels);
+  unsigned RwxBefore = 0, ExecBefore = 0;
+  const bool HaveMaps = scanMaps(RwxBefore, ExecBefore);
+
+  for (int I = 0; I < 64; ++I) {
+    auto Jit = JitBackend::create(C->module());
+    ASSERT_NE(Jit.get(), nullptr);
+    EXPECT_GT(Jit->codeBytes(), 0u);
+    // Sealed code must execute while the backend is alive...
+    RtValue R = runWith(*C, "kadd", {RtValue::ofInt(I), RtValue::ofInt(1)},
+                        Jit.get());
+    EXPECT_EQ(R.I, I + 1);
+    if (HaveMaps) {
+      unsigned Rwx = 0, Exec = 0;
+      ASSERT_TRUE(scanMaps(Rwx, Exec));
+      // ... and no mapping is ever simultaneously writable and executable.
+      EXPECT_EQ(Rwx, 0u) << "W^X violated: rwxp mapping present";
+    }
+  } // ... and be unmapped on destruction.
+
+  if (HaveMaps) {
+    unsigned RwxAfter = 0, ExecAfter = 0;
+    ASSERT_TRUE(scanMaps(RwxAfter, ExecAfter));
+    EXPECT_EQ(RwxAfter, RwxBefore);
+    // 64 creates/destroys must not accumulate executable mappings.
+    EXPECT_LE(ExecAfter, ExecBefore + 1);
+  }
+}
+
+TEST(JitTest, EmptyNativeModuleReturnsNull) {
+  SKIP_WITHOUT_JIT();
+  // Every function denied -> nothing to emit -> no backend (callers then
+  // run fully interpreted instead of paying an empty code page).
+  auto C = compileOk("int f(int a) { return a + 1; }");
+  JitOptions Opts;
+  Opts.DenyFunctions = {"f"};
+  auto Jit = JitBackend::create(C->module(), Opts);
+  EXPECT_EQ(Jit.get(), nullptr);
+}
+
+/// A small DOALL loop over harness natives: threaded parallel execution
+/// with the backend attached must reproduce the interpreter's result.
+const char *DoallSource =
+    "int gsum = 0;\n"
+    "extern int work(int x);\n"
+    "#pragma commset effects(work, pure)\n"
+    "#pragma commset member(SELF)\n"
+    "void bump(int v) { gsum = gsum + v; }\n"
+    "int main_loop(int n) {\n"
+    "  for (int i = 0; i < n; i = i + 1) {\n"
+    "    int t = work(i);\n"
+    "    int e = (-9223372036854775807 - 1) / (i % 3 - 1);\n"
+    "    bump(t + e % 97);\n"
+    "  }\n"
+    "  return gsum;\n"
+    "}\n";
+
+RunOutcome runDoall(Compilation &C, const ExecBackend *Backend,
+                    bool Simulate = false) {
+  DiagnosticEngine Diags;
+  auto T = C.analyzeLoop("main_loop", Diags);
+  EXPECT_NE(T.get(), nullptr) << Diags.str();
+  PlanOptions PO;
+  PO.NumThreads = 4;
+  PO.Sync = SyncMode::Mutex;
+  auto Schemes = buildAllSchemes(C, *T, PO);
+  const SchemeReport *Doall = nullptr;
+  for (const SchemeReport &R : Schemes)
+    if (R.Kind == Strategy::Doall && R.Applicable)
+      Doall = &R;
+  EXPECT_NE(Doall, nullptr);
+  NativeRegistry Natives;
+  Natives.add("work", [](const RtValue *Args, unsigned) {
+    return RtValue::ofInt((Args[0].I * 2654435761u) % 1000);
+  });
+  RunConfig Config;
+  Config.Plan = &*Doall->Plan;
+  Config.Simulate = Simulate;
+  Config.Backend = Backend;
+  return runScheme(C, T->F, {RtValue::ofInt(64)}, Natives, Config);
+}
+
+TEST(JitTest, ThreadedDoallMatchesInterp) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(DoallSource);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  RunOutcome Interp = runDoall(*C, nullptr);
+  ASSERT_EQ(Interp.Status, RunStatus::Ok) << Interp.Diagnostic;
+  // Several rounds: a codegen bug that only corrupts state under real
+  // concurrency will not show on every schedule.
+  for (int Round = 0; Round < 5; ++Round) {
+    RunOutcome Native = runDoall(*C, Jit.get());
+    ASSERT_EQ(Native.Status, RunStatus::Ok) << Native.Diagnostic;
+    EXPECT_EQ(Native.Result.I, Interp.Result.I) << "round " << Round;
+  }
+}
+
+TEST(JitTest, BackendPlusSimulateIsRejected) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(DoallSource);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  RunOutcome Out = runDoall(*C, Jit.get(), /*Simulate=*/true);
+  EXPECT_EQ(Out.Status, RunStatus::InternalError);
+  EXPECT_NE(Out.Diagnostic.find("simulate"), std::string::npos)
+      << Out.Diagnostic;
+}
+
+TEST(JitTest, SequentialPlanRunsWholeFunctionNative) {
+  SKIP_WITHOUT_JIT();
+  auto C = compileOk(DoallSource);
+  auto Jit = JitBackend::create(C->module());
+  ASSERT_NE(Jit.get(), nullptr);
+  NativeRegistry Natives;
+  Natives.add("work", [](const RtValue *Args, unsigned) {
+    return RtValue::ofInt((Args[0].I * 2654435761u) % 1000);
+  });
+  RunConfig Config;
+  Config.Plan = nullptr; // Sequential.
+  Config.Simulate = false;
+  RunOutcome Interp = runScheme(*C, C->module().findFunction("main_loop"),
+                                {RtValue::ofInt(64)}, Natives, Config);
+  Config.Backend = Jit.get();
+  RunOutcome Native = runScheme(*C, C->module().findFunction("main_loop"),
+                                {RtValue::ofInt(64)}, Natives, Config);
+  ASSERT_EQ(Interp.Status, RunStatus::Ok) << Interp.Diagnostic;
+  ASSERT_EQ(Native.Status, RunStatus::Ok) << Native.Diagnostic;
+  EXPECT_EQ(Native.Result.I, Interp.Result.I);
+}
+
+} // namespace

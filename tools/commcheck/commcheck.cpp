@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "commset/Check/CommCheck.h"
+#include "commset/Exec/JitBackend.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +42,12 @@ void usage(const char *Argv0) {
       "                    spin | tm | none | priv\n"
       "  --reduction-heavy bias generated programs toward privatizable\n"
       "                    add-reduction members\n"
+      "  --backend B       execution backend for the differential sweeps:\n"
+      "                    interp | jit (default interp). jit compiles each\n"
+      "                    generated module to x86-64 and differentials it\n"
+      "                    against the interpreted sequential reference\n"
+      "  --no-edge-ops     disable the overflow/edge-operand generator mode\n"
+      "                    (INT64_MIN/MAX, -1, 0 biased into arithmetic)\n"
       "  --min-priv-pct N  fail (exit 1) unless at least N%% of the plans\n"
       "                    swept under priv actually privatized a global\n"
       "  --no-schedules    skip controlled-schedule exploration\n"
@@ -162,6 +169,21 @@ int main(int argc, char **argv) {
       Opts.Oracle.SyncModes = {Mode};
     } else if (Arg == "--reduction-heavy") {
       Opts.Gen.ReductionHeavy = true;
+    } else if (Arg == "--backend") {
+      commset::ExecBackendKind Kind;
+      if (!commset::execBackendFromString(needValue(), Kind)) {
+        std::fprintf(stderr, "commcheck: bad --backend (interp | jit)\n");
+        return 2;
+      }
+      if (Kind == commset::ExecBackendKind::Jit &&
+          !commset::JitBackend::supported()) {
+        std::fprintf(stderr, "commcheck: backend 'jit' is not supported on "
+                             "this host/build\n");
+        return 2;
+      }
+      Opts.Oracle.Backend = Kind;
+    } else if (Arg == "--no-edge-ops") {
+      Opts.Gen.EdgeOps = false;
     } else if (Arg == "--min-priv-pct") {
       if (!parseU64(needValue(), V) || V > 100) {
         std::fprintf(stderr, "commcheck: bad --min-priv-pct\n");

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "commset/Driver/Runner.h"
+#include "commset/Exec/JitBackend.h"
 #include "commset/Trace/Export.h"
 #include "commset/Workloads/Workload.h"
 
@@ -45,6 +46,9 @@ int usage(const char *Argv0) {
       "                    first region checkpoint past it (exit code 75)\n"
       "  --simulate        run under the multicore simulator (default: real\n"
       "                    threads)\n"
+      "  --backend=B       interp | jit — execution backend for function\n"
+      "                    bodies (default interp). jit compiles the module\n"
+      "                    to x86-64 and needs real threads (no --simulate)\n"
       "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
       "  --profile         print the CommTrace profile report to stderr\n"
       "  --validate-trace  validate the exported trace; fail if malformed\n"
@@ -79,6 +83,7 @@ int main(int argc, char **argv) {
   std::string SyncName = "mutex";
   std::string SchedName = "guided";
   std::string Variant;
+  std::string BackendName = "interp";
   std::string TraceOut;
   unsigned Threads = 4;
   int Scale = 0;
@@ -111,6 +116,8 @@ int main(int argc, char **argv) {
           std::atoll(valueOf("--deadline-ms=").c_str()));
     } else if (Arg.rfind("--variant=", 0) == 0) {
       Variant = valueOf("--variant=");
+    } else if (Arg.rfind("--backend=", 0) == 0) {
+      BackendName = valueOf("--backend=");
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = valueOf("--trace-out=");
     } else if (Arg == "--simulate") {
@@ -146,6 +153,20 @@ int main(int argc, char **argv) {
   SchedPolicy Sched;
   if (!schedPolicyFromString(SchedName.c_str(), Sched)) {
     std::fprintf(stderr, "bad --sched value: %s\n", SchedName.c_str());
+    return 64;
+  }
+  ExecBackendKind BackendKind;
+  if (!execBackendFromString(BackendName.c_str(), BackendKind)) {
+    std::fprintf(stderr, "bad --backend value: %s\n", BackendName.c_str());
+    return 64;
+  }
+  if (BackendKind == ExecBackendKind::Jit && Simulate) {
+    std::fprintf(stderr, "--backend=jit needs real threads; drop --simulate\n");
+    return 64;
+  }
+  if (BackendKind == ExecBackendKind::Jit && !JitBackend::supported()) {
+    std::fprintf(stderr, "--backend=jit is not supported on this host "
+                         "(non-x86-64 or COMMSET_JIT=OFF build)\n");
     return 64;
   }
 
@@ -210,7 +231,17 @@ int main(int argc, char **argv) {
   W->reset();
   W->registerNatives(Natives);
 
+  std::unique_ptr<JitBackend> Jit;
+  if (BackendKind == ExecBackendKind::Jit) {
+    Jit = JitBackend::create(C->module());
+    if (!Jit) {
+      std::fprintf(stderr, "jit backend creation failed\n");
+      return 70;
+    }
+  }
+
   RunConfig Config;
+  Config.Backend = Jit.get();
   Config.Plan = Chosen->Kind == Strategy::Sequential ? nullptr
                                                      : &*Chosen->Plan;
   Config.Simulate = Simulate;
@@ -225,6 +256,10 @@ int main(int argc, char **argv) {
   std::printf("workload:   %s (scale %d, variant '%s')\n",
               WorkloadName.c_str(), Scale, Variant.c_str());
   std::printf("scheme:     %s\n", Chosen->Plan->describe().c_str());
+  if (Jit)
+    std::printf("backend:    jit (%u native fns, %u fallback, %zu code "
+                "bytes)\n",
+                Jit->compiledCount(), Jit->fallbackCount(), Jit->codeBytes());
   std::printf("status:     %s\n", runStatusName(Out.Status));
   if (!Out.Diagnostic.empty())
     std::printf("diagnostic: %s\n", Out.Diagnostic.c_str());
