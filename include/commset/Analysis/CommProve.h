@@ -1,0 +1,164 @@
+//===- CommProve.h - Symbolic commutativity prover --------------*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommProve: a bounded symbolic executor that decides, for pairs of COMMSET
+/// member bodies, whether the two operation orders leave any observable
+/// difference in global state or return values (the reachability-style
+/// reduction of Koskinen & Bansal applied to the closed CSet-C fragment).
+///
+/// For each annotated pair (self pairs F/F, group pairs F/G) both orders
+/// execute from one common symbolic initial state: every global starts as an
+/// opaque typed atom, every argument of either call is an opaque atom.
+/// Branch conditions that do not fold split the state (path merge via ITE);
+/// a step/node budget bounds loops and expression growth. Final stores and
+/// return values are diffed after normalization under the *defined*
+/// arithmetic of DESIGN.md §8 — two's-complement wrap for I64 add/sub/mul
+/// (so add-chains and sum polynomials commute structurally), pinned /0 %0
+/// semantics, Min/Max recognition from compare-select branches. Floats are
+/// never reassociated (IEEE addition is not associative); float-order pairs
+/// therefore prove only when syntactically symmetric.
+///
+/// Verdicts per pair:
+///  * Proven  - normalized outcomes are structurally identical for both
+///              orders on every path. Sound modulo the declared purity of
+///              Pure natives (uninterpreted functions) — the same trust the
+///              effect auditor extends. Emitted as CL061; downgrades the
+///              pair's CL020/CL021 effect-summary findings and is recorded
+///              on relaxed PDG edges as a proof token (ProvenCommutative).
+///  * Refuted - a concrete witness (initial global assignment + argument
+///              values for the two calls) was found on which the REAL
+///              interpreter, run sequentially in both orders, produces
+///              different global stores or return values. Never emitted
+///              from symbolic disagreement alone: every CL060 carries a
+///              witness that replayed in-process before being reported,
+///              and the artifact reproduces the divergence under the
+///              controlled-schedule explorer (Check/ProveReplay.h).
+///  * Unknown - budget exhausted, unmodeled constructs (pointers, effectful
+///              natives, deep recursion), or a predicated set (conditional
+///              commutativity claims are never refuted from an
+///              unconditional witness). Emitted as CL062; the PR-5 effect
+///              summaries remain authoritative — never a silent pass.
+///
+/// Unannotated call pairs on loop-carried Memory PDG edges get the same
+/// treatment; pairs that prove commutative become CL063 suggestions carrying
+/// the COMMSET pragma to add.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_ANALYSIS_COMMPROVE_H
+#define COMMSET_ANALYSIS_COMMPROVE_H
+
+#include "commset/Analysis/Lint.h"
+#include "commset/Driver/Compilation.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace commset {
+
+struct ProveOptions {
+  /// Symbolic instruction-step budget per executed order (both calls
+  /// together). Loops with symbolic trip counts split per iteration, so
+  /// this also bounds unrolling. commlint --prove-budget=N scales this.
+  unsigned StepBudget = 4096;
+  /// Expression-node budget across one pair proof.
+  unsigned NodeBudget = 200000;
+  /// Max user-call inline depth inside a member body.
+  unsigned InlineDepth = 8;
+  /// Concrete candidate assignments tried per refutation attempt.
+  unsigned WitnessTries = 160;
+  /// Also prove unannotated carried call pairs and emit CL063 suggestions.
+  bool Suggest = true;
+};
+
+/// A typed concrete scalar for witness rendering/replay.
+struct ProveValue {
+  IRType Ty = IRType::I64;
+  int64_t I = 0;
+  double D = 0.0;
+
+  static ProveValue ofInt(int64_t V) { return {IRType::I64, V, 0.0}; }
+  static ProveValue ofDouble(double V) { return {IRType::F64, 0, V}; }
+  std::string str() const;
+};
+
+/// A replayable counterexample: initial values for the globals the diff
+/// depends on (unlisted globals keep their module initializers) plus the
+/// concrete arguments of the two calls, in program order First;Second.
+struct ProveWitness {
+  /// (global slot, initial value) pairs.
+  std::vector<std::pair<unsigned, ProveValue>> Globals;
+  std::vector<ProveValue> FirstArgs;
+  std::vector<ProveValue> SecondArgs;
+  /// Human-readable divergence: which observable differed and both values.
+  std::string Divergence;
+};
+
+enum class ProveVerdict { Proven, Refuted, Unknown };
+
+const char *proveVerdictName(ProveVerdict V);
+
+/// Proof attempt for one ordered-insensitive pair of callees.
+struct PairProof {
+  std::string First;  ///< Callee name (First == Second for self pairs).
+  std::string Second;
+  /// Justifying COMMSET id; ~0u for unannotated CL063 candidates.
+  unsigned SetId = ~0u;
+  ProveVerdict Verdict = ProveVerdict::Unknown;
+  /// Why (Unknown: budget/unmodeled detail; Refuted: symbolic diff).
+  std::string Detail;
+  /// Present exactly when Verdict == Refuted; validated by the concrete
+  /// interpreter before the proof is returned.
+  std::optional<ProveWitness> Witness;
+  /// Anchor for diagnostics (First's definition).
+  SourceLoc Loc;
+};
+
+struct ProveResult {
+  std::vector<PairProof> Pairs;
+  unsigned Proven = 0;
+  unsigned Refuted = 0;
+  unsigned Unknown = 0;
+  unsigned Suggested = 0; ///< CL063 candidates proven commutative.
+};
+
+/// Proves one explicit pair of user functions (exposed for tests; ignores
+/// annotations — never returns a CL-coded diagnostic, just the verdict).
+PairProof proveFunctionPair(const Compilation &C, const Function &First,
+                            const Function &Second,
+                            const ProveOptions &Opts = {});
+
+/// Runs the prover over every annotated member pair of the registry whose
+/// members are user functions, plus (when Opts.Suggest and T is non-null)
+/// unannotated carried call pairs from T's PDG. Updates summary counters.
+ProveResult runCommProve(const Compilation &C,
+                         const Compilation::LoopTarget *T,
+                         const ProveOptions &Opts = {});
+
+/// Renders CL060/CL061/CL062/CL063 diagnostics for \p PR.
+std::vector<LintDiagnostic> proveDiagnostics(const Compilation &C,
+                                             const ProveResult &PR);
+
+/// Downgrades CL020/CL021 effect-summary findings in \p Diags to Note when
+/// the pair they describe is Proven in \p PR. Returns how many were
+/// downgraded.
+unsigned applyProveDowngrades(const ProveResult &PR,
+                              std::vector<LintDiagnostic> &Diags);
+
+/// Marks relaxed (uco/ico) PDG edges whose call pair is Proven with the
+/// ProvenCommutative proof token the planner/auto-tuner may rely on.
+/// Returns the number of edges annotated.
+unsigned annotateProofTokens(PDG &G, const ProveResult &PR);
+
+/// One-line rendering of \p P's witness ("g=3; first bump(1); second
+/// put(2)"); empty when P carries none.
+std::string proveWitnessStr(const Module &M, const PairProof &P);
+
+} // namespace commset
+
+#endif // COMMSET_ANALYSIS_COMMPROVE_H

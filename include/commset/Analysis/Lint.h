@@ -62,6 +62,12 @@ struct LintDiagnostic {
   LintSeverity Severity = LintSeverity::Warning;
   SourceLoc Loc;
   std::string Message;
+  /// Structured subjects: the callee name(s) a pair-shaped finding is about
+  /// (CL020: the member; CL021/CL023: both members). Empty for findings
+  /// without a callee subject. CommProve keys its CL061 downgrades off
+  /// these instead of re-parsing messages.
+  std::string Subject;
+  std::string Subject2;
 
   /// Renders as "error: [CL001] line:col: message".
   std::string str() const;
@@ -96,6 +102,13 @@ LintResult runLint(const Compilation &C, const Compilation::LoopTarget &T,
                    const ParallelPlan &Plan);
 
 namespace lint {
+/// Cross-plan deduplication key for a diagnostic. Includes every field that
+/// distinguishes two findings at the same site — severity (a CommProve
+/// downgrade must not be collapsed into the original warning), message and
+/// structured subjects — not just (code, location), so same-site findings
+/// that name different plans/schemes/members all survive dedup.
+std::string dedupKey(const LintDiagnostic &D);
+
 // Individual checkers (exposed for focused tests; runLint calls all three).
 void checkRaces(const Compilation &C, const Compilation::LoopTarget &T,
                 const ParallelPlan &Plan, LintResult &R);

@@ -54,6 +54,11 @@ struct PDGEdge {
   /// justify relaxing this dependence (~0u when unannotated). CommLint's
   /// plan-consistency checker audits that every relaxed edge carries one.
   unsigned JustifyingSet = ~0u;
+  /// Proof token from CommProve (Analysis/CommProve.h): the endpoint call
+  /// pair was symbolically proven commutative, so the annotation this edge
+  /// relies on is verified, not merely asserted. The planner/auto-tuner may
+  /// prefer plans built on proven edges.
+  bool ProvenCommutative = false;
 };
 
 class PDG {

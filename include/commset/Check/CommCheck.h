@@ -44,6 +44,17 @@ struct CommCheckOptions {
   /// asserts CommLint flags it with the expected CL0xx code on at least one
   /// applicable parallel plan. A miss is a trial failure.
   bool Lint = false;
+  /// CommProve cross-validation (`commcheck --prove`): every iteration also
+  /// (a) positive control — runs the prover over the sound program's
+  /// annotated pairs and fails the trial if any is REFUTED (a witness
+  /// against a correct program is a prover bug), and (b) negative control —
+  /// generates a seeded NON-commutative twin (GenOptions::SeedNoncommutative)
+  /// and fails the trial unless the prover refutes at least one pair with a
+  /// witness that replays to a real divergence under the controlled
+  /// scheduler.
+  bool Prove = false;
+  /// Symbolic step budget per proved order (scales the node budget along).
+  unsigned ProveBudget = 4096;
 };
 
 struct CommCheckSummary {
@@ -60,6 +71,11 @@ struct CommCheckSummary {
   unsigned PrivatizedPlans = 0; ///< ... of which privatized >= 1 global.
   unsigned UnsoundSeeded = 0; ///< Seeded-unsound twin programs generated.
   unsigned UnsoundFlagged = 0; ///< ... of which CommLint flagged correctly.
+  unsigned ProvenPairs = 0;   ///< Pairs proven commutative across trials.
+  unsigned RefutedPairs = 0;  ///< Pairs refuted (with replayed witnesses).
+  unsigned UnknownPairs = 0;  ///< Pairs undecided (budget/unmodeled).
+  unsigned NoncommSeeded = 0; ///< Seeded non-commutative twins generated.
+  unsigned NoncommRefuted = 0; ///< ... refuted with a replaying witness.
   std::vector<std::string> ArtifactPaths;
   /// First failing trial's full report (also in its artifact).
   std::string FirstFailure;

@@ -91,6 +91,13 @@ struct GenOptions {
   /// group pairs). Used by `commcheck --lint` to validate that CommLint
   /// flags every planted unsoundness with the expected code.
   bool SeedUnsound = false;
+  /// Generate a program whose annotated member pair is genuinely
+  /// NON-commutative at the value level (multiply-then-add, overwrite,
+  /// read-modify-write of a co-written global). Used by
+  /// `commcheck --lint --prove` to validate that CommProve refutes every
+  /// planted pair with a concrete witness that replays (CL060). Members are
+  /// kept native-free and integer-only so refutation is always reachable.
+  bool SeedNoncommutative = false;
   /// Bias programs toward privatizable shapes: at least one add-reduction
   /// member (bump) always exists and is always called, and the direct
   /// un-annotated global accumulation (which disqualifies its slot from

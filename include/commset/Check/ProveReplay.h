@@ -1,0 +1,57 @@
+//===- ProveReplay.h - Replay CommProve witnesses under control -*- C++ -*-===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the static prover (Analysis/CommProve.h) to the dynamic
+/// controlled-schedule explorer: a CL060 witness — initial global values
+/// plus the two calls' arguments — is replayed as a real two-thread region
+/// under SchedulePlatform, with both member bodies serialized by one
+/// cooperative resource (commutativity is about operation *order*, not
+/// interleaving races). Sweeping schedule policies and both thread
+/// assignments realizes both serialized orders; the witness is confirmed
+/// when two schedules finish with different global state or return values.
+///
+/// This closes the loop the issue demands: every proven-non-commutative
+/// verdict is backed by a divergence an actual scheduler can drive, not
+/// just a symbolic disagreement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMSET_CHECK_PROVEREPLAY_H
+#define COMMSET_CHECK_PROVEREPLAY_H
+
+#include "commset/Analysis/CommProve.h"
+
+#include <string>
+
+namespace commset {
+namespace check {
+
+struct ProveReplayResult {
+  /// True when at least two controlled schedules disagreed on the final
+  /// observable state — the witness reproduces under a real scheduler.
+  bool Diverged = false;
+  unsigned SchedulesRun = 0;
+  /// Per-schedule outcomes plus a one-line verdict (artifact-ready).
+  std::string Report;
+};
+
+/// Replays \p P's witness (requires P.Verdict == Refuted with a witness;
+/// returns a non-diverged result with an explanatory report otherwise).
+/// Member bodies must be native-free — guaranteed by the prover, which only
+/// refutes pairs it could evaluate concretely.
+ProveReplayResult replayProveWitness(const Compilation &C,
+                                     const PairProof &P);
+
+/// Renders the commcheck-style artifact section for a refuted pair:
+/// verdict, witness assignment, divergence, and the replay transcript.
+std::string renderProveArtifact(const Compilation &C, const PairProof &P,
+                                const ProveReplayResult &R);
+
+} // namespace check
+} // namespace commset
+
+#endif // COMMSET_CHECK_PROVEREPLAY_H

@@ -39,6 +39,27 @@ bool verifyFunction(const Function &F, DiagnosticEngine &Diags,
 bool verifyModule(const Module &M, DiagnosticEngine &Diags,
                   const std::set<std::string> *DeclaredSets = nullptr);
 
+/// Deep typed verification of one function against \p M: all structural
+/// checks of verifyFunction plus operand/result type consistency —
+/// arithmetic operand types match the instruction type, comparison operands
+/// agree, conversions have the right source/destination types, local and
+/// global accesses match the slot's declared type (global slot ids are
+/// range-checked against \p M, which the structural verifier cannot do),
+/// call arguments and results match the callee/native signature, branch
+/// conditions are I64 and returned values match the return type.
+///
+/// This is the gate run before JIT compilation and on every generated
+/// program under commcheck: the interpreter reads the register file
+/// type-obliviously, so a type mismatch silently reinterprets bits there
+/// but produces different (or crashing) native code once compiled.
+///
+/// \returns true if clean; on failure, when \p Err is non-null, it receives
+/// the first problem as a one-line message.
+bool verifyFunctionIR(const Function &F, const Module &M, std::string *Err);
+
+/// verifyFunctionIR over every function in \p M.
+bool verifyModuleIR(const Module &M, std::string *Err);
+
 } // namespace commset
 
 #endif // COMMSET_IR_VERIFIER_H

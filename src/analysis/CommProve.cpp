@@ -1,0 +1,1601 @@
+//===- CommProve.cpp - Symbolic commutativity prover ----------------------===//
+//
+// Part of the COMMSET reproduction of Prabhu et al., PLDI 2011.
+//
+//===----------------------------------------------------------------------===//
+//
+// Layout of this file:
+//
+//  1. SymExpr: hash-cons-free shared expression trees with canonicalizing
+//     factories. Integer arithmetic normalizes to a polynomial form under
+//     the *defined* wrap semantics (DESIGN.md §8): n-ary Add with a constant
+//     bias and like-term combining, n-ary Mul with a wrapped constant
+//     coefficient and full distribution over Add. Wrap makes reassociation,
+//     commutation and distribution exact, so `g+a+b` and `g+b+a` — and
+//     `(g*K+a)*K+b` vs `(g*K+b)*K+a` — reach structurally comparable forms.
+//     Compare-select merges are recognized as n-ary Min/Max (flattened,
+//     sorted, deduped), which is what makes `if (v < g) g = v;` provable.
+//     Floats fold only when fully constant; FAdd/FMul sort their two
+//     operands (IEEE addition/multiplication commute even though they do
+//     not associate) and are never reassociated.
+//
+//  2. SymExec: a merging symbolic executor over the register IR. Globals
+//     live in a slot->expr map whose misses mean "still the opaque initial
+//     value"; a symbolic branch forks state+frame, runs both arms to the
+//     function's return, and merges per-slot with ITE. Concrete branch
+//     conditions fold, so counted loops simply unroll against the step
+//     budget. Anything outside the closed fragment (pointers, effectful
+//     natives, call depth) raises Unmodeled; budgets raise OutOfBudget;
+//     both surface as the Unknown verdict — never a silent pass.
+//
+//  3. Pair proving: run order F;G and order G;F from one shared initial
+//     state, diff final stores + per-call return values. Identical
+//     normalized outcomes => Proven. A symbolic difference is only ever
+//     reported as Refuted after a concrete witness is found by enumeration
+//     over the diff's atoms AND the real interpreter, run sequentially in
+//     both orders from that witness state, actually diverges bit-for-bit.
+//
+//  4. Lint surface: CL060-CL063 diagnostics, CL020/CL021/CL023 downgrades
+//     keyed on the structured Subject fields, and PDG proof tokens.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commset/Analysis/CommProve.h"
+
+#include "commset/Exec/Interpreter.h"
+#include "commset/Exec/LoopExecutors.h"
+#include "commset/Exec/NativeRegistry.h"
+#include "commset/Support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+using namespace commset;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Symbolic expressions
+//===----------------------------------------------------------------------===//
+
+enum class SK : uint8_t {
+  ConstI,
+  ConstF,
+  InitGlobal, // A = global slot.
+  Arg,        // I = call instance (0 = first op, 1 = second), A = param.
+  NativeApp,  // Pure native, uninterpreted: Name(Kids...).
+  Add,        // I64 n-ary: I = wrapped bias, Kids = sorted terms.
+  Mul,        // I64 n-ary: I = wrapped coefficient, Kids = sorted factors.
+  Div,        // I64 pinned /: Kids = {a, b}.
+  Rem,        // I64 pinned %: Kids = {a, b}.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FRem,
+  FNeg,
+  Eq, // Comparisons; FloatCmp selects operand interpretation.
+  Ne,
+  Lt,
+  Le,
+  Not,
+  IntToFp,
+  FpToInt,
+  Ite, // Kids = {cond, then, else}.
+  Min, // I64 n-ary, sorted + deduped.
+  Max,
+};
+
+struct SymExpr;
+using Sym = std::shared_ptr<const SymExpr>;
+
+struct SymExpr {
+  SK K = SK::ConstI;
+  IRType Ty = IRType::I64;
+  int64_t I = 0;
+  double D = 0.0;
+  unsigned A = 0;
+  bool FloatCmp = false;
+  std::string Name;
+  std::vector<Sym> Kids;
+};
+
+struct OutOfBudget {
+  std::string What;
+};
+struct Unmodeled {
+  std::string What;
+};
+
+uint64_t doubleBits(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, sizeof(B));
+  return B;
+}
+
+/// Structural total order; 0 means structurally identical (the equality the
+/// Proven verdict rests on).
+int cmpSym(const Sym &A, const Sym &B) {
+  if (A.get() == B.get())
+    return 0;
+  auto Ord = [](auto X, auto Y) { return X < Y ? -1 : (X > Y ? 1 : 0); };
+  if (int C = Ord(static_cast<int>(A->K), static_cast<int>(B->K)))
+    return C;
+  if (int C = Ord(static_cast<int>(A->Ty), static_cast<int>(B->Ty)))
+    return C;
+  if (int C = Ord(A->I, B->I))
+    return C;
+  if (int C = Ord(doubleBits(A->D), doubleBits(B->D)))
+    return C;
+  if (int C = Ord(A->A, B->A))
+    return C;
+  if (int C = Ord(A->FloatCmp, B->FloatCmp))
+    return C;
+  if (int C = A->Name.compare(B->Name))
+    return C < 0 ? -1 : 1;
+  if (int C = Ord(A->Kids.size(), B->Kids.size()))
+    return C;
+  for (size_t I = 0; I < A->Kids.size(); ++I)
+    if (int C = cmpSym(A->Kids[I], B->Kids[I]))
+      return C;
+  return 0;
+}
+
+bool eqSym(const Sym &A, const Sym &B) { return cmpSym(A, B) == 0; }
+bool symLess(const Sym &A, const Sym &B) { return cmpSym(A, B) < 0; }
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+/// Pinned integer division/remainder (DESIGN.md §8, mirrors Interpreter).
+int64_t pinnedDiv(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  if (L == INT64_MIN && R == -1)
+    return INT64_MIN;
+  return L / R;
+}
+int64_t pinnedRem(int64_t L, int64_t R) {
+  if (R == 0 || (L == INT64_MIN && R == -1))
+    return 0;
+  return L % R;
+}
+/// Pinned F64->I64 (cvttsd2si integer-indefinite outside the window).
+int64_t pinnedFpToInt(double D) {
+  if (D >= -9223372036854775808.0 && D < 9223372036854775808.0)
+    return static_cast<int64_t>(D);
+  return INT64_MIN;
+}
+
+/// Canonicalizing factory. Every constructor routes through node() so one
+/// counter bounds total expression growth for a pair proof.
+class SymBuilder {
+public:
+  explicit SymBuilder(unsigned NodeBudget) : Budget(NodeBudget) {}
+
+  Sym node(SymExpr E) {
+    if (++Nodes > Budget)
+      throw OutOfBudget{"expression nodes"};
+    return std::make_shared<SymExpr>(std::move(E));
+  }
+
+  Sym constI(int64_t V) {
+    SymExpr E;
+    E.K = SK::ConstI;
+    E.Ty = IRType::I64;
+    E.I = V;
+    return node(std::move(E));
+  }
+  Sym constF(double V) {
+    SymExpr E;
+    E.K = SK::ConstF;
+    E.Ty = IRType::F64;
+    E.D = V;
+    return node(std::move(E));
+  }
+  Sym initGlobal(unsigned Slot, IRType Ty) {
+    SymExpr E;
+    E.K = SK::InitGlobal;
+    E.Ty = Ty;
+    E.A = Slot;
+    return node(std::move(E));
+  }
+  Sym arg(unsigned CallIdx, unsigned Param, IRType Ty) {
+    SymExpr E;
+    E.K = SK::Arg;
+    E.Ty = Ty;
+    E.I = CallIdx;
+    E.A = Param;
+    return node(std::move(E));
+  }
+  Sym nativeApp(const std::string &Name, IRType Ty, std::vector<Sym> Args) {
+    SymExpr E;
+    E.K = SK::NativeApp;
+    E.Ty = Ty;
+    E.Name = Name;
+    E.Kids = std::move(Args);
+    return node(std::move(E));
+  }
+
+  //===--- I64 polynomial form ---------------------------------------------===//
+
+  /// Splits a canonical term into coefficient and factor list.
+  static void termParts(const Sym &T, int64_t &Coeff,
+                        std::vector<Sym> &Factors) {
+    if (T->K == SK::Mul) {
+      Coeff = T->I;
+      Factors = T->Kids;
+    } else {
+      Coeff = 1;
+      Factors = {T};
+    }
+  }
+
+  Sym rebuildTerm(int64_t Coeff, std::vector<Sym> Factors) {
+    if (Coeff == 1 && Factors.size() == 1)
+      return Factors[0];
+    SymExpr E;
+    E.K = SK::Mul;
+    E.Ty = IRType::I64;
+    E.I = Coeff;
+    E.Kids = std::move(Factors);
+    return node(std::move(E));
+  }
+
+  Sym mkAdd(std::vector<Sym> Parts, int64_t Bias = 0) {
+    // Flatten + constant-fold.
+    std::vector<Sym> Terms;
+    for (Sym &P : Parts) {
+      if (P->K == SK::ConstI) {
+        Bias = wrapAdd(Bias, P->I);
+      } else if (P->K == SK::Add) {
+        Bias = wrapAdd(Bias, P->I);
+        Terms.insert(Terms.end(), P->Kids.begin(), P->Kids.end());
+      } else {
+        Terms.push_back(std::move(P));
+      }
+    }
+    // Combine like terms (equal factor lists) with wrapped coefficients.
+    std::vector<std::pair<std::vector<Sym>, int64_t>> Combined;
+    for (const Sym &T : Terms) {
+      int64_t Coeff;
+      std::vector<Sym> Factors;
+      termParts(T, Coeff, Factors);
+      bool Found = false;
+      for (auto &[CF, CC] : Combined) {
+        if (CF.size() != Factors.size())
+          continue;
+        bool Same = true;
+        for (size_t I = 0; I < CF.size() && Same; ++I)
+          Same = eqSym(CF[I], Factors[I]);
+        if (Same) {
+          CC = wrapAdd(CC, Coeff);
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        Combined.emplace_back(std::move(Factors), Coeff);
+    }
+    std::vector<Sym> Out;
+    for (auto &[Factors, Coeff] : Combined) {
+      if (Coeff == 0)
+        continue;
+      Out.push_back(rebuildTerm(Coeff, std::move(Factors)));
+    }
+    std::sort(Out.begin(), Out.end(), symLess);
+    if (Out.empty())
+      return constI(Bias);
+    if (Out.size() == 1 && Bias == 0)
+      return Out[0];
+    SymExpr E;
+    E.K = SK::Add;
+    E.Ty = IRType::I64;
+    E.I = Bias;
+    E.Kids = std::move(Out);
+    return node(std::move(E));
+  }
+
+  Sym mkMul(std::vector<Sym> Parts, int64_t Coeff = 1) {
+    std::vector<Sym> Factors;
+    for (Sym &P : Parts) {
+      if (P->K == SK::ConstI) {
+        Coeff = wrapMul(Coeff, P->I);
+      } else if (P->K == SK::Mul) {
+        Coeff = wrapMul(Coeff, P->I);
+        Factors.insert(Factors.end(), P->Kids.begin(), P->Kids.end());
+      } else {
+        Factors.push_back(std::move(P));
+      }
+    }
+    if (Coeff == 0)
+      return constI(0);
+    // Distribute over any Add factor: wrap makes this exact, and it is what
+    // lines up `(g*K + a)*K + b` against `(g*K + b)*K + a` as polynomials.
+    for (size_t I = 0; I < Factors.size(); ++I) {
+      if (Factors[I]->K != SK::Add)
+        continue;
+      Sym Sum = Factors[I];
+      std::vector<Sym> Rest;
+      for (size_t J = 0; J < Factors.size(); ++J)
+        if (J != I)
+          Rest.push_back(Factors[J]);
+      std::vector<Sym> Expanded;
+      for (const Sym &Term : Sum->Kids) {
+        std::vector<Sym> Prod = Rest;
+        Prod.push_back(Term);
+        Expanded.push_back(mkMul(std::move(Prod), Coeff));
+      }
+      if (Sum->I != 0)
+        Expanded.push_back(mkMul(Rest, wrapMul(Coeff, Sum->I)));
+      return mkAdd(std::move(Expanded));
+    }
+    std::sort(Factors.begin(), Factors.end(), symLess);
+    if (Factors.empty())
+      return constI(Coeff);
+    return rebuildTerm(Coeff, std::move(Factors));
+  }
+
+  Sym mkNeg(Sym A) { return mkMul({std::move(A)}, -1); }
+  Sym mkSub(Sym A, Sym B) {
+    return mkAdd({std::move(A), mkNeg(std::move(B))});
+  }
+
+  Sym mkDiv(Sym A, Sym B) {
+    if (A->K == SK::ConstI && B->K == SK::ConstI)
+      return constI(pinnedDiv(A->I, B->I));
+    if (B->K == SK::ConstI && B->I == 0)
+      return constI(0); // x / 0 == 0 for every x.
+    if (B->K == SK::ConstI && B->I == 1)
+      return A;
+    if (A->K == SK::ConstI && A->I == 0)
+      return constI(0);
+    SymExpr E;
+    E.K = SK::Div;
+    E.Ty = IRType::I64;
+    E.Kids = {std::move(A), std::move(B)};
+    return node(std::move(E));
+  }
+
+  Sym mkRem(Sym A, Sym B) {
+    if (A->K == SK::ConstI && B->K == SK::ConstI)
+      return constI(pinnedRem(A->I, B->I));
+    if (B->K == SK::ConstI && (B->I == 0 || B->I == 1 || B->I == -1))
+      return constI(0); // x%0 == 0 pinned; |x%±1| == 0 always.
+    if (A->K == SK::ConstI && A->I == 0)
+      return constI(0);
+    SymExpr E;
+    E.K = SK::Rem;
+    E.Ty = IRType::I64;
+    E.Kids = {std::move(A), std::move(B)};
+    return node(std::move(E));
+  }
+
+  //===--- F64 (fold-only; no reassociation) -------------------------------===//
+
+  Sym mkFBin(SK K, Sym A, Sym B) {
+    if (A->K == SK::ConstF && B->K == SK::ConstF) {
+      switch (K) {
+      case SK::FAdd:
+        return constF(A->D + B->D);
+      case SK::FSub:
+        return constF(A->D - B->D);
+      case SK::FMul:
+        return constF(A->D * B->D);
+      case SK::FDiv:
+        return constF(A->D / B->D);
+      default:
+        return constF(std::fmod(A->D, B->D));
+      }
+    }
+    // IEEE add/mul commute (they just do not associate): sort the pair.
+    if ((K == SK::FAdd || K == SK::FMul) && cmpSym(B, A) < 0)
+      std::swap(A, B);
+    SymExpr E;
+    E.K = K;
+    E.Ty = IRType::F64;
+    E.Kids = {std::move(A), std::move(B)};
+    return node(std::move(E));
+  }
+
+  Sym mkFNeg(Sym A) {
+    if (A->K == SK::ConstF)
+      return constF(-A->D);
+    if (A->K == SK::FNeg)
+      return A->Kids[0];
+    SymExpr E;
+    E.K = SK::FNeg;
+    E.Ty = IRType::F64;
+    E.Kids = {std::move(A)};
+    return node(std::move(E));
+  }
+
+  //===--- Comparisons / logic ---------------------------------------------===//
+
+  /// Canonical orientation: Gt/Ge lower to Lt/Le with swapped operands, so
+  /// Min/Max recognition in mkIte only ever sees two shapes.
+  Sym mkCmp(Opcode Op, Sym A, Sym B, bool FloatCmp) {
+    if (Op == Opcode::Gt || Op == Opcode::Ge) {
+      std::swap(A, B);
+      Op = Op == Opcode::Gt ? Opcode::Lt : Opcode::Le;
+    }
+    if (!FloatCmp && A->K == SK::ConstI && B->K == SK::ConstI) {
+      bool R;
+      switch (Op) {
+      case Opcode::Eq:
+        R = A->I == B->I;
+        break;
+      case Opcode::Ne:
+        R = A->I != B->I;
+        break;
+      case Opcode::Lt:
+        R = A->I < B->I;
+        break;
+      default:
+        R = A->I <= B->I;
+        break;
+      }
+      return constI(R ? 1 : 0);
+    }
+    if (FloatCmp && A->K == SK::ConstF && B->K == SK::ConstF) {
+      bool R;
+      switch (Op) {
+      case Opcode::Eq:
+        R = A->D == B->D;
+        break;
+      case Opcode::Ne:
+        R = A->D != B->D;
+        break;
+      case Opcode::Lt:
+        R = A->D < B->D;
+        break;
+      default:
+        R = A->D <= B->D;
+        break;
+      }
+      return constI(R ? 1 : 0);
+    }
+    if (!FloatCmp && eqSym(A, B)) // Not sound for floats (NaN).
+      return constI(Op == Opcode::Eq || Op == Opcode::Le ? 1 : 0);
+    if ((Op == Opcode::Eq || Op == Opcode::Ne) && cmpSym(B, A) < 0)
+      std::swap(A, B);
+    SK K;
+    switch (Op) {
+    case Opcode::Eq:
+      K = SK::Eq;
+      break;
+    case Opcode::Ne:
+      K = SK::Ne;
+      break;
+    case Opcode::Lt:
+      K = SK::Lt;
+      break;
+    default:
+      K = SK::Le;
+      break;
+    }
+    SymExpr E;
+    E.K = K;
+    E.Ty = IRType::I64;
+    E.FloatCmp = FloatCmp;
+    E.Kids = {std::move(A), std::move(B)};
+    return node(std::move(E));
+  }
+
+  Sym mkNot(Sym A) {
+    if (A->K == SK::ConstI)
+      return constI(A->I == 0 ? 1 : 0);
+    // Integer comparisons invert exactly; float ones do not (NaN makes
+    // !(a<b) differ from a>=b), so those keep the Not node.
+    if (!A->FloatCmp) {
+      switch (A->K) {
+      case SK::Eq:
+        return mkCmp(Opcode::Ne, A->Kids[0], A->Kids[1], false);
+      case SK::Ne:
+        return mkCmp(Opcode::Eq, A->Kids[0], A->Kids[1], false);
+      case SK::Lt: // !(a<b) == b<=a
+        return mkCmp(Opcode::Le, A->Kids[1], A->Kids[0], false);
+      case SK::Le: // !(a<=b) == b<a
+        return mkCmp(Opcode::Lt, A->Kids[1], A->Kids[0], false);
+      default:
+        break;
+      }
+    }
+    if (A->K == SK::Not) {
+      const Sym &B = A->Kids[0];
+      // Not(Not(x)) == x only when x is already 0/1-valued.
+      if (B->K == SK::Not || B->K == SK::Eq || B->K == SK::Ne ||
+          B->K == SK::Lt || B->K == SK::Le)
+        return B;
+    }
+    SymExpr E;
+    E.K = SK::Not;
+    E.Ty = IRType::I64;
+    E.Kids = {std::move(A)};
+    return node(std::move(E));
+  }
+
+  Sym mkIntToFp(Sym A) {
+    if (A->K == SK::ConstI)
+      return constF(static_cast<double>(A->I));
+    SymExpr E;
+    E.K = SK::IntToFp;
+    E.Ty = IRType::F64;
+    E.Kids = {std::move(A)};
+    return node(std::move(E));
+  }
+
+  Sym mkFpToInt(Sym A) {
+    if (A->K == SK::ConstF)
+      return constI(pinnedFpToInt(A->D));
+    SymExpr E;
+    E.K = SK::FpToInt;
+    E.Ty = IRType::I64;
+    E.Kids = {std::move(A)};
+    return node(std::move(E));
+  }
+
+  Sym mkMinMax(SK K, std::vector<Sym> Parts) {
+    std::vector<Sym> Kids;
+    bool HaveConst = false;
+    int64_t Const = 0;
+    for (Sym &P : Parts) {
+      if (P->K == K) {
+        Kids.insert(Kids.end(), P->Kids.begin(), P->Kids.end());
+      } else if (P->K == SK::ConstI) {
+        Const = HaveConst ? (K == SK::Min ? std::min(Const, P->I)
+                                          : std::max(Const, P->I))
+                          : P->I;
+        HaveConst = true;
+      } else {
+        Kids.push_back(std::move(P));
+      }
+    }
+    if (HaveConst)
+      Kids.push_back(constI(Const));
+    std::sort(Kids.begin(), Kids.end(), symLess);
+    Kids.erase(std::unique(Kids.begin(), Kids.end(), eqSym), Kids.end());
+    if (Kids.size() == 1)
+      return Kids[0];
+    SymExpr E;
+    E.K = K;
+    E.Ty = IRType::I64;
+    E.Kids = std::move(Kids);
+    return node(std::move(E));
+  }
+
+  Sym mkIte(Sym C, Sym T, Sym E) {
+    if (C->K == SK::ConstI)
+      return C->I != 0 ? T : E;
+    if (eqSym(T, E))
+      return T;
+    // Compare-select as Min/Max (integers only; float select under NaN is
+    // not a lattice operation). Gt/Ge already lowered to Lt/Le.
+    if (!C->FloatCmp && (C->K == SK::Lt || C->K == SK::Le) &&
+        T->Ty == IRType::I64 && E->Ty == IRType::I64) {
+      if (eqSym(C->Kids[0], T) && eqSym(C->Kids[1], E))
+        return mkMinMax(SK::Min, {T, E});
+      if (eqSym(C->Kids[0], E) && eqSym(C->Kids[1], T))
+        return mkMinMax(SK::Max, {T, E});
+    }
+    SymExpr N;
+    N.K = SK::Ite;
+    N.Ty = T->Ty;
+    N.Kids = {std::move(C), std::move(T), std::move(E)};
+    return node(std::move(N));
+  }
+
+private:
+  unsigned Budget;
+  unsigned Nodes = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Symbolic execution
+//===----------------------------------------------------------------------===//
+
+/// Written global slots; a missing slot still holds its opaque initial
+/// value (the InitGlobal atom).
+struct SymState {
+  std::map<unsigned, Sym> Globals;
+};
+
+struct SymFrame {
+  const Function *F = nullptr;
+  std::vector<Sym> Locals; // Null entries = uninitialized Ptr locals.
+  std::vector<Sym> Regs;
+};
+
+class SymExec {
+public:
+  SymExec(const Module &M, SymBuilder &B, const ProveOptions &Opts)
+      : M(M), B(B), Opts(Opts), StepsLeft(Opts.StepBudget) {}
+
+  /// True once any pure native was applied: proofs stay valid
+  /// (uninterpreted functions), but witness enumeration cannot evaluate the
+  /// term, so refutation is off for this pair.
+  bool UsedNative = false;
+
+  Sym runCall(SymState &St, const Function *F, const std::vector<Sym> &Args,
+              unsigned Depth) {
+    if (Depth > Opts.InlineDepth)
+      throw Unmodeled{"call depth exceeds inline budget in '" + F->Name +
+                      "'"};
+    if (F->Blocks.empty())
+      throw Unmodeled{"'" + F->Name + "' has no body"};
+    SymFrame Fr;
+    Fr.F = F;
+    Fr.Locals.resize(F->Locals.size());
+    for (unsigned I = 0; I < F->NumParams; ++I)
+      Fr.Locals[I] = Args[I];
+    for (unsigned I = F->NumParams; I < F->Locals.size(); ++I) {
+      switch (F->Locals[I].Type) {
+      case IRType::I64:
+        Fr.Locals[I] = B.constI(0);
+        break;
+      case IRType::F64:
+        Fr.Locals[I] = B.constF(0.0);
+        break;
+      default:
+        break; // Ptr locals stay null; loading one raises Unmodeled.
+      }
+    }
+    Fr.Regs.resize(F->NumInstrs);
+    return runFrom(St, Fr, F->entry(), Depth);
+  }
+
+  Sym globalValue(SymState &St, unsigned Slot) {
+    auto It = St.Globals.find(Slot);
+    if (It != St.Globals.end())
+      return It->second;
+    IRType Ty = M.Globals[Slot].Type;
+    if (Ty == IRType::Ptr)
+      throw Unmodeled{"pointer-typed global '" + M.Globals[Slot].Name + "'"};
+    auto &Cached = InitAtoms[Slot];
+    if (!Cached)
+      Cached = B.initGlobal(Slot, Ty);
+    return Cached;
+  }
+
+private:
+  void step() {
+    if (StepsLeft == 0)
+      throw OutOfBudget{"symbolic step budget"};
+    --StepsLeft;
+  }
+
+  Sym evalOp(const SymFrame &Fr, const Operand &Op) {
+    switch (Op.K) {
+    case Operand::Kind::Instr: {
+      const Sym &V = Fr.Regs[Op.Def->Id];
+      if (!V)
+        throw Unmodeled{"use of pointer-typed register"};
+      return V;
+    }
+    case Operand::Kind::ConstInt:
+      return B.constI(Op.IntVal);
+    case Operand::Kind::ConstFloat:
+      return B.constF(Op.FloatVal);
+    default:
+      throw Unmodeled{"pointer/string constant operand"};
+    }
+  }
+
+  void mergeInto(const Sym &Cond, SymState &Then, SymState &Else) {
+    std::set<unsigned> Slots;
+    for (const auto &[Slot, V] : Then.Globals)
+      Slots.insert(Slot);
+    for (const auto &[Slot, V] : Else.Globals)
+      Slots.insert(Slot);
+    for (unsigned Slot : Slots) {
+      Sym T = globalValue(Then, Slot);
+      Sym E = globalValue(Else, Slot);
+      if (!eqSym(T, E))
+        Else.Globals[Slot] = B.mkIte(Cond, T, E);
+      else
+        Else.Globals[Slot] = T;
+    }
+  }
+
+  Sym runFrom(SymState &St, SymFrame &Fr, const BasicBlock *BB,
+              unsigned Depth) {
+    while (true) {
+      const Instruction *Term = nullptr;
+      for (const auto &IP : BB->Instrs) {
+        const Instruction *In = IP.get();
+        if (In->isTerminator()) {
+          Term = In;
+          break;
+        }
+        step();
+        execInstr(St, Fr, In, Depth);
+      }
+      if (!Term)
+        throw Unmodeled{"unterminated block"};
+      step();
+      switch (Term->op()) {
+      case Opcode::Br:
+        BB = Term->Succ0;
+        continue;
+      case Opcode::CondBr: {
+        Sym C = evalOp(Fr, Term->Operands[0]);
+        if (C->K == SK::ConstI) {
+          BB = C->I != 0 ? Term->Succ0 : Term->Succ1;
+          continue;
+        }
+        SymState ThenSt = St;
+        SymFrame ThenFr = Fr;
+        Sym RetT = runFrom(ThenSt, ThenFr, Term->Succ0, Depth);
+        Sym RetE = runFrom(St, Fr, Term->Succ1, Depth);
+        mergeInto(C, ThenSt, St);
+        if (RetT && RetE)
+          return eqSym(RetT, RetE) ? RetT : B.mkIte(C, RetT, RetE);
+        return nullptr;
+      }
+      case Opcode::Ret:
+        if (!Term->Operands.empty())
+          return evalOp(Fr, Term->Operands[0]);
+        return nullptr;
+      default:
+        throw Unmodeled{"unexpected terminator"};
+      }
+    }
+  }
+
+  void execInstr(SymState &St, SymFrame &Fr, const Instruction *In,
+                 unsigned Depth) {
+    auto set = [&](Sym V) { Fr.Regs[In->Id] = std::move(V); };
+    switch (In->op()) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem: {
+      Sym L = evalOp(Fr, In->Operands[0]);
+      Sym R = evalOp(Fr, In->Operands[1]);
+      if (In->type() == IRType::F64) {
+        SK K;
+        switch (In->op()) {
+        case Opcode::Add:
+          K = SK::FAdd;
+          break;
+        case Opcode::Sub:
+          K = SK::FSub;
+          break;
+        case Opcode::Mul:
+          K = SK::FMul;
+          break;
+        case Opcode::Div:
+          K = SK::FDiv;
+          break;
+        default:
+          K = SK::FRem;
+          break;
+        }
+        set(B.mkFBin(K, std::move(L), std::move(R)));
+      } else {
+        switch (In->op()) {
+        case Opcode::Add:
+          set(B.mkAdd({std::move(L), std::move(R)}));
+          break;
+        case Opcode::Sub:
+          set(B.mkSub(std::move(L), std::move(R)));
+          break;
+        case Opcode::Mul:
+          set(B.mkMul({std::move(L), std::move(R)}));
+          break;
+        case Opcode::Div:
+          set(B.mkDiv(std::move(L), std::move(R)));
+          break;
+        default:
+          set(B.mkRem(std::move(L), std::move(R)));
+          break;
+        }
+      }
+      return;
+    }
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge: {
+      // Operand interpretation mirrors the interpreter: inferred from the
+      // first operand's defining instruction or constant kind.
+      const Operand &Op0 = In->Operands[0];
+      bool IsFloat, IsPtr;
+      if (Op0.isInstr()) {
+        IsFloat = Op0.Def->type() == IRType::F64;
+        IsPtr = Op0.Def->type() == IRType::Ptr;
+      } else {
+        IsFloat = Op0.K == Operand::Kind::ConstFloat;
+        IsPtr = Op0.K == Operand::Kind::ConstNull ||
+                Op0.K == Operand::Kind::ConstStr;
+      }
+      if (IsPtr)
+        throw Unmodeled{"pointer comparison"};
+      Sym L = evalOp(Fr, Op0);
+      Sym R = evalOp(Fr, In->Operands[1]);
+      set(B.mkCmp(In->op(), std::move(L), std::move(R), IsFloat));
+      return;
+    }
+    case Opcode::Neg: {
+      Sym V = evalOp(Fr, In->Operands[0]);
+      set(In->type() == IRType::F64 ? B.mkFNeg(std::move(V))
+                                    : B.mkNeg(std::move(V)));
+      return;
+    }
+    case Opcode::Not:
+      set(B.mkNot(evalOp(Fr, In->Operands[0])));
+      return;
+    case Opcode::IntToFp:
+      set(B.mkIntToFp(evalOp(Fr, In->Operands[0])));
+      return;
+    case Opcode::FpToInt:
+      set(B.mkFpToInt(evalOp(Fr, In->Operands[0])));
+      return;
+    case Opcode::LoadLocal: {
+      const Sym &V = Fr.Locals[In->SlotId];
+      if (!V)
+        throw Unmodeled{"pointer-typed local"};
+      set(V);
+      return;
+    }
+    case Opcode::StoreLocal:
+      Fr.Locals[In->SlotId] = evalOp(Fr, In->Operands[0]);
+      return;
+    case Opcode::LoadGlobal:
+      set(globalValue(St, In->SlotId));
+      return;
+    case Opcode::StoreGlobal:
+      St.Globals[In->SlotId] = evalOp(Fr, In->Operands[0]);
+      return;
+    case Opcode::Call: {
+      std::vector<Sym> Args;
+      for (const Operand &Op : In->Operands)
+        Args.push_back(evalOp(Fr, Op));
+      Sym R = runCall(St, In->Callee, Args, Depth + 1);
+      if (In->producesValue()) {
+        if (!R)
+          throw Unmodeled{"void result used"};
+        set(std::move(R));
+      }
+      return;
+    }
+    case Opcode::CallNative: {
+      const NativeDecl *N = In->Native;
+      if (!N->Effects.Pure)
+        throw Unmodeled{"effectful native '" + N->Name + "'"};
+      if (N->ReturnType == IRType::Ptr)
+        throw Unmodeled{"pointer-returning native '" + N->Name + "'"};
+      std::vector<Sym> Args;
+      for (const Operand &Op : In->Operands)
+        Args.push_back(evalOp(Fr, Op));
+      UsedNative = true;
+      if (In->producesValue())
+        set(B.nativeApp(N->Name, N->ReturnType, std::move(Args)));
+      return;
+    }
+    default:
+      throw Unmodeled{std::string("unsupported opcode ") +
+                      opcodeName(In->op())};
+    }
+  }
+
+  const Module &M;
+  SymBuilder &B;
+  const ProveOptions &Opts;
+  unsigned StepsLeft;
+  std::map<unsigned, Sym> InitAtoms;
+};
+
+//===----------------------------------------------------------------------===//
+// Concrete evaluation + witness search
+//===----------------------------------------------------------------------===//
+
+/// Atom identity for witness assignments.
+struct AtomKey {
+  bool IsArg = false;
+  unsigned A = 0; // Global slot / call instance.
+  unsigned B = 0; // Param index (args only).
+  IRType Ty = IRType::I64;
+
+  bool operator<(const AtomKey &O) const {
+    return std::tie(IsArg, A, B) < std::tie(O.IsArg, O.A, O.B);
+  }
+};
+
+void collectAtoms(const Sym &E, std::map<AtomKey, RtValue> &Out) {
+  if (E->K == SK::InitGlobal)
+    Out.emplace(AtomKey{false, E->A, 0, E->Ty}, RtValue());
+  else if (E->K == SK::Arg)
+    Out.emplace(AtomKey{true, static_cast<unsigned>(E->I), E->A, E->Ty},
+                RtValue());
+  for (const Sym &K : E->Kids)
+    collectAtoms(K, Out);
+}
+
+/// Mirrors the interpreter's pinned semantics exactly; only called on trees
+/// free of NativeApp (guarded by SymExec::UsedNative).
+RtValue evalConcrete(const Module &M, const Sym &E,
+                     const std::map<AtomKey, RtValue> &Atoms) {
+  switch (E->K) {
+  case SK::ConstI:
+    return RtValue::ofInt(E->I);
+  case SK::ConstF:
+    return RtValue::ofDouble(E->D);
+  case SK::InitGlobal: {
+    auto It = Atoms.find(AtomKey{false, E->A, 0, E->Ty});
+    if (It != Atoms.end())
+      return It->second;
+    const GlobalVar &G = M.Globals[E->A];
+    return G.Type == IRType::F64 ? RtValue::ofDouble(G.FloatInit)
+                                 : RtValue::ofInt(G.IntInit);
+  }
+  case SK::Arg: {
+    auto It =
+        Atoms.find(AtomKey{true, static_cast<unsigned>(E->I), E->A, E->Ty});
+    if (It != Atoms.end())
+      return It->second;
+    return E->Ty == IRType::F64 ? RtValue::ofDouble(0.0) : RtValue::ofInt(0);
+  }
+  case SK::Add: {
+    int64_t S = E->I;
+    for (const Sym &K : E->Kids)
+      S = wrapAdd(S, evalConcrete(M, K, Atoms).I);
+    return RtValue::ofInt(S);
+  }
+  case SK::Mul: {
+    int64_t P = E->I;
+    for (const Sym &K : E->Kids)
+      P = wrapMul(P, evalConcrete(M, K, Atoms).I);
+    return RtValue::ofInt(P);
+  }
+  case SK::Div:
+    return RtValue::ofInt(pinnedDiv(evalConcrete(M, E->Kids[0], Atoms).I,
+                                    evalConcrete(M, E->Kids[1], Atoms).I));
+  case SK::Rem:
+    return RtValue::ofInt(pinnedRem(evalConcrete(M, E->Kids[0], Atoms).I,
+                                    evalConcrete(M, E->Kids[1], Atoms).I));
+  case SK::FAdd:
+    return RtValue::ofDouble(evalConcrete(M, E->Kids[0], Atoms).D +
+                             evalConcrete(M, E->Kids[1], Atoms).D);
+  case SK::FSub:
+    return RtValue::ofDouble(evalConcrete(M, E->Kids[0], Atoms).D -
+                             evalConcrete(M, E->Kids[1], Atoms).D);
+  case SK::FMul:
+    return RtValue::ofDouble(evalConcrete(M, E->Kids[0], Atoms).D *
+                             evalConcrete(M, E->Kids[1], Atoms).D);
+  case SK::FDiv:
+    return RtValue::ofDouble(evalConcrete(M, E->Kids[0], Atoms).D /
+                             evalConcrete(M, E->Kids[1], Atoms).D);
+  case SK::FRem:
+    return RtValue::ofDouble(std::fmod(evalConcrete(M, E->Kids[0], Atoms).D,
+                                       evalConcrete(M, E->Kids[1], Atoms).D));
+  case SK::FNeg:
+    return RtValue::ofDouble(-evalConcrete(M, E->Kids[0], Atoms).D);
+  case SK::Eq:
+  case SK::Ne:
+  case SK::Lt:
+  case SK::Le: {
+    RtValue L = evalConcrete(M, E->Kids[0], Atoms);
+    RtValue R = evalConcrete(M, E->Kids[1], Atoms);
+    bool V;
+    if (E->FloatCmp)
+      V = E->K == SK::Eq   ? L.D == R.D
+          : E->K == SK::Ne ? L.D != R.D
+          : E->K == SK::Lt ? L.D < R.D
+                           : L.D <= R.D;
+    else
+      V = E->K == SK::Eq   ? L.I == R.I
+          : E->K == SK::Ne ? L.I != R.I
+          : E->K == SK::Lt ? L.I < R.I
+                           : L.I <= R.I;
+    return RtValue::ofInt(V ? 1 : 0);
+  }
+  case SK::Not:
+    return RtValue::ofInt(evalConcrete(M, E->Kids[0], Atoms).I == 0 ? 1 : 0);
+  case SK::IntToFp:
+    return RtValue::ofDouble(
+        static_cast<double>(evalConcrete(M, E->Kids[0], Atoms).I));
+  case SK::FpToInt:
+    return RtValue::ofInt(
+        pinnedFpToInt(evalConcrete(M, E->Kids[0], Atoms).D));
+  case SK::Ite:
+    return evalConcrete(M, E->Kids[0], Atoms).I != 0
+               ? evalConcrete(M, E->Kids[1], Atoms)
+               : evalConcrete(M, E->Kids[2], Atoms);
+  case SK::Min:
+  case SK::Max: {
+    int64_t V = evalConcrete(M, E->Kids[0], Atoms).I;
+    for (size_t I = 1; I < E->Kids.size(); ++I) {
+      int64_t K = evalConcrete(M, E->Kids[I], Atoms).I;
+      V = E->K == SK::Min ? std::min(V, K) : std::max(V, K);
+    }
+    return RtValue::ofInt(V);
+  }
+  case SK::NativeApp:
+    break;
+  }
+  throw Unmodeled{"concrete evaluation of uninterpreted term"};
+}
+
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Deterministic candidate assignment for enumeration round \p Try.
+void assignCandidate(std::map<AtomKey, RtValue> &Atoms, unsigned Try) {
+  static const int64_t IntPool[] = {0,  1,  2,  -1, 3,         5,
+                                    7,  -2, 13, 100, INT64_MAX, INT64_MIN};
+  static const double FloatPool[] = {0.0, 1.0, 2.5, -1.0, 0.5, 3.0};
+  unsigned J = 0;
+  for (auto &[Key, Val] : Atoms) {
+    if (Try == 0) {
+      Val = Key.Ty == IRType::F64 ? RtValue::ofDouble(1.5 * (J + 1))
+                                  : RtValue::ofInt(static_cast<int64_t>(J) + 1);
+    } else if (Try == 1) {
+      Val = Key.Ty == IRType::F64
+                ? RtValue::ofDouble(-0.5 * (J + 1))
+                : RtValue::ofInt(-(static_cast<int64_t>(J) + 2));
+    } else {
+      uint64_t H = mix64(Try * 0x51ed2701db1f7c25ULL + J * 0x2545f4914f6cdd1dULL);
+      Val = Key.Ty == IRType::F64
+                ? RtValue::ofDouble(FloatPool[H % 6])
+                : RtValue::ofInt(IntPool[H % 12]);
+    }
+    ++J;
+  }
+}
+
+std::string renderValue(IRType Ty, RtValue V) {
+  if (Ty == IRType::F64) {
+    std::ostringstream Os;
+    Os << V.D;
+    return Os.str();
+  }
+  return std::to_string(V.I);
+}
+
+//===----------------------------------------------------------------------===//
+// Pair proving
+//===----------------------------------------------------------------------===//
+
+struct DiffItem {
+  std::string What; // "global 'g'" / "return of 'f' (first call)".
+  Sym A, B;
+};
+
+/// Validates a candidate on the real interpreter: runs First;Second and
+/// Second;First sequentially from the witness state and diffs the final
+/// global image plus both calls' return values bit-for-bit. This is the
+/// gate every CL060 passes — a symbolic disagreement alone never refutes.
+bool validateOnInterpreter(const Compilation &C, const Function *First,
+                           const Function *Second,
+                           const std::vector<std::pair<unsigned, RtValue>>
+                               &InitGlobals,
+                           const std::vector<RtValue> &FirstArgs,
+                           const std::vector<RtValue> &SecondArgs,
+                           std::string &DivergenceOut) {
+  const Module &M = C.module();
+  NativeRegistry NoNatives; // Refuted bodies are native-free by precondition.
+  std::vector<RtValue> Base = makeGlobalImage(M);
+  for (const auto &[Slot, V] : InitGlobals)
+    Base[Slot] = V;
+
+  struct Outcome {
+    std::vector<RtValue> Globals;
+    RtValue RetFirst, RetSecond;
+  };
+  auto runOrder = [&](bool FirstLeads) {
+    Outcome O;
+    O.Globals = Base;
+    Interpreter I(M, NoNatives, O.Globals.data());
+    if (FirstLeads) {
+      O.RetFirst = I.call(First, FirstArgs);
+      O.RetSecond = I.call(Second, SecondArgs);
+    } else {
+      O.RetSecond = I.call(Second, SecondArgs);
+      O.RetFirst = I.call(First, FirstArgs);
+    }
+    return O;
+  };
+  Outcome AB = runOrder(true);
+  Outcome BA = runOrder(false);
+
+  for (unsigned Slot = 0; Slot < M.Globals.size(); ++Slot) {
+    if (AB.Globals[Slot].Bits == BA.Globals[Slot].Bits)
+      continue;
+    IRType Ty = M.Globals[Slot].Type;
+    DivergenceOut = formatString(
+        "global '%s' ends %s when the first operation leads but %s when "
+        "the second leads",
+        M.Globals[Slot].Name.c_str(),
+        renderValue(Ty, AB.Globals[Slot]).c_str(),
+        renderValue(Ty, BA.Globals[Slot]).c_str());
+    return true;
+  }
+  if (First->ReturnType != IRType::Void &&
+      AB.RetFirst.Bits != BA.RetFirst.Bits) {
+    DivergenceOut = formatString(
+        "return of '%s' is %s when it runs first but %s when it runs second",
+        First->Name.c_str(),
+        renderValue(First->ReturnType, AB.RetFirst).c_str(),
+        renderValue(First->ReturnType, BA.RetFirst).c_str());
+    return true;
+  }
+  if (Second->ReturnType != IRType::Void &&
+      AB.RetSecond.Bits != BA.RetSecond.Bits) {
+    DivergenceOut = formatString(
+        "return of '%s' is %s when it runs second but %s when it runs first",
+        Second->Name.c_str(),
+        renderValue(Second->ReturnType, AB.RetSecond).c_str(),
+        renderValue(Second->ReturnType, BA.RetSecond).c_str());
+    return true;
+  }
+  return false;
+}
+
+PairProof provePairImpl(const Compilation &C, const Function *First,
+                        const Function *Second, bool AllowRefute,
+                        const ProveOptions &Opts) {
+  const Module &M = C.module();
+  PairProof P;
+  P.First = First->Name;
+  P.Second = Second->Name;
+  P.Loc = First->Loc;
+
+  try {
+    SymBuilder B(Opts.NodeBudget);
+
+    // Shared atoms: each call instance keeps its own arguments across both
+    // orders (commuting swaps execution order, not operands).
+    std::vector<Sym> FirstArgs, SecondArgs;
+    for (unsigned I = 0; I < First->NumParams; ++I) {
+      if (First->Locals[I].Type == IRType::Ptr)
+        throw Unmodeled{"pointer parameter of '" + First->Name + "'"};
+      FirstArgs.push_back(B.arg(0, I, First->Locals[I].Type));
+    }
+    for (unsigned I = 0; I < Second->NumParams; ++I) {
+      if (Second->Locals[I].Type == IRType::Ptr)
+        throw Unmodeled{"pointer parameter of '" + Second->Name + "'"};
+      SecondArgs.push_back(B.arg(1, I, Second->Locals[I].Type));
+    }
+
+    SymExec E1(M, B, Opts);
+    SymState S1;
+    Sym RetFirst1 = E1.runCall(S1, First, FirstArgs, 0);
+    Sym RetSecond1 = E1.runCall(S1, Second, SecondArgs, 0);
+
+    SymExec E2(M, B, Opts);
+    SymState S2;
+    Sym RetSecond2 = E2.runCall(S2, Second, SecondArgs, 0);
+    Sym RetFirst2 = E2.runCall(S2, First, FirstArgs, 0);
+
+    bool UsedNative = E1.UsedNative || E2.UsedNative;
+
+    std::vector<DiffItem> Diffs;
+    std::set<unsigned> Slots;
+    for (const auto &[Slot, V] : S1.Globals)
+      Slots.insert(Slot);
+    for (const auto &[Slot, V] : S2.Globals)
+      Slots.insert(Slot);
+    for (unsigned Slot : Slots) {
+      Sym A = E1.globalValue(S1, Slot);
+      Sym V2 = E2.globalValue(S2, Slot);
+      if (!eqSym(A, V2))
+        Diffs.push_back(
+            {"global '" + M.Globals[Slot].Name + "'", A, V2});
+    }
+    auto diffRet = [&](const char *Who, const Sym &A, const Sym &B2) {
+      if (A && B2 && !eqSym(A, B2))
+        Diffs.push_back({std::string("return of '") + Who + "'", A, B2});
+    };
+    diffRet(First->Name.c_str(), RetFirst1, RetFirst2);
+    diffRet(Second->Name.c_str(), RetSecond1, RetSecond2);
+
+    if (Diffs.empty()) {
+      P.Verdict = ProveVerdict::Proven;
+      P.Detail = "both operation orders produce identical normalized "
+                 "global state and return values";
+      return P;
+    }
+
+    std::string SymDetail = "symbolic outcomes differ on " + Diffs[0].What;
+    if (!AllowRefute) {
+      P.Verdict = ProveVerdict::Unknown;
+      P.Detail = SymDetail + "; the set is predicated, so an unconditional "
+                             "witness cannot refute the conditional claim";
+      return P;
+    }
+    if (UsedNative) {
+      P.Verdict = ProveVerdict::Unknown;
+      P.Detail = SymDetail + ", but the bodies call natives the prover "
+                             "cannot evaluate concretely";
+      return P;
+    }
+
+    // Witness enumeration over the diff's atoms, gated by real replay.
+    std::map<AtomKey, RtValue> Atoms;
+    for (const DiffItem &D : Diffs) {
+      collectAtoms(D.A, Atoms);
+      collectAtoms(D.B, Atoms);
+    }
+    for (unsigned Try = 0; Try < Opts.WitnessTries; ++Try) {
+      assignCandidate(Atoms, Try);
+      bool CandidateDiffers = false;
+      for (const DiffItem &D : Diffs) {
+        if (evalConcrete(M, D.A, Atoms).Bits !=
+            evalConcrete(M, D.B, Atoms).Bits) {
+          CandidateDiffers = true;
+          break;
+        }
+      }
+      if (!CandidateDiffers)
+        continue;
+
+      std::vector<std::pair<unsigned, RtValue>> InitGlobals;
+      std::vector<RtValue> CFirst(First->NumParams),
+          CSecond(Second->NumParams);
+      for (const auto &[Key, Val] : Atoms) {
+        if (!Key.IsArg)
+          InitGlobals.emplace_back(Key.A, Val);
+        else if (Key.A == 0)
+          CFirst[Key.B] = Val;
+        else
+          CSecond[Key.B] = Val;
+      }
+      std::string Divergence;
+      if (!validateOnInterpreter(C, First, Second, InitGlobals, CFirst,
+                                 CSecond, Divergence))
+        continue;
+
+      ProveWitness W;
+      for (const auto &[Slot, V] : InitGlobals)
+        W.Globals.emplace_back(
+            Slot, M.Globals[Slot].Type == IRType::F64
+                      ? ProveValue::ofDouble(V.D)
+                      : ProveValue::ofInt(V.I));
+      for (unsigned I = 0; I < First->NumParams; ++I)
+        W.FirstArgs.push_back(First->Locals[I].Type == IRType::F64
+                                  ? ProveValue::ofDouble(CFirst[I].D)
+                                  : ProveValue::ofInt(CFirst[I].I));
+      for (unsigned I = 0; I < Second->NumParams; ++I)
+        W.SecondArgs.push_back(Second->Locals[I].Type == IRType::F64
+                                   ? ProveValue::ofDouble(CSecond[I].D)
+                                   : ProveValue::ofInt(CSecond[I].I));
+      W.Divergence = Divergence;
+      P.Verdict = ProveVerdict::Refuted;
+      P.Detail = SymDetail;
+      P.Witness = std::move(W);
+      return P;
+    }
+    P.Verdict = ProveVerdict::Unknown;
+    P.Detail = SymDetail + ", but no concrete divergence was found within " +
+               std::to_string(Opts.WitnessTries) + " candidate assignments";
+    return P;
+  } catch (const OutOfBudget &E) {
+    P.Verdict = ProveVerdict::Unknown;
+    P.Detail = "budget exhausted (" + E.What + "); raise --prove-budget";
+    return P;
+  } catch (const Unmodeled &E) {
+    P.Verdict = ProveVerdict::Unknown;
+    P.Detail = "unmodeled construct: " + E.What;
+    return P;
+  }
+}
+
+std::string pairDesc(const Compilation &C, const PairProof &P) {
+  std::string SetName;
+  if (P.SetId != ~0u && P.SetId < C.registry().sets().size())
+    SetName = C.registry().set(P.SetId).Name;
+  if (P.First == P.Second) {
+    if (SetName.empty())
+      return formatString("instances of '%s'", P.First.c_str());
+    return formatString("member '%s' of self COMMSET '%s'", P.First.c_str(),
+                        SetName.c_str());
+  }
+  if (SetName.empty())
+    return formatString("calls to '%s' and '%s'", P.First.c_str(),
+                        P.Second.c_str());
+  return formatString("members '%s' and '%s' of COMMSET '%s'",
+                      P.First.c_str(), P.Second.c_str(), SetName.c_str());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+const char *commset::proveVerdictName(ProveVerdict V) {
+  switch (V) {
+  case ProveVerdict::Proven:
+    return "proven-commutative";
+  case ProveVerdict::Refuted:
+    return "proven-non-commutative";
+  case ProveVerdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string ProveValue::str() const {
+  if (Ty == IRType::F64) {
+    std::ostringstream Os;
+    Os << D;
+    return Os.str();
+  }
+  return std::to_string(I);
+}
+
+std::string commset::proveWitnessStr(const Module &M, const PairProof &P) {
+  if (!P.Witness)
+    return {};
+  const ProveWitness &W = *P.Witness;
+  std::string Out;
+  for (const auto &[Slot, V] : W.Globals) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += (Slot < M.Globals.size() ? M.Globals[Slot].Name
+                                    : "<global #" + std::to_string(Slot) +
+                                          ">") +
+           "=" + V.str();
+  }
+  auto renderCall = [](const std::string &Name,
+                       const std::vector<ProveValue> &Args) {
+    std::string S = Name + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Args[I].str();
+    }
+    return S + ")";
+  };
+  if (!Out.empty())
+    Out += "; ";
+  Out += "first " + renderCall(P.First, W.FirstArgs) + "; second " +
+         renderCall(P.Second, W.SecondArgs);
+  return Out;
+}
+
+PairProof commset::proveFunctionPair(const Compilation &C,
+                                     const Function &First,
+                                     const Function &Second,
+                                     const ProveOptions &Opts) {
+  return provePairImpl(C, &First, &Second, /*AllowRefute=*/true, Opts);
+}
+
+ProveResult commset::runCommProve(const Compilation &C,
+                                  const Compilation::LoopTarget *T,
+                                  const ProveOptions &Opts) {
+  ProveResult R;
+  const CommSetRegistry &Reg = C.registry();
+  const Module &M = C.module();
+
+  // Proofs are per function pair; one pair annotated through several sets
+  // (or hit by several PDG edges) proves once.
+  std::map<std::pair<std::string, std::string>, PairProof> Cache;
+  auto proveCached = [&](const Function *F, const Function *G) {
+    std::pair<std::string, std::string> Key = std::minmax(F->Name, G->Name);
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    PairProof P = provePairImpl(C, F, G, /*AllowRefute=*/true, Opts);
+    Cache.emplace(Key, P);
+    return P;
+  };
+
+  for (const CommSetRegistry::SetInfo &S : Reg.sets()) {
+    std::vector<const Function *> Members;
+    for (const std::string &Callee : Reg.memberCallees()) {
+      for (const auto &Mem : Reg.membershipsOf(Callee)) {
+        if (Mem.SetId != S.Id)
+          continue;
+        if (const Function *F = M.findFunction(Callee))
+          Members.push_back(F);
+        // Native members carry no bodies; their interface commutativity
+        // stays a trusted claim (same stance as the CL002 race split).
+      }
+    }
+    std::sort(Members.begin(), Members.end(),
+              [](const Function *A, const Function *B) {
+                return A->Name < B->Name;
+              });
+    Members.erase(std::unique(Members.begin(), Members.end()),
+                  Members.end());
+
+    std::vector<std::pair<const Function *, const Function *>> PairsToProve;
+    if (S.Kind == CommSetKind::Self) {
+      for (const Function *F : Members)
+        PairsToProve.emplace_back(F, F);
+    } else {
+      for (size_t I = 0; I < Members.size(); ++I)
+        for (size_t J = I + 1; J < Members.size(); ++J)
+          PairsToProve.emplace_back(Members[I], Members[J]);
+    }
+
+    for (auto [F, G] : PairsToProve) {
+      PairProof P = proveCached(F, G);
+      P.SetId = S.Id;
+      // A predicated set claims commutativity only when the predicate
+      // holds; an unconditional witness may violate it, so refutations
+      // demote to Unknown (proofs stay: unconditional implies conditional).
+      if (S.Pred && P.Verdict == ProveVerdict::Refuted) {
+        P.Verdict = ProveVerdict::Unknown;
+        P.Detail += "; the set is predicated, so the unconditional "
+                    "counterexample does not refute the conditional claim";
+        P.Witness.reset();
+      }
+      switch (P.Verdict) {
+      case ProveVerdict::Proven:
+        ++R.Proven;
+        break;
+      case ProveVerdict::Refuted:
+        ++R.Refuted;
+        break;
+      case ProveVerdict::Unknown:
+        ++R.Unknown;
+        break;
+      }
+      R.Pairs.push_back(std::move(P));
+    }
+  }
+
+  // CL063: unannotated call pairs whose carried Memory dependence blocks
+  // relaxation — when the prover certifies them, suggest the pragma.
+  if (Opts.Suggest && T) {
+    std::set<std::pair<std::string, std::string>> Seen;
+    for (const PDGEdge &E : T->G.Edges) {
+      if (E.Kind != DepKind::Memory || !E.LoopCarried ||
+          E.Comm != CommAnnotation::None)
+        continue;
+      const Instruction *N1 = T->G.Nodes[E.Src];
+      const Instruction *N2 = T->G.Nodes[E.Dst];
+      if (N1->op() != Opcode::Call || N2->op() != Opcode::Call)
+        continue;
+      const Function *F = N1->Callee;
+      const Function *G = N2->Callee;
+      if (!F || !G || F->IsRegion || G->IsRegion)
+        continue;
+      if (!Reg.commutingSets(F->Name, G->Name).empty())
+        continue; // Annotated already; handled above.
+      std::pair<std::string, std::string> Key =
+          std::minmax(F->Name, G->Name);
+      if (!Seen.insert(Key).second)
+        continue;
+      PairProof P = proveCached(F, G);
+      if (P.Verdict != ProveVerdict::Proven)
+        continue; // Suggestions only for certainties; no noise otherwise.
+      P.SetId = ~0u;
+      P.Loc = N1->Loc.isValid() ? N1->Loc : F->Loc;
+      ++R.Suggested;
+      R.Pairs.push_back(std::move(P));
+    }
+  }
+  return R;
+}
+
+std::vector<LintDiagnostic> commset::proveDiagnostics(const Compilation &C,
+                                                      const ProveResult &PR) {
+  std::vector<LintDiagnostic> Out;
+  const Module &M = C.module();
+  for (const PairProof &P : PR.Pairs) {
+    LintDiagnostic D;
+    D.Loc = P.Loc;
+    D.Subject = P.First;
+    D.Subject2 = P.Second;
+    std::string Desc = pairDesc(C, P);
+    if (P.SetId == ~0u) {
+      // Suggestion: only Proven pairs reach here.
+      D.Code = "CL063";
+      D.Severity = LintSeverity::Note;
+      std::string Pragma =
+          P.First == P.Second
+              ? "`#pragma commset member(SELF)` above '" + P.First + "'"
+              : "`#pragma commset decl(CS_" + P.First + "_" + P.Second +
+                    ")` plus `member(...)` on '" + P.First + "' and '" +
+                    P.Second + "'";
+      D.Message = formatString(
+          "unannotated %s are provably commutative; adding %s would let "
+          "Algorithm 1 relax this loop-carried dependence",
+          Desc.c_str(), Pragma.c_str());
+      Out.push_back(std::move(D));
+      continue;
+    }
+    switch (P.Verdict) {
+    case ProveVerdict::Refuted:
+      D.Code = "CL060";
+      D.Severity = LintSeverity::Error;
+      D.Message = formatString(
+          "%s proven non-commutative: %s; witness: %s",
+          Desc.c_str(), P.Witness->Divergence.c_str(),
+          proveWitnessStr(M, P).c_str());
+      break;
+    case ProveVerdict::Proven:
+      D.Code = "CL061";
+      D.Severity = LintSeverity::Note;
+      D.Message = formatString("%s proven commutative: %s", Desc.c_str(),
+                               P.Detail.c_str());
+      break;
+    case ProveVerdict::Unknown:
+      D.Code = "CL062";
+      D.Severity = LintSeverity::Note;
+      D.Message = formatString(
+          "commutativity of %s is undecided (%s); effect-summary auditing "
+          "(CL02x) remains in force",
+          Desc.c_str(), P.Detail.c_str());
+      break;
+    }
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+unsigned commset::applyProveDowngrades(const ProveResult &PR,
+                                       std::vector<LintDiagnostic> &Diags) {
+  std::set<std::pair<std::string, std::string>> Proven;
+  for (const PairProof &P : PR.Pairs)
+    if (P.SetId != ~0u && P.Verdict == ProveVerdict::Proven)
+      Proven.insert(std::minmax(P.First, P.Second));
+
+  unsigned N = 0;
+  for (LintDiagnostic &D : Diags) {
+    if (D.Code != "CL020" && D.Code != "CL021" && D.Code != "CL023")
+      continue;
+    if (D.Severity == LintSeverity::Note)
+      continue; // Already downgraded (cross-plan reruns).
+    if (D.Subject.empty())
+      continue;
+    std::pair<std::string, std::string> Key = std::minmax(
+        D.Subject, D.Subject2.empty() ? D.Subject : D.Subject2);
+    if (!Proven.count(Key))
+      continue;
+    D.Severity = LintSeverity::Note;
+    D.Message += " [downgraded: CommProve verified the pair commutes "
+                 "(CL061)]";
+    ++N;
+  }
+  return N;
+}
+
+unsigned commset::annotateProofTokens(PDG &G, const ProveResult &PR) {
+  std::set<std::pair<std::string, std::string>> Proven;
+  for (const PairProof &P : PR.Pairs)
+    if (P.Verdict == ProveVerdict::Proven)
+      Proven.insert(std::minmax(P.First, P.Second));
+
+  unsigned N = 0;
+  for (PDGEdge &E : G.Edges) {
+    if (E.Comm == CommAnnotation::None || E.Kind != DepKind::Memory)
+      continue;
+    const Instruction *N1 = G.Nodes[E.Src];
+    const Instruction *N2 = G.Nodes[E.Dst];
+    if (N1->op() != Opcode::Call || N2->op() != Opcode::Call)
+      continue;
+    if (!N1->Callee || !N2->Callee)
+      continue;
+    if (!Proven.count(std::minmax(N1->Callee->Name, N2->Callee->Name)))
+      continue;
+    if (!E.ProvenCommutative) {
+      E.ProvenCommutative = true;
+      ++N;
+    }
+  }
+  return N;
+}

@@ -100,7 +100,34 @@ const char *commset::lintCodeDescription(const std::string &Code) {
     return "member lock acquisition violates the global rank order";
   if (Code == "CL050")
     return "privatized member lacks the add-reduction proof";
+  if (Code == "CL060")
+    return "member pair proven non-commutative (concrete replayable "
+           "witness)";
+  if (Code == "CL061")
+    return "member pair proven commutative (symbolic equivalence of both "
+           "orders)";
+  if (Code == "CL062")
+    return "commutativity undecided (budget/unmodeled); effect summaries "
+           "remain authoritative";
+  if (Code == "CL063")
+    return "annotation suggestion: unannotated call pair proven "
+           "commutative";
   return "";
+}
+
+std::string lint::dedupKey(const LintDiagnostic &D) {
+  std::string Key = D.Code;
+  Key += '|';
+  Key += lintSeverityName(D.Severity);
+  Key += '|';
+  Key += D.Loc.str();
+  Key += '|';
+  Key += D.Message;
+  Key += '|';
+  Key += D.Subject;
+  Key += '|';
+  Key += D.Subject2;
+  return Key;
 }
 
 //===----------------------------------------------------------------------===//

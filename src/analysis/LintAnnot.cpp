@@ -82,7 +82,8 @@ void auditSelfSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
                            "order-sensitive write to global '%s'; reordered "
                            "instances do not commute",
                            F->Name.c_str(), S.Name.c_str(),
-                           globalName(M, Slot).c_str()));
+                           globalName(M, Slot).c_str()),
+              F->Name, F->Name);
     }
     for (unsigned Slot : Sum.BareReadGlobals) {
       if (!Sum.WriteGlobals.count(Slot))
@@ -92,7 +93,8 @@ void auditSelfSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
                            "'%s' outside the reduction pattern; concurrent "
                            "instances observe intermediate state",
                            F->Name.c_str(), S.Name.c_str(),
-                           globalName(M, Slot).c_str()));
+                           globalName(M, Slot).c_str()),
+              F->Name, F->Name);
     }
   }
 }
@@ -119,7 +121,8 @@ void auditGroupSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
                              "write global '%s' and at least one write is "
                              "order-sensitive; the pair cannot commute",
                              F1->Name.c_str(), F2->Name.c_str(),
-                             S.Name.c_str(), globalName(M, Slot).c_str()));
+                             S.Name.c_str(), globalName(M, Slot).c_str()),
+                F1->Name, F2->Name);
       }
       const std::pair<const Function *, const Function *> Directions[] = {
           {F1, F2}, {F2, F1}};
@@ -135,7 +138,8 @@ void auditGroupSet(const Compilation &C, const CommSetRegistry::SetInfo &S,
                                "reduction pattern",
                                Reader->Name.c_str(), S.Name.c_str(),
                                globalName(M, Slot).c_str(),
-                               Writer->Name.c_str()));
+                               Writer->Name.c_str()),
+                  Reader->Name, Writer->Name);
         }
       }
     }

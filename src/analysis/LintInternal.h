@@ -37,8 +37,10 @@ inline std::string effectClassName(const Module &M, unsigned Id) {
 }
 
 inline void addDiag(LintResult &R, const char *Code, LintSeverity Severity,
-                    SourceLoc Loc, std::string Message) {
-  R.Diags.push_back({Code, Severity, Loc, std::move(Message)});
+                    SourceLoc Loc, std::string Message,
+                    std::string Subject = {}, std::string Subject2 = {}) {
+  R.Diags.push_back({Code, Severity, Loc, std::move(Message),
+                     std::move(Subject), std::move(Subject2)});
 }
 
 } // namespace lint

@@ -6,8 +6,10 @@
 
 #include "commset/Check/CommCheck.h"
 
+#include "commset/Analysis/CommProve.h"
 #include "commset/Analysis/Lint.h"
 #include "commset/Check/CheckRuntime.h"
+#include "commset/Check/ProveReplay.h"
 #include "commset/Driver/Runner.h"
 #include "commset/Support/Diagnostics.h"
 
@@ -106,6 +108,87 @@ bool lintFlagsUnsound(const GeneratedProgram &P, const OracleOptions &Oracle,
   return false;
 }
 
+/// `--prove` positive control: the prover must not refute any annotated
+/// pair of a SOUND program — its shared effects are commutative by
+/// construction, so a witness against one is a prover unsoundness, the
+/// worst failure mode CommProve can have. Unknown verdicts are expected
+/// (members call natives); only Refuted fails.
+bool proveSoundProgram(const GeneratedProgram &P, const ProveOptions &PO,
+                       std::string &Report, CommCheckSummary &Sum) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(P.Source, Diags);
+  if (!C) {
+    Report = "sound program failed to compile for the prove control:\n" +
+             Diags.str();
+    return false;
+  }
+  ProveResult PR = runCommProve(*C, nullptr, PO);
+  Sum.ProvenPairs += PR.Proven;
+  Sum.RefutedPairs += PR.Refuted;
+  Sum.UnknownPairs += PR.Unknown;
+  if (!PR.Refuted)
+    return true;
+  std::ostringstream Os;
+  Os << "CommProve REFUTED a pair of a sound program (prover unsoundness)\n";
+  for (const PairProof &Proof : PR.Pairs)
+    if (Proof.Verdict == ProveVerdict::Refuted)
+      Os << "  pair " << Proof.First << "/" << Proof.Second << ": "
+         << Proof.Detail << "\n  witness: "
+         << proveWitnessStr(C->module(), Proof) << "\n";
+  Report = Os.str();
+  return false;
+}
+
+/// `--prove` negative control: the seeded non-commutative twin must be
+/// refuted with a concrete witness, and the witness must reproduce a real
+/// divergence under the controlled-schedule explorer. \p ArtifactText
+/// receives the full refutation artifact (also used on success for the
+/// verbose trail).
+bool proveRefutesNoncommTwin(const GeneratedProgram &P,
+                             const ProveOptions &PO, std::string &Report,
+                             CommCheckSummary &Sum,
+                             std::string &ArtifactText) {
+  DiagnosticEngine Diags;
+  auto C = Compilation::fromSource(P.Source, Diags);
+  if (!C) {
+    Report = "seeded non-commutative twin failed to compile (generator "
+             "bug):\n" +
+             Diags.str();
+    return false;
+  }
+  ProveResult PR = runCommProve(*C, nullptr, PO);
+  Sum.ProvenPairs += PR.Proven;
+  Sum.RefutedPairs += PR.Refuted;
+  Sum.UnknownPairs += PR.Unknown;
+  const PairProof *Refuted = nullptr;
+  for (const PairProof &Proof : PR.Pairs)
+    if (Proof.Verdict == ProveVerdict::Refuted) {
+      Refuted = &Proof;
+      break;
+    }
+  if (!Refuted) {
+    std::ostringstream Os;
+    Os << "CommProve failed to refute seeded non-commutative twin\n"
+       << "  planted: " << P.UnsoundKind << " (expected "
+       << P.ExpectedLintCode << ")\n  verdicts:\n";
+    for (const PairProof &Proof : PR.Pairs)
+      Os << "    " << Proof.First << "/" << Proof.Second << ": "
+         << proveVerdictName(Proof.Verdict) << " (" << Proof.Detail
+         << ")\n";
+    Report = Os.str();
+    return false;
+  }
+  ProveReplayResult RR = replayProveWitness(*C, *Refuted);
+  ArtifactText = renderProveArtifact(*C, *Refuted, RR);
+  if (!RR.Diverged) {
+    Report = "CommProve witness did not reproduce under the controlled "
+             "scheduler\n" +
+             ArtifactText;
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
@@ -162,6 +245,72 @@ CommCheckSummary check::runCommCheck(const CommCheckOptions &Opts) {
           std::ofstream Out(Path);
           if (Out) {
             Out << renderArtifact(UP, Missed);
+            Sum.ArtifactPaths.push_back(Path);
+          }
+        }
+      }
+    }
+
+    // CommProve cross-validation: prover must stay silent on the sound
+    // program (positive) and refute the non-commutative twin with a
+    // witness that replays (negative).
+    if (Opts.Prove) {
+      ProveOptions PO;
+      PO.StepBudget = Opts.ProveBudget;
+      PO.NodeBudget = Opts.ProveBudget * 50u;
+      PO.Suggest = false; // No loop target here; suggestions are lint-side.
+      std::string ProveReport;
+      if (!proveSoundProgram(P, PO, ProveReport, Sum)) {
+        ++Sum.Failures;
+        if (Sum.FirstFailure.empty())
+          Sum.FirstFailure = ProveReport;
+        if (Opts.Verbose)
+          std::printf("commcheck: seed %llu FAIL (prove positive control)\n",
+                      static_cast<unsigned long long>(IterSeed));
+        if (!Opts.DumpDir.empty()) {
+          TrialResult Bad;
+          Bad.Ok = false;
+          Bad.Report = ProveReport;
+          std::string Path = Opts.DumpDir + "/commcheck-" +
+                             std::to_string(IterSeed) + "-prove.txt";
+          std::ofstream Out(Path);
+          if (Out) {
+            Out << renderArtifact(P, Bad);
+            Sum.ArtifactPaths.push_back(Path);
+          }
+        }
+      }
+
+      GenOptions NoncommGen = Opts.Gen;
+      NoncommGen.SeedNoncommutative = true;
+      GeneratedProgram NP = generateProgram(IterSeed, NoncommGen);
+      ++Sum.NoncommSeeded;
+      std::string NoncommReport, ProveArtifact;
+      if (proveRefutesNoncommTwin(NP, PO, NoncommReport, Sum,
+                                  ProveArtifact)) {
+        ++Sum.NoncommRefuted;
+        if (Opts.Verbose)
+          std::printf("commcheck: seed %llu prove refuted twin (%s) with "
+                      "replaying witness\n",
+                      static_cast<unsigned long long>(IterSeed),
+                      NP.UnsoundKind.c_str());
+      } else {
+        ++Sum.Failures;
+        if (Sum.FirstFailure.empty())
+          Sum.FirstFailure = NoncommReport;
+        if (Opts.Verbose)
+          std::printf("commcheck: seed %llu FAIL (noncommutative twin not "
+                      "refuted)\n",
+                      static_cast<unsigned long long>(IterSeed));
+        if (!Opts.DumpDir.empty()) {
+          TrialResult Missed;
+          Missed.Ok = false;
+          Missed.Report = NoncommReport;
+          std::string Path = Opts.DumpDir + "/commcheck-" +
+                             std::to_string(IterSeed) + "-prove.txt";
+          std::ofstream Out(Path);
+          if (Out) {
+            Out << renderArtifact(NP, Missed);
             Sum.ArtifactPaths.push_back(Path);
           }
         }

@@ -11,6 +11,7 @@
 #include "commset/Check/SchedulePlatform.h"
 #include "commset/Driver/Runner.h"
 #include "commset/Exec/JitBackend.h"
+#include "commset/IR/Verifier.h"
 #include "commset/Exec/ThreadedPlatform.h"
 #include "commset/Trace/Export.h"
 #include "commset/Trace/Metrics.h"
@@ -123,6 +124,20 @@ TrialResult check::runTrials(const GeneratedProgram &P,
   if (!T) {
     fail(Res, "analyzeLoop(main_loop) failed:\n" + Diags.str());
     return Res;
+  }
+
+  // Typed-IR gate: the interpreter's untagged register file would execute
+  // an ill-typed module "successfully" while reinterpreting bits, turning a
+  // lowering bug into a phantom divergence (or worse, hiding one). The same
+  // verifier guards JitBackend::create.
+  {
+    std::string VErr;
+    if (!verifyModuleIR(C->module(), &VErr)) {
+      fail(Res, "lowered module failed typed-IR verification (lowering "
+                "bug):\n  " +
+                    VErr);
+      return Res;
+    }
   }
 
   const Module &M = C->module();

@@ -493,10 +493,96 @@ GeneratedProgram generateUnsoundProgram(uint64_t Seed) {
   return P;
 }
 
+/// Emits a small program whose annotated pair is provably non-commutative
+/// at the VALUE level — not just order-sensitive per the effect summary,
+/// but with two operation orders computing different results on almost any
+/// input. CommProve must refute each kind with a concrete witness (CL060)
+/// whose replay diverges. Members stay native-free with integer parameters
+/// only, so the prover's concrete evaluation can always reach a witness;
+/// names and constants vary with the seed so a 200-iteration sweep proves
+/// 200 distinct programs.
+GeneratedProgram generateNoncommutativeTwin(uint64_t Seed) {
+  CheckRng Rng(Seed * 0x2545f4914f6cdd1dULL + 29);
+  GeneratedProgram P;
+  P.Seed = Seed;
+  P.LibSafe = false;
+  P.TripCount = 8 + static_cast<int>(Rng.range(8));
+  P.ExpectedLintCode = "CL060";
+  std::string G = "gq" + std::to_string(Rng.range(4));
+  int K = 2 + static_cast<int>(Rng.range(4));
+  int C1 = 1 + static_cast<int>(Rng.range(5));
+  int C2 = static_cast<int>(Rng.range(7));
+
+  std::ostringstream Src;
+  switch (Seed % 3) {
+  case 0: {
+    // Multiply-then-add: f(a);f(b) leaves g*K^2 + a*K + b, the reverse
+    // leaves g*K^2 + b*K + a — distinct whenever a != b. The polynomial
+    // normal form exposes exactly this asymmetry.
+    P.UnsoundKind = "noncomm-scale-acc";
+    Src << "// commcheck noncommutative seed " << Seed << ": "
+        << P.UnsoundKind << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "#pragma commset member(SELF)\n"
+        << "void scale_acc(int v) { " << G << " = " << G << " * " << K
+        << " + v; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    scale_acc(i + " << C1 << ");\n"
+        << "  }\n"
+        << "  return " << G << ";\n}\n";
+    break;
+  }
+  case 1: {
+    // Pure overwrite: the final value is whichever call ran last.
+    P.UnsoundKind = "noncomm-overwrite";
+    Src << "// commcheck noncommutative seed " << Seed << ": "
+        << P.UnsoundKind << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "#pragma commset member(SELF)\n"
+        << "void put_last(int v) { " << G << " = v * " << C1 << " + " << C2
+        << "; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    put_last(i);\n"
+        << "  }\n"
+        << "  return " << G << ";\n}\n";
+    break;
+  }
+  default: {
+    // Group pair where one member reads what the other writes: running
+    // the reader before vs after the writer changes what it snapshots.
+    P.UnsoundKind = "noncomm-read-write";
+    std::string G2 = "gr" + std::to_string(Rng.range(4));
+    Src << "// commcheck noncommutative seed " << Seed << ": "
+        << P.UnsoundKind << "\n"
+        << "int " << G << " = " << C2 << ";\n"
+        << "int " << G2 << " = 0;\n"
+        << "#pragma commset decl(NCG)\n"
+        << "#pragma commset member(NCG)\n"
+        << "void bump_x(int v) { " << G << " = " << G << " + v; }\n"
+        << "#pragma commset member(NCG)\n"
+        << "void mirror_y(int v) { " << G2 << " = " << G << " + v; }\n"
+        << "int main_loop(int n) {\n"
+        << "  for (int i = 0; i < n; i = i + 1) {\n"
+        << "    bump_x(i + " << C1 << ");\n"
+        << "    mirror_y(i);\n"
+        << "  }\n"
+        << "  return " << G << " + " << G2 << ";\n}\n";
+    break;
+  }
+  }
+  P.Source = Src.str();
+  P.Shape = "noncomm:" + P.UnsoundKind;
+  return P;
+}
+
 } // namespace
 
 GeneratedProgram check::generateProgram(uint64_t Seed,
                                         const GenOptions &Opts) {
+  if (Opts.SeedNoncommutative)
+    return generateNoncommutativeTwin(Seed);
   if (Opts.SeedUnsound)
     return generateUnsoundProgram(Seed);
   Gen G(Seed, Opts);

@@ -27,6 +27,7 @@
 
 #include "commset/Exec/Interpreter.h"
 #include "commset/IR/IR.h"
+#include "commset/IR/Verifier.h"
 
 #include "ExecMem.h"
 
@@ -504,6 +505,13 @@ std::unique_ptr<JitBackend> JitBackend::create(const Module &M,
     if (F->Blocks.empty() || F->NumInstrs == 0 ||
         std::find(Opts.DenyFunctions.begin(), Opts.DenyFunctions.end(),
                   F->Name) != Opts.DenyFunctions.end()) {
+      ++B->Fallbacks;
+      continue;
+    }
+    // Malformed IR (bad types, dangling slots) runs "successfully" on the
+    // interpreter's untagged registers but compiles to diverging or
+    // crashing native code — never hand it to the emitter.
+    if (!verifyFunctionIR(*F, M, nullptr)) {
       ++B->Fallbacks;
       continue;
     }

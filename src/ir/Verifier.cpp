@@ -24,8 +24,9 @@ bool memberSetDeclared(const MemberInstance &MI,
 class FunctionVerifier {
 public:
   FunctionVerifier(const Function &F, DiagnosticEngine &Diags,
-                   const std::set<std::string> *DeclaredSets)
-      : F(F), Diags(Diags), DeclaredSets(DeclaredSets) {}
+                   const std::set<std::string> *DeclaredSets,
+                   const Module *M = nullptr)
+      : F(F), Diags(Diags), DeclaredSets(DeclaredSets), M(M) {}
 
   bool run() {
     if (F.Blocks.empty()) {
@@ -140,11 +141,180 @@ private:
     default:
       break;
     }
+
+    if (M)
+      verifyTypes(Instr);
+  }
+
+  /// Static type of an operand as the interpreter/JIT will treat it.
+  static IRType operandType(const Operand &Op) {
+    switch (Op.K) {
+    case Operand::Kind::Instr:
+      return Op.Def ? Op.Def->type() : IRType::Void;
+    case Operand::Kind::ConstInt:
+      return IRType::I64;
+    case Operand::Kind::ConstFloat:
+      return IRType::F64;
+    case Operand::Kind::ConstStr:
+    case Operand::Kind::ConstNull:
+      return IRType::Ptr;
+    default:
+      return IRType::Void;
+    }
+  }
+
+  bool checkArity(const Instruction &Instr, size_t N) {
+    if (Instr.Operands.size() == N)
+      return true;
+    error(formatString("%s expects %zu operand(s), has %zu",
+                       opcodeName(Instr.op()), N, Instr.Operands.size()));
+    return false;
+  }
+
+  void checkOperand(const Instruction &Instr, unsigned Idx, IRType Want) {
+    IRType Got = operandType(Instr.Operands[Idx]);
+    if (Got != Want)
+      error(formatString("%s operand %u has type %s, expected %s",
+                         opcodeName(Instr.op()), Idx, irTypeName(Got),
+                         irTypeName(Want)));
+  }
+
+  /// Operand/result type consistency. The interpreter's register file is an
+  /// untagged union, so these mismatches run "successfully" there while
+  /// reinterpreting bits; compiled code diverges or crashes. Rules mirror
+  /// Interpreter.cpp exactly (comparisons infer their width from operand 0).
+  void verifyTypes(const Instruction &Instr) {
+    switch (Instr.op()) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (Instr.type() != IRType::I64 && Instr.type() != IRType::F64) {
+        error(formatString("%s must have type i64 or f64, has %s",
+                           opcodeName(Instr.op()),
+                           irTypeName(Instr.type())));
+        break;
+      }
+      if (checkArity(Instr, 2)) {
+        checkOperand(Instr, 0, Instr.type());
+        checkOperand(Instr, 1, Instr.type());
+      }
+      break;
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge: {
+      if (Instr.type() != IRType::I64)
+        error("comparison must produce i64");
+      if (!checkArity(Instr, 2))
+        break;
+      IRType L = operandType(Instr.Operands[0]);
+      IRType R = operandType(Instr.Operands[1]);
+      if (L != R)
+        error(formatString("comparison mixes %s and %s operands",
+                           irTypeName(L), irTypeName(R)));
+      else if (L == IRType::Void)
+        error("comparison of void operands");
+      break;
+    }
+    case Opcode::Neg:
+      if (Instr.type() != IRType::I64 && Instr.type() != IRType::F64)
+        error("neg must have type i64 or f64");
+      else if (checkArity(Instr, 1))
+        checkOperand(Instr, 0, Instr.type());
+      break;
+    case Opcode::Not:
+      if (Instr.type() != IRType::I64)
+        error("not must produce i64");
+      else if (checkArity(Instr, 1))
+        checkOperand(Instr, 0, IRType::I64);
+      break;
+    case Opcode::IntToFp:
+      if (Instr.type() != IRType::F64)
+        error("inttofp must produce f64");
+      else if (checkArity(Instr, 1))
+        checkOperand(Instr, 0, IRType::I64);
+      break;
+    case Opcode::FpToInt:
+      if (Instr.type() != IRType::I64)
+        error("fptoint must produce i64");
+      else if (checkArity(Instr, 1))
+        checkOperand(Instr, 0, IRType::F64);
+      break;
+    case Opcode::LoadLocal:
+      if (Instr.SlotId < F.Locals.size() &&
+          Instr.type() != F.Locals[Instr.SlotId].Type)
+        error(formatString("ldloc of '%s' has type %s, slot is %s",
+                           F.Locals[Instr.SlotId].Name.c_str(),
+                           irTypeName(Instr.type()),
+                           irTypeName(F.Locals[Instr.SlotId].Type)));
+      break;
+    case Opcode::StoreLocal:
+      if (Instr.SlotId < F.Locals.size() && !Instr.Operands.empty())
+        checkOperand(Instr, 0, F.Locals[Instr.SlotId].Type);
+      break;
+    case Opcode::LoadGlobal:
+    case Opcode::StoreGlobal: {
+      if (Instr.SlotId >= M->Globals.size()) {
+        error(formatString("global slot %u out of range", Instr.SlotId));
+        break;
+      }
+      IRType Slot = M->Globals[Instr.SlotId].Type;
+      if (Instr.op() == Opcode::LoadGlobal) {
+        if (Instr.type() != Slot)
+          error(formatString("ldg of '%s' has type %s, global is %s",
+                             M->Globals[Instr.SlotId].Name.c_str(),
+                             irTypeName(Instr.type()), irTypeName(Slot)));
+      } else if (checkArity(Instr, 1)) {
+        checkOperand(Instr, 0, Slot);
+      }
+      break;
+    }
+    case Opcode::Call:
+      if (Instr.Callee &&
+          Instr.Operands.size() == Instr.Callee->NumParams) {
+        if (Instr.type() != Instr.Callee->ReturnType)
+          error(formatString("call to '%s' has type %s, callee returns %s",
+                             Instr.Callee->Name.c_str(),
+                             irTypeName(Instr.type()),
+                             irTypeName(Instr.Callee->ReturnType)));
+        for (unsigned I = 0; I < Instr.Callee->NumParams; ++I)
+          checkOperand(Instr, I, Instr.Callee->Locals[I].Type);
+      }
+      break;
+    case Opcode::CallNative:
+      if (Instr.Native &&
+          Instr.Operands.size() == Instr.Native->ParamTypes.size()) {
+        if (Instr.type() != Instr.Native->ReturnType)
+          error(formatString("native call to '%s' has type %s, native "
+                             "returns %s",
+                             Instr.Native->Name.c_str(),
+                             irTypeName(Instr.type()),
+                             irTypeName(Instr.Native->ReturnType)));
+        for (unsigned I = 0; I < Instr.Native->ParamTypes.size(); ++I)
+          checkOperand(Instr, I, Instr.Native->ParamTypes[I]);
+      }
+      break;
+    case Opcode::CondBr:
+      if (Instr.Operands.size() == 1)
+        checkOperand(Instr, 0, IRType::I64);
+      break;
+    case Opcode::Ret:
+      if (F.ReturnType != IRType::Void && Instr.Operands.size() == 1)
+        checkOperand(Instr, 0, F.ReturnType);
+      break;
+    default:
+      break;
+    }
   }
 
   const Function &F;
   DiagnosticEngine &Diags;
   const std::set<std::string> *DeclaredSets;
+  const Module *M;
   bool Ok = true;
 };
 } // namespace
@@ -152,6 +322,22 @@ private:
 bool commset::verifyFunction(const Function &F, DiagnosticEngine &Diags,
                              const std::set<std::string> *DeclaredSets) {
   return FunctionVerifier(F, Diags, DeclaredSets).run();
+}
+
+bool commset::verifyFunctionIR(const Function &F, const Module &M,
+                               std::string *Err) {
+  DiagnosticEngine Diags;
+  bool Ok = FunctionVerifier(F, Diags, /*DeclaredSets=*/nullptr, &M).run();
+  if (!Ok && Err && !Diags.diagnostics().empty())
+    *Err = Diags.diagnostics().front().Message;
+  return Ok;
+}
+
+bool commset::verifyModuleIR(const Module &M, std::string *Err) {
+  for (const auto &F : M.Functions)
+    if (!verifyFunctionIR(*F, M, Err))
+      return false;
+  return true;
 }
 
 bool commset::verifyModule(const Module &M, DiagnosticEngine &Diags,

@@ -362,4 +362,29 @@ int main_loop(int n) {
               static_cast<int>(R.Diags[I + 1].Severity));
 }
 
+TEST(LintTest, DedupKeySeparatesSameSiteFindings) {
+  // Regression: the cross-plan dedup key once hashed only (code, location,
+  // message), so two findings differing in severity (a CommProve downgrade
+  // vs the original error) or in structured subjects collapsed into one.
+  LintDiagnostic A;
+  A.Code = "CL020";
+  A.Severity = LintSeverity::Error;
+  A.Loc.Line = 4;
+  A.Loc.Col = 1;
+  A.Message = "order-sensitive write";
+  A.Subject = "scale_acc";
+  A.Subject2 = "scale_acc";
+
+  LintDiagnostic Downgraded = A;
+  Downgraded.Severity = LintSeverity::Note;
+  EXPECT_NE(lint::dedupKey(A), lint::dedupKey(Downgraded));
+
+  LintDiagnostic OtherPair = A;
+  OtherPair.Subject2 = "mirror_y";
+  EXPECT_NE(lint::dedupKey(A), lint::dedupKey(OtherPair));
+
+  LintDiagnostic Same = A;
+  EXPECT_EQ(lint::dedupKey(A), lint::dedupKey(Same));
+}
+
 } // namespace

@@ -80,4 +80,80 @@ TEST(VerifierTest, SelfMembershipNeedsNoDeclaration) {
   EXPECT_TRUE(verifyModule(*C.Mod, Diags, &Declared)) << Diags.str();
 }
 
+//===----------------------------------------------------------------------===//
+// Typed-IR rules (verifyFunctionIR) — the gate before JIT compilation.
+// The interpreter's register file is an untagged union, so these
+// corruptions execute "successfully" there while reinterpreting bits;
+// compiled code diverges. Each test corrupts a verified module the way a
+// buggy lowering/transform would and asserts rejection with a message
+// naming the violated rule.
+//===----------------------------------------------------------------------===//
+
+/// Finds the first instruction with opcode \p Want in \p F.
+Instruction *findInstr(Function &F, Opcode Want) {
+  for (auto &BB : F.Blocks)
+    for (auto &I : BB->Instrs)
+      if (I->op() == Want)
+        return I.get();
+  return nullptr;
+}
+
+TEST(VerifierTest, TypedIRAcceptsWellFormedModule) {
+  Compiled C = compile(reductionSource());
+  ASSERT_NE(C.Mod, nullptr);
+  std::string Err;
+  EXPECT_TRUE(verifyModuleIR(*C.Mod, &Err)) << Err;
+}
+
+TEST(VerifierTest, TypedIRRejectsMixedTypeArithmetic) {
+  Compiled C = compile(reductionSource());
+  ASSERT_NE(C.Mod, nullptr);
+  Function *Add = nullptr;
+  for (const auto &F : C.Mod->Functions)
+    if (F->Name == "add")
+      Add = F.get();
+  ASSERT_NE(Add, nullptr);
+  Instruction *Sum = findInstr(*Add, Opcode::Add);
+  ASSERT_NE(Sum, nullptr);
+  ASSERT_EQ(Sum->Operands.size(), 2u);
+  // An i64 add fed a float immediate: the interpreter would silently use
+  // the f64 bit pattern as an integer.
+  Sum->Operands[1] = Operand::constFloat(2.5);
+  std::string Err;
+  EXPECT_FALSE(verifyFunctionIR(*Add, *C.Mod, &Err));
+  EXPECT_NE(Err.find("expected i64"), std::string::npos) << Err;
+}
+
+TEST(VerifierTest, TypedIRRejectsOutOfRangeGlobalSlot) {
+  Compiled C = compile(reductionSource());
+  ASSERT_NE(C.Mod, nullptr);
+  Function *Add = nullptr;
+  for (const auto &F : C.Mod->Functions)
+    if (F->Name == "add")
+      Add = F.get();
+  ASSERT_NE(Add, nullptr);
+  Instruction *Store = findInstr(*Add, Opcode::StoreGlobal);
+  ASSERT_NE(Store, nullptr);
+  Store->SlotId = 99;
+  std::string Err;
+  EXPECT_FALSE(verifyFunctionIR(*Add, *C.Mod, &Err));
+  EXPECT_NE(Err.find("global slot 99 out of range"), std::string::npos)
+      << Err;
+}
+
+TEST(VerifierTest, TypedIRRejectsReturnTypeMismatch) {
+  Compiled C = compile(reductionSource());
+  ASSERT_NE(C.Mod, nullptr);
+  Function *Main = nullptr;
+  for (const auto &F : C.Mod->Functions)
+    if (F->Name == "main_loop")
+      Main = F.get();
+  ASSERT_NE(Main, nullptr);
+  // Pretend the function returns f64 while its Ret still feeds an i64.
+  Main->ReturnType = IRType::F64;
+  std::string Err;
+  EXPECT_FALSE(verifyFunctionIR(*Main, *C.Mod, &Err));
+  EXPECT_NE(Err.find("expected f64"), std::string::npos) << Err;
+}
+
 } // namespace

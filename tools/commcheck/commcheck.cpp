@@ -57,6 +57,14 @@ void usage(const char *Argv0) {
       "                    divergence on a race-free verdict fails the\n"
       "                    trial) and assert the seeded-unsound twin of\n"
       "                    every seed is flagged with its expected CL code\n"
+      "  --prove           CommProve cross-validation: symbolically prove\n"
+      "                    the sound program's annotated pairs (any\n"
+      "                    refutation fails the trial) and assert the\n"
+      "                    seeded non-commutative twin of every seed is\n"
+      "                    refuted with a witness that replays to a real\n"
+      "                    divergence under the controlled scheduler\n"
+      "  --prove-budget N  symbolic step budget per proved order\n"
+      "                    (default 4096)\n"
       "  --faults          fault sweep: re-run plans under seeded fault\n"
       "                    injection and assert the resilient engine still\n"
       "                    matches the sequential reference\n"
@@ -156,6 +164,16 @@ int main(int argc, char **argv) {
     } else if (Arg == "--lint") {
       Opts.Lint = true;
       Opts.Oracle.Lint = true;
+    } else if (Arg == "--prove") {
+      Opts.Prove = true;
+    } else if (Arg == "--prove-budget") {
+      int N = std::atoi(needValue());
+      if (N <= 0) {
+        std::fprintf(stderr, "commcheck: bad --prove-budget\n");
+        return 2;
+      }
+      Opts.Prove = true;
+      Opts.ProveBudget = static_cast<unsigned>(N);
     } else if (Arg == "--no-tm") {
       Opts.Oracle.IncludeTm = false;
     } else if (Arg == "--no-priv") {
@@ -256,6 +274,12 @@ int main(int argc, char **argv) {
       std::printf("commcheck: lint sweep: %u plans audited, %u unsound "
                   "seeded, %u flagged\n",
                   Sum.LintedPlans, Sum.UnsoundSeeded, Sum.UnsoundFlagged);
+    if (Opts.Prove)
+      std::printf("commcheck: prove sweep: %u pairs proven, %u refuted, "
+                  "%u undecided; %u noncomm twins seeded, %u refuted with "
+                  "replaying witness\n",
+                  Sum.ProvenPairs, Sum.RefutedPairs, Sum.UnknownPairs,
+                  Sum.NoncommSeeded, Sum.NoncommRefuted);
     if (Opts.Oracle.FaultSweep)
       std::printf("commcheck: fault sweep: %u runs, %u degraded to "
                   "sequential, %llu faults injected, %u divergences\n",

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "commset/Analysis/CommProve.h"
 #include "commset/Analysis/Lint.h"
 #include "commset/Driver/Runner.h"
 
@@ -45,6 +46,13 @@ void usage(const char *Argv0) {
       "  --sched P      iteration-scheduling policy: static | dynamic |\n"
       "                 guided (default guided)\n"
       "  --werror       treat warnings as errors (exit 2)\n"
+      "  --prove        run CommProve: symbolically verify every annotated\n"
+      "                 member pair (CL060 refuted with witness / CL061\n"
+      "                 proven, downgrading CL02x / CL062 undecided) and\n"
+      "                 suggest pragmas for provable unannotated pairs\n"
+      "                 (CL063)\n"
+      "  --prove-budget N  scale the prover's step budget (default 4096\n"
+      "                 symbolic steps per operation order)\n"
       "  --explain      append the CL-code registry description to each\n"
       "                 finding\n"
       "  -q, --quiet    suppress per-finding output; summary only\n"
@@ -75,6 +83,10 @@ struct LintRun {
   unsigned Warnings = 0;
   unsigned Notes = 0;
   unsigned PlansAudited = 0;
+  unsigned PairsProven = 0;
+  unsigned PairsRefuted = 0;
+  unsigned PairsUnknown = 0;
+  unsigned ProofTokens = 0;
 };
 
 /// Lints one file: every applicable plan (sequential included, so the
@@ -82,7 +94,7 @@ struct LintRun {
 /// applies) with findings deduplicated across plans.
 LintRun lintFile(const std::string &Path, const std::string &Func,
                  const PlanOptions &PO, bool WError, bool Explain,
-                 bool Quiet) {
+                 bool Quiet, bool Prove, const ProveOptions &ProveOpts) {
   LintRun Run;
 
   std::ifstream In(Path);
@@ -121,9 +133,33 @@ LintRun lintFile(const std::string &Path, const std::string &Func,
     ++Run.PlansAudited;
     LintResult LR = runLint(*C, *T, *R.Plan);
     for (const LintDiagnostic &D : LR.Diags) {
-      std::string Key = D.Code + "|" + D.Loc.str() + "|" + D.Message;
-      if (Seen.insert(Key).second)
+      // Shared structured key (code, severity, location, message,
+      // subjects): two plans producing findings that agree on all of it
+      // are the same finding; anything less collapses distinct ones.
+      if (Seen.insert(lint::dedupKey(D)).second)
         Merged.push_back(D);
+    }
+  }
+
+  // CommProve pass: prove/refute every annotated pair once per file (the
+  // verdict is a property of the member bodies, not of any plan), then
+  // downgrade the effect-summary findings the proofs subsume and append
+  // the prover's own diagnostics.
+  if (Prove) {
+    ProveResult PR = runCommProve(*C, T.get(), ProveOpts);
+    Run.PairsProven = PR.Proven;
+    Run.PairsRefuted = PR.Refuted;
+    Run.PairsUnknown = PR.Unknown;
+    Run.ProofTokens = annotateProofTokens(T->G, PR);
+    applyProveDowngrades(PR, Merged);
+    const std::vector<std::string> &Suppressed =
+        C->program().LintSuppressions;
+    for (LintDiagnostic &D : proveDiagnostics(*C, PR)) {
+      if (std::find(Suppressed.begin(), Suppressed.end(), D.Code) !=
+          Suppressed.end())
+        continue;
+      if (Seen.insert(lint::dedupKey(D)).second)
+        Merged.push_back(std::move(D));
     }
   }
 
@@ -177,6 +213,8 @@ int main(int argc, char **argv) {
   bool WError = false;
   bool Explain = false;
   bool Quiet = false;
+  bool Prove = false;
+  ProveOptions ProveOpts;
   std::vector<std::string> Files;
 
   for (int I = 1; I < argc; ++I) {
@@ -209,6 +247,18 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--werror") {
       WError = true;
+    } else if (Arg == "--prove") {
+      Prove = true;
+    } else if (Arg == "--prove-budget") {
+      int N = std::atoi(needValue());
+      if (N <= 0) {
+        std::fprintf(stderr, "commlint: bad --prove-budget\n");
+        return 2;
+      }
+      Prove = true;
+      ProveOpts.StepBudget = static_cast<unsigned>(N);
+      // Expression growth tracks steps; scale it along.
+      ProveOpts.NodeBudget = static_cast<unsigned>(N) * 50u;
     } else if (Arg == "--explain") {
       Explain = true;
     } else if (Arg == "-q" || Arg == "--quiet") {
@@ -232,17 +282,27 @@ int main(int argc, char **argv) {
 
   int Exit = 0;
   unsigned Errors = 0, Warnings = 0, Notes = 0, Plans = 0;
+  unsigned Proven = 0, Refuted = 0, Unknown = 0, Tokens = 0;
   for (const std::string &Path : Files) {
-    LintRun Run = lintFile(Path, Func, PO, WError, Explain, Quiet);
+    LintRun Run =
+        lintFile(Path, Func, PO, WError, Explain, Quiet, Prove, ProveOpts);
     Errors += Run.Errors;
     Warnings += Run.Warnings;
     Notes += Run.Notes;
     Plans += Run.PlansAudited;
+    Proven += Run.PairsProven;
+    Refuted += Run.PairsRefuted;
+    Unknown += Run.PairsUnknown;
+    Tokens += Run.ProofTokens;
     Exit = std::max(Exit, Run.ExitCode);
   }
 
   std::printf("commlint: %zu file(s), %u plan(s) audited: %u error(s), "
               "%u warning(s), %u note(s)\n",
               Files.size(), Plans, Errors, Warnings, Notes);
+  if (Prove)
+    std::printf("commlint: prove: %u pair(s) proven, %u refuted, "
+                "%u undecided; %u PDG edge(s) carry proof tokens\n",
+                Proven, Refuted, Unknown, Tokens);
   return Exit;
 }
